@@ -1,0 +1,63 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+
+#include "support/strings.hpp"
+
+namespace ctile::bench {
+
+i64 fit_parts(i64 lo, i64 hi, i64 parts) {
+  CTILE_ASSERT(hi >= lo && parts >= 1);
+  for (i64 s = 1; s <= hi - lo + 1; ++s) {
+    i64 count = floor_div(hi, s) - floor_div(lo, s) + 1;
+    if (count == parts) return s;
+    if (count < parts) break;  // counts only shrink as s grows
+  }
+  throw Error("fit_parts: no tile size spans [" + std::to_string(lo) + "," +
+              std::to_string(hi) + "] with " + std::to_string(parts) +
+              " parts");
+}
+
+RunOutcome run_config(const RunConfig& config, const MachineModel& machine) {
+  TiledNest tiled(config.app.nest, TilingTransform(config.h));
+  TileCensus census =
+      TileCensus::from_box(tiled, config.orig_lo, config.orig_hi, config.skew);
+  Mapping mapping(tiled, config.force_m, &census);
+  LdsLayout lds(tiled, mapping);
+  CommPlan plan(tiled, mapping, lds);
+  RunOutcome out;
+  out.label = config.label;
+  out.nprocs = mapping.num_procs();
+  out.tile_size = tiled.transform().tile_size();
+  out.sim = simulate_cluster(tiled, mapping, lds, plan, census, machine,
+                             config.arity);
+  return out;
+}
+
+void print_header(const std::string& title, const MachineModel& machine) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf(
+      "model: 16x PIII-500 / FastEthernet -- %.0f ns/iter, %.0f us "
+      "latency, %.1f MB/s\n",
+      machine.sec_per_iter * 1e9, machine.latency * 1e6,
+      machine.bandwidth / 1e6);
+}
+
+void print_row(const std::vector<std::string>& cells,
+               const std::vector<int>& widths) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    int w = i < widths.size() ? widths[i] : 12;
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%-*s", w, cells[i].c_str());
+    line += buf;
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+double improvement_pct(double a, double b) {
+  if (a == 0.0) return 0.0;
+  return (b - a) / a * 100.0;
+}
+
+}  // namespace ctile::bench

@@ -1,0 +1,55 @@
+// Shared plumbing for the figure-reproduction benches: experiment
+// configuration, tile-size fitting for a fixed processor mesh, and table
+// printing.
+//
+// Every fig*_ binary prints (a) the modelled 16-node cluster's speedups
+// for the paper's rectangular and non-rectangular tilings and (b) the
+// derived comparison statistics the paper reports in \S4.4.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/kernels.hpp"
+#include "cluster/simulator.hpp"
+#include "support/strings.hpp"
+
+namespace ctile::bench {
+
+/// Smallest tile size s such that the interval [lo, hi] spans exactly
+/// `parts` tile indices under js = floor(j / s); used to pin the
+/// processor mesh to 4x4 = 16 nodes like the paper's runs.
+i64 fit_parts(i64 lo, i64 hi, i64 parts);
+
+struct RunConfig {
+  std::string label;       ///< e.g. "rect" or "nonrect"
+  AppInstance app;
+  MatQ h;
+  int force_m;             ///< the paper's mapping dimension
+  int arity;
+  VecI orig_lo;            ///< original rectangular bounds (pre-skew)
+  VecI orig_hi;
+  MatI skew;               ///< skewing matrix T (identity if unskewed)
+};
+
+struct RunOutcome {
+  std::string label;
+  SimResult sim;
+  int nprocs;
+  i64 tile_size;
+};
+
+/// Tile, validate, census and simulate one configuration.
+RunOutcome run_config(const RunConfig& config, const MachineModel& machine);
+
+/// Print a header like "== Figure 5: ... ==".
+void print_header(const std::string& title, const MachineModel& machine);
+
+/// Print one table row: label, params, speedup columns.
+void print_row(const std::vector<std::string>& cells,
+               const std::vector<int>& widths);
+
+/// Percentage improvement of b over a.
+double improvement_pct(double a, double b);
+
+}  // namespace ctile::bench

@@ -1,0 +1,66 @@
+// Figure 6 reproduction: SOR speedups for various tile sizes at
+// M = 100, N = 200 (the caption's space), rectangular vs non-rectangular
+// tiling on the modelled 16-node cluster.
+//
+// x and y are fixed (4x4 mesh), z sweeps the tile size — the figure's
+// x-axis.  Expected shape: both curves rise to a plateau (small tiles are
+// latency-bound), the non-rectangular curve sits above the rectangular
+// one everywhere, and very large tiles decay again (pipeline fill/drain
+// dominates: fewer, longer chain steps).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace ctile;
+using namespace ctile::bench;
+
+int main() {
+  const i64 m = 100, n = 200;
+  MachineModel machine = MachineModel::fast_ethernet_cluster();
+  print_header(
+      "Figure 6: SOR speedups vs tile size (M=100, N=200, 16 procs)",
+      machine);
+  const i64 x = fit_parts(1, m, 4);
+  const i64 y = fit_parts(2, m + n, 4);
+  std::printf("mesh tiles: x=%lld, y=%lld (4x4 processors)\n",
+              static_cast<long long>(x), static_cast<long long>(y));
+  const std::vector<int> widths{8, 12, 12, 12, 12};
+  print_row({"z", "tile size", "rect", "nonrect", "improve%"}, widths);
+  double sum_impr = 0.0;
+  int count = 0;
+  for (i64 z : std::vector<i64>{2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128}) {
+    double sp[2] = {0.0, 0.0};
+    bool ok = true;
+    for (bool nonrect : {false, true}) {
+      RunConfig cfg;
+      cfg.label = nonrect ? "nonrect" : "rect";
+      cfg.app = make_sor(m, n);
+      cfg.h = nonrect ? sor_nonrect_h(x, y, z) : sor_rect_h(x, y, z);
+      cfg.force_m = 2;
+      cfg.arity = 1;
+      cfg.orig_lo = {1, 1, 1};
+      cfg.orig_hi = {m, n, n};
+      cfg.skew = sor_skew_matrix();
+      RunOutcome out = run_config(cfg, machine);
+      if (out.nprocs != 16) {
+        ok = false;
+        break;
+      }
+      sp[nonrect ? 1 : 0] = out.sim.speedup;
+    }
+    if (!ok) continue;
+    double impr = improvement_pct(sp[0], sp[1]);
+    sum_impr += impr;
+    ++count;
+    print_row({std::to_string(z),
+               std::to_string(x * y * z),
+               fixed(sp[0], 2), fixed(sp[1], 2), fixed(impr, 1)},
+              widths);
+  }
+  if (count > 0) {
+    std::printf("average improvement over the sweep: %.1f%%\n",
+                sum_impr / count);
+  }
+  return 0;
+}

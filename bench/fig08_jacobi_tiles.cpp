@@ -1,0 +1,60 @@
+// Figure 8 reproduction: Jacobi speedups for various tile sizes at
+// T = 50, I = J = 100 (the caption's space), 16 processors.  y and z fix
+// the 4x4 mesh; x sweeps the tile size.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace ctile;
+using namespace ctile::bench;
+
+int main() {
+  const i64 t = 50, ij = 100;
+  MachineModel machine = MachineModel::fast_ethernet_cluster();
+  print_header(
+      "Figure 8: Jacobi speedups vs tile size (T=50, I=J=100, 16 procs)",
+      machine);
+  i64 y = fit_parts(2, t + ij, 4);
+  if (y % 2 != 0) ++y;  // stride-compatibility: c_2 = 2 divides v_2
+  const i64 z = fit_parts(2, t + ij, 4);
+  std::printf("mesh tiles: y=%lld, z=%lld (4x4 processors)\n",
+              static_cast<long long>(y), static_cast<long long>(z));
+  const std::vector<int> widths{8, 12, 12, 12, 12};
+  print_row({"x", "tile size", "rect", "nonrect", "improve%"}, widths);
+  double sum_impr = 0.0;
+  int count = 0;
+  for (i64 x : std::vector<i64>{2, 3, 4, 5, 6, 8, 10, 13, 17, 25}) {
+    double sp[2] = {0.0, 0.0};
+    bool ok = true;
+    for (bool nonrect : {false, true}) {
+      RunConfig cfg;
+      cfg.label = nonrect ? "nonrect" : "rect";
+      cfg.app = make_jacobi(t, ij, ij);
+      cfg.h = nonrect ? jacobi_nonrect_h(x, y, z) : jacobi_rect_h(x, y, z);
+      cfg.force_m = 0;
+      cfg.arity = 1;
+      cfg.orig_lo = {1, 1, 1};
+      cfg.orig_hi = {t, ij, ij};
+      cfg.skew = jacobi_skew_matrix();
+      RunOutcome out = run_config(cfg, machine);
+      if (out.nprocs != 16) {
+        ok = false;
+        break;
+      }
+      sp[nonrect ? 1 : 0] = out.sim.speedup;
+    }
+    if (!ok) continue;
+    double impr = improvement_pct(sp[0], sp[1]);
+    sum_impr += impr;
+    ++count;
+    print_row({std::to_string(x), std::to_string(x * y * z), fixed(sp[0], 2),
+               fixed(sp[1], 2), fixed(impr, 1)},
+              widths);
+  }
+  if (count > 0) {
+    std::printf("average improvement over the sweep: %.1f%%\n",
+                sum_impr / count);
+  }
+  return 0;
+}

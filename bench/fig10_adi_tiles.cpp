@@ -1,0 +1,54 @@
+// Figure 10 reproduction: ADI integration speedups for various tile
+// sizes at T = 100, N = 256 (the caption's space), 16 processors, for the
+// rectangular and all three non-rectangular tilings of \S4.3.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace ctile;
+using namespace ctile::bench;
+
+int main() {
+  const i64 t = 100, n = 256;
+  MachineModel machine = MachineModel::fast_ethernet_cluster();
+  print_header(
+      "Figure 10: ADI speedups vs tile size (T=100, N=256, 16 procs)",
+      machine);
+  const i64 y = fit_parts(1, n, 4);
+  const i64 z = y;
+  std::printf("mesh tiles: y=z=%lld (4x4 processors)\n",
+              static_cast<long long>(y));
+  const std::vector<int> widths{8, 12, 10, 10, 10, 10};
+  print_row({"x", "tile size", "rect", "nr1", "nr2", "nr3"}, widths);
+  for (i64 x : std::vector<i64>{2, 3, 4, 5, 7, 10, 13, 17, 25, 34, 50}) {
+    MatQ hs[4] = {adi_rect_h(x, y, z), adi_nr1_h(x, y, z),
+                  adi_nr2_h(x, y, z), adi_nr3_h(x, y, z)};
+    double sp[4] = {0, 0, 0, 0};
+    bool ok = true;
+    for (int v = 0; v < 4 && ok; ++v) {
+      RunConfig cfg;
+      cfg.label = "adi";
+      cfg.app = make_adi(t, n);
+      cfg.h = hs[v];
+      cfg.force_m = 0;
+      cfg.arity = 2;
+      cfg.orig_lo = {1, 1, 1};
+      cfg.orig_hi = {t, n, n};
+      cfg.skew = MatI::identity(3);
+      RunOutcome out = run_config(cfg, machine);
+      if (out.nprocs != 16) {
+        ok = false;
+        break;
+      }
+      sp[v] = out.sim.speedup;
+    }
+    if (!ok) continue;
+    print_row({std::to_string(x), std::to_string(x * y * z), fixed(sp[0], 2),
+               fixed(sp[1], 2), fixed(sp[2], 2), fixed(sp[3], 2)},
+              widths);
+  }
+  std::printf("expected shape: all curves rise then flatten; nr3 on top, "
+              "nr1 ~ nr2 between, rect lowest\n");
+  return 0;
+}

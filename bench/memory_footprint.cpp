@@ -1,0 +1,170 @@
+// \S3.1 memory claim: "direct allocation of a processor's share in the
+// original DS would lead to a waste of memory space, since this generally
+// non-rectangular share would lead to the allocation of the minimum
+// enclosing rectangular memory space.  Our method forces the local data
+// space of each processor to be rectangular, allowing more efficient
+// memory management."
+//
+// This bench quantifies it: for each benchmark/tiling it compares, per
+// processor, the LDS allocation (computation + halo slots) against the
+// minimum enclosing box of the processor's share of the original data
+// space, and prints the worst and average waste ratios.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "linalg/int_matops.hpp"
+#include "linalg/rat_matops.hpp"
+#include "runtime/locate.hpp"
+
+using namespace ctile;
+using namespace ctile::bench;
+
+namespace {
+
+struct Footprint {
+  // Per-tile: enclosing box of the tile's DS footprint vs its dense LDS
+  // storage (tile point count) — the paper's \S3.1 comparison.
+  double tile_avg = 0.0;
+  double tile_worst = 0.0;
+  // Per-processor whole chain: share's enclosing box vs the processor's
+  // chain-window LDS (halos included).
+  double chain_avg = 0.0;
+  double chain_worst = 0.0;
+  i64 lds_slots = 0;
+};
+
+Footprint measure(const AppInstance& app, MatQ h, int force_m,
+                  const VecI& lo, const VecI& hi, const MatI& skew) {
+  TiledNest tiled(app.nest, TilingTransform(std::move(h)));
+  TileCensus census = TileCensus::from_box(tiled, lo, hi, skew);
+  Mapping mapping(tiled, force_m, &census);
+  const int n = app.nest.depth;
+
+  // Per-processor min/max of owned points in original coordinates.
+  struct Box {
+    VecI lo, hi;
+    bool any = false;
+  };
+  std::vector<Box> boxes(static_cast<std::size_t>(mapping.num_procs()));
+  std::map<VecI, Box> tile_boxes;
+  std::map<VecI, i64> tile_points;
+  const TilingTransform& tf = tiled.transform();
+  // The DS is the *original* array A[f_w(j_orig)]: unskew before boxing
+  // (the share is measured where the data actually lives).
+  const MatI unskew = to_int(inverse(to_rat(skew)));
+  auto widen = [n](Box& b, const VecI& o) {
+    if (!b.any) {
+      b.lo = o;
+      b.hi = o;
+      b.any = true;
+      return;
+    }
+    for (int k = 0; k < n; ++k) {
+      b.lo[static_cast<std::size_t>(k)] =
+          std::min(b.lo[static_cast<std::size_t>(k)], o[static_cast<std::size_t>(k)]);
+      b.hi[static_cast<std::size_t>(k)] =
+          std::max(b.hi[static_cast<std::size_t>(k)], o[static_cast<std::size_t>(k)]);
+    }
+  };
+  app.nest.space.scan([&](const VecI& j) {
+    const VecI js = tf.tile_of(j);
+    auto [pid, t] = mapping.owner_of(js);
+    (void)t;
+    const VecI o = mul(unskew, j);
+    widen(boxes[static_cast<std::size_t>(mapping.rank_of(pid))], o);
+    widen(tile_boxes[js], o);
+    ++tile_points[js];
+  });
+
+  Footprint fp;
+  // Per-tile ratios (interior full tiles dominate; clipped boundary
+  // tiles are included as-is).
+  int tiles = 0;
+  for (const auto& [js, b] : tile_boxes) {
+    double cells = 1.0;
+    for (int k = 0; k < n; ++k) {
+      cells *= static_cast<double>(b.hi[static_cast<std::size_t>(k)] -
+                                   b.lo[static_cast<std::size_t>(k)] + 1);
+    }
+    double ratio = cells / static_cast<double>(tile_points[js]);
+    fp.tile_avg += ratio;
+    fp.tile_worst = std::max(fp.tile_worst, ratio);
+    ++tiles;
+  }
+  if (tiles > 0) fp.tile_avg /= tiles;
+
+  int counted = 0;
+  for (int rank = 0; rank < mapping.num_procs(); ++rank) {
+    const Box& b = boxes[static_cast<std::size_t>(rank)];
+    if (!b.any) continue;
+    // The processor's actual allocation: its own chain-window LDS.
+    const IntRange window = mapping.chain_window(mapping.pid_of(rank));
+    if (window.empty()) continue;
+    const LdsLayout local(tiled, mapping, window.count());
+    fp.lds_slots = std::max(fp.lds_slots, local.size());
+    double cells = 1.0;
+    for (int k = 0; k < n; ++k) {
+      cells *= static_cast<double>(b.hi[static_cast<std::size_t>(k)] -
+                                   b.lo[static_cast<std::size_t>(k)] + 1);
+    }
+    double ratio = cells / static_cast<double>(local.size());
+    fp.chain_avg += ratio;
+    fp.chain_worst = std::max(fp.chain_worst, ratio);
+    ++counted;
+  }
+  if (counted > 0) fp.chain_avg /= counted;
+  return fp;
+}
+
+}  // namespace
+
+int main() {
+  MachineModel machine = MachineModel::fast_ethernet_cluster();
+  print_header("\\S3.1 memory footprint: enclosing-box / LDS ratio per "
+               "processor",
+               machine);
+  const std::vector<int> widths{18, 10, 10, 12, 11, 12};
+  print_row({"configuration", "max LDS", "tile avg", "tile worst", "chain avg", "chain worst"},
+            widths);
+
+  {
+    AppInstance app = make_sor(50, 100);
+    const i64 x = fit_parts(1, 50, 4), y = fit_parts(2, 150, 4);
+    Footprint fp = measure(app, sor_nonrect_h(x, y, 8), 2, {1, 1, 1},
+                           {50, 100, 100}, sor_skew_matrix());
+    print_row({"SOR nonrect", std::to_string(fp.lds_slots), fixed(fp.tile_avg, 2),
+               fixed(fp.tile_worst, 2), fixed(fp.chain_avg, 2),
+               fixed(fp.chain_worst, 2)},
+              widths);
+  }
+  {
+    AppInstance app = make_jacobi(30, 60, 60);
+    i64 y = fit_parts(2, 90, 4);
+    if (y % 2 != 0) ++y;
+    Footprint fp = measure(app, jacobi_nonrect_h(4, y, fit_parts(2, 90, 4)),
+                           0, {1, 1, 1}, {30, 60, 60},
+                           jacobi_skew_matrix());
+    print_row({"Jacobi nonrect", std::to_string(fp.lds_slots), fixed(fp.tile_avg, 2),
+               fixed(fp.tile_worst, 2), fixed(fp.chain_avg, 2),
+               fixed(fp.chain_worst, 2)},
+              widths);
+  }
+  {
+    AppInstance app = make_adi(40, 64);
+    const i64 y = fit_parts(1, 64, 4);
+    Footprint fp = measure(app, adi_nr3_h(5, y, y), 0, {1, 1, 1},
+                           {40, 64, 64}, MatI::identity(3));
+    print_row({"ADI nr3", std::to_string(fp.lds_slots), fixed(fp.tile_avg, 2),
+               fixed(fp.tile_worst, 2), fixed(fp.chain_avg, 2),
+               fixed(fp.chain_worst, 2)},
+              widths);
+  }
+  std::printf(
+      "tile ratios: enclosing DS box of one tile's footprint / its dense "
+      "LDS storage\n(the paper's \\S3.1 claim -- non-rectangular tiles "
+      "waste that factor if stored boxed);\nchain ratios: whole "
+      "processor share box / its chain-window LDS (halos included).\n");
+  return 0;
+}

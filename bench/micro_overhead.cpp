@@ -1,0 +1,162 @@
+// Micro-benchmarks backing the paper's \S3.1 claim that the LDS
+// addressing scheme adds "negligible compile-time and run-time overhead":
+// per-call costs of map/map^{-1}/loc/loc^{-1}, the TTIS walker, the
+// compile-time machinery (HNF, Fourier-Motzkin tile-space bounds,
+// communication-set derivation), and pack-region enumeration throughput.
+#include <benchmark/benchmark.h>
+
+#include "apps/kernels.hpp"
+#include "cluster/simulator.hpp"
+#include "codegen/parallel_gen.hpp"
+#include "linalg/hnf.hpp"
+#include "runtime/comm_plan.hpp"
+
+namespace ctile {
+namespace {
+
+const AppInstance& sor_app() {
+  static AppInstance app = make_sor(24, 48);
+  return app;
+}
+
+const TiledNest& sor_tiled() {
+  static TiledNest tiled(sor_app().nest,
+                         TilingTransform(sor_nonrect_h(6, 18, 8)));
+  return tiled;
+}
+
+const Mapping& sor_mapping() {
+  static Mapping mapping(sor_tiled(), 2);
+  return mapping;
+}
+
+const LdsLayout& sor_lds() {
+  static LdsLayout lds(sor_tiled(), sor_mapping());
+  return lds;
+}
+
+void BM_LdsMap(benchmark::State& state) {
+  const LdsLayout& lds = sor_lds();
+  VecI jp{3, 7, 5};
+  i64 t = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lds.slot(jp, t));
+  }
+}
+BENCHMARK(BM_LdsMap);
+
+void BM_LdsMapInverse(benchmark::State& state) {
+  const LdsLayout& lds = sor_lds();
+  VecI jpp = lds.map({3, 7, 5}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lds.map_inv(jpp));
+  }
+}
+BENCHMARK(BM_LdsMapInverse);
+
+void BM_LocTileOf(benchmark::State& state) {
+  const TilingTransform& tf = sor_tiled().transform();
+  VecI j{13, 27, 41};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tf.tile_of(j));
+  }
+}
+BENCHMARK(BM_LocTileOf);
+
+void BM_LocPointOf(benchmark::State& state) {
+  const TilingTransform& tf = sor_tiled().transform();
+  VecI js{1, 1, 2}, jp{3, 7, 5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tf.point_of(js, jp));
+  }
+}
+BENCHMARK(BM_LocPointOf);
+
+void BM_TtisWalkFullTile(benchmark::State& state) {
+  const TilingTransform& tf = sor_tiled().transform();
+  TtisRegion region = full_ttis_region(tf);
+  for (auto _ : state) {
+    i64 count = 0;
+    for_each_lattice_point(tf, region, [&](const VecI&) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          sor_tiled().transform().tile_size());
+}
+BENCHMARK(BM_TtisWalkFullTile);
+
+void BM_CompileHnf(benchmark::State& state) {
+  MatI hp{{2, -1, 0}, {0, 1, 0}, {-1, 0, 3}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hermite_normal_form(hp));
+  }
+}
+BENCHMARK(BM_CompileHnf);
+
+void BM_CompileTileSpaceBounds(benchmark::State& state) {
+  for (auto _ : state) {
+    TiledNest tiled(sor_app().nest,
+                    TilingTransform(sor_nonrect_h(6, 18, 8)));
+    benchmark::DoNotOptimize(tiled.tile_space().num_constraints());
+  }
+}
+BENCHMARK(BM_CompileTileSpaceBounds);
+
+void BM_CompileCommPlan(benchmark::State& state) {
+  for (auto _ : state) {
+    TiledNest tiled(sor_app().nest,
+                    TilingTransform(sor_nonrect_h(6, 18, 8)));
+    Mapping mapping(tiled, 2);
+    LdsLayout lds(tiled, mapping);
+    CommPlan plan(tiled, mapping, lds);
+    benchmark::DoNotOptimize(plan.directions().size());
+  }
+}
+BENCHMARK(BM_CompileCommPlan);
+
+void BM_CompileFullCodegen(benchmark::State& state) {
+  // The whole "tool" pass: tiling analysis + emitted MPI program.
+  for (auto _ : state) {
+    TiledNest tiled(sor_app().nest,
+                    TilingTransform(sor_nonrect_h(6, 18, 8)));
+    codegen::ParallelGenOptions opt;
+    opt.force_m = 2;
+    std::string code =
+        codegen::generate_parallel_mpi(tiled, codegen::sor_spec(), opt);
+    benchmark::DoNotOptimize(code.size());
+  }
+}
+BENCHMARK(BM_CompileFullCodegen);
+
+void BM_PackRegionEnumeration(benchmark::State& state) {
+  const TiledNest& tiled = sor_tiled();
+  Mapping mapping(tiled, 2);
+  LdsLayout lds(tiled, mapping);
+  CommPlan plan(tiled, mapping, lds);
+  const TilingTransform& tf = tiled.transform();
+  for (auto _ : state) {
+    i64 points = 0;
+    for (std::size_t d = 0; d < plan.directions().size(); ++d) {
+      for_each_lattice_point(tf, plan.directions()[d].pack,
+                             [&](const VecI&) { ++points; });
+    }
+    benchmark::DoNotOptimize(points);
+  }
+}
+BENCHMARK(BM_PackRegionEnumeration);
+
+void BM_CensusFromBox(benchmark::State& state) {
+  const TiledNest& tiled = sor_tiled();
+  for (auto _ : state) {
+    TileCensus census = TileCensus::from_box(tiled, {1, 1, 1}, {24, 48, 48},
+                                             sor_skew_matrix());
+    benchmark::DoNotOptimize(census.total());
+  }
+  state.SetItemsProcessed(state.iterations() * 24 * 48 * 48);
+}
+BENCHMARK(BM_CensusFromBox);
+
+}  // namespace
+}  // namespace ctile
+
+BENCHMARK_MAIN();

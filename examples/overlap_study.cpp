@@ -1,0 +1,96 @@
+// Overlapping computation with communication (\S5 future work, [8]):
+// side-by-side makespans of the blocking and overlapped schedules for a
+// chosen benchmark, across tile sizes.
+//
+//   $ ./overlap_study [sor|jacobi|adi]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/kernels.hpp"
+#include "cluster/simulator.hpp"
+
+using namespace ctile;
+
+namespace {
+
+i64 fit4(i64 lo, i64 hi) {
+  for (i64 s = 1; s <= hi - lo + 1; ++s) {
+    if (floor_div(hi, s) - floor_div(lo, s) + 1 == 4) return s;
+  }
+  return (hi - lo + 1 + 3) / 4;
+}
+
+struct Setup {
+  AppInstance app;
+  MatQ h;
+  int force_m;
+  int arity;
+  VecI lo, hi;
+  MatI skew_m;
+};
+
+Setup build(const std::string& which, i64 size_factor) {
+  if (which == "jacobi") {
+    const i64 t = 50, ij = 100;
+    i64 y = fit4(2, t + ij);
+    if (y % 2 != 0) ++y;
+    return {make_jacobi(t, ij, ij),
+            jacobi_nonrect_h(size_factor, y, fit4(2, t + ij)),
+            0,
+            1,
+            {1, 1, 1},
+            {t, ij, ij},
+            jacobi_skew_matrix()};
+  }
+  if (which == "adi") {
+    const i64 t = 100, n = 256;
+    const i64 y = fit4(1, n);
+    return {make_adi(t, n), adi_nr3_h(size_factor, y, y), 0, 2,
+            {1, 1, 1},      {t, n, n},                    MatI::identity(3)};
+  }
+  const i64 m = 100, n = 200;
+  return {make_sor(m, n),
+          sor_nonrect_h(fit4(1, m), fit4(2, m + n), size_factor),
+          2,
+          1,
+          {1, 1, 1},
+          {m, n, n},
+          sor_skew_matrix()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "sor";
+  MachineModel machine = MachineModel::fast_ethernet_cluster();
+  std::printf("overlap study for %s (cone-derived tiling, 16 modelled "
+              "nodes)\n",
+              which.c_str());
+  std::printf("%-8s %-12s %-12s %-12s %-10s\n", "factor", "blocking",
+              "overlapped", "hidden ms", "gain%");
+  for (i64 f : std::vector<i64>{2, 4, 8, 16, 32}) {
+    Setup s = build(which, f);
+    TiledNest tiled(s.app.nest, TilingTransform(s.h));
+    TileCensus census = TileCensus::from_box(tiled, s.lo, s.hi, s.skew_m);
+    Mapping mapping(tiled, s.force_m, &census);
+    LdsLayout lds(tiled, mapping);
+    CommPlan plan(tiled, mapping, lds);
+    SimResult blocking = simulate_cluster(
+        tiled, mapping, lds, plan, census, machine, s.arity,
+        CommSchedule::kBlocking);
+    SimResult overlapped = simulate_cluster(
+        tiled, mapping, lds, plan, census, machine, s.arity,
+        CommSchedule::kOverlapped);
+    std::printf("%-8lld %-12.2f %-12.2f %-12.2f %-10.1f\n",
+                static_cast<long long>(f), blocking.speedup,
+                overlapped.speedup,
+                (blocking.makespan - overlapped.makespan) * 1e3,
+                (blocking.makespan - overlapped.makespan) /
+                    blocking.makespan * 100.0);
+  }
+  std::printf("gain%% = makespan reduction from hiding transfers behind "
+              "compute\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: tile a loop nest with a general (non-rectangular)
+// parallelepiped tiling, inspect everything the framework derives, run
+// the data-parallel executor over the in-process message-passing
+// substrate, and verify against the plain sequential loop.
+//
+//   $ ./quickstart
+//
+// This walks the full pipeline of the paper:
+//   loop nest -> skew -> tiling transform (H, H', HNF strides) ->
+//   tile space -> computation/data distribution (mesh, LDS) ->
+//   communication sets (D^S, D^m, CC) -> parallel execution -> verify.
+#include <cstdio>
+
+#include "apps/kernels.hpp"
+#include "deps/tiling_cone.hpp"
+#include "runtime/parallel_executor.hpp"
+
+using namespace ctile;
+
+int main() {
+  // 1. The algorithm: Gauss SOR on a 10 x 16 x 16 space, skewed so all
+  //    dependencies are non-negative (\S4.1).
+  AppInstance app = make_sor(/*m=*/10, /*n=*/16);
+  std::printf("loop nest '%s': depth %d, %d dependencies, %lld points\n",
+              app.nest.name.c_str(), app.nest.depth, app.nest.num_deps(),
+              static_cast<long long>(app.nest.space.count_points()));
+
+  // 2. The tiling cone: legal tile-facet normals for these dependencies.
+  ConeRays cone = tiling_cone(app.nest.deps);
+  std::printf("tiling cone extreme rays:\n");
+  for (const VecI& ray : cone.rays) {
+    std::printf("  (%lld, %lld, %lld)\n", static_cast<long long>(ray[0]),
+                static_cast<long long>(ray[1]),
+                static_cast<long long>(ray[2]));
+  }
+
+  // 3. A non-rectangular tiling with rows from the cone (the paper's
+  //    H_nr with x=3, y=5, z=4).
+  TilingTransform tf(sor_nonrect_h(3, 5, 4));
+  std::printf("\n%s\n\n", tf.describe().c_str());
+
+  // 4. Tile the nest and distribute: chains along the longest tile-space
+  //    dimension, an (n-1)-dimensional processor mesh for the rest.
+  TiledNest tiled(app.nest, std::move(tf));
+  ParallelExecutor exec(tiled, *app.kernel);
+  const Mapping& mapping = exec.mapping();
+  std::printf("mapping dimension m = %d, mesh =", mapping.m());
+  for (i64 g : mapping.grid()) std::printf(" %lld", static_cast<long long>(g));
+  std::printf(" (%d processors), chain length %lld\n", mapping.num_procs(),
+              static_cast<long long>(mapping.chain_length()));
+  std::printf("LDS slots per processor: %lld  (halo offsets:",
+              static_cast<long long>(exec.lds().size()));
+  for (int k = 0; k < 3; ++k) {
+    std::printf(" %lld", static_cast<long long>(exec.lds().off(k)));
+  }
+  std::printf(")\n");
+  std::printf("communication directions: %zu, tile dependencies: %zu\n",
+              exec.plan().directions().size(),
+              exec.plan().tile_deps().size());
+
+  // 5. Run all ranks (threads standing in for cluster nodes) and verify
+  //    against the sequential loop.
+  ParallelRunStats stats;
+  DataSpace par = exec.run(&stats);
+  DataSpace seq = run_sequential(app.nest.space, app.nest.deps, *app.kernel);
+  double diff = DataSpace::max_abs_diff(seq, par, app.nest.space);
+  std::printf("\nparallel run: %lld points computed, %lld messages, %lld "
+              "doubles exchanged\n",
+              static_cast<long long>(stats.points_computed),
+              static_cast<long long>(stats.messages),
+              static_cast<long long>(stats.doubles));
+  std::printf("max |parallel - sequential| = %g  ->  %s\n", diff,
+              diff == 0.0 ? "EXACT MATCH" : "MISMATCH");
+  return diff == 0.0 ? 0 : 1;
+}

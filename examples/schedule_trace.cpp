@@ -1,0 +1,89 @@
+// Wavefront visualization: dump the simulated tile schedule as CSV (for
+// plotting) and render a coarse ASCII Gantt chart of the pipeline,
+// showing how the cone-derived tile shape drains the wavefront earlier
+// than the rectangular one.
+//
+//   $ ./schedule_trace [csv]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/kernels.hpp"
+#include "cluster/simulator.hpp"
+
+using namespace ctile;
+
+namespace {
+
+i64 fit4(i64 lo, i64 hi) {
+  for (i64 s = 1; s <= hi - lo + 1; ++s) {
+    if (floor_div(hi, s) - floor_div(lo, s) + 1 == 4) return s;
+  }
+  return (hi - lo + 1 + 3) / 4;
+}
+
+SimResult run(bool nonrect) {
+  const i64 m = 40, n = 80, z = 10;
+  const i64 x = fit4(1, m), y = fit4(2, m + n);
+  AppInstance app = make_sor(m, n);
+  TiledNest tiled(app.nest,
+                  TilingTransform(nonrect ? sor_nonrect_h(x, y, z)
+                                          : sor_rect_h(x, y, z)));
+  TileCensus census =
+      TileCensus::from_box(tiled, {1, 1, 1}, {m, n, n}, sor_skew_matrix());
+  Mapping mapping(tiled, 2, &census);
+  LdsLayout lds(tiled, mapping);
+  CommPlan plan(tiled, mapping, lds);
+  return simulate_cluster(tiled, mapping, lds, plan, census,
+                          MachineModel::fast_ethernet_cluster(), 1);
+}
+
+void ascii_gantt(const char* title, const SimResult& r, double t_max) {
+  constexpr int kCols = 72;
+  std::printf("%s (makespan %.1f ms)\n", title, r.makespan * 1e3);
+  int nprocs = 0;
+  for (const TileTrace& ev : r.trace) nprocs = std::max(nprocs, ev.rank + 1);
+  for (int rank = 0; rank < nprocs; ++rank) {
+    std::string row(kCols, '.');
+    for (const TileTrace& ev : r.trace) {
+      if (ev.rank != rank) continue;
+      int a = static_cast<int>(ev.start / t_max * kCols);
+      int b = static_cast<int>(ev.end / t_max * kCols);
+      for (int c = a; c <= b && c < kCols; ++c) {
+        row[static_cast<std::size_t>(c)] = '#';
+      }
+    }
+    std::printf("  p%02d |%s|\n", rank, row.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::strcmp(argv[1], "csv") == 0;
+  SimResult rect = run(false);
+  SimResult nonrect = run(true);
+  if (csv) {
+    std::printf("tiling,rank,chain_t,start_s,end_s\n");
+    for (const SimResult* r : {&rect, &nonrect}) {
+      const char* label = r == &rect ? "rect" : "nonrect";
+      for (const TileTrace& ev : r->trace) {
+        std::printf("%s,%d,%lld,%.9f,%.9f\n", label, ev.rank,
+                    static_cast<long long>(ev.t), ev.start, ev.end);
+      }
+    }
+    return 0;
+  }
+  const double t_max = std::max(rect.makespan, nonrect.makespan);
+  std::printf("SOR wavefront on 16 modelled nodes ('#' = processor busy, "
+              "common time axis):\n\n");
+  ascii_gantt("rectangular tiling", rect, t_max);
+  std::printf("\n");
+  ascii_gantt("cone-derived tiling", nonrect, t_max);
+  std::printf("\nspeedups: rect %.2f, nonrect %.2f -- the non-rectangular "
+              "rows end earlier:\nthe skewed tile shape removes M/z "
+              "schedule steps from the pipeline drain.\n",
+              rect.speedup, nonrect.speedup);
+  return 0;
+}

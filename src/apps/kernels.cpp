@@ -1,0 +1,284 @@
+#include "apps/kernels.hpp"
+
+#include <cmath>
+
+#include "deps/skew.hpp"
+#include "linalg/int_matops.hpp"
+#include "linalg/rat_matops.hpp"
+
+namespace ctile {
+
+namespace {
+
+// Unskews a point: j_original = T^{-1} j_current.  Identity when the
+// instance is not skewed.
+class UnskewBase : public Kernel {
+ public:
+  explicit UnskewBase(MatI t_inv) : t_inv_(std::move(t_inv)) {}
+
+ protected:
+  VecI unskew(const VecI& j) const { return mul(t_inv_, j); }
+
+ private:
+  MatI t_inv_;
+};
+
+MatI int_inverse(const MatI& t) { return to_int(inverse(to_rat(t))); }
+
+class SorKernel final : public UnskewBase {
+ public:
+  SorKernel(MatI t_inv, double w) : UnskewBase(std::move(t_inv)), w_(w) {}
+
+  int arity() const override { return 1; }
+
+  // Dependence column order (original coordinates):
+  //   0: (0,1,0)   A[t, i-1, j]
+  //   1: (0,0,1)   A[t, i, j-1]
+  //   2: (1,-1,0)  A[t-1, i+1, j]
+  //   3: (1,0,-1)  A[t-1, i, j+1]
+  //   4: (1,0,0)   A[t-1, i, j]
+  void compute(const VecI&, const double* dv, double* out) const override {
+    out[0] = w_ / 4.0 * (dv[0] + dv[1] + dv[2] + dv[3]) + (1.0 - w_) * dv[4];
+  }
+
+  void initial(const VecI& j, double* out) const override {
+    VecI o = unskew(j);
+    // Smooth deterministic boundary values over (t, i, j).
+    out[0] = 1.0 + 0.01 * static_cast<double>(o[1]) +
+             0.02 * static_cast<double>(o[2]) +
+             0.001 * static_cast<double>(o[0]);
+  }
+
+ private:
+  double w_;
+};
+
+class JacobiKernel final : public UnskewBase {
+ public:
+  explicit JacobiKernel(MatI t_inv) : UnskewBase(std::move(t_inv)) {}
+
+  int arity() const override { return 1; }
+
+  // Dependence column order (original coordinates):
+  //   0: (1,0,0), 1: (1,1,0), 2: (1,-1,0), 3: (1,0,1), 4: (1,0,-1)
+  void compute(const VecI&, const double* dv, double* out) const override {
+    out[0] = (dv[0] + dv[1] + dv[2] + dv[3] + dv[4]) / 5.0;
+  }
+
+  void initial(const VecI& j, double* out) const override {
+    VecI o = unskew(j);
+    out[0] = std::sin(0.05 * static_cast<double>(o[1])) +
+             std::cos(0.07 * static_cast<double>(o[2]));
+  }
+};
+
+class AdiKernel final : public Kernel {
+ public:
+  int arity() const override { return 2; }  // (X, B)
+
+  // Coefficient array A[i,j]: small so B stays near 2 (division-safe).
+  static double coeff(i64 i, i64 j) {
+    return 0.01 + 0.002 * std::sin(0.1 * static_cast<double>(i) +
+                                   0.2 * static_cast<double>(j));
+  }
+
+  // Dependence column order:
+  //   0: (1,0,0)  [t-1, i, j]
+  //   1: (1,1,0)  [t-1, i-1, j]
+  //   2: (1,0,1)  [t-1, i, j-1]
+  void compute(const VecI& j, const double* dv, double* out) const override {
+    const double a = coeff(j[1], j[2]);
+    const double x_c = dv[0 * 2 + 0], b_c = dv[0 * 2 + 1];  // (t-1,i,j)
+    const double x_n = dv[1 * 2 + 0], b_n = dv[1 * 2 + 1];  // (t-1,i-1,j)
+    const double x_w = dv[2 * 2 + 0], b_w = dv[2 * 2 + 1];  // (t-1,i,j-1)
+    out[0] = x_c + x_w * a / b_w - x_n * a / b_n;           // X[t,i,j]
+    out[1] = b_c - a * a / b_w - a * a / b_n;               // B[t,i,j]
+  }
+
+  void initial(const VecI& j, double* out) const override {
+    out[0] = 1.0 + 0.05 * std::sin(0.3 * static_cast<double>(j[1])) +
+             0.05 * std::cos(0.2 * static_cast<double>(j[2]));
+    out[1] = 2.0 + 0.1 * std::cos(0.1 * static_cast<double>(j[1] + j[2]));
+  }
+};
+
+class HeatKernel final : public UnskewBase {
+ public:
+  explicit HeatKernel(MatI t_inv) : UnskewBase(std::move(t_inv)) {}
+
+  int arity() const override { return 1; }
+
+  // Dependence column order (original coordinates):
+  //   0: (1,1)  A[t-1, i-1],  1: (1,0)  A[t-1, i],  2: (1,-1)  A[t-1, i+1]
+  void compute(const VecI&, const double* dv, double* out) const override {
+    out[0] = 0.25 * dv[0] + 0.5 * dv[1] + 0.25 * dv[2];
+  }
+
+  void initial(const VecI& j, double* out) const override {
+    VecI o = unskew(j);
+    out[0] = std::sin(0.1 * static_cast<double>(o[1])) +
+             0.001 * static_cast<double>(o[0]);
+  }
+};
+
+class Syn4dKernel final : public Kernel {
+ public:
+  int arity() const override { return 1; }
+
+  // Dependence column order:
+  //   0: (1,0,0,0), 1: (1,1,0,0), 2: (1,0,1,0), 3: (1,0,0,1), 4: (1,1,1,1)
+  void compute(const VecI& j, const double* dv, double* out) const override {
+    out[0] = 0.3 * dv[0] + 0.2 * dv[1] + 0.2 * dv[2] + 0.2 * dv[3] +
+             0.1 * dv[4] +
+             0.001 * static_cast<double>(j[0] + j[1] - j[2] + 2 * j[3]);
+  }
+
+  void initial(const VecI& j, double* out) const override {
+    out[0] = 0.5 + 0.01 * static_cast<double>(j[1] + 2 * j[2] - j[3]) +
+             0.002 * static_cast<double>(j[0]);
+  }
+};
+
+}  // namespace
+
+MatI sor_skew_matrix() { return MatI{{1, 0, 0}, {1, 1, 0}, {2, 0, 1}}; }
+MatI jacobi_skew_matrix() { return MatI{{1, 0, 0}, {1, 1, 0}, {1, 0, 1}}; }
+MatI heat_skew_matrix() { return MatI{{1, 0}, {1, 1}}; }
+
+AppInstance make_heat_original(i64 t, i64 n) {
+  MatI deps{{1, 1, 1}, {1, 0, -1}};
+  AppInstance app;
+  app.nest = make_rectangular_nest("heat", {1, 1}, {t, n}, deps);
+  app.kernel = std::make_shared<HeatKernel>(MatI::identity(2));
+  return app;
+}
+
+AppInstance make_heat(i64 t, i64 n) {
+  AppInstance orig = make_heat_original(t, n);
+  AppInstance app;
+  app.nest = skew(orig.nest, heat_skew_matrix());
+  app.kernel = std::make_shared<HeatKernel>(int_inverse(heat_skew_matrix()));
+  return app;
+}
+
+MatQ heat_rect_h(i64 x, i64 y) {
+  return MatQ{{Rat(1, x), Rat(0)}, {Rat(0), Rat(1, y)}};
+}
+
+MatQ heat_nonrect_h(i64 x, i64 z) {
+  return MatQ{{Rat(1, x), Rat(0)}, {Rat(2, z), Rat(-1, z)}};
+}
+
+AppInstance make_syn4d(i64 s0, i64 s1, i64 s2, i64 s3) {
+  MatI deps{{1, 1, 1, 1, 1},
+            {0, 1, 0, 0, 1},
+            {0, 0, 1, 0, 1},
+            {0, 0, 0, 1, 1}};
+  AppInstance app;
+  app.nest = make_rectangular_nest("syn4d", {1, 1, 1, 1}, {s0, s1, s2, s3},
+                                   deps);
+  app.kernel = std::make_shared<Syn4dKernel>();
+  return app;
+}
+
+MatQ syn4d_rect_h(i64 x, i64 y, i64 z, i64 w) {
+  MatQ h(4, 4);
+  h(0, 0) = Rat(1, x);
+  h(1, 1) = Rat(1, y);
+  h(2, 2) = Rat(1, z);
+  h(3, 3) = Rat(1, w);
+  return h;
+}
+
+MatQ syn4d_nonrect_h(i64 x, i64 y, i64 z, i64 w) {
+  MatQ h = syn4d_rect_h(x, y, z, w);
+  h(0, 1) = Rat(-1, x);
+  return h;
+}
+
+AppInstance make_sor_original(i64 m, i64 n, double w) {
+  MatI deps{{0, 0, 1, 1, 1}, {1, 0, -1, 0, 0}, {0, 1, 0, -1, 0}};
+  AppInstance app;
+  app.nest = make_rectangular_nest("sor", {1, 1, 1}, {m, n, n}, deps);
+  app.kernel = std::make_shared<SorKernel>(MatI::identity(3), w);
+  return app;
+}
+
+AppInstance make_sor(i64 m, i64 n, double w) {
+  AppInstance orig = make_sor_original(m, n, w);
+  AppInstance app;
+  app.nest = skew(orig.nest, sor_skew_matrix());
+  app.kernel =
+      std::make_shared<SorKernel>(int_inverse(sor_skew_matrix()), w);
+  return app;
+}
+
+AppInstance make_jacobi_original(i64 t, i64 i, i64 j) {
+  MatI deps{{1, 1, 1, 1, 1}, {0, 1, -1, 0, 0}, {0, 0, 0, 1, -1}};
+  AppInstance app;
+  app.nest = make_rectangular_nest("jacobi", {1, 1, 1}, {t, i, j}, deps);
+  app.kernel = std::make_shared<JacobiKernel>(MatI::identity(3));
+  return app;
+}
+
+AppInstance make_jacobi(i64 t, i64 i, i64 j) {
+  AppInstance orig = make_jacobi_original(t, i, j);
+  AppInstance app;
+  app.nest = skew(orig.nest, jacobi_skew_matrix());
+  app.kernel = std::make_shared<JacobiKernel>(int_inverse(jacobi_skew_matrix()));
+  return app;
+}
+
+AppInstance make_adi(i64 t, i64 n) {
+  MatI deps{{1, 1, 1}, {0, 1, 0}, {0, 0, 1}};
+  AppInstance app;
+  app.nest = make_rectangular_nest("adi", {1, 1, 1}, {t, n, n}, deps);
+  app.kernel = std::make_shared<AdiKernel>();
+  return app;
+}
+
+namespace {
+MatQ diag3(i64 x, i64 y, i64 z) {
+  return MatQ{{Rat(1, x), Rat(0), Rat(0)},
+              {Rat(0), Rat(1, y), Rat(0)},
+              {Rat(0), Rat(0), Rat(1, z)}};
+}
+}  // namespace
+
+MatQ sor_rect_h(i64 x, i64 y, i64 z) { return diag3(x, y, z); }
+
+MatQ sor_nonrect_h(i64 x, i64 y, i64 z) {
+  return MatQ{{Rat(1, x), Rat(0), Rat(0)},
+              {Rat(0), Rat(1, y), Rat(0)},
+              {Rat(-1, z), Rat(0), Rat(1, z)}};
+}
+
+MatQ jacobi_rect_h(i64 x, i64 y, i64 z) { return diag3(x, y, z); }
+
+MatQ jacobi_nonrect_h(i64 x, i64 y, i64 z) {
+  return MatQ{{Rat(1, x), Rat(-1, 2 * x), Rat(0)},
+              {Rat(0), Rat(1, y), Rat(0)},
+              {Rat(0), Rat(0), Rat(1, z)}};
+}
+
+MatQ adi_rect_h(i64 x, i64 y, i64 z) { return diag3(x, y, z); }
+
+MatQ adi_nr1_h(i64 x, i64 y, i64 z) {
+  return MatQ{{Rat(1, x), Rat(-1, x), Rat(0)},
+              {Rat(0), Rat(1, y), Rat(0)},
+              {Rat(0), Rat(0), Rat(1, z)}};
+}
+
+MatQ adi_nr2_h(i64 x, i64 y, i64 z) {
+  return MatQ{{Rat(1, x), Rat(0), Rat(-1, x)},
+              {Rat(0), Rat(1, y), Rat(0)},
+              {Rat(0), Rat(0), Rat(1, z)}};
+}
+
+MatQ adi_nr3_h(i64 x, i64 y, i64 z) {
+  return MatQ{{Rat(1, x), Rat(-1, x), Rat(-1, x)},
+              {Rat(0), Rat(1, y), Rat(0)},
+              {Rat(0), Rat(0), Rat(1, z)}};
+}
+
+}  // namespace ctile

@@ -1,0 +1,96 @@
+// The paper's three evaluation programs (\S4): Gauss Successive
+// Over-Relaxation, Jacobi, and ADI integration, as LoopNest + Kernel
+// pairs, together with the exact tiling matrices the paper evaluates.
+//
+// SOR and Jacobi carry negative dependence components and are skewed
+// exactly as in \S4.1/\S4.2:
+//   SOR:    T = [[1,0,0],[1,1,0],[2,0,1]]
+//   Jacobi: T = [[1,0,0],[1,1,0],[1,0,1]]
+// The kernels always receive *current-nest* coordinates and unskew
+// internally, so numeric results are directly comparable between the
+// original and skewed/tiled executions.
+//
+// Initial conditions are deterministic smooth functions so any
+// miscommunicated halo value changes results detectably.
+#pragma once
+
+#include <memory>
+
+#include "deps/loop_nest.hpp"
+#include "runtime/kernel.hpp"
+
+namespace ctile {
+
+/// A runnable problem instance: nest plus matching kernel (dependence
+/// column order in nest.deps is the order kernel.compute expects).
+struct AppInstance {
+  LoopNest nest;
+  std::shared_ptr<const Kernel> kernel;
+};
+
+// ---- SOR (\S4.1): A[t,i,j] = w/4 (A[t,i-1,j] + A[t,i,j-1] +
+//      A[t-1,i+1,j] + A[t-1,i,j+1]) + (1-w) A[t-1,i,j],
+//      1 <= t <= M, 1 <= i,j <= N.
+
+/// The skewed SOR instance (ready for tiling).
+AppInstance make_sor(i64 m, i64 n, double w = 1.0);
+/// The unskewed SOR instance (for reference runs / skewing tests).
+AppInstance make_sor_original(i64 m, i64 n, double w = 1.0);
+
+/// Paper's rectangular tiling H_r = diag(1/x, 1/y, 1/z).
+MatQ sor_rect_h(i64 x, i64 y, i64 z);
+/// Paper's non-rectangular tiling with rows from the tiling cone:
+/// [[1/x,0,0],[0,1/y,0],[-1/z,0,1/z]].
+MatQ sor_nonrect_h(i64 x, i64 y, i64 z);
+
+// ---- Jacobi (\S4.2): A[t,i,j] = 1/5 (A[t-1,i,j] + A[t-1,i-1,j] +
+//      A[t-1,i+1,j] + A[t-1,i,j-1] + A[t-1,i,j+1]),
+//      1 <= t <= T, 1 <= i <= I, 1 <= j <= J.
+
+AppInstance make_jacobi(i64 t, i64 i, i64 j);
+AppInstance make_jacobi_original(i64 t, i64 i, i64 j);
+
+MatQ jacobi_rect_h(i64 x, i64 y, i64 z);
+/// [[1/x,-1/(2x),0],[0,1/y,0],[0,0,1/z]] — exercises non-unit strides
+/// (c_2 = 2) and the incremental offset a_21 = 1.  Requires even y for
+/// stride-compatible tiles.
+MatQ jacobi_nonrect_h(i64 x, i64 y, i64 z);
+
+// ---- ADI integration (\S4.3, Table 3): arity-2 kernel updating X and B;
+//      A[i,j] is a read-only coefficient.  1 <= t <= T, 1 <= i,j <= N.
+//      No skewing needed (all dependencies non-negative).
+
+AppInstance make_adi(i64 t, i64 n);
+
+MatQ adi_rect_h(i64 x, i64 y, i64 z);
+MatQ adi_nr1_h(i64 x, i64 y, i64 z);  // [[1/x,-1/x,0],[0,1/y,0],[0,0,1/z]]
+MatQ adi_nr2_h(i64 x, i64 y, i64 z);  // [[1/x,0,-1/x],[0,1/y,0],[0,0,1/z]]
+MatQ adi_nr3_h(i64 x, i64 y, i64 z);  // [[1/x,-1/x,-1/x],...]: cone-parallel
+
+// ---- 1-D heat equation (2-deep nest, beyond the paper's 3-D set; shows
+//      the framework is dimension-generic): A[t,i] = a A[t-1,i-1] +
+//      b A[t-1,i] + c A[t-1,i+1], skewed by T = [[1,0],[1,1]].
+
+AppInstance make_heat(i64 t, i64 n);
+AppInstance make_heat_original(i64 t, i64 n);
+
+MatQ heat_rect_h(i64 x, i64 y);
+/// [[1/x,0],[2/z,-1/z]] — row 2 parallel to the tiling-cone ray (2,-1).
+MatQ heat_nonrect_h(i64 x, i64 z);
+
+// ---- 4-D synthetic nest (unit time dependence plus three forward
+//      spatial couplings): exercises 3-D processor meshes and the
+//      dimension-generic code paths end to end.
+
+AppInstance make_syn4d(i64 s0, i64 s1, i64 s2, i64 s3);
+
+MatQ syn4d_rect_h(i64 x, i64 y, i64 z, i64 w);
+/// ADI-nr1-style skewed first row in 4-D: [[1/x,-1/x,0,0],[0,1/y,0,0],...].
+MatQ syn4d_nonrect_h(i64 x, i64 y, i64 z, i64 w);
+
+/// The skewing matrices (exposed for tests and examples).
+MatI sor_skew_matrix();
+MatI jacobi_skew_matrix();
+MatI heat_skew_matrix();
+
+}  // namespace ctile

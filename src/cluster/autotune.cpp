@@ -1,0 +1,46 @@
+#include "cluster/autotune.hpp"
+
+namespace ctile {
+
+AutotuneResult autotune_tile_size(const LoopNest& nest,
+                                  const AutotuneRequest& request,
+                                  const MachineModel& machine) {
+  std::vector<i64> candidates = request.candidates;
+  if (candidates.empty()) {
+    for (i64 c : {2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}) {
+      if (request.chain_extent <= 0 || c <= request.chain_extent) {
+        candidates.push_back(c);
+      }
+    }
+  }
+  AutotuneResult result;
+  bool found = false;
+  for (i64 factor : candidates) {
+    try {
+      TiledNest tiled(nest, TilingTransform(request.tiling_for(factor)));
+      TileCensus census = TileCensus::from_box(
+          tiled, request.orig_lo, request.orig_hi, request.skew);
+      Mapping mapping(tiled, request.force_m, &census);
+      LdsLayout lds(tiled, mapping);
+      CommPlan plan(tiled, mapping, lds);
+      SimResult sim =
+          simulate_cluster(tiled, mapping, lds, plan, census, machine,
+                           request.arity, request.schedule);
+      result.evaluated.emplace_back(factor, sim);
+      if (!found || sim.makespan < result.best.makespan) {
+        result.best = sim;
+        result.best_factor = factor;
+        found = true;
+      }
+    } catch (const LegalityError&) {
+      continue;  // candidate structurally invalid: skip
+    }
+  }
+  if (!found) {
+    throw Error("autotune_tile_size: no structurally valid candidate for " +
+                nest.name);
+  }
+  return result;
+}
+
+}  // namespace ctile

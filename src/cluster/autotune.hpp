@@ -1,0 +1,50 @@
+// Tile-size auto-tuning over the cluster model.
+//
+// The paper selects tile factors by hand (fixing the mesh to 16 nodes and
+// sweeping the chain-dimension factor).  This utility automates that
+// search: given a nest, a family of tiling matrices parameterized by the
+// chain-dimension factor, and a machine model, it evaluates the DES over
+// a candidate set and returns the best configuration.  It is the
+// programmatic counterpart of Figures 6/8/10's x-axes.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cluster/simulator.hpp"
+
+namespace ctile {
+
+struct AutotuneRequest {
+  /// Builds the tiling matrix for a candidate chain factor.
+  std::function<MatQ(i64)> tiling_for;
+  /// Candidate chain factors to evaluate (empty = geometric default
+  /// sweep {2,3,4,6,8,12,16,24,32,48,64} clipped to chain_extent).
+  std::vector<i64> candidates;
+  /// Extent of the chain dimension in the (transformed) space; bounds
+  /// the default sweep.
+  i64 chain_extent = 0;
+  int force_m = -1;
+  int arity = 1;
+  CommSchedule schedule = CommSchedule::kBlocking;
+  /// Original rectangular bounds + skew for the fast census.
+  VecI orig_lo;
+  VecI orig_hi;
+  MatI skew;
+};
+
+struct AutotuneResult {
+  i64 best_factor = 0;
+  SimResult best;
+  /// Every evaluated (factor, result) pair, in evaluation order.
+  std::vector<std::pair<i64, SimResult>> evaluated;
+};
+
+/// Evaluate all candidates for `nest`; skips candidates whose tiling is
+/// structurally invalid (illegal, stride-incompatible, oversized deps).
+/// Throws Error if no candidate survives.
+AutotuneResult autotune_tile_size(const LoopNest& nest,
+                                  const AutotuneRequest& request,
+                                  const MachineModel& machine);
+
+}  // namespace ctile

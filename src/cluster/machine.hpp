@@ -1,0 +1,57 @@
+// Cost model of the paper's testbed: 16 identical Pentium III 500MHz
+// nodes, 128MB RAM, Linux 2.2, FastEthernet, MPICH-era MPI, gcc -O2.
+//
+// Absolute 2002 numbers are unknowable to the last percent; what matters
+// for reproducing Figures 5-10 is the *ratio* of per-iteration compute
+// cost to per-message cost, which controls both the achievable speedup
+// plateau and the tile-size sweet spot (small tiles: latency-bound
+// pipeline; large tiles: long pipeline fill/drain).  The defaults below
+// are conservative public figures for that hardware class:
+//   - ~10 ns/cycle, a 3-array stencil iteration ~ 40-80 cycles with
+//     memory traffic  =>  ~120 ns per iteration
+//   - TCP/MPI round latency on FastEthernet  =>  ~120 us one-way
+//   - sustained FastEthernet throughput  =>  ~11.5 MB/s
+#pragma once
+
+#include "support/checked_int.hpp"
+
+namespace ctile {
+
+struct MachineModel {
+  double sec_per_iter;       ///< compute seconds per iteration point
+  double latency;            ///< one-way message latency (seconds)
+  double bandwidth;          ///< link bandwidth (bytes/second)
+  double per_byte_overhead;  ///< sender+receiver CPU cost per payload byte
+                             ///< (pack + unpack memcpy)
+  double per_message_overhead;  ///< fixed CPU cost per MPI_Send and per
+                                ///< MPI_Recv (syscall + TCP stack on
+                                ///< Linux 2.2 era hardware)
+  int bytes_per_value;       ///< payload bytes per stored double
+
+  /// The paper's testbed (see header comment).
+  static MachineModel fast_ethernet_cluster() {
+    MachineModel m;
+    m.sec_per_iter = 300e-9;
+    m.latency = 120e-6;
+    m.bandwidth = 11.5e6;
+    m.per_byte_overhead = 4e-9;  // ~two memcpy passes at ~250 MB/s
+    m.per_message_overhead = 60e-6;
+    m.bytes_per_value = 8;
+    return m;
+  }
+
+  /// An idealized machine: zero communication cost (for model sanity
+  /// tests: speedup must then approach the processor count).
+  static MachineModel zero_comm(double sec_per_iter = 100e-9) {
+    MachineModel m;
+    m.sec_per_iter = sec_per_iter;
+    m.latency = 0.0;
+    m.bandwidth = 1e30;
+    m.per_byte_overhead = 0.0;
+    m.per_message_overhead = 0.0;
+    m.bytes_per_value = 8;
+    return m;
+  }
+};
+
+}  // namespace ctile

@@ -1,0 +1,76 @@
+// Discrete-event simulation of the tiled data-parallel program on a
+// cluster (the timing substitute for the paper's physical testbed; see
+// DESIGN.md "Substitutions").
+//
+// The simulated program is exactly the executor's schedule: every
+// processor runs its chain of tiles under the linear schedule; a tile
+// starts when its processor is free AND all its inbound messages have
+// arrived; computing costs points * sec_per_iter; each outbound message
+// serializes on the sender's NIC (pack cost + bytes/bandwidth) and
+// arrives latency later.  Tile dependencies always point to (t' < t) or
+// (t' == t, lexicographically smaller pid), so one sweep in (t, pid)
+// order is a valid event order — no retrograde messages exist.
+//
+// The per-tile iteration counts are exact (census over the iteration
+// space), so boundary tiles cost what they actually compute.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "runtime/comm_plan.hpp"
+#include "tiling/census.hpp"
+#include "runtime/parallel_executor.hpp"
+
+namespace ctile {
+
+/// One executed tile in the simulated schedule (for wavefront traces).
+struct TileTrace {
+  int rank;       ///< executing processor
+  i64 t;          ///< chain position
+  double start;   ///< when the tile's compute began (after receives)
+  double end;     ///< when its sends finished (CPU free again)
+};
+
+struct SimResult {
+  double makespan = 0.0;        ///< parallel completion time (seconds)
+  double sequential = 0.0;      ///< total_points * sec_per_iter
+  double speedup = 0.0;         ///< sequential / makespan
+  i64 messages = 0;             ///< messages sent
+  i64 bytes = 0;                ///< payload bytes sent
+  i64 total_points = 0;         ///< iterations executed
+  i64 tiles_executed = 0;       ///< nonempty-shadow tiles run
+  double compute_busy = 0.0;    ///< sum of per-tile compute times
+  std::vector<TileTrace> trace; ///< per-tile schedule, in event order
+};
+
+/// Communication scheduling policy.
+///
+/// kBlocking is the paper's scheme (\S3.2): a tile computes, then its
+/// processor synchronously packs and sends each outbound message
+/// (MPI_Send over TCP occupies the CPU for the transfer).
+///
+/// kOverlapped is the scheme of the authors' companion work [8]
+/// (Goumas-Sotiropoulos-Koziris, IPDPS'01), listed as future work in
+/// \S5: sends are initiated non-blocking (the CPU pays only the pack +
+/// initiation cost) and a DMA-capable NIC drains the wire concurrently
+/// with the next tile's computation, so the per-step cost approaches
+/// max(compute, transfer) instead of compute + transfer.
+enum class CommSchedule { kBlocking, kOverlapped };
+
+/// Simulate the schedule; arity is the kernel arity (values per point,
+/// scales message bytes).
+SimResult simulate_cluster(const TiledNest& tiled, const Mapping& mapping,
+                           const LdsLayout& lds, const CommPlan& plan,
+                           const TileCensus& census,
+                           const MachineModel& machine, int arity = 1,
+                           CommSchedule schedule = CommSchedule::kBlocking);
+
+/// Convenience wrapper: builds mapping/LDS/plan/census and simulates.
+/// force_m as in ParallelExecutor.
+SimResult simulate_tiled_program(
+    const TiledNest& tiled, const MachineModel& machine, int arity = 1,
+    int force_m = -1, CommSchedule schedule = CommSchedule::kBlocking);
+
+}  // namespace ctile

@@ -1,0 +1,245 @@
+#include "codegen/gen_common.hpp"
+
+#include <cmath>
+
+#include "support/strings.hpp"
+
+namespace ctile::codegen {
+
+std::vector<std::string> var_names(int n, const std::string& stem) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) names.push_back(stem + std::to_string(i));
+  return names;
+}
+
+namespace {
+
+// Replaces every occurrence of `from` in `text` with `to`.
+std::string replace_all(std::string text, const std::string& from,
+                        const std::string& to) {
+  std::size_t pos = 0;
+  while ((pos = text.find(from, pos)) != std::string::npos) {
+    text.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return text;
+}
+
+void emit_body_lines(CodeWriter& w, const std::string& body) {
+  std::size_t start = 0;
+  while (start <= body.size()) {
+    std::size_t end = body.find('\n', start);
+    if (end == std::string::npos) end = body.size();
+    if (end > start) w.line(body.substr(start, end - start));
+    if (end == body.size()) break;
+    start = end + 1;
+  }
+}
+
+}  // namespace
+
+void emit_spec_functions(CodeWriter& w, const StencilSpec& spec,
+                         const LoopNest& nest) {
+  const int n = nest.depth;
+  std::vector<std::string> jn = var_names(n, "j");
+
+  // in_space
+  w.open("inline bool in_space(const long long j[" + std::to_string(n) +
+         "])");
+  std::vector<std::string> idx;
+  for (int i = 0; i < n; ++i) idx.push_back("j[" + std::to_string(i) + "]");
+  w.line("return " + membership_expr(nest.space, idx) + ";");
+  w.close();
+  w.blank();
+
+  // Unskew preamble shared by kernel/initial bodies.
+  auto emit_coords = [&](CodeWriter& cw) {
+    for (int i = 0; i < n; ++i) {
+      cw.line("const long long j" + std::to_string(i) + " = j[" +
+              std::to_string(i) + "]; (void)j" + std::to_string(i) + ";");
+    }
+    for (int i = 0; i < n; ++i) {
+      std::string expr =
+          affine_str(spec.unskew.row(i), jn, 0);
+      cw.line("const long long o" + std::to_string(i) + " = " + expr +
+              "; (void)o" + std::to_string(i) + ";");
+    }
+  };
+
+  const std::string ar = std::to_string(spec.arity);
+  w.open("inline void kernel(const long long j[" + std::to_string(n) +
+         "], const double* dv, double* out)");
+  emit_coords(w);
+  std::string body = replace_all(spec.body, "DEP(", "CT_DEP(");
+  body = replace_all(body, "OUT(", "CT_OUT(");
+  w.line("#define CT_DEP(l, v) dv[(l) * " + ar + " + (v)]");
+  w.line("#define CT_OUT(v) out[(v)]");
+  emit_body_lines(w, body);
+  w.line("#undef CT_DEP");
+  w.line("#undef CT_OUT");
+  w.close();
+  w.blank();
+
+  w.open("inline void initial(const long long j[" + std::to_string(n) +
+         "], double* out)");
+  emit_coords(w);
+  std::string init = replace_all(spec.initial, "OUT(", "CT_OUT(");
+  w.line("#define CT_OUT(v) out[(v)]");
+  emit_body_lines(w, init);
+  w.line("#undef CT_OUT");
+  w.close();
+  w.blank();
+}
+
+void emit_table(CodeWriter& w, const std::string& name, const MatI& m) {
+  std::string decl = "const long long " + name + "[" +
+                     std::to_string(m.rows() > 0 ? m.rows() : 1) + "][" +
+                     std::to_string(m.cols() > 0 ? m.cols() : 1) + "] = {";
+  std::vector<std::string> rows;
+  if (m.rows() == 0 || m.cols() == 0) {
+    rows.push_back("{0}");
+  } else {
+    for (int r = 0; r < m.rows(); ++r) {
+      std::vector<std::string> vals;
+      for (int c = 0; c < m.cols(); ++c) {
+        vals.push_back(std::to_string(m(r, c)));
+      }
+      rows.push_back("{" + join(vals, ", ") + "}");
+    }
+  }
+  w.line(decl + join(rows, ", ") + "};");
+}
+
+void emit_ttis_walk(CodeWriter& w, const TilingTransform& tf,
+                    const std::vector<std::string>& lo_exprs,
+                    const std::vector<std::string>& hi_exprs,
+                    const std::function<void(CodeWriter&)>& body) {
+  const int n = tf.n();
+  const MatI& hnf = tf.Hnf();
+  // Own scope: the walk declares base/lo/hi/y locals that would clash if
+  // two walks were emitted in the same block.
+  w.line("{");
+  w.indent();
+  for (int k = 0; k < n; ++k) {
+    const std::string ks = std::to_string(k);
+    const std::string ck = std::to_string(hnf(k, k));
+    // Congruence base from outer lattice coordinates.
+    VecI coeffs;
+    for (int l = 0; l < k; ++l) coeffs.push_back(hnf(k, l));
+    std::string base = affine_str(coeffs, var_names(k, "y"), 0);
+    w.line("const long long base" + ks + " = " + base + ";");
+    w.line("const long long lo" + ks + " = " + lo_exprs[static_cast<std::size_t>(k)] + ";");
+    w.line("const long long hi" + ks + " = " + hi_exprs[static_cast<std::size_t>(k)] + ";");
+    if (hnf(k, k) == 1) {
+      w.open("for (long long jp" + ks + " = lo" + ks + "; jp" + ks +
+             " <= hi" + ks + "; ++jp" + ks + ")");
+      w.line("const long long y" + ks + " = jp" + ks + " - base" + ks +
+             "; (void)y" + ks + ";");
+    } else {
+      w.open("for (long long jp" + ks + " = lo" + ks + " + ct_modfloor(base" +
+             ks + " - lo" + ks + ", " + ck + "); jp" + ks + " <= hi" + ks +
+             "; jp" + ks + " += " + ck + ")");
+      w.line("const long long y" + ks + " = (jp" + ks + " - base" + ks +
+             ") / " + ck + "; (void)y" + ks + ";");
+    }
+  }
+  body(w);
+  for (int k = 0; k < n; ++k) w.close();
+  w.dedent();
+  w.line("}");
+}
+
+void emit_point_of(CodeWriter& w, const TilingTransform& tf) {
+  const int n = tf.n();
+  // Scaled-integer P': den * P' is integral.
+  i64 den = 1;
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < n; ++c) den = lcm_i64(den, tf.Pp()(r, c).den());
+  MatI pps(n, n);
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < n; ++c)
+      pps(r, c) = (tf.Pp()(r, c) * Rat(den)).as_int();
+
+  w.open("inline void point_of(const long long js[" + std::to_string(n) +
+         "], const long long jp[" + std::to_string(n) + "], long long j[" +
+         std::to_string(n) + "])");
+  for (int k = 0; k < n; ++k) {
+    w.line("const long long a" + std::to_string(k) + " = " +
+           std::to_string(tf.v(k)) + " * js[" + std::to_string(k) +
+           "] + jp[" + std::to_string(k) + "];");
+  }
+  for (int r = 0; r < n; ++r) {
+    std::vector<std::string> terms;
+    for (int c = 0; c < n; ++c) {
+      if (pps(r, c) == 0) continue;
+      terms.push_back(std::to_string(pps(r, c)) + " * a" +
+                      std::to_string(c));
+    }
+    std::string sum = terms.empty() ? "0" : join(terms, " + ");
+    if (den == 1) {
+      w.line("j[" + std::to_string(r) + "] = " + sum + ";");
+    } else {
+      w.line("j[" + std::to_string(r) + "] = (" + sum + ") / " +
+             std::to_string(den) + ";");
+    }
+  }
+  w.close();
+  w.blank();
+}
+
+void emit_space_scan(CodeWriter& w, const LoopNest& nest,
+                     const std::function<void(CodeWriter&)>& body) {
+  const int n = nest.depth;
+  std::vector<Polyhedron> levels = nest.space.level_projections();
+  std::vector<std::string> names = var_names(n, "j");
+  for (int k = 0; k < n; ++k) {
+    BoundExprs b =
+        bound_exprs(levels[static_cast<std::size_t>(k)], k, names);
+    const std::string ks = std::to_string(k);
+    w.open("for (long long j" + ks + " = " + b.lower + ", ct_hi" + ks +
+           " = " + b.upper + "; j" + ks + " <= ct_hi" + ks + "; ++j" + ks +
+           ")");
+  }
+  body(w);
+  for (int k = 0; k < n; ++k) w.close();
+}
+
+void emit_checksum_update(CodeWriter& w, int n, int arity,
+                          const std::string& value_expr_prefix) {
+  std::vector<std::string> terms;
+  i64 mult = 73;
+  for (int i = 0; i < n; ++i) {
+    terms.push_back(std::to_string(mult) + " * j" + std::to_string(i));
+    mult = mult / 2 + 11;
+  }
+  std::string key = join(terms, " + ");
+  for (int v = 0; v < arity; ++v) {
+    w.line("chk = chk * 1.0000000321 + " + value_expr_prefix +
+           std::to_string(v) + "] * std::sin(0.001 * (double)(" + key +
+           " + " + std::to_string(v) + "));");
+  }
+}
+
+double reference_checksum(const LoopNest& nest,
+                          const std::function<const double*(const VecI&)>& at,
+                          int arity) {
+  double chk = 0.0;
+  const int n = nest.depth;
+  nest.space.scan([&](const VecI& j) {
+    double key = 0.0;
+    i64 mult = 73;
+    for (int i = 0; i < n; ++i) {
+      key += static_cast<double>(mult) * static_cast<double>(j[static_cast<std::size_t>(i)]);
+      mult = mult / 2 + 11;
+    }
+    const double* vals = at(j);
+    for (int v = 0; v < arity; ++v) {
+      chk = chk * 1.0000000321 +
+            vals[v] * std::sin(0.001 * (key + static_cast<double>(v)));
+    }
+  });
+  return chk;
+}
+
+}  // namespace ctile::codegen

@@ -1,0 +1,56 @@
+// Emission pieces shared by the sequential and parallel generators.
+#pragma once
+
+#include <functional>
+
+#include "codegen/stencil_spec.hpp"
+#include "codegen/writer.hpp"
+#include "tiling/tile_space.hpp"
+
+namespace ctile::codegen {
+
+/// Variable names j0..j(n-1).
+std::vector<std::string> var_names(int n, const std::string& stem);
+
+/// Emits in_space(), kernel() and initial() from the spec (kernel and
+/// initial receive the current-nest point; initial computes the unskewed
+/// o0.. itself).
+void emit_spec_functions(CodeWriter& w, const StencilSpec& spec,
+                         const LoopNest& nest);
+
+/// Emits `const long long NAME[rows][cols] = {...};`.
+void emit_table(CodeWriter& w, const std::string& name, const MatI& m);
+
+/// Emits the TTIS lattice walk over an inclusive box whose per-dimension
+/// bound expressions are given as C expressions (evaluated once each).
+/// Inside the innermost body the variables jp0..jp(n-1) and the lattice
+/// coordinates y0..y(n-1) are in scope.  `body` emits the loop body.
+void emit_ttis_walk(CodeWriter& w, const TilingTransform& tf,
+                    const std::vector<std::string>& lo_exprs,
+                    const std::vector<std::string>& hi_exprs,
+                    const std::function<void(CodeWriter&)>& body);
+
+/// Emits a helper computing the original point from (tile, TTIS point):
+///   void point_of(const long long js[N], const long long jp[N],
+///                 long long j[N]);
+/// using the exact scaled-integer form of P'(V js + jp).
+void emit_point_of(CodeWriter& w, const TilingTransform& tf);
+
+/// Emits the lexicographic scan over the iteration space (FM bounds per
+/// level) with j0..j(n-1) in scope; used for reference loops and
+/// checksums.
+void emit_space_scan(CodeWriter& w, const LoopNest& nest,
+                     const std::function<void(CodeWriter&)>& body);
+
+/// Emits the checksum accumulation statement for point (j0..) reading
+/// values val[0..arity): `chk = chk * 1.0000001 + val[v] * (...)`.
+void emit_checksum_update(CodeWriter& w, int n, int arity,
+                          const std::string& value_expr_prefix);
+
+/// The matching library-side checksum (same order, same operations), so
+/// tests can compare generated-program output against executor results.
+double reference_checksum(const LoopNest& nest,
+                          const std::function<const double*(const VecI&)>& at,
+                          int arity);
+
+}  // namespace ctile::codegen

@@ -1,0 +1,40 @@
+// Data-parallel (message-passing) code generation: the paper's \S3 tool
+// output.
+//
+// The generated program is a complete C++ translation unit implementing
+// the Foracross skeleton at the end of \S3.2 — per-rank LDS allocation,
+// RECEIVE (recv + unpack into shifted halo slots), the clipped TTIS
+// compute sweep, and SEND (pack + send per successor processor) — with
+// every bound, stride, offset, table (D^S, D^m, CC, pack regions) baked
+// in as compile-time constants derived from H.
+//
+// Communication targets the in-process mpisim substrate (an MPI-semantics
+// library; see src/mpisim/).  The emitted calls are one-to-one with
+// MPI_Send / MPI_Recv — a cluster build would swap the four call sites,
+// and the emitted comments show the MPI equivalents.
+#pragma once
+
+#include <string>
+
+#include "codegen/gen_common.hpp"
+#include "runtime/comm_plan.hpp"
+
+namespace ctile::codegen {
+
+/// Which message-passing substrate the emitted program targets.
+enum class CommFlavor {
+  kMpisim,  ///< in-process substrate (compilable and runnable in-tree)
+  kMpi,     ///< real MPI (<mpi.h>, MPI_Send/MPI_Recv, MPI_Init in main) —
+            ///< what the paper's tool emitted; requires an MPI toolchain
+};
+
+struct ParallelGenOptions {
+  int force_m = -1;  ///< override the mapping-dimension choice
+  CommFlavor flavor = CommFlavor::kMpisim;
+};
+
+std::string generate_parallel_mpi(const TiledNest& tiled,
+                                  const StencilSpec& spec,
+                                  const ParallelGenOptions& options = {});
+
+}  // namespace ctile::codegen

@@ -1,0 +1,27 @@
+// Sequential tiled code generation: the method of the authors' SAC 2002
+// paper summarized in \S2.3.
+//
+// The generated program is a complete, dependency-free C++ translation
+// unit that (a) allocates a dense array over the iteration-space bounding
+// box, (b) executes the 2n-deep tiled loop nest — n outer loops over the
+// tile space with Fourier-Motzkin bounds, n inner loops over the TTIS
+// with the HNF strides and congruence offsets — and (c) prints a
+// checksum of the results, so tests can diff it against the library's
+// reference executor.
+#pragma once
+
+#include <string>
+
+#include "codegen/gen_common.hpp"
+
+namespace ctile::codegen {
+
+/// Emit the full program text.
+std::string generate_sequential_tiled(const TiledNest& tiled,
+                                      const StencilSpec& spec);
+
+/// Emit just the 2n-deep loop skeleton (no main, no arrays) — the shape
+/// shown in \S2.3 — for documentation and golden tests.
+std::string generate_loop_skeleton(const TiledNest& tiled);
+
+}  // namespace ctile::codegen

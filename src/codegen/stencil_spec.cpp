@@ -1,0 +1,81 @@
+#include "codegen/stencil_spec.hpp"
+
+#include "apps/kernels.hpp"
+#include "linalg/int_matops.hpp"
+#include "linalg/rat_matops.hpp"
+#include "support/strings.hpp"
+
+namespace ctile::codegen {
+
+StencilSpec sor_spec(double w) {
+  StencilSpec s;
+  s.name = "sor";
+  s.arity = 1;
+  const std::string ws = fixed(w, 17);
+  s.body = "OUT(0) = " + ws +
+           " / 4.0 * (DEP(0,0) + DEP(1,0) + DEP(2,0) + DEP(3,0)) + (1.0 - " +
+           ws + ") * DEP(4,0);";
+  s.initial =
+      "OUT(0) = 1.0 + 0.01 * (double)o1 + 0.02 * (double)o2 + "
+      "0.001 * (double)o0;";
+  s.unskew = to_int(inverse(to_rat(sor_skew_matrix())));
+  return s;
+}
+
+StencilSpec jacobi_spec() {
+  StencilSpec s;
+  s.name = "jacobi";
+  s.arity = 1;
+  s.body =
+      "OUT(0) = (DEP(0,0) + DEP(1,0) + DEP(2,0) + DEP(3,0) + DEP(4,0)) "
+      "/ 5.0;";
+  s.initial =
+      "OUT(0) = std::sin(0.05 * (double)o1) + std::cos(0.07 * (double)o2);";
+  s.unskew = to_int(inverse(to_rat(jacobi_skew_matrix())));
+  return s;
+}
+
+StencilSpec adi_spec() {
+  StencilSpec s;
+  s.name = "adi";
+  s.arity = 2;
+  s.body =
+      "const double a = 0.01 + 0.002 * std::sin(0.1 * (double)j1 + 0.2 * "
+      "(double)j2);\n"
+      "OUT(0) = DEP(0,0) + DEP(2,0) * a / DEP(2,1) - DEP(1,0) * a / "
+      "DEP(1,1);\n"
+      "OUT(1) = DEP(0,1) - a * a / DEP(2,1) - a * a / DEP(1,1);";
+  s.initial =
+      "OUT(0) = 1.0 + 0.05 * std::sin(0.3 * (double)j1) + 0.05 * "
+      "std::cos(0.2 * (double)j2);\n"
+      "OUT(1) = 2.0 + 0.1 * std::cos(0.1 * (double)(j1 + j2));";
+  s.unskew = MatI::identity(3);
+  return s;
+}
+
+StencilSpec heat_spec() {
+  StencilSpec s;
+  s.name = "heat";
+  s.arity = 1;
+  s.body = "OUT(0) = 0.25 * DEP(0,0) + 0.5 * DEP(1,0) + 0.25 * DEP(2,0);";
+  s.initial =
+      "OUT(0) = std::sin(0.1 * (double)o1) + 0.001 * (double)o0;";
+  s.unskew = to_int(inverse(to_rat(heat_skew_matrix())));
+  return s;
+}
+
+StencilSpec syn4d_spec() {
+  StencilSpec s;
+  s.name = "syn4d";
+  s.arity = 1;
+  s.body =
+      "OUT(0) = 0.3 * DEP(0,0) + 0.2 * DEP(1,0) + 0.2 * DEP(2,0) + 0.2 * "
+      "DEP(3,0) + 0.1 * DEP(4,0) + 0.001 * (double)(j0 + j1 - j2 + 2 * j3);";
+  s.initial =
+      "OUT(0) = 0.5 + 0.01 * (double)(j1 + 2 * j2 - j3) + 0.002 * "
+      "(double)j0;";
+  s.unskew = MatI::identity(4);
+  return s;
+}
+
+}  // namespace ctile::codegen

@@ -1,0 +1,41 @@
+// Textual stencil specifications for the code generator.
+//
+// The generator emits complete C++ programs; the loop *body* comes from
+// the user as C++ expression text (the paper's model: the statement
+// F(...) is the user's, everything around it is the compiler's).  The
+// emitted body can refer to:
+//   j0, j1, j2, ...   current-nest coordinates (long long)
+//   o0, o1, o2, ...   original (unskewed) coordinates
+//   DEP(l, v)         value component v at j - d_l
+//   OUT(v)            output component v
+// and the IC body to j0../o0.. and OUT(v).
+#pragma once
+
+#include <string>
+
+#include "deps/loop_nest.hpp"
+
+namespace ctile::codegen {
+
+struct StencilSpec {
+  std::string name;
+  int arity = 1;
+  /// Statement text computing OUT(*) from DEP(*, *).
+  std::string body;
+  /// Statement text computing OUT(*) for points outside the space.
+  std::string initial;
+  /// Unskew matrix T^{-1} mapping current coordinates to original ones
+  /// (identity when the nest was not skewed).
+  MatI unskew;
+};
+
+/// Specs matching the numeric kernels in apps/kernels.cpp exactly
+/// (same dependence order, same formulas, same ICs), so generated
+/// programs are comparable bit-for-bit with the library executors.
+StencilSpec sor_spec(double w = 1.0);
+StencilSpec jacobi_spec();
+StencilSpec adi_spec();
+StencilSpec heat_spec();    // 2-deep nest
+StencilSpec syn4d_spec();   // 4-deep nest
+
+}  // namespace ctile::codegen

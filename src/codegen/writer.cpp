@@ -1,0 +1,119 @@
+#include "codegen/writer.hpp"
+
+#include "support/strings.hpp"
+
+namespace ctile::codegen {
+
+void CodeWriter::line(const std::string& text) {
+  out_ += std::string(static_cast<std::size_t>(depth_) * 2, ' ');
+  out_ += text;
+  out_ += '\n';
+}
+
+void CodeWriter::blank() { out_ += '\n'; }
+
+void CodeWriter::open(const std::string& head) {
+  line(head + " {");
+  ++depth_;
+}
+
+void CodeWriter::close(const std::string& trailer) {
+  CTILE_ASSERT(depth_ > 0);
+  --depth_;
+  line("}" + trailer);
+}
+
+std::string affine_str(const VecI& coeffs,
+                       const std::vector<std::string>& names, i64 constant) {
+  CTILE_ASSERT(coeffs.size() <= names.size());
+  std::vector<std::string> terms;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    if (coeffs[i] == 0) continue;
+    if (coeffs[i] == 1) {
+      terms.push_back(names[i]);
+    } else if (coeffs[i] == -1) {
+      terms.push_back("-" + names[i]);
+    } else {
+      terms.push_back(std::to_string(coeffs[i]) + "*" + names[i]);
+    }
+  }
+  if (constant != 0 || terms.empty()) {
+    terms.push_back(std::to_string(constant));
+  }
+  return join(terms, " + ");
+}
+
+BoundExprs bound_exprs(const Polyhedron& level, int var,
+                       const std::vector<std::string>& names) {
+  std::vector<std::string> lowers, uppers;
+  for (const Constraint& c : level.constraints()) {
+    for (int i = var + 1; i < level.dim(); ++i) {
+      CTILE_ASSERT_MSG(c.coeffs[static_cast<std::size_t>(i)] == 0,
+                       "bound_exprs requires a prefix-projected polyhedron");
+    }
+    const i64 a = c.coeffs[static_cast<std::size_t>(var)];
+    if (a == 0) continue;
+    // rest = constant + sum_{i<var} coeff_i * names_i.
+    VecI rest_coeffs(c.coeffs.begin(), c.coeffs.begin() + var);
+    std::string rest = affine_str(rest_coeffs, names, c.constant);
+    if (a > 0) {
+      // x >= ceil(-rest / a)
+      if (a == 1) {
+        lowers.push_back("-(" + rest + ")");
+      } else {
+        lowers.push_back("ct_ceildiv(-(" + rest + "), " +
+                         std::to_string(a) + ")");
+      }
+    } else {
+      // x <= floor(rest / -a)
+      if (a == -1) {
+        uppers.push_back("(" + rest + ")");
+      } else {
+        uppers.push_back("ct_floordiv((" + rest + "), " +
+                         std::to_string(-a) + ")");
+      }
+    }
+  }
+  CTILE_ASSERT_MSG(!lowers.empty() && !uppers.empty(),
+                   "unbounded loop variable in codegen");
+  auto fold = [](const std::vector<std::string>& parts, const char* fn) {
+    std::string acc = parts.front();
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      acc = std::string(fn) + "(" + acc + ", " + parts[i] + ")";
+    }
+    return acc;
+  };
+  return {fold(lowers, "ct_max"), fold(uppers, "ct_min")};
+}
+
+void emit_runtime_helpers(CodeWriter& w) {
+  w.line("inline long long ct_floordiv(long long a, long long b) {");
+  w.line("  long long q = a / b, r = a % b;");
+  w.line("  return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;");
+  w.line("}");
+  w.line("inline long long ct_ceildiv(long long a, long long b) {");
+  w.line("  long long q = a / b, r = a % b;");
+  w.line("  return (r != 0 && ((r < 0) == (b < 0))) ? q + 1 : q;");
+  w.line("}");
+  w.line("inline long long ct_max(long long a, long long b) "
+         "{ return a > b ? a : b; }");
+  w.line("inline long long ct_min(long long a, long long b) "
+         "{ return a < b ? a : b; }");
+  w.line("inline long long ct_modfloor(long long a, long long b) {");
+  w.line("  long long r = a % b;");
+  w.line("  return r < 0 ? r + b : r;");
+  w.line("}");
+}
+
+std::string membership_expr(const Polyhedron& p,
+                            const std::vector<std::string>& names) {
+  std::vector<std::string> clauses;
+  for (const Constraint& c : p.constraints()) {
+    clauses.push_back("(" + affine_str(c.coeffs, names, c.constant) +
+                      " >= 0)");
+  }
+  if (clauses.empty()) return "true";
+  return join(clauses, " && ");
+}
+
+}  // namespace ctile::codegen

@@ -1,0 +1,63 @@
+// Small code-writing utilities shared by the sequential and parallel
+// generators: an indentation-aware line writer and affine-expression
+// pretty printers (max(ceil(...)) / min(floor(...)) loop bounds in the
+// Ancourt-Irigoin style).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "poly/polyhedron.hpp"
+
+namespace ctile::codegen {
+
+class CodeWriter {
+ public:
+  /// Append one line at the current indentation.
+  void line(const std::string& text);
+  /// Append a blank line.
+  void blank();
+  /// Open a block: writes `head` followed by " {" and indents.
+  void open(const std::string& head);
+  /// Close a block: dedents and writes "}" (plus an optional trailer,
+  /// e.g. ";" or " else {").
+  void close(const std::string& trailer = "");
+  void indent() { ++depth_; }
+  void dedent() {
+    CTILE_ASSERT(depth_ > 0);
+    --depth_;
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  std::string out_;
+  int depth_ = 0;
+};
+
+/// Renders sum_i coeffs[i]*names[i] + constant; "0" when empty.
+std::string affine_str(const VecI& coeffs, const std::vector<std::string>& names,
+                       i64 constant);
+
+/// Loop bounds of variable `var` of a prefix-projected polyhedron, as C
+/// expressions over the given variable names: lower is a max of ceil-divs,
+/// upper a min of floor-divs.  Requires the generated program to provide
+/// ct_floordiv / ct_ceildiv / ct_max / ct_min helpers (emitted by
+/// emit_runtime_helpers).
+struct BoundExprs {
+  std::string lower;
+  std::string upper;
+};
+BoundExprs bound_exprs(const Polyhedron& level, int var,
+                       const std::vector<std::string>& names);
+
+/// Emits the tiny arithmetic helper functions every generated program
+/// uses (floor/ceil division, variadic max/min, mod_floor).
+void emit_runtime_helpers(CodeWriter& w);
+
+/// Renders a boolean C expression testing p's constraints at the named
+/// variables ("(...) && (...)"); "true" for an unconstrained polyhedron.
+std::string membership_expr(const Polyhedron& p,
+                            const std::vector<std::string>& names);
+
+}  // namespace ctile::codegen

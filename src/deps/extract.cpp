@@ -1,0 +1,133 @@
+#include "deps/extract.hpp"
+
+#include "linalg/int_matops.hpp"
+#include "linalg/rat_matops.hpp"
+
+namespace ctile {
+
+ArrayRef ArrayRef::identity_with_offset(const VecI& offset) {
+  ArrayRef ref;
+  ref.coef = MatI::identity(static_cast<int>(offset.size()));
+  ref.offset = offset;
+  return ref;
+}
+
+VecI ArrayRef::eval(const VecI& j) const {
+  return vec_add(mul(coef, j), offset);
+}
+
+namespace {
+
+// Solve coef * d = rhs exactly over the rationals; returns the unique
+// solution if the system is consistent and coef has full column rank,
+// nullopt otherwise (reason set accordingly).
+std::optional<VecQ> solve_full_column_rank(const MatI& coef, const VecI& rhs,
+                                           std::string* reason) {
+  const int rows = coef.rows();
+  const int cols = coef.cols();
+  if (rank(to_rat(coef)) < cols) {
+    *reason = "write reference is not injective (multiple iterations write "
+              "each element)";
+    return std::nullopt;
+  }
+  // Gaussian elimination on the augmented system [coef | rhs].
+  MatQ a(rows, cols + 1);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) a(r, c) = Rat(coef(r, c));
+    a(r, cols) = Rat(rhs[static_cast<std::size_t>(r)]);
+  }
+  int rk = 0;
+  std::vector<int> pivot_row(static_cast<std::size_t>(cols), -1);
+  for (int c = 0; c < cols && rk < rows; ++c) {
+    int piv = -1;
+    for (int r = rk; r < rows; ++r) {
+      if (!a(r, c).is_zero()) {
+        piv = r;
+        break;
+      }
+    }
+    if (piv < 0) continue;
+    if (piv != rk) a.swap_rows(piv, rk);
+    Rat f = a(rk, c).inv();
+    for (int cc = c; cc <= cols; ++cc) a(rk, cc) *= f;
+    for (int r = 0; r < rows; ++r) {
+      if (r == rk || a(r, c).is_zero()) continue;
+      Rat g = a(r, c);
+      for (int cc = c; cc <= cols; ++cc) a(r, cc) -= g * a(rk, cc);
+    }
+    pivot_row[static_cast<std::size_t>(c)] = rk;
+    ++rk;
+  }
+  // Consistency: no row with zero coefficients and nonzero rhs.
+  for (int r = rk; r < rows; ++r) {
+    if (!a(r, cols).is_zero()) {
+      *reason = "references never alias (no iteration writes the elements "
+                "this read consumes)";
+      return std::nullopt;
+    }
+  }
+  VecQ d(static_cast<std::size_t>(cols));
+  for (int c = 0; c < cols; ++c) {
+    CTILE_ASSERT(pivot_row[static_cast<std::size_t>(c)] >= 0);
+    d[static_cast<std::size_t>(c)] =
+        a(pivot_row[static_cast<std::size_t>(c)], cols);
+  }
+  return d;
+}
+
+}  // namespace
+
+DepResult uniform_dependence(const ArrayRef& write, const ArrayRef& read) {
+  DepResult result;
+  if (write.coef.rows() != read.coef.rows() ||
+      write.coef.cols() != read.coef.cols()) {
+    result.reason = "write and read reference different array shapes";
+    return result;
+  }
+  if (write.coef != read.coef) {
+    result.reason = "subscript coefficient matrices differ: the dependence "
+                    "distance varies across the space (non-uniform)";
+    return result;
+  }
+  // W(j - d) + w0 = W j + r0  =>  W d = w0 - r0.
+  VecI rhs = vec_sub(write.offset, read.offset);
+  std::string reason;
+  std::optional<VecQ> d = solve_full_column_rank(write.coef, rhs, &reason);
+  if (!d) {
+    result.reason = reason;
+    return result;
+  }
+  if (!all_integer_vec(*d)) {
+    result.reason = "dependence distance is fractional: the references "
+                    "never alias on the integer lattice";
+    return result;
+  }
+  result.uniform = true;
+  result.distance = to_int_vec(*d);
+  return result;
+}
+
+MatI extract_dependencies(const ArrayRef& write,
+                          const std::vector<ArrayRef>& reads) {
+  const int n = write.coef.cols();
+  MatI deps(n, static_cast<int>(reads.size()));
+  for (std::size_t l = 0; l < reads.size(); ++l) {
+    DepResult r = uniform_dependence(write, reads[l]);
+    if (!r.uniform) {
+      throw LegalityError("extract_dependencies: read " + std::to_string(l) +
+                          ": " + r.reason);
+    }
+    if (!lex_positive(r.distance)) {
+      throw LegalityError(
+          "extract_dependencies: read " + std::to_string(l) +
+          " has non-lexicographically-positive distance (reads a value the "
+          "program has not produced yet)");
+    }
+    for (int k = 0; k < n; ++k) {
+      deps(k, static_cast<int>(l)) = r.distance[static_cast<std::size_t>(k)];
+    }
+  }
+  return deps;
+}
+
+}  // namespace ctile

@@ -1,0 +1,59 @@
+// Dependence extraction from array references.
+//
+// The paper's algorithm model (\S2.1) is
+//     A[f_w(j)] := F(A[f_w(j - d_1)], ..., A[f_w(j - d_q)])
+// with affine references and *uniform* dependencies.  This front end
+// derives the dependence matrix D from the references themselves: given
+// the write reference f_w(j) = W j + w0 and a read reference
+// f_r(j) = R j + r0 (both affine), the flow dependence from the write at
+// iteration p to the read at iteration j requires f_w(p) = f_r(j).  The
+// dependence is *uniform* — d = j - p constant over the space — exactly
+// when W = R and W is injective on Z^n; then W d = r0 ... precisely:
+// W(j - d) + w0 = R j + r0  for all j  =>  W = R and W d = w0' with
+// w0' = w0 - r0 ... solving W d = w0 - r0 for the unique integer d.
+//
+// Non-uniform pairs (W != R, or no integer solution) are reported as
+// such, since the paper's framework requires uniformity.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace ctile {
+
+/// An affine array reference  f(j) = coef * j + offset.
+struct ArrayRef {
+  MatI coef;    ///< dims(array) x n
+  VecI offset;  ///< dims(array)
+
+  /// The common case: identity subscripts with a constant offset,
+  /// A[j_1 + o_1]...[j_n + o_n].
+  static ArrayRef identity_with_offset(const VecI& offset);
+
+  /// f(j).
+  VecI eval(const VecI& j) const;
+};
+
+/// Result of analyzing one (write, read) reference pair.
+struct DepResult {
+  bool uniform = false;       ///< a constant dependence vector exists
+  VecI distance;              ///< d with read(j) == write(j - d), if uniform
+  std::string reason;         ///< diagnostic when not uniform
+};
+
+/// Analyze the pair: does reading `read` at iteration j always consume the
+/// value written by `write` at iteration j - d for a constant d?
+DepResult uniform_dependence(const ArrayRef& write, const ArrayRef& read);
+
+/// Build the dependence matrix for a statement with write reference
+/// `write` and the given reads (columns ordered as the reads are).
+/// Throws LegalityError naming the offending read when any pair is
+/// non-uniform or the resulting dependence is not lexicographically
+/// positive (reads of values the statement has not produced yet).
+MatI extract_dependencies(const ArrayRef& write,
+                          const std::vector<ArrayRef>& reads);
+
+}  // namespace ctile

@@ -1,0 +1,38 @@
+#include "deps/loop_nest.hpp"
+
+#include "linalg/int_matops.hpp"
+
+namespace ctile {
+
+void LoopNest::validate() const {
+  if (depth <= 0) throw LegalityError(name + ": loop depth must be positive");
+  if (space.dim() != depth) {
+    throw LegalityError(name + ": space dimension " +
+                        std::to_string(space.dim()) + " != depth " +
+                        std::to_string(depth));
+  }
+  if (deps.rows() != depth) {
+    throw LegalityError(name + ": dependence matrix has " +
+                        std::to_string(deps.rows()) + " rows, expected " +
+                        std::to_string(depth));
+  }
+  for (int d = 0; d < deps.cols(); ++d) {
+    if (!lex_positive(deps.col(d))) {
+      throw LegalityError(name + ": dependence column " + std::to_string(d) +
+                          " is not lexicographically positive");
+    }
+  }
+}
+
+LoopNest make_rectangular_nest(std::string name, const VecI& lo,
+                               const VecI& hi, MatI deps) {
+  LoopNest nest;
+  nest.name = std::move(name);
+  nest.depth = static_cast<int>(lo.size());
+  nest.space = Polyhedron::box(lo, hi);
+  nest.deps = std::move(deps);
+  nest.validate();
+  return nest;
+}
+
+}  // namespace ctile

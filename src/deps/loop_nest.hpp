@@ -1,0 +1,40 @@
+// Loop nest model: the algorithm class of the paper's \S2.1.
+//
+// A LoopNest is a perfectly nested FOR loop of depth n over a convex
+// integer iteration space J^n (affine bounds), with uniform constant
+// dependencies given as the columns of an n x q dependence matrix D.
+// Array subscripts are the identity write reference f_w(j) = j unless a
+// kernel supplies its own mapping (the paper treats one single-assignment
+// statement; multiple statements/arrays are a notational extension).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "poly/polyhedron.hpp"
+
+namespace ctile {
+
+struct LoopNest {
+  std::string name;    ///< identifier used in diagnostics and codegen
+  int depth;           ///< n, the number of nested loops
+  Polyhedron space;    ///< J^n as a polyhedron over (j_1 .. j_n)
+  MatI deps;           ///< n x q dependence matrix (columns = vectors)
+
+  int num_deps() const { return deps.cols(); }
+
+  /// The d-th dependence vector (column of D).
+  VecI dep(int d) const { return deps.col(d); }
+
+  /// Throws LegalityError unless every dependence column is
+  /// lexicographically positive (required for any valid reordering) and
+  /// the space/dep dimensions agree.
+  void validate() const;
+};
+
+/// Rectangular iteration space builder: lo_k <= j_k <= hi_k.
+LoopNest make_rectangular_nest(std::string name, const VecI& lo,
+                               const VecI& hi, MatI deps);
+
+}  // namespace ctile

@@ -1,0 +1,37 @@
+#include "deps/skew.hpp"
+
+#include "linalg/int_matops.hpp"
+#include "linalg/rat_matops.hpp"
+
+namespace ctile {
+
+LoopNest skew(const LoopNest& nest, const MatI& t) {
+  if (!is_unimodular(t)) {
+    throw LegalityError(nest.name + ": skewing matrix is not unimodular\n" +
+                        t.to_string());
+  }
+  if (t.rows() != nest.depth) {
+    throw LegalityError(nest.name + ": skewing matrix dimension mismatch");
+  }
+  LoopNest out;
+  out.name = nest.name + "_skewed";
+  out.depth = nest.depth;
+  // {j' : T^{-1} j' in J^n}: substitute j = T^{-1} j' in the constraints.
+  MatQ t_inv = inverse(to_rat(t));
+  out.space = substitute(nest.space, t_inv,
+                         VecQ(static_cast<std::size_t>(nest.depth), Rat(0)));
+  out.deps = mul(t, nest.deps);
+  out.validate();
+  return out;
+}
+
+bool all_deps_nonnegative(const MatI& deps) {
+  for (int r = 0; r < deps.rows(); ++r) {
+    for (int c = 0; c < deps.cols(); ++c) {
+      if (deps(r, c) < 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ctile

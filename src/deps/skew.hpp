@@ -1,0 +1,22 @@
+// Unimodular skewing of loop nests.
+//
+// SOR and Jacobi carry dependencies with negative components, so they must
+// be skewed (j' = T j, T unimodular) before any rectangular tiling is
+// legal (\S4.1, \S4.2 of the paper).  Skewing maps the iteration space to
+// {T j : j in J^n} and the dependencies to T D; it is a bijection on
+// integer points, so the computation is unchanged.
+#pragma once
+
+#include "deps/loop_nest.hpp"
+
+namespace ctile {
+
+/// Apply the unimodular transformation j' = T j.  Throws LegalityError if
+/// T is not unimodular or shapes disagree.
+LoopNest skew(const LoopNest& nest, const MatI& t);
+
+/// True iff every column of deps is non-negative (rectangular tiling of
+/// any size is then legal).
+bool all_deps_nonnegative(const MatI& deps);
+
+}  // namespace ctile

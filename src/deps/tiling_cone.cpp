@@ -1,0 +1,46 @@
+#include "deps/tiling_cone.hpp"
+
+#include "linalg/rat_matops.hpp"
+
+namespace ctile {
+
+ConeRays tiling_cone(const MatI& deps) {
+  // Constraint rows for h are the dependence vectors themselves:
+  // h . d >= 0 for every column d.
+  return extreme_rays(deps.transposed());
+}
+
+bool tiling_legal(const MatQ& h, const MatI& deps) {
+  CTILE_ASSERT(h.cols() == deps.rows());
+  for (int r = 0; r < h.rows(); ++r) {
+    for (int c = 0; c < deps.cols(); ++c) {
+      Rat acc;
+      for (int k = 0; k < h.cols(); ++k) {
+        acc += h(r, k) * Rat(deps(k, c));
+      }
+      if (acc.is_negative()) return false;
+    }
+  }
+  return true;
+}
+
+void require_tiling_legal(const MatQ& h, const MatI& deps,
+                          const std::string& context) {
+  CTILE_ASSERT(h.cols() == deps.rows());
+  for (int r = 0; r < h.rows(); ++r) {
+    for (int c = 0; c < deps.cols(); ++c) {
+      Rat acc;
+      for (int k = 0; k < h.cols(); ++k) {
+        acc += h(r, k) * Rat(deps(k, c));
+      }
+      if (acc.is_negative()) {
+        throw LegalityError(context + ": illegal tiling, row " +
+                            std::to_string(r) + " of H against dependence " +
+                            std::to_string(c) + " gives " + acc.to_string() +
+                            " < 0");
+      }
+    }
+  }
+}
+
+}  // namespace ctile

@@ -1,0 +1,29 @@
+// The tiling cone of a dependence matrix and tiling legality tests.
+//
+// A tiling transformation H is legal iff H d >= 0 (componentwise) for
+// every dependence vector d: then no tile depends on a lexicographically
+// later tile (Ramanujam-Sadayappan / Xue / Boulet et al., cited in \S1).
+// The set of legal row vectors {h : h . d >= 0 for all d} is the tiling
+// cone; the paper selects non-rectangular H rows parallel to its extreme
+// rays to obtain scheduling-optimal tile shapes.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "poly/cone.hpp"
+
+namespace ctile {
+
+/// Extreme rays of the tiling cone {h : h . d >= 0 for every column d of
+/// deps}.
+ConeRays tiling_cone(const MatI& deps);
+
+/// True iff H d >= 0 componentwise for every dependence column (H given
+/// as a rational matrix, the paper's H with rows 1/x etc.).
+bool tiling_legal(const MatQ& h, const MatI& deps);
+
+/// Throws LegalityError with a diagnostic naming the offending (row, dep)
+/// pair when the tiling is illegal.
+void require_tiling_legal(const MatQ& h, const MatI& deps,
+                          const std::string& context);
+
+}  // namespace ctile

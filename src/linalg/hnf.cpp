@@ -1,0 +1,226 @@
+#include "linalg/hnf.hpp"
+
+#include "linalg/int_matops.hpp"
+
+namespace ctile {
+
+namespace {
+
+// col_dst = x*col_dst + y*col_src applied to both m and its multiplier.
+// The caller is responsible for keeping the pair of updates unimodular.
+void combine_cols(MatI& m, MatI& u, int dst, int src, i64 x, i64 y, i64 z,
+                  i64 w) {
+  // Simultaneously: (col_dst, col_src) <- (x*col_dst + y*col_src,
+  //                                        z*col_dst + w*col_src).
+  for (MatI* mat : {&m, &u}) {
+    for (int r = 0; r < mat->rows(); ++r) {
+      i64 a = (*mat)(r, dst);
+      i64 b = (*mat)(r, src);
+      (*mat)(r, dst) = add_ck(mul_ck(x, a), mul_ck(y, b));
+      (*mat)(r, src) = add_ck(mul_ck(z, a), mul_ck(w, b));
+    }
+  }
+}
+
+// col_dst -= q * col_src on both matrices.
+void reduce_col(MatI& m, MatI& u, int dst, int src, i64 q) {
+  if (q == 0) return;
+  for (MatI* mat : {&m, &u}) {
+    for (int r = 0; r < mat->rows(); ++r) {
+      (*mat)(r, dst) = sub_ck((*mat)(r, dst), mul_ck(q, (*mat)(r, src)));
+    }
+  }
+}
+
+}  // namespace
+
+HnfResult hermite_normal_form(const MatI& a) {
+  CTILE_ASSERT(a.is_square());
+  const int n = a.rows();
+  if (det(a) == 0) {
+    throw LegalityError("hermite_normal_form: singular matrix\n" +
+                        a.to_string());
+  }
+  MatI h = a;
+  MatI u = MatI::identity(n);
+  for (int i = 0; i < n; ++i) {
+    // Zero out row i to the right of the diagonal with gcd column ops.
+    for (int j = i + 1; j < n; ++j) {
+      if (h(i, j) == 0) continue;
+      ExtGcd e = ext_gcd(h(i, i), h(i, j));
+      // (col_i, col_j) <- (x*col_i + y*col_j,
+      //                    -(h_ij/g)*col_i + (h_ii/g)*col_j)
+      // The 2x2 multiplier [x, -h_ij/g; y, h_ii/g] has determinant
+      // (x*h_ii + y*h_ij)/g = 1, so the update is unimodular.
+      i64 ai = h(i, i) / e.g;
+      i64 aj = h(i, j) / e.g;
+      combine_cols(h, u, i, j, e.x, e.y, neg_ck(aj), ai);
+      CTILE_ASSERT(h(i, j) == 0);
+    }
+    if (h(i, i) == 0) {
+      // Cannot happen for nonsingular input once the row is processed.
+      throw LegalityError("hermite_normal_form: zero pivot");
+    }
+    if (h(i, i) < 0) {
+      h.negate_col(i);
+      u.negate_col(i);
+    }
+    // Reduce the entries left of the diagonal into [0, h_ii).
+    for (int j = 0; j < i; ++j) {
+      i64 q = floor_div(h(i, j), h(i, i));
+      reduce_col(h, u, j, i, q);
+    }
+  }
+  CTILE_ASSERT(is_hnf(h));
+  CTILE_ASSERT(is_unimodular(u));
+  CTILE_ASSERT(mul(a, u) == h);
+  return {h, u};
+}
+
+bool is_hnf(const MatI& m) {
+  if (!m.is_square()) return false;
+  const int n = m.rows();
+  for (int r = 0; r < n; ++r) {
+    if (m(r, r) <= 0) return false;
+    for (int c = r + 1; c < n; ++c) {
+      if (m(r, c) != 0) return false;
+    }
+    for (int c = 0; c < r; ++c) {
+      if (m(r, c) < 0 || m(r, c) >= m(r, r)) return false;
+    }
+  }
+  return true;
+}
+
+SnfResult smith_normal_form(const MatI& a) {
+  const int rows = a.rows(), cols = a.cols();
+  MatI s = a;
+  MatI u = MatI::identity(rows);
+  MatI v = MatI::identity(cols);
+
+  auto row_combine = [&](int dst, int src, i64 x, i64 y, i64 z, i64 w) {
+    for (MatI* mat : {&s, &u}) {
+      for (int c = 0; c < mat->cols(); ++c) {
+        i64 p = (*mat)(dst, c);
+        i64 q = (*mat)(src, c);
+        (*mat)(dst, c) = add_ck(mul_ck(x, p), mul_ck(y, q));
+        (*mat)(src, c) = add_ck(mul_ck(z, p), mul_ck(w, q));
+      }
+    }
+  };
+  auto col_combine = [&](int dst, int src, i64 x, i64 y, i64 z, i64 w) {
+    for (MatI* mat : {&s, &v}) {
+      for (int r = 0; r < mat->rows(); ++r) {
+        i64 p = (*mat)(r, dst);
+        i64 q = (*mat)(r, src);
+        (*mat)(r, dst) = add_ck(mul_ck(x, p), mul_ck(y, q));
+        (*mat)(r, src) = add_ck(mul_ck(z, p), mul_ck(w, q));
+      }
+    }
+  };
+
+  const int k = std::min(rows, cols);
+  for (int t = 0; t < k; ++t) {
+    // Find a nonzero pivot in the remaining sub-matrix.
+    int pr = -1, pc = -1;
+    for (int r = t; r < rows && pr < 0; ++r) {
+      for (int c = t; c < cols; ++c) {
+        if (s(r, c) != 0) {
+          pr = r;
+          pc = c;
+          break;
+        }
+      }
+    }
+    if (pr < 0) break;  // rest of the matrix is zero
+    if (pr != t) {
+      s.swap_rows(pr, t);
+      u.swap_rows(pr, t);
+    }
+    if (pc != t) {
+      s.swap_cols(pc, t);
+      v.swap_cols(pc, t);
+    }
+    // Alternate row/column elimination until the cross is clean.  When
+    // the pivot already divides the entry, plain elimination leaves the
+    // pivot row/column untouched (no refill of already-cleaned entries);
+    // otherwise the gcd combine strictly shrinks |pivot|, so the loop
+    // terminates.
+    bool dirty = true;
+    while (dirty) {
+      dirty = false;
+      for (int r = t + 1; r < rows; ++r) {
+        if (s(r, t) == 0) continue;
+        if (s(r, t) % s(t, t) == 0) {
+          row_combine(t, r, 1, 0, neg_ck(s(r, t) / s(t, t)), 1);
+        } else {
+          ExtGcd e = ext_gcd(s(t, t), s(r, t));
+          i64 at = s(t, t) / e.g;
+          i64 ar = s(r, t) / e.g;
+          row_combine(t, r, e.x, e.y, neg_ck(ar), at);
+          dirty = true;
+        }
+      }
+      for (int c = t + 1; c < cols; ++c) {
+        if (s(t, c) == 0) continue;
+        if (s(t, c) % s(t, t) == 0) {
+          col_combine(t, c, 1, 0, neg_ck(s(t, c) / s(t, t)), 1);
+        } else {
+          ExtGcd e = ext_gcd(s(t, t), s(t, c));
+          i64 at = s(t, t) / e.g;
+          i64 ac = s(t, c) / e.g;
+          col_combine(t, c, e.x, e.y, neg_ck(ac), at);
+          dirty = true;
+        }
+      }
+    }
+    if (s(t, t) < 0) {
+      s.negate_row(t);
+      u.negate_row(t);
+    }
+  }
+  // Fix up divisibility on adjacent pairs until the chain holds:
+  // diag(a, b) with a not dividing b becomes diag(gcd, lcm) via three
+  // elementary operations; fixing (t, t+1) can break (t-1, t), so sweep
+  // to a fixed point.  Termination: each fix strictly decreases s_tt
+  // (gcd is a proper divisor), which is bounded below by 1.
+  bool settled = false;
+  while (!settled) {
+    settled = true;
+    for (int t = 0; t + 1 < k; ++t) {
+      const i64 a = s(t, t);
+      const i64 b = s(t + 1, t + 1);
+      if (a == 0) continue;  // zeros trail: chain trivially holds
+      if (b % a == 0) continue;
+      settled = false;
+      const int r = t + 1;
+      // col_t += col_r: submatrix becomes [[a, 0], [b, b]].
+      col_combine(t, r, 1, 1, 0, 1);
+      // Row gcd step: rows (t, r) -> [[g, y*b], [0, lcm]].
+      ExtGcd e = ext_gcd(a, b);
+      row_combine(t, r, e.x, e.y, neg_ck(b / e.g), a / e.g);
+      // Clear the (t, r) fill-in (exactly divisible: g | b | y*b).
+      const i64 q = s(t, r) / s(t, t);
+      for (MatI* mat : {&s, &v}) {
+        for (int rr = 0; rr < mat->rows(); ++rr) {
+          (*mat)(rr, r) = sub_ck((*mat)(rr, r), mul_ck(q, (*mat)(rr, t)));
+        }
+      }
+      CTILE_ASSERT(s(t, r) == 0 && s(r, t) == 0);
+      if (s(t, t) < 0) {
+        s.negate_row(t);
+        u.negate_row(t);
+      }
+      if (s(r, r) < 0) {
+        s.negate_row(r);
+        u.negate_row(r);
+      }
+    }
+  }
+  CTILE_ASSERT(is_unimodular(u));
+  CTILE_ASSERT(is_unimodular(v));
+  CTILE_ASSERT(mul(mul(u, a), v) == s);
+  return {s, u, v};
+}
+
+}  // namespace ctile

@@ -1,0 +1,37 @@
+// Column-style Hermite Normal Form.
+//
+// For a nonsingular integer matrix A, computes the unique lower-triangular
+// H with positive diagonal and 0 <= h_kl < h_kk for l < k, together with a
+// unimodular U such that A * U = H.  This is the H~' of the paper (\S2.3):
+// its diagonal gives the TTIS traversal strides c_k = h_kk and its
+// sub-diagonal entries the incremental offsets a_kl = h_kl.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace ctile {
+
+struct HnfResult {
+  MatI h;  ///< the Hermite Normal Form (lower triangular)
+  MatI u;  ///< unimodular multiplier with a * u == h
+};
+
+/// Column HNF of a square nonsingular matrix; throws LegalityError if the
+/// matrix is singular.
+HnfResult hermite_normal_form(const MatI& a);
+
+/// True iff m is lower triangular with positive diagonal and reduced
+/// sub-diagonal entries (0 <= m(k,l) < m(k,k) for l < k).
+bool is_hnf(const MatI& m);
+
+struct SnfResult {
+  MatI s;  ///< diagonal, s_ii >= 0, s_ii | s_(i+1)(i+1)
+  MatI u;  ///< unimodular row multiplier
+  MatI v;  ///< unimodular column multiplier, u * a * v == s
+};
+
+/// Smith Normal Form of any integer matrix (used for lattice diagnostics:
+/// the product of the invariant factors is the lattice index |det|).
+SnfResult smith_normal_form(const MatI& a);
+
+}  // namespace ctile

@@ -1,0 +1,163 @@
+#include "linalg/int_matops.hpp"
+
+namespace ctile {
+
+MatI mul(const MatI& a, const MatI& b) {
+  CTILE_ASSERT(a.cols() == b.rows());
+  MatI out(a.rows(), b.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < b.cols(); ++c) {
+      i128 acc = 0;
+      for (int k = 0; k < a.cols(); ++k) {
+        acc += static_cast<i128>(a(r, k)) * b(k, c);
+      }
+      out(r, c) = narrow_i64(acc);
+    }
+  }
+  return out;
+}
+
+VecI mul(const MatI& a, const VecI& v) {
+  CTILE_ASSERT(a.cols() == static_cast<int>(v.size()));
+  VecI out(static_cast<std::size_t>(a.rows()));
+  for (int r = 0; r < a.rows(); ++r) {
+    i128 acc = 0;
+    for (int k = 0; k < a.cols(); ++k) {
+      acc += static_cast<i128>(a(r, k)) * v[static_cast<std::size_t>(k)];
+    }
+    out[static_cast<std::size_t>(r)] = narrow_i64(acc);
+  }
+  return out;
+}
+
+MatI add(const MatI& a, const MatI& b) {
+  CTILE_ASSERT(a.rows() == b.rows() && a.cols() == b.cols());
+  MatI out(a.rows(), a.cols());
+  for (int r = 0; r < a.rows(); ++r)
+    for (int c = 0; c < a.cols(); ++c) out(r, c) = add_ck(a(r, c), b(r, c));
+  return out;
+}
+
+MatI sub(const MatI& a, const MatI& b) {
+  CTILE_ASSERT(a.rows() == b.rows() && a.cols() == b.cols());
+  MatI out(a.rows(), a.cols());
+  for (int r = 0; r < a.rows(); ++r)
+    for (int c = 0; c < a.cols(); ++c) out(r, c) = sub_ck(a(r, c), b(r, c));
+  return out;
+}
+
+VecI vec_add(const VecI& a, const VecI& b) {
+  CTILE_ASSERT(a.size() == b.size());
+  VecI out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = add_ck(a[i], b[i]);
+  return out;
+}
+
+VecI vec_sub(const VecI& a, const VecI& b) {
+  CTILE_ASSERT(a.size() == b.size());
+  VecI out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = sub_ck(a[i], b[i]);
+  return out;
+}
+
+VecI vec_neg(const VecI& a) {
+  VecI out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = neg_ck(a[i]);
+  return out;
+}
+
+i64 dot(const VecI& a, const VecI& b) {
+  CTILE_ASSERT(a.size() == b.size());
+  i128 acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<i128>(a[i]) * b[i];
+  }
+  return narrow_i64(acc);
+}
+
+i64 det(const MatI& m) {
+  CTILE_ASSERT(m.is_square());
+  const int n = m.rows();
+  if (n == 0) return 1;
+  // Bareiss: all intermediate entries are determinants of sub-matrices,
+  // so divisions are exact.  Entries kept in __int128.
+  std::vector<i128> a(static_cast<std::size_t>(n) * n);
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < n; ++c)
+      a[static_cast<std::size_t>(r) * n + c] = m(r, c);
+  auto at = [&](int r, int c) -> i128& {
+    return a[static_cast<std::size_t>(r) * n + c];
+  };
+  i128 prev = 1;
+  int sign = 1;
+  for (int k = 0; k < n - 1; ++k) {
+    if (at(k, k) == 0) {
+      int piv = -1;
+      for (int r = k + 1; r < n; ++r) {
+        if (at(r, k) != 0) {
+          piv = r;
+          break;
+        }
+      }
+      if (piv < 0) return 0;
+      for (int c = 0; c < n; ++c) std::swap(at(k, c), at(piv, c));
+      sign = -sign;
+    }
+    for (int r = k + 1; r < n; ++r) {
+      for (int c = k + 1; c < n; ++c) {
+        i128 num = at(r, c) * at(k, k) - at(r, k) * at(k, c);
+        at(r, c) = num / prev;  // exact by Bareiss invariant
+      }
+      at(r, k) = 0;
+    }
+    prev = at(k, k);
+  }
+  return narrow_i64(sign * at(n - 1, n - 1));
+}
+
+bool is_unimodular(const MatI& m) {
+  if (!m.is_square()) return false;
+  i64 d = det(m);
+  return d == 1 || d == -1;
+}
+
+int lex_compare(const VecI& a, const VecI& b) {
+  CTILE_ASSERT(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+  }
+  return 0;
+}
+
+bool lex_positive(const VecI& v) {
+  for (i64 x : v) {
+    if (x > 0) return true;
+    if (x < 0) return false;
+  }
+  return false;
+}
+
+MatQ to_rat(const MatI& m) {
+  MatQ out(m.rows(), m.cols());
+  for (int r = 0; r < m.rows(); ++r)
+    for (int c = 0; c < m.cols(); ++c) out(r, c) = Rat(m(r, c));
+  return out;
+}
+
+MatI to_int(const MatQ& m) {
+  MatI out(m.rows(), m.cols());
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) {
+      if (!m(r, c).is_integer()) {
+        throw Error("to_int: non-integer entry " + m(r, c).to_string() +
+                    " at (" + std::to_string(r) + "," + std::to_string(c) +
+                    ")");
+      }
+      out(r, c) = m(r, c).as_int();
+    }
+  }
+  return out;
+}
+
+}  // namespace ctile

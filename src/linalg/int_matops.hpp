@@ -1,0 +1,45 @@
+// Exact operations on integer matrices and vectors.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace ctile {
+
+/// a * b with overflow-checked accumulation.
+MatI mul(const MatI& a, const MatI& b);
+
+/// Matrix-vector product a * v.
+VecI mul(const MatI& a, const VecI& v);
+
+/// a + b and a - b (element-wise, checked).
+MatI add(const MatI& a, const MatI& b);
+MatI sub(const MatI& a, const MatI& b);
+
+/// Element-wise vector helpers.
+VecI vec_add(const VecI& a, const VecI& b);
+VecI vec_sub(const VecI& a, const VecI& b);
+VecI vec_neg(const VecI& a);
+i64 dot(const VecI& a, const VecI& b);
+
+/// Determinant by fraction-free Bareiss elimination (exact, __int128
+/// intermediates).  Requires a square matrix.
+i64 det(const MatI& m);
+
+/// True iff m is square with |det| == 1.
+bool is_unimodular(const MatI& m);
+
+/// Lexicographic comparison: negative / zero / positive like memcmp.
+int lex_compare(const VecI& a, const VecI& b);
+
+/// True iff v is lexicographically positive (first nonzero entry > 0).
+bool lex_positive(const VecI& v);
+
+/// Conversions between integer and rational matrices.
+MatQ to_rat(const MatI& m);
+
+/// Exact integer extraction; throws Error if any entry is non-integral.
+MatI to_int(const MatQ& m);
+
+}  // namespace ctile

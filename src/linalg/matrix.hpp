@@ -1,0 +1,136 @@
+// Dense row-major matrices over exact scalar types.
+//
+// ctile uses two instantiations: MatI (int64, with overflow-checked
+// arithmetic routed through checked helpers by the operations in
+// int_matops/rat_matops) and MatQ (exact rationals).  Matrices here are
+// small (n x n for loop depth n, or n x q for q dependence vectors), so a
+// simple contiguous vector is the right representation.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "linalg/rational.hpp"
+#include "support/checked_int.hpp"
+
+namespace ctile {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix of value-initialized (zero) entries.
+  Matrix(int rows, int cols)
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {
+    CTILE_ASSERT(rows >= 0 && cols >= 0);
+  }
+
+  /// Brace construction from rows: Matrix<i64>{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<T>> rows) {
+    rows_ = static_cast<int>(rows.size());
+    cols_ = rows_ == 0 ? 0 : static_cast<int>(rows.begin()->size());
+    data_.reserve(static_cast<std::size_t>(rows_) *
+                  static_cast<std::size_t>(cols_));
+    for (const auto& r : rows) {
+      CTILE_ASSERT(static_cast<int>(r.size()) == cols_);
+      for (const auto& v : r) data_.push_back(v);
+    }
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool is_square() const { return rows_ == cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(int r, int c) {
+    CTILE_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  const T& operator()(int r, int c) const {
+    CTILE_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  std::vector<T> row(int r) const {
+    CTILE_ASSERT(r >= 0 && r < rows_);
+    return {data_.begin() + static_cast<std::ptrdiff_t>(r) * cols_,
+            data_.begin() + static_cast<std::ptrdiff_t>(r + 1) * cols_};
+  }
+
+  std::vector<T> col(int c) const {
+    CTILE_ASSERT(c >= 0 && c < cols_);
+    std::vector<T> out(static_cast<std::size_t>(rows_));
+    for (int r = 0; r < rows_; ++r) out[static_cast<std::size_t>(r)] = (*this)(r, c);
+    return out;
+  }
+
+  static Matrix identity(int n) {
+    Matrix m(n, n);
+    for (int i = 0; i < n; ++i) m(i, i) = T(1);
+    return m;
+  }
+
+  Matrix transposed() const {
+    Matrix t(cols_, rows_);
+    for (int r = 0; r < rows_; ++r)
+      for (int c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    return t;
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+  friend bool operator!=(const Matrix& a, const Matrix& b) {
+    return !(a == b);
+  }
+
+  /// Multi-line rendering for diagnostics: "[ 1 0 ]\n[ 2 3 ]".
+  std::string to_string() const {
+    std::ostringstream os;
+    for (int r = 0; r < rows_; ++r) {
+      os << "[";
+      for (int c = 0; c < cols_; ++c) os << ' ' << (*this)(r, c);
+      os << " ]";
+      if (r + 1 < rows_) os << '\n';
+    }
+    return os.str();
+  }
+
+  // Elementary column operations, used by the normal-form algorithms.
+
+  void swap_cols(int a, int b) {
+    for (int r = 0; r < rows_; ++r) std::swap((*this)(r, a), (*this)(r, b));
+  }
+  void swap_rows(int a, int b) {
+    for (int c = 0; c < cols_; ++c) std::swap((*this)(a, c), (*this)(b, c));
+  }
+  void negate_col(int c) {
+    for (int r = 0; r < rows_; ++r) (*this)(r, c) = T(0) - (*this)(r, c);
+  }
+  void negate_row(int r) {
+    for (int c = 0; c < cols_; ++c) (*this)(r, c) = T(0) - (*this)(r, c);
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<T> data_;
+};
+
+using MatI = Matrix<i64>;
+using MatQ = Matrix<Rat>;
+using VecI = std::vector<i64>;
+using VecQ = std::vector<Rat>;
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const Matrix<T>& m) {
+  return os << m.to_string();
+}
+
+}  // namespace ctile

@@ -1,0 +1,237 @@
+#include "linalg/rat_matops.hpp"
+
+namespace ctile {
+
+MatQ mul(const MatQ& a, const MatQ& b) {
+  CTILE_ASSERT(a.cols() == b.rows());
+  MatQ out(a.rows(), b.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < b.cols(); ++c) {
+      Rat acc;
+      for (int k = 0; k < a.cols(); ++k) acc += a(r, k) * b(k, c);
+      out(r, c) = acc;
+    }
+  }
+  return out;
+}
+
+VecQ mul(const MatQ& a, const VecQ& v) {
+  CTILE_ASSERT(a.cols() == static_cast<int>(v.size()));
+  VecQ out(static_cast<std::size_t>(a.rows()));
+  for (int r = 0; r < a.rows(); ++r) {
+    Rat acc;
+    for (int k = 0; k < a.cols(); ++k)
+      acc += a(r, k) * v[static_cast<std::size_t>(k)];
+    out[static_cast<std::size_t>(r)] = acc;
+  }
+  return out;
+}
+
+VecQ mul(const MatQ& a, const VecI& v) { return mul(a, to_rat_vec(v)); }
+
+MatQ add(const MatQ& a, const MatQ& b) {
+  CTILE_ASSERT(a.rows() == b.rows() && a.cols() == b.cols());
+  MatQ out(a.rows(), a.cols());
+  for (int r = 0; r < a.rows(); ++r)
+    for (int c = 0; c < a.cols(); ++c) out(r, c) = a(r, c) + b(r, c);
+  return out;
+}
+
+MatQ sub(const MatQ& a, const MatQ& b) {
+  CTILE_ASSERT(a.rows() == b.rows() && a.cols() == b.cols());
+  MatQ out(a.rows(), a.cols());
+  for (int r = 0; r < a.rows(); ++r)
+    for (int c = 0; c < a.cols(); ++c) out(r, c) = a(r, c) - b(r, c);
+  return out;
+}
+
+VecQ vec_add(const VecQ& a, const VecQ& b) {
+  CTILE_ASSERT(a.size() == b.size());
+  VecQ out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+VecQ vec_sub(const VecQ& a, const VecQ& b) {
+  CTILE_ASSERT(a.size() == b.size());
+  VecQ out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Rat dot(const VecQ& a, const VecQ& b) {
+  CTILE_ASSERT(a.size() == b.size());
+  Rat acc;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+Rat det(const MatQ& m) {
+  CTILE_ASSERT(m.is_square());
+  const int n = m.rows();
+  MatQ a = m;
+  Rat result(1);
+  for (int k = 0; k < n; ++k) {
+    int piv = -1;
+    for (int r = k; r < n; ++r) {
+      if (!a(r, k).is_zero()) {
+        piv = r;
+        break;
+      }
+    }
+    if (piv < 0) return Rat(0);
+    if (piv != k) {
+      a.swap_rows(piv, k);
+      result = -result;
+    }
+    result *= a(k, k);
+    Rat inv_piv = a(k, k).inv();
+    for (int r = k + 1; r < n; ++r) {
+      if (a(r, k).is_zero()) continue;
+      Rat f = a(r, k) * inv_piv;
+      for (int c = k; c < n; ++c) a(r, c) -= f * a(k, c);
+    }
+  }
+  return result;
+}
+
+MatQ inverse(const MatQ& m) {
+  CTILE_ASSERT(m.is_square());
+  const int n = m.rows();
+  MatQ a = m;
+  MatQ inv = MatQ::identity(n);
+  for (int k = 0; k < n; ++k) {
+    int piv = -1;
+    for (int r = k; r < n; ++r) {
+      if (!a(r, k).is_zero()) {
+        piv = r;
+        break;
+      }
+    }
+    if (piv < 0) throw Error("inverse: singular matrix");
+    if (piv != k) {
+      a.swap_rows(piv, k);
+      inv.swap_rows(piv, k);
+    }
+    Rat f = a(k, k).inv();
+    for (int c = 0; c < n; ++c) {
+      a(k, c) *= f;
+      inv(k, c) *= f;
+    }
+    for (int r = 0; r < n; ++r) {
+      if (r == k || a(r, k).is_zero()) continue;
+      Rat g = a(r, k);
+      for (int c = 0; c < n; ++c) {
+        a(r, c) -= g * a(k, c);
+        inv(r, c) -= g * inv(k, c);
+      }
+    }
+  }
+  return inv;
+}
+
+VecQ solve(const MatQ& m, const VecQ& rhs) {
+  CTILE_ASSERT(m.is_square() &&
+               m.rows() == static_cast<int>(rhs.size()));
+  return mul(inverse(m), rhs);
+}
+
+int rank(const MatQ& m) {
+  MatQ a = m;
+  const int rows = a.rows(), cols = a.cols();
+  int rk = 0;
+  for (int c = 0; c < cols && rk < rows; ++c) {
+    int piv = -1;
+    for (int r = rk; r < rows; ++r) {
+      if (!a(r, c).is_zero()) {
+        piv = r;
+        break;
+      }
+    }
+    if (piv < 0) continue;
+    if (piv != rk) a.swap_rows(piv, rk);
+    Rat f = a(rk, c).inv();
+    for (int cc = c; cc < cols; ++cc) a(rk, cc) *= f;
+    for (int r = 0; r < rows; ++r) {
+      if (r == rk || a(r, c).is_zero()) continue;
+      Rat g = a(r, c);
+      for (int cc = c; cc < cols; ++cc) a(r, cc) -= g * a(rk, cc);
+    }
+    ++rk;
+  }
+  return rk;
+}
+
+MatQ null_space(const MatQ& m) {
+  // Reduced row echelon form, then read off free-variable basis vectors.
+  MatQ a = m;
+  const int rows = a.rows(), cols = a.cols();
+  std::vector<int> pivot_col;
+  int rk = 0;
+  for (int c = 0; c < cols && rk < rows; ++c) {
+    int piv = -1;
+    for (int r = rk; r < rows; ++r) {
+      if (!a(r, c).is_zero()) {
+        piv = r;
+        break;
+      }
+    }
+    if (piv < 0) continue;
+    if (piv != rk) a.swap_rows(piv, rk);
+    Rat f = a(rk, c).inv();
+    for (int cc = c; cc < cols; ++cc) a(rk, cc) *= f;
+    for (int r = 0; r < rows; ++r) {
+      if (r == rk || a(r, c).is_zero()) continue;
+      Rat g = a(r, c);
+      for (int cc = c; cc < cols; ++cc) a(r, cc) -= g * a(rk, cc);
+    }
+    pivot_col.push_back(c);
+    ++rk;
+  }
+  std::vector<bool> is_pivot(static_cast<std::size_t>(cols), false);
+  for (int c : pivot_col) is_pivot[static_cast<std::size_t>(c)] = true;
+  int n_free = cols - rk;
+  MatQ basis(cols, n_free);
+  int bcol = 0;
+  for (int fc = 0; fc < cols; ++fc) {
+    if (is_pivot[static_cast<std::size_t>(fc)]) continue;
+    basis(fc, bcol) = Rat(1);
+    for (int pr = 0; pr < rk; ++pr) {
+      basis(pivot_col[static_cast<std::size_t>(pr)], bcol) = -a(pr, fc);
+    }
+    ++bcol;
+  }
+  return basis;
+}
+
+bool all_integer(const MatQ& m) {
+  for (int r = 0; r < m.rows(); ++r)
+    for (int c = 0; c < m.cols(); ++c)
+      if (!m(r, c).is_integer()) return false;
+  return true;
+}
+
+VecI to_int_vec(const VecQ& v) {
+  VecI out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!v[i].is_integer()) {
+      throw Error("to_int_vec: non-integer entry " + v[i].to_string());
+    }
+    out[i] = v[i].as_int();
+  }
+  return out;
+}
+
+bool all_integer_vec(const VecQ& v) {
+  for (const Rat& r : v)
+    if (!r.is_integer()) return false;
+  return true;
+}
+
+VecQ to_rat_vec(const VecI& v) {
+  VecQ out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = Rat(v[i]);
+  return out;
+}
+
+}  // namespace ctile

@@ -1,0 +1,41 @@
+// Exact operations on rational matrices: arithmetic, inverse, determinant,
+// and linear solves.  Used for P = H^{-1}, P' = H'^{-1} and the affine
+// space conversions j = P*j^S + P'*j'.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace ctile {
+
+MatQ mul(const MatQ& a, const MatQ& b);
+VecQ mul(const MatQ& a, const VecQ& v);
+VecQ mul(const MatQ& a, const VecI& v);
+MatQ add(const MatQ& a, const MatQ& b);
+MatQ sub(const MatQ& a, const MatQ& b);
+
+VecQ vec_add(const VecQ& a, const VecQ& b);
+VecQ vec_sub(const VecQ& a, const VecQ& b);
+Rat dot(const VecQ& a, const VecQ& b);
+
+/// Determinant by exact Gaussian elimination.
+Rat det(const MatQ& m);
+
+/// Inverse by Gauss-Jordan; throws Error on a singular matrix.
+MatQ inverse(const MatQ& m);
+
+/// Solve m * x = rhs for a square nonsingular m.
+VecQ solve(const MatQ& m, const VecQ& rhs);
+
+/// Rank via exact row reduction (works for rectangular matrices).
+int rank(const MatQ& m);
+
+/// Basis of the (right) null space {x : m*x = 0}; columns of the result.
+MatQ null_space(const MatQ& m);
+
+/// Exact integrality checks and conversions.
+bool all_integer(const MatQ& m);
+VecI to_int_vec(const VecQ& v);
+bool all_integer_vec(const VecQ& v);
+VecQ to_rat_vec(const VecI& v);
+
+}  // namespace ctile

@@ -1,0 +1,103 @@
+#include "linalg/rational.hpp"
+
+#include <ostream>
+
+namespace ctile {
+
+namespace {
+
+// gcd over __int128 magnitudes.
+i128 gcd_i128(i128 a, i128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    i128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+Rat::Rat(i64 n, i64 d) {
+  if (d == 0) throw Error("Rat: zero denominator");
+  *this = from_i128(n, d);
+}
+
+Rat Rat::from_i128(i128 n, i128 d) {
+  CTILE_ASSERT(d != 0);
+  if (d < 0) {
+    n = -n;
+    d = -d;
+  }
+  if (n == 0) {
+    Rat r;
+    return r;
+  }
+  i128 g = gcd_i128(n, d);
+  n /= g;
+  d /= g;
+  Rat r;
+  r.num_ = narrow_i64(n);
+  r.den_ = narrow_i64(d);
+  return r;
+}
+
+i64 Rat::as_int() const {
+  if (den_ != 1) {
+    throw Error("Rat::as_int on non-integer " + to_string());
+  }
+  return num_;
+}
+
+Rat Rat::operator-() const {
+  Rat r;
+  r.num_ = neg_ck(num_);
+  r.den_ = den_;
+  return r;
+}
+
+Rat Rat::inv() const {
+  if (num_ == 0) throw Error("Rat::inv of zero");
+  return from_i128(den_, num_);
+}
+
+Rat operator+(const Rat& a, const Rat& b) {
+  return Rat::from_i128(
+      static_cast<i128>(a.num_) * b.den_ + static_cast<i128>(b.num_) * a.den_,
+      static_cast<i128>(a.den_) * b.den_);
+}
+
+Rat operator-(const Rat& a, const Rat& b) {
+  return Rat::from_i128(
+      static_cast<i128>(a.num_) * b.den_ - static_cast<i128>(b.num_) * a.den_,
+      static_cast<i128>(a.den_) * b.den_);
+}
+
+Rat operator*(const Rat& a, const Rat& b) {
+  return Rat::from_i128(static_cast<i128>(a.num_) * b.num_,
+                        static_cast<i128>(a.den_) * b.den_);
+}
+
+Rat operator/(const Rat& a, const Rat& b) {
+  if (b.num_ == 0) throw Error("Rat: division by zero");
+  return Rat::from_i128(static_cast<i128>(a.num_) * b.den_,
+                        static_cast<i128>(a.den_) * b.num_);
+}
+
+bool operator<(const Rat& a, const Rat& b) {
+  return static_cast<i128>(a.num_) * b.den_ <
+         static_cast<i128>(b.num_) * a.den_;
+}
+
+std::string Rat::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rat& r) {
+  return os << r.to_string();
+}
+
+}  // namespace ctile

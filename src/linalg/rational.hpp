@@ -1,0 +1,84 @@
+// Exact rational arithmetic over 64-bit integers.
+//
+// Tiling matrices H have entries like 1/x and -1/(2x); their inverses P and
+// the auxiliary matrices P' = (V*H)^{-1} must be computed exactly, since a
+// single off-by-one in a tile origin corrupts the communication sets.  All
+// operations normalize (gcd-reduced, positive denominator) and use __int128
+// intermediates with overflow checks.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "support/checked_int.hpp"
+
+namespace ctile {
+
+class Rat {
+ public:
+  /// Zero.
+  constexpr Rat() : num_(0), den_(1) {}
+  /// Integer value n.
+  constexpr Rat(i64 n) : num_(n), den_(1) {}  // NOLINT(google-explicit-constructor)
+  /// n/d, normalized.  d must be nonzero.
+  Rat(i64 n, i64 d);
+
+  i64 num() const { return num_; }
+  i64 den() const { return den_; }
+
+  bool is_zero() const { return num_ == 0; }
+  bool is_integer() const { return den_ == 1; }
+  bool is_positive() const { return num_ > 0; }
+  bool is_negative() const { return num_ < 0; }
+
+  /// The integer value; requires is_integer().
+  i64 as_int() const;
+  /// Largest integer <= value.
+  i64 floor() const { return floor_div(num_, den_); }
+  /// Smallest integer >= value.
+  i64 ceil() const { return ceil_div(num_, den_); }
+  /// Value rounded toward zero.
+  i64 trunc() const { return num_ / den_; }
+
+  double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  Rat operator-() const;
+  Rat abs() const { return num_ < 0 ? -*this : *this; }
+  /// Multiplicative inverse; requires nonzero.
+  Rat inv() const;
+
+  friend Rat operator+(const Rat& a, const Rat& b);
+  friend Rat operator-(const Rat& a, const Rat& b);
+  friend Rat operator*(const Rat& a, const Rat& b);
+  friend Rat operator/(const Rat& a, const Rat& b);
+
+  Rat& operator+=(const Rat& o) { return *this = *this + o; }
+  Rat& operator-=(const Rat& o) { return *this = *this - o; }
+  Rat& operator*=(const Rat& o) { return *this = *this * o; }
+  Rat& operator/=(const Rat& o) { return *this = *this / o; }
+
+  friend bool operator==(const Rat& a, const Rat& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rat& a, const Rat& b) { return !(a == b); }
+  friend bool operator<(const Rat& a, const Rat& b);
+  friend bool operator>(const Rat& a, const Rat& b) { return b < a; }
+  friend bool operator<=(const Rat& a, const Rat& b) { return !(b < a); }
+  friend bool operator>=(const Rat& a, const Rat& b) { return !(a < b); }
+
+  /// "n" for integers, "n/d" otherwise.
+  std::string to_string() const;
+
+ private:
+  // Builds from an unreduced __int128 fraction, reducing exactly.
+  static Rat from_i128(i128 n, i128 d);
+
+  i64 num_;  // reduced numerator, carries the sign
+  i64 den_;  // reduced denominator, always > 0
+};
+
+std::ostream& operator<<(std::ostream& os, const Rat& r);
+
+}  // namespace ctile

@@ -1,0 +1,129 @@
+#include "mpisim/mpisim.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+
+namespace ctile::mpisim {
+
+Comm::Comm(int size) {
+  CTILE_ASSERT(size > 0);
+  boxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    boxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void Comm::send(int src, int dst, i64 tag, std::vector<double> data) {
+  CTILE_ASSERT(src >= 0 && src < size());
+  CTILE_ASSERT(dst >= 0 && dst < size());
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++messages_sent_;
+    doubles_sent_ += static_cast<i64>(data.size());
+  }
+  Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.push_back(Message{src, tag, std::move(data)});
+  }
+  box.cv.notify_all();
+}
+
+std::vector<double> Comm::recv(int dst, int src, i64 tag) {
+  CTILE_ASSERT(dst >= 0 && dst < size());
+  Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  for (;;) {
+    auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                           [&](const Message& m) {
+                             return m.src == src && m.tag == tag;
+                           });
+    if (it != box.queue.end()) {
+      std::vector<double> data = std::move(it->data);
+      box.queue.erase(it);
+      return data;
+    }
+    if (aborted_.load()) {
+      throw Error("mpisim: communicator aborted while rank " +
+                  std::to_string(dst) + " waited for (src=" +
+                  std::to_string(src) + ", tag=" + std::to_string(tag) + ")");
+    }
+    box.cv.wait(lock);
+  }
+}
+
+bool Comm::probe(int dst, int src, i64 tag) {
+  Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  return std::any_of(box.queue.begin(), box.queue.end(),
+                     [&](const Message& m) {
+                       return m.src == src && m.tag == tag;
+                     });
+}
+
+void Comm::barrier(int rank) {
+  CTILE_ASSERT(rank >= 0 && rank < size());
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  i64 my_generation = barrier_generation_;
+  if (++barrier_count_ == size()) {
+    barrier_count_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] {
+    return barrier_generation_ != my_generation || aborted_.load();
+  });
+  if (aborted_.load() && barrier_generation_ == my_generation) {
+    throw Error("mpisim: communicator aborted during barrier");
+  }
+}
+
+void Comm::abort() {
+  aborted_.store(true);
+  for (auto& box : boxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+    barrier_cv_.notify_all();
+  }
+}
+
+i64 Comm::messages_sent() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return messages_sent_;
+}
+
+i64 Comm::doubles_sent() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return doubles_sent_;
+}
+
+void run_ranks(int size, const std::function<void(int, Comm&)>& fn) {
+  Comm comm(size);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  for (int r = 0; r < size; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(r, comm);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        comm.abort();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ctile::mpisim

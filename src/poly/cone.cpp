@@ -1,0 +1,125 @@
+#include "poly/cone.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "linalg/int_matops.hpp"
+#include "linalg/rat_matops.hpp"
+
+namespace ctile {
+
+VecI primitive(const VecI& v) {
+  i64 g = 0;
+  for (i64 x : v) g = gcd_i64(g, x);
+  if (g <= 1) return v;
+  VecI out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[i] / g;
+  return out;
+}
+
+bool in_cone(const MatI& a, const VecI& x) {
+  CTILE_ASSERT(a.cols() == static_cast<int>(x.size()));
+  for (int r = 0; r < a.rows(); ++r) {
+    if (dot(a.row(r), x) < 0) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Rank of the subset of rows `rows` of a.
+int subset_rank(const MatI& a, const std::vector<int>& rows) {
+  MatQ m(static_cast<int>(rows.size()), a.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (int c = 0; c < a.cols(); ++c) {
+      m(static_cast<int>(i), c) = Rat(a(rows[i], c));
+    }
+  }
+  return rank(m);
+}
+
+// Integer null direction of an (n-1)-rank row subset, or empty if the
+// null space is not 1-dimensional.
+VecI null_direction(const MatI& a, const std::vector<int>& rows) {
+  MatQ m(static_cast<int>(rows.size()), a.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (int c = 0; c < a.cols(); ++c) {
+      m(static_cast<int>(i), c) = Rat(a(rows[i], c));
+    }
+  }
+  MatQ ns = null_space(m);
+  if (ns.cols() != 1) return {};
+  // Clear denominators to get a primitive integer ray.
+  i64 l = 1;
+  for (int r = 0; r < ns.rows(); ++r) l = lcm_i64(l, ns(r, 0).den());
+  VecI dir(static_cast<std::size_t>(ns.rows()));
+  for (int r = 0; r < ns.rows(); ++r) {
+    dir[static_cast<std::size_t>(r)] = (ns(r, 0) * Rat(l)).as_int();
+  }
+  return primitive(dir);
+}
+
+void enumerate_subsets(int q, int k, std::vector<int>& cur, int start,
+                       const std::function<void(const std::vector<int>&)>& fn) {
+  if (static_cast<int>(cur.size()) == k) {
+    fn(cur);
+    return;
+  }
+  for (int i = start; i <= q - (k - static_cast<int>(cur.size())); ++i) {
+    cur.push_back(i);
+    enumerate_subsets(q, k, cur, i + 1, fn);
+    cur.pop_back();
+  }
+}
+
+}  // namespace
+
+ConeRays extreme_rays(const MatI& a) {
+  const int n = a.cols();
+  const int q = a.rows();
+  ConeRays out;
+  // Lineality space: {x : A x = 0}.  Nonempty lineality means the cone is
+  // not pointed and the facet-subset enumeration below only captures the
+  // pointed quotient.
+  MatQ aq = to_rat(a);
+  out.has_lineality = rank(aq) < n;
+
+  if (n == 1) {
+    // Degenerate 1-D case: the rays are +1 / -1 as admitted.
+    for (i64 s : {i64{1}, i64{-1}}) {
+      if (in_cone(a, {s})) out.rays.push_back({s});
+    }
+    return out;
+  }
+
+  std::vector<VecI> found;
+  std::vector<int> cur;
+  enumerate_subsets(q, n - 1, cur, 0, [&](const std::vector<int>& rows) {
+    if (subset_rank(a, rows) != n - 1) return;
+    VecI dir = null_direction(a, rows);
+    if (dir.empty()) return;
+    for (const VecI& cand : {dir, vec_neg(dir)}) {
+      if (!in_cone(a, cand)) continue;
+      if (std::find(found.begin(), found.end(), cand) == found.end()) {
+        found.push_back(cand);
+      }
+    }
+  });
+
+  // Drop non-extreme candidates: a candidate is extreme iff the set of
+  // constraints tight at it has rank exactly n-1 (for pointed cones) and
+  // it is not a positive combination of two others.  The tightness-rank
+  // test is the standard certificate.
+  for (const VecI& r : found) {
+    std::vector<int> tight;
+    for (int row = 0; row < q; ++row) {
+      if (dot(a.row(row), r) == 0) tight.push_back(row);
+    }
+    if (tight.empty()) continue;
+    if (subset_rank(a, tight) == n - 1) out.rays.push_back(r);
+  }
+  std::sort(out.rays.begin(), out.rays.end());
+  return out;
+}
+
+}  // namespace ctile

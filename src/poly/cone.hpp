@@ -1,0 +1,43 @@
+// Polyhedral cones {x : A x >= 0} and their extreme rays.
+//
+// The tiling cone of an algorithm with dependence matrix D is the set of
+// row vectors h with h . d >= 0 for every dependence d (so that tiling by
+// planes normal to h is legal).  Its extreme rays are the "sides of the
+// tiling cone" from which, per Hodzic-Shang and the paper's \S4, the
+// scheduling-optimal tile shapes are drawn.
+//
+// Rays are enumerated combinatorially: every extreme ray of a pointed
+// n-dimensional cone lies on n-1 linearly independent facets, so we solve
+// each (n-1)-subset of constraints for its null direction and keep the
+// directions that satisfy all constraints.  Loop depths are tiny (n <= 6),
+// so the subset enumeration is exact and fast.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace ctile {
+
+struct ConeRays {
+  /// Extreme rays, each normalized to primitive integer form (gcd 1,
+  /// lexicographically-positive orientation is NOT forced; rays keep the
+  /// orientation satisfying the constraints).
+  std::vector<VecI> rays;
+  /// True iff the cone contains a full line (is not pointed); then the
+  /// ray list describes the pointed part only and callers should treat
+  /// the result as partial.
+  bool has_lineality;
+};
+
+/// Extreme rays of {x in R^n : rows(a) . x >= 0 componentwise}.
+/// `a` is a q x n matrix of constraint rows.
+ConeRays extreme_rays(const MatI& a);
+
+/// Divide by the gcd of the entries; zero vectors stay zero.
+VecI primitive(const VecI& v);
+
+/// True iff x satisfies rows(a) . x >= 0.
+bool in_cone(const MatI& a, const VecI& x);
+
+}  // namespace ctile

@@ -1,0 +1,80 @@
+#include "poly/constraint.hpp"
+
+#include "linalg/rat_matops.hpp"
+#include "support/strings.hpp"
+
+namespace ctile {
+
+i64 Constraint::eval(const VecI& x) const {
+  CTILE_ASSERT(x.size() == coeffs.size());
+  i128 acc = constant;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    acc += static_cast<i128>(coeffs[i]) * x[i];
+  }
+  return narrow_i64(acc);
+}
+
+Rat Constraint::eval(const VecQ& x) const {
+  CTILE_ASSERT(x.size() == coeffs.size());
+  Rat acc(constant);
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    acc += Rat(coeffs[i]) * x[i];
+  }
+  return acc;
+}
+
+bool Constraint::is_constant() const {
+  for (i64 c : coeffs) {
+    if (c != 0) return false;
+  }
+  return true;
+}
+
+void Constraint::normalize() {
+  i64 g = 0;
+  for (i64 c : coeffs) g = gcd_i64(g, c);
+  if (g <= 1) return;
+  for (i64& c : coeffs) c /= g;
+  // For integer x:  g*(a.x) + constant >= 0  <=>  a.x >= ceil(-constant/g)
+  //                                          <=>  a.x + floor(constant/g) >= 0.
+  constant = floor_div(constant, g);
+}
+
+std::string Constraint::to_string() const {
+  std::vector<std::string> terms;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    if (coeffs[i] == 0) continue;
+    std::string t;
+    if (coeffs[i] == 1) {
+      t = "x" + std::to_string(i);
+    } else if (coeffs[i] == -1) {
+      t = "-x" + std::to_string(i);
+    } else {
+      t = std::to_string(coeffs[i]) + "*x" + std::to_string(i);
+    }
+    terms.push_back(t);
+  }
+  std::string lhs = terms.empty() ? "0" : join(terms, " + ");
+  if (constant > 0) {
+    lhs += " + " + std::to_string(constant);
+  } else if (constant < 0) {
+    lhs += " - " + std::to_string(-constant);
+  }
+  return lhs + " >= 0";
+}
+
+Constraint lower_bound(int dim, int var, i64 bound) {
+  CTILE_ASSERT(var >= 0 && var < dim);
+  Constraint c(VecI(static_cast<std::size_t>(dim), 0), neg_ck(bound));
+  c.coeffs[static_cast<std::size_t>(var)] = 1;
+  return c;
+}
+
+Constraint upper_bound(int dim, int var, i64 bound) {
+  CTILE_ASSERT(var >= 0 && var < dim);
+  Constraint c(VecI(static_cast<std::size_t>(dim), 0), bound);
+  c.coeffs[static_cast<std::size_t>(var)] = -1;
+  return c;
+}
+
+}  // namespace ctile

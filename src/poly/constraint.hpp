@@ -1,0 +1,58 @@
+// Linear inequality constraints over integer variables.
+//
+// A Constraint represents  coeffs . x + constant >= 0  with integer
+// coefficients.  Constraints are kept gcd-normalized so that syntactic
+// deduplication catches scaled copies produced by Fourier-Motzkin.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "support/checked_int.hpp"
+
+namespace ctile {
+
+struct Constraint {
+  VecI coeffs;   ///< one coefficient per variable
+  i64 constant;  ///< additive constant
+
+  Constraint() : constant(0) {}
+  Constraint(VecI c, i64 k) : coeffs(std::move(c)), constant(k) {}
+
+  int dim() const { return static_cast<int>(coeffs.size()); }
+
+  /// Value of coeffs . x + constant.
+  i64 eval(const VecI& x) const;
+  Rat eval(const VecQ& x) const;
+
+  /// True iff the point satisfies the constraint.
+  bool satisfied(const VecI& x) const { return eval(x) >= 0; }
+
+  /// True iff all coefficients are zero (then the constraint is either a
+  /// tautology or an infeasibility depending on the constant's sign).
+  bool is_constant() const;
+
+  /// Divide through by the gcd of all coefficients and the constant's
+  /// compatible part: gcd of coeffs g, then constant -> floor(constant/g)
+  /// (sound for integer solutions: g*q + c >= 0  <=>  q >= ceil(-c/g)).
+  void normalize();
+
+  /// Human-readable form like "2*x0 - x1 + 3 >= 0".
+  std::string to_string() const;
+
+  friend bool operator==(const Constraint& a, const Constraint& b) {
+    return a.coeffs == b.coeffs && a.constant == b.constant;
+  }
+  friend bool operator<(const Constraint& a, const Constraint& b) {
+    if (a.coeffs != b.coeffs) return a.coeffs < b.coeffs;
+    return a.constant < b.constant;
+  }
+};
+
+/// coeffs . x + constant >= 0 from an upper-bound form x_k <= e, etc.
+/// Convenience builders used when assembling iteration spaces.
+Constraint lower_bound(int dim, int var, i64 bound);   // x_var >= bound
+Constraint upper_bound(int dim, int var, i64 bound);   // x_var <= bound
+
+}  // namespace ctile

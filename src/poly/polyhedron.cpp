@@ -1,0 +1,299 @@
+#include "poly/polyhedron.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "linalg/rat_matops.hpp"
+#include "support/strings.hpp"
+
+namespace ctile {
+
+void Polyhedron::add(Constraint c) {
+  CTILE_ASSERT(c.dim() == dim_);
+  c.normalize();
+  // Skip tautologies; keep one copy of everything else.
+  if (c.is_constant() && c.constant >= 0) return;
+  if (std::find(cons_.begin(), cons_.end(), c) != cons_.end()) return;
+  cons_.push_back(std::move(c));
+}
+
+Polyhedron Polyhedron::box(const VecI& lo, const VecI& hi) {
+  CTILE_ASSERT(lo.size() == hi.size());
+  int n = static_cast<int>(lo.size());
+  Polyhedron p(n);
+  for (int i = 0; i < n; ++i) {
+    p.add(lower_bound(n, i, lo[static_cast<std::size_t>(i)]));
+    p.add(upper_bound(n, i, hi[static_cast<std::size_t>(i)]));
+  }
+  return p;
+}
+
+bool Polyhedron::contains(const VecI& x) const {
+  for (const Constraint& c : cons_) {
+    if (!c.satisfied(x)) return false;
+  }
+  return true;
+}
+
+bool Polyhedron::contains_rational(const VecQ& x) const {
+  for (const Constraint& c : cons_) {
+    if (c.eval(x).is_negative()) return false;
+  }
+  return true;
+}
+
+Polyhedron Polyhedron::eliminate(int var) const {
+  CTILE_ASSERT(var >= 0 && var < dim_);
+  Polyhedron out(dim_ - 1);
+  auto drop_var = [&](const Constraint& c) {
+    Constraint r;
+    r.coeffs.reserve(static_cast<std::size_t>(dim_ - 1));
+    for (int i = 0; i < dim_; ++i) {
+      if (i != var) r.coeffs.push_back(c.coeffs[static_cast<std::size_t>(i)]);
+    }
+    r.constant = c.constant;
+    return r;
+  };
+
+  std::vector<const Constraint*> lowers, uppers;
+  for (const Constraint& c : cons_) {
+    i64 a = c.coeffs[static_cast<std::size_t>(var)];
+    if (a > 0) {
+      lowers.push_back(&c);
+    } else if (a < 0) {
+      uppers.push_back(&c);
+    } else {
+      out.add(drop_var(c));
+    }
+  }
+  // Combine every (lower, upper) pair: q*(lower) + p*(upper) cancels var,
+  // where p = coeff in lower (> 0) and q = -coeff in upper (> 0).
+  for (const Constraint* lo : lowers) {
+    for (const Constraint* up : uppers) {
+      i64 p = lo->coeffs[static_cast<std::size_t>(var)];
+      i64 q = neg_ck(up->coeffs[static_cast<std::size_t>(var)]);
+      Constraint combo;
+      combo.coeffs.reserve(static_cast<std::size_t>(dim_ - 1));
+      for (int i = 0; i < dim_; ++i) {
+        if (i == var) continue;
+        i128 v = static_cast<i128>(q) * lo->coeffs[static_cast<std::size_t>(i)] +
+                 static_cast<i128>(p) * up->coeffs[static_cast<std::size_t>(i)];
+        combo.coeffs.push_back(narrow_i64(v));
+      }
+      combo.constant = narrow_i64(static_cast<i128>(q) * lo->constant +
+                                  static_cast<i128>(p) * up->constant);
+      if (combo.is_constant() && combo.constant < 0) {
+        // Record the contradiction explicitly so emptiness is visible.
+        out.cons_.push_back(std::move(combo));
+        continue;
+      }
+      out.add(std::move(combo));
+    }
+  }
+  return out;
+}
+
+Polyhedron Polyhedron::project_prefix(int keep) const {
+  CTILE_ASSERT(keep >= 0 && keep <= dim_);
+  Polyhedron p = *this;
+  for (int v = dim_ - 1; v >= keep; --v) {
+    p = p.eliminate(v);
+  }
+  return p;
+}
+
+IntRange Polyhedron::var_range(int var, const VecI& outer) const {
+  CTILE_ASSERT(static_cast<int>(outer.size()) >= var);
+  i64 lo = std::numeric_limits<i64>::min();
+  i64 hi = std::numeric_limits<i64>::max();
+  bool lo_bounded = false, hi_bounded = false;
+  for (const Constraint& c : cons_) {
+    for (int i = var + 1; i < dim_; ++i) {
+      CTILE_ASSERT_MSG(c.coeffs[static_cast<std::size_t>(i)] == 0,
+                       "var_range requires a prefix-projected polyhedron");
+    }
+    i64 a = c.coeffs[static_cast<std::size_t>(var)];
+    // rest = constant + sum_{i < var} coeff_i * outer_i
+    i128 rest = c.constant;
+    for (int i = 0; i < var; ++i) {
+      rest += static_cast<i128>(c.coeffs[static_cast<std::size_t>(i)]) *
+              outer[static_cast<std::size_t>(i)];
+    }
+    if (a > 0) {
+      // a*x + rest >= 0  =>  x >= ceil(-rest / a)
+      i64 bound = ceil_div(narrow_i64(-rest), a);
+      lo = std::max(lo, bound);
+      lo_bounded = true;
+    } else if (a < 0) {
+      // a*x + rest >= 0  =>  x <= floor(rest / -a)
+      i64 bound = floor_div(narrow_i64(rest), neg_ck(a));
+      hi = std::min(hi, bound);
+      hi_bounded = true;
+    } else if (rest < 0) {
+      return {1, 0};  // infeasible for this outer prefix
+    }
+  }
+  if (!lo_bounded || !hi_bounded) {
+    throw Error("var_range: unbounded variable x" + std::to_string(var));
+  }
+  return {lo, hi};
+}
+
+bool Polyhedron::empty_rational() const {
+  Polyhedron p = project_prefix(0);
+  for (const Constraint& c : p.cons_) {
+    if (c.constant < 0) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// The negation of c over integers: c is (a.x + k >= 0), its integer
+// negation is (a.x + k <= -1), i.e. (-a).x - k - 1 >= 0.
+Constraint negate_constraint(const Constraint& c) {
+  Constraint neg;
+  neg.coeffs.reserve(c.coeffs.size());
+  for (i64 v : c.coeffs) neg.coeffs.push_back(neg_ck(v));
+  neg.constant = sub_ck(neg_ck(c.constant), 1);
+  return neg;
+}
+
+}  // namespace
+
+Polyhedron Polyhedron::simplified() const {
+  Polyhedron out(dim_);
+  std::vector<bool> kept(cons_.size(), true);
+  for (std::size_t i = 0; i < cons_.size(); ++i) {
+    // Candidate system: all constraints still kept except i, plus the
+    // negation of i.  If that is empty, i is implied and can go.
+    Polyhedron test(dim_);
+    for (std::size_t j = 0; j < cons_.size(); ++j) {
+      if (j == i || !kept[j]) continue;
+      test.add(cons_[j]);
+    }
+    test.add(negate_constraint(cons_[i]));
+    if (test.empty_rational()) {
+      kept[i] = false;
+    }
+  }
+  for (std::size_t i = 0; i < cons_.size(); ++i) {
+    if (kept[i]) out.add(cons_[i]);
+  }
+  return out;
+}
+
+bool Polyhedron::equal_integer_sets(const Polyhedron& a, const Polyhedron& b) {
+  CTILE_ASSERT(a.dim() == b.dim());
+  // a subset of b: for every constraint c of b, {a, not c} is empty.
+  auto subset = [](const Polyhedron& x, const Polyhedron& y) {
+    for (const Constraint& c : y.cons_) {
+      Polyhedron test = x;
+      test.add(negate_constraint(c));
+      if (!test.empty_rational()) return false;
+    }
+    return true;
+  };
+  return subset(a, b) && subset(b, a);
+}
+
+std::vector<Polyhedron> Polyhedron::level_projections() const {
+  std::vector<Polyhedron> levels(static_cast<std::size_t>(dim_));
+  if (dim_ == 0) return levels;
+  levels[static_cast<std::size_t>(dim_ - 1)] = *this;
+  for (int v = dim_ - 1; v >= 1; --v) {
+    levels[static_cast<std::size_t>(v - 1)] =
+        levels[static_cast<std::size_t>(v)].eliminate(v);
+  }
+  return levels;
+}
+
+void Polyhedron::scan(const std::function<void(const VecI&)>& fn) const {
+  if (dim_ == 0) return;
+  std::vector<Polyhedron> levels = level_projections();
+  VecI point(static_cast<std::size_t>(dim_), 0);
+  // Iterative nested loop over levels; recursion depth = dim_ is tiny but
+  // an explicit helper keeps the ranges exact per level.
+  std::function<void(int)> walk = [&](int level) {
+    IntRange r = levels[static_cast<std::size_t>(level)].var_range(level, point);
+    for (i64 v = r.lo; v <= r.hi; ++v) {
+      point[static_cast<std::size_t>(level)] = v;
+      if (level == dim_ - 1) {
+        // FM is exact on the innermost level (no elimination happened),
+        // but re-check to guard against rational shadows upstream.
+        if (contains(point)) fn(point);
+      } else {
+        walk(level + 1);
+      }
+    }
+  };
+  walk(0);
+}
+
+i64 Polyhedron::count_points() const {
+  i64 n = 0;
+  scan([&](const VecI&) { ++n; });
+  return n;
+}
+
+std::vector<IntRange> Polyhedron::bounding_box() const {
+  std::vector<IntRange> out;
+  out.reserve(static_cast<std::size_t>(dim_));
+  for (int v = 0; v < dim_; ++v) {
+    // Project away everything but v, then read its range.
+    Polyhedron p = *this;
+    for (int i = dim_ - 1; i >= 0; --i) {
+      if (i != v) p = p.eliminate(i);
+    }
+    out.push_back(p.var_range(0, {}));
+  }
+  return out;
+}
+
+std::string Polyhedron::to_string() const {
+  std::vector<std::string> lines;
+  lines.reserve(cons_.size());
+  for (const Constraint& c : cons_) lines.push_back(c.to_string());
+  return "{ dim=" + std::to_string(dim_) + "\n  " + join(lines, "\n  ") +
+         "\n}";
+}
+
+Polyhedron substitute(const Polyhedron& p, const MatQ& m, const VecQ& c) {
+  CTILE_ASSERT(m.rows() == p.dim());
+  CTILE_ASSERT(static_cast<int>(c.size()) == p.dim());
+  int ny = m.cols();
+  Polyhedron out(ny);
+  for (const Constraint& old : p.constraints()) {
+    // old: a.x + k >= 0 with x = M y + c  =>  (a^T M) y + (a.c + k) >= 0.
+    VecQ coeffs(static_cast<std::size_t>(ny));
+    for (int j = 0; j < ny; ++j) {
+      Rat acc;
+      for (int i = 0; i < p.dim(); ++i) {
+        acc += Rat(old.coeffs[static_cast<std::size_t>(i)]) * m(i, j);
+      }
+      coeffs[static_cast<std::size_t>(j)] = acc;
+    }
+    Rat constant(old.constant);
+    for (int i = 0; i < p.dim(); ++i) {
+      constant += Rat(old.coeffs[static_cast<std::size_t>(i)]) *
+                  c[static_cast<std::size_t>(i)];
+    }
+    // Clear denominators (multiplying an inequality by a positive integer
+    // preserves it).
+    i64 l = 1;
+    for (const Rat& r : coeffs) l = lcm_i64(l, r.den());
+    l = lcm_i64(l, constant.den());
+    Constraint nc;
+    nc.coeffs.resize(static_cast<std::size_t>(ny));
+    for (int j = 0; j < ny; ++j) {
+      nc.coeffs[static_cast<std::size_t>(j)] =
+          (coeffs[static_cast<std::size_t>(j)] * Rat(l)).as_int();
+    }
+    nc.constant = (constant * Rat(l)).as_int();
+    out.add(std::move(nc));
+  }
+  return out;
+}
+
+}  // namespace ctile

@@ -1,0 +1,107 @@
+// Convex polyhedra as conjunctions of integer linear inequalities, with
+// Fourier-Motzkin elimination and loop-bound extraction.
+//
+// This is the workhorse behind (a) sequential tiled loop bounds, (b) the
+// tile-space bounds l^S_k / u^S_k, and (c) integer point scanning used by
+// tests and the reference executors.  FM elimination over integers is an
+// over-approximation of the integer projection (it computes the rational
+// shadow); all consumers either re-check membership per point (scanning) or
+// tolerate empty boundary tiles (tile spaces), which the paper's scheme
+// does too ("for boundary tiles these bounds can be corrected using
+// inequalities describing the original iteration space").
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "poly/constraint.hpp"
+
+namespace ctile {
+
+/// Inclusive integer interval; empty() when lo > hi.
+struct IntRange {
+  i64 lo;
+  i64 hi;
+  bool empty() const { return lo > hi; }
+  i64 count() const { return empty() ? 0 : hi - lo + 1; }
+};
+
+class Polyhedron {
+ public:
+  Polyhedron() : dim_(0) {}
+  explicit Polyhedron(int dim) : dim_(dim) { CTILE_ASSERT(dim >= 0); }
+
+  int dim() const { return dim_; }
+  const std::vector<Constraint>& constraints() const { return cons_; }
+  int num_constraints() const { return static_cast<int>(cons_.size()); }
+
+  /// Add a (normalized, deduplicated) constraint.  Dimension must match.
+  void add(Constraint c);
+
+  /// Axis-aligned box [lo_i, hi_i] for all i.
+  static Polyhedron box(const VecI& lo, const VecI& hi);
+
+  bool contains(const VecI& x) const;
+  bool contains_rational(const VecQ& x) const;
+
+  /// Eliminate variable `var` by Fourier-Motzkin; result has dim-1
+  /// variables (the remaining ones keep their relative order).
+  Polyhedron eliminate(int var) const;
+
+  /// Eliminate all variables with index >= keep, producing the rational
+  /// shadow on the first `keep` variables.
+  Polyhedron project_prefix(int keep) const;
+
+  /// Range of variable `var` given fixed values of variables 0..var-1.
+  /// Must be called on a polyhedron whose constraints only involve
+  /// variables 0..var (i.e. a prefix projection).  Unbounded directions
+  /// throw Error (iteration spaces are compact by construction).
+  IntRange var_range(int var, const VecI& outer) const;
+
+  /// True iff the *rational* polyhedron is empty (exact FM test).
+  bool empty_rational() const;
+
+  /// Copy with redundant constraints removed: a constraint is dropped if
+  /// the others still imply it (tested by FM emptiness of {others,
+  /// negation}).  Exact for integer solution sets thanks to the
+  /// normalization tightening; costs one FM run per constraint, so use it
+  /// on codegen-bound polyhedra, not in inner loops.
+  Polyhedron simplified() const;
+
+  /// True if mutual implication of all constraints is provable via FM
+  /// (then the two integer sets are equal).  Conservative: may return
+  /// false for equal sets whose equivalence needs deeper integer
+  /// reasoning than FM-with-tightening provides.
+  static bool equal_integer_sets(const Polyhedron& a, const Polyhedron& b);
+
+  /// Lexicographic scan of all integer points, invoking fn for each.
+  /// Implemented with per-level FM projections, so it touches only
+  /// feasible prefixes.
+  void scan(const std::function<void(const VecI&)>& fn) const;
+
+  /// Number of integer points (scan-based; intended for tests/small sets).
+  i64 count_points() const;
+
+  /// Bounding box of the rational shadow per dimension.
+  std::vector<IntRange> bounding_box() const;
+
+  /// The per-level projections [P_0 .. P_{dim-1}] where P_k constrains
+  /// variables 0..k.  P_{dim-1} is *this.  Used by scan() and by the
+  /// code generator to emit loop bounds.
+  std::vector<Polyhedron> level_projections() const;
+
+  std::string to_string() const;
+
+ private:
+  int dim_;
+  std::vector<Constraint> cons_;
+};
+
+/// Transform the polyhedron {x : constraints} by an affine substitution
+/// x = M*y + c (M rational, c rational), returning constraints over y with
+/// integer coefficients (denominators cleared).
+Polyhedron substitute(const Polyhedron& p, const MatQ& m, const VecQ& c);
+
+}  // namespace ctile

@@ -1,0 +1,109 @@
+#include "runtime/comm_plan.hpp"
+
+#include <algorithm>
+
+#include "linalg/int_matops.hpp"
+
+namespace ctile {
+
+CommPlan::CommPlan(const TiledNest& tiled, const Mapping& mapping,
+                   const LdsLayout& lds)
+    : tiled_(&tiled), mapping_(&mapping), lds_(&lds) {
+  const int n = tiled.nest().depth;
+  const int m = mapping.m();
+  const MatI& ds_mat = tiled.tile_deps();
+
+  // Collect tile dependencies, sorted for a deterministic RECEIVE order.
+  std::vector<VecI> cols;
+  for (int c = 0; c < ds_mat.cols(); ++c) cols.push_back(ds_mat.col(c));
+  std::sort(cols.begin(), cols.end());
+
+  // Distinct nonzero processor projections, in first-appearance order of
+  // the sorted dependence list (the tag namespace of the generated code).
+  for (const VecI& ds : cols) {
+    TileDep dep;
+    dep.ds = ds;
+    dep.dm = project_dep(ds, m);
+    bool zero = std::all_of(dep.dm.begin(), dep.dm.end(),
+                            [](i64 v) { return v == 0; });
+    if (zero) {
+      // Chain-internal dependence: satisfied through the contiguous LDS
+      // layout in dimension m, no message.
+      dep.dir = -1;
+    } else {
+      int found = -1;
+      for (std::size_t i = 0; i < dirs_.size(); ++i) {
+        if (dirs_[i].dm == dep.dm) {
+          found = static_cast<int>(i);
+          break;
+        }
+      }
+      if (found < 0) {
+        ProcDir dir;
+        dir.dm = dep.dm;
+        dir.pack = full_ttis_region(tiled.transform());
+        int g = 0;
+        for (int k = 0; k < n; ++k) {
+          if (k == m) continue;  // full extent in the chain dimension
+          i64 dmk = dep.dm[static_cast<std::size_t>(g)];
+          if (dmk > 0) {
+            dir.pack.lo[static_cast<std::size_t>(k)] =
+                std::max<i64>(0, mul_ck(dmk, lds.cc(k)));
+          }
+          ++g;
+        }
+        dirs_.push_back(std::move(dir));
+        found = static_cast<int>(dirs_.size()) - 1;
+      }
+      dep.dir = found;
+    }
+    deps_.push_back(std::move(dep));
+  }
+
+  msg_points_.reserve(dirs_.size());
+  for (const ProcDir& dir : dirs_) {
+    msg_points_.push_back(
+        count_lattice_points(tiled.transform(), dir.pack));
+  }
+}
+
+TtisRegion CommPlan::unpack_region(const TileDep& d) const {
+  CTILE_ASSERT(d.dir >= 0);
+  // Identical box to the direction's pack region: the mesh components of
+  // d^S equal d^m, and the chain dimension is packed in full.
+  return dirs_[static_cast<std::size_t>(d.dir)].pack;
+}
+
+VecI CommPlan::unpack_shift(const TileDep& d) const {
+  const int n = lds_->n();
+  VecI shift(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    shift[static_cast<std::size_t>(k)] =
+        mul_ck(d.ds[static_cast<std::size_t>(k)], lds_->tile_slots(k));
+  }
+  return shift;
+}
+
+bool CommPlan::minsucc(const VecI& s, int dir, VecI* out) const {
+  CTILE_ASSERT(dir >= 0 && dir < static_cast<int>(dirs_.size()));
+  bool found = false;
+  VecI best;
+  for (const TileDep& dep : deps_) {
+    if (dep.dir != dir) continue;
+    VecI succ = vec_add(s, dep.ds);
+    if (!mapping_->valid(succ)) continue;
+    if (!found || lex_compare(succ, best) < 0) {
+      best = succ;
+      found = true;
+    }
+  }
+  if (found) *out = best;
+  return found;
+}
+
+i64 CommPlan::message_points(int dir) const {
+  CTILE_ASSERT(dir >= 0 && dir < static_cast<int>(msg_points_.size()));
+  return msg_points_[static_cast<std::size_t>(dir)];
+}
+
+}  // namespace ctile

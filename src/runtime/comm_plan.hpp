@@ -1,0 +1,75 @@
+// Compile-time communication analysis (\S3.2).
+//
+// From the tile dependence matrix D^S and the communication vector CC
+// (cc_k = v_k - max_l d'_kl), this builds everything the SEND/RECEIVE
+// phases need:
+//
+//  - the processor dependencies D^m (distinct nonzero projections of D^S
+//    with the chain dimension m collapsed),
+//  - for each d^m the pack region: the TTIS sub-box with
+//    j'_k >= d^m_k * cc_k for the mesh dimensions and the full extent in
+//    the chain dimension (one message per successor processor aggregates
+//    every tile dependence towards it),
+//  - for each d^S the unpack region (same box shape, selected by the
+//    mesh components of d^S) and the LDS shift
+//    (d^S_1 v_1/c_1, ..., d^S_n v_n/c_n) that relocates received data
+//    into the halo slots its consumers read,
+//  - minsucc(s, d^m): the lexicographically minimum valid successor tile
+//    of tile s in processor direction d^m, which decides the unique tile
+//    at which a message is received.
+#pragma once
+
+#include "runtime/lds.hpp"
+#include "tiling/ttis.hpp"
+
+namespace ctile {
+
+struct TileDep {
+  VecI ds;      ///< tile dependence (n components)
+  VecI dm;      ///< processor projection (n-1 components)
+  int dir;      ///< index into CommPlan::directions, or -1 if dm == 0
+};
+
+struct ProcDir {
+  VecI dm;            ///< processor dependence (n-1 components)
+  TtisRegion pack;    ///< TTIS sub-box to pack for this direction
+};
+
+class CommPlan {
+ public:
+  CommPlan(const TiledNest& tiled, const Mapping& mapping,
+           const LdsLayout& lds);
+
+  /// Tile dependencies with nonzero processor projection first sorted
+  /// lexicographically (the deterministic iteration order of RECEIVE).
+  const std::vector<TileDep>& tile_deps() const { return deps_; }
+
+  /// Distinct nonzero processor dependencies (SEND iterates these).
+  const std::vector<ProcDir>& directions() const { return dirs_; }
+
+  /// Unpack region for tile dependence d (same box for every d^S sharing
+  /// a direction; kept per-dep for clarity).
+  TtisRegion unpack_region(const TileDep& d) const;
+
+  /// LDS coordinate shift for unpacking dependence d:
+  /// (d^S_k * v_k / c_k) per dimension.
+  VecI unpack_shift(const TileDep& d) const;
+
+  /// Lexicographically minimum valid successor of tile s in direction
+  /// dir; returns false if no successor tile is valid.
+  bool minsucc(const VecI& s, int dir, VecI* out) const;
+
+  /// Number of lattice points in direction dir's pack region (message
+  /// size in points).
+  i64 message_points(int dir) const;
+
+ private:
+  const TiledNest* tiled_;
+  const Mapping* mapping_;
+  const LdsLayout* lds_;
+  std::vector<TileDep> deps_;
+  std::vector<ProcDir> dirs_;
+  std::vector<i64> msg_points_;
+};
+
+}  // namespace ctile

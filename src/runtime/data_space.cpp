@@ -1,0 +1,91 @@
+#include "runtime/data_space.hpp"
+
+#include <cmath>
+
+#include "linalg/int_matops.hpp"
+
+namespace ctile {
+
+DataSpace::DataSpace(const Polyhedron& space, int arity) : arity_(arity) {
+  CTILE_ASSERT(arity > 0);
+  std::vector<IntRange> box = space.bounding_box();
+  lo_.resize(box.size());
+  ext_.resize(box.size());
+  i64 total = 1;
+  for (std::size_t k = 0; k < box.size(); ++k) {
+    CTILE_ASSERT(!box[k].empty());
+    lo_[k] = box[k].lo;
+    ext_[k] = box[k].count();
+    total = mul_ck(total, ext_[k]);
+  }
+  data_.assign(static_cast<std::size_t>(mul_ck(total, arity)), 0.0);
+}
+
+bool DataSpace::in_box(const VecI& j) const {
+  CTILE_ASSERT(j.size() == lo_.size());
+  for (std::size_t k = 0; k < j.size(); ++k) {
+    i64 rel = j[k] - lo_[k];
+    if (rel < 0 || rel >= ext_[k]) return false;
+  }
+  return true;
+}
+
+i64 DataSpace::index(const VecI& j) const {
+  CTILE_ASSERT(j.size() == lo_.size());
+  i64 idx = 0;
+  for (std::size_t k = 0; k < j.size(); ++k) {
+    i64 rel = j[k] - lo_[k];
+    CTILE_ASSERT_MSG(rel >= 0 && rel < ext_[k], "DataSpace point out of box");
+    idx = add_ck(mul_ck(idx, ext_[k]), rel);
+  }
+  return mul_ck(idx, arity_);
+}
+
+double* DataSpace::at(const VecI& j) {
+  return &data_[static_cast<std::size_t>(index(j))];
+}
+
+const double* DataSpace::at(const VecI& j) const {
+  return &data_[static_cast<std::size_t>(index(j))];
+}
+
+double DataSpace::max_abs_diff(const DataSpace& a, const DataSpace& b,
+                               const Polyhedron& space) {
+  CTILE_ASSERT(a.arity_ == b.arity_);
+  double worst = 0.0;
+  space.scan([&](const VecI& j) {
+    const double* pa = a.at(j);
+    const double* pb = b.at(j);
+    for (int v = 0; v < a.arity_; ++v) {
+      worst = std::max(worst, std::fabs(pa[v] - pb[v]));
+    }
+  });
+  return worst;
+}
+
+DataSpace run_sequential(const Polyhedron& space, const MatI& deps,
+                         const Kernel& kernel) {
+  DataSpace ds(space, kernel.arity());
+  const int q = deps.cols();
+  const int arity = kernel.arity();
+  std::vector<double> dep_vals(static_cast<std::size_t>(q * arity));
+  std::vector<double> out(static_cast<std::size_t>(arity));
+  space.scan([&](const VecI& j) {
+    for (int l = 0; l < q; ++l) {
+      VecI pred = vec_sub(j, deps.col(l));
+      double* dst = &dep_vals[static_cast<std::size_t>(l * arity)];
+      if (space.contains(pred)) {
+        const double* src = ds.at(pred);
+        for (int v = 0; v < arity; ++v) dst[v] = src[v];
+      } else {
+        kernel.initial(pred, dst);
+      }
+    }
+    kernel.compute(j, dep_vals.data(), out.data());
+    double* dst = ds.at(j);
+    for (int v = 0; v < arity; ++v) dst[v] = out[v];
+  });
+  return ds;
+}
+
+}  // namespace ctile

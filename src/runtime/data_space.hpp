@@ -1,0 +1,52 @@
+// Dense global Data Space (DS) over the bounding box of an iteration
+// space: the reference storage for the sequential executor and the target
+// of the parallel write-back (Figure 4: LDS -> J^n -> DS via f_w; the
+// write reference here is the identity, the paper's notational default).
+#pragma once
+
+#include <vector>
+
+#include "poly/polyhedron.hpp"
+#include "runtime/kernel.hpp"
+
+namespace ctile {
+
+class DataSpace {
+ public:
+  /// Storage covering the bounding box of `space`, `arity` doubles per
+  /// point, zero-initialized.
+  DataSpace(const Polyhedron& space, int arity);
+
+  int arity() const { return arity_; }
+
+  /// True iff j lies inside the allocated box.
+  bool in_box(const VecI& j) const;
+
+  /// Pointer to the `arity` doubles of point j (must be in the box).
+  double* at(const VecI& j);
+  const double* at(const VecI& j) const;
+
+  i64 points() const { return static_cast<i64>(data_.size()) / arity_; }
+
+  /// Max absolute difference over all points of `space` between two data
+  /// spaces (for test comparisons).
+  static double max_abs_diff(const DataSpace& a, const DataSpace& b,
+                             const Polyhedron& space);
+
+ private:
+  int arity_;
+  VecI lo_;
+  VecI ext_;
+  std::vector<double> data_;
+
+  i64 index(const VecI& j) const;
+};
+
+/// Reference semantics: execute the nest sequentially in lexicographic
+/// order (the original loop order; legal because dependencies are
+/// lexicographically positive), reading outside-space values from
+/// kernel.initial.  Returns the filled data space.
+DataSpace run_sequential(const Polyhedron& space, const MatI& deps,
+                         const Kernel& kernel);
+
+}  // namespace ctile

@@ -1,0 +1,38 @@
+// Numeric kernel interface: the loop body F of the paper's algorithm
+// model, A[f_w(j)] := F(A[f_w(j - d_1)], ..., A[f_w(j - d_q)]).
+//
+// A kernel computes `arity` doubles per iteration point (arity 1 for SOR
+// and Jacobi; 2 for ADI, whose body updates both X and B) from the values
+// at its dependence predecessors.  Reads that fall outside the iteration
+// space are supplied by `initial` (boundary/initial conditions); the
+// paper's framework leaves boundary handling to the application.
+//
+// Kernels operating on skewed nests receive skewed coordinates; they can
+// unskew internally (see apps/) so numeric results are comparable between
+// the original and skewed executions.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace ctile {
+
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// Number of doubles stored per iteration point.
+  virtual int arity() const = 0;
+
+  /// Compute the point j.  dep_vals holds q * arity() doubles laid out
+  /// per dependence (the value at j - d_l starts at dep_vals[l*arity()]);
+  /// the result goes to out[0 .. arity()-1].
+  virtual void compute(const VecI& j, const double* dep_vals,
+                       double* out) const = 0;
+
+  /// Value at a point outside the iteration space (initial condition).
+  virtual void initial(const VecI& j, double* out) const = 0;
+};
+
+}  // namespace ctile

@@ -1,0 +1,153 @@
+#include "runtime/lds.hpp"
+
+namespace ctile {
+
+LdsLayout::LdsLayout(const TiledNest& tiled, const Mapping& mapping,
+                     i64 chain_len)
+    : n_(tiled.nest().depth),
+      m_(mapping.m()),
+      chain_len_(chain_len >= 0 ? chain_len : mapping.chain_length()),
+      hnf_(tiled.transform().Hnf()) {
+  const TilingTransform& tf = tiled.transform();
+  const std::string& name = tiled.nest().name;
+  if (!tf.p_integral()) {
+    throw LegalityError(name +
+                        ": P = H^-1 must be integral for the parallel "
+                        "runtime (uniform full tiles)");
+  }
+  v_.resize(static_cast<std::size_t>(n_));
+  vk_ck_.resize(static_cast<std::size_t>(n_));
+  dmax_.resize(static_cast<std::size_t>(n_));
+  cc_.resize(static_cast<std::size_t>(n_));
+  off_.resize(static_cast<std::size_t>(n_));
+  ext_.resize(static_cast<std::size_t>(n_));
+
+  MatI dprime = tiled.ttis_deps();
+  for (int k = 0; k < n_; ++k) {
+    const i64 vk = tf.v(k);
+    const i64 ck = tf.stride(k);
+    if (vk % ck != 0) {
+      throw LegalityError(name + ": stride c_" + std::to_string(k + 1) +
+                          " = " + std::to_string(ck) +
+                          " does not divide tile extent v_" +
+                          std::to_string(k + 1) + " = " + std::to_string(vk) +
+                          " (choose a stride-compatible tile size)");
+    }
+    v_[static_cast<std::size_t>(k)] = vk;
+    vk_ck_[static_cast<std::size_t>(k)] = vk / ck;
+    i64 dmax = 0;
+    for (int l = 0; l < dprime.cols(); ++l) {
+      dmax = std::max(dmax, dprime(k, l));
+    }
+    if (dmax > vk) {
+      throw LegalityError(
+          name + ": transformed dependence component " + std::to_string(dmax) +
+          " exceeds tile extent v_" + std::to_string(k + 1) + " = " +
+          std::to_string(vk) + " (tile too small: data would cross more "
+          "than one tile boundary per dimension)");
+    }
+    dmax_[static_cast<std::size_t>(k)] = dmax;
+    cc_[static_cast<std::size_t>(k)] = vk - dmax;
+    if (k == m_) {
+      off_[static_cast<std::size_t>(k)] = vk / ck;
+      ext_[static_cast<std::size_t>(k)] =
+          add_ck(vk / ck, mul_ck(chain_len_, vk / ck));
+    } else {
+      off_[static_cast<std::size_t>(k)] = ceil_div(dmax, ck);
+      ext_[static_cast<std::size_t>(k)] =
+          add_ck(off_[static_cast<std::size_t>(k)], vk / ck);
+    }
+  }
+  size_ = 1;
+  for (int k = 0; k < n_; ++k) {
+    size_ = mul_ck(size_, ext_[static_cast<std::size_t>(k)]);
+  }
+}
+
+VecI LdsLayout::map(const VecI& jp, i64 t) const {
+  CTILE_ASSERT(static_cast<int>(jp.size()) == n_);
+  VecI jpp(static_cast<std::size_t>(n_));
+  for (int k = 0; k < n_; ++k) {
+    const i64 ck = hnf_(k, k);
+    if (k == m_) {
+      jpp[static_cast<std::size_t>(k)] =
+          add_ck(floor_div(add_ck(mul_ck(t, v_[static_cast<std::size_t>(k)]),
+                                  jp[static_cast<std::size_t>(k)]),
+                           ck),
+                 off_[static_cast<std::size_t>(k)]);
+    } else {
+      jpp[static_cast<std::size_t>(k)] =
+          add_ck(floor_div(jp[static_cast<std::size_t>(k)], ck),
+                 off_[static_cast<std::size_t>(k)]);
+    }
+  }
+  return jpp;
+}
+
+i64 LdsLayout::linear(const VecI& jpp) const {
+  CTILE_ASSERT(static_cast<int>(jpp.size()) == n_);
+  i64 idx = 0;
+  for (int k = 0; k < n_; ++k) {
+    const i64 c = jpp[static_cast<std::size_t>(k)];
+    CTILE_ASSERT_MSG(c >= 0 && c < ext_[static_cast<std::size_t>(k)],
+                     "LDS coordinate out of range");
+    idx = add_ck(mul_ck(idx, ext_[static_cast<std::size_t>(k)]), c);
+  }
+  return idx;
+}
+
+VecI LdsLayout::delinearize(i64 slot) const {
+  VecI jpp(static_cast<std::size_t>(n_));
+  for (int k = n_; k-- > 0;) {
+    jpp[static_cast<std::size_t>(k)] = slot % ext_[static_cast<std::size_t>(k)];
+    slot /= ext_[static_cast<std::size_t>(k)];
+  }
+  CTILE_ASSERT(slot == 0);
+  return jpp;
+}
+
+bool LdsLayout::is_compute_slot(const VecI& jpp) const {
+  CTILE_ASSERT(static_cast<int>(jpp.size()) == n_);
+  for (int k = 0; k < n_; ++k) {
+    i64 c = jpp[static_cast<std::size_t>(k)];
+    if (c < off_[static_cast<std::size_t>(k)] ||
+        c >= ext_[static_cast<std::size_t>(k)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::pair<VecI, i64> LdsLayout::map_inv(const VecI& jpp) const {
+  CTILE_ASSERT_MSG(is_compute_slot(jpp), "map_inv on a halo slot");
+  const i64 slots_m = vk_ck_[static_cast<std::size_t>(m_)];
+  const i64 t = floor_div(
+      sub_ck(jpp[static_cast<std::size_t>(m_)], off_[static_cast<std::size_t>(m_)]),
+      slots_m);
+  VecI jp(static_cast<std::size_t>(n_));
+  VecI y(static_cast<std::size_t>(n_));
+  for (int k = 0; k < n_; ++k) {
+    const i64 ck = hnf_(k, k);
+    i128 base128 = 0;
+    for (int l = 0; l < k; ++l) {
+      base128 += static_cast<i128>(hnf_(k, l)) * y[static_cast<std::size_t>(l)];
+    }
+    const i64 base = narrow_i64(base128);
+    const i64 residue = mod_floor(base, ck);
+    i64 q;  // condensed coordinate within the tile
+    if (k == m_) {
+      q = sub_ck(sub_ck(jpp[static_cast<std::size_t>(k)],
+                        off_[static_cast<std::size_t>(k)]),
+                 mul_ck(t, slots_m));
+    } else {
+      q = sub_ck(jpp[static_cast<std::size_t>(k)],
+                 off_[static_cast<std::size_t>(k)]);
+    }
+    jp[static_cast<std::size_t>(k)] = add_ck(mul_ck(ck, q), residue);
+    y[static_cast<std::size_t>(k)] =
+        (jp[static_cast<std::size_t>(k)] - base) / ck;
+  }
+  return {jp, t};
+}
+
+}  // namespace ctile

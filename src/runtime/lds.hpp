@@ -1,0 +1,96 @@
+// The Local Data Space (\S3.1, Figure 3) and the map/map^{-1} functions of
+// Tables 1 and 2.
+//
+// Each processor stores the data its chain of tiles computes in a dense
+// rectangular array: TTIS lattice points are condensed by the strides c_k
+// (slot j'_k / c_k), halo ("communication storage") of off_k slots is
+// prepended per non-chain dimension, and the chain dimension m is laid out
+// contiguously at v_m / c_m slots per tile with one extra tile-sized halo
+// at the front:
+//
+//    off_k = ceil(max_l d'_kl / c_k)   (k != m)
+//    off_m = v_m / c_m
+//    extent_k = off_k + v_k / c_k      (k != m)
+//    extent_m = off_m + |t| * v_m / c_m
+//
+// map(j', t) is exactly the paper's Table 1 (with floor division, which is
+// what makes the congruence-offset lattices condense without collisions).
+// map^{-1} recovers (j', t) by forward substitution in H~' — the
+// congruence bases are computed from the *lattice coordinates* y rather
+// than Table 2's printed shorthand, which coincides with it on the paper's
+// examples (see DESIGN.md, "Known deviations").
+//
+// Requirements validated on construction:
+//   - c_k | v_k           (dense condensation, \S3.1)
+//   - max_l d'_kl <= v_k  (dependencies reach at most one tile per
+//                          dimension, the paper's implicit tile-size
+//                          assumption)
+#pragma once
+
+#include "runtime/mapping.hpp"
+#include "tiling/tile_space.hpp"
+
+namespace ctile {
+
+class LdsLayout {
+ public:
+  /// chain_len < 0 uses the mapping's global chain length (the canonical
+  /// layout); the executor instantiates one layout per processor with
+  /// that processor's chain-window length (paper: "|t| denotes the
+  /// number of tiles assigned to the particular processor").
+  LdsLayout(const TiledNest& tiled, const Mapping& mapping,
+            i64 chain_len = -1);
+
+  int n() const { return n_; }
+  int m() const { return m_; }
+  i64 chain_length() const { return chain_len_; }
+
+  /// Halo offset of dimension k (slots).
+  i64 off(int k) const { return off_[static_cast<std::size_t>(k)]; }
+  /// Total extent of dimension k (slots).
+  i64 extent(int k) const { return ext_[static_cast<std::size_t>(k)]; }
+  /// Condensed slots per tile in dimension k: v_k / c_k.
+  i64 tile_slots(int k) const { return vk_ck_[static_cast<std::size_t>(k)]; }
+  /// Communication vector component cc_k = v_k - max_l d'_kl.
+  i64 cc(int k) const { return cc_[static_cast<std::size_t>(k)]; }
+  /// max_l d'_kl (0 when there are no dependencies).
+  i64 dep_max(int k) const { return dmax_[static_cast<std::size_t>(k)]; }
+
+  /// Total number of slots (product of extents).
+  i64 size() const { return size_; }
+
+  /// Table 1: LDS coordinates of TTIS point j' of chain element t.
+  VecI map(const VecI& jp, i64 t) const;
+
+  /// Row-major linear index of LDS coordinates.
+  i64 linear(const VecI& jpp) const;
+
+  /// map followed by linear.
+  i64 slot(const VecI& jp, i64 t) const { return linear(map(jp, t)); }
+
+  /// Table 2: recover (j', t) from LDS coordinates of a computation slot.
+  /// Asserts the slot lies in the computation region (not halo).
+  std::pair<VecI, i64> map_inv(const VecI& jpp) const;
+
+  /// Inverse of linear().
+  VecI delinearize(i64 slot) const;
+
+  /// True iff jpp lies in the computation region (every coordinate past
+  /// its halo; chain dimension within tiles [0, chain_len)).
+  bool is_compute_slot(const VecI& jpp) const;
+
+ private:
+  int n_;
+  int m_;
+  i64 chain_len_;
+  MatI hnf_;
+  VecI v_;
+  VecI off_;
+  VecI ext_;
+  VecI vk_ck_;
+  VecI cc_;
+  VecI dmax_;
+  i64 size_;
+};
+
+}  // namespace ctile

@@ -1,0 +1,32 @@
+#include "runtime/locate.hpp"
+
+namespace ctile {
+
+Location Locator::loc(const VecI& j) const {
+  CTILE_ASSERT_MSG(tiled_->nest().space.contains(j),
+                   "loc() on a point outside the iteration space");
+  const TilingTransform& tf = tiled_->transform();
+  const VecI js = tf.tile_of(j);
+  const VecI jp = tf.ttis_of(j, js);
+  auto [pid, t] = mapping_->owner_of(js);
+  Location out;
+  out.pid = pid;
+  out.rank = mapping_->rank_of(pid);
+  out.jpp = lds_->map(jp, t);
+  out.slot = lds_->linear(out.jpp);
+  return out;
+}
+
+std::optional<VecI> Locator::loc_inv(int rank, i64 slot) const {
+  const VecI jpp = lds_->delinearize(slot);
+  if (!lds_->is_compute_slot(jpp)) return std::nullopt;
+  auto [jp, t] = lds_->map_inv(jpp);
+  if (t < 0 || t >= mapping_->chain_length()) return std::nullopt;
+  const VecI js = mapping_->tile_at(mapping_->pid_of(rank), t);
+  if (!mapping_->valid(js)) return std::nullopt;
+  const VecI j = tiled_->transform().point_of(js, jp);
+  if (!tiled_->nest().space.contains(j)) return std::nullopt;
+  return j;
+}
+
+}  // namespace ctile

@@ -1,0 +1,53 @@
+// loc() and loc^{-1}() — the paper's Tables 1 and 2 as a first-class
+// object.
+//
+//   loc:      j in J^n        ->  (pid, LDS coordinates j'')
+//   loc^{-1}: (pid, j'' slot) ->  j in J^n
+//
+// loc is what the write-back phase and any owner-computes query need:
+// it decomposes j into its tile (j^S = floor(H j)), the tile into its
+// owner processor and chain position (the mapping of \S3.1), and the
+// intra-tile coordinates into the condensed LDS slot (Table 1's map).
+// loc^{-1} is the exact inverse on computation slots; halo slots have no
+// preimage and are reported as such.
+//
+// Locator addresses the *canonical* layout (chain sized by the global
+// chain length).  The executor physically allocates per-processor
+// chain-window layouts — same geometry, chain origin shifted per rank —
+// so canonical slots are the stable, rank-independent naming scheme.
+#pragma once
+
+#include <optional>
+
+#include "runtime/lds.hpp"
+
+namespace ctile {
+
+struct Location {
+  VecI pid;   ///< zero-based mesh coordinates (n-1 entries)
+  int rank;   ///< linearized rank
+  VecI jpp;   ///< LDS coordinates (n entries)
+  i64 slot;   ///< linearized LDS slot
+};
+
+class Locator {
+ public:
+  Locator(const TiledNest& tiled, const Mapping& mapping,
+          const LdsLayout& lds)
+      : tiled_(&tiled), mapping_(&mapping), lds_(&lds) {}
+
+  /// Table 1: where iteration point j lives.  j must be in J^n.
+  Location loc(const VecI& j) const;
+
+  /// Table 2: the iteration point stored at (rank, slot), or nullopt for
+  /// halo slots, chain positions past the tile space, and clipped
+  /// boundary cells (slots that no iteration of J^n writes).
+  std::optional<VecI> loc_inv(int rank, i64 slot) const;
+
+ private:
+  const TiledNest* tiled_;
+  const Mapping* mapping_;
+  const LdsLayout* lds_;
+};
+
+}  // namespace ctile

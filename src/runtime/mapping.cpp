@@ -1,0 +1,154 @@
+#include "runtime/mapping.hpp"
+
+namespace ctile {
+
+Mapping::Mapping(const TiledNest& tiled, int force_m,
+                 const TileCensus* census)
+    : n_(tiled.nest().depth),
+      tile_space_(&tiled.tile_space()),
+      census_(census) {
+  if (census_ != nullptr) {
+    // Exact bounds: the tight box around nonempty tiles.
+    lo_ = census_->nonempty_bounds().lo;
+    hi_ = census_->nonempty_bounds().hi;
+  } else {
+    std::vector<IntRange> box = tiled.tile_space_box();
+    lo_.resize(static_cast<std::size_t>(n_));
+    hi_.resize(static_cast<std::size_t>(n_));
+    for (int k = 0; k < n_; ++k) {
+      const IntRange& r = box[static_cast<std::size_t>(k)];
+      if (r.empty()) {
+        throw LegalityError(tiled.nest().name + ": empty tile space");
+      }
+      lo_[static_cast<std::size_t>(k)] = r.lo;
+      hi_[static_cast<std::size_t>(k)] = r.hi;
+    }
+  }
+  if (force_m >= 0) {
+    CTILE_ASSERT(force_m < n_);
+    m_ = force_m;
+  } else {
+    // Maximum trip count wins; ties go to the innermost dimension so the
+    // mesh dims stay as outer loops (matching the Foracross structure).
+    m_ = 0;
+    i64 best = 0;
+    for (int k = 0; k < n_; ++k) {
+      i64 trip = hi_[static_cast<std::size_t>(k)] -
+                 lo_[static_cast<std::size_t>(k)] + 1;
+      if (trip >= best) {
+        best = trip;
+        m_ = k;
+      }
+    }
+  }
+  chain_len_ = hi_[static_cast<std::size_t>(m_)] -
+               lo_[static_cast<std::size_t>(m_)] + 1;
+  grid_.clear();
+  nprocs_ = 1;
+  for (int k = 0; k < n_; ++k) {
+    if (k == m_) continue;
+    i64 extent = hi_[static_cast<std::size_t>(k)] -
+                 lo_[static_cast<std::size_t>(k)] + 1;
+    grid_.push_back(extent);
+    nprocs_ = static_cast<int>(mul_ck(nprocs_, extent));
+  }
+}
+
+VecI Mapping::tile_at(const VecI& pid, i64 t) const {
+  CTILE_ASSERT(static_cast<int>(pid.size()) == n_ - 1);
+  VecI js(static_cast<std::size_t>(n_));
+  int g = 0;
+  for (int k = 0; k < n_; ++k) {
+    if (k == m_) {
+      js[static_cast<std::size_t>(k)] =
+          add_ck(lo_[static_cast<std::size_t>(k)], t);
+    } else {
+      js[static_cast<std::size_t>(k)] =
+          add_ck(lo_[static_cast<std::size_t>(k)],
+                 pid[static_cast<std::size_t>(g++)]);
+    }
+  }
+  return js;
+}
+
+std::pair<VecI, i64> Mapping::owner_of(const VecI& js) const {
+  CTILE_ASSERT(static_cast<int>(js.size()) == n_);
+  VecI pid;
+  pid.reserve(static_cast<std::size_t>(n_ - 1));
+  i64 t = 0;
+  for (int k = 0; k < n_; ++k) {
+    i64 rel = sub_ck(js[static_cast<std::size_t>(k)],
+                     lo_[static_cast<std::size_t>(k)]);
+    if (k == m_) {
+      t = rel;
+    } else {
+      pid.push_back(rel);
+    }
+  }
+  return {pid, t};
+}
+
+int Mapping::rank_of(const VecI& pid) const {
+  CTILE_ASSERT(pid.size() == grid_.size());
+  i64 rank = 0;
+  for (std::size_t i = 0; i < grid_.size(); ++i) {
+    CTILE_ASSERT(pid[i] >= 0 && pid[i] < grid_[i]);
+    rank = add_ck(mul_ck(rank, grid_[i]), pid[i]);
+  }
+  return static_cast<int>(rank);
+}
+
+VecI Mapping::pid_of(int rank) const {
+  VecI pid(grid_.size());
+  i64 rem = rank;
+  for (std::size_t i = grid_.size(); i-- > 0;) {
+    pid[i] = rem % grid_[i];
+    rem /= grid_[i];
+  }
+  CTILE_ASSERT(rem == 0);
+  return pid;
+}
+
+bool Mapping::neighbor(const VecI& pid, const VecI& d, VecI* out) const {
+  CTILE_ASSERT(pid.size() == grid_.size() && d.size() == grid_.size());
+  out->resize(pid.size());
+  for (std::size_t i = 0; i < pid.size(); ++i) {
+    i64 v = add_ck(pid[i], d[i]);
+    if (v < 0 || v >= grid_[i]) return false;
+    (*out)[i] = v;
+  }
+  return true;
+}
+
+bool Mapping::valid(const VecI& js) const {
+  for (int k = 0; k < n_; ++k) {
+    if (js[static_cast<std::size_t>(k)] < lo_[static_cast<std::size_t>(k)] ||
+        js[static_cast<std::size_t>(k)] > hi_[static_cast<std::size_t>(k)]) {
+      return false;
+    }
+  }
+  if (census_ != nullptr) return census_->count(js) > 0;
+  return tile_space_->contains(js);
+}
+
+IntRange Mapping::chain_window(const VecI& pid) const {
+  i64 lo = -1, hi = -2;
+  for (i64 t = 0; t < chain_len_; ++t) {
+    if (!valid(tile_at(pid, t))) continue;
+    if (lo < 0) lo = t;
+    hi = t;
+  }
+  if (lo < 0) return {1, 0};  // empty
+  return {lo, hi};
+}
+
+VecI project_dep(const VecI& ds, int m) {
+  VecI out;
+  out.reserve(ds.size() - 1);
+  for (std::size_t k = 0; k < ds.size(); ++k) {
+    if (static_cast<int>(k) != m) out.push_back(ds[k]);
+  }
+  return out;
+}
+
+}  // namespace ctile

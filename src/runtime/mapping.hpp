@@ -1,0 +1,88 @@
+// Computation distribution (\S3.1).
+//
+// Tiles along the tile-space dimension m with the maximum trip count are
+// mapped to the same processor and executed as a chain, one after another
+// (linear schedule Pi = [1,...,1]); the remaining n-1 tile coordinates
+// (offset to zero) name the processor on an (n-1)-dimensional mesh.
+//
+// "Validity" of a tile: with a TileCensus supplied it is exact (tile owns
+// at least one iteration point), the processor mesh is the tight bounding
+// box of the nonempty tiles, and no ghost tile computes or communicates.
+// Without a census, validity falls back to the rational tile-space
+// shadow, which contains every nonempty tile plus possibly a few empty
+// boundary "ghost" tiles — still correct (ghosts execute zero iterations
+// and exchange zero-initialized halo data that no reader ever consumes),
+// but it can inflate the mesh and the message count; see DESIGN.md.
+#pragma once
+
+#include "tiling/census.hpp"
+#include "tiling/tile_space.hpp"
+
+namespace ctile {
+
+class Mapping {
+ public:
+  /// Chooses m automatically (the dimension with the largest trip count,
+  /// ties broken toward the innermost) unless `force_m` is >= 0.
+  /// `census` (optional, must outlive the Mapping) enables exact tile
+  /// validity and the tight mesh.
+  explicit Mapping(const TiledNest& tiled, int force_m = -1,
+                   const TileCensus* census = nullptr);
+
+  int n() const { return n_; }
+  /// The mapping (chain) dimension m.
+  int m() const { return m_; }
+  /// Tile-space bounding box.
+  const VecI& tile_lo() const { return lo_; }
+  const VecI& tile_hi() const { return hi_; }
+
+  /// Extents of the processor mesh (the n-1 non-m dimensions, in
+  /// increasing dimension order).
+  const VecI& grid() const { return grid_; }
+  int num_procs() const { return nprocs_; }
+  /// Number of tiles in every chain (the m-extent of the bounding box).
+  i64 chain_length() const { return chain_len_; }
+
+  /// Tile index of chain element t on processor pid (pid zero-based,
+  /// size n-1).
+  VecI tile_at(const VecI& pid, i64 t) const;
+
+  /// Processor (zero-based) and chain position of a tile.
+  std::pair<VecI, i64> owner_of(const VecI& js) const;
+
+  /// Row-major linearization of pid (the MPI rank in the paper's code).
+  int rank_of(const VecI& pid) const;
+  VecI pid_of(int rank) const;
+
+  /// pid + d (where d is an n-1 processor-dependence vector); returns
+  /// false if the neighbour falls off the mesh.
+  bool neighbor(const VecI& pid, const VecI& d, VecI* out) const;
+
+  /// Tile validity (exact with a census, shadow-based otherwise; see
+  /// header comment).
+  bool valid(const VecI& js) const;
+
+  /// The window of chain positions t whose tiles are valid on processor
+  /// pid (the paper's per-processor |t|; empty range when the processor
+  /// owns no tiles).  LDS allocation is sized by this window, not the
+  /// global chain length — skewed tile spaces give different processors
+  /// very different chain extents.
+  IntRange chain_window(const VecI& pid) const;
+
+ private:
+  int n_;
+  int m_;
+  VecI lo_;
+  VecI hi_;
+  VecI grid_;
+  int nprocs_;
+  i64 chain_len_;
+  const Polyhedron* tile_space_;  // owned by the TiledNest (must outlive)
+  const TileCensus* census_;      // optional; exact validity when present
+};
+
+/// Projection of a tile dependence d^S onto processor coordinates: the
+/// n-1 components excluding dimension m.
+VecI project_dep(const VecI& ds, int m);
+
+}  // namespace ctile

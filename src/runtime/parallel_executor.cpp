@@ -1,0 +1,196 @@
+#include "runtime/parallel_executor.hpp"
+
+#include <algorithm>
+
+#include "linalg/int_matops.hpp"
+#include "runtime/locate.hpp"
+
+namespace ctile {
+
+ParallelExecutor::ParallelExecutor(const TiledNest& tiled,
+                                   const Kernel& kernel, int force_m)
+    : tiled_(&tiled),
+      kernel_(&kernel),
+      census_(tiled),
+      mapping_(tiled, force_m, &census_),
+      lds_(tiled, mapping_),
+      plan_(tiled, mapping_, lds_) {}
+
+i64 ParallelExecutor::tag_of(int dir, i64 sender_t) const {
+  CTILE_ASSERT(sender_t >= 0 && sender_t < mapping_.chain_length());
+  return add_ck(mul_ck(static_cast<i64>(dir), mapping_.chain_length()),
+                sender_t);
+}
+
+void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
+                                std::vector<double>& la, i64* points) const {
+  const TilingTransform& tf = tiled_->transform();
+  const Polyhedron& space = tiled_->nest().space;
+  const MatI& deps = tiled_->nest().deps;
+  const MatI dprime = tiled_->ttis_deps();
+  const int q = deps.cols();
+  const int arity = kernel_->arity();
+  const int n = tiled_->nest().depth;
+  const int m = mapping_.m();
+  const VecI pid = mapping_.pid_of(rank);
+
+  // Per-processor LDS: sized by this processor's own chain window
+  // (paper \S3.1: |t| is per processor).  Message tags keep using global
+  // chain positions so both endpoints agree.
+  const IntRange window = mapping_.chain_window(pid);
+  const LdsLayout local(*tiled_, mapping_, window.empty() ? 0 : window.count());
+  la.assign(static_cast<std::size_t>(local.size() * arity), 0.0);
+
+  std::vector<double> dep_vals(static_cast<std::size_t>(q * arity));
+  std::vector<double> out(static_cast<std::size_t>(arity));
+  *points = 0;
+  if (window.empty()) return;
+
+  for (i64 t = window.lo; t <= window.hi; ++t) {
+    const VecI js = mapping_.tile_at(pid, t);
+    if (!mapping_.valid(js)) continue;
+    const i64 t_loc = t - window.lo;  // chain position within this LDS
+
+    // ---- RECEIVE (\S3.2): one message per (predecessor tile, direction)
+    // for which this tile is the lexicographically minimum successor.
+    for (const TileDep& dep : plan_.tile_deps()) {
+      if (dep.dir < 0) continue;  // chain-internal: local through the LDS
+      const VecI pred = vec_sub(js, dep.ds);
+      if (!mapping_.valid(pred)) continue;
+      VecI ms;
+      if (!plan_.minsucc(pred, dep.dir, &ms) || ms != js) continue;
+      VecI src_pid;
+      const bool on_mesh = mapping_.neighbor(pid, vec_neg(dep.dm), &src_pid);
+      CTILE_ASSERT_MSG(on_mesh, "valid predecessor off the processor mesh");
+      const i64 sender_t = sub_ck(t, dep.ds[static_cast<std::size_t>(m)]);
+      std::vector<double> buf = comm.recv(
+          rank, mapping_.rank_of(src_pid), tag_of(dep.dir, sender_t));
+      // Unpack into the halo slots shifted by (d^S_k v_k / c_k).
+      const TtisRegion region = plan_.unpack_region(dep);
+      const VecI shift = plan_.unpack_shift(dep);
+      std::size_t count = 0;
+      for_each_lattice_point(tf, region, [&](const VecI& jp) {
+        VecI jpp = local.map(jp, t_loc);
+        for (int k = 0; k < n; ++k) {
+          jpp[static_cast<std::size_t>(k)] =
+              sub_ck(jpp[static_cast<std::size_t>(k)],
+                     shift[static_cast<std::size_t>(k)]);
+        }
+        const i64 slot = local.linear(jpp);
+        for (int v = 0; v < arity; ++v) {
+          la[static_cast<std::size_t>(slot * arity + v)] = buf[count++];
+        }
+      });
+      CTILE_ASSERT_MSG(count == buf.size(),
+                       "unpack region size mismatch with received message");
+    }
+
+    // ---- COMPUTE: sweep the TTIS (boundary tiles clipped by J^n).
+    tiled_->for_each_tile_point(js, [&](const VecI& jp, const VecI& j) {
+      for (int l = 0; l < q; ++l) {
+        double* dst = &dep_vals[static_cast<std::size_t>(l * arity)];
+        const VecI pred_j = vec_sub(j, deps.col(l));
+        if (space.contains(pred_j)) {
+          const VecI pred_jp = vec_sub(jp, dprime.col(l));
+          const i64 slot = local.slot(pred_jp, t_loc);
+          for (int v = 0; v < arity; ++v) {
+            dst[v] = la[static_cast<std::size_t>(slot * arity + v)];
+          }
+        } else {
+          kernel_->initial(pred_j, dst);
+        }
+      }
+      kernel_->compute(j, dep_vals.data(), out.data());
+      const i64 slot = local.slot(jp, t_loc);
+      for (int v = 0; v < arity; ++v) {
+        la[static_cast<std::size_t>(slot * arity + v)] = out[v];
+      }
+      ++*points;
+    });
+
+    // ---- SEND (\S3.2): one aggregated message per successor processor
+    // that owns at least one valid successor tile.
+    const auto& dirs = plan_.directions();
+    for (std::size_t d = 0; d < dirs.size(); ++d) {
+      const int dir = static_cast<int>(d);
+      bool any_valid_succ = false;
+      for (const TileDep& dep : plan_.tile_deps()) {
+        if (dep.dir != dir) continue;
+        if (mapping_.valid(vec_add(js, dep.ds))) {
+          any_valid_succ = true;
+          break;
+        }
+      }
+      if (!any_valid_succ) continue;
+      VecI dst_pid;
+      const bool on_mesh = mapping_.neighbor(pid, dirs[d].dm, &dst_pid);
+      CTILE_ASSERT_MSG(on_mesh, "valid successor off the processor mesh");
+      std::vector<double> buf;
+      buf.reserve(static_cast<std::size_t>(plan_.message_points(dir) * arity));
+      for_each_lattice_point(tf, dirs[d].pack, [&](const VecI& jp) {
+        const i64 slot = local.slot(jp, t_loc);
+        for (int v = 0; v < arity; ++v) {
+          buf.push_back(la[static_cast<std::size_t>(slot * arity + v)]);
+        }
+      });
+      comm.send(rank, mapping_.rank_of(dst_pid), tag_of(dir, t),
+                std::move(buf));
+    }
+  }
+}
+
+DataSpace ParallelExecutor::run(ParallelRunStats* stats) const {
+  const int nprocs = mapping_.num_procs();
+  const int arity = kernel_->arity();
+  std::vector<std::vector<double>> arrays(
+      static_cast<std::size_t>(nprocs));
+  std::vector<i64> points(static_cast<std::size_t>(nprocs), 0);
+
+  i64 messages = 0, doubles = 0;
+  mpisim::run_ranks(nprocs, [&](int rank, mpisim::Comm& comm) {
+    auto& la = arrays[static_cast<std::size_t>(rank)];
+    run_rank(rank, comm, la, &points[static_cast<std::size_t>(rank)]);
+    comm.barrier(rank);  // all sends settled before stats are read
+    if (rank == 0) {
+      messages = comm.messages_sent();
+      doubles = comm.doubles_sent();
+    }
+  });
+
+  // ---- Write-back (Figure 4): every computation slot travels
+  // LDS --map^{-1}--> (j', t) --loc^{-1}--> j in J^n --f_w--> DS,
+  // with each rank's own chain-window layout.
+  DataSpace ds(tiled_->nest().space, arity);
+  const Polyhedron& space = tiled_->nest().space;
+  for (int rank = 0; rank < nprocs; ++rank) {
+    const VecI pid = mapping_.pid_of(rank);
+    const IntRange window = mapping_.chain_window(pid);
+    if (window.empty()) continue;
+    const LdsLayout local(*tiled_, mapping_, window.count());
+    const auto& la = arrays[static_cast<std::size_t>(rank)];
+    for (i64 slot = 0; slot < local.size(); ++slot) {
+      const VecI jpp = local.delinearize(slot);
+      if (!local.is_compute_slot(jpp)) continue;
+      auto [jp, t_loc] = local.map_inv(jpp);
+      const i64 t = window.lo + t_loc;
+      const VecI js = mapping_.tile_at(pid, t);
+      if (!mapping_.valid(js)) continue;
+      const VecI j = tiled_->transform().point_of(js, jp);
+      if (!space.contains(j)) continue;
+      double* dst = ds.at(j);
+      for (int v = 0; v < arity; ++v) {
+        dst[v] = la[static_cast<std::size_t>(slot * arity + v)];
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->messages = messages;
+    stats->doubles = doubles;
+    stats->points_computed = 0;
+    for (i64 p : points) stats->points_computed += p;
+  }
+  return ds;
+}
+
+}  // namespace ctile

@@ -1,0 +1,69 @@
+// The data-parallel executor: the runtime embodiment of the generated
+// code skeleton at the end of \S3.2.
+//
+//   FORACROSS pid ... DO
+//     FOR t = 0 .. chain_length-1 DO
+//       RECEIVE(pid, t, D^S, CC)      // unpack halo data
+//       FOR j' in TTIS (clipped)      // compute the tile
+//         LA[map(j',t)] := F(LA[map(j'-d'_1,t)], ...)
+//       SEND(pid, t, D^m, CC)         // pack + send boundary data
+//
+// Each FORACROSS instance is an mpisim rank (a thread standing in for a
+// cluster node).  Message tags encode (direction index, sender chain
+// position) so the receive of \S3.2 — "a tile receives from tiles, but
+// sends to processors" — pairs deterministically even when one successor
+// tile consumes messages from two predecessor tiles of the same
+// neighbour processor.
+//
+// Reads falling outside the iteration space J^n take the kernel's initial
+// values; every other read is local by construction of the LDS (the
+// computer-owns rule plus halo unpacking).
+#pragma once
+
+#include "mpisim/mpisim.hpp"
+#include "runtime/comm_plan.hpp"
+#include "tiling/census.hpp"
+#include "runtime/data_space.hpp"
+#include "runtime/kernel.hpp"
+
+namespace ctile {
+
+struct ParallelRunStats {
+  i64 messages = 0;        ///< total messages sent
+  i64 doubles = 0;         ///< total payload doubles sent
+  i64 points_computed = 0; ///< total iterations executed across ranks
+};
+
+class ParallelExecutor {
+ public:
+  /// Builds the tile census (exact occupancy), mapping, LDS layout and
+  /// communication plan for `tiled`.  force_m overrides the
+  /// mapping-dimension choice (tests/benches).
+  ParallelExecutor(const TiledNest& tiled, const Kernel& kernel,
+                   int force_m = -1);
+
+  const TileCensus& census() const { return census_; }
+  const Mapping& mapping() const { return mapping_; }
+  const LdsLayout& lds() const { return lds_; }
+  const CommPlan& plan() const { return plan_; }
+
+  /// Run all ranks (threads), gather every processor's computation slots
+  /// through loc^{-1} into a fresh DataSpace, and return it with stats.
+  DataSpace run(ParallelRunStats* stats = nullptr) const;
+
+ private:
+  const TiledNest* tiled_;
+  const Kernel* kernel_;
+  TileCensus census_;
+  Mapping mapping_;
+  LdsLayout lds_;
+  CommPlan plan_;
+
+  /// The per-rank program (RECEIVE / compute / SEND over the chain).
+  void run_rank(int rank, mpisim::Comm& comm, std::vector<double>& la,
+                i64* points) const;
+
+  i64 tag_of(int dir, i64 sender_t) const;
+};
+
+}  // namespace ctile

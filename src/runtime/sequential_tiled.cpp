@@ -1,0 +1,38 @@
+#include "runtime/sequential_tiled.hpp"
+
+#include "linalg/int_matops.hpp"
+
+namespace ctile {
+
+DataSpace run_sequential_tiled(const TiledNest& tiled, const Kernel& kernel) {
+  const LoopNest& nest = tiled.nest();
+  const MatI& deps = nest.deps;
+  const int q = deps.cols();
+  const int arity = kernel.arity();
+  DataSpace ds(nest.space, arity);
+  std::vector<double> dep_vals(static_cast<std::size_t>(q * arity));
+  std::vector<double> out(static_cast<std::size_t>(arity));
+  // Tiles in lexicographic tile-space order (legal: tile dependencies are
+  // componentwise non-negative under a legal tiling), points in TTIS
+  // order within each tile.
+  tiled.tile_space().scan([&](const VecI& js) {
+    tiled.for_each_tile_point(js, [&](const VecI&, const VecI& j) {
+      for (int l = 0; l < q; ++l) {
+        double* dst = &dep_vals[static_cast<std::size_t>(l * arity)];
+        const VecI pred = vec_sub(j, deps.col(l));
+        if (nest.space.contains(pred)) {
+          const double* src = ds.at(pred);
+          for (int v = 0; v < arity; ++v) dst[v] = src[v];
+        } else {
+          kernel.initial(pred, dst);
+        }
+      }
+      kernel.compute(j, dep_vals.data(), out.data());
+      double* dst = ds.at(j);
+      for (int v = 0; v < arity; ++v) dst[v] = out[v];
+    });
+  });
+  return ds;
+}
+
+}  // namespace ctile

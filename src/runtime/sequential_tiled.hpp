@@ -1,0 +1,19 @@
+// Sequential tiled execution: the reordering of [7] (\S2.3) without any
+// parallelism — tiles in lexicographic tile-space order, each swept
+// through the TTIS — writing directly to the global data space.
+//
+// Its purpose in the library is evidential: tiling must not change the
+// computation, only its order, so this executor's output must equal the
+// plain lexicographic executor's bit-for-bit for every legal tiling.
+// (It is also the semantic reference for the generated sequential code.)
+#pragma once
+
+#include "runtime/data_space.hpp"
+#include "tiling/tile_space.hpp"
+
+namespace ctile {
+
+/// Execute `tiled` in sequential tiled order; returns the data space.
+DataSpace run_sequential_tiled(const TiledNest& tiled, const Kernel& kernel);
+
+}  // namespace ctile

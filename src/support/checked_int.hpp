@@ -1,0 +1,131 @@
+// Overflow-checked 64-bit integer arithmetic and Euclidean helpers.
+//
+// All exact arithmetic in ctile (rationals, Hermite/Smith normal forms,
+// Fourier-Motzkin) funnels through these helpers so that an overflow is a
+// loud OverflowError rather than silent wraparound.  Intermediates use
+// __int128 where that removes the possibility of overflow entirely.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace ctile {
+
+using i64 = std::int64_t;
+__extension__ typedef __int128 i128;  // GCC/Clang extension, hence the marker
+using u64 = std::uint64_t;
+
+/// Narrow an __int128 to int64, throwing OverflowError if it does not fit.
+inline i64 narrow_i64(i128 v) {
+  if (v > static_cast<i128>(std::numeric_limits<i64>::max()) ||
+      v < static_cast<i128>(std::numeric_limits<i64>::min())) {
+    throw OverflowError("value does not fit in 64 bits");
+  }
+  return static_cast<i64>(v);
+}
+
+/// a + b with overflow check.
+inline i64 add_ck(i64 a, i64 b) {
+  return narrow_i64(static_cast<i128>(a) + static_cast<i128>(b));
+}
+
+/// a - b with overflow check.
+inline i64 sub_ck(i64 a, i64 b) {
+  return narrow_i64(static_cast<i128>(a) - static_cast<i128>(b));
+}
+
+/// a * b with overflow check.
+inline i64 mul_ck(i64 a, i64 b) {
+  return narrow_i64(static_cast<i128>(a) * static_cast<i128>(b));
+}
+
+/// -a with overflow check (INT64_MIN has no 64-bit negation).
+inline i64 neg_ck(i64 a) { return narrow_i64(-static_cast<i128>(a)); }
+
+/// |a| with overflow check.
+inline i64 abs_ck(i64 a) { return a < 0 ? neg_ck(a) : a; }
+
+/// Greatest common divisor, always non-negative; gcd(0,0) == 0.
+inline i64 gcd_i64(i64 a, i64 b) {
+  // Work in unsigned magnitude space so INT64_MIN is handled.
+  u64 x = a < 0 ? ~static_cast<u64>(a) + 1 : static_cast<u64>(a);
+  u64 y = b < 0 ? ~static_cast<u64>(b) + 1 : static_cast<u64>(b);
+  while (y != 0) {
+    u64 t = x % y;
+    x = y;
+    y = t;
+  }
+  return narrow_i64(static_cast<i128>(x));
+}
+
+/// Least common multiple, non-negative; lcm(0,x) == 0.
+inline i64 lcm_i64(i64 a, i64 b) {
+  if (a == 0 || b == 0) return 0;
+  i64 g = gcd_i64(a, b);
+  return mul_ck(abs_ck(a) / g, abs_ck(b));
+}
+
+/// Floor division: largest q with q*b <= a.  b must be nonzero.
+inline i64 floor_div(i64 a, i64 b) {
+  CTILE_ASSERT(b != 0);
+  i64 q = a / b;
+  i64 r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// Ceiling division: smallest q with q*b >= a.  b must be nonzero.
+inline i64 ceil_div(i64 a, i64 b) {
+  CTILE_ASSERT(b != 0);
+  i64 q = a / b;
+  i64 r = a % b;
+  if (r != 0 && ((r < 0) == (b < 0))) ++q;
+  return q;
+}
+
+/// Mathematical (always non-negative) modulus: a - floor_div(a,b)*b, b > 0.
+inline i64 mod_floor(i64 a, i64 b) {
+  CTILE_ASSERT(b > 0);
+  i64 r = a % b;
+  return r < 0 ? r + b : r;
+}
+
+/// Extended gcd: returns g = gcd(a,b) >= 0 and x,y with a*x + b*y == g.
+struct ExtGcd {
+  i64 g;
+  i64 x;
+  i64 y;
+};
+
+inline ExtGcd ext_gcd(i64 a, i64 b) {
+  // Iterative extended Euclid on magnitudes; fix signs at the end.
+  i64 old_r = a, r = b;
+  i64 old_s = 1, s = 0;
+  i64 old_t = 0, t = 1;
+  while (r != 0) {
+    i64 q = old_r / r;  // truncated is fine: invariants hold for any q
+    i64 tmp = sub_ck(old_r, mul_ck(q, r));
+    old_r = r;
+    r = tmp;
+    tmp = sub_ck(old_s, mul_ck(q, s));
+    old_s = s;
+    s = tmp;
+    tmp = sub_ck(old_t, mul_ck(q, t));
+    old_t = t;
+    t = tmp;
+  }
+  if (old_r < 0) {
+    old_r = neg_ck(old_r);
+    old_s = neg_ck(old_s);
+    old_t = neg_ck(old_t);
+  }
+  return {old_r, old_s, old_t};
+}
+
+/// Decimal rendering of __int128 (std::to_string does not support it).
+std::string to_string_i128(i128 v);
+
+}  // namespace ctile

@@ -1,0 +1,18 @@
+#include "support/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ctile::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "ctile assertion failed: %s\n  at %s:%d\n", expr, file,
+               line);
+  if (!msg.empty()) {
+    std::fprintf(stderr, "  %s\n", msg.c_str());
+  }
+  std::abort();
+}
+
+}  // namespace ctile::detail

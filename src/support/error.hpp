@@ -1,0 +1,55 @@
+// Error handling primitives for the ctile library.
+//
+// The library throws ctile::Error for conditions a caller can provoke with
+// bad input (singular tiling matrices, illegal tilings, malformed loop
+// specs).  Internal invariants use CTILE_ASSERT, which is compiled in all
+// build types: this is compiler infrastructure, and a silently wrong
+// communication set is far worse than an abort.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ctile {
+
+/// Base exception for all user-provokable failures in the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Arithmetic overflow in exact integer/rational computation.
+class OverflowError : public Error {
+ public:
+  explicit OverflowError(const std::string& what) : Error(what) {}
+};
+
+/// A tiling transformation that violates a structural requirement
+/// (singular H, dependence with negative transformed component, ...).
+class LegalityError : public Error {
+ public:
+  explicit LegalityError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace ctile
+
+/// Always-on assertion for internal invariants.  Aborts with location info.
+#define CTILE_ASSERT(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::ctile::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+    }                                                                   \
+  } while (0)
+
+/// Assertion with an explanatory message (any streamable expression).
+#define CTILE_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::ctile::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                   \
+  } while (0)

@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation for property tests and
+// workload generators.  SplitMix64: tiny, fast, and identical on every
+// platform, so test failures reproduce exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "support/checked_int.hpp"
+
+namespace ctile {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed) : state_(seed) {}
+
+  /// Next raw 64-bit value (SplitMix64).
+  u64 next_u64() {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  i64 uniform(i64 lo, i64 hi) {
+    CTILE_ASSERT(lo <= hi);
+    u64 span = static_cast<u64>(hi) - static_cast<u64>(lo) + 1;
+    if (span == 0) {  // full 64-bit range
+      return static_cast<i64>(next_u64());
+    }
+    return lo + static_cast<i64>(next_u64() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p) { return uniform01() < p; }
+
+ private:
+  u64 state_;
+};
+
+}  // namespace ctile

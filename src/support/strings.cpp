@@ -1,0 +1,57 @@
+#include "support/strings.hpp"
+
+#include <cstdio>
+
+#include "support/checked_int.hpp"
+
+namespace ctile {
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string indent_lines(const std::string& text, int spaces) {
+  std::string pad(static_cast<std::size_t>(spaces), ' ');
+  std::string out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) out += pad;
+    out.append(text, start, end - start);
+    if (end < text.size()) out += '\n';
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string to_string_i128(i128 v) {
+  if (v == 0) return "0";
+  bool neg = v < 0;
+  // Peel digits from the magnitude; negate digit-wise to avoid overflow on
+  // the minimum value.
+  std::string digits;
+  i128 cur = v;
+  while (cur != 0) {
+    int d = static_cast<int>(cur % 10);
+    cur /= 10;
+    if (d < 0) d = -d;
+    digits.push_back(static_cast<char>('0' + d));
+  }
+  if (neg) digits.push_back('-');
+  return {digits.rbegin(), digits.rend()};
+}
+
+}  // namespace ctile

@@ -1,0 +1,28 @@
+// Small string utilities used by pretty-printers and the code generator.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ctile {
+
+/// Join the elements of `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Indent every line of `text` by `spaces` spaces.
+std::string indent_lines(const std::string& text, int spaces);
+
+/// Render any streamable value to a string.
+template <typename T>
+std::string str_of(const T& v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+/// printf-style double formatting with fixed precision.
+std::string fixed(double v, int precision);
+
+}  // namespace ctile

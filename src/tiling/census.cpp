@@ -1,0 +1,136 @@
+#include "tiling/census.hpp"
+
+#include "linalg/int_matops.hpp"
+
+namespace ctile {
+
+void TileCensus::init_box(const TiledNest& tiled) {
+  std::vector<IntRange> box = tiled.tile_space_box();
+  i64 cells = 1;
+  for (const IntRange& r : box) {
+    CTILE_ASSERT(!r.empty());
+    lo_.push_back(r.lo);
+    ext_.push_back(r.count());
+    cells = mul_ck(cells, r.count());
+  }
+  counts_.assign(static_cast<std::size_t>(cells), 0);
+}
+
+i64* TileCensus::slot(const VecI& js) {
+  i64 idx = 0;
+  for (std::size_t k = 0; k < lo_.size(); ++k) {
+    i64 rel = js[k] - lo_[k];
+    CTILE_ASSERT_MSG(rel >= 0 && rel < ext_[k],
+                     "census: tile outside the tile-space bounding box");
+    idx = idx * ext_[k] + rel;
+  }
+  return &counts_[static_cast<std::size_t>(idx)];
+}
+
+void TileCensus::finalize_bounds() {
+  const int n = static_cast<int>(lo_.size());
+  bounds_.lo.assign(static_cast<std::size_t>(n), 0);
+  bounds_.hi.assign(static_cast<std::size_t>(n), -1);
+  bool any = false;
+  // One pass over the dense array, delinearizing indices of nonzero
+  // cells.
+  for (std::size_t idx = 0; idx < counts_.size(); ++idx) {
+    if (counts_[idx] == 0) continue;
+    i64 rem = static_cast<i64>(idx);
+    VecI js(static_cast<std::size_t>(n));
+    for (int k = n; k-- > 0;) {
+      js[static_cast<std::size_t>(k)] = lo_[static_cast<std::size_t>(k)] +
+                                        rem % ext_[static_cast<std::size_t>(k)];
+      rem /= ext_[static_cast<std::size_t>(k)];
+    }
+    if (!any) {
+      bounds_.lo = js;
+      bounds_.hi = js;
+      any = true;
+      continue;
+    }
+    for (int k = 0; k < n; ++k) {
+      bounds_.lo[static_cast<std::size_t>(k)] =
+          std::min(bounds_.lo[static_cast<std::size_t>(k)],
+                   js[static_cast<std::size_t>(k)]);
+      bounds_.hi[static_cast<std::size_t>(k)] =
+          std::max(bounds_.hi[static_cast<std::size_t>(k)],
+                   js[static_cast<std::size_t>(k)]);
+    }
+  }
+  CTILE_ASSERT_MSG(any, "census: empty iteration space");
+}
+
+TileCensus::TileCensus(const TiledNest& tiled, bool) { init_box(tiled); }
+
+TileCensus::TileCensus(const TiledNest& tiled) : TileCensus(tiled, true) {
+  const TilingTransform& tf = tiled.transform();
+  tiled.nest().space.scan([&](const VecI& j) {
+    ++*slot(tf.tile_of(j));
+    ++total_;
+  });
+  finalize_bounds();
+}
+
+TileCensus TileCensus::from_box(const TiledNest& tiled, const VecI& lo,
+                                const VecI& hi, const MatI& skew) {
+  TileCensus census(tiled, true);
+  const TilingTransform& tf = tiled.transform();
+  const int n = tf.n();
+  CTILE_ASSERT(static_cast<int>(lo.size()) == n &&
+               static_cast<int>(hi.size()) == n && skew.rows() == n);
+  // Combined map: tile_k(j) = floor((Hp * T * j)_k / v_k), flattened to
+  // local buffers for an allocation-free sweep.
+  const MatI a = mul(tf.Hp(), skew);
+  std::vector<i64> arow(static_cast<std::size_t>(n) * n);
+  std::vector<i64> v(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    v[static_cast<std::size_t>(r)] = tf.v(r);
+    for (int c = 0; c < n; ++c) {
+      arow[static_cast<std::size_t>(r) * n + c] = a(r, c);
+    }
+  }
+  VecI j = lo;
+  VecI js(static_cast<std::size_t>(n));
+  for (;;) {
+    for (int r = 0; r < n; ++r) {
+      i64 acc = 0;
+      for (int c = 0; c < n; ++c) {
+        acc += arow[static_cast<std::size_t>(r) * n + c] *
+               j[static_cast<std::size_t>(c)];
+      }
+      js[static_cast<std::size_t>(r)] =
+          floor_div(acc, v[static_cast<std::size_t>(r)]);
+    }
+    ++*census.slot(js);
+    ++census.total_;
+    // Odometer increment over the box.
+    int k = n - 1;
+    while (k >= 0) {
+      if (++j[static_cast<std::size_t>(k)] <= hi[static_cast<std::size_t>(k)]) {
+        break;
+      }
+      j[static_cast<std::size_t>(k)] = lo[static_cast<std::size_t>(k)];
+      --k;
+    }
+    if (k < 0) break;
+  }
+  census.finalize_bounds();
+  return census;
+}
+
+i64 TileCensus::count(const VecI& js) const {
+  i64 idx = 0;
+  for (std::size_t k = 0; k < lo_.size(); ++k) {
+    i64 rel = js[k] - lo_[k];
+    if (rel < 0 || rel >= ext_[k]) return 0;
+    idx = idx * ext_[k] + rel;
+  }
+  return counts_[static_cast<std::size_t>(idx)];
+}
+
+const TileCensus::Bounds& TileCensus::nonempty_bounds() const {
+  return bounds_;
+}
+
+}  // namespace ctile

@@ -1,0 +1,55 @@
+// Exact per-tile iteration counts, stored densely over the tile-space
+// bounding box.
+//
+// The census is the ground truth the rational tile-space shadow
+// approximates: count(js) > 0 exactly when tile js owns an iteration
+// point.  The runtime uses it to restrict computation and communication
+// to genuinely nonempty tiles (the shadow alone admits "ghost" boundary
+// tiles that would idle processors and emit unused messages), and the
+// cluster simulator uses the counts as per-tile compute costs.
+#pragma once
+
+#include "tiling/tile_space.hpp"
+
+namespace ctile {
+
+class TileCensus {
+ public:
+  /// Exact census by scanning the (possibly non-rectangular) iteration
+  /// space polyhedron.  Right for tests and small spaces.
+  explicit TileCensus(const TiledNest& tiled);
+
+  /// Fast exact census for nests that are a unimodular skew T of a
+  /// rectangular box [lo, hi] (T = identity for unskewed nests): sweeps
+  /// the box with allocation-free integer arithmetic.  Equivalent to the
+  /// polyhedron scan — the benches' path for multi-million-point spaces.
+  static TileCensus from_box(const TiledNest& tiled, const VecI& lo,
+                             const VecI& hi, const MatI& skew);
+
+  /// Iterations in tile js (0 for tiles with no points).
+  i64 count(const VecI& js) const;
+  i64 total() const { return total_; }
+
+  /// Tight per-dimension bounds over nonempty tiles (the integer-exact
+  /// replacement for the shadow's bounding box).  Empty optional when
+  /// the census is empty.
+  struct Bounds {
+    VecI lo;
+    VecI hi;
+  };
+  const Bounds& nonempty_bounds() const;
+
+ private:
+  explicit TileCensus(const TiledNest& tiled, bool /*defer*/);
+  void init_box(const TiledNest& tiled);
+  i64* slot(const VecI& js);
+  void finalize_bounds();
+
+  VecI lo_;
+  VecI ext_;
+  std::vector<i64> counts_;
+  i64 total_ = 0;
+  Bounds bounds_;
+};
+
+}  // namespace ctile

@@ -1,0 +1,211 @@
+#include "tiling/tile_space.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "deps/tiling_cone.hpp"
+#include "linalg/int_matops.hpp"
+
+namespace ctile {
+
+Polyhedron tile_link_polyhedron(const LoopNest& nest,
+                                const TilingTransform& tf) {
+  const int n = nest.depth;
+  Polyhedron link(2 * n);  // variables: (j^S_1..j^S_n, j_1..j_n)
+  // Original-space constraints on the j block.
+  for (const Constraint& c : nest.space.constraints()) {
+    Constraint lifted;
+    lifted.coeffs.assign(static_cast<std::size_t>(2 * n), 0);
+    for (int i = 0; i < n; ++i) {
+      lifted.coeffs[static_cast<std::size_t>(n + i)] =
+          c.coeffs[static_cast<std::size_t>(i)];
+    }
+    lifted.constant = c.constant;
+    link.add(std::move(lifted));
+  }
+  // Tiling constraints: 0 <= (H' j)_k - v_k j^S_k <= v_k - 1.
+  const MatI& hp = tf.Hp();
+  for (int k = 0; k < n; ++k) {
+    Constraint lo;  // (H'j)_k - v_k jS_k >= 0
+    lo.coeffs.assign(static_cast<std::size_t>(2 * n), 0);
+    lo.coeffs[static_cast<std::size_t>(k)] = neg_ck(tf.v(k));
+    for (int i = 0; i < n; ++i) {
+      lo.coeffs[static_cast<std::size_t>(n + i)] = hp(k, i);
+    }
+    lo.constant = 0;
+    link.add(std::move(lo));
+
+    Constraint hi;  // v_k jS_k + v_k - 1 - (H'j)_k >= 0
+    hi.coeffs.assign(static_cast<std::size_t>(2 * n), 0);
+    hi.coeffs[static_cast<std::size_t>(k)] = tf.v(k);
+    for (int i = 0; i < n; ++i) {
+      hi.coeffs[static_cast<std::size_t>(n + i)] = neg_ck(hp(k, i));
+    }
+    hi.constant = sub_ck(tf.v(k), 1);
+    link.add(std::move(hi));
+  }
+  return link;
+}
+
+TiledNest::TiledNest(LoopNest nest, TilingTransform transform)
+    : nest_(std::move(nest)), tf_(std::move(transform)) {
+  nest_.validate();
+  if (tf_.n() != nest_.depth) {
+    throw LegalityError(nest_.name + ": tiling dimension " +
+                        std::to_string(tf_.n()) + " != loop depth " +
+                        std::to_string(nest_.depth));
+  }
+  require_tiling_legal(tf_.H(), nest_.deps, nest_.name);
+  // Project the linking polyhedron onto the j^S block; FM produces many
+  // redundant combinations, so simplify once (this is the polyhedron the
+  // code generator turns into loop bounds and valid() tests).
+  tile_space_ = tile_link_polyhedron(nest_, tf_)
+                    .project_prefix(nest_.depth)
+                    .simplified();
+}
+
+const MatI& TiledNest::tile_deps() const {
+  if (tile_deps_) return *tile_deps_;
+  const int n = nest_.depth;
+  std::set<VecI> found;
+  MatI dprime = ttis_deps();
+  for (int d = 0; d < dprime.cols(); ++d) {
+    VecI dp = dprime.col(d);
+    // d' >= 0 is guaranteed by legality; d^S(j') = floor((j' + d') / V)
+    // componentwise, which is nonzero only when some coordinate lies in
+    // the boundary band j'_k >= v_k - d'_k.  Walk one band per dimension
+    // (full TTIS if the dependence spans whole tiles) and collect the
+    // distinct nonzero d^S values.
+    auto collect = [&](const TtisRegion& region) {
+      for_each_lattice_point(tf_, region, [&](const VecI& jp) {
+        VecI ds(static_cast<std::size_t>(n));
+        bool nonzero = false;
+        for (int k = 0; k < n; ++k) {
+          i64 q = floor_div(jp[static_cast<std::size_t>(k)] +
+                                dp[static_cast<std::size_t>(k)],
+                            tf_.v(k));
+          ds[static_cast<std::size_t>(k)] = q;
+          if (q != 0) nonzero = true;
+        }
+        if (nonzero) found.insert(ds);
+      });
+    };
+    bool any_band = false;
+    bool full_needed = false;
+    for (int k = 0; k < n; ++k) {
+      i64 dk = dp[static_cast<std::size_t>(k)];
+      if (dk <= 0) continue;
+      any_band = true;
+      if (dk >= tf_.v(k)) {
+        full_needed = true;
+        break;
+      }
+    }
+    if (!any_band) continue;  // dependence internal to every tile
+    if (full_needed) {
+      collect(full_ttis_region(tf_));
+      continue;
+    }
+    for (int k = 0; k < n; ++k) {
+      i64 dk = dp[static_cast<std::size_t>(k)];
+      if (dk <= 0) continue;
+      TtisRegion band = full_ttis_region(tf_);
+      band.lo[static_cast<std::size_t>(k)] = tf_.v(k) - dk;
+      collect(band);
+    }
+  }
+  MatI out(n, static_cast<int>(found.size()));
+  int c = 0;
+  for (const VecI& ds : found) {
+    for (int r = 0; r < n; ++r) out(r, c) = ds[static_cast<std::size_t>(r)];
+    ++c;
+  }
+  tile_deps_ = std::move(out);
+  return *tile_deps_;
+}
+
+MatI TiledNest::ttis_deps() const {
+  MatI dprime = mul(tf_.Hp(), nest_.deps);
+  for (int r = 0; r < dprime.rows(); ++r) {
+    for (int c = 0; c < dprime.cols(); ++c) {
+      CTILE_ASSERT_MSG(dprime(r, c) >= 0,
+                       "ttis_deps: negative transformed dependence despite "
+                       "legality check");
+    }
+  }
+  return dprime;
+}
+
+namespace {
+
+// The TTIS of tile js lives on the lattice H' Z^n *shifted* by -V js
+// (the shift is a lattice vector exactly when P is integral, i.e. when
+// all tiles are translates of the origin tile).  Walking the unshifted
+// lattice over the region translated by +V js handles both cases: for a
+// lattice point x there, j = P' x is integral and jp = x - V js are the
+// TTIS coordinates.
+TtisRegion shifted_region(const TilingTransform& tf, const VecI& js) {
+  TtisRegion region = full_ttis_region(tf);
+  for (int k = 0; k < tf.n(); ++k) {
+    const i64 shift = mul_ck(tf.v(k), js[static_cast<std::size_t>(k)]);
+    region.lo[static_cast<std::size_t>(k)] =
+        add_ck(region.lo[static_cast<std::size_t>(k)], shift);
+    region.hi[static_cast<std::size_t>(k)] =
+        add_ck(region.hi[static_cast<std::size_t>(k)], shift);
+  }
+  return region;
+}
+
+VecI unshift(const TilingTransform& tf, const VecI& js, const VecI& x) {
+  VecI jp(x.size());
+  for (int k = 0; k < tf.n(); ++k) {
+    jp[static_cast<std::size_t>(k)] =
+        sub_ck(x[static_cast<std::size_t>(k)],
+               mul_ck(tf.v(k), js[static_cast<std::size_t>(k)]));
+  }
+  return jp;
+}
+
+}  // namespace
+
+void TiledNest::for_each_tile_point(
+    const VecI& js,
+    const std::function<void(const VecI& jp, const VecI& j)>& fn) const {
+  const VecI origin(static_cast<std::size_t>(tf_.n()), 0);
+  for_each_lattice_point(tf_, shifted_region(tf_, js), [&](const VecI& x) {
+    VecI j = tf_.point_of(origin, x);  // P' x, integral for lattice x
+    if (nest_.space.contains(j)) fn(unshift(tf_, js, x), j);
+  });
+}
+
+bool TiledNest::tile_nonempty(const VecI& js) const {
+  const VecI origin(static_cast<std::size_t>(tf_.n()), 0);
+  bool completed = for_each_lattice_point_until(
+      tf_, shifted_region(tf_, js), [&](const VecI& x) {
+        VecI j = tf_.point_of(origin, x);
+        return !nest_.space.contains(j);
+      });
+  return !completed;  // stopped early <=> found a point
+}
+
+i64 TiledNest::tile_point_count(const VecI& js) const {
+  i64 count = 0;
+  for_each_tile_point(js, [&](const VecI&, const VecI&) { ++count; });
+  return count;
+}
+
+std::vector<IntRange> TiledNest::tile_space_box() const {
+  return tile_space_.bounding_box();
+}
+
+std::vector<VecI> TiledNest::nonempty_tiles() const {
+  std::vector<VecI> out;
+  tile_space_.scan([&](const VecI& js) {
+    if (tile_nonempty(js)) out.push_back(js);
+  });
+  return out;
+}
+
+i64 TiledNest::total_points() const { return nest_.space.count_points(); }
+
+}  // namespace ctile

@@ -1,0 +1,78 @@
+// The Tile Space J^S = { floor(H j) : j in J^n } and tiled views of a
+// loop nest.
+//
+// The tile space is computed exactly as the projection of
+//   { (j^S, j) : j in J^n  and  0 <= H' j - V j^S <= V - 1 }
+// onto the j^S variables by Fourier-Motzkin.  The projection is the
+// rational shadow: a boundary j^S in the shadow may contain no integer
+// point; such tiles are detected by nonempty() (exact, via a clipped TTIS
+// walk) and skipped by the executors, matching the paper's remark that
+// boundary tiles are corrected with the original iteration-space
+// inequalities.
+#pragma once
+
+#include <optional>
+
+#include "deps/loop_nest.hpp"
+#include "tiling/transform.hpp"
+#include "tiling/ttis.hpp"
+
+namespace ctile {
+
+class TiledNest {
+ public:
+  /// Validates legality (H d >= 0 per dependence) and builds the tile
+  /// space.  Throws LegalityError on an illegal tiling.
+  TiledNest(LoopNest nest, TilingTransform transform);
+
+  const LoopNest& nest() const { return nest_; }
+  const TilingTransform& transform() const { return tf_; }
+
+  /// The tile-space polyhedron over j^S (rational shadow, see above).
+  const Polyhedron& tile_space() const { return tile_space_; }
+
+  /// Tile dependence matrix D^S = { floor(H (j + d)) : j in TIS, d in D },
+  /// nonzero columns only, computed exactly by walking the boundary band
+  /// of the TTIS.  Cached after the first call.
+  const MatI& tile_deps() const;
+
+  /// Transformed dependencies D' = H' D (columns).
+  MatI ttis_deps() const;
+
+  /// Exact emptiness test for a tile: walks the TTIS (clipped by J^n)
+  /// until the first point.
+  bool tile_nonempty(const VecI& js) const;
+
+  /// Number of iteration points in tile js (exact, clipped).
+  i64 tile_point_count(const VecI& js) const;
+
+  /// Invoke fn for each iteration point j of tile js, in TTIS traversal
+  /// order; yields both TTIS coordinates and the original point.
+  void for_each_tile_point(
+      const VecI& js,
+      const std::function<void(const VecI& jp, const VecI& j)>& fn) const;
+
+  /// Bounding box of the tile space (per dimension).
+  std::vector<IntRange> tile_space_box() const;
+
+  /// All tiles of the (rational-shadow) tile space that are nonempty.
+  std::vector<VecI> nonempty_tiles() const;
+
+  /// Total iteration count of the nest (scan-based; for tests and as the
+  /// sequential-time numerator in speedup computations).
+  i64 total_points() const;
+
+ private:
+  LoopNest nest_;
+  TilingTransform tf_;
+  Polyhedron tile_space_;
+  mutable std::optional<MatI> tile_deps_;
+};
+
+/// Builds the 2n-dimensional linking polyhedron { (j^S, j) } described in
+/// the header comment (exposed for the code generator, which emits the
+/// sequential tiled loop bounds from its projections).
+Polyhedron tile_link_polyhedron(const LoopNest& nest,
+                                const TilingTransform& tf);
+
+}  // namespace ctile

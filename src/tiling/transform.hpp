@@ -1,0 +1,111 @@
+// The tiling transformation machinery of \S2.2-\S2.3.
+//
+// Given a nonsingular rational tiling matrix H (rows normal to the tile
+// facets), this class derives every auxiliary object the paper's method
+// needs:
+//
+//   P    = H^{-1}                 (tile edge vectors as columns)
+//   V    = diag(v_1..v_n), v_k the smallest positive integer making
+//          v_k * row_k(H) integral
+//   H'   = V H                    (integral, maps the tile to the
+//                                  rectangle [0, v_k - 1]^n: the TTIS)
+//   P'   = H'^{-1}
+//   H~'  = HNF(H')                (column Hermite Normal Form; lower
+//                                  triangular)
+//   c_k  = h~'_kk                 (TTIS traversal strides)
+//   a_kl = h~'_kl, l < k          (incremental offsets)
+//
+// Key exact-arithmetic identities used throughout:
+//   j^S        = floor(H j)     computed as floor((H' j)_k / v_k)
+//   j' (TTIS)  = H' j - V j^S   (always integral)
+//   j          = P'(V j^S + j') = P j^S + P' j'
+#pragma once
+
+#include <string>
+
+#include "linalg/hnf.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ctile {
+
+class TilingTransform {
+ public:
+  /// Builds all derived matrices; throws LegalityError if h is singular.
+  explicit TilingTransform(MatQ h);
+
+  int n() const { return n_; }
+  const MatQ& H() const { return h_; }
+  const MatQ& P() const { return p_; }
+  const MatI& V() const { return v_; }
+  i64 v(int k) const { return v_(k, k); }
+  const MatI& Hp() const { return hp_; }
+  const MatQ& Pp() const { return pp_; }
+  const MatI& Hnf() const { return hnf_; }
+  const MatI& U() const { return u_; }
+
+  /// TTIS traversal stride of dimension k: c_k = h~'_kk.
+  i64 stride(int k) const { return hnf_(k, k); }
+  /// Incremental offset a_kl = h~'_kl (l < k).
+  i64 offset(int k, int l) const {
+    CTILE_ASSERT(l < k);
+    return hnf_(k, l);
+  }
+
+  /// |det P| as an exact rational; the tile size (points per full tile)
+  /// when P is integral.
+  Rat det_p() const { return det_p_; }
+
+  /// Points per full tile; requires an integral point count (always true
+  /// for integral P).  The identity |TIS| = prod(v_k) / prod(c_k) holds
+  /// because H~' and H' generate the same lattice.
+  i64 tile_size() const;
+
+  /// True iff P = H^{-1} is an integral matrix (uniform full tiles; the
+  /// parallel runtime requires this).
+  bool p_integral() const;
+
+  /// True iff every stride divides its TTIS extent (c_k | v_k), which the
+  /// dense LDS addressing of \S3.1 relies on.
+  bool strides_compatible() const;
+
+  /// Tile index j^S = floor(H j), exactly.
+  VecI tile_of(const VecI& j) const;
+
+  /// TTIS coordinates of j relative to tile j^S: j' = H' j - V j^S.
+  VecI ttis_of(const VecI& j, const VecI& js) const;
+
+  /// Convenience: ttis_of(j, tile_of(j)).
+  VecI ttis_of(const VecI& j) const;
+
+  /// Inverse mapping j = P'(V j^S + j'); asserts the result is integral
+  /// (it is whenever (j^S, j') came from an actual iteration point).
+  VecI point_of(const VecI& js, const VecI& jp) const;
+
+  /// True iff j' lies in the TTIS lattice H' Z^n (checked via P' j'
+  /// integrality) and inside the box [0, v_k - 1]^n.
+  bool in_ttis(const VecI& jp) const;
+
+  /// Transformed dependence d' = H' d; throws LegalityError if d' is not
+  /// integral... d' = H' d is always integral (H' integer), provided for
+  /// symmetry with the paper's D' = H' D.
+  VecI transform_dep(const VecI& d) const;
+
+  std::string describe() const;
+
+ private:
+  int n_;
+  MatQ h_;
+  MatQ p_;
+  MatI v_;
+  MatI hp_;
+  MatQ pp_;
+  MatI hnf_;
+  MatI u_;
+  Rat det_p_;
+  // Scaled-integer P': pp_scaled_ = den_ * P' with den_ > 0, for exact
+  // integer inner loops in point_of.
+  MatI pp_scaled_;
+  i64 den_;
+};
+
+}  // namespace ctile

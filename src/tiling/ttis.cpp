@@ -1,0 +1,82 @@
+#include "tiling/ttis.hpp"
+
+#include "linalg/int_matops.hpp"
+
+namespace ctile {
+
+TtisRegion full_ttis_region(const TilingTransform& t) {
+  const int n = t.n();
+  TtisRegion r;
+  r.lo.assign(static_cast<std::size_t>(n), 0);
+  r.hi.resize(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) r.hi[static_cast<std::size_t>(k)] = t.v(k) - 1;
+  return r;
+}
+
+bool for_each_lattice_point_until(
+    const TilingTransform& t, const TtisRegion& region,
+    const std::function<bool(const VecI&)>& fn) {
+  const int n = t.n();
+  CTILE_ASSERT(static_cast<int>(region.lo.size()) == n &&
+               static_cast<int>(region.hi.size()) == n);
+  const MatI& hnf = t.Hnf();
+  VecI jp(static_cast<std::size_t>(n), 0);
+  VecI y(static_cast<std::size_t>(n), 0);  // lattice coordinates
+
+  std::function<bool(int)> walk = [&](int k) -> bool {
+    const i64 ck = hnf(k, k);
+    // Congruence base from the outer lattice coordinates.
+    i128 base128 = 0;
+    for (int l = 0; l < k; ++l) {
+      base128 += static_cast<i128>(hnf(k, l)) * y[static_cast<std::size_t>(l)];
+    }
+    const i64 base = narrow_i64(base128);
+    const i64 lo = region.lo[static_cast<std::size_t>(k)];
+    const i64 hi = region.hi[static_cast<std::size_t>(k)];
+    // First admissible value >= lo with jk === base (mod ck).
+    const i64 start = add_ck(lo, mod_floor(base - lo, ck));
+    for (i64 v = start; v <= hi; v += ck) {
+      jp[static_cast<std::size_t>(k)] = v;
+      y[static_cast<std::size_t>(k)] = (v - base) / ck;  // exact by congruence
+      if (k == n - 1) {
+        if (!fn(jp)) return false;
+      } else {
+        if (!walk(k + 1)) return false;
+      }
+    }
+    return true;
+  };
+  return walk(0);
+}
+
+void for_each_lattice_point(const TilingTransform& t, const TtisRegion& region,
+                            const std::function<void(const VecI&)>& fn) {
+  for_each_lattice_point_until(t, region, [&](const VecI& jp) {
+    fn(jp);
+    return true;
+  });
+}
+
+i64 count_lattice_points(const TilingTransform& t, const TtisRegion& region) {
+  i64 n = 0;
+  for_each_lattice_point(t, region, [&](const VecI&) { ++n; });
+  return n;
+}
+
+std::vector<VecI> tis_points(const TilingTransform& t) {
+  std::vector<VecI> out;
+  const VecI origin(static_cast<std::size_t>(t.n()), 0);
+  for_each_lattice_point(t, full_ttis_region(t), [&](const VecI& jp) {
+    out.push_back(t.point_of(origin, jp));
+  });
+  return out;
+}
+
+std::vector<VecI> ttis_points(const TilingTransform& t) {
+  std::vector<VecI> out;
+  for_each_lattice_point(t, full_ttis_region(t),
+                         [&](const VecI& jp) { out.push_back(jp); });
+  return out;
+}
+
+}  // namespace ctile

@@ -1,0 +1,142 @@
+#include "apps/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "deps/skew.hpp"
+#include "deps/tiling_cone.hpp"
+#include "linalg/int_matops.hpp"
+#include "runtime/data_space.hpp"
+#include "tiling/transform.hpp"
+
+namespace ctile {
+namespace {
+
+TEST(Apps, SorSkewedDepsNonNegative) {
+  AppInstance app = make_sor(5, 7);
+  EXPECT_TRUE(all_deps_nonnegative(app.nest.deps));
+  EXPECT_EQ(app.nest.deps.cols(), 5);
+  EXPECT_EQ(app.nest.space.count_points(), 5 * 7 * 7);
+}
+
+TEST(Apps, JacobiSkewedDepsNonNegative) {
+  AppInstance app = make_jacobi(4, 6, 8);
+  EXPECT_TRUE(all_deps_nonnegative(app.nest.deps));
+  EXPECT_EQ(app.nest.deps.cols(), 5);
+  EXPECT_EQ(app.nest.space.count_points(), 4 * 6 * 8);
+}
+
+TEST(Apps, AdiNeedsNoSkewing) {
+  AppInstance app = make_adi(3, 5);
+  EXPECT_TRUE(all_deps_nonnegative(app.nest.deps));
+  EXPECT_EQ(app.nest.deps, (MatI{{1, 1, 1}, {0, 1, 0}, {0, 0, 1}}));
+}
+
+TEST(Apps, SkewedSorEqualsOriginalSor) {
+  // The skewed instance must compute exactly the same values at the
+  // corresponding (skewed) points as the original nest at the original
+  // points: skewing only reorders execution.
+  AppInstance orig = make_sor_original(4, 6);
+  AppInstance skewed = make_sor(4, 6);
+  DataSpace ds_orig =
+      run_sequential(orig.nest.space, orig.nest.deps, *orig.kernel);
+  DataSpace ds_skew =
+      run_sequential(skewed.nest.space, skewed.nest.deps, *skewed.kernel);
+  MatI t = sor_skew_matrix();
+  orig.nest.space.scan([&](const VecI& j) {
+    VecI js = mul(t, j);
+    EXPECT_EQ(ds_orig.at(j)[0], ds_skew.at(js)[0])
+        << "at original (" << j[0] << "," << j[1] << "," << j[2] << ")";
+  });
+}
+
+TEST(Apps, SkewedJacobiEqualsOriginalJacobi) {
+  AppInstance orig = make_jacobi_original(3, 5, 5);
+  AppInstance skewed = make_jacobi(3, 5, 5);
+  DataSpace ds_orig =
+      run_sequential(orig.nest.space, orig.nest.deps, *orig.kernel);
+  DataSpace ds_skew =
+      run_sequential(skewed.nest.space, skewed.nest.deps, *skewed.kernel);
+  MatI t = jacobi_skew_matrix();
+  orig.nest.space.scan([&](const VecI& j) {
+    EXPECT_EQ(ds_orig.at(j)[0], ds_skew.at(mul(t, j))[0]);
+  });
+}
+
+TEST(Apps, JacobiValuesBounded) {
+  // Jacobi averages: all values stay within the IC's range.
+  AppInstance app = make_jacobi_original(4, 6, 6);
+  DataSpace ds = run_sequential(app.nest.space, app.nest.deps, *app.kernel);
+  app.nest.space.scan([&](const VecI& j) {
+    EXPECT_LE(std::fabs(ds.at(j)[0]), 2.0);
+  });
+}
+
+TEST(Apps, AdiBStaysPositive) {
+  // The ADI kernel divides by B values; the coefficient scaling keeps B
+  // near 2 so the recurrence is well conditioned.
+  AppInstance app = make_adi(5, 8);
+  DataSpace ds = run_sequential(app.nest.space, app.nest.deps, *app.kernel);
+  app.nest.space.scan([&](const VecI& j) {
+    EXPECT_GT(ds.at(j)[1], 1.0) << "B drifted low";
+    EXPECT_LT(ds.at(j)[1], 3.0) << "B drifted high";
+    EXPECT_TRUE(std::isfinite(ds.at(j)[0]));
+  });
+}
+
+TEST(Apps, TilingMatricesLegal) {
+  AppInstance sor = make_sor(5, 7);
+  EXPECT_TRUE(tiling_legal(sor_rect_h(2, 3, 4), sor.nest.deps));
+  EXPECT_TRUE(tiling_legal(sor_nonrect_h(2, 3, 4), sor.nest.deps));
+  AppInstance jac = make_jacobi(4, 6, 6);
+  EXPECT_TRUE(tiling_legal(jacobi_rect_h(2, 3, 3), jac.nest.deps));
+  EXPECT_TRUE(tiling_legal(jacobi_nonrect_h(2, 4, 3), jac.nest.deps));
+  AppInstance adi = make_adi(4, 6);
+  for (const MatQ& h : {adi_rect_h(2, 2, 2), adi_nr1_h(2, 2, 2),
+                        adi_nr2_h(2, 2, 2), adi_nr3_h(2, 2, 2)}) {
+    EXPECT_TRUE(tiling_legal(h, adi.nest.deps));
+  }
+}
+
+TEST(Apps, NonRectTilingsComeFromTilingCone) {
+  // Each non-rectangular H row is parallel to a tiling-cone ray or at
+  // least inside the cone (the paper picks rows parallel to cone sides).
+  AppInstance sor = make_sor(5, 7);
+  ConeRays cone = tiling_cone(sor.nest.deps);
+  MatQ h = sor_nonrect_h(2, 3, 4);
+  // Row 3 of H_nr is (-1/z, 0, 1/z) ~ (-1, 0, 1), a cone ray.
+  bool found = false;
+  for (const VecI& ray : cone.rays) {
+    if (ray == VecI{-1, 0, 1}) found = true;
+  }
+  EXPECT_TRUE(found);
+  (void)h;
+}
+
+TEST(Apps, AdiNr3RowsAllOnCone) {
+  AppInstance adi = make_adi(4, 6);
+  ConeRays cone = tiling_cone(adi.nest.deps);
+  std::set<VecI> rays(cone.rays.begin(), cone.rays.end());
+  EXPECT_TRUE(rays.count({1, -1, -1}));
+  EXPECT_TRUE(rays.count({0, 1, 0}));
+  EXPECT_TRUE(rays.count({0, 0, 1}));
+  // H_nr3 rows are exactly these three directions.
+}
+
+TEST(Apps, EqualTileSizes) {
+  // With common x,y,z factors the rectangular and non-rectangular tiles
+  // have the same size (paper \S4.1: same |det|).
+  for (i64 x : {2, 3}) {
+    EXPECT_EQ(TilingTransform(sor_rect_h(x, 3, 4)).tile_size(),
+              TilingTransform(sor_nonrect_h(x, 3, 4)).tile_size());
+    EXPECT_EQ(TilingTransform(jacobi_rect_h(x, 4, 3)).tile_size(),
+              TilingTransform(jacobi_nonrect_h(x, 4, 3)).tile_size());
+    EXPECT_EQ(TilingTransform(adi_rect_h(x, 2, 2)).tile_size(),
+              TilingTransform(adi_nr3_h(x, 2, 2)).tile_size());
+  }
+}
+
+}  // namespace
+}  // namespace ctile

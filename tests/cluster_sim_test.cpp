@@ -1,0 +1,126 @@
+#include "cluster/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/kernels.hpp"
+
+namespace ctile {
+namespace {
+
+TiledNest tile_app(const AppInstance& app, MatQ h) {
+  return TiledNest(app.nest, TilingTransform(std::move(h)));
+}
+
+TEST(Census, CountsMatchTiledScan) {
+  AppInstance app = make_sor(5, 7);
+  TiledNest tiled = tile_app(app, sor_nonrect_h(2, 3, 4));
+  TileCensus census(tiled);
+  EXPECT_EQ(census.total(), app.nest.space.count_points());
+  tiled.tile_space().scan([&](const VecI& js) {
+    EXPECT_EQ(census.count(js), tiled.tile_point_count(js));
+  });
+  EXPECT_EQ(census.count({99, 99, 99}), 0);
+}
+
+TEST(Sim, SingleProcessorMatchesSequential) {
+  // One processor, zero-communication machine: makespan == sequential.
+  AppInstance app = make_adi(4, 4);
+  TiledNest tiled = tile_app(app, adi_rect_h(2, 5, 5));
+  SimResult r = simulate_tiled_program(tiled, MachineModel::zero_comm(), 2, 0);
+  EXPECT_DOUBLE_EQ(r.makespan, r.sequential);
+  EXPECT_DOUBLE_EQ(r.speedup, 1.0);
+  EXPECT_EQ(r.messages, 0);
+}
+
+TEST(Sim, SpeedupBoundedByProcessorCount) {
+  AppInstance app = make_adi(8, 8);
+  TiledNest tiled = tile_app(app, adi_rect_h(2, 2, 2));
+  Mapping mapping(tiled, 0);
+  SimResult r = simulate_tiled_program(tiled, MachineModel::zero_comm(), 2, 0);
+  EXPECT_LE(r.speedup, static_cast<double>(mapping.num_procs()) + 1e-9);
+  EXPECT_GT(r.speedup, 1.0);
+}
+
+TEST(Sim, CommunicationCostsReduceSpeedup) {
+  AppInstance app = make_adi(8, 8);
+  TiledNest tiled = tile_app(app, adi_rect_h(2, 2, 2));
+  SimResult ideal = simulate_tiled_program(tiled, MachineModel::zero_comm(), 2, 0);
+  MachineModel slow = MachineModel::fast_ethernet_cluster();
+  SimResult real = simulate_tiled_program(tiled, slow, 2, 0);
+  EXPECT_LT(real.speedup, ideal.speedup);
+  EXPECT_GT(real.messages, 0);
+  EXPECT_GT(real.bytes, 0);
+}
+
+TEST(Sim, ComputeBusyEqualsSequentialWork) {
+  AppInstance app = make_sor(5, 7);
+  TiledNest tiled = tile_app(app, sor_nonrect_h(2, 3, 4));
+  SimResult r =
+      simulate_tiled_program(tiled, MachineModel::fast_ethernet_cluster());
+  EXPECT_NEAR(r.compute_busy, r.sequential, 1e-12);
+}
+
+TEST(Sim, NonRectBeatsRectOnSor) {
+  // The paper's core claim (\S4.1): with identical tile sizes and
+  // communication volumes, the non-rectangular (cone-derived) tiling
+  // finishes earlier because the last tile executes at an earlier step
+  // (t_nr = t_r - M/z).
+  AppInstance app = make_sor(24, 48);
+  MachineModel machine = MachineModel::fast_ethernet_cluster();
+  // Scale compute so tiles are meaningful relative to comm.
+  machine.sec_per_iter = 5e-6;
+  SimResult rect = simulate_tiled_program(
+      tile_app(app, sor_rect_h(6, 18, 8)), machine, 1, 2);
+  SimResult nonrect = simulate_tiled_program(
+      tile_app(app, sor_nonrect_h(6, 18, 8)), machine, 1, 2);
+  EXPECT_GT(nonrect.speedup, rect.speedup);
+}
+
+TEST(Sim, AdiConeTilingOrdering) {
+  // Paper \S4.3: t_nr3 < t_nr1 (= t_nr2 by symmetry y == z) < t_r.
+  AppInstance app = make_adi(32, 24);
+  MachineModel machine = MachineModel::fast_ethernet_cluster();
+  machine.sec_per_iter = 5e-6;
+  SimResult r = simulate_tiled_program(
+      tile_app(app, adi_rect_h(4, 6, 6)), machine, 2, 0);
+  SimResult nr1 = simulate_tiled_program(
+      tile_app(app, adi_nr1_h(4, 6, 6)), machine, 2, 0);
+  SimResult nr2 = simulate_tiled_program(
+      tile_app(app, adi_nr2_h(4, 6, 6)), machine, 2, 0);
+  SimResult nr3 = simulate_tiled_program(
+      tile_app(app, adi_nr3_h(4, 6, 6)), machine, 2, 0);
+  EXPECT_GT(nr1.speedup, r.speedup);
+  EXPECT_GT(nr2.speedup, r.speedup);
+  EXPECT_GT(nr3.speedup, nr1.speedup);
+  EXPECT_GT(nr3.speedup, nr2.speedup);
+}
+
+TEST(Sim, MessagesMatchExecutorStats) {
+  // The DES models exactly the messages the real executor sends.
+  AppInstance app = make_sor(5, 7);
+  TiledNest tiled = tile_app(app, sor_nonrect_h(2, 3, 4));
+  ParallelExecutor exec(tiled, *app.kernel);
+  ParallelRunStats stats;
+  exec.run(&stats);
+  SimResult sim =
+      simulate_tiled_program(tiled, MachineModel::fast_ethernet_cluster());
+  EXPECT_EQ(sim.messages, stats.messages);
+  EXPECT_EQ(sim.bytes, stats.doubles * 8);
+  EXPECT_EQ(sim.total_points, stats.points_computed);
+}
+
+TEST(Sim, LatencyDominatesTinyTiles) {
+  // With very small tiles, makespan is latency-bound: raising latency
+  // must raise makespan roughly proportionally.
+  AppInstance app = make_adi(12, 8);
+  TiledNest tiled = tile_app(app, adi_rect_h(1, 2, 2));
+  MachineModel m1 = MachineModel::fast_ethernet_cluster();
+  MachineModel m2 = m1;
+  m2.latency *= 10;
+  SimResult r1 = simulate_tiled_program(tiled, m1, 2, 0);
+  SimResult r2 = simulate_tiled_program(tiled, m2, 2, 0);
+  EXPECT_GT(r2.makespan, 3.0 * r1.makespan);
+}
+
+}  // namespace
+}  // namespace ctile

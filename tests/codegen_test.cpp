@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "apps/kernels.hpp"
+#include "codegen/parallel_gen.hpp"
+#include "runtime/data_space.hpp"
+#include "codegen/sequential_gen.hpp"
+
+namespace ctile::codegen {
+namespace {
+
+TiledNest sor_tiled() {
+  AppInstance app = make_sor(5, 7);
+  return TiledNest(app.nest, TilingTransform(sor_nonrect_h(2, 3, 4)));
+}
+
+TEST(Writer, IndentationAndBlocks) {
+  CodeWriter w;
+  w.open("if (x)");
+  w.line("y();");
+  w.close();
+  EXPECT_EQ(w.str(), "if (x) {\n  y();\n}\n");
+}
+
+TEST(Writer, AffineStr) {
+  EXPECT_EQ(affine_str({1, -1, 2}, {"a", "b", "c"}, -3),
+            "a + -b + 2*c + -3");
+  EXPECT_EQ(affine_str({0, 0}, {"a", "b"}, 0), "0");
+  EXPECT_EQ(affine_str({}, {}, 5), "5");
+}
+
+TEST(Writer, BoundExprsSimpleBox) {
+  Polyhedron p = Polyhedron::box({2}, {9});
+  BoundExprs b = bound_exprs(p, 0, {"x"});
+  EXPECT_EQ(b.lower, "-(-2)");
+  EXPECT_EQ(b.upper, "(9)");
+}
+
+TEST(Writer, BoundExprsDivisions) {
+  // Bounds of x1 that depend on x0 keep their divisions:
+  // 3*x1 >= 2*x0 + 1 -> ceil-div, 2*x1 <= 5*x0 -> floor-div.
+  // (Single-variable constraints get constant-folded by normalization.)
+  Polyhedron p(2);
+  p.add(Constraint({-2, 3}, -1));  // 3y - 2x - 1 >= 0
+  p.add(Constraint({5, -2}, 0));   // 5x - 2y >= 0
+  BoundExprs b = bound_exprs(p, 1, {"x0", "x1"});
+  EXPECT_NE(b.lower.find("ct_ceildiv"), std::string::npos);
+  EXPECT_NE(b.upper.find("ct_floordiv"), std::string::npos);
+  EXPECT_NE(b.lower.find("x0"), std::string::npos);
+}
+
+TEST(Writer, MembershipExpr) {
+  Polyhedron p = Polyhedron::box({0, 0}, {3, 4});
+  std::string e = membership_expr(p, {"a", "b"});
+  EXPECT_NE(e.find("a"), std::string::npos);
+  EXPECT_NE(e.find(">= 0"), std::string::npos);
+  EXPECT_EQ(membership_expr(Polyhedron(2), {"a", "b"}), "true");
+}
+
+TEST(SequentialGen, SkeletonShowsTwoNLoops) {
+  std::string code = generate_loop_skeleton(sor_tiled());
+  // n = 3 outer tile loops + 3 inner TTIS loops.
+  std::size_t count = 0, pos = 0;
+  while ((pos = code.find("for (", pos)) != std::string::npos) {
+    ++count;
+    pos += 5;
+  }
+  EXPECT_EQ(count, 6u);
+  EXPECT_NE(code.find("js0"), std::string::npos);
+  EXPECT_NE(code.find("jp2"), std::string::npos);
+}
+
+TEST(SequentialGen, ProgramContainsKeyPieces) {
+  std::string code = generate_sequential_tiled(sor_tiled(), sor_spec());
+  EXPECT_NE(code.find("int main()"), std::string::npos);
+  EXPECT_NE(code.find("in_space"), std::string::npos);
+  EXPECT_NE(code.find("point_of"), std::string::npos);
+  EXPECT_NE(code.find("checksum"), std::string::npos);
+  // Placeholders resolved to the emitted macros.
+  EXPECT_NE(code.find("CT_DEP(0,0)"), std::string::npos);
+  EXPECT_NE(code.find("#define CT_DEP"), std::string::npos);
+}
+
+TEST(ParallelGen, ProgramContainsCommStructure) {
+  std::string code = generate_parallel_mpi(sor_tiled(), sor_spec());
+  EXPECT_NE(code.find("RECEIVE"), std::string::npos);
+  EXPECT_NE(code.find("SEND"), std::string::npos);
+  EXPECT_NE(code.find("comm.recv"), std::string::npos);
+  EXPECT_NE(code.find("comm.send"), std::string::npos);
+  EXPECT_NE(code.find("MPI_Recv"), std::string::npos);  // documented mapping
+  EXPECT_NE(code.find("DS_TAB"), std::string::npos);
+  EXPECT_NE(code.find("minsucc"), std::string::npos);
+  EXPECT_NE(code.find("run_ranks"), std::string::npos);
+}
+
+TEST(ParallelGen, ConstantsMatchPlan) {
+  TiledNest tiled = sor_tiled();
+  Mapping mapping(tiled);
+  std::string code = generate_parallel_mpi(tiled, sor_spec());
+  EXPECT_NE(code.find("constexpr int NPROCS = " +
+                      std::to_string(mapping.num_procs())),
+            std::string::npos);
+  EXPECT_NE(code.find("constexpr long long CHAIN = " +
+                      std::to_string(mapping.chain_length())),
+            std::string::npos);
+}
+
+TEST(ParallelGen, MpiFlavorEmitsRealMpiCalls) {
+  ParallelGenOptions opt;
+  opt.flavor = CommFlavor::kMpi;
+  std::string code = generate_parallel_mpi(sor_tiled(), sor_spec(), opt);
+  EXPECT_NE(code.find("#include <mpi.h>"), std::string::npos);
+  EXPECT_NE(code.find("MPI_Init"), std::string::npos);
+  EXPECT_NE(code.find("MPI_Comm_rank"), std::string::npos);
+  EXPECT_NE(code.find("MPI_Send(buf.data()"), std::string::npos);
+  EXPECT_NE(code.find("MPI_Recv(buf.data()"), std::string::npos);
+  EXPECT_NE(code.find("MPI_Finalize"), std::string::npos);
+  // No in-process substrate remnants.
+  EXPECT_EQ(code.find("mpisim"), std::string::npos);
+  EXPECT_EQ(code.find("comm.recv"), std::string::npos);
+  // Ranks validated against the compiled-in mesh size.
+  EXPECT_NE(code.find("world != NPROCS"), std::string::npos);
+}
+
+TEST(ParallelGen, FlavorsShareTheComputeStructure) {
+  ParallelGenOptions mpi_opt;
+  mpi_opt.flavor = CommFlavor::kMpi;
+  std::string a = generate_parallel_mpi(sor_tiled(), sor_spec());
+  std::string b = generate_parallel_mpi(sor_tiled(), sor_spec(), mpi_opt);
+  // The analysis tables must be identical between flavors.
+  for (const char* token :
+       {"DS_TAB", "DM_TAB", "PACK_LO", "MSG_POINTS", "walk_box",
+        "lds_slot", "minsucc"}) {
+    std::size_t pa = a.find(token);
+    std::size_t pb = b.find(token);
+    EXPECT_NE(pa, std::string::npos) << token;
+    EXPECT_NE(pb, std::string::npos) << token;
+  }
+}
+
+TEST(Specs, MatchAppKernels) {
+  // Spec dependence order comments match the app kernels'; spot-check
+  // the arity and body references.
+  EXPECT_EQ(sor_spec().arity, 1);
+  EXPECT_EQ(jacobi_spec().arity, 1);
+  EXPECT_EQ(adi_spec().arity, 2);
+  EXPECT_NE(adi_spec().body.find("DEP(2,1)"), std::string::npos);
+}
+
+TEST(Checksum, ReferenceMatchesManualLoop) {
+  AppInstance app = make_adi(3, 4);
+  DataSpace ds = run_sequential(app.nest.space, app.nest.deps, *app.kernel);
+  double c1 = reference_checksum(
+      app.nest, [&](const VecI& j) { return ds.at(j); }, 2);
+  double c2 = reference_checksum(
+      app.nest, [&](const VecI& j) { return ds.at(j); }, 2);
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(c1, 0.0);
+}
+
+}  // namespace
+}  // namespace ctile::codegen

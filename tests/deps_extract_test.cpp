@@ -1,0 +1,123 @@
+#include "deps/extract.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/kernels.hpp"
+#include "tiling/tile_space.hpp"
+#include "linalg/int_matops.hpp"
+
+namespace ctile {
+namespace {
+
+TEST(Extract, SorDependenciesFromReferences) {
+  // SOR writes A[t, i, j]; reads A[t,i-1,j], A[t,i,j-1], A[t-1,i+1,j],
+  // A[t-1,i,j+1], A[t-1,i,j].  The derived matrix must equal the one the
+  // bundled app declares.
+  ArrayRef w = ArrayRef::identity_with_offset({0, 0, 0});
+  std::vector<ArrayRef> reads = {
+      ArrayRef::identity_with_offset({0, -1, 0}),
+      ArrayRef::identity_with_offset({0, 0, -1}),
+      ArrayRef::identity_with_offset({-1, 1, 0}),
+      ArrayRef::identity_with_offset({-1, 0, 1}),
+      ArrayRef::identity_with_offset({-1, 0, 0}),
+  };
+  MatI deps = extract_dependencies(w, reads);
+  EXPECT_EQ(deps, make_sor_original(4, 4).nest.deps);
+}
+
+TEST(Extract, AdiDependenciesFromReferences) {
+  ArrayRef w = ArrayRef::identity_with_offset({0, 0, 0});
+  std::vector<ArrayRef> reads = {
+      ArrayRef::identity_with_offset({-1, 0, 0}),
+      ArrayRef::identity_with_offset({-1, -1, 0}),
+      ArrayRef::identity_with_offset({-1, 0, -1}),
+  };
+  EXPECT_EQ(extract_dependencies(w, reads), make_adi(3, 3).nest.deps);
+}
+
+TEST(Extract, UniformDistanceFromOffsets) {
+  // write A[j1+2, j2]; read A[j1, j2-1]: d solves W d = w0 - r0 = (2, 1).
+  ArrayRef w = ArrayRef::identity_with_offset({2, 0});
+  ArrayRef r = ArrayRef::identity_with_offset({0, 1});
+  DepResult res = uniform_dependence(w, r);
+  ASSERT_TRUE(res.uniform) << res.reason;
+  EXPECT_EQ(res.distance, (VecI{2, -1}));
+}
+
+TEST(Extract, NonIdentityCoefficients) {
+  // write A[2*j1, j2]; read A[2*j1 - 4, j2 - 1]: d = (2, 1).
+  ArrayRef w{MatI{{2, 0}, {0, 1}}, {0, 0}};
+  ArrayRef r{MatI{{2, 0}, {0, 1}}, {-4, -1}};
+  DepResult res = uniform_dependence(w, r);
+  ASSERT_TRUE(res.uniform) << res.reason;
+  EXPECT_EQ(res.distance, (VecI{2, 1}));
+}
+
+TEST(Extract, FractionalAliasingRejected) {
+  // write A[2*j]; read A[2*j - 1]: elements never coincide (odd offset on
+  // an even lattice).
+  ArrayRef w{MatI{{2}}, {0}};
+  ArrayRef r{MatI{{2}}, {-1}};
+  DepResult res = uniform_dependence(w, r);
+  EXPECT_FALSE(res.uniform);
+  EXPECT_NE(res.reason.find("fractional"), std::string::npos);
+}
+
+TEST(Extract, NonUniformPairRejected) {
+  // write A[j1, j2]; read A[j2, j1] (transposed access): distance varies.
+  ArrayRef w = ArrayRef::identity_with_offset({0, 0});
+  ArrayRef r{MatI{{0, 1}, {1, 0}}, {0, 0}};
+  DepResult res = uniform_dependence(w, r);
+  EXPECT_FALSE(res.uniform);
+  EXPECT_NE(res.reason.find("non-uniform"), std::string::npos);
+}
+
+TEST(Extract, NonInjectiveWriteRejected) {
+  // write A[j1 + j2] in a 2-deep nest: many iterations write each cell.
+  ArrayRef w{MatI{{1, 1}}, {0}};
+  ArrayRef r{MatI{{1, 1}}, {-1}};
+  DepResult res = uniform_dependence(w, r);
+  EXPECT_FALSE(res.uniform);
+  EXPECT_NE(res.reason.find("not injective"), std::string::npos);
+}
+
+TEST(Extract, NeverAliasingRejected) {
+  // Overdetermined inconsistent system: write A[j, j]... write coef is
+  // 2x1 (array 2-D, loop 1-D), read offset inconsistent between rows.
+  ArrayRef w{MatI{{1}, {1}}, {0, 0}};
+  ArrayRef r{MatI{{1}, {1}}, {-1, -2}};
+  DepResult res = uniform_dependence(w, r);
+  EXPECT_FALSE(res.uniform);
+  EXPECT_NE(res.reason.find("never alias"), std::string::npos);
+}
+
+TEST(Extract, LexNegativeDistanceRejected) {
+  // read A[t+1, i]: reads the future.
+  ArrayRef w = ArrayRef::identity_with_offset({0, 0});
+  std::vector<ArrayRef> reads = {ArrayRef::identity_with_offset({1, 0})};
+  EXPECT_THROW(extract_dependencies(w, reads), LegalityError);
+}
+
+TEST(Extract, EvalMatchesDefinition) {
+  ArrayRef r{MatI{{2, 0}, {1, 1}}, {5, -3}};
+  EXPECT_EQ(r.eval({3, 4}), (VecI{11, 4}));
+}
+
+TEST(Extract, RoundTripThroughPipeline) {
+  // References -> dependence matrix -> nest -> legal tiling: the full
+  // front-to-back path.
+  ArrayRef w = ArrayRef::identity_with_offset({0, 0, 0});
+  std::vector<ArrayRef> reads = {
+      ArrayRef::identity_with_offset({-1, 0, 0}),
+      ArrayRef::identity_with_offset({-1, -1, 0}),
+      ArrayRef::identity_with_offset({-1, 0, -1}),
+  };
+  MatI deps = extract_dependencies(w, reads);
+  LoopNest nest = make_rectangular_nest("fromrefs", {1, 1, 1}, {6, 6, 6},
+                                        deps);
+  TiledNest tiled(nest, TilingTransform(adi_nr3_h(2, 2, 2)));
+  EXPECT_GT(tiled.nonempty_tiles().size(), 0u);
+}
+
+}  // namespace
+}  // namespace ctile

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "deps/loop_nest.hpp"
+#include "deps/skew.hpp"
+#include "deps/tiling_cone.hpp"
+#include "linalg/int_matops.hpp"
+#include "linalg/rat_matops.hpp"
+
+namespace ctile {
+namespace {
+
+MatI sor_deps_original() {
+  // SOR A[t,i,j] reads (t,i-1,j), (t,i,j-1), (t-1,i+1,j), (t-1,i,j+1),
+  // (t-1,i,j): dependence columns.
+  return MatI{{0, 0, 1, 1, 1}, {1, 0, -1, 0, 0}, {0, 1, 0, -1, 0}};
+}
+
+MatI sor_skew() { return MatI{{1, 0, 0}, {1, 1, 0}, {2, 0, 1}}; }
+
+TEST(LoopNest, RectangularBuilderValidates) {
+  LoopNest nest = make_rectangular_nest("adi", {1, 1, 1}, {4, 8, 8},
+                                        MatI{{1, 1, 1}, {0, 1, 0}, {0, 0, 1}});
+  EXPECT_EQ(nest.depth, 3);
+  EXPECT_EQ(nest.num_deps(), 3);
+  EXPECT_EQ(nest.space.count_points(), 4 * 8 * 8);
+  EXPECT_EQ(nest.dep(1), (VecI{1, 1, 0}));
+}
+
+TEST(LoopNest, RejectsNonLexPositiveDeps) {
+  EXPECT_THROW(
+      make_rectangular_nest("bad", {0, 0}, {3, 3}, MatI{{0, 1}, {-1, 0}}),
+      LegalityError);
+  EXPECT_THROW(
+      make_rectangular_nest("zero", {0, 0}, {3, 3}, MatI{{0}, {0}}),
+      LegalityError);
+}
+
+TEST(LoopNest, ValidateChecksShapes) {
+  LoopNest nest;
+  nest.name = "shape";
+  nest.depth = 2;
+  nest.space = Polyhedron::box({0}, {1});  // wrong dim
+  nest.deps = MatI{{1}, {0}};
+  EXPECT_THROW(nest.validate(), LegalityError);
+}
+
+TEST(Skew, SorSkewMakesDepsNonNegative) {
+  LoopNest sor = make_rectangular_nest("sor", {1, 1, 1}, {3, 4, 4},
+                                       sor_deps_original());
+  EXPECT_FALSE(all_deps_nonnegative(sor.deps));
+  LoopNest skewed = skew(sor, sor_skew());
+  EXPECT_TRUE(all_deps_nonnegative(skewed.deps));
+  EXPECT_EQ(skewed.deps, mul(sor_skew(), sor_deps_original()));
+  // Paper (\S4.1): skewed D contains the columns of
+  // [[1,0,1,1,0],[1,1,0,1,0],[2,0,2,1,1]] as a set.
+  std::set<VecI> got;
+  for (int c = 0; c < skewed.deps.cols(); ++c) got.insert(skewed.deps.col(c));
+  std::set<VecI> paper = {{1, 1, 2}, {0, 1, 0}, {1, 0, 2}, {1, 1, 1},
+                          {0, 0, 1}};
+  EXPECT_EQ(got, paper);
+}
+
+TEST(Skew, PreservesPointCountAndBijectivity) {
+  LoopNest sor = make_rectangular_nest("sor", {1, 1, 1}, {3, 4, 4},
+                                       sor_deps_original());
+  LoopNest skewed = skew(sor, sor_skew());
+  EXPECT_EQ(skewed.space.count_points(), sor.space.count_points());
+  // Every original point maps into the skewed space and back.
+  MatI t = sor_skew();
+  sor.space.scan([&](const VecI& j) {
+    VecI jprime = mul(t, j);
+    EXPECT_TRUE(skewed.space.contains(jprime));
+  });
+  skewed.space.scan([&](const VecI& jp) {
+    VecQ j = mul(inverse(to_rat(t)), to_rat_vec(jp));
+    EXPECT_TRUE(all_integer_vec(j));
+    EXPECT_TRUE(sor.space.contains(to_int_vec(j)));
+  });
+}
+
+TEST(Skew, RejectsNonUnimodular) {
+  LoopNest nest = make_rectangular_nest("x", {0, 0}, {3, 3},
+                                        MatI{{1, 0}, {0, 1}});
+  EXPECT_THROW(skew(nest, MatI{{2, 0}, {0, 1}}), LegalityError);
+}
+
+TEST(TilingCone, SorConeMatchesPaper) {
+  MatI skewed_deps = mul(sor_skew(), sor_deps_original());
+  ConeRays cone = tiling_cone(skewed_deps);
+  std::set<VecI> rays(cone.rays.begin(), cone.rays.end());
+  EXPECT_TRUE(rays.count({1, 0, 0}));
+  EXPECT_TRUE(rays.count({0, 1, 0}));
+  EXPECT_TRUE(rays.count({-1, 0, 1}));
+  EXPECT_TRUE(rays.count({-2, 1, 1}));
+  EXPECT_EQ(rays.size(), 4u);
+}
+
+TEST(TilingCone, LegalityRectangularOnSkewedSor) {
+  MatI skewed_deps = mul(sor_skew(), sor_deps_original());
+  // Rectangular H_r = diag(1/x, 1/y, 1/z) is legal on the skewed nest.
+  MatQ hr{{Rat(1, 4), Rat(0), Rat(0)},
+          {Rat(0), Rat(1, 5), Rat(0)},
+          {Rat(0), Rat(0), Rat(1, 6)}};
+  EXPECT_TRUE(tiling_legal(hr, skewed_deps));
+  // ...but illegal on the original (negative dependence components).
+  EXPECT_FALSE(tiling_legal(hr, sor_deps_original()));
+  EXPECT_THROW(require_tiling_legal(hr, sor_deps_original(), "sor"),
+               LegalityError);
+}
+
+TEST(TilingCone, NonRectSorLegal) {
+  MatI skewed_deps = mul(sor_skew(), sor_deps_original());
+  // H_nr rows: (1/x,0,0), (0,1/y,0), (-1/z,0,1/z) — from the tiling cone.
+  MatQ hnr{{Rat(1, 4), Rat(0), Rat(0)},
+           {Rat(0), Rat(1, 5), Rat(0)},
+           {Rat(-1, 6), Rat(0), Rat(1, 6)}};
+  EXPECT_TRUE(tiling_legal(hnr, skewed_deps));
+}
+
+TEST(TilingCone, EveryRayIsLegalRowDirection) {
+  MatI skewed_deps = mul(sor_skew(), sor_deps_original());
+  ConeRays cone = tiling_cone(skewed_deps);
+  for (const VecI& ray : cone.rays) {
+    MatQ h(1, 3);
+    for (int c = 0; c < 3; ++c) h(0, c) = Rat(ray[static_cast<std::size_t>(c)], 4);
+    EXPECT_TRUE(tiling_legal(h, skewed_deps));
+  }
+}
+
+}  // namespace
+}  // namespace ctile

@@ -1,0 +1,124 @@
+#include "linalg/hnf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/int_matops.hpp"
+#include "support/rng.hpp"
+
+namespace ctile {
+namespace {
+
+void check_hnf(const MatI& a) {
+  HnfResult r = hermite_normal_form(a);
+  EXPECT_TRUE(is_hnf(r.h)) << r.h;
+  EXPECT_TRUE(is_unimodular(r.u)) << r.u;
+  EXPECT_EQ(mul(a, r.u), r.h);
+  // |det| is preserved by unimodular column operations.
+  EXPECT_EQ(abs_ck(det(a)), det(r.h));
+}
+
+TEST(Hnf, Identity) {
+  HnfResult r = hermite_normal_form(MatI::identity(3));
+  EXPECT_EQ(r.h, MatI::identity(3));
+  EXPECT_EQ(r.u, MatI::identity(3));
+}
+
+TEST(Hnf, AlreadyLowerTriangular) {
+  MatI a{{2, 0}, {1, 3}};
+  HnfResult r = hermite_normal_form(a);
+  EXPECT_EQ(r.h, a);
+}
+
+TEST(Hnf, PaperJacobiExample) {
+  // H' for the Jacobi non-rectangular tiling with x=1: rows (2,-1,0),
+  // (0,1,0), (0,0,1).  Expected HNF diag (1,2,1) with h~(1,0) = 1 —
+  // exactly the strides c=(1,2,1) and offset a_21=1 discussed in the
+  // paper's Figure 2 setting.
+  MatI hp{{2, -1, 0}, {0, 1, 0}, {0, 0, 1}};
+  HnfResult r = hermite_normal_form(hp);
+  EXPECT_EQ(r.h(0, 0), 1);
+  EXPECT_EQ(r.h(1, 1), 2);
+  EXPECT_EQ(r.h(2, 2), 1);
+  EXPECT_EQ(r.h(1, 0), 1);
+  check_hnf(hp);
+}
+
+TEST(Hnf, SorNonRectExample) {
+  // H' for the SOR non-rectangular tiling: unimodular, HNF is identity.
+  MatI hp{{1, 0, 0}, {0, 1, 0}, {-1, 0, 1}};
+  HnfResult r = hermite_normal_form(hp);
+  EXPECT_EQ(r.h, MatI::identity(3));
+  check_hnf(hp);
+}
+
+TEST(Hnf, NegativeDiagonalGetsFlipped) {
+  MatI a{{-2, 0}, {0, -3}};
+  HnfResult r = hermite_normal_form(a);
+  EXPECT_EQ(r.h, (MatI{{2, 0}, {0, 3}}));
+}
+
+TEST(Hnf, SingularThrows) {
+  EXPECT_THROW(hermite_normal_form(MatI{{1, 2}, {2, 4}}), LegalityError);
+}
+
+TEST(Hnf, OffDiagonalReduction) {
+  // The left-of-diagonal entries must be reduced into [0, diag).
+  MatI a{{3, 0}, {7, 5}};
+  HnfResult r = hermite_normal_form(a);
+  EXPECT_EQ(r.h(0, 0), 3);
+  EXPECT_GE(r.h(1, 0), 0);
+  EXPECT_LT(r.h(1, 0), r.h(1, 1));
+  check_hnf(a);
+}
+
+TEST(Hnf, RandomizedProperties) {
+  Rng rng(2024);
+  int nonsingular = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    int n = static_cast<int>(rng.uniform(1, 5));
+    MatI m(n, n);
+    for (int r = 0; r < n; ++r)
+      for (int c = 0; c < n; ++c) m(r, c) = rng.uniform(-8, 8);
+    if (det(m) == 0) continue;
+    ++nonsingular;
+    check_hnf(m);
+  }
+  EXPECT_GT(nonsingular, 250);
+}
+
+TEST(Hnf, UniquenessUnderUnimodularColumnOps) {
+  // A and A*W (W unimodular) generate the same column lattice, so they
+  // must have the same HNF.
+  Rng rng(31337);
+  for (int trial = 0; trial < 100; ++trial) {
+    int n = static_cast<int>(rng.uniform(2, 4));
+    MatI m(n, n);
+    for (int r = 0; r < n; ++r)
+      for (int c = 0; c < n; ++c) m(r, c) = rng.uniform(-5, 5);
+    if (det(m) == 0) continue;
+    // Random unimodular W: product of elementary column operations.
+    MatI w = MatI::identity(n);
+    for (int k = 0; k < 6; ++k) {
+      int i = static_cast<int>(rng.uniform(0, n - 1));
+      int j = static_cast<int>(rng.uniform(0, n - 1));
+      if (i == j) continue;
+      i64 f = rng.uniform(-3, 3);
+      for (int r = 0; r < n; ++r)
+        w(r, j) = add_ck(w(r, j), mul_ck(f, w(r, i)));
+    }
+    EXPECT_EQ(hermite_normal_form(m).h, hermite_normal_form(mul(m, w)).h);
+  }
+}
+
+TEST(Hnf, IsHnfPredicate) {
+  EXPECT_TRUE(is_hnf(MatI::identity(2)));
+  EXPECT_TRUE(is_hnf(MatI{{2, 0}, {1, 3}}));
+  EXPECT_FALSE(is_hnf(MatI{{2, 1}, {0, 3}}));    // upper entry nonzero
+  EXPECT_FALSE(is_hnf(MatI{{2, 0}, {3, 3}}));    // not reduced
+  EXPECT_FALSE(is_hnf(MatI{{-2, 0}, {0, 3}}));   // negative diagonal
+  EXPECT_FALSE(is_hnf(MatI{{2, 0}, {-1, 3}}));   // negative sub-diagonal
+  EXPECT_FALSE(is_hnf(MatI{{1, 2, 3}}));         // not square
+}
+
+}  // namespace
+}  // namespace ctile

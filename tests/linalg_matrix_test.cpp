@@ -1,0 +1,185 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/int_matops.hpp"
+#include "linalg/rat_matops.hpp"
+#include "support/rng.hpp"
+
+namespace ctile {
+namespace {
+
+MatI random_mat(Rng& rng, int n, i64 lo, i64 hi) {
+  MatI m(n, n);
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < n; ++c) m(r, c) = rng.uniform(lo, hi);
+  return m;
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  MatI m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m(0, 2), 3);
+  EXPECT_EQ(m(1, 0), 4);
+  m(1, 0) = 7;
+  EXPECT_EQ(m(1, 0), 7);
+  EXPECT_FALSE(m.is_square());
+  EXPECT_TRUE(MatI::identity(3).is_square());
+}
+
+TEST(Matrix, RowColExtraction) {
+  MatI m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.row(1), (VecI{3, 4}));
+  EXPECT_EQ(m.col(0), (VecI{1, 3, 5}));
+}
+
+TEST(Matrix, Transpose) {
+  MatI m{{1, 2, 3}, {4, 5, 6}};
+  MatI t = m.transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t(2, 1), 6);
+  EXPECT_EQ(t.transposed(), m);
+}
+
+TEST(Matrix, IntMultiplication) {
+  MatI a{{1, 2}, {3, 4}};
+  MatI b{{5, 6}, {7, 8}};
+  EXPECT_EQ(mul(a, b), (MatI{{19, 22}, {43, 50}}));
+  EXPECT_EQ(mul(a, MatI::identity(2)), a);
+  EXPECT_EQ(mul(a, VecI{1, 1}), (VecI{3, 7}));
+}
+
+TEST(Matrix, IntAddSub) {
+  MatI a{{1, 2}, {3, 4}};
+  MatI b{{5, 6}, {7, 8}};
+  EXPECT_EQ(add(a, b), (MatI{{6, 8}, {10, 12}}));
+  EXPECT_EQ(sub(b, a), (MatI{{4, 4}, {4, 4}}));
+}
+
+TEST(Matrix, VectorHelpers) {
+  VecI a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(vec_add(a, b), (VecI{5, 7, 9}));
+  EXPECT_EQ(vec_sub(b, a), (VecI{3, 3, 3}));
+  EXPECT_EQ(vec_neg(a), (VecI{-1, -2, -3}));
+  EXPECT_EQ(dot(a, b), 32);
+}
+
+TEST(Matrix, LexOrder) {
+  EXPECT_EQ(lex_compare({1, 2}, {1, 3}), -1);
+  EXPECT_EQ(lex_compare({2, 0}, {1, 9}), 1);
+  EXPECT_EQ(lex_compare({1, 2}, {1, 2}), 0);
+  EXPECT_TRUE(lex_positive({0, 0, 1}));
+  EXPECT_TRUE(lex_positive({1, -5, 0}));
+  EXPECT_FALSE(lex_positive({0, -1, 5}));
+  EXPECT_FALSE(lex_positive({0, 0, 0}));
+}
+
+TEST(Matrix, IntDeterminant) {
+  EXPECT_EQ(det(MatI::identity(4)), 1);
+  EXPECT_EQ(det(MatI{{2, 0}, {0, 3}}), 6);
+  EXPECT_EQ(det(MatI{{1, 2}, {2, 4}}), 0);
+  EXPECT_EQ(det(MatI{{0, 1}, {1, 0}}), -1);
+  // Skew matrices from the paper are unimodular.
+  MatI sor_skew{{1, 0, 0}, {1, 1, 0}, {2, 0, 1}};
+  EXPECT_EQ(det(sor_skew), 1);
+  EXPECT_TRUE(is_unimodular(sor_skew));
+  // Needs pivoting (zero in the top-left after first step).
+  MatI p{{0, 2, 1}, {1, 0, 0}, {0, 1, 1}};
+  EXPECT_EQ(det(p), -1);
+}
+
+TEST(Matrix, DetMatchesRationalDet) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    int n = static_cast<int>(rng.uniform(1, 5));
+    MatI m = random_mat(rng, n, -6, 6);
+    Rat dq = det(to_rat(m));
+    EXPECT_TRUE(dq.is_integer());
+    EXPECT_EQ(det(m), dq.as_int());
+  }
+}
+
+TEST(Matrix, RationalInverse) {
+  MatQ h{{Rat(1, 2), Rat(0)}, {Rat(0), Rat(1, 3)}};
+  MatQ p = inverse(h);
+  EXPECT_EQ(p(0, 0), Rat(2));
+  EXPECT_EQ(p(1, 1), Rat(3));
+  EXPECT_EQ(mul(h, p), MatQ::identity(2));
+  EXPECT_THROW(inverse(MatQ{{Rat(1), Rat(2)}, {Rat(2), Rat(4)}}), Error);
+}
+
+TEST(Matrix, RationalInverseRandomized) {
+  Rng rng(17);
+  int found = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    int n = static_cast<int>(rng.uniform(1, 4));
+    MatI m = random_mat(rng, n, -5, 5);
+    if (det(m) == 0) continue;
+    ++found;
+    MatQ inv = inverse(to_rat(m));
+    EXPECT_EQ(mul(to_rat(m), inv), MatQ::identity(n));
+    EXPECT_EQ(mul(inv, to_rat(m)), MatQ::identity(n));
+  }
+  EXPECT_GT(found, 100);  // sanity: most random matrices are nonsingular
+}
+
+TEST(Matrix, Solve) {
+  MatQ a{{Rat(2), Rat(1)}, {Rat(1), Rat(3)}};
+  VecQ x = solve(a, {Rat(5), Rat(10)});
+  EXPECT_EQ(x[0], Rat(1));
+  EXPECT_EQ(x[1], Rat(3));
+}
+
+TEST(Matrix, Rank) {
+  EXPECT_EQ(rank(MatQ::identity(3)), 3);
+  EXPECT_EQ(rank(MatQ{{Rat(1), Rat(2)}, {Rat(2), Rat(4)}}), 1);
+  EXPECT_EQ(rank(MatQ{{Rat(0), Rat(0)}, {Rat(0), Rat(0)}}), 0);
+  EXPECT_EQ(rank(MatQ{{Rat(1), Rat(0), Rat(1)}, {Rat(0), Rat(1), Rat(1)}}),
+            2);
+}
+
+TEST(Matrix, NullSpace) {
+  // x + y + z = 0 has a 2-dimensional null space.
+  MatQ m{{Rat(1), Rat(1), Rat(1)}};
+  MatQ ns = null_space(m);
+  EXPECT_EQ(ns.cols(), 2);
+  for (int c = 0; c < ns.cols(); ++c) {
+    Rat s = ns(0, c) + ns(1, c) + ns(2, c);
+    EXPECT_TRUE(s.is_zero());
+  }
+  // Nonsingular matrix has trivial null space.
+  EXPECT_EQ(null_space(MatQ::identity(3)).cols(), 0);
+}
+
+TEST(Matrix, IntRatConversions) {
+  MatI m{{1, -2}, {3, 4}};
+  EXPECT_EQ(to_int(to_rat(m)), m);
+  MatQ q{{Rat(1, 2)}};
+  EXPECT_THROW(to_int(q), Error);
+  EXPECT_EQ(to_int_vec({Rat(3), Rat(-4)}), (VecI{3, -4}));
+  EXPECT_THROW(to_int_vec({Rat(1, 3)}), Error);
+  EXPECT_TRUE(all_integer_vec({Rat(1), Rat(2)}));
+  EXPECT_FALSE(all_integer_vec({Rat(1, 2)}));
+}
+
+TEST(Matrix, ToStringRendering) {
+  MatI m{{1, 0}, {-2, 3}};
+  EXPECT_EQ(m.to_string(), "[ 1 0 ]\n[ -2 3 ]");
+}
+
+TEST(Matrix, ElementaryOps) {
+  MatI m{{1, 2}, {3, 4}};
+  m.swap_cols(0, 1);
+  EXPECT_EQ(m, (MatI{{2, 1}, {4, 3}}));
+  m.swap_rows(0, 1);
+  EXPECT_EQ(m, (MatI{{4, 3}, {2, 1}}));
+  m.negate_col(0);
+  EXPECT_EQ(m, (MatI{{-4, 3}, {-2, 1}}));
+  m.negate_row(1);
+  EXPECT_EQ(m, (MatI{{-4, 3}, {2, -1}}));
+}
+
+}  // namespace
+}  // namespace ctile

@@ -1,0 +1,129 @@
+#include "linalg/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace ctile {
+namespace {
+
+TEST(Rational, NormalizationOnConstruction) {
+  Rat r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+  Rat s(-6, 4);
+  EXPECT_EQ(s.num(), -3);
+  EXPECT_EQ(s.den(), 2);
+  Rat t(6, -4);  // sign moves to numerator
+  EXPECT_EQ(t.num(), -3);
+  EXPECT_EQ(t.den(), 2);
+  Rat z(0, 17);
+  EXPECT_EQ(z.num(), 0);
+  EXPECT_EQ(z.den(), 1);
+}
+
+TEST(Rational, ZeroDenominatorThrows) { EXPECT_THROW(Rat(1, 0), Error); }
+
+TEST(Rational, Arithmetic) {
+  Rat half(1, 2), third(1, 3);
+  EXPECT_EQ(half + third, Rat(5, 6));
+  EXPECT_EQ(half - third, Rat(1, 6));
+  EXPECT_EQ(half * third, Rat(1, 6));
+  EXPECT_EQ(half / third, Rat(3, 2));
+  EXPECT_EQ(-half, Rat(-1, 2));
+  EXPECT_EQ(half.inv(), Rat(2));
+  EXPECT_THROW(half / Rat(0), Error);
+  EXPECT_THROW(Rat(0).inv(), Error);
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rat(1, 3), Rat(1, 2));
+  EXPECT_LT(Rat(-1, 2), Rat(-1, 3));
+  EXPECT_GE(Rat(2, 4), Rat(1, 2));
+  EXPECT_EQ(Rat(2, 4), Rat(1, 2));
+  EXPECT_NE(Rat(1, 2), Rat(1, 3));
+  // Comparison that would overflow naive 64-bit cross multiplication
+  // must still be exact thanks to __int128.
+  Rat big1(3037000499LL, 3037000500LL);
+  Rat big2(3037000498LL, 3037000499LL);
+  EXPECT_GT(big1, big2);
+}
+
+TEST(Rational, FloorCeilTrunc) {
+  EXPECT_EQ(Rat(7, 2).floor(), 3);
+  EXPECT_EQ(Rat(7, 2).ceil(), 4);
+  EXPECT_EQ(Rat(7, 2).trunc(), 3);
+  EXPECT_EQ(Rat(-7, 2).floor(), -4);
+  EXPECT_EQ(Rat(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rat(-7, 2).trunc(), -3);
+  EXPECT_EQ(Rat(6, 2).floor(), 3);
+  EXPECT_EQ(Rat(6, 2).ceil(), 3);
+}
+
+TEST(Rational, IntegerPredicates) {
+  EXPECT_TRUE(Rat(4, 2).is_integer());
+  EXPECT_EQ(Rat(4, 2).as_int(), 2);
+  EXPECT_FALSE(Rat(1, 2).is_integer());
+  EXPECT_THROW(Rat(1, 2).as_int(), Error);
+  EXPECT_TRUE(Rat(0).is_zero());
+  EXPECT_TRUE(Rat(3).is_positive());
+  EXPECT_TRUE(Rat(-3).is_negative());
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rat(5).to_string(), "5");
+  EXPECT_EQ(Rat(-5, 3).to_string(), "-5/3");
+  EXPECT_EQ(Rat(0).to_string(), "0");
+}
+
+TEST(Rational, AbsAndDouble) {
+  EXPECT_EQ(Rat(-3, 4).abs(), Rat(3, 4));
+  EXPECT_DOUBLE_EQ(Rat(1, 4).to_double(), 0.25);
+}
+
+TEST(Rational, FieldAxiomsRandomized) {
+  Rng rng(123);
+  for (int i = 0; i < 500; ++i) {
+    Rat a(rng.uniform(-50, 50), rng.uniform(1, 20));
+    Rat b(rng.uniform(-50, 50), rng.uniform(1, 20));
+    Rat c(rng.uniform(-50, 50), rng.uniform(1, 20));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + (-a), Rat(0));
+    if (!a.is_zero()) {
+      EXPECT_EQ(a * a.inv(), Rat(1));
+      EXPECT_EQ((b / a) * a, b);
+    }
+  }
+}
+
+TEST(Rational, CompoundAssignment) {
+  Rat r(1, 2);
+  r += Rat(1, 3);
+  EXPECT_EQ(r, Rat(5, 6));
+  r -= Rat(1, 6);
+  EXPECT_EQ(r, Rat(2, 3));
+  r *= Rat(3);
+  EXPECT_EQ(r, Rat(2));
+  r /= Rat(4);
+  EXPECT_EQ(r, Rat(1, 2));
+}
+
+TEST(Rational, FloorIdentityRandomized) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    i64 n = rng.uniform(-10000, 10000);
+    i64 d = rng.uniform(1, 100);
+    Rat r(n, d);
+    i64 f = r.floor(), c = r.ceil();
+    EXPECT_LE(Rat(f), r);
+    EXPECT_LT(r, Rat(f + 1));
+    EXPECT_GE(Rat(c), r);
+    EXPECT_GT(r, Rat(c - 1));
+  }
+}
+
+}  // namespace
+}  // namespace ctile

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "linalg/hnf.hpp"
+#include "linalg/int_matops.hpp"
+#include "support/rng.hpp"
+
+namespace ctile {
+namespace {
+
+void check_snf(const MatI& a) {
+  SnfResult r = smith_normal_form(a);
+  EXPECT_EQ(mul(mul(r.u, a), r.v), r.s);
+  EXPECT_TRUE(is_unimodular(r.u));
+  EXPECT_TRUE(is_unimodular(r.v));
+  // Diagonal with divisibility chain.
+  int k = std::min(r.s.rows(), r.s.cols());
+  for (int i = 0; i < r.s.rows(); ++i) {
+    for (int j = 0; j < r.s.cols(); ++j) {
+      if (i != j) {
+        EXPECT_EQ(r.s(i, j), 0);
+      }
+    }
+  }
+  for (int i = 0; i + 1 < k; ++i) {
+    EXPECT_GE(r.s(i, i), 0);
+    if (r.s(i, i) != 0) {
+      EXPECT_EQ(r.s(i + 1, i + 1) % r.s(i, i), 0)
+          << r.s << "\n(divisibility at " << i << ")";
+    } else {
+      EXPECT_EQ(r.s(i + 1, i + 1), 0);
+    }
+  }
+  if (a.is_square()) {
+    // Product of invariant factors equals |det|.
+    i128 prod = 1;
+    for (int i = 0; i < k; ++i) prod *= r.s(i, i);
+    EXPECT_EQ(narrow_i64(prod), abs_ck(det(a)));
+  }
+}
+
+TEST(Smith, Identity) {
+  SnfResult r = smith_normal_form(MatI::identity(3));
+  EXPECT_EQ(r.s, MatI::identity(3));
+}
+
+TEST(Smith, DiagonalNeedingDivisibilityFix) {
+  // diag(4, 6) has invariant factors (2, 12).
+  MatI a{{4, 0}, {0, 6}};
+  SnfResult r = smith_normal_form(a);
+  EXPECT_EQ(r.s(0, 0), 2);
+  EXPECT_EQ(r.s(1, 1), 12);
+  check_snf(a);
+}
+
+TEST(Smith, ClassicExample) {
+  MatI a{{2, 4, 4}, {-6, 6, 12}, {10, 4, 16}};
+  SnfResult r = smith_normal_form(a);
+  EXPECT_EQ(r.s(0, 0), 2);
+  EXPECT_EQ(r.s(1, 1), 2);
+  EXPECT_EQ(r.s(2, 2), 156);
+  check_snf(a);
+}
+
+TEST(Smith, SingularAndRectangular) {
+  check_snf(MatI{{1, 2}, {2, 4}});       // rank 1
+  check_snf(MatI{{0, 0}, {0, 0}});       // zero
+  check_snf(MatI{{1, 2, 3}, {4, 5, 6}}); // rectangular
+  check_snf(MatI{{1}, {2}, {3}});        // tall
+}
+
+TEST(Smith, RandomizedProperties) {
+  Rng rng(777);
+  for (int trial = 0; trial < 300; ++trial) {
+    int rows = static_cast<int>(rng.uniform(1, 4));
+    int cols = static_cast<int>(rng.uniform(1, 4));
+    MatI m(rows, cols);
+    for (int r = 0; r < rows; ++r)
+      for (int c = 0; c < cols; ++c) m(r, c) = rng.uniform(-7, 7);
+    check_snf(m);
+  }
+}
+
+TEST(Smith, AgreesWithHnfDeterminant) {
+  Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    int n = static_cast<int>(rng.uniform(1, 4));
+    MatI m(n, n);
+    for (int r = 0; r < n; ++r)
+      for (int c = 0; c < n; ++c) m(r, c) = rng.uniform(-6, 6);
+    if (det(m) == 0) continue;
+    SnfResult s = smith_normal_form(m);
+    HnfResult h = hermite_normal_form(m);
+    i128 sp = 1, hp = 1;
+    for (int i = 0; i < n; ++i) {
+      sp *= s.s(i, i);
+      hp *= h.h(i, i);
+    }
+    EXPECT_EQ(narrow_i64(sp), narrow_i64(hp));
+  }
+}
+
+}  // namespace
+}  // namespace ctile

@@ -1,0 +1,151 @@
+#include "mpisim/mpisim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace ctile::mpisim {
+namespace {
+
+TEST(Mpisim, PingPong) {
+  run_ranks(2, [](int rank, Comm& comm) {
+    if (rank == 0) {
+      comm.send(0, 1, 7, {1.0, 2.0, 3.0});
+      std::vector<double> back = comm.recv(0, 1, 8);
+      EXPECT_EQ(back, (std::vector<double>{6.0}));
+    } else {
+      std::vector<double> msg = comm.recv(1, 0, 7);
+      double sum = std::accumulate(msg.begin(), msg.end(), 0.0);
+      comm.send(1, 0, 8, {sum});
+    }
+  });
+}
+
+TEST(Mpisim, TagMatchingOutOfOrder) {
+  // Receiver asks for tag 2 before tag 1; sender sent 1 then 2.
+  run_ranks(2, [](int rank, Comm& comm) {
+    if (rank == 0) {
+      comm.send(0, 1, 1, {1.0});
+      comm.send(0, 1, 2, {2.0});
+    } else {
+      EXPECT_EQ(comm.recv(1, 0, 2)[0], 2.0);
+      EXPECT_EQ(comm.recv(1, 0, 1)[0], 1.0);
+    }
+  });
+}
+
+TEST(Mpisim, FifoPerSameTag) {
+  // Messages with the same (src, tag) arrive in send order.
+  run_ranks(2, [](int rank, Comm& comm) {
+    if (rank == 0) {
+      for (int i = 0; i < 10; ++i) {
+        comm.send(0, 1, 5, {static_cast<double>(i)});
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(comm.recv(1, 0, 5)[0], static_cast<double>(i));
+      }
+    }
+  });
+}
+
+TEST(Mpisim, SourceMatching) {
+  run_ranks(3, [](int rank, Comm& comm) {
+    if (rank == 0) {
+      comm.send(0, 2, 0, {10.0});
+    } else if (rank == 1) {
+      comm.send(1, 2, 0, {20.0});
+    } else {
+      // Ask for rank 1's message first even if rank 0's arrived first.
+      EXPECT_EQ(comm.recv(2, 1, 0)[0], 20.0);
+      EXPECT_EQ(comm.recv(2, 0, 0)[0], 10.0);
+    }
+  });
+}
+
+TEST(Mpisim, Barrier) {
+  std::atomic<int> phase{0};
+  run_ranks(4, [&](int rank, Comm& comm) {
+    phase.fetch_add(1);
+    comm.barrier(rank);
+    EXPECT_EQ(phase.load(), 4);
+    comm.barrier(rank);
+    phase.fetch_add(1);
+    comm.barrier(rank);
+    EXPECT_EQ(phase.load(), 8);
+  });
+}
+
+TEST(Mpisim, Stats) {
+  run_ranks(2, [](int rank, Comm& comm) {
+    if (rank == 0) {
+      comm.send(0, 1, 0, {1.0, 2.0});
+      comm.send(0, 1, 1, {3.0});
+    } else {
+      comm.recv(1, 0, 0);
+      comm.recv(1, 0, 1);
+    }
+    comm.barrier(rank);
+    EXPECT_EQ(comm.messages_sent(), 2);
+    EXPECT_EQ(comm.doubles_sent(), 3);
+  });
+}
+
+TEST(Mpisim, ExceptionPropagatesAndUnblocksPeers) {
+  EXPECT_THROW(
+      run_ranks(2,
+                [](int rank, Comm& comm) {
+                  if (rank == 0) {
+                    throw Error("rank 0 died");
+                  } else {
+                    // Would deadlock without the abort mechanism.
+                    comm.recv(1, 0, 99);
+                  }
+                }),
+      Error);
+}
+
+TEST(Mpisim, AbortUnblocksBarrier) {
+  EXPECT_THROW(
+      run_ranks(3,
+                [](int rank, Comm& comm) {
+                  if (rank == 2) throw Error("late rank dies");
+                  comm.barrier(rank);
+                }),
+      Error);
+}
+
+TEST(Mpisim, Probe) {
+  run_ranks(2, [](int rank, Comm& comm) {
+    if (rank == 0) {
+      comm.send(0, 1, 3, {1.0});
+      comm.barrier(rank);
+    } else {
+      comm.barrier(rank);
+      EXPECT_TRUE(comm.probe(1, 0, 3));
+      EXPECT_FALSE(comm.probe(1, 0, 4));
+      comm.recv(1, 0, 3);
+      EXPECT_FALSE(comm.probe(1, 0, 3));
+    }
+  });
+}
+
+TEST(Mpisim, ManyRanksRing) {
+  const int n = 8;
+  run_ranks(n, [n](int rank, Comm& comm) {
+    // Pass a token around the ring, accumulating.
+    if (rank == 0) {
+      comm.send(0, 1, 0, {1.0});
+      std::vector<double> token = comm.recv(0, n - 1, 0);
+      EXPECT_EQ(token[0], static_cast<double>(n));
+    } else {
+      std::vector<double> token = comm.recv(rank, rank - 1, 0);
+      token[0] += 1.0;
+      comm.send(rank, (rank + 1) % n, 0, std::move(token));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace ctile::mpisim

@@ -1,0 +1,107 @@
+// Parameterized end-to-end matrix: every (application x tiling x mapping)
+// configuration in one sweep, each asserting the full set of invariants:
+//   - parallel result == sequential result, bit-exact
+//   - every iteration executed exactly once
+//   - DES message/byte counts == executor message/byte counts
+//   - LDS slots with a loc^{-1} preimage == |J^n| (computer-owns storage
+//     is a bijection)
+#include <gtest/gtest.h>
+
+#include "apps/kernels.hpp"
+#include "cluster/simulator.hpp"
+#include "runtime/locate.hpp"
+#include "runtime/parallel_executor.hpp"
+
+namespace ctile {
+namespace {
+
+struct Config {
+  std::string name;
+  AppInstance (*make)();
+  MatQ (*tiling)();
+  int force_m;
+};
+
+AppInstance make_sor_small() { return make_sor(5, 7); }
+AppInstance make_sor_ragged() { return make_sor(6, 9); }
+AppInstance make_jacobi_small() { return make_jacobi(4, 8, 6); }
+AppInstance make_jacobi_square() { return make_jacobi(6, 8, 8); }
+AppInstance make_adi_small() { return make_adi(4, 6); }
+AppInstance make_adi_tall() { return make_adi(7, 5); }
+AppInstance make_heat_small() { return make_heat(6, 20); }
+AppInstance make_syn4d_small() { return make_syn4d(4, 4, 4, 4); }
+
+MatQ t_sor_rect() { return sor_rect_h(2, 3, 4); }
+MatQ t_sor_nr() { return sor_nonrect_h(2, 3, 4); }
+MatQ t_sor_nr_ragged() { return sor_nonrect_h(3, 4, 5); }
+MatQ t_jacobi_rect() { return jacobi_rect_h(2, 4, 3); }
+MatQ t_jacobi_nr() { return jacobi_nonrect_h(2, 4, 3); }
+MatQ t_jacobi_nr_wide() { return jacobi_nonrect_h(3, 4, 4); }
+MatQ t_adi_rect() { return adi_rect_h(2, 2, 2); }
+MatQ t_adi_nr1() { return adi_nr1_h(2, 2, 2); }
+MatQ t_adi_nr2() { return adi_nr2_h(2, 3, 2); }
+MatQ t_adi_nr3() { return adi_nr3_h(2, 3, 3); }
+MatQ t_heat_rect() { return heat_rect_h(2, 4); }
+MatQ t_heat_nr() { return heat_nonrect_h(2, 4); }
+MatQ t_syn4d_rect() { return syn4d_rect_h(2, 2, 2, 2); }
+MatQ t_syn4d_nr() { return syn4d_nonrect_h(2, 2, 2, 2); }
+
+class ExecutorMatrix : public ::testing::TestWithParam<Config> {};
+
+TEST_P(ExecutorMatrix, FullInvariantSet) {
+  const Config& cfg = GetParam();
+  AppInstance app = cfg.make();
+  TiledNest tiled(app.nest, TilingTransform(cfg.tiling()));
+  const i64 points = app.nest.space.count_points();
+
+  // 1 + 2: numerics + coverage.
+  DataSpace seq = run_sequential(app.nest.space, app.nest.deps, *app.kernel);
+  ParallelExecutor exec(tiled, *app.kernel, cfg.force_m);
+  ParallelRunStats stats;
+  DataSpace par = exec.run(&stats);
+  EXPECT_EQ(stats.points_computed, points);
+  EXPECT_EQ(DataSpace::max_abs_diff(seq, par, app.nest.space), 0.0);
+
+  // 3: the DES replays the same communication.
+  SimResult sim = simulate_tiled_program(
+      tiled, MachineModel::fast_ethernet_cluster(), app.kernel->arity(),
+      cfg.force_m);
+  EXPECT_EQ(sim.messages, stats.messages);
+  EXPECT_EQ(sim.bytes, stats.doubles * 8);
+  EXPECT_EQ(sim.total_points, points);
+
+  // 4: storage bijectivity.
+  Locator locator(tiled, exec.mapping(), exec.lds());
+  i64 with_preimage = 0;
+  for (int rank = 0; rank < exec.mapping().num_procs(); ++rank) {
+    for (i64 slot = 0; slot < exec.lds().size(); ++slot) {
+      if (locator.loc_inv(rank, slot).has_value()) ++with_preimage;
+    }
+  }
+  EXPECT_EQ(with_preimage, points);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAppsAllTilings, ExecutorMatrix,
+    ::testing::Values(
+        Config{"sor_rect", make_sor_small, t_sor_rect, -1},
+        Config{"sor_nr", make_sor_small, t_sor_nr, -1},
+        Config{"sor_nr_m3", make_sor_small, t_sor_nr, 2},
+        Config{"sor_nr_ragged", make_sor_ragged, t_sor_nr_ragged, 2},
+        Config{"jacobi_rect", make_jacobi_small, t_jacobi_rect, 0},
+        Config{"jacobi_nr", make_jacobi_small, t_jacobi_nr, 0},
+        Config{"jacobi_nr_auto", make_jacobi_square, t_jacobi_nr_wide, -1},
+        Config{"adi_rect", make_adi_small, t_adi_rect, 0},
+        Config{"adi_nr1", make_adi_small, t_adi_nr1, 0},
+        Config{"adi_nr2", make_adi_small, t_adi_nr2, 0},
+        Config{"adi_nr3", make_adi_tall, t_adi_nr3, 0},
+        Config{"heat_rect", make_heat_small, t_heat_rect, 1},
+        Config{"heat_nr", make_heat_small, t_heat_nr, 1},
+        Config{"syn4d_rect", make_syn4d_small, t_syn4d_rect, 0},
+        Config{"syn4d_nr", make_syn4d_small, t_syn4d_nr, 0}),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace ctile

@@ -1,0 +1,90 @@
+// Parameterized algebraic-invariant sweep over every tiling matrix the
+// paper evaluates (plus the extension apps'), asserting the \S2.2-\S2.3
+// identities hold for each:
+//   H P = I,  H' P' = I,  H' U = HNF(H'),  |det U| = 1,
+//   |TIS| = |TTIS| = tile_size = |det P|,
+//   strides divide extents (LDS-compatible), P integral.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/kernels.hpp"
+#include "linalg/int_matops.hpp"
+#include "linalg/rat_matops.hpp"
+#include "tiling/ttis.hpp"
+
+namespace ctile {
+namespace {
+
+struct TilingCase {
+  std::string name;
+  MatQ h;
+};
+
+class TilingMatrix : public ::testing::TestWithParam<TilingCase> {};
+
+TEST_P(TilingMatrix, AlgebraicIdentities) {
+  TilingTransform t(GetParam().h);
+  const int n = t.n();
+  EXPECT_EQ(mul(t.H(), t.P()), MatQ::identity(n));
+  EXPECT_EQ(mul(to_rat(t.Hp()), t.Pp()), MatQ::identity(n));
+  EXPECT_EQ(mul(t.Hp(), t.U()), t.Hnf());
+  EXPECT_TRUE(is_unimodular(t.U()));
+  EXPECT_TRUE(is_hnf(t.Hnf()));
+  EXPECT_TRUE(t.p_integral());
+  EXPECT_TRUE(t.strides_compatible());
+  // Tile size: |det P| and the lattice count agree.
+  EXPECT_EQ(Rat(t.tile_size()), t.det_p());
+}
+
+TEST_P(TilingMatrix, TisTtisBijection) {
+  TilingTransform t(GetParam().h);
+  std::vector<VecI> tis = tis_points(t);
+  std::vector<VecI> jps = ttis_points(t);
+  ASSERT_EQ(static_cast<i64>(tis.size()), t.tile_size());
+  ASSERT_EQ(tis.size(), jps.size());
+  std::set<VecI> tis_set(tis.begin(), tis.end());
+  EXPECT_EQ(tis_set.size(), tis.size());
+  // Every TIS point round-trips through its TTIS coordinates.
+  const VecI origin(static_cast<std::size_t>(t.n()), 0);
+  for (std::size_t i = 0; i < jps.size(); ++i) {
+    EXPECT_TRUE(t.in_ttis(jps[i]));
+    EXPECT_EQ(t.point_of(origin, jps[i]), tis[i]);
+    EXPECT_EQ(t.tile_of(tis[i]), origin);
+  }
+}
+
+TEST_P(TilingMatrix, StridesMatchHnfDiagonal) {
+  TilingTransform t(GetParam().h);
+  for (int k = 0; k < t.n(); ++k) {
+    EXPECT_EQ(t.stride(k), t.Hnf()(k, k));
+    for (int l = 0; l < k; ++l) {
+      EXPECT_EQ(t.offset(k, l), t.Hnf()(k, l));
+      EXPECT_GE(t.offset(k, l), 0);
+      EXPECT_LT(t.offset(k, l), t.stride(k));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTilings, TilingMatrix,
+    ::testing::Values(
+        TilingCase{"sor_rect", sor_rect_h(3, 4, 5)},
+        TilingCase{"sor_nonrect", sor_nonrect_h(3, 4, 5)},
+        TilingCase{"jacobi_rect", jacobi_rect_h(3, 4, 5)},
+        TilingCase{"jacobi_nonrect", jacobi_nonrect_h(3, 4, 5)},
+        TilingCase{"jacobi_nonrect_min", jacobi_nonrect_h(1, 2, 1)},
+        TilingCase{"adi_rect", adi_rect_h(2, 3, 4)},
+        TilingCase{"adi_nr1", adi_nr1_h(2, 3, 4)},
+        TilingCase{"adi_nr2", adi_nr2_h(2, 3, 4)},
+        TilingCase{"adi_nr3", adi_nr3_h(2, 3, 4)},
+        TilingCase{"heat_rect", heat_rect_h(3, 5)},
+        TilingCase{"heat_nonrect", heat_nonrect_h(3, 5)},
+        TilingCase{"syn4d_rect", syn4d_rect_h(2, 3, 2, 3)},
+        TilingCase{"syn4d_nonrect", syn4d_nonrect_h(2, 3, 2, 3)}),
+    [](const ::testing::TestParamInfo<TilingCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace ctile

@@ -1,0 +1,69 @@
+#include "poly/constraint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ctile {
+namespace {
+
+TEST(Constraint, EvalAndSatisfied) {
+  Constraint c({2, -1}, 3);  // 2x - y + 3 >= 0
+  EXPECT_EQ(c.eval(VecI{1, 1}), 4);
+  EXPECT_TRUE(c.satisfied({1, 1}));
+  EXPECT_FALSE(c.satisfied({0, 4}));
+  EXPECT_TRUE(c.satisfied({0, 3}));  // boundary
+}
+
+TEST(Constraint, RationalEval) {
+  Constraint c({2, -1}, 3);
+  EXPECT_EQ(c.eval(VecQ{Rat(1, 2), Rat(1)}), Rat(3));
+}
+
+TEST(Constraint, IsConstant) {
+  EXPECT_TRUE(Constraint({0, 0}, 5).is_constant());
+  EXPECT_TRUE(Constraint({0, 0}, -5).is_constant());
+  EXPECT_FALSE(Constraint({1, 0}, 0).is_constant());
+}
+
+TEST(Constraint, NormalizeDividesByGcd) {
+  Constraint c({4, -6}, 10);
+  c.normalize();
+  EXPECT_EQ(c.coeffs, (VecI{2, -3}));
+  EXPECT_EQ(c.constant, 5);
+}
+
+TEST(Constraint, NormalizeTightensConstant) {
+  // 3x - 7 >= 0 over integers means x >= 3, i.e. x - 3 >= 0.
+  Constraint c({3}, -7);
+  c.normalize();
+  EXPECT_EQ(c.coeffs, (VecI{1}));
+  EXPECT_EQ(c.constant, -3);
+  // The tightening must preserve the integer solution set.
+  for (i64 x = -10; x <= 10; ++x) {
+    EXPECT_EQ(3 * x - 7 >= 0, c.satisfied({x})) << "x=" << x;
+  }
+}
+
+TEST(Constraint, NormalizeKeepsUnitGcd) {
+  Constraint c({2, 3}, -1);
+  Constraint copy = c;
+  copy.normalize();
+  EXPECT_EQ(copy, c);
+}
+
+TEST(Constraint, BoundBuilders) {
+  Constraint lo = lower_bound(3, 1, 5);  // x1 >= 5
+  EXPECT_TRUE(lo.satisfied({0, 5, 0}));
+  EXPECT_FALSE(lo.satisfied({0, 4, 0}));
+  Constraint up = upper_bound(3, 2, -2);  // x2 <= -2
+  EXPECT_TRUE(up.satisfied({0, 0, -2}));
+  EXPECT_FALSE(up.satisfied({0, 0, -1}));
+}
+
+TEST(Constraint, ToString) {
+  EXPECT_EQ(Constraint({2, -1}, 3).to_string(), "2*x0 + -x1 + 3 >= 0");
+  EXPECT_EQ(Constraint({1, 0}, -4).to_string(), "x0 - 4 >= 0");
+  EXPECT_EQ(Constraint({0, 0}, 0).to_string(), "0 >= 0");
+}
+
+}  // namespace
+}  // namespace ctile

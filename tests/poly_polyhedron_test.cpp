@@ -1,0 +1,231 @@
+#include "poly/polyhedron.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "linalg/rat_matops.hpp"
+#include "support/rng.hpp"
+
+namespace ctile {
+namespace {
+
+TEST(Polyhedron, BoxContainment) {
+  Polyhedron p = Polyhedron::box({0, 0}, {3, 2});
+  EXPECT_TRUE(p.contains({0, 0}));
+  EXPECT_TRUE(p.contains({3, 2}));
+  EXPECT_FALSE(p.contains({4, 0}));
+  EXPECT_FALSE(p.contains({0, -1}));
+  EXPECT_EQ(p.count_points(), 12);
+}
+
+TEST(Polyhedron, TriangleScan) {
+  // x >= 0, y >= 0, x + y <= 3  =>  10 integer points.
+  Polyhedron p(2);
+  p.add(lower_bound(2, 0, 0));
+  p.add(lower_bound(2, 1, 0));
+  p.add(Constraint({-1, -1}, 3));
+  EXPECT_EQ(p.count_points(), 10);
+  std::set<VecI> pts;
+  p.scan([&](const VecI& x) { pts.insert(x); });
+  EXPECT_TRUE(pts.count({0, 3}));
+  EXPECT_TRUE(pts.count({3, 0}));
+  EXPECT_FALSE(pts.count({2, 2}));
+}
+
+TEST(Polyhedron, EliminateProducesShadow) {
+  // Triangle above projected on x: 0 <= x <= 3.
+  Polyhedron p(2);
+  p.add(lower_bound(2, 0, 0));
+  p.add(lower_bound(2, 1, 0));
+  p.add(Constraint({-1, -1}, 3));
+  Polyhedron shadow = p.eliminate(1);
+  EXPECT_EQ(shadow.dim(), 1);
+  IntRange r = shadow.var_range(0, {});
+  EXPECT_EQ(r.lo, 0);
+  EXPECT_EQ(r.hi, 3);
+}
+
+TEST(Polyhedron, VarRangeWithOuterValues) {
+  Polyhedron p(2);
+  p.add(lower_bound(2, 0, 0));
+  p.add(lower_bound(2, 1, 0));
+  p.add(Constraint({-1, -1}, 3));
+  IntRange r = p.var_range(1, {2});
+  EXPECT_EQ(r.lo, 0);
+  EXPECT_EQ(r.hi, 1);
+  r = p.var_range(1, {3});
+  EXPECT_EQ(r.hi, 0);
+}
+
+TEST(Polyhedron, VarRangeInfeasibleOuter) {
+  Polyhedron p(2);
+  p.add(lower_bound(2, 0, 0));
+  p.add(upper_bound(2, 0, 1));
+  p.add(lower_bound(2, 1, 0));
+  p.add(upper_bound(2, 1, 1));
+  // x0=5 violates a constraint not involving x1: range must be empty.
+  EXPECT_TRUE(p.var_range(1, {5}).empty());
+}
+
+TEST(Polyhedron, UnboundedThrows) {
+  Polyhedron p(1);
+  p.add(lower_bound(1, 0, 0));
+  EXPECT_THROW(p.var_range(0, {}), Error);
+}
+
+TEST(Polyhedron, EmptyRational) {
+  Polyhedron p(2);
+  p.add(lower_bound(2, 0, 5));
+  p.add(upper_bound(2, 0, 3));
+  EXPECT_TRUE(p.empty_rational());
+  Polyhedron q = Polyhedron::box({0, 0}, {1, 1});
+  EXPECT_FALSE(q.empty_rational());
+}
+
+TEST(Polyhedron, IntegerTighteningDetectsEmptyLine) {
+  // 2x = y (encoded as two inequalities) with y = 1 has the single
+  // rational solution (1/2, 1) and no integer point.  The constraint
+  // normalization tightens constants for integer solutions, so FM's
+  // emptiness check sees the contradiction, and the scan agrees.
+  Polyhedron p(2);
+  p.add(Constraint({2, -1}, 0));   // 2x - y >= 0
+  p.add(Constraint({-2, 1}, 0));   // y - 2x >= 0
+  p.add(lower_bound(2, 1, 1));
+  p.add(upper_bound(2, 1, 1));
+  EXPECT_EQ(p.count_points(), 0);
+  EXPECT_TRUE(p.empty_rational());
+  // The same line through y = 2 does contain the integer point (1, 2).
+  Polyhedron q(2);
+  q.add(Constraint({2, -1}, 0));
+  q.add(Constraint({-2, 1}, 0));
+  q.add(lower_bound(2, 1, 2));
+  q.add(upper_bound(2, 1, 2));
+  EXPECT_EQ(q.count_points(), 1);
+  EXPECT_FALSE(q.empty_rational());
+}
+
+TEST(Polyhedron, SkewedParallelogramScan) {
+  // {(i,j) : 0<=i<=3, i<=j<=i+2} — the shape of a skewed loop nest.
+  Polyhedron p(2);
+  p.add(lower_bound(2, 0, 0));
+  p.add(upper_bound(2, 0, 3));
+  p.add(Constraint({-1, 1}, 0));   // j >= i
+  p.add(Constraint({1, -1}, 2));   // j <= i + 2
+  EXPECT_EQ(p.count_points(), 12);
+  p.scan([&](const VecI& x) {
+    EXPECT_GE(x[1], x[0]);
+    EXPECT_LE(x[1], x[0] + 2);
+  });
+}
+
+TEST(Polyhedron, BoundingBox) {
+  Polyhedron p(2);
+  p.add(lower_bound(2, 0, 0));
+  p.add(lower_bound(2, 1, 0));
+  p.add(Constraint({-1, -1}, 3));
+  auto bb = p.bounding_box();
+  EXPECT_EQ(bb[0].lo, 0);
+  EXPECT_EQ(bb[0].hi, 3);
+  EXPECT_EQ(bb[1].lo, 0);
+  EXPECT_EQ(bb[1].hi, 3);
+}
+
+TEST(Polyhedron, ScanMatchesBruteForceRandomized) {
+  Rng rng(555);
+  for (int trial = 0; trial < 60; ++trial) {
+    int n = static_cast<int>(rng.uniform(1, 3));
+    Polyhedron p(n);
+    // Bounding cube plus random cutting planes.
+    VecI lo(static_cast<std::size_t>(n)), hi(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      lo[static_cast<std::size_t>(i)] = rng.uniform(-4, 0);
+      hi[static_cast<std::size_t>(i)] = rng.uniform(1, 5);
+      p.add(lower_bound(n, i, lo[static_cast<std::size_t>(i)]));
+      p.add(upper_bound(n, i, hi[static_cast<std::size_t>(i)]));
+    }
+    int cuts = static_cast<int>(rng.uniform(0, 3));
+    for (int c = 0; c < cuts; ++c) {
+      VecI coeffs(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i)
+        coeffs[static_cast<std::size_t>(i)] = rng.uniform(-3, 3);
+      p.add(Constraint(coeffs, rng.uniform(-2, 8)));
+    }
+    // Brute force over the cube.
+    std::set<VecI> expected;
+    VecI x(static_cast<std::size_t>(n));
+    std::function<void(int)> brute = [&](int d) {
+      if (d == n) {
+        if (p.contains(x)) expected.insert(x);
+        return;
+      }
+      for (i64 v = lo[static_cast<std::size_t>(d)];
+           v <= hi[static_cast<std::size_t>(d)]; ++v) {
+        x[static_cast<std::size_t>(d)] = v;
+        brute(d + 1);
+      }
+    };
+    brute(0);
+    std::set<VecI> scanned;
+    p.scan([&](const VecI& pt) { scanned.insert(pt); });
+    EXPECT_EQ(scanned, expected) << p.to_string();
+  }
+}
+
+TEST(Polyhedron, SubstituteAffine) {
+  // p = {0 <= x <= 4} and x = 2y + 1 gives {0 <= 2y+1 <= 4}, whose
+  // integer solutions are y in {0, 1}.
+  Polyhedron p(1);
+  p.add(lower_bound(1, 0, 0));
+  p.add(upper_bound(1, 0, 4));
+  MatQ m{{Rat(2)}};
+  Polyhedron q = substitute(p, m, {Rat(1)});
+  EXPECT_EQ(q.count_points(), 2);
+  EXPECT_TRUE(q.contains({0}));
+  EXPECT_TRUE(q.contains({1}));
+  EXPECT_FALSE(q.contains({2}));
+}
+
+TEST(Polyhedron, SubstituteRationalCoefficients) {
+  // x = y/2 with 1 <= x <= 2 gives 2 <= y <= 4.
+  Polyhedron p(1);
+  p.add(lower_bound(1, 0, 1));
+  p.add(upper_bound(1, 0, 2));
+  Polyhedron q = substitute(p, MatQ{{Rat(1, 2)}}, {Rat(0)});
+  IntRange r = q.var_range(0, {});
+  EXPECT_EQ(r.lo, 2);
+  EXPECT_EQ(r.hi, 4);
+}
+
+TEST(Polyhedron, AddDeduplicatesAndDropsTautologies) {
+  Polyhedron p(1);
+  p.add(Constraint({0}, 7));  // tautology: dropped
+  EXPECT_EQ(p.num_constraints(), 0);
+  p.add(lower_bound(1, 0, 2));
+  p.add(Constraint({2}, -4));  // same as x >= 2 after normalize
+  EXPECT_EQ(p.num_constraints(), 1);
+}
+
+TEST(Polyhedron, LevelProjectionsConsistent) {
+  Polyhedron p(3);
+  p.add(lower_bound(3, 0, 0));
+  p.add(upper_bound(3, 0, 2));
+  p.add(Constraint({-1, 1, 0}, 0));   // x1 >= x0
+  p.add(Constraint({1, -1, 0}, 1));   // x1 <= x0 + 1
+  p.add(Constraint({0, -1, 1}, 0));   // x2 >= x1
+  p.add(Constraint({0, 1, -1}, 2));   // x2 <= x1 + 2
+  auto levels = p.level_projections();
+  ASSERT_EQ(levels.size(), 3u);
+  // Every scanned point must satisfy every level's range.
+  p.scan([&](const VecI& x) {
+    for (int k = 0; k < 3; ++k) {
+      IntRange r = levels[static_cast<std::size_t>(k)].var_range(k, x);
+      EXPECT_LE(r.lo, x[static_cast<std::size_t>(k)]);
+      EXPECT_GE(r.hi, x[static_cast<std::size_t>(k)]);
+    }
+  });
+  EXPECT_EQ(p.count_points(), 3 * 2 * 3);
+}
+
+}  // namespace
+}  // namespace ctile

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "poly/polyhedron.hpp"
+#include "support/rng.hpp"
+
+namespace ctile {
+namespace {
+
+std::set<VecI> points_of(const Polyhedron& p) {
+  std::set<VecI> out;
+  p.scan([&](const VecI& x) { out.insert(x); });
+  return out;
+}
+
+TEST(Simplify, DropsDominatedBound) {
+  Polyhedron p(1);
+  p.add(lower_bound(1, 0, 0));
+  p.add(lower_bound(1, 0, 3));   // dominates x >= 0
+  p.add(upper_bound(1, 0, 10));
+  Polyhedron s = p.simplified();
+  EXPECT_EQ(s.num_constraints(), 2);
+  EXPECT_EQ(points_of(s), points_of(p));
+}
+
+TEST(Simplify, DropsImpliedDiagonal) {
+  // x >= 0, y >= 0 imply x + y >= 0.
+  Polyhedron p(2);
+  p.add(lower_bound(2, 0, 0));
+  p.add(lower_bound(2, 1, 0));
+  p.add(upper_bound(2, 0, 4));
+  p.add(upper_bound(2, 1, 4));
+  p.add(Constraint({1, 1}, 0));  // redundant
+  Polyhedron s = p.simplified();
+  EXPECT_EQ(s.num_constraints(), 4);
+  EXPECT_EQ(points_of(s), points_of(p));
+}
+
+TEST(Simplify, KeepsBindingConstraints) {
+  // A triangle: all three constraints are facets, none can go.
+  Polyhedron p(2);
+  p.add(lower_bound(2, 0, 0));
+  p.add(lower_bound(2, 1, 0));
+  p.add(Constraint({-1, -1}, 5));
+  Polyhedron s = p.simplified();
+  EXPECT_EQ(s.num_constraints(), 3);
+}
+
+TEST(Simplify, PreservesIntegerSetRandomized) {
+  Rng rng(2718);
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = static_cast<int>(rng.uniform(1, 3));
+    Polyhedron p(n);
+    VecI lo(static_cast<std::size_t>(n)), hi(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      lo[static_cast<std::size_t>(k)] = rng.uniform(-3, 0);
+      hi[static_cast<std::size_t>(k)] = rng.uniform(1, 4);
+      p.add(lower_bound(n, k, lo[static_cast<std::size_t>(k)]));
+      p.add(upper_bound(n, k, hi[static_cast<std::size_t>(k)]));
+    }
+    for (int c = 0; c < 4; ++c) {
+      VecI coeffs(static_cast<std::size_t>(n));
+      for (int k = 0; k < n; ++k) {
+        coeffs[static_cast<std::size_t>(k)] = rng.uniform(-2, 2);
+      }
+      p.add(Constraint(coeffs, rng.uniform(0, 9)));
+    }
+    Polyhedron s = p.simplified();
+    EXPECT_LE(s.num_constraints(), p.num_constraints());
+    EXPECT_EQ(points_of(s), points_of(p)) << p.to_string();
+  }
+}
+
+TEST(Simplify, EqualIntegerSets) {
+  Polyhedron a = Polyhedron::box({0, 0}, {3, 3});
+  Polyhedron b = Polyhedron::box({0, 0}, {3, 3});
+  b.add(Constraint({1, 1}, 0));  // redundant extra
+  EXPECT_TRUE(Polyhedron::equal_integer_sets(a, b));
+  Polyhedron c = Polyhedron::box({0, 0}, {3, 2});
+  EXPECT_FALSE(Polyhedron::equal_integer_sets(a, c));
+}
+
+TEST(Simplify, EmptyStaysEmpty) {
+  Polyhedron p(1);
+  p.add(lower_bound(1, 0, 5));
+  p.add(upper_bound(1, 0, 3));
+  Polyhedron s = p.simplified();
+  EXPECT_TRUE(s.empty_rational() || s.count_points() == 0);
+}
+
+}  // namespace
+}  // namespace ctile

@@ -1,0 +1,126 @@
+// Per-processor chain windows (\S3.1: "|t| denotes the number of tiles
+// assigned to the particular processor") and exact census-based validity.
+#include <gtest/gtest.h>
+
+#include "apps/kernels.hpp"
+#include "runtime/lds.hpp"
+#include "runtime/parallel_executor.hpp"
+
+namespace ctile {
+namespace {
+
+struct Fixture {
+  TiledNest tiled;
+  TileCensus census;
+  Mapping mapping;
+
+  Fixture(AppInstance app, MatQ h, int force_m)
+      : tiled(app.nest, TilingTransform(std::move(h))),
+        census(tiled),
+        mapping(tiled, force_m, &census) {}
+};
+
+TEST(ChainWindow, CoversExactlyTheValidTiles) {
+  Fixture f(make_sor(6, 9), sor_nonrect_h(3, 4, 5), 2);
+  for (int rank = 0; rank < f.mapping.num_procs(); ++rank) {
+    const VecI pid = f.mapping.pid_of(rank);
+    IntRange w = f.mapping.chain_window(pid);
+    for (i64 t = 0; t < f.mapping.chain_length(); ++t) {
+      bool v = f.mapping.valid(f.mapping.tile_at(pid, t));
+      bool in_window = !w.empty() && t >= w.lo && t <= w.hi;
+      if (v) {
+        EXPECT_TRUE(in_window) << "rank " << rank << " t " << t;
+      }
+      if (!in_window) {
+        EXPECT_FALSE(v);
+      }
+    }
+  }
+}
+
+TEST(ChainWindow, ContiguousForConvexSpaces) {
+  // Along one chain column of a convex space the nonempty tiles form one
+  // contiguous run (convexity of the column's preimage).
+  for (auto cfg : {std::make_pair(make_sor(8, 12), sor_nonrect_h(4, 5, 6)),
+                   std::make_pair(make_adi(8, 8), adi_nr3_h(2, 2, 2))}) {
+    Fixture f(cfg.first, cfg.second, cfg.first.nest.name == "adi" ? 0 : 2);
+    for (int rank = 0; rank < f.mapping.num_procs(); ++rank) {
+      const VecI pid = f.mapping.pid_of(rank);
+      IntRange w = f.mapping.chain_window(pid);
+      if (w.empty()) continue;
+      for (i64 t = w.lo; t <= w.hi; ++t) {
+        EXPECT_TRUE(f.mapping.valid(f.mapping.tile_at(pid, t)))
+            << "gap in chain window at t=" << t;
+      }
+    }
+  }
+}
+
+TEST(ChainWindow, ExactValidityRejectsShadowGhosts) {
+  // The ADI cone tiling's shadow is wider in the chain dimension than
+  // the set of nonempty tiles: census validity must be strictly tighter
+  // somewhere (or equal when the shadow happens to be exact).
+  AppInstance app = make_adi(8, 8);
+  TiledNest tiled(app.nest, TilingTransform(adi_nr3_h(2, 2, 2)));
+  TileCensus census(tiled);
+  Mapping with_census(tiled, 0, &census);
+  Mapping shadow_only(tiled, 0);
+  i64 shadow_valid = 0, exact_valid = 0;
+  shadow_only.valid({0, 0, 0});  // touch
+  for (i64 a = shadow_only.tile_lo()[0]; a <= shadow_only.tile_hi()[0]; ++a) {
+    for (i64 b = shadow_only.tile_lo()[1]; b <= shadow_only.tile_hi()[1];
+         ++b) {
+      for (i64 c = shadow_only.tile_lo()[2]; c <= shadow_only.tile_hi()[2];
+           ++c) {
+        if (shadow_only.valid({a, b, c})) ++shadow_valid;
+        if (with_census.valid({a, b, c})) ++exact_valid;
+        // Exact validity implies shadow validity.
+        if (with_census.valid({a, b, c})) {
+          EXPECT_TRUE(shadow_only.valid({a, b, c}));
+        }
+      }
+    }
+  }
+  EXPECT_LE(exact_valid, shadow_valid);
+  EXPECT_GT(exact_valid, 0);
+}
+
+TEST(ChainWindow, LdsSizeScalesWithWindow) {
+  Fixture f(make_sor(6, 9), sor_nonrect_h(3, 4, 5), 2);
+  const LdsLayout canonical(f.tiled, f.mapping);
+  for (int rank = 0; rank < f.mapping.num_procs(); ++rank) {
+    IntRange w = f.mapping.chain_window(f.mapping.pid_of(rank));
+    if (w.empty()) continue;
+    const LdsLayout local(f.tiled, f.mapping, w.count());
+    EXPECT_LE(local.size(), canonical.size());
+    EXPECT_EQ(local.chain_length(), w.count());
+    // Geometry other than the chain extent is unchanged.
+    for (int k = 0; k < 3; ++k) {
+      if (k == f.mapping.m()) continue;
+      EXPECT_EQ(local.extent(k), canonical.extent(k));
+      EXPECT_EQ(local.off(k), canonical.off(k));
+    }
+  }
+}
+
+TEST(ChainWindow, MemorySavingsOnSkewedTilings) {
+  // For the cone-parallel ADI tiling, per-processor windows are much
+  // shorter than the global chain: total allocated memory must be far
+  // below nprocs * canonical size.
+  AppInstance app = make_adi(10, 12);
+  TiledNest tiled(app.nest, TilingTransform(adi_nr3_h(2, 3, 3)));
+  TileCensus census(tiled);
+  Mapping mapping(tiled, 0, &census);
+  const LdsLayout canonical(tiled, mapping);
+  i64 total_local = 0;
+  for (int rank = 0; rank < mapping.num_procs(); ++rank) {
+    IntRange w = mapping.chain_window(mapping.pid_of(rank));
+    if (w.empty()) continue;
+    total_local += LdsLayout(tiled, mapping, w.count()).size();
+  }
+  EXPECT_LT(total_local,
+            static_cast<i64>(mapping.num_procs()) * canonical.size());
+}
+
+}  // namespace
+}  // namespace ctile

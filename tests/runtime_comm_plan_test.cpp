@@ -1,0 +1,147 @@
+#include "runtime/comm_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/kernels.hpp"
+#include "linalg/int_matops.hpp"
+
+namespace ctile {
+namespace {
+
+struct Fixture {
+  TiledNest tiled;
+  Mapping mapping;
+  LdsLayout lds;
+  CommPlan plan;
+
+  Fixture(AppInstance app, MatQ h, int force_m = -1)
+      : tiled(app.nest, TilingTransform(std::move(h))),
+        mapping(tiled, force_m),
+        lds(tiled, mapping),
+        plan(tiled, mapping, lds) {}
+};
+
+TEST(CommPlan, SorDirectionsAndRegions) {
+  Fixture s(make_sor(8, 12), sor_nonrect_h(4, 5, 6));
+  // Tile deps of SOR-nonrect include (1,0,0),(0,1,0),(0,0,1),...; the
+  // chain dimension is m: directions are the distinct nonzero projections.
+  std::set<VecI> dms;
+  for (const TileDep& d : s.plan.tile_deps()) {
+    if (d.dir >= 0) dms.insert(d.dm);
+  }
+  EXPECT_EQ(dms.size(), s.plan.directions().size());
+  // Every direction's pack region lower bound is d^m_k * cc_k on mesh
+  // dims and 0 on the chain dim.
+  for (const ProcDir& dir : s.plan.directions()) {
+    int g = 0;
+    for (int k = 0; k < 3; ++k) {
+      if (k == s.mapping.m()) {
+        EXPECT_EQ(dir.pack.lo[static_cast<std::size_t>(k)], 0);
+        continue;
+      }
+      i64 dmk = dir.dm[static_cast<std::size_t>(g++)];
+      i64 expected = dmk > 0 ? dmk * s.lds.cc(k) : 0;
+      EXPECT_EQ(dir.pack.lo[static_cast<std::size_t>(k)], expected);
+      EXPECT_EQ(dir.pack.hi[static_cast<std::size_t>(k)],
+                s.tiled.transform().v(k) - 1);
+    }
+  }
+}
+
+TEST(CommPlan, ChainInternalDepsHaveNoDirection) {
+  Fixture s(make_sor(8, 12), sor_nonrect_h(4, 5, 6));
+  const int m = s.mapping.m();
+  for (const TileDep& d : s.plan.tile_deps()) {
+    bool mesh_zero = true;
+    int g = 0;
+    for (int k = 0; k < 3; ++k) {
+      if (k == m) continue;
+      if (d.ds[static_cast<std::size_t>(k)] != 0) mesh_zero = false;
+      ++g;
+    }
+    EXPECT_EQ(d.dir < 0, mesh_zero);
+  }
+}
+
+TEST(CommPlan, PackRegionPointCounts) {
+  // Rectangular 2-D case with unit deps: pack region for (1) is one row
+  // of the tile.
+  LoopNest nest = make_rectangular_nest("r", {0, 0}, {7, 7},
+                                        MatI{{1, 0}, {0, 1}});
+  TiledNest tiled(nest, TilingTransform(MatQ{{Rat(1, 4), Rat(0)},
+                                             {Rat(0), Rat(1, 4)}}));
+  Mapping mapping(tiled, 1);  // chain along dim 1, mesh along dim 0
+  LdsLayout lds(tiled, mapping);
+  CommPlan plan(tiled, mapping, lds);
+  ASSERT_EQ(plan.directions().size(), 1u);
+  // cc_0 = 4 - 1 = 3: pack rows with j'_0 >= 3 -> 1 row x 4 cols.
+  EXPECT_EQ(plan.message_points(0), 4);
+}
+
+TEST(CommPlan, UnpackShiftMatchesTileExtents) {
+  Fixture s(make_sor(8, 12), sor_nonrect_h(4, 5, 6));
+  for (const TileDep& d : s.plan.tile_deps()) {
+    if (d.dir < 0) continue;
+    VecI shift = s.plan.unpack_shift(d);
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_EQ(shift[static_cast<std::size_t>(k)],
+                d.ds[static_cast<std::size_t>(k)] * s.lds.tile_slots(k));
+    }
+  }
+}
+
+TEST(CommPlan, MinsuccPicksLexMin) {
+  Fixture s(make_sor(8, 12), sor_nonrect_h(4, 5, 6));
+  // For an interior tile, minsucc in a direction with tile deps
+  // {(dm, 0), (dm, 1)} must be the (dm, 0) successor when valid.
+  const int m = s.mapping.m();
+  std::vector<VecI> tiles = s.tiled.nonempty_tiles();
+  ASSERT_FALSE(tiles.empty());
+  for (const VecI& js : tiles) {
+    for (std::size_t dir = 0; dir < s.plan.directions().size(); ++dir) {
+      VecI ms;
+      if (!s.plan.minsucc(js, static_cast<int>(dir), &ms)) continue;
+      EXPECT_TRUE(s.mapping.valid(ms));
+      // No other valid successor for this direction is lex-smaller.
+      for (const TileDep& d : s.plan.tile_deps()) {
+        if (d.dir != static_cast<int>(dir)) continue;
+        VecI succ = vec_add(js, d.ds);
+        if (s.mapping.valid(succ)) {
+          EXPECT_GE(lex_compare(succ, ms), 0);
+        }
+      }
+      (void)m;
+    }
+  }
+}
+
+TEST(CommPlan, JacobiStridedMessagesCountLatticePoints) {
+  Fixture s(make_jacobi(6, 10, 10), jacobi_nonrect_h(2, 4, 3), 0);
+  // Pack regions count lattice points, not raw box cells: with c_2 = 2
+  // the region must contain half the cells of its bounding box in dim 1.
+  for (std::size_t d = 0; d < s.plan.directions().size(); ++d) {
+    const ProcDir& dir = s.plan.directions()[d];
+    i64 cells = 1;
+    for (int k = 0; k < 3; ++k) {
+      cells *= dir.pack.hi[static_cast<std::size_t>(k)] -
+               dir.pack.lo[static_cast<std::size_t>(k)] + 1;
+    }
+    EXPECT_LT(s.plan.message_points(static_cast<int>(d)), cells);
+    EXPECT_GT(s.plan.message_points(static_cast<int>(d)), 0);
+  }
+}
+
+TEST(CommPlan, DeterministicOrder) {
+  Fixture a(make_sor(8, 12), sor_nonrect_h(4, 5, 6));
+  Fixture b(make_sor(8, 12), sor_nonrect_h(4, 5, 6));
+  ASSERT_EQ(a.plan.tile_deps().size(), b.plan.tile_deps().size());
+  for (std::size_t i = 0; i < a.plan.tile_deps().size(); ++i) {
+    EXPECT_EQ(a.plan.tile_deps()[i].ds, b.plan.tile_deps()[i].ds);
+    EXPECT_EQ(a.plan.tile_deps()[i].dir, b.plan.tile_deps()[i].dir);
+  }
+}
+
+}  // namespace
+}  // namespace ctile

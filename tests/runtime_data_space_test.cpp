@@ -1,0 +1,92 @@
+#include "runtime/data_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ctile {
+namespace {
+
+// Trivial kernel: value = 10*j0 + j1 (+ 100 per extra component).
+class Probe final : public Kernel {
+ public:
+  explicit Probe(int arity) : arity_(arity) {}
+  int arity() const override { return arity_; }
+  void compute(const VecI& j, const double*, double* out) const override {
+    for (int v = 0; v < arity_; ++v) {
+      out[v] = 10.0 * static_cast<double>(j[0]) +
+               static_cast<double>(j[1]) + 100.0 * v;
+    }
+  }
+  void initial(const VecI&, double* out) const override {
+    for (int v = 0; v < arity_; ++v) out[v] = -1.0;
+  }
+
+ private:
+  int arity_;
+};
+
+TEST(DataSpace, BoxGeometry) {
+  Polyhedron space = Polyhedron::box({-2, 3}, {4, 7});
+  DataSpace ds(space, 1);
+  EXPECT_EQ(ds.points(), 7 * 5);
+  EXPECT_TRUE(ds.in_box({-2, 3}));
+  EXPECT_TRUE(ds.in_box({4, 7}));
+  EXPECT_FALSE(ds.in_box({5, 3}));
+  EXPECT_FALSE(ds.in_box({-3, 3}));
+}
+
+TEST(DataSpace, ZeroInitializedAndWritable) {
+  Polyhedron space = Polyhedron::box({0, 0}, {2, 2});
+  DataSpace ds(space, 2);
+  EXPECT_EQ(ds.at({1, 1})[0], 0.0);
+  EXPECT_EQ(ds.at({1, 1})[1], 0.0);
+  ds.at({1, 1})[1] = 42.0;
+  EXPECT_EQ(ds.at({1, 1})[1], 42.0);
+  EXPECT_EQ(ds.at({1, 1})[0], 0.0);  // neighbour component untouched
+  EXPECT_EQ(ds.at({1, 2})[0], 0.0);  // neighbour point untouched
+}
+
+TEST(DataSpace, NonRectangularSpaceUsesBoundingBox) {
+  // Triangle: allocation covers the box, scan touches only the triangle.
+  Polyhedron space(2);
+  space.add(lower_bound(2, 0, 0));
+  space.add(lower_bound(2, 1, 0));
+  space.add(Constraint({-1, -1}, 4));
+  DataSpace ds(space, 1);
+  EXPECT_EQ(ds.points(), 25);  // 5x5 box
+  EXPECT_EQ(space.count_points(), 15);
+}
+
+TEST(DataSpace, MaxAbsDiff) {
+  Polyhedron space = Polyhedron::box({0, 0}, {2, 2});
+  DataSpace a(space, 1), b(space, 1);
+  EXPECT_EQ(DataSpace::max_abs_diff(a, b, space), 0.0);
+  b.at({2, 1})[0] = 0.5;
+  EXPECT_EQ(DataSpace::max_abs_diff(a, b, space), 0.5);
+  a.at({0, 0})[0] = -2.0;
+  EXPECT_EQ(DataSpace::max_abs_diff(a, b, space), 2.0);
+}
+
+TEST(DataSpace, RunSequentialLexOrderAndICs) {
+  // Deps reach outside the space on the first row/column: those reads
+  // must take initial() (= -1), everything else the computed values.
+  Polyhedron space = Polyhedron::box({0, 0}, {3, 3});
+  MatI deps{{1, 0}, {0, 1}};
+  Probe kernel(1);
+  DataSpace ds = run_sequential(space, deps, kernel);
+  space.scan([&](const VecI& j) {
+    EXPECT_EQ(ds.at(j)[0],
+              10.0 * static_cast<double>(j[0]) + static_cast<double>(j[1]));
+  });
+}
+
+TEST(DataSpace, Arity2Components) {
+  Polyhedron space = Polyhedron::box({0, 0}, {2, 2});
+  MatI deps{{1}, {0}};
+  Probe kernel(2);
+  DataSpace ds = run_sequential(space, deps, kernel);
+  EXPECT_EQ(ds.at({2, 1})[0], 21.0);
+  EXPECT_EQ(ds.at({2, 1})[1], 121.0);
+}
+
+}  // namespace
+}  // namespace ctile

@@ -1,0 +1,162 @@
+#include "runtime/lds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/kernels.hpp"
+
+namespace ctile {
+namespace {
+
+// Skewed SOR with the paper's non-rectangular tiling.
+TiledNest sor_tiled(i64 m, i64 n, i64 x, i64 y, i64 z) {
+  AppInstance app = make_sor(m, n);
+  return TiledNest(app.nest, TilingTransform(sor_nonrect_h(x, y, z)));
+}
+
+// Skewed Jacobi (non-unit strides in the LDS).
+TiledNest jacobi_tiled(i64 t, i64 ij, i64 x, i64 y, i64 z) {
+  AppInstance app = make_jacobi(t, ij, ij);
+  return TiledNest(app.nest, TilingTransform(jacobi_nonrect_h(x, y, z)));
+}
+
+TEST(Lds, GeometrySorNonRect) {
+  TiledNest tiled = sor_tiled(8, 12, 4, 5, 6);
+  Mapping mapping(tiled);
+  LdsLayout lds(tiled, mapping);
+  const int m = mapping.m();
+  // Strides are all 1 (H' unimodular): condensation is dense.
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(lds.tile_slots(k), tiled.transform().v(k));
+    EXPECT_EQ(lds.cc(k), tiled.transform().v(k) - lds.dep_max(k));
+    if (k == m) {
+      EXPECT_EQ(lds.off(k), tiled.transform().v(k));
+      EXPECT_EQ(lds.extent(k),
+                lds.off(k) + mapping.chain_length() * lds.tile_slots(k));
+    } else {
+      EXPECT_EQ(lds.off(k), lds.dep_max(k));
+      EXPECT_EQ(lds.extent(k), lds.off(k) + lds.tile_slots(k));
+    }
+  }
+  i64 expected = 1;
+  for (int k = 0; k < 3; ++k) expected *= lds.extent(k);
+  EXPECT_EQ(lds.size(), expected);
+}
+
+TEST(Lds, GeometryJacobiStrided) {
+  TiledNest tiled = jacobi_tiled(6, 10, 2, 4, 3);
+  Mapping mapping(tiled, 0);
+  LdsLayout lds(tiled, mapping);
+  // v = (4, 4, 3), c = (1, 2, 1): dimension 1 condenses 2:1.
+  EXPECT_EQ(lds.tile_slots(0), 4);
+  EXPECT_EQ(lds.tile_slots(1), 2);
+  EXPECT_EQ(lds.tile_slots(2), 3);
+}
+
+TEST(Lds, RejectsIncompatibleStride) {
+  // y = 5 odd: c_2 = 2 does not divide v_2 = 5.
+  AppInstance app = make_jacobi(6, 10, 10);
+  TiledNest tiled(app.nest, TilingTransform(jacobi_nonrect_h(2, 5, 3)));
+  Mapping mapping(tiled, 0);
+  EXPECT_THROW(LdsLayout(tiled, mapping), LegalityError);
+}
+
+TEST(Lds, RejectsTooSmallTile) {
+  // SOR transformed deps reach 2 in dimension 2 (H' row3 . (1,0,2) = 1,
+  // . (1,1,2) = 1 ...), and dim 0 deps reach 1; v_0 = 1 < would fail if a
+  // dependence exceeds the extent.  Use z = 1 so v_2 = 1 < d'_2 max = 1?
+  // d' max in dim 2 for SOR-nonrect is 1, so z = 1 is still legal; build
+  // an artificial nest with a long dependence instead.
+  LoopNest nest = make_rectangular_nest("long", {0, 0}, {15, 15},
+                                        MatI{{3, 0}, {0, 1}});
+  TiledNest tiled(nest, TilingTransform(MatQ{{Rat(1, 2), Rat(0)},
+                                             {Rat(0), Rat(1, 4)}}));
+  Mapping mapping(tiled, 1);
+  EXPECT_THROW(LdsLayout(tiled, mapping), LegalityError);
+}
+
+TEST(Lds, MapInverseRoundTripSor) {
+  TiledNest tiled = sor_tiled(6, 8, 3, 4, 5);
+  Mapping mapping(tiled);
+  LdsLayout lds(tiled, mapping);
+  std::set<i64> used;
+  for (i64 t = 0; t < mapping.chain_length(); ++t) {
+    for_each_lattice_point(
+        tiled.transform(), full_ttis_region(tiled.transform()),
+        [&](const VecI& jp) {
+          VecI jpp = lds.map(jp, t);
+          EXPECT_TRUE(lds.is_compute_slot(jpp));
+          i64 linear = lds.linear(jpp);
+          EXPECT_TRUE(used.insert(linear).second) << "slot collision";
+          auto [jp2, t2] = lds.map_inv(jpp);
+          EXPECT_EQ(jp2, jp);
+          EXPECT_EQ(t2, t);
+          EXPECT_EQ(lds.delinearize(linear), jpp);
+        });
+  }
+  // Exactly chain * tile_size compute slots are used.
+  EXPECT_EQ(static_cast<i64>(used.size()),
+            mapping.chain_length() * tiled.transform().tile_size());
+}
+
+TEST(Lds, MapInverseRoundTripJacobiStrided) {
+  TiledNest tiled = jacobi_tiled(6, 10, 2, 4, 3);
+  Mapping mapping(tiled, 0);
+  LdsLayout lds(tiled, mapping);
+  std::set<i64> used;
+  for (i64 t = 0; t < mapping.chain_length(); ++t) {
+    for_each_lattice_point(
+        tiled.transform(), full_ttis_region(tiled.transform()),
+        [&](const VecI& jp) {
+          VecI jpp = lds.map(jp, t);
+          EXPECT_TRUE(lds.is_compute_slot(jpp));
+          EXPECT_TRUE(used.insert(lds.linear(jpp)).second);
+          auto [jp2, t2] = lds.map_inv(jpp);
+          EXPECT_EQ(jp2, jp);
+          EXPECT_EQ(t2, t);
+        });
+  }
+  EXPECT_EQ(static_cast<i64>(used.size()),
+            mapping.chain_length() * tiled.transform().tile_size());
+  // Compute slots are *all* recovered: every compute slot of the LDS is
+  // hit exactly once (the condensation is bijective).
+  i64 compute_slots = 0;
+  for (i64 s = 0; s < lds.size(); ++s) {
+    if (lds.is_compute_slot(lds.delinearize(s))) ++compute_slots;
+  }
+  EXPECT_EQ(compute_slots, static_cast<i64>(used.size()));
+}
+
+TEST(Lds, HaloAndComputeRegionsDisjoint) {
+  TiledNest tiled = sor_tiled(6, 8, 3, 4, 5);
+  Mapping mapping(tiled);
+  LdsLayout lds(tiled, mapping);
+  // Slots reached by map() with negative (halo) TTIS coordinates fall
+  // outside the compute region.
+  VecI jp(3, 0);
+  jp[0] = -1;  // one left of the tile in dimension 0
+  if (mapping.m() != 0) {
+    VecI jpp = lds.map(jp, 0);
+    EXPECT_FALSE(lds.is_compute_slot(jpp));
+  }
+}
+
+TEST(Lds, ChainContiguityInM) {
+  // Reading jp with negative m-coordinate from chain position t lands in
+  // the slots of chain position t-1: the paper's "contiguous chain"
+  // property that makes intra-processor dependencies message-free.
+  TiledNest tiled = sor_tiled(6, 8, 3, 4, 5);
+  Mapping mapping(tiled);
+  LdsLayout lds(tiled, mapping);
+  const int m = mapping.m();
+  const TilingTransform& tf = tiled.transform();
+  for_each_lattice_point(tf, full_ttis_region(tf), [&](const VecI& jp) {
+    VecI shifted = jp;
+    shifted[static_cast<std::size_t>(m)] -= tf.v(m);
+    EXPECT_EQ(lds.map(shifted, 2), lds.map(jp, 1));
+  });
+}
+
+}  // namespace
+}  // namespace ctile

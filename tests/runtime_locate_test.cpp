@@ -1,0 +1,87 @@
+#include "runtime/locate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/kernels.hpp"
+
+namespace ctile {
+namespace {
+
+struct Fixture {
+  TiledNest tiled;
+  Mapping mapping;
+  LdsLayout lds;
+  Locator locator;
+
+  Fixture(AppInstance app, MatQ h, int force_m = -1)
+      : tiled(app.nest, TilingTransform(std::move(h))),
+        mapping(tiled, force_m),
+        lds(tiled, mapping),
+        locator(tiled, mapping, lds) {}
+};
+
+TEST(Locate, RoundTripEveryPointSor) {
+  Fixture f(make_sor(5, 7), sor_nonrect_h(2, 3, 4));
+  f.tiled.nest().space.scan([&](const VecI& j) {
+    Location loc = f.locator.loc(j);
+    EXPECT_GE(loc.rank, 0);
+    EXPECT_LT(loc.rank, f.mapping.num_procs());
+    std::optional<VecI> back = f.locator.loc_inv(loc.rank, loc.slot);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, j);
+  });
+}
+
+TEST(Locate, RoundTripStridedJacobi) {
+  Fixture f(make_jacobi(4, 8, 6), jacobi_nonrect_h(2, 4, 3), 0);
+  f.tiled.nest().space.scan([&](const VecI& j) {
+    Location loc = f.locator.loc(j);
+    std::optional<VecI> back = f.locator.loc_inv(loc.rank, loc.slot);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, j);
+  });
+}
+
+TEST(Locate, DistinctPointsDistinctSlots) {
+  // The computer-owns storage is injective: no two iteration points may
+  // share a (rank, slot) pair.
+  Fixture f(make_adi(4, 6), adi_nr3_h(2, 3, 3), 0);
+  std::map<std::pair<int, i64>, VecI> seen;
+  f.tiled.nest().space.scan([&](const VecI& j) {
+    Location loc = f.locator.loc(j);
+    auto key = std::make_pair(loc.rank, loc.slot);
+    auto [it, inserted] = seen.insert({key, j});
+    EXPECT_TRUE(inserted) << "slot collision between two points";
+  });
+  EXPECT_EQ(static_cast<i64>(seen.size()),
+            f.tiled.nest().space.count_points());
+}
+
+TEST(Locate, HaloSlotsHaveNoPreimage) {
+  Fixture f(make_sor(5, 7), sor_nonrect_h(2, 3, 4));
+  // Count slots with a preimage; must equal the space size exactly.
+  i64 with_preimage = 0;
+  for (int rank = 0; rank < f.mapping.num_procs(); ++rank) {
+    for (i64 slot = 0; slot < f.lds.size(); ++slot) {
+      if (f.locator.loc_inv(rank, slot).has_value()) ++with_preimage;
+    }
+  }
+  EXPECT_EQ(with_preimage, f.tiled.nest().space.count_points());
+}
+
+TEST(Locate, OwnershipMatchesMapping) {
+  Fixture f(make_sor(5, 7), sor_nonrect_h(2, 3, 4));
+  f.tiled.nest().space.scan([&](const VecI& j) {
+    Location loc = f.locator.loc(j);
+    VecI js = f.tiled.transform().tile_of(j);
+    auto [pid, t] = f.mapping.owner_of(js);
+    EXPECT_EQ(loc.pid, pid);
+    EXPECT_EQ(loc.rank, f.mapping.rank_of(pid));
+    (void)t;
+  });
+}
+
+}  // namespace
+}  // namespace ctile

@@ -1,0 +1,120 @@
+#include "runtime/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "deps/skew.hpp"
+
+namespace ctile {
+namespace {
+
+TiledNest rect_nest(i64 nx, i64 ny, i64 x, i64 y) {
+  LoopNest nest = make_rectangular_nest("r", {0, 0}, {nx - 1, ny - 1},
+                                        MatI{{1, 0}, {0, 1}});
+  return TiledNest(nest,
+                   TilingTransform(MatQ{{Rat(1, x), Rat(0)},
+                                        {Rat(0), Rat(1, y)}}));
+}
+
+TEST(Mapping, AutoChoosesLongestDimension) {
+  // 12x4 space with 2x2 tiles: 6 tiles along dim 0, 2 along dim 1.
+  TiledNest tiled = rect_nest(12, 4, 2, 2);
+  Mapping mapping(tiled);
+  EXPECT_EQ(mapping.m(), 0);
+  EXPECT_EQ(mapping.chain_length(), 6);
+  EXPECT_EQ(mapping.num_procs(), 2);
+  EXPECT_EQ(mapping.grid(), (VecI{2}));
+}
+
+TEST(Mapping, TieBreaksInnermost) {
+  TiledNest tiled = rect_nest(8, 8, 2, 2);
+  Mapping mapping(tiled);
+  EXPECT_EQ(mapping.m(), 1);
+}
+
+TEST(Mapping, ForcedDimension) {
+  TiledNest tiled = rect_nest(12, 4, 2, 2);
+  Mapping mapping(tiled, 1);
+  EXPECT_EQ(mapping.m(), 1);
+  EXPECT_EQ(mapping.chain_length(), 2);
+  EXPECT_EQ(mapping.num_procs(), 6);
+}
+
+TEST(Mapping, TileAtOwnerRoundTrip) {
+  TiledNest tiled = rect_nest(12, 4, 2, 2);
+  Mapping mapping(tiled, 0);
+  for (i64 p = 0; p < mapping.num_procs(); ++p) {
+    VecI pid = mapping.pid_of(static_cast<int>(p));
+    for (i64 t = 0; t < mapping.chain_length(); ++t) {
+      VecI js = mapping.tile_at(pid, t);
+      auto [pid2, t2] = mapping.owner_of(js);
+      EXPECT_EQ(pid2, pid);
+      EXPECT_EQ(t2, t);
+    }
+  }
+}
+
+TEST(Mapping, RankPidRoundTrip) {
+  // 3-D nest so the mesh is 2-D.
+  LoopNest nest = make_rectangular_nest(
+      "r3", {0, 0, 0}, {5, 7, 11},
+      MatI{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}});
+  TiledNest tiled(nest, TilingTransform(MatQ{{Rat(1, 2), Rat(0), Rat(0)},
+                                             {Rat(0), Rat(1, 2), Rat(0)},
+                                             {Rat(0), Rat(0), Rat(1, 2)}}));
+  Mapping mapping(tiled);  // m = 2 (6 tiles)
+  EXPECT_EQ(mapping.m(), 2);
+  EXPECT_EQ(mapping.num_procs(), 3 * 4);
+  std::set<int> ranks;
+  for (int r = 0; r < mapping.num_procs(); ++r) {
+    VecI pid = mapping.pid_of(r);
+    EXPECT_EQ(mapping.rank_of(pid), r);
+    ranks.insert(r);
+  }
+  EXPECT_EQ(static_cast<int>(ranks.size()), mapping.num_procs());
+}
+
+TEST(Mapping, NeighborEdges) {
+  TiledNest tiled = rect_nest(12, 4, 2, 2);
+  Mapping mapping(tiled, 0);  // mesh of 2 procs in dim 1
+  VecI out;
+  EXPECT_TRUE(mapping.neighbor({0}, {1}, &out));
+  EXPECT_EQ(out, (VecI{1}));
+  EXPECT_FALSE(mapping.neighbor({1}, {1}, &out));
+  EXPECT_FALSE(mapping.neighbor({0}, {-1}, &out));
+}
+
+TEST(Mapping, ValidityMatchesTileSpace) {
+  // Skewed space: triangle-ish tile space with invalid corners.
+  MatI deps{{1, 1}, {0, 1}};
+  LoopNest base = make_rectangular_nest("sk", {0, 0}, {7, 7}, deps);
+  LoopNest skewed = skew(base, MatI{{1, 0}, {1, 1}});
+  TiledNest tiled(skewed, TilingTransform(MatQ{{Rat(1, 2), Rat(0)},
+                                               {Rat(0), Rat(1, 2)}}));
+  Mapping mapping(tiled);
+  i64 valid_count = 0, total = 0;
+  for (i64 a = mapping.tile_lo()[0]; a <= mapping.tile_hi()[0]; ++a) {
+    for (i64 b = mapping.tile_lo()[1]; b <= mapping.tile_hi()[1]; ++b) {
+      ++total;
+      if (mapping.valid({a, b})) ++valid_count;
+    }
+  }
+  EXPECT_GT(valid_count, 0);
+  EXPECT_LT(valid_count, total);  // the skew leaves invalid bbox corners
+  // Every nonempty tile must be valid.
+  for (const VecI& js : tiled.nonempty_tiles()) {
+    EXPECT_TRUE(mapping.valid(js));
+  }
+  // Out-of-box is never valid.
+  EXPECT_FALSE(mapping.valid({mapping.tile_lo()[0] - 1, 0}));
+}
+
+TEST(Mapping, ProjectDep) {
+  EXPECT_EQ(project_dep({1, 2, 3}, 0), (VecI{2, 3}));
+  EXPECT_EQ(project_dep({1, 2, 3}, 1), (VecI{1, 3}));
+  EXPECT_EQ(project_dep({1, 2, 3}, 2), (VecI{1, 2}));
+}
+
+}  // namespace
+}  // namespace ctile

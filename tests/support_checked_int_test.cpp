@@ -1,0 +1,141 @@
+#include "support/checked_int.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "support/rng.hpp"
+
+namespace ctile {
+namespace {
+
+constexpr i64 kMax = std::numeric_limits<i64>::max();
+constexpr i64 kMin = std::numeric_limits<i64>::min();
+
+TEST(CheckedInt, AddDetectsOverflow) {
+  EXPECT_EQ(add_ck(2, 3), 5);
+  EXPECT_EQ(add_ck(kMax - 1, 1), kMax);
+  EXPECT_THROW(add_ck(kMax, 1), OverflowError);
+  EXPECT_THROW(add_ck(kMin, -1), OverflowError);
+}
+
+TEST(CheckedInt, SubDetectsOverflow) {
+  EXPECT_EQ(sub_ck(5, 7), -2);
+  EXPECT_THROW(sub_ck(kMin, 1), OverflowError);
+  EXPECT_THROW(sub_ck(0, kMin), OverflowError);
+}
+
+TEST(CheckedInt, MulDetectsOverflow) {
+  EXPECT_EQ(mul_ck(-4, 6), -24);
+  EXPECT_EQ(mul_ck(1LL << 31, 1LL << 31), 1LL << 62);
+  EXPECT_THROW(mul_ck(1LL << 32, 1LL << 32), OverflowError);
+  EXPECT_THROW(mul_ck(kMin, -1), OverflowError);
+}
+
+TEST(CheckedInt, NegAndAbsHandleMinValue) {
+  EXPECT_EQ(neg_ck(5), -5);
+  EXPECT_EQ(abs_ck(-7), 7);
+  EXPECT_THROW(neg_ck(kMin), OverflowError);
+  EXPECT_THROW(abs_ck(kMin), OverflowError);
+}
+
+TEST(CheckedInt, GcdBasics) {
+  EXPECT_EQ(gcd_i64(12, 18), 6);
+  EXPECT_EQ(gcd_i64(-12, 18), 6);
+  EXPECT_EQ(gcd_i64(12, -18), 6);
+  EXPECT_EQ(gcd_i64(0, 5), 5);
+  EXPECT_EQ(gcd_i64(5, 0), 5);
+  EXPECT_EQ(gcd_i64(0, 0), 0);
+  EXPECT_EQ(gcd_i64(1, kMax), 1);
+}
+
+TEST(CheckedInt, GcdHandlesMinValue) {
+  // |INT64_MIN| = 2^63, gcd with 2 must be 2 without overflow.
+  EXPECT_EQ(gcd_i64(kMin, 2), 2);
+  EXPECT_EQ(gcd_i64(kMin, kMax), 1);
+}
+
+TEST(CheckedInt, Lcm) {
+  EXPECT_EQ(lcm_i64(4, 6), 12);
+  EXPECT_EQ(lcm_i64(-4, 6), 12);
+  EXPECT_EQ(lcm_i64(0, 6), 0);
+  EXPECT_EQ(lcm_i64(7, 13), 91);
+}
+
+TEST(CheckedInt, FloorDiv) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(7, -2), -4);
+  EXPECT_EQ(floor_div(-7, -2), 3);
+  EXPECT_EQ(floor_div(6, 3), 2);
+  EXPECT_EQ(floor_div(-6, 3), -2);
+}
+
+TEST(CheckedInt, CeilDiv) {
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(7, -2), -3);
+  EXPECT_EQ(ceil_div(-7, -2), 4);
+  EXPECT_EQ(ceil_div(6, 3), 2);
+}
+
+TEST(CheckedInt, ModFloorIsAlwaysNonNegative) {
+  EXPECT_EQ(mod_floor(7, 3), 1);
+  EXPECT_EQ(mod_floor(-7, 3), 2);
+  EXPECT_EQ(mod_floor(-6, 3), 0);
+  EXPECT_EQ(mod_floor(0, 5), 0);
+}
+
+TEST(CheckedInt, FloorCeilDivConsistency) {
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    i64 a = rng.uniform(-1000000, 1000000);
+    i64 b = rng.uniform(1, 1000);
+    if (rng.chance(0.5)) b = -b;
+    i64 f = floor_div(a, b);
+    i64 c = ceil_div(a, b);
+    // Defining inequalities of floor/ceil division.
+    if (b > 0) {
+      EXPECT_LE(f * b, a);
+      EXPECT_GT((f + 1) * b, a);
+      EXPECT_GE(c * b, a);
+      EXPECT_LT((c - 1) * b, a);
+    } else {
+      EXPECT_LE(a, f * (-b) * -1);
+    }
+    EXPECT_TRUE(c == f || c == f + 1);
+    EXPECT_EQ(c == f, a % b == 0);
+  }
+}
+
+TEST(CheckedInt, ExtGcdBezoutIdentity) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    i64 a = rng.uniform(-100000, 100000);
+    i64 b = rng.uniform(-100000, 100000);
+    ExtGcd e = ext_gcd(a, b);
+    EXPECT_EQ(e.g, gcd_i64(a, b));
+    EXPECT_EQ(a * e.x + b * e.y, e.g);
+  }
+}
+
+TEST(CheckedInt, ExtGcdEdgeCases) {
+  ExtGcd e = ext_gcd(0, 0);
+  EXPECT_EQ(e.g, 0);
+  e = ext_gcd(0, 5);
+  EXPECT_EQ(e.g, 5);
+  EXPECT_EQ(0 * e.x + 5 * e.y, 5);
+  e = ext_gcd(-4, 0);
+  EXPECT_EQ(e.g, 4);
+  EXPECT_EQ(-4 * e.x, 4);
+}
+
+TEST(CheckedInt, NarrowI64) {
+  EXPECT_EQ(narrow_i64(static_cast<i128>(kMax)), kMax);
+  EXPECT_EQ(narrow_i64(static_cast<i128>(kMin)), kMin);
+  EXPECT_THROW(narrow_i64(static_cast<i128>(kMax) + 1), OverflowError);
+  EXPECT_THROW(narrow_i64(static_cast<i128>(kMin) - 1), OverflowError);
+}
+
+}  // namespace
+}  // namespace ctile

@@ -1,0 +1,45 @@
+#include "support/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/checked_int.hpp"
+
+namespace ctile {
+namespace {
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, " + "), "a + b + c");
+}
+
+TEST(Strings, IndentLines) {
+  EXPECT_EQ(indent_lines("a\nb", 2), "  a\n  b");
+  EXPECT_EQ(indent_lines("", 2), "");
+  EXPECT_EQ(indent_lines("x\n", 4), "    x\n");
+  // Blank lines stay blank (no trailing spaces).
+  EXPECT_EQ(indent_lines("a\n\nb", 2), "  a\n\n  b");
+}
+
+TEST(Strings, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 1), "2.0");
+  EXPECT_EQ(fixed(-0.5, 3), "-0.500");
+}
+
+TEST(Strings, ToStringI128) {
+  EXPECT_EQ(to_string_i128(0), "0");
+  EXPECT_EQ(to_string_i128(12345), "12345");
+  EXPECT_EQ(to_string_i128(-987), "-987");
+  i128 big = static_cast<i128>(1) << 100;
+  EXPECT_EQ(to_string_i128(big), "1267650600228229401496703205376");
+  EXPECT_EQ(to_string_i128(-big), "-1267650600228229401496703205376");
+}
+
+TEST(Strings, StrOfStreamsValues) {
+  EXPECT_EQ(str_of(42), "42");
+  EXPECT_EQ(str_of("abc"), "abc");
+}
+
+}  // namespace
+}  // namespace ctile

@@ -1,0 +1,101 @@
+// Non-integral P: tiles are not all translates of one lattice tile, yet
+// the shifted-lattice tile walk must still partition the space exactly.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "linalg/int_matops.hpp"
+#include "linalg/rat_matops.hpp"
+#include "support/rng.hpp"
+#include "tiling/census.hpp"
+#include "tiling/tile_space.hpp"
+
+namespace ctile {
+namespace {
+
+LoopNest unit_nest(i64 a, i64 b) {
+  return make_rectangular_nest("u", {0, 0}, {a, b}, MatI{{1, 0}, {0, 1}});
+}
+
+TEST(NonIntegralP, TileWalkPartitionsSpace) {
+  // H = [[1/2, 0], [1/3, 2/3]]: P = [[2, 0], [-1, 3/2]] non-integral.
+  LoopNest nest = unit_nest(9, 9);
+  TilingTransform t(MatQ{{Rat(1, 2), Rat(0)}, {Rat(1, 3), Rat(2, 3)}});
+  ASSERT_FALSE(t.p_integral());
+  TiledNest tiled(nest, std::move(t));
+  std::set<VecI> covered;
+  tiled.tile_space().scan([&](const VecI& js) {
+    tiled.for_each_tile_point(js, [&](const VecI& jp, const VecI& j) {
+      EXPECT_TRUE(covered.insert(j).second) << "duplicate point";
+      EXPECT_EQ(tiled.transform().tile_of(j), js);
+      // jp really is this point's TTIS coordinate.
+      EXPECT_EQ(tiled.transform().ttis_of(j, js), jp);
+    });
+  });
+  EXPECT_EQ(static_cast<i64>(covered.size()), nest.space.count_points());
+}
+
+TEST(NonIntegralP, TileSizesVaryAcrossTiles) {
+  // The hallmark of non-integral P: different tiles own different
+  // numbers of points (integral P forces them all equal).
+  LoopNest nest = unit_nest(11, 11);
+  TiledNest tiled(nest,
+                  TilingTransform(MatQ{{Rat(1, 2), Rat(0)},
+                                       {Rat(1, 3), Rat(2, 3)}}));
+  std::set<i64> sizes;
+  tiled.tile_space().scan([&](const VecI& js) {
+    i64 c = tiled.tile_point_count(js);
+    if (c > 0) sizes.insert(c);
+  });
+  EXPECT_GT(sizes.size(), 1u);
+}
+
+TEST(NonIntegralP, CensusAgreesWithTileWalk) {
+  LoopNest nest = unit_nest(8, 10);
+  TiledNest tiled(nest,
+                  TilingTransform(MatQ{{Rat(1, 2), Rat(0)},
+                                       {Rat(1, 3), Rat(2, 3)}}));
+  TileCensus census(tiled);
+  EXPECT_EQ(census.total(), nest.space.count_points());
+  tiled.tile_space().scan([&](const VecI& js) {
+    EXPECT_EQ(census.count(js), tiled.tile_point_count(js));
+  });
+}
+
+TEST(NonIntegralP, RandomizedPartition) {
+  Rng rng(999);
+  int tested = 0;
+  while (tested < 10) {
+    MatQ h(2, 2);
+    for (int r = 0; r < 2; ++r) {
+      i64 s = rng.uniform(2, 4);
+      for (int c = 0; c < 2; ++c) h(r, c) = Rat(rng.uniform(-2, 2), s);
+    }
+    if (det(h).is_zero()) continue;
+    TilingTransform t(h);
+    bool legal = true;
+    // Unit deps: need H >= 0 entries columnwise? H d >= 0 for d in
+    // {e1, e2} means every column of H is componentwise non-negative.
+    for (int r = 0; r < 2 && legal; ++r) {
+      for (int c = 0; c < 2; ++c) {
+        if (h(r, c).is_negative()) legal = false;
+      }
+    }
+    if (!legal) continue;
+    ++tested;
+    LoopNest nest = unit_nest(7, 7);
+    TiledNest tiled(nest, TilingTransform(h));
+    std::set<VecI> covered;
+    tiled.tile_space().scan([&](const VecI& js) {
+      tiled.for_each_tile_point(js, [&](const VecI&, const VecI& j) {
+        EXPECT_TRUE(covered.insert(j).second);
+      });
+    });
+    EXPECT_EQ(static_cast<i64>(covered.size()), nest.space.count_points())
+        << "H =\n"
+        << h.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace ctile

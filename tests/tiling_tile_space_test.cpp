@@ -1,0 +1,170 @@
+#include "tiling/tile_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "deps/skew.hpp"
+#include "linalg/int_matops.hpp"
+
+namespace ctile {
+namespace {
+
+MatQ rect_h(i64 x, i64 y) {
+  return MatQ{{Rat(1, x), Rat(0)}, {Rat(0), Rat(1, y)}};
+}
+
+// Small skewed-SOR instance for 3-D tests.
+LoopNest small_sor() {
+  MatI deps{{0, 0, 1, 1, 1}, {1, 0, -1, 0, 0}, {0, 1, 0, -1, 0}};
+  LoopNest orig = make_rectangular_nest("sor", {1, 1, 1}, {4, 6, 6}, deps);
+  return skew(orig, MatI{{1, 0, 0}, {1, 1, 0}, {2, 0, 1}});
+}
+
+MatQ sor_hnr(i64 x, i64 y, i64 z) {
+  return MatQ{{Rat(1, x), Rat(0), Rat(0)},
+              {Rat(0), Rat(1, y), Rat(0)},
+              {Rat(-1, z), Rat(0), Rat(1, z)}};
+}
+
+TEST(TileSpace, RectangularCoversAllPoints) {
+  LoopNest nest = make_rectangular_nest("r", {0, 0}, {9, 7},
+                                        MatI{{1, 0}, {0, 1}});
+  TiledNest tiled(nest, TilingTransform(rect_h(4, 3)));
+  // Tile space: j1 in [0, 2], j2 in [0, 2].
+  auto box = tiled.tile_space_box();
+  EXPECT_EQ(box[0].lo, 0);
+  EXPECT_EQ(box[0].hi, 2);
+  EXPECT_EQ(box[1].lo, 0);
+  EXPECT_EQ(box[1].hi, 2);
+  // Sum of per-tile point counts equals the space size.
+  i64 total = 0;
+  tiled.tile_space().scan(
+      [&](const VecI& js) { total += tiled.tile_point_count(js); });
+  EXPECT_EQ(total, 80);
+  EXPECT_EQ(tiled.total_points(), 80);
+}
+
+TEST(TileSpace, EveryPointFallsInScannedTile) {
+  LoopNest nest = small_sor();
+  TiledNest tiled(nest, TilingTransform(sor_hnr(2, 3, 4)));
+  std::set<VecI> tiles;
+  tiled.tile_space().scan([&](const VecI& js) { tiles.insert(js); });
+  nest.space.scan([&](const VecI& j) {
+    VecI js = tiled.transform().tile_of(j);
+    EXPECT_TRUE(tiles.count(js))
+        << "tile (" << js[0] << "," << js[1] << "," << js[2]
+        << ") missing from tile space";
+  });
+}
+
+TEST(TileSpace, PartitionOfIterationPoints) {
+  LoopNest nest = small_sor();
+  TiledNest tiled(nest, TilingTransform(sor_hnr(2, 3, 4)));
+  std::set<VecI> covered;
+  tiled.tile_space().scan([&](const VecI& js) {
+    tiled.for_each_tile_point(js, [&](const VecI&, const VecI& j) {
+      EXPECT_TRUE(covered.insert(j).second) << "duplicate point";
+      EXPECT_EQ(tiled.transform().tile_of(j), js);
+    });
+  });
+  EXPECT_EQ(static_cast<i64>(covered.size()), nest.space.count_points());
+}
+
+TEST(TileSpace, NonemptyDetectsBoundaryGhosts) {
+  LoopNest nest = small_sor();
+  TiledNest tiled(nest, TilingTransform(sor_hnr(2, 3, 4)));
+  i64 nonempty = 0, empty = 0;
+  tiled.tile_space().scan([&](const VecI& js) {
+    if (tiled.tile_nonempty(js)) {
+      ++nonempty;
+      EXPECT_GT(tiled.tile_point_count(js), 0);
+    } else {
+      ++empty;
+      EXPECT_EQ(tiled.tile_point_count(js), 0);
+    }
+  });
+  EXPECT_GT(nonempty, 0);
+  EXPECT_EQ(static_cast<i64>(tiled.nonempty_tiles().size()), nonempty);
+  // The rational shadow may or may not include ghost tiles; both are
+  // acceptable, but counts must be consistent.
+  EXPECT_GE(empty, 0);
+}
+
+TEST(TileSpace, IllegalTilingRejected) {
+  MatI deps{{0, 1}, {1, -1}};  // (0,1) and (1,-1)
+  LoopNest nest = make_rectangular_nest("neg", {0, 0}, {7, 7}, deps);
+  // Rectangular tiling is illegal: H d has a negative component.
+  EXPECT_THROW(TiledNest(nest, TilingTransform(rect_h(2, 2))),
+               LegalityError);
+}
+
+TEST(TileSpace, TileDepsRectangularUnitStencil) {
+  // 2-D nest, deps (1,0) and (0,1), 2x2 tiles on an 8x8 space: tile
+  // dependencies must be exactly {(1,0),(0,1)}.
+  LoopNest nest = make_rectangular_nest("st", {0, 0}, {7, 7},
+                                        MatI{{1, 0}, {0, 1}});
+  TiledNest tiled(nest, TilingTransform(rect_h(2, 2)));
+  const MatI& ds = tiled.tile_deps();
+  std::set<VecI> cols;
+  for (int c = 0; c < ds.cols(); ++c) cols.insert(ds.col(c));
+  EXPECT_EQ(cols, (std::set<VecI>{{1, 0}, {0, 1}}));
+}
+
+TEST(TileSpace, TileDepsDiagonalDependence) {
+  // Dependence (1,1) with 2x2 tiles: from interior points it stays in
+  // tile or crosses one boundary; from the corner it reaches (1,1).
+  LoopNest nest = make_rectangular_nest("diag", {0, 0}, {7, 7},
+                                        MatI{{1, 1, 0}, {1, 0, 1}});
+  TiledNest tiled(nest, TilingTransform(rect_h(2, 2)));
+  const MatI& ds = tiled.tile_deps();
+  std::set<VecI> cols;
+  for (int c = 0; c < ds.cols(); ++c) cols.insert(ds.col(c));
+  EXPECT_EQ(cols, (std::set<VecI>{{1, 0}, {0, 1}, {1, 1}}));
+}
+
+TEST(TileSpace, TileDepsMatchBruteForce) {
+  LoopNest nest = small_sor();
+  TiledNest tiled(nest, TilingTransform(sor_hnr(2, 3, 4)));
+  // Brute force over the TIS: d^S = tile_of(j + d) for j in origin tile.
+  const TilingTransform& t = tiled.transform();
+  std::set<VecI> brute;
+  for (const VecI& j : tis_points(t)) {
+    for (int d = 0; d < nest.deps.cols(); ++d) {
+      VecI js = t.tile_of(vec_add(j, nest.deps.col(d)));
+      bool zero = std::all_of(js.begin(), js.end(),
+                              [](i64 v) { return v == 0; });
+      if (!zero) brute.insert(js);
+    }
+  }
+  std::set<VecI> got;
+  const MatI& ds = tiled.tile_deps();
+  for (int c = 0; c < ds.cols(); ++c) got.insert(ds.col(c));
+  EXPECT_EQ(got, brute);
+}
+
+TEST(TileSpace, TtisDepsNonNegative) {
+  LoopNest nest = small_sor();
+  TiledNest tiled(nest, TilingTransform(sor_hnr(2, 3, 4)));
+  MatI dp = tiled.ttis_deps();
+  for (int r = 0; r < dp.rows(); ++r) {
+    for (int c = 0; c < dp.cols(); ++c) {
+      EXPECT_GE(dp(r, c), 0);
+    }
+  }
+  EXPECT_EQ(dp, mul(tiled.transform().Hp(), nest.deps));
+}
+
+TEST(TileSpace, LinkPolyhedronDimensions) {
+  LoopNest nest = make_rectangular_nest("r", {0, 0}, {5, 5},
+                                        MatI{{1, 0}, {0, 1}});
+  TilingTransform t(rect_h(2, 3));
+  Polyhedron link = tile_link_polyhedron(nest, t);
+  EXPECT_EQ(link.dim(), 4);
+  // (jS, j) = ((1, 0), (2, 1)) is consistent: j in tile (1, 0).
+  EXPECT_TRUE(link.contains({1, 0, 2, 1}));
+  EXPECT_FALSE(link.contains({0, 0, 2, 1}));  // wrong tile index
+}
+
+}  // namespace
+}  // namespace ctile

@@ -1,0 +1,230 @@
+#include "tiling/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "linalg/int_matops.hpp"
+#include "linalg/rat_matops.hpp"
+#include "support/rng.hpp"
+
+namespace ctile {
+namespace {
+
+// The paper's SOR non-rectangular tiling with x=2, y=3, z=4.
+MatQ sor_hnr(i64 x, i64 y, i64 z) {
+  return MatQ{{Rat(1, x), Rat(0), Rat(0)},
+              {Rat(0), Rat(1, y), Rat(0)},
+              {Rat(-1, z), Rat(0), Rat(1, z)}};
+}
+
+// The paper's Jacobi non-rectangular tiling.
+MatQ jacobi_hnr(i64 x, i64 y, i64 z) {
+  return MatQ{{Rat(1, x), Rat(-1, 2 * x), Rat(0)},
+              {Rat(0), Rat(1, y), Rat(0)},
+              {Rat(0), Rat(0), Rat(1, z)}};
+}
+
+TEST(Transform, RectangularBasics) {
+  TilingTransform t(MatQ{{Rat(1, 3), Rat(0)}, {Rat(0), Rat(1, 5)}});
+  EXPECT_EQ(t.n(), 2);
+  EXPECT_EQ(t.v(0), 3);
+  EXPECT_EQ(t.v(1), 5);
+  EXPECT_EQ(t.Hp(), MatI::identity(2));
+  EXPECT_EQ(t.Hnf(), MatI::identity(2));
+  EXPECT_EQ(t.stride(0), 1);
+  EXPECT_EQ(t.stride(1), 1);
+  EXPECT_EQ(t.tile_size(), 15);
+  EXPECT_TRUE(t.p_integral());
+  EXPECT_TRUE(t.strides_compatible());
+  EXPECT_EQ(t.det_p(), Rat(15));
+}
+
+TEST(Transform, SingularThrows) {
+  EXPECT_THROW(TilingTransform(MatQ{{Rat(1), Rat(1)}, {Rat(1), Rat(1)}}),
+               LegalityError);
+}
+
+TEST(Transform, SorNonRectDerivedMatrices) {
+  TilingTransform t(sor_hnr(2, 3, 4));
+  EXPECT_EQ(t.V(), (MatI{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}}));
+  EXPECT_EQ(t.Hp(), (MatI{{1, 0, 0}, {0, 1, 0}, {-1, 0, 1}}));
+  // H' is unimodular here, so the HNF is the identity: dense TTIS.
+  EXPECT_EQ(t.Hnf(), MatI::identity(3));
+  EXPECT_EQ(t.tile_size(), 2 * 3 * 4);
+  EXPECT_TRUE(t.p_integral());
+  // P = H^{-1} = [[x,0,0],[0,y,0],[x,0,z]].
+  EXPECT_EQ(to_int(t.P()), (MatI{{2, 0, 0}, {0, 3, 0}, {2, 0, 4}}));
+}
+
+TEST(Transform, JacobiNonRectStridesAndOffsets) {
+  TilingTransform t(jacobi_hnr(3, 4, 5));
+  // v_1 = 2x = 6 (row 1 has denominator 2x), v_2 = y, v_3 = z.
+  EXPECT_EQ(t.v(0), 6);
+  EXPECT_EQ(t.v(1), 4);
+  EXPECT_EQ(t.v(2), 5);
+  EXPECT_EQ(t.Hp(), (MatI{{2, -1, 0}, {0, 1, 0}, {0, 0, 1}}));
+  // HNF: diag(1,2,1) with the a_21 = 1 incremental offset (Fig. 2).
+  EXPECT_EQ(t.stride(0), 1);
+  EXPECT_EQ(t.stride(1), 2);
+  EXPECT_EQ(t.stride(2), 1);
+  EXPECT_EQ(t.offset(1, 0), 1);
+  EXPECT_EQ(t.tile_size(), 3 * 4 * 5);
+  EXPECT_TRUE(t.strides_compatible());  // c_2=2 divides v_2=4
+}
+
+TEST(Transform, StrideIncompatibilityDetected) {
+  // Odd y makes c_2 = 2 incompatible with v_2 = y.
+  TilingTransform t(jacobi_hnr(3, 5, 5));
+  EXPECT_FALSE(t.strides_compatible());
+}
+
+TEST(Transform, HPInverseIdentities) {
+  for (const MatQ& h : {sor_hnr(2, 3, 4), jacobi_hnr(3, 4, 5)}) {
+    TilingTransform t(h);
+    EXPECT_EQ(mul(t.H(), t.P()), MatQ::identity(t.n()));
+    EXPECT_EQ(mul(to_rat(t.Hp()), t.Pp()), MatQ::identity(t.n()));
+    EXPECT_EQ(mul(t.Hp(), t.U()), t.Hnf());
+    EXPECT_TRUE(is_unimodular(t.U()));
+  }
+}
+
+TEST(Transform, TileOfFloorSemantics) {
+  TilingTransform t(sor_hnr(2, 3, 4));
+  // floor(H j) computed directly with rationals must agree.
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    VecI j{rng.uniform(-20, 20), rng.uniform(-20, 20), rng.uniform(-20, 20)};
+    VecI js = t.tile_of(j);
+    VecQ hj = mul(t.H(), j);
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_EQ(js[static_cast<std::size_t>(k)],
+                hj[static_cast<std::size_t>(k)].floor());
+    }
+  }
+}
+
+TEST(Transform, TtisCoordinatesInRange) {
+  for (const MatQ& h : {sor_hnr(2, 3, 4), jacobi_hnr(2, 4, 3)}) {
+    TilingTransform t(h);
+    Rng rng(10);
+    for (int i = 0; i < 500; ++i) {
+      VecI j{rng.uniform(-15, 15), rng.uniform(-15, 15),
+             rng.uniform(-15, 15)};
+      VecI js = t.tile_of(j);
+      VecI jp = t.ttis_of(j, js);
+      for (int k = 0; k < 3; ++k) {
+        EXPECT_GE(jp[static_cast<std::size_t>(k)], 0);
+        EXPECT_LT(jp[static_cast<std::size_t>(k)], t.v(k));
+      }
+      EXPECT_TRUE(t.in_ttis(jp));
+      // Round trip through point_of.
+      EXPECT_EQ(t.point_of(js, jp), j);
+    }
+  }
+}
+
+TEST(Transform, PointOfTileOriginMatchesP) {
+  TilingTransform t(sor_hnr(2, 3, 4));
+  VecI js{3, -1, 2};
+  VecI origin = t.point_of(js, {0, 0, 0});
+  VecQ expected = mul(t.P(), js);
+  EXPECT_EQ(origin, to_int_vec(expected));
+}
+
+TEST(Transform, TransformDepMatchesHp) {
+  TilingTransform t(sor_hnr(2, 3, 4));
+  EXPECT_EQ(t.transform_dep({1, 1, 2}), mul(t.Hp(), VecI{1, 1, 2}));
+}
+
+TEST(Transform, TilesPartitionSpace) {
+  // Every point has exactly one (tile, ttis) decomposition; two distinct
+  // points never collide.
+  TilingTransform t(jacobi_hnr(2, 2, 2));
+  std::set<std::pair<VecI, VecI>> seen;
+  for (i64 a = -4; a <= 4; ++a) {
+    for (i64 b = -4; b <= 4; ++b) {
+      for (i64 c = -4; c <= 4; ++c) {
+        VecI j{a, b, c};
+        VecI js = t.tile_of(j);
+        VecI jp = t.ttis_of(j, js);
+        auto inserted = seen.insert({js, jp});
+        EXPECT_TRUE(inserted.second);
+        EXPECT_EQ(t.point_of(js, jp), j);
+      }
+    }
+  }
+}
+
+TEST(Transform, DescribeMentionsKeyObjects) {
+  TilingTransform t(sor_hnr(2, 3, 4));
+  std::string d = t.describe();
+  EXPECT_NE(d.find("H' = V H"), std::string::npos);
+  EXPECT_NE(d.find("strides"), std::string::npos);
+}
+
+TEST(Transform, RandomizedRoundTripsIntegralP) {
+  // Random *integral* P (the class the parallel runtime accepts, and the
+  // paper's implicit assumption: uniform full tiles); H = P^{-1} is then
+  // a general rational tiling with nontrivial strides.  Every point must
+  // decompose uniquely into (tile, TTIS-lattice point) and back.
+  Rng rng(77);
+  int tested = 0;
+  while (tested < 40) {
+    int n = static_cast<int>(rng.uniform(2, 3));
+    MatI p(n, n);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) p(r, c) = rng.uniform(-3, 3);
+    }
+    i64 d = det(p);
+    if (d == 0 || abs_ck(d) > 40) continue;
+    ++tested;
+    TilingTransform t(inverse(to_rat(p)));
+    EXPECT_TRUE(t.p_integral());
+    EXPECT_EQ(t.tile_size(), abs_ck(d));
+    for (int i = 0; i < 50; ++i) {
+      VecI j(static_cast<std::size_t>(n));
+      for (int k = 0; k < n; ++k) {
+        j[static_cast<std::size_t>(k)] = rng.uniform(-10, 10);
+      }
+      VecI js = t.tile_of(j);
+      VecI jp = t.ttis_of(j, js);
+      EXPECT_TRUE(t.in_ttis(jp));
+      EXPECT_EQ(t.point_of(js, jp), j);
+    }
+  }
+}
+
+TEST(Transform, NonIntegralPStillRoundTrips) {
+  // When P is not integral, tiles are non-uniform and TTIS coordinates
+  // of non-origin tiles live on a *shifted* lattice (in_ttis does not
+  // apply), but the tile_of / ttis_of / point_of decomposition is still
+  // exact.
+  Rng rng(78);
+  int tested = 0;
+  while (tested < 20) {
+    int n = 2;
+    MatQ h(n, n);
+    for (int r = 0; r < n; ++r) {
+      i64 s = rng.uniform(2, 5);
+      for (int c = 0; c < n; ++c) h(r, c) = Rat(rng.uniform(-2, 2), s);
+    }
+    if (det(h).is_zero()) continue;
+    ++tested;
+    TilingTransform t(h);
+    for (int i = 0; i < 50; ++i) {
+      VecI j{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+      VecI js = t.tile_of(j);
+      VecI jp = t.ttis_of(j, js);
+      for (int k = 0; k < n; ++k) {
+        EXPECT_GE(jp[static_cast<std::size_t>(k)], 0);
+        EXPECT_LT(jp[static_cast<std::size_t>(k)], t.v(k));
+      }
+      EXPECT_EQ(t.point_of(js, jp), j);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ctile

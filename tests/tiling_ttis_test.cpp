@@ -1,0 +1,182 @@
+#include "tiling/ttis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "linalg/int_matops.hpp"
+#include "linalg/rat_matops.hpp"
+#include "support/rng.hpp"
+
+namespace ctile {
+namespace {
+
+MatQ jacobi_hnr(i64 x, i64 y, i64 z) {
+  return MatQ{{Rat(1, x), Rat(-1, 2 * x), Rat(0)},
+              {Rat(0), Rat(1, y), Rat(0)},
+              {Rat(0), Rat(0), Rat(1, z)}};
+}
+
+// Brute-force TTIS: scan a box in original coordinates, keep points of the
+// origin tile, map through H'.
+std::set<VecI> brute_ttis(const TilingTransform& t, i64 radius) {
+  std::set<VecI> out;
+  const int n = t.n();
+  VecI j(static_cast<std::size_t>(n));
+  std::function<void(int)> rec = [&](int d) {
+    if (d == n) {
+      VecI js = t.tile_of(j);
+      if (std::all_of(js.begin(), js.end(), [](i64 v) { return v == 0; })) {
+        out.insert(t.ttis_of(j, js));
+      }
+      return;
+    }
+    for (i64 v = -radius; v <= radius; ++v) {
+      j[static_cast<std::size_t>(d)] = v;
+      rec(d + 1);
+    }
+  };
+  rec(0);
+  return out;
+}
+
+TEST(Ttis, FullRegionBounds) {
+  TilingTransform t(jacobi_hnr(2, 4, 3));
+  TtisRegion r = full_ttis_region(t);
+  EXPECT_EQ(r.lo, (VecI{0, 0, 0}));
+  EXPECT_EQ(r.hi, (VecI{3, 3, 2}));  // v = (4, 4, 3)
+}
+
+TEST(Ttis, WalkerMatchesBruteForceJacobi) {
+  TilingTransform t(jacobi_hnr(2, 4, 3));
+  std::set<VecI> brute = brute_ttis(t, 12);
+  std::set<VecI> walked;
+  for_each_lattice_point(t, full_ttis_region(t),
+                         [&](const VecI& jp) { walked.insert(jp); });
+  EXPECT_EQ(walked, brute);
+  EXPECT_EQ(static_cast<i64>(walked.size()), t.tile_size());
+}
+
+TEST(Ttis, WalkerMatchesBruteForceRandom) {
+  // Random integral P; H = P^{-1} gives general lattices with nonunit
+  // strides (the class the runtime accepts).
+  Rng rng(4242);
+  int tested = 0;
+  while (tested < 12) {
+    int n = 2;
+    MatI p(n, n);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) p(r, c) = rng.uniform(-4, 4);
+    }
+    i64 d = det(p);
+    if (d == 0 || abs_ck(d) > 60) continue;
+    MatQ h = inverse(to_rat(p));
+    TilingTransform t(h);
+    if (t.tile_size() > 400) continue;
+    ++tested;
+    // Radius must cover the tile's extent in original coordinates: use
+    // the max |P'| column sum times max v.
+    i64 radius = 0;
+    for (int r = 0; r < n; ++r) {
+      Rat acc;
+      for (int c = 0; c < n; ++c) acc += t.Pp()(r, c).abs() * Rat(t.v(c));
+      radius = std::max(radius, acc.ceil() + 1);
+    }
+    std::set<VecI> brute = brute_ttis(t, radius);
+    std::set<VecI> walked;
+    for_each_lattice_point(t, full_ttis_region(t),
+                           [&](const VecI& jp) { walked.insert(jp); });
+    EXPECT_EQ(walked, brute) << "H =\n" << h.to_string();
+  }
+}
+
+TEST(Ttis, LexicographicOrder) {
+  TilingTransform t(jacobi_hnr(2, 4, 3));
+  VecI prev;
+  bool first = true;
+  for_each_lattice_point(t, full_ttis_region(t), [&](const VecI& jp) {
+    if (!first) {
+      EXPECT_LT(lex_compare(prev, jp), 0);
+    }
+    prev = jp;
+    first = false;
+  });
+}
+
+TEST(Ttis, SubRegionIsSubsetOfFull) {
+  TilingTransform t(jacobi_hnr(2, 4, 3));
+  std::set<VecI> full;
+  for_each_lattice_point(t, full_ttis_region(t),
+                         [&](const VecI& jp) { full.insert(jp); });
+  TtisRegion sub = full_ttis_region(t);
+  sub.lo = {2, 1, 1};
+  sub.hi = {3, 3, 2};
+  i64 expected = 0;
+  for (const VecI& p : full) {
+    if (p[0] >= 2 && p[1] >= 1 && p[2] >= 1) ++expected;
+  }
+  EXPECT_EQ(count_lattice_points(t, sub), expected);
+  for_each_lattice_point(t, sub, [&](const VecI& jp) {
+    EXPECT_TRUE(full.count(jp));
+  });
+}
+
+TEST(Ttis, EmptyRegion) {
+  TilingTransform t(jacobi_hnr(2, 4, 3));
+  TtisRegion r = full_ttis_region(t);
+  r.lo[0] = r.hi[0] + 1;
+  EXPECT_EQ(count_lattice_points(t, r), 0);
+}
+
+TEST(Ttis, UntilStopsEarly) {
+  TilingTransform t(jacobi_hnr(2, 4, 3));
+  int visits = 0;
+  bool completed = for_each_lattice_point_until(
+      t, full_ttis_region(t), [&](const VecI&) { return ++visits < 3; });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(visits, 3);
+}
+
+TEST(Ttis, TisPointsAreTheOriginTile) {
+  TilingTransform t(jacobi_hnr(2, 4, 3));
+  std::vector<VecI> tis = tis_points(t);
+  EXPECT_EQ(static_cast<i64>(tis.size()), t.tile_size());
+  for (const VecI& j : tis) {
+    VecI js = t.tile_of(j);
+    EXPECT_TRUE(std::all_of(js.begin(), js.end(),
+                            [](i64 v) { return v == 0; }))
+        << "point (" << j[0] << "," << j[1] << "," << j[2]
+        << ") not in origin tile";
+  }
+  // Distinctness.
+  std::set<VecI> uniq(tis.begin(), tis.end());
+  EXPECT_EQ(uniq.size(), tis.size());
+}
+
+TEST(Ttis, TtisPointsBijectiveWithTis) {
+  TilingTransform t(jacobi_hnr(2, 4, 3));
+  std::vector<VecI> jps = ttis_points(t);
+  std::set<VecI> mapped;
+  VecI origin{0, 0, 0};
+  for (const VecI& jp : jps) {
+    mapped.insert(t.point_of(origin, jp));
+  }
+  std::vector<VecI> tis = tis_points(t);
+  EXPECT_EQ(mapped, std::set<VecI>(tis.begin(), tis.end()));
+}
+
+TEST(Ttis, JacobiCongruencePattern) {
+  // For the Jacobi tiling, dimension 1 admits even values when y_0 is
+  // even and odd values when y_0 is odd (a_21 = 1, c_2 = 2): the
+  // "staircase" of Figure 2.
+  TilingTransform t(jacobi_hnr(2, 4, 3));
+  for_each_lattice_point(t, full_ttis_region(t), [&](const VecI& jp) {
+    // j'_1 runs with stride 1 (c_1 = 1); lattice coordinate y_0 = j'_0.
+    EXPECT_EQ(mod_floor(jp[1], 2), mod_floor(jp[0], 2))
+        << "point (" << jp[0] << "," << jp[1] << "," << jp[2] << ")";
+  });
+}
+
+}  // namespace
+}  // namespace ctile
