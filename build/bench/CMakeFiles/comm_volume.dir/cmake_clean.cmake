@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_volume.dir/comm_volume.cpp.o"
+  "CMakeFiles/comm_volume.dir/comm_volume.cpp.o.d"
+  "comm_volume"
+  "comm_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctile_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/ctile_bench_util.dir/bench_util.cpp.o.d"
+  "libctile_bench_util.a"
+  "libctile_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctile_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

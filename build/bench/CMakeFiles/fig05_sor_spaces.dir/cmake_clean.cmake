@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_sor_spaces.dir/fig05_sor_spaces.cpp.o"
+  "CMakeFiles/fig05_sor_spaces.dir/fig05_sor_spaces.cpp.o.d"
+  "fig05_sor_spaces"
+  "fig05_sor_spaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_sor_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

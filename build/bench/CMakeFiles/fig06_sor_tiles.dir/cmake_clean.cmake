@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_sor_tiles.dir/fig06_sor_tiles.cpp.o"
+  "CMakeFiles/fig06_sor_tiles.dir/fig06_sor_tiles.cpp.o.d"
+  "fig06_sor_tiles"
+  "fig06_sor_tiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_sor_tiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

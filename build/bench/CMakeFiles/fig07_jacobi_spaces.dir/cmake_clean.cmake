@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_jacobi_spaces.dir/fig07_jacobi_spaces.cpp.o"
+  "CMakeFiles/fig07_jacobi_spaces.dir/fig07_jacobi_spaces.cpp.o.d"
+  "fig07_jacobi_spaces"
+  "fig07_jacobi_spaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_jacobi_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_jacobi_spaces.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_jacobi_tiles.dir/fig08_jacobi_tiles.cpp.o"
+  "CMakeFiles/fig08_jacobi_tiles.dir/fig08_jacobi_tiles.cpp.o.d"
+  "fig08_jacobi_tiles"
+  "fig08_jacobi_tiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_jacobi_tiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

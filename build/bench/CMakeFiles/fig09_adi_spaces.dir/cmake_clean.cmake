@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_adi_spaces.dir/fig09_adi_spaces.cpp.o"
+  "CMakeFiles/fig09_adi_spaces.dir/fig09_adi_spaces.cpp.o.d"
+  "fig09_adi_spaces"
+  "fig09_adi_spaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_adi_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

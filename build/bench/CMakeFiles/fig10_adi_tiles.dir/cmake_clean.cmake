@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_adi_tiles.dir/fig10_adi_tiles.cpp.o"
+  "CMakeFiles/fig10_adi_tiles.dir/fig10_adi_tiles.cpp.o.d"
+  "fig10_adi_tiles"
+  "fig10_adi_tiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_adi_tiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

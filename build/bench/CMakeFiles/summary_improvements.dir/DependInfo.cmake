@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/summary_improvements.cpp" "bench/CMakeFiles/summary_improvements.dir/summary_improvements.cpp.o" "gcc" "bench/CMakeFiles/summary_improvements.dir/summary_improvements.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ctile_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ctile_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ctile_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ctile_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/tiling/CMakeFiles/ctile_tiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/ctile_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/ctile_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/ctile_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ctile_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ctile_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

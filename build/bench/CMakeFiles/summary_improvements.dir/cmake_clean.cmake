@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_improvements.dir/summary_improvements.cpp.o"
+  "CMakeFiles/summary_improvements.dir/summary_improvements.cpp.o.d"
+  "summary_improvements"
+  "summary_improvements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_improvements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

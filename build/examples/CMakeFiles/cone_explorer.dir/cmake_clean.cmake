@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cone_explorer.dir/cone_explorer.cpp.o"
+  "CMakeFiles/cone_explorer.dir/cone_explorer.cpp.o.d"
+  "cone_explorer"
+  "cone_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cone_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_study.dir/overlap_study.cpp.o"
+  "CMakeFiles/overlap_study.dir/overlap_study.cpp.o.d"
+  "overlap_study"
+  "overlap_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

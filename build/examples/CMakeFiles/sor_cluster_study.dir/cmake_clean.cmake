@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sor_cluster_study.dir/sor_cluster_study.cpp.o"
+  "CMakeFiles/sor_cluster_study.dir/sor_cluster_study.cpp.o.d"
+  "sor_cluster_study"
+  "sor_cluster_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sor_cluster_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

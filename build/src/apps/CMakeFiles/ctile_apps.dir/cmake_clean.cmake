@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctile_apps.dir/kernels.cpp.o"
+  "CMakeFiles/ctile_apps.dir/kernels.cpp.o.d"
+  "libctile_apps.a"
+  "libctile_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctile_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

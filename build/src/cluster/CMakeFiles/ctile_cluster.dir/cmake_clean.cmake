@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctile_cluster.dir/autotune.cpp.o"
+  "CMakeFiles/ctile_cluster.dir/autotune.cpp.o.d"
+  "CMakeFiles/ctile_cluster.dir/simulator.cpp.o"
+  "CMakeFiles/ctile_cluster.dir/simulator.cpp.o.d"
+  "libctile_cluster.a"
+  "libctile_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctile_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

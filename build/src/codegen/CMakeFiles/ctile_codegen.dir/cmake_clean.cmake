@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctile_codegen.dir/gen_common.cpp.o"
+  "CMakeFiles/ctile_codegen.dir/gen_common.cpp.o.d"
+  "CMakeFiles/ctile_codegen.dir/parallel_gen.cpp.o"
+  "CMakeFiles/ctile_codegen.dir/parallel_gen.cpp.o.d"
+  "CMakeFiles/ctile_codegen.dir/sequential_gen.cpp.o"
+  "CMakeFiles/ctile_codegen.dir/sequential_gen.cpp.o.d"
+  "CMakeFiles/ctile_codegen.dir/stencil_spec.cpp.o"
+  "CMakeFiles/ctile_codegen.dir/stencil_spec.cpp.o.d"
+  "CMakeFiles/ctile_codegen.dir/writer.cpp.o"
+  "CMakeFiles/ctile_codegen.dir/writer.cpp.o.d"
+  "libctile_codegen.a"
+  "libctile_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctile_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

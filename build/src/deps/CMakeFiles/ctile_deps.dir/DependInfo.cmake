@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deps/extract.cpp" "src/deps/CMakeFiles/ctile_deps.dir/extract.cpp.o" "gcc" "src/deps/CMakeFiles/ctile_deps.dir/extract.cpp.o.d"
+  "/root/repo/src/deps/loop_nest.cpp" "src/deps/CMakeFiles/ctile_deps.dir/loop_nest.cpp.o" "gcc" "src/deps/CMakeFiles/ctile_deps.dir/loop_nest.cpp.o.d"
+  "/root/repo/src/deps/skew.cpp" "src/deps/CMakeFiles/ctile_deps.dir/skew.cpp.o" "gcc" "src/deps/CMakeFiles/ctile_deps.dir/skew.cpp.o.d"
+  "/root/repo/src/deps/tiling_cone.cpp" "src/deps/CMakeFiles/ctile_deps.dir/tiling_cone.cpp.o" "gcc" "src/deps/CMakeFiles/ctile_deps.dir/tiling_cone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/poly/CMakeFiles/ctile_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ctile_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ctile_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctile_deps.dir/extract.cpp.o"
+  "CMakeFiles/ctile_deps.dir/extract.cpp.o.d"
+  "CMakeFiles/ctile_deps.dir/loop_nest.cpp.o"
+  "CMakeFiles/ctile_deps.dir/loop_nest.cpp.o.d"
+  "CMakeFiles/ctile_deps.dir/skew.cpp.o"
+  "CMakeFiles/ctile_deps.dir/skew.cpp.o.d"
+  "CMakeFiles/ctile_deps.dir/tiling_cone.cpp.o"
+  "CMakeFiles/ctile_deps.dir/tiling_cone.cpp.o.d"
+  "libctile_deps.a"
+  "libctile_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctile_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/hnf.cpp" "src/linalg/CMakeFiles/ctile_linalg.dir/hnf.cpp.o" "gcc" "src/linalg/CMakeFiles/ctile_linalg.dir/hnf.cpp.o.d"
+  "/root/repo/src/linalg/int_matops.cpp" "src/linalg/CMakeFiles/ctile_linalg.dir/int_matops.cpp.o" "gcc" "src/linalg/CMakeFiles/ctile_linalg.dir/int_matops.cpp.o.d"
+  "/root/repo/src/linalg/rat_matops.cpp" "src/linalg/CMakeFiles/ctile_linalg.dir/rat_matops.cpp.o" "gcc" "src/linalg/CMakeFiles/ctile_linalg.dir/rat_matops.cpp.o.d"
+  "/root/repo/src/linalg/rational.cpp" "src/linalg/CMakeFiles/ctile_linalg.dir/rational.cpp.o" "gcc" "src/linalg/CMakeFiles/ctile_linalg.dir/rational.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ctile_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctile_linalg.dir/hnf.cpp.o"
+  "CMakeFiles/ctile_linalg.dir/hnf.cpp.o.d"
+  "CMakeFiles/ctile_linalg.dir/int_matops.cpp.o"
+  "CMakeFiles/ctile_linalg.dir/int_matops.cpp.o.d"
+  "CMakeFiles/ctile_linalg.dir/rat_matops.cpp.o"
+  "CMakeFiles/ctile_linalg.dir/rat_matops.cpp.o.d"
+  "CMakeFiles/ctile_linalg.dir/rational.cpp.o"
+  "CMakeFiles/ctile_linalg.dir/rational.cpp.o.d"
+  "libctile_linalg.a"
+  "libctile_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctile_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

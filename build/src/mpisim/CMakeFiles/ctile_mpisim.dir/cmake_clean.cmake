@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctile_mpisim.dir/mpisim.cpp.o"
+  "CMakeFiles/ctile_mpisim.dir/mpisim.cpp.o.d"
+  "libctile_mpisim.a"
+  "libctile_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctile_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libctile_mpisim.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poly/cone.cpp" "src/poly/CMakeFiles/ctile_poly.dir/cone.cpp.o" "gcc" "src/poly/CMakeFiles/ctile_poly.dir/cone.cpp.o.d"
+  "/root/repo/src/poly/constraint.cpp" "src/poly/CMakeFiles/ctile_poly.dir/constraint.cpp.o" "gcc" "src/poly/CMakeFiles/ctile_poly.dir/constraint.cpp.o.d"
+  "/root/repo/src/poly/polyhedron.cpp" "src/poly/CMakeFiles/ctile_poly.dir/polyhedron.cpp.o" "gcc" "src/poly/CMakeFiles/ctile_poly.dir/polyhedron.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/ctile_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ctile_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

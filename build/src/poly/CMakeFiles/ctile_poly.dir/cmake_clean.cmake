@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctile_poly.dir/cone.cpp.o"
+  "CMakeFiles/ctile_poly.dir/cone.cpp.o.d"
+  "CMakeFiles/ctile_poly.dir/constraint.cpp.o"
+  "CMakeFiles/ctile_poly.dir/constraint.cpp.o.d"
+  "CMakeFiles/ctile_poly.dir/polyhedron.cpp.o"
+  "CMakeFiles/ctile_poly.dir/polyhedron.cpp.o.d"
+  "libctile_poly.a"
+  "libctile_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctile_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

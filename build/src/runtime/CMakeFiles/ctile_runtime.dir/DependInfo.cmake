@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/comm_plan.cpp" "src/runtime/CMakeFiles/ctile_runtime.dir/comm_plan.cpp.o" "gcc" "src/runtime/CMakeFiles/ctile_runtime.dir/comm_plan.cpp.o.d"
+  "/root/repo/src/runtime/data_space.cpp" "src/runtime/CMakeFiles/ctile_runtime.dir/data_space.cpp.o" "gcc" "src/runtime/CMakeFiles/ctile_runtime.dir/data_space.cpp.o.d"
+  "/root/repo/src/runtime/lds.cpp" "src/runtime/CMakeFiles/ctile_runtime.dir/lds.cpp.o" "gcc" "src/runtime/CMakeFiles/ctile_runtime.dir/lds.cpp.o.d"
+  "/root/repo/src/runtime/locate.cpp" "src/runtime/CMakeFiles/ctile_runtime.dir/locate.cpp.o" "gcc" "src/runtime/CMakeFiles/ctile_runtime.dir/locate.cpp.o.d"
+  "/root/repo/src/runtime/mapping.cpp" "src/runtime/CMakeFiles/ctile_runtime.dir/mapping.cpp.o" "gcc" "src/runtime/CMakeFiles/ctile_runtime.dir/mapping.cpp.o.d"
+  "/root/repo/src/runtime/parallel_executor.cpp" "src/runtime/CMakeFiles/ctile_runtime.dir/parallel_executor.cpp.o" "gcc" "src/runtime/CMakeFiles/ctile_runtime.dir/parallel_executor.cpp.o.d"
+  "/root/repo/src/runtime/sequential_tiled.cpp" "src/runtime/CMakeFiles/ctile_runtime.dir/sequential_tiled.cpp.o" "gcc" "src/runtime/CMakeFiles/ctile_runtime.dir/sequential_tiled.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tiling/CMakeFiles/ctile_tiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/ctile_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/ctile_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/ctile_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ctile_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ctile_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

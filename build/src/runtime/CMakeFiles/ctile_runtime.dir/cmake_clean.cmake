@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctile_runtime.dir/comm_plan.cpp.o"
+  "CMakeFiles/ctile_runtime.dir/comm_plan.cpp.o.d"
+  "CMakeFiles/ctile_runtime.dir/data_space.cpp.o"
+  "CMakeFiles/ctile_runtime.dir/data_space.cpp.o.d"
+  "CMakeFiles/ctile_runtime.dir/lds.cpp.o"
+  "CMakeFiles/ctile_runtime.dir/lds.cpp.o.d"
+  "CMakeFiles/ctile_runtime.dir/locate.cpp.o"
+  "CMakeFiles/ctile_runtime.dir/locate.cpp.o.d"
+  "CMakeFiles/ctile_runtime.dir/mapping.cpp.o"
+  "CMakeFiles/ctile_runtime.dir/mapping.cpp.o.d"
+  "CMakeFiles/ctile_runtime.dir/parallel_executor.cpp.o"
+  "CMakeFiles/ctile_runtime.dir/parallel_executor.cpp.o.d"
+  "CMakeFiles/ctile_runtime.dir/sequential_tiled.cpp.o"
+  "CMakeFiles/ctile_runtime.dir/sequential_tiled.cpp.o.d"
+  "libctile_runtime.a"
+  "libctile_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctile_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

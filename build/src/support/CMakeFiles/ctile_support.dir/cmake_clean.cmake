@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctile_support.dir/error.cpp.o"
+  "CMakeFiles/ctile_support.dir/error.cpp.o.d"
+  "CMakeFiles/ctile_support.dir/strings.cpp.o"
+  "CMakeFiles/ctile_support.dir/strings.cpp.o.d"
+  "libctile_support.a"
+  "libctile_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctile_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

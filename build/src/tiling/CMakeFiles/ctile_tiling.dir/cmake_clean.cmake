@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctile_tiling.dir/census.cpp.o"
+  "CMakeFiles/ctile_tiling.dir/census.cpp.o.d"
+  "CMakeFiles/ctile_tiling.dir/tile_space.cpp.o"
+  "CMakeFiles/ctile_tiling.dir/tile_space.cpp.o.d"
+  "CMakeFiles/ctile_tiling.dir/transform.cpp.o"
+  "CMakeFiles/ctile_tiling.dir/transform.cpp.o.d"
+  "CMakeFiles/ctile_tiling.dir/ttis.cpp.o"
+  "CMakeFiles/ctile_tiling.dir/ttis.cpp.o.d"
+  "libctile_tiling.a"
+  "libctile_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctile_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_autotune_test.dir/cluster_autotune_test.cpp.o"
+  "CMakeFiles/cluster_autotune_test.dir/cluster_autotune_test.cpp.o.d"
+  "cluster_autotune_test"
+  "cluster_autotune_test.pdb"
+  "cluster_autotune_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_autotune_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

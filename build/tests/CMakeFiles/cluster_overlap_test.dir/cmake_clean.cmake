@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_overlap_test.dir/cluster_overlap_test.cpp.o"
+  "CMakeFiles/cluster_overlap_test.dir/cluster_overlap_test.cpp.o.d"
+  "cluster_overlap_test"
+  "cluster_overlap_test.pdb"
+  "cluster_overlap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_overlap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

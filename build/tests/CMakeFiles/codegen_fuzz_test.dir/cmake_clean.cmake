@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_fuzz_test.dir/codegen_fuzz_test.cpp.o"
+  "CMakeFiles/codegen_fuzz_test.dir/codegen_fuzz_test.cpp.o.d"
+  "codegen_fuzz_test"
+  "codegen_fuzz_test.pdb"
+  "codegen_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

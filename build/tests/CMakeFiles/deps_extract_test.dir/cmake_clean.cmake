@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deps_extract_test.dir/deps_extract_test.cpp.o"
+  "CMakeFiles/deps_extract_test.dir/deps_extract_test.cpp.o.d"
+  "deps_extract_test"
+  "deps_extract_test.pdb"
+  "deps_extract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deps_extract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

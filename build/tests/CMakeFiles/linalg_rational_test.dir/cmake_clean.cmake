@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_rational_test.dir/linalg_rational_test.cpp.o"
+  "CMakeFiles/linalg_rational_test.dir/linalg_rational_test.cpp.o.d"
+  "linalg_rational_test"
+  "linalg_rational_test.pdb"
+  "linalg_rational_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_rational_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

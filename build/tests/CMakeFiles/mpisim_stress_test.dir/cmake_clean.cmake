@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisim_stress_test.dir/mpisim_stress_test.cpp.o"
+  "CMakeFiles/mpisim_stress_test.dir/mpisim_stress_test.cpp.o.d"
+  "mpisim_stress_test"
+  "mpisim_stress_test.pdb"
+  "mpisim_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisim_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

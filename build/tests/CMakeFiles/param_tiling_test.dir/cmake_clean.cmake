@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_tiling_test.dir/param_tiling_test.cpp.o"
+  "CMakeFiles/param_tiling_test.dir/param_tiling_test.cpp.o.d"
+  "param_tiling_test"
+  "param_tiling_test.pdb"
+  "param_tiling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_tiling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_cone_test.dir/poly_cone_test.cpp.o"
+  "CMakeFiles/poly_cone_test.dir/poly_cone_test.cpp.o.d"
+  "poly_cone_test"
+  "poly_cone_test.pdb"
+  "poly_cone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_cone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

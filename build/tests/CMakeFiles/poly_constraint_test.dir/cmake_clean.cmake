@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_constraint_test.dir/poly_constraint_test.cpp.o"
+  "CMakeFiles/poly_constraint_test.dir/poly_constraint_test.cpp.o.d"
+  "poly_constraint_test"
+  "poly_constraint_test.pdb"
+  "poly_constraint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_constraint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

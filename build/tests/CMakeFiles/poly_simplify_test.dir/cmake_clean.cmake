@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_simplify_test.dir/poly_simplify_test.cpp.o"
+  "CMakeFiles/poly_simplify_test.dir/poly_simplify_test.cpp.o.d"
+  "poly_simplify_test"
+  "poly_simplify_test.pdb"
+  "poly_simplify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_simplify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_chain_window_test.dir/runtime_chain_window_test.cpp.o"
+  "CMakeFiles/runtime_chain_window_test.dir/runtime_chain_window_test.cpp.o.d"
+  "runtime_chain_window_test"
+  "runtime_chain_window_test.pdb"
+  "runtime_chain_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_chain_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_comm_plan_test.dir/runtime_comm_plan_test.cpp.o"
+  "CMakeFiles/runtime_comm_plan_test.dir/runtime_comm_plan_test.cpp.o.d"
+  "runtime_comm_plan_test"
+  "runtime_comm_plan_test.pdb"
+  "runtime_comm_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_comm_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

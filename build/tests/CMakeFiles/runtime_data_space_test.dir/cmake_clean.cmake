@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_data_space_test.dir/runtime_data_space_test.cpp.o"
+  "CMakeFiles/runtime_data_space_test.dir/runtime_data_space_test.cpp.o.d"
+  "runtime_data_space_test"
+  "runtime_data_space_test.pdb"
+  "runtime_data_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_data_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

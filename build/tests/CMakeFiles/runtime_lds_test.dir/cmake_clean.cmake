@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_lds_test.dir/runtime_lds_test.cpp.o"
+  "CMakeFiles/runtime_lds_test.dir/runtime_lds_test.cpp.o.d"
+  "runtime_lds_test"
+  "runtime_lds_test.pdb"
+  "runtime_lds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_lds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

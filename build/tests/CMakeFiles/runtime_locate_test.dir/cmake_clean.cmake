@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_locate_test.dir/runtime_locate_test.cpp.o"
+  "CMakeFiles/runtime_locate_test.dir/runtime_locate_test.cpp.o.d"
+  "runtime_locate_test"
+  "runtime_locate_test.pdb"
+  "runtime_locate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_locate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_mapping_test.dir/runtime_mapping_test.cpp.o"
+  "CMakeFiles/runtime_mapping_test.dir/runtime_mapping_test.cpp.o.d"
+  "runtime_mapping_test"
+  "runtime_mapping_test.pdb"
+  "runtime_mapping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_random_e2e_test.dir/runtime_random_e2e_test.cpp.o"
+  "CMakeFiles/runtime_random_e2e_test.dir/runtime_random_e2e_test.cpp.o.d"
+  "runtime_random_e2e_test"
+  "runtime_random_e2e_test.pdb"
+  "runtime_random_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_random_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

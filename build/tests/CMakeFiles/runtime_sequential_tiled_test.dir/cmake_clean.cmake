@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_sequential_tiled_test.dir/runtime_sequential_tiled_test.cpp.o"
+  "CMakeFiles/runtime_sequential_tiled_test.dir/runtime_sequential_tiled_test.cpp.o.d"
+  "runtime_sequential_tiled_test"
+  "runtime_sequential_tiled_test.pdb"
+  "runtime_sequential_tiled_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_sequential_tiled_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_checked_int_test.dir/support_checked_int_test.cpp.o"
+  "CMakeFiles/support_checked_int_test.dir/support_checked_int_test.cpp.o.d"
+  "support_checked_int_test"
+  "support_checked_int_test.pdb"
+  "support_checked_int_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_checked_int_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

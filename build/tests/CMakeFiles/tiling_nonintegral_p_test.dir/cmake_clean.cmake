@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiling_nonintegral_p_test.dir/tiling_nonintegral_p_test.cpp.o"
+  "CMakeFiles/tiling_nonintegral_p_test.dir/tiling_nonintegral_p_test.cpp.o.d"
+  "tiling_nonintegral_p_test"
+  "tiling_nonintegral_p_test.pdb"
+  "tiling_nonintegral_p_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiling_nonintegral_p_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tiling_nonintegral_p_test.
+# This may be replaced when dependencies are built.

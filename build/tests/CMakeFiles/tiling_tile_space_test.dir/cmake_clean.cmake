@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiling_tile_space_test.dir/tiling_tile_space_test.cpp.o"
+  "CMakeFiles/tiling_tile_space_test.dir/tiling_tile_space_test.cpp.o.d"
+  "tiling_tile_space_test"
+  "tiling_tile_space_test.pdb"
+  "tiling_tile_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiling_tile_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiling_transform_test.dir/tiling_transform_test.cpp.o"
+  "CMakeFiles/tiling_transform_test.dir/tiling_transform_test.cpp.o.d"
+  "tiling_transform_test"
+  "tiling_transform_test.pdb"
+  "tiling_transform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiling_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiling_ttis_test.dir/tiling_ttis_test.cpp.o"
+  "CMakeFiles/tiling_ttis_test.dir/tiling_ttis_test.cpp.o.d"
+  "tiling_ttis_test"
+  "tiling_ttis_test.pdb"
+  "tiling_ttis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiling_ttis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[CodegenFuzz.RandomInstancesMatchReference]=]  /root/repo/build/tests/codegen_fuzz_test [==[--gtest_filter=CodegenFuzz.RandomInstancesMatchReference]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[CodegenFuzz.RandomInstancesMatchReference]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  codegen_fuzz_test_TESTS CodegenFuzz.RandomInstancesMatchReference)
