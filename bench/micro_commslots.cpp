@@ -1,0 +1,150 @@
+// Micro-benchmark for the precomputed communication slot tables: on the
+// paper's Figure 6/8/10 tile configurations (SOR, Jacobi, ADI at their
+// 16-processor tilings), time one full pack + unpack slot sweep through
+//
+//   (a) the legacy path: for_each_lattice_point over the pack/unpack
+//       regions with LdsLayout::map + linear per point, and
+//   (b) the slot-table path: precomputed base slots + t_loc * chain_step.
+//
+// Both paths visit identical slots in identical order (asserted here via
+// checksums and exhaustively in runtime_comm_slots_test); the table path
+// must be strictly faster on every configuration, and the process exits
+// nonzero if it is not — so this bench doubles as a perf regression
+// check.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/kernels.hpp"
+#include "runtime/comm_plan.hpp"
+
+namespace ctile {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Config {
+  std::string name;
+  AppInstance app;
+  MatQ h;
+  int force_m;
+};
+
+// One full sweep over every direction's pack table and every messaging
+// dependence's unpack table at chain position t_loc, via the tables.
+i64 sweep_tables(const CommPlan& plan, const CommSlotTable& table,
+                 i64 t_loc) {
+  i64 checksum = 0;
+  const i64 off = t_loc * table.chain_step();
+  for (std::size_t d = 0; d < plan.directions().size(); ++d) {
+    for (i64 base : table.pack_slots(static_cast<int>(d))) {
+      checksum += base + off;
+    }
+  }
+  const auto& deps = plan.tile_deps();
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    if (deps[i].dir < 0) continue;
+    for (i64 base : table.unpack_slots(i)) checksum += base + off;
+  }
+  return checksum;
+}
+
+// The same sweep through the lattice-enumeration path the executor used
+// before the tables existed.
+i64 sweep_lattice(const TilingTransform& tf, const CommPlan& plan,
+                  const LdsLayout& local, i64 t_loc) {
+  i64 checksum = 0;
+  const int n = local.n();
+  for (const ProcDir& dir : plan.directions()) {
+    for_each_lattice_point(tf, dir.pack, [&](const VecI& jp) {
+      checksum += local.slot(jp, t_loc);
+    });
+  }
+  for (const TileDep& dep : plan.tile_deps()) {
+    if (dep.dir < 0) continue;
+    const TtisRegion region = plan.unpack_region(dep);
+    const VecI shift = plan.unpack_shift(dep);
+    for_each_lattice_point(tf, region, [&](const VecI& jp) {
+      VecI jpp = local.map(jp, t_loc);
+      for (int k = 0; k < n; ++k) {
+        jpp[static_cast<std::size_t>(k)] -= shift[static_cast<std::size_t>(k)];
+      }
+      checksum += local.linear_unchecked(jpp);
+    });
+  }
+  return checksum;
+}
+
+template <typename F>
+double time_best_of(int reps, int iters, const F& f) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    for (int i = 0; i < iters; ++i) f();
+    const double s = std::chrono::duration<double>(Clock::now() - start)
+                         .count() /
+                     iters;
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace ctile
+
+int main() {
+  using namespace ctile;
+
+  // The figures' tile shapes at reduced problem sizes (same tilings and
+  // processor meshes; smaller spaces keep the bench fast).
+  std::vector<Config> configs;
+  configs.push_back({"fig06-sor-rect", make_sor(24, 48),
+                     sor_rect_h(6, 18, 8), 2});
+  configs.push_back({"fig06-sor-nonrect", make_sor(24, 48),
+                     sor_nonrect_h(6, 18, 8), 2});
+  configs.push_back({"fig08-jacobi-nonrect", make_jacobi(12, 16, 12),
+                     jacobi_nonrect_h(3, 4, 4), -1});
+  configs.push_back({"fig10-adi-nr1", make_adi(16, 16),
+                     adi_nr1_h(4, 4, 4), -1});
+  configs.push_back({"fig10-adi-nr3", make_adi(16, 16),
+                     adi_nr3_h(4, 4, 4), -1});
+
+  std::printf("%-22s %14s %14s %9s\n", "config", "lattice (us)",
+              "table (us)", "speedup");
+  bool all_faster = true;
+  for (Config& cfg : configs) {
+    TiledNest tiled(cfg.app.nest, TilingTransform(cfg.h));
+    Mapping mapping(tiled, cfg.force_m);
+    LdsLayout lds(tiled, mapping);
+    CommPlan plan(tiled, mapping, lds);
+    CommSlotTable table(plan, tiled.transform(), lds);
+
+    // Equal checksums: both paths touch the same slots.
+    const i64 a = sweep_lattice(tiled.transform(), plan, lds, 1);
+    const i64 b = sweep_tables(plan, table, 1);
+    if (a != b) {
+      std::printf("%s: checksum mismatch (%lld vs %lld)\n", cfg.name.c_str(),
+                  static_cast<long long>(a), static_cast<long long>(b));
+      return 1;
+    }
+
+    volatile i64 sink = 0;
+    const double lattice_s = time_best_of(5, 200, [&] {
+      sink = sink + sweep_lattice(tiled.transform(), plan, lds, 1);
+    });
+    const double table_s = time_best_of(5, 200, [&] {
+      sink = sink + sweep_tables(plan, table, 1);
+    });
+    const double speedup = lattice_s / table_s;
+    std::printf("%-22s %14.3f %14.3f %8.1fx\n", cfg.name.c_str(),
+                lattice_s * 1e6, table_s * 1e6, speedup);
+    if (table_s >= lattice_s) all_faster = false;
+  }
+  if (!all_faster) {
+    std::printf("FAIL: slot-table path not strictly faster everywhere\n");
+    return 1;
+  }
+  std::printf("OK: slot-table path strictly faster on every config\n");
+  return 0;
+}

@@ -10,23 +10,33 @@ namespace ctile::mpisim {
 Comm::Comm(int size) {
   CTILE_ASSERT(size > 0);
   boxes_.reserve(static_cast<std::size_t>(size));
+  pools_.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i) {
     boxes_.push_back(std::make_unique<Mailbox>());
+    pools_.push_back(std::make_unique<BufferPool>());
   }
 }
 
 void Comm::send(int src, int dst, i64 tag, std::vector<double> data) {
   CTILE_ASSERT(src >= 0 && src < size());
   CTILE_ASSERT(dst >= 0 && dst < size());
-  {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    ++messages_sent_;
-    doubles_sent_ += static_cast<i64>(data.size());
+  if (aborted_.load()) {
+    throw Error("mpisim: send from rank " + std::to_string(src) +
+                " on an aborted communicator");
   }
+  const i64 payload = static_cast<i64>(data.size());
   Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard<std::mutex> lock(box.mu);
     box.queue.push_back(Message{src, tag, std::move(data)});
+  }
+  // Counters are bumped only after the message exists in the mailbox
+  // (never over-counting in-flight traffic); see the stats contract in
+  // the header — readers synchronize with a barrier before reading.
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++messages_sent_;
+    doubles_sent_ += payload;
   }
   box.cv.notify_all();
 }
@@ -55,6 +65,8 @@ std::vector<double> Comm::recv(int dst, int src, i64 tag) {
 }
 
 bool Comm::probe(int dst, int src, i64 tag) {
+  CTILE_ASSERT(dst >= 0 && dst < size());
+  CTILE_ASSERT(src >= 0 && src < size());
   Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
   std::lock_guard<std::mutex> lock(box.mu);
   return std::any_of(box.queue.begin(), box.queue.end(),
@@ -91,6 +103,41 @@ void Comm::abort() {
     std::lock_guard<std::mutex> lock(barrier_mu_);
     barrier_cv_.notify_all();
   }
+}
+
+std::vector<double> Comm::acquire_buffer(int rank, std::size_t size) {
+  CTILE_ASSERT(rank >= 0 && rank < this->size());
+  BufferPool& pool = *pools_[static_cast<std::size_t>(rank)];
+  std::vector<double> buf;
+  bool reused = false;
+  {
+    std::lock_guard<std::mutex> lock(pool.mu);
+    if (!pool.free.empty()) {
+      buf = std::move(pool.free.back());
+      pool.free.pop_back();
+      reused = true;
+    }
+  }
+  if (reused) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++pool_reuses_;
+  }
+  buf.resize(size);
+  return buf;
+}
+
+void Comm::release_buffer(int rank, std::vector<double>&& buf) {
+  CTILE_ASSERT(rank >= 0 && rank < this->size());
+  if (buf.capacity() == 0) return;
+  BufferPool& pool = *pools_[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> lock(pool.mu);
+  if (pool.free.size() >= kMaxPooledBuffers) return;  // bound: just free
+  pool.free.push_back(std::move(buf));
+}
+
+i64 Comm::pool_reuses() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return pool_reuses_;
 }
 
 i64 Comm::messages_sent() const {

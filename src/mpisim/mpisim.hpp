@@ -42,7 +42,9 @@ class Comm {
 
   int size() const { return static_cast<int>(boxes_.size()); }
 
-  /// Buffered send: enqueues and returns immediately.
+  /// Buffered send: enqueues and returns immediately.  Throws Error if
+  /// the communicator has been aborted (a surviving rank must not keep
+  /// pumping messages nobody will drain).
   void send(int src, int dst, i64 tag, std::vector<double> data);
 
   /// Blocking receive of the first message from `src` with tag `tag`
@@ -53,6 +55,24 @@ class Comm {
   /// True iff a matching message is already queued (non-blocking probe).
   bool probe(int dst, int src, i64 tag);
 
+  /// Draw a payload buffer of `size` doubles from rank's local pool,
+  /// falling back to a fresh allocation when the pool is empty.  The
+  /// contents are unspecified — callers overwrite every element when
+  /// packing.  Pass the buffer to send(), which takes ownership.
+  std::vector<double> acquire_buffer(int rank, std::size_t size);
+
+  /// Return a buffer (typically one obtained from recv(), after
+  /// unpacking) to rank's local pool so steady-state communication does
+  /// zero heap allocation.  Buffers migrate between pools — a rank
+  /// releases what it received, and draws for what it sends — which is
+  /// balanced for the runtime's symmetric halo exchange.  Pools are
+  /// bounded; excess buffers are simply freed.
+  void release_buffer(int rank, std::vector<double>&& buf);
+
+  /// Number of acquire_buffer calls served from a pool (for tests
+  /// asserting that pooling actually engages in steady state).
+  i64 pool_reuses() const;
+
   /// Full barrier across all ranks.  Throws Error on abort.
   void barrier(int rank);
 
@@ -61,6 +81,14 @@ class Comm {
 
   /// Total messages and payload doubles sent (for communication-volume
   /// accounting in tests and benches).
+  ///
+  /// Stats contract: counters are updated after the message is enqueued
+  /// in the destination mailbox, so they never over-count in-flight
+  /// traffic; but they are only guaranteed complete relative to sends
+  /// that happened-before the read.  Readers synchronize with a
+  /// barrier() first — ParallelExecutor::run reads them on rank 0 only
+  /// after the full-communicator barrier that follows every rank's last
+  /// send.
   i64 messages_sent() const;
   i64 doubles_sent() const;
 
@@ -71,7 +99,18 @@ class Comm {
     std::deque<Message> queue;
   };
 
+  // Rank-local free lists of payload buffers.  Each pool has its own
+  // lock (acquire by the owning rank, release by whichever rank drained
+  // the message), bounded to keep a pathological sender from hoarding
+  // memory.
+  struct BufferPool {
+    std::mutex mu;
+    std::vector<std::vector<double>> free;
+  };
+  static constexpr std::size_t kMaxPooledBuffers = 64;
+
   std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::vector<std::unique_ptr<BufferPool>> pools_;
 
   std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;
@@ -81,6 +120,7 @@ class Comm {
   mutable std::mutex stats_mu_;
   i64 messages_sent_ = 0;
   i64 doubles_sent_ = 0;
+  i64 pool_reuses_ = 0;
 
   std::atomic<bool> aborted_{false};
 };

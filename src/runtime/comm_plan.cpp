@@ -106,4 +106,51 @@ i64 CommPlan::message_points(int dir) const {
   return msg_points_[static_cast<std::size_t>(dir)];
 }
 
+CommSlotTable::CommSlotTable(const CommPlan& plan, const TilingTransform& tf,
+                             const LdsLayout& local)
+    : chain_step_(local.chain_step()) {
+  const int n = local.n();
+  const auto& dirs = plan.directions();
+  pack_.resize(dirs.size());
+  for (std::size_t d = 0; d < dirs.size(); ++d) {
+    std::vector<i64>& slots = pack_[d];
+    slots.reserve(
+        static_cast<std::size_t>(plan.message_points(static_cast<int>(d))));
+    for_each_lattice_point(tf, dirs[d].pack, [&](const VecI& jp) {
+      slots.push_back(local.linear_unchecked(local.map(jp, 0)));
+    });
+  }
+
+  const auto& deps = plan.tile_deps();
+  unpack_.resize(deps.size());
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    const TileDep& dep = deps[i];
+    if (dep.dir < 0) continue;  // chain-internal: no message, no table
+    const TtisRegion region = plan.unpack_region(dep);
+    const VecI shift = plan.unpack_shift(dep);
+    std::vector<i64>& slots = unpack_[i];
+    slots.reserve(static_cast<std::size_t>(plan.message_points(dep.dir)));
+    for_each_lattice_point(tf, region, [&](const VecI& jp) {
+      VecI jpp = local.map(jp, 0);
+      for (int k = 0; k < n; ++k) {
+        jpp[static_cast<std::size_t>(k)] =
+            sub_ck(jpp[static_cast<std::size_t>(k)],
+                   shift[static_cast<std::size_t>(k)]);
+      }
+      slots.push_back(local.linear_unchecked(jpp));
+    });
+  }
+}
+
+const std::vector<i64>& CommSlotTable::pack_slots(int dir) const {
+  CTILE_ASSERT(dir >= 0 && dir < static_cast<int>(pack_.size()));
+  return pack_[static_cast<std::size_t>(dir)];
+}
+
+const std::vector<i64>& CommSlotTable::unpack_slots(
+    std::size_t dep_index) const {
+  CTILE_ASSERT(dep_index < unpack_.size());
+  return unpack_[dep_index];
+}
+
 }  // namespace ctile

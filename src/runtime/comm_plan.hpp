@@ -72,4 +72,51 @@ class CommPlan {
   std::vector<i64> msg_points_;
 };
 
+/// Precomputed communication slot tables: the \S3.2 RECEIVE/SEND regions
+/// made fully static.
+///
+/// The pack region of a direction and the unpack region of a tile
+/// dependence are fixed for the whole run, and the LDS linearization is
+/// affine in the chain position t (LdsLayout::chain_step).  So for a
+/// given per-processor layout we enumerate each region's TTIS-lattice
+/// points ONCE, in the canonical lexicographic order (the same order the
+/// count-indexed message buffers use on both endpoints), and store the
+/// linear base slot of every point at t = 0.  At run time
+///
+///     slot(point i, chain position t_loc) = table[i] + t_loc * chain_step
+///
+/// replaces the per-message for_each_lattice_point walk; the executor's
+/// steady-state pack/unpack loops become flat array scans.
+///
+/// Unpack tables fold in the dependence's halo shift
+/// (d^S_k v_k / c_k per dimension), so their bases may be negative at
+/// t = 0; every slot actually dereferenced (at the t_loc of a real
+/// receive) is in range, which the executor's legacy path asserts and
+/// the slot-table tests cross-check.
+class CommSlotTable {
+ public:
+  /// Build the tables for `local`, one entry per lattice point of each
+  /// direction's pack region (pack_slots) and of each tile dependence's
+  /// shifted unpack region (unpack_slots, indexed like plan.tile_deps();
+  /// empty for chain-internal dependencies).
+  CommSlotTable(const CommPlan& plan, const TilingTransform& tf,
+                const LdsLayout& local);
+
+  /// Base linear slots (t = 0) of direction dir's pack region, in
+  /// lattice-enumeration order.
+  const std::vector<i64>& pack_slots(int dir) const;
+
+  /// Base linear slots (t = 0, halo shift applied) of tile dependence
+  /// `dep_index` (index into CommPlan::tile_deps()).
+  const std::vector<i64>& unpack_slots(std::size_t dep_index) const;
+
+  /// Linear-slot increment per chain step (LdsLayout::chain_step()).
+  i64 chain_step() const { return chain_step_; }
+
+ private:
+  std::vector<std::vector<i64>> pack_;
+  std::vector<std::vector<i64>> unpack_;
+  i64 chain_step_;
+};
+
 }  // namespace ctile

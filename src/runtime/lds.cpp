@@ -59,9 +59,13 @@ LdsLayout::LdsLayout(const TiledNest& tiled, const Mapping& mapping,
     }
   }
   size_ = 1;
-  for (int k = 0; k < n_; ++k) {
+  strides_.resize(static_cast<std::size_t>(n_));
+  for (int k = n_; k-- > 0;) {
+    strides_[static_cast<std::size_t>(k)] = size_;
     size_ = mul_ck(size_, ext_[static_cast<std::size_t>(k)]);
   }
+  chain_step_ = mul_ck(vk_ck_[static_cast<std::size_t>(m_)],
+                       strides_[static_cast<std::size_t>(m_)]);
 }
 
 VecI LdsLayout::map(const VecI& jp, i64 t) const {
@@ -92,6 +96,16 @@ i64 LdsLayout::linear(const VecI& jpp) const {
     CTILE_ASSERT_MSG(c >= 0 && c < ext_[static_cast<std::size_t>(k)],
                      "LDS coordinate out of range");
     idx = add_ck(mul_ck(idx, ext_[static_cast<std::size_t>(k)]), c);
+  }
+  return idx;
+}
+
+i64 LdsLayout::linear_unchecked(const VecI& jpp) const {
+  CTILE_ASSERT(static_cast<int>(jpp.size()) == n_);
+  i64 idx = 0;
+  for (int k = 0; k < n_; ++k) {
+    idx = add_ck(idx, mul_ck(jpp[static_cast<std::size_t>(k)],
+                             strides_[static_cast<std::size_t>(k)]));
   }
   return idx;
 }

@@ -59,11 +59,29 @@ class LdsLayout {
   /// Total number of slots (product of extents).
   i64 size() const { return size_; }
 
+  /// Row-major linear stride of dimension k (product of the extents of
+  /// the dimensions inner to k); linear(jpp) == sum_k jpp_k * stride(k).
+  i64 stride(int k) const { return strides_[static_cast<std::size_t>(k)]; }
+
+  /// Linear-slot increment of one chain step: advancing t by 1 moves
+  /// every mapped slot by exactly tile_slots(m) * stride(m), because
+  /// map(j', t)_m is affine in t (c_m | v_m) and the other coordinates
+  /// do not depend on t.  This is what makes the communication slot
+  /// tables (CommSlotTable) a base table plus a scalar offset.
+  i64 chain_step() const { return chain_step_; }
+
   /// Table 1: LDS coordinates of TTIS point j' of chain element t.
   VecI map(const VecI& jp, i64 t) const;
 
   /// Row-major linear index of LDS coordinates.
   i64 linear(const VecI& jpp) const;
+
+  /// linear() as a plain dot product with the strides, without the
+  /// in-range assertions.  Used to precompute slot-table *bases* at
+  /// t = 0, where individual coordinates may be transiently negative
+  /// (an unpack shift larger than the chain offset) even though every
+  /// base + t * chain_step() actually dereferenced is in range.
+  i64 linear_unchecked(const VecI& jpp) const;
 
   /// map followed by linear.
   i64 slot(const VecI& jp, i64 t) const { return linear(map(jp, t)); }
@@ -90,6 +108,8 @@ class LdsLayout {
   VecI vk_ck_;
   VecI cc_;
   VecI dmax_;
+  VecI strides_;
+  i64 chain_step_;
   i64 size_;
 };
 

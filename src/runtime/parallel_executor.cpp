@@ -1,11 +1,22 @@
 #include "runtime/parallel_executor.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "linalg/int_matops.hpp"
 #include "runtime/locate.hpp"
 
 namespace ctile {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
 
 ParallelExecutor::ParallelExecutor(const TiledNest& tiled,
                                    const Kernel& kernel, int force_m)
@@ -14,7 +25,28 @@ ParallelExecutor::ParallelExecutor(const TiledNest& tiled,
       census_(tiled),
       mapping_(tiled, force_m, &census_),
       lds_(tiled, mapping_),
-      plan_(tiled, mapping_, lds_) {}
+      plan_(tiled, mapping_, lds_) {
+  // One layout + slot-table bundle per distinct chain-window length:
+  // processors with equally long chains share byte-identical tables, so
+  // the setup cost is O(#distinct lengths), not O(#processors).
+  for (int rank = 0; rank < mapping_.num_procs(); ++rank) {
+    const IntRange window = mapping_.chain_window(mapping_.pid_of(rank));
+    if (window.empty()) continue;
+    const i64 len = window.count();
+    if (locals_.find(len) == locals_.end()) {
+      locals_.emplace(len,
+                      std::make_unique<RankLocal>(tiled, mapping_, plan_, len));
+    }
+  }
+}
+
+const ParallelExecutor::RankLocal& ParallelExecutor::local_for(
+    i64 chain_len) const {
+  auto it = locals_.find(chain_len);
+  CTILE_ASSERT_MSG(it != locals_.end(),
+                   "no cached layout for this chain-window length");
+  return *it->second;
+}
 
 i64 ParallelExecutor::tag_of(int dir, i64 sender_t) const {
   CTILE_ASSERT(sender_t >= 0 && sender_t < mapping_.chain_length());
@@ -23,7 +55,8 @@ i64 ParallelExecutor::tag_of(int dir, i64 sender_t) const {
 }
 
 void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
-                                std::vector<double>& la, i64* points) const {
+                                std::vector<double>& la, i64* points,
+                                PhaseTimes* phase) const {
   const TilingTransform& tf = tiled_->transform();
   const Polyhedron& space = tiled_->nest().space;
   const MatI& deps = tiled_->nest().deps;
@@ -38,13 +71,16 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
   // (paper \S3.1: |t| is per processor).  Message tags keep using global
   // chain positions so both endpoints agree.
   const IntRange window = mapping_.chain_window(pid);
-  const LdsLayout local(*tiled_, mapping_, window.empty() ? 0 : window.count());
+  *points = 0;
+  if (window.empty()) return;
+  const RankLocal& rl = local_for(window.count());
+  const LdsLayout& local = rl.layout;
+  const CommSlotTable& table = rl.slots;
+  const i64 chain_step = table.chain_step();
   la.assign(static_cast<std::size_t>(local.size() * arity), 0.0);
 
   std::vector<double> dep_vals(static_cast<std::size_t>(q * arity));
   std::vector<double> out(static_cast<std::size_t>(arity));
-  *points = 0;
-  if (window.empty()) return;
 
   for (i64 t = window.lo; t <= window.hi; ++t) {
     const VecI js = mapping_.tile_at(pid, t);
@@ -53,7 +89,9 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
 
     // ---- RECEIVE (\S3.2): one message per (predecessor tile, direction)
     // for which this tile is the lexicographically minimum successor.
-    for (const TileDep& dep : plan_.tile_deps()) {
+    const auto& tile_deps = plan_.tile_deps();
+    for (std::size_t di = 0; di < tile_deps.size(); ++di) {
+      const TileDep& dep = tile_deps[di];
       if (dep.dir < 0) continue;  // chain-internal: local through the LDS
       const VecI pred = vec_sub(js, dep.ds);
       if (!mapping_.valid(pred)) continue;
@@ -63,29 +101,50 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
       const bool on_mesh = mapping_.neighbor(pid, vec_neg(dep.dm), &src_pid);
       CTILE_ASSERT_MSG(on_mesh, "valid predecessor off the processor mesh");
       const i64 sender_t = sub_ck(t, dep.ds[static_cast<std::size_t>(m)]);
+      const auto recv_start = Clock::now();
       std::vector<double> buf = comm.recv(
           rank, mapping_.rank_of(src_pid), tag_of(dep.dir, sender_t));
+      phase->recv_wait_s += seconds_since(recv_start);
       // Unpack into the halo slots shifted by (d^S_k v_k / c_k).
-      const TtisRegion region = plan_.unpack_region(dep);
-      const VecI shift = plan_.unpack_shift(dep);
-      std::size_t count = 0;
-      for_each_lattice_point(tf, region, [&](const VecI& jp) {
-        VecI jpp = local.map(jp, t_loc);
-        for (int k = 0; k < n; ++k) {
-          jpp[static_cast<std::size_t>(k)] =
-              sub_ck(jpp[static_cast<std::size_t>(k)],
-                     shift[static_cast<std::size_t>(k)]);
+      const auto unpack_start = Clock::now();
+      if (use_slot_tables_) {
+        // Precomputed path: base slots at t_loc = 0 plus the affine
+        // chain offset — no lattice enumeration in steady state.
+        const std::vector<i64>& slots = table.unpack_slots(di);
+        const i64 off = t_loc * chain_step;
+        CTILE_ASSERT_MSG(slots.size() * static_cast<std::size_t>(arity) ==
+                             buf.size(),
+                         "unpack table size mismatch with received message");
+        const double* src = buf.data();
+        for (const i64 base : slots) {
+          double* dst = &la[static_cast<std::size_t>((base + off) * arity)];
+          for (int v = 0; v < arity; ++v) dst[v] = *src++;
         }
-        const i64 slot = local.linear(jpp);
-        for (int v = 0; v < arity; ++v) {
-          la[static_cast<std::size_t>(slot * arity + v)] = buf[count++];
-        }
-      });
-      CTILE_ASSERT_MSG(count == buf.size(),
-                       "unpack region size mismatch with received message");
+      } else {
+        const TtisRegion region = plan_.unpack_region(dep);
+        const VecI shift = plan_.unpack_shift(dep);
+        std::size_t count = 0;
+        for_each_lattice_point(tf, region, [&](const VecI& jp) {
+          VecI jpp = local.map(jp, t_loc);
+          for (int k = 0; k < n; ++k) {
+            jpp[static_cast<std::size_t>(k)] =
+                sub_ck(jpp[static_cast<std::size_t>(k)],
+                       shift[static_cast<std::size_t>(k)]);
+          }
+          const i64 slot = local.linear(jpp);
+          for (int v = 0; v < arity; ++v) {
+            la[static_cast<std::size_t>(slot * arity + v)] = buf[count++];
+          }
+        });
+        CTILE_ASSERT_MSG(count == buf.size(),
+                         "unpack region size mismatch with received message");
+      }
+      comm.release_buffer(rank, std::move(buf));
+      phase->unpack_s += seconds_since(unpack_start);
     }
 
     // ---- COMPUTE: sweep the TTIS (boundary tiles clipped by J^n).
+    const auto compute_start = Clock::now();
     tiled_->for_each_tile_point(js, [&](const VecI& jp, const VecI& j) {
       for (int l = 0; l < q; ++l) {
         double* dst = &dep_vals[static_cast<std::size_t>(l * arity)];
@@ -107,6 +166,7 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
       }
       ++*points;
     });
+    phase->compute_s += seconds_since(compute_start);
 
     // ---- SEND (\S3.2): one aggregated message per successor processor
     // that owns at least one valid successor tile.
@@ -125,14 +185,30 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
       VecI dst_pid;
       const bool on_mesh = mapping_.neighbor(pid, dirs[d].dm, &dst_pid);
       CTILE_ASSERT_MSG(on_mesh, "valid successor off the processor mesh");
+      const auto pack_start = Clock::now();
       std::vector<double> buf;
-      buf.reserve(static_cast<std::size_t>(plan_.message_points(dir) * arity));
-      for_each_lattice_point(tf, dirs[d].pack, [&](const VecI& jp) {
-        const i64 slot = local.slot(jp, t_loc);
-        for (int v = 0; v < arity; ++v) {
-          buf.push_back(la[static_cast<std::size_t>(slot * arity + v)]);
+      if (use_slot_tables_) {
+        const std::vector<i64>& slots = table.pack_slots(dir);
+        buf = comm.acquire_buffer(
+            rank, slots.size() * static_cast<std::size_t>(arity));
+        const i64 off = t_loc * chain_step;
+        double* dst = buf.data();
+        for (const i64 base : slots) {
+          const double* src =
+              &la[static_cast<std::size_t>((base + off) * arity)];
+          for (int v = 0; v < arity; ++v) *dst++ = src[v];
         }
-      });
+      } else {
+        buf.reserve(
+            static_cast<std::size_t>(plan_.message_points(dir) * arity));
+        for_each_lattice_point(tf, dirs[d].pack, [&](const VecI& jp) {
+          const i64 slot = local.slot(jp, t_loc);
+          for (int v = 0; v < arity; ++v) {
+            buf.push_back(la[static_cast<std::size_t>(slot * arity + v)]);
+          }
+        });
+      }
+      phase->pack_s += seconds_since(pack_start);
       comm.send(rank, mapping_.rank_of(dst_pid), tag_of(dir, t),
                 std::move(buf));
     }
@@ -145,11 +221,13 @@ DataSpace ParallelExecutor::run(ParallelRunStats* stats) const {
   std::vector<std::vector<double>> arrays(
       static_cast<std::size_t>(nprocs));
   std::vector<i64> points(static_cast<std::size_t>(nprocs), 0);
+  std::vector<PhaseTimes> phases(static_cast<std::size_t>(nprocs));
 
   i64 messages = 0, doubles = 0;
   mpisim::run_ranks(nprocs, [&](int rank, mpisim::Comm& comm) {
     auto& la = arrays[static_cast<std::size_t>(rank)];
-    run_rank(rank, comm, la, &points[static_cast<std::size_t>(rank)]);
+    run_rank(rank, comm, la, &points[static_cast<std::size_t>(rank)],
+             &phases[static_cast<std::size_t>(rank)]);
     comm.barrier(rank);  // all sends settled before stats are read
     if (rank == 0) {
       messages = comm.messages_sent();
@@ -159,14 +237,14 @@ DataSpace ParallelExecutor::run(ParallelRunStats* stats) const {
 
   // ---- Write-back (Figure 4): every computation slot travels
   // LDS --map^{-1}--> (j', t) --loc^{-1}--> j in J^n --f_w--> DS,
-  // with each rank's own chain-window layout.
+  // with each rank's own (cached) chain-window layout.
   DataSpace ds(tiled_->nest().space, arity);
   const Polyhedron& space = tiled_->nest().space;
   for (int rank = 0; rank < nprocs; ++rank) {
     const VecI pid = mapping_.pid_of(rank);
     const IntRange window = mapping_.chain_window(pid);
     if (window.empty()) continue;
-    const LdsLayout local(*tiled_, mapping_, window.count());
+    const LdsLayout& local = local_for(window.count()).layout;
     const auto& la = arrays[static_cast<std::size_t>(rank)];
     for (i64 slot = 0; slot < local.size(); ++slot) {
       const VecI jpp = local.delinearize(slot);
@@ -189,6 +267,14 @@ DataSpace ParallelExecutor::run(ParallelRunStats* stats) const {
     stats->doubles = doubles;
     stats->points_computed = 0;
     for (i64 p : points) stats->points_computed += p;
+    stats->phase_by_rank = phases;
+    stats->phase_total = PhaseTimes{};
+    for (const PhaseTimes& p : phases) {
+      stats->phase_total.compute_s += p.compute_s;
+      stats->phase_total.pack_s += p.pack_s;
+      stats->phase_total.unpack_s += p.unpack_s;
+      stats->phase_total.recv_wait_s += p.recv_wait_s;
+    }
   }
   return ds;
 }

@@ -15,10 +15,22 @@
 // tile consumes messages from two predecessor tiles of the same
 // neighbour processor.
 //
+// The pack/unpack regions of \S3.2 are compile-time static, so the
+// executor precomputes, once per distinct chain-window length, the LDS
+// layout AND a CommSlotTable of linear base slots per region point; the
+// steady-state RECEIVE/SEND loops are then flat array scans (base +
+// t_loc * chain_step) with zero lattice enumeration and — thanks to the
+// mpisim buffer pool — zero heap allocation.  The original
+// lattice-enumeration path is kept behind set_use_slot_tables(false) as
+// the reference for equivalence tests and benches.
+//
 // Reads falling outside the iteration space J^n take the kernel's initial
 // values; every other read is local by construction of the LDS (the
 // computer-owns rule plus halo unpacking).
 #pragma once
+
+#include <map>
+#include <memory>
 
 #include "mpisim/mpisim.hpp"
 #include "runtime/comm_plan.hpp"
@@ -28,17 +40,27 @@
 
 namespace ctile {
 
+/// Wall-clock seconds a rank spent in each phase of the \S3.2 skeleton.
+struct PhaseTimes {
+  double compute_s = 0.0;    ///< TTIS sweep (kernel evaluation)
+  double pack_s = 0.0;       ///< SEND: gathering boundary data
+  double unpack_s = 0.0;     ///< RECEIVE: scattering halo data
+  double recv_wait_s = 0.0;  ///< RECEIVE: blocked waiting for a message
+};
+
 struct ParallelRunStats {
   i64 messages = 0;        ///< total messages sent
   i64 doubles = 0;         ///< total payload doubles sent
   i64 points_computed = 0; ///< total iterations executed across ranks
+  PhaseTimes phase_total;  ///< phase times summed over all ranks
+  std::vector<PhaseTimes> phase_by_rank;  ///< per-rank phase times
 };
 
 class ParallelExecutor {
  public:
-  /// Builds the tile census (exact occupancy), mapping, LDS layout and
-  /// communication plan for `tiled`.  force_m overrides the
-  /// mapping-dimension choice (tests/benches).
+  /// Builds the tile census (exact occupancy), mapping, LDS layout,
+  /// communication plan and per-chain-window slot tables for `tiled`.
+  /// force_m overrides the mapping-dimension choice (tests/benches).
   ParallelExecutor(const TiledNest& tiled, const Kernel& kernel,
                    int force_m = -1);
 
@@ -47,21 +69,47 @@ class ParallelExecutor {
   const LdsLayout& lds() const { return lds_; }
   const CommPlan& plan() const { return plan_; }
 
+  /// Toggle the precomputed slot-table pack/unpack path (default on).
+  /// The lattice-enumeration path is retained as the reference
+  /// implementation; both must produce bitwise-identical data spaces.
+  void set_use_slot_tables(bool on) { use_slot_tables_ = on; }
+  bool use_slot_tables() const { return use_slot_tables_; }
+
   /// Run all ranks (threads), gather every processor's computation slots
   /// through loc^{-1} into a fresh DataSpace, and return it with stats.
   DataSpace run(ParallelRunStats* stats = nullptr) const;
 
  private:
+  /// Everything that depends on a processor's chain-window length:
+  /// the per-processor LDS layout (paper: "|t| is per processor") and
+  /// the communication slot tables built against it.  Computed once per
+  /// distinct window length at construction and shared read-only by
+  /// run_rank and the write-back, which previously rebuilt the
+  /// HNF-derived layout from scratch per rank.
+  struct RankLocal {
+    LdsLayout layout;
+    CommSlotTable slots;
+    RankLocal(const TiledNest& tiled, const Mapping& mapping,
+              const CommPlan& plan, i64 chain_len)
+        : layout(tiled, mapping, chain_len),
+          slots(plan, tiled.transform(), layout) {}
+  };
+
   const TiledNest* tiled_;
   const Kernel* kernel_;
   TileCensus census_;
   Mapping mapping_;
   LdsLayout lds_;
   CommPlan plan_;
+  std::map<i64, std::unique_ptr<RankLocal>> locals_;  // by window length
+  bool use_slot_tables_ = true;
+
+  /// The cached layout + slot tables for a (non-empty) window length.
+  const RankLocal& local_for(i64 chain_len) const;
 
   /// The per-rank program (RECEIVE / compute / SEND over the chain).
   void run_rank(int rank, mpisim::Comm& comm, std::vector<double>& la,
-                i64* points) const;
+                i64* points, PhaseTimes* phase) const;
 
   i64 tag_of(int dir, i64 sender_t) const;
 };

@@ -100,6 +100,80 @@ TEST(MpisimStress, RepeatedBarriersUnderTraffic) {
   });
 }
 
+TEST(MpisimStress, BufferPoolRecyclesUnderRingTraffic) {
+  // Steady-state ring traffic with acquire/release: after the first few
+  // rounds the pools must serve every acquisition without allocating.
+  const int n = 6;
+  const int rounds = 100;
+  const std::size_t payload = 256;
+  run_ranks(n, [&](int rank, Comm& comm) {
+    const int dst = (rank + 1) % n;
+    const int src = (rank + n - 1) % n;
+    for (int round = 0; round < rounds; ++round) {
+      std::vector<double> buf = comm.acquire_buffer(rank, payload);
+      ASSERT_EQ(buf.size(), payload);
+      for (std::size_t i = 0; i < payload; ++i) {
+        buf[i] = static_cast<double>(round) + static_cast<double>(rank);
+      }
+      comm.send(rank, dst, round, std::move(buf));
+      std::vector<double> got = comm.recv(rank, src, round);
+      ASSERT_EQ(got.size(), payload);
+      EXPECT_EQ(got[0], static_cast<double>(round) + static_cast<double>(src));
+      comm.release_buffer(rank, std::move(got));
+    }
+    comm.barrier(rank);
+    if (rank == 0) {
+      // Every rank allocates at most a handful of buffers up front; the
+      // rest of the n * rounds acquisitions are pool hits.
+      EXPECT_GE(comm.pool_reuses(), static_cast<i64>(n) * (rounds - 2));
+    }
+  });
+}
+
+TEST(MpisimStress, BufferPoolConcurrentAcquireReleaseManyRanks) {
+  // Cross-rank churn: every rank releases into *other* ranks' pools
+  // while those ranks draw from them — the pool locks must keep this
+  // clean (run under TSan in CI).
+  const int n = 8;
+  run_ranks(n, [&](int rank, Comm& comm) {
+    Rng rng(static_cast<u64>(rank) * 77 + 1);
+    for (int i = 0; i < 200; ++i) {
+      const int other = static_cast<int>(rng.uniform(0, n - 1));
+      std::vector<double> buf =
+          comm.acquire_buffer(rank, static_cast<std::size_t>(
+                                        rng.uniform(1, 64)));
+      comm.release_buffer(other, std::move(buf));
+    }
+  });
+}
+
+TEST(MpisimStress, AbortRacingSendRecvBarrier) {
+  // One rank dies mid-run while the others keep pumping send/recv and
+  // entering barriers; every survivor must get Error (no deadlock, no
+  // silent enqueue into a dead communicator) and run_ranks rethrows the
+  // original failure.
+  const int n = 6;
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_THROW(
+        run_ranks(n,
+                  [&](int rank, Comm& comm) {
+                    if (rank == 0) {
+                      throw Error("rank 0 died");
+                    }
+                    const int dst = 1 + (rank % (n - 1));
+                    for (int i = 0;; ++i) {
+                      comm.send(rank, dst, /*tag=*/i % 3,
+                                {static_cast<double>(i)});
+                      if (comm.probe(rank, dst, i % 3)) {
+                        comm.recv(rank, dst, i % 3);
+                      }
+                      if (i % 16 == 15) comm.barrier(rank);
+                    }
+                  }),
+        Error);
+  }
+}
+
 TEST(MpisimStress, StatsAreConsistentAfterStorm) {
   const int n = 4;
   run_ranks(n, [&](int rank, Comm& comm) {

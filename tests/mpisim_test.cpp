@@ -131,6 +131,53 @@ TEST(Mpisim, Probe) {
   });
 }
 
+TEST(Mpisim, SendOnAbortedCommunicatorThrows) {
+  // A surviving rank must not keep enqueueing into a dead communicator:
+  // after abort, send fails loudly like recv and barrier do.
+  Comm comm(2);
+  comm.send(0, 1, 0, {1.0});  // pre-abort send is fine
+  comm.abort();
+  EXPECT_THROW(comm.send(0, 1, 1, {2.0}), Error);
+}
+
+TEST(Mpisim, ProbeRejectsOutOfRangeRanks) {
+  // probe carries the same rank-range assertions as send/recv: an
+  // out-of-range rank must fail loudly, not index boxes_ out of bounds.
+  Comm comm(2);
+  EXPECT_DEATH(comm.probe(2, 0, 0), "dst");
+  EXPECT_DEATH(comm.probe(-1, 0, 0), "dst");
+  EXPECT_DEATH(comm.probe(0, 2, 0), "src");
+  EXPECT_DEATH(comm.probe(0, -1, 0), "src");
+}
+
+TEST(Mpisim, BufferPoolReusesReleasedBuffers) {
+  Comm comm(1);
+  EXPECT_EQ(comm.pool_reuses(), 0);
+  std::vector<double> a = comm.acquire_buffer(0, 16);
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_EQ(comm.pool_reuses(), 0);  // pool was empty: fresh allocation
+  const double* ptr = a.data();
+  comm.release_buffer(0, std::move(a));
+  std::vector<double> b = comm.acquire_buffer(0, 16);
+  EXPECT_EQ(comm.pool_reuses(), 1);
+  EXPECT_EQ(b.data(), ptr);  // same storage came back, no reallocation
+  // Resizing within capacity also keeps the storage.
+  comm.release_buffer(0, std::move(b));
+  std::vector<double> c = comm.acquire_buffer(0, 8);
+  EXPECT_EQ(comm.pool_reuses(), 2);
+  EXPECT_EQ(c.data(), ptr);
+}
+
+TEST(Mpisim, BufferPoolsAreRankLocal) {
+  Comm comm(2);
+  std::vector<double> a = comm.acquire_buffer(0, 4);
+  comm.release_buffer(1, std::move(a));  // buffer migrates to rank 1's pool
+  comm.acquire_buffer(0, 4);
+  EXPECT_EQ(comm.pool_reuses(), 0);  // rank 0's pool is still empty
+  comm.acquire_buffer(1, 4);
+  EXPECT_EQ(comm.pool_reuses(), 1);
+}
+
 TEST(Mpisim, ManyRanksRing) {
   const int n = 8;
   run_ranks(n, [n](int rank, Comm& comm) {

@@ -1,0 +1,220 @@
+// The communication slot tables (CommSlotTable) must reproduce, slot for
+// slot, exactly what the \S3.2 lattice-enumeration path computes: for
+// every direction's pack region and every tile dependence's shifted
+// unpack region, the precomputed base + t_loc * chain_step sequence must
+// equal the per-point LdsLayout::map/linear walk at every chain position.
+//
+// Configurations cover the paper's Figure 5-10 evaluation set (SOR,
+// Jacobi, ADI; rectangular and all non-rectangular tilings) at reduced
+// problem sizes, plus the executor-level equivalence: slot-table and
+// lattice-enumeration runs must produce identical data spaces and
+// identical message counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "apps/kernels.hpp"
+#include "runtime/parallel_executor.hpp"
+
+namespace ctile {
+namespace {
+
+struct Fixture {
+  TiledNest tiled;
+  Mapping mapping;
+  LdsLayout lds;
+  CommPlan plan;
+
+  Fixture(AppInstance app, MatQ h, int force_m = -1)
+      : tiled(app.nest, TilingTransform(std::move(h))),
+        mapping(tiled, force_m),
+        lds(tiled, mapping),
+        plan(tiled, mapping, lds) {}
+};
+
+// Every (pack, unpack) table entry equals the enumeration path, for
+// every distinct chain-window length of the mapping and several chain
+// positions.
+void expect_tables_match_enumeration(const Fixture& f) {
+  const TilingTransform& tf = f.tiled.transform();
+  const int n = f.lds.n();
+  std::vector<i64> window_lengths;
+  for (int rank = 0; rank < f.mapping.num_procs(); ++rank) {
+    const IntRange w = f.mapping.chain_window(f.mapping.pid_of(rank));
+    if (w.empty()) continue;
+    if (std::find(window_lengths.begin(), window_lengths.end(), w.count()) ==
+        window_lengths.end()) {
+      window_lengths.push_back(w.count());
+    }
+  }
+  ASSERT_FALSE(window_lengths.empty());
+
+  for (i64 len : window_lengths) {
+    const LdsLayout local(f.tiled, f.mapping, len);
+    const CommSlotTable table(f.plan, tf, local);
+    EXPECT_EQ(table.chain_step(), local.chain_step());
+
+    // Pack tables: one per direction, in lattice order, at each t_loc.
+    const auto& dirs = f.plan.directions();
+    for (std::size_t d = 0; d < dirs.size(); ++d) {
+      const std::vector<i64>& slots = table.pack_slots(static_cast<int>(d));
+      ASSERT_EQ(static_cast<i64>(slots.size()),
+                f.plan.message_points(static_cast<int>(d)));
+      for (i64 t_loc = 0; t_loc < len; ++t_loc) {
+        std::size_t i = 0;
+        for_each_lattice_point(tf, dirs[d].pack, [&](const VecI& jp) {
+          ASSERT_EQ(slots[i] + t_loc * table.chain_step(),
+                    local.slot(jp, t_loc))
+              << "pack dir " << d << " point " << i << " t_loc " << t_loc
+              << " window " << len;
+          ++i;
+        });
+        ASSERT_EQ(i, slots.size());
+      }
+    }
+
+    // Unpack tables: one per messaging tile dependence, shift applied.
+    const auto& deps = f.plan.tile_deps();
+    for (std::size_t di = 0; di < deps.size(); ++di) {
+      const TileDep& dep = deps[di];
+      if (dep.dir < 0) {
+        EXPECT_TRUE(table.unpack_slots(di).empty());
+        continue;
+      }
+      const std::vector<i64>& slots = table.unpack_slots(di);
+      ASSERT_EQ(static_cast<i64>(slots.size()),
+                f.plan.message_points(dep.dir));
+      const TtisRegion region = f.plan.unpack_region(dep);
+      const VecI shift = f.plan.unpack_shift(dep);
+      // Unpacks happen at receiver chain positions where the sender's
+      // message lands; sweep every t_loc where the shifted coordinates
+      // stay in range (the same positions the legacy path visits).
+      for (i64 t_loc = 0; t_loc < len; ++t_loc) {
+        std::size_t i = 0;
+        for_each_lattice_point(tf, region, [&](const VecI& jp) {
+          VecI jpp = local.map(jp, t_loc);
+          bool in_range = true;
+          for (int k = 0; k < n; ++k) {
+            jpp[static_cast<std::size_t>(k)] -=
+                shift[static_cast<std::size_t>(k)];
+            if (jpp[static_cast<std::size_t>(k)] < 0 ||
+                jpp[static_cast<std::size_t>(k)] >= local.extent(k)) {
+              in_range = false;
+            }
+          }
+          if (in_range) {
+            ASSERT_EQ(slots[i] + t_loc * table.chain_step(),
+                      local.linear(jpp))
+                << "unpack dep " << di << " point " << i << " t_loc "
+                << t_loc << " window " << len;
+          }
+          ++i;
+        });
+        ASSERT_EQ(i, slots.size());
+      }
+    }
+  }
+}
+
+// Slot-table and lattice-enumeration executors must agree exactly.
+void expect_paths_identical(AppInstance app, MatQ h, int force_m = -1) {
+  TiledNest tiled(app.nest, TilingTransform(std::move(h)));
+  ParallelExecutor exec(tiled, *app.kernel, force_m);
+
+  ParallelRunStats fast_stats;
+  exec.set_use_slot_tables(true);
+  DataSpace fast = exec.run(&fast_stats);
+
+  ParallelRunStats ref_stats;
+  exec.set_use_slot_tables(false);
+  DataSpace ref = exec.run(&ref_stats);
+
+  EXPECT_EQ(fast_stats.messages, ref_stats.messages);
+  EXPECT_EQ(fast_stats.doubles, ref_stats.doubles);
+  EXPECT_EQ(fast_stats.points_computed, ref_stats.points_computed);
+  EXPECT_EQ(DataSpace::max_abs_diff(fast, ref, app.nest.space), 0.0);
+}
+
+TEST(CommSlots, SorRectTablesMatch) {
+  expect_tables_match_enumeration({make_sor(8, 12), sor_rect_h(4, 5, 6)});
+}
+
+TEST(CommSlots, SorNonRectTablesMatch) {
+  expect_tables_match_enumeration({make_sor(8, 12), sor_nonrect_h(4, 5, 6)});
+}
+
+TEST(CommSlots, SorNonRectForcedMTablesMatch) {
+  expect_tables_match_enumeration(
+      {make_sor(8, 12), sor_nonrect_h(4, 5, 6), 2});
+}
+
+TEST(CommSlots, JacobiRectTablesMatch) {
+  expect_tables_match_enumeration(
+      {make_jacobi(4, 6, 6), jacobi_rect_h(2, 3, 3)});
+}
+
+TEST(CommSlots, JacobiNonRectTablesMatch) {
+  // Non-unit stride c_2 = 2 exercises the congruence-lattice condensation
+  // inside the table builder.
+  expect_tables_match_enumeration(
+      {make_jacobi(4, 8, 6), jacobi_nonrect_h(2, 4, 3)});
+}
+
+TEST(CommSlots, AdiRectTablesMatch) {
+  expect_tables_match_enumeration({make_adi(4, 6), adi_rect_h(2, 2, 2)});
+}
+
+TEST(CommSlots, AdiNonRectTablesMatch) {
+  expect_tables_match_enumeration({make_adi(8, 8), adi_nr1_h(2, 2, 2)});
+  expect_tables_match_enumeration({make_adi(8, 8), adi_nr2_h(2, 2, 2)});
+  expect_tables_match_enumeration({make_adi(8, 8), adi_nr3_h(2, 2, 2)});
+}
+
+TEST(CommSlots, HeatTablesMatch) {
+  expect_tables_match_enumeration({make_heat(6, 12), heat_nonrect_h(2, 3)});
+}
+
+TEST(CommSlots, ExecutorPathsIdenticalSor) {
+  expect_paths_identical(make_sor(5, 7), sor_rect_h(2, 3, 4));
+  expect_paths_identical(make_sor(5, 7), sor_nonrect_h(2, 3, 4));
+  expect_paths_identical(make_sor(5, 7), sor_nonrect_h(2, 3, 4), 2);
+}
+
+TEST(CommSlots, ExecutorPathsIdenticalJacobi) {
+  expect_paths_identical(make_jacobi(4, 6, 6), jacobi_rect_h(2, 3, 3));
+  expect_paths_identical(make_jacobi(4, 8, 6), jacobi_nonrect_h(2, 4, 3));
+}
+
+TEST(CommSlots, ExecutorPathsIdenticalAdi) {
+  expect_paths_identical(make_adi(4, 6), adi_rect_h(2, 2, 2));
+  expect_paths_identical(make_adi(4, 6), adi_nr1_h(2, 2, 2), 0);
+  expect_paths_identical(make_adi(4, 6), adi_nr2_h(2, 2, 2), 0);
+  expect_paths_identical(make_adi(8, 8), adi_nr3_h(2, 2, 2));
+}
+
+TEST(CommSlots, PhaseTimersArePopulated) {
+  AppInstance app = make_sor(8, 12);
+  TiledNest tiled(app.nest, TilingTransform(sor_nonrect_h(4, 5, 6)));
+  ParallelExecutor exec(tiled, *app.kernel);
+  ParallelRunStats stats;
+  exec.run(&stats);
+  ASSERT_EQ(static_cast<int>(stats.phase_by_rank.size()),
+            exec.mapping().num_procs());
+  // Compute always runs; timers are non-negative and the totals are the
+  // per-rank sums.
+  EXPECT_GT(stats.phase_total.compute_s, 0.0);
+  double sum = 0.0;
+  for (const PhaseTimes& p : stats.phase_by_rank) {
+    EXPECT_GE(p.compute_s, 0.0);
+    EXPECT_GE(p.pack_s, 0.0);
+    EXPECT_GE(p.unpack_s, 0.0);
+    EXPECT_GE(p.recv_wait_s, 0.0);
+    sum += p.compute_s;
+  }
+  EXPECT_DOUBLE_EQ(stats.phase_total.compute_s, sum);
+}
+
+}  // namespace
+}  // namespace ctile

@@ -148,6 +148,19 @@ TEST(RandomE2E, ParallelEqualsSequentialAcrossRandomInstances) {
     EXPECT_EQ(diff, 0.0) << "instance " << executed << "\nH =\n"
                          << tiled.transform().H().to_string() << "\nD =\n"
                          << nest.deps.to_string();
+    // Property: the precomputed slot-table pack/unpack path is
+    // bit-exactly interchangeable with the lattice-enumeration path —
+    // same data space, same traffic — on every random tiling.
+    exec.set_use_slot_tables(false);
+    ParallelRunStats ref_stats;
+    DataSpace ref = exec.run(&ref_stats);
+    EXPECT_EQ(ref_stats.messages, stats.messages);
+    EXPECT_EQ(ref_stats.doubles, stats.doubles);
+    EXPECT_EQ(DataSpace::max_abs_diff(par, ref, nest.space), 0.0)
+        << "slot-table path diverged from lattice enumeration, instance "
+        << executed << "\nH =\n"
+        << tiled.transform().H().to_string() << "\nD =\n"
+        << nest.deps.to_string();
     ++executed;
   }
   EXPECT_GE(executed, 25) << "random generator starved (" << attempts
