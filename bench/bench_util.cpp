@@ -60,4 +60,97 @@ double improvement_pct(double a, double b) {
   return (b - a) / a * 100.0;
 }
 
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void JsonReport::begin_row() { rows_.emplace_back(); }
+
+void JsonReport::field(const std::string& key, const std::string& value) {
+  CTILE_ASSERT_MSG(!rows_.empty(), "JsonReport::field before begin_row");
+  rows_.back().emplace_back(key, "\"" + json_escape(value) + "\"");
+}
+
+void JsonReport::field(const std::string& key, const char* value) {
+  field(key, std::string(value));
+}
+
+void JsonReport::field(const std::string& key, double value) {
+  CTILE_ASSERT_MSG(!rows_.empty(), "JsonReport::field before begin_row");
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  rows_.back().emplace_back(key, buf);
+}
+
+void JsonReport::field(const std::string& key, i64 value) {
+  CTILE_ASSERT_MSG(!rows_.empty(), "JsonReport::field before begin_row");
+  rows_.back().emplace_back(key, std::to_string(value));
+}
+
+std::string JsonReport::to_string() const {
+  std::string out = "{\"name\": \"" + json_escape(name_) + "\", \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out += r == 0 ? "\n" : ",\n";
+    out += "  {";
+    for (std::size_t f = 0; f < rows_[r].size(); ++f) {
+      if (f > 0) out += ", ";
+      out += "\"" + json_escape(rows_[r][f].first) +
+             "\": " + rows_[r][f].second;
+    }
+    out += "}";
+  }
+  out += rows_.empty() ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+bool JsonReport::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "JsonReport: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string body = to_string();
+  const bool ok =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok) {
+    std::fprintf(stderr, "JsonReport: short write to %s\n", path.c_str());
+  }
+  return ok;
+}
+
+std::string json_path_from_args(int argc, char** argv,
+                                const std::string& fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 >= argc) throw Error("--json requires a path argument");
+      return argv[i + 1];
+    }
+  }
+  return fallback;
+}
+
 }  // namespace ctile::bench

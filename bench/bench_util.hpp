@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/kernels.hpp"
@@ -51,5 +52,38 @@ void print_row(const std::vector<std::string>& cells,
 
 /// Percentage improvement of b over a.
 double improvement_pct(double a, double b);
+
+/// Minimal machine-readable bench output: a named report holding rows of
+/// key/value fields, serialized as {"name": ..., "rows": [{...}, ...]}.
+/// No external JSON dependency; values are rendered eagerly so rows can
+/// be built incrementally while the bench runs.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  /// Start a new row; subsequent field() calls append to it.
+  void begin_row();
+  void field(const std::string& key, const std::string& value);
+  void field(const std::string& key, const char* value);
+  void field(const std::string& key, double value);
+  void field(const std::string& key, i64 value);
+
+  std::string to_string() const;
+
+  /// Serialize to `path`; returns false (after printing to stderr) on
+  /// I/O failure so benches can exit nonzero.
+  bool write(const std::string& path) const;
+
+ private:
+  std::string name_;
+  // Each row is a list of (key, pre-rendered JSON value) pairs.
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
+/// The value following a "--json" flag in argv, or `fallback` when the
+/// flag is absent.  A trailing "--json" with no value is an error
+/// (throws).  Benches use this so CI can redirect the report.
+std::string json_path_from_args(int argc, char** argv,
+                                const std::string& fallback);
 
 }  // namespace ctile::bench

@@ -41,6 +41,15 @@ i64 DataSpace::index(const VecI& j) const {
   return mul_ck(idx, arity_);
 }
 
+i64 DataSpace::offset_step(const VecI& dj) const {
+  CTILE_ASSERT(dj.size() == lo_.size());
+  i64 step = 0;
+  for (std::size_t k = 0; k < dj.size(); ++k) {
+    step = add_ck(mul_ck(step, ext_[k]), dj[k]);
+  }
+  return mul_ck(step, arity_);
+}
+
 double* DataSpace::at(const VecI& j) {
   return &data_[static_cast<std::size_t>(index(j))];
 }

@@ -28,6 +28,25 @@ class DataSpace {
 
   i64 points() const { return static_cast<i64>(data_.size()) / arity_; }
 
+  /// Linear double-offset of point j: at(j) == at_offset(offset(j)).
+  /// Exposed for strength-reduced sweeps, where the offset advances
+  /// affinely (see offset_step) instead of being recomputed per point.
+  i64 offset(const VecI& j) const { return index(j); }
+
+  /// Offset increment of moving by dj: offset(j + dj) - offset(j) for
+  /// every j (row-major layout; dj may be negative, no range check).
+  i64 offset_step(const VecI& dj) const;
+
+  /// Direct storage access by offset (must be in range).
+  double* at_offset(i64 off) {
+    CTILE_ASSERT(off >= 0 && off < static_cast<i64>(data_.size()));
+    return &data_[static_cast<std::size_t>(off)];
+  }
+  const double* at_offset(i64 off) const {
+    CTILE_ASSERT(off >= 0 && off < static_cast<i64>(data_.size()));
+    return &data_[static_cast<std::size_t>(off)];
+  }
+
   /// Max absolute difference over all points of `space` between two data
   /// spaces (for test comparisons).
   static double max_abs_diff(const DataSpace& a, const DataSpace& b,

@@ -100,6 +100,22 @@ i64 LdsLayout::linear(const VecI& jpp) const {
   return idx;
 }
 
+i64 LdsLayout::dep_delta(const VecI& jp, const VecI& dp) const {
+  CTILE_ASSERT(static_cast<int>(jp.size()) == n_ &&
+               static_cast<int>(dp.size()) == n_);
+  i64 delta = 0;
+  for (int k = 0; k < n_; ++k) {
+    const i64 ck = hnf_(k, k);
+    const i64 move =
+        sub_ck(floor_div(sub_ck(jp[static_cast<std::size_t>(k)],
+                                dp[static_cast<std::size_t>(k)]),
+                         ck),
+               floor_div(jp[static_cast<std::size_t>(k)], ck));
+    delta = add_ck(delta, mul_ck(move, strides_[static_cast<std::size_t>(k)]));
+  }
+  return delta;
+}
+
 i64 LdsLayout::linear_unchecked(const VecI& jpp) const {
   CTILE_ASSERT(static_cast<int>(jpp.size()) == n_);
   i64 idx = 0;

@@ -86,6 +86,23 @@ class LdsLayout {
   /// map followed by linear.
   i64 slot(const VecI& jp, i64 t) const { return linear(map(jp, t)); }
 
+  /// Row-addressing API (strength-reduced sweep): linear slot of a TTIS
+  /// row's first point.  Along the row j'_{n} advances by c_{n}, so the
+  /// condensed coordinate floor(j'_n / c_n) advances by exactly 1 and the
+  /// linear slot by stride(n-1) — successive row points are
+  /// row_base + i * stride(n-1) with no further map/linear calls.
+  i64 row_base(const VecI& jp, i64 t) const { return slot(jp, t); }
+
+  /// Constant linear-slot offset of transformed dependence dp for the
+  /// row containing jp:  slot(jp - dp, t) - slot(jp, t).  Row-invariant
+  /// because floor((j'_k - dp_k)/c_k) - floor(j'_k/c_k) depends only on
+  /// j'_k mod c_k, which is fixed along a row (see DESIGN.md §8);
+  /// t-invariant because c_m | v_m cancels the chain term.  Computed
+  /// unchecked (like linear_unchecked): the offset may address halo
+  /// slots, which are allocated, but never out of the array for reads
+  /// the sweep actually performs.
+  i64 dep_delta(const VecI& jp, const VecI& dp) const;
+
   /// Table 2: recover (j', t) from LDS coordinates of a computation slot.
   /// Asserts the slot lies in the computation region (not halo).
   std::pair<VecI, i64> map_inv(const VecI& jpp) const;

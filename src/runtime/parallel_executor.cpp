@@ -25,7 +25,8 @@ ParallelExecutor::ParallelExecutor(const TiledNest& tiled,
       census_(tiled),
       mapping_(tiled, force_m, &census_),
       lds_(tiled, mapping_),
-      plan_(tiled, mapping_, lds_) {
+      plan_(tiled, mapping_, lds_),
+      classifier_(tiled, &census_) {
   // One layout + slot-table bundle per distinct chain-window length:
   // processors with equally long chains share byte-identical tables, so
   // the setup cost is O(#distinct lengths), not O(#processors).
@@ -81,6 +82,17 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
 
   std::vector<double> dep_vals(static_cast<std::size_t>(q * arity));
   std::vector<double> out(static_cast<std::size_t>(arity));
+
+  // Invariants for the strength-reduced interior sweep: the full TTIS
+  // box, the constant J^n step along a row, the linear-slot step along a
+  // row, and the per-dependence TTIS columns.
+  const TtisRegion full_region = full_ttis_region(tf);
+  const VecI jstep = row_point_step(tf);
+  const i64 sstep = local.stride(n - 1);
+  std::vector<VecI> dpcols;
+  dpcols.reserve(static_cast<std::size_t>(q));
+  for (int l = 0; l < q; ++l) dpcols.push_back(dprime.col(l));
+  std::vector<i64> delta(static_cast<std::size_t>(q));
 
   for (i64 t = window.lo; t <= window.hi; ++t) {
     const VecI js = mapping_.tile_at(pid, t);
@@ -145,27 +157,63 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
 
     // ---- COMPUTE: sweep the TTIS (boundary tiles clipped by J^n).
     const auto compute_start = Clock::now();
-    tiled_->for_each_tile_point(js, [&](const VecI& jp, const VecI& j) {
-      for (int l = 0; l < q; ++l) {
-        double* dst = &dep_vals[static_cast<std::size_t>(l * arity)];
-        const VecI pred_j = vec_sub(j, deps.col(l));
-        if (space.contains(pred_j)) {
-          const VecI pred_jp = vec_sub(jp, dprime.col(l));
-          const i64 slot = local.slot(pred_jp, t_loc);
-          for (int v = 0; v < arity; ++v) {
-            dst[v] = la[static_cast<std::size_t>(slot * arity + v)];
-          }
-        } else {
-          kernel_->initial(pred_j, dst);
+    if (use_fast_sweep_ && classifier_.interior(js)) {
+      // Interior tile: every lattice point is a real iteration and every
+      // predecessor is in-space (already in the LDS), so the sweep is
+      // flat affine row arithmetic — per-row bases and dependence slot
+      // deltas, then la[s + delta_l], s += sstep per point; no
+      // contains() tests, no initial-value branches, no per-point
+      // map/linear (paper Fig. 2's flat stride-c_k loops).
+      for (TtisRowWalker row(tf, full_region); row.valid(); row.next()) {
+        const VecI& jp0 = row.row_start();
+        i64 s = local.row_base(jp0, t_loc);
+        for (int l = 0; l < q; ++l) {
+          delta[static_cast<std::size_t>(l)] =
+              local.dep_delta(jp0, dpcols[static_cast<std::size_t>(l)]);
         }
+        VecI j = tf.point_of(js, jp0);
+        const i64 cnt = row.row_points();
+        for (i64 i = 0; i < cnt; ++i) {
+          for (int l = 0; l < q; ++l) {
+            const double* src = &la[static_cast<std::size_t>(
+                (s + delta[static_cast<std::size_t>(l)]) * arity)];
+            double* dst = &dep_vals[static_cast<std::size_t>(l * arity)];
+            for (int v = 0; v < arity; ++v) dst[v] = src[v];
+          }
+          kernel_->compute(j, dep_vals.data(), out.data());
+          double* dst = &la[static_cast<std::size_t>(s * arity)];
+          for (int v = 0; v < arity; ++v) dst[v] = out[v];
+          s += sstep;
+          for (int k = 0; k < n; ++k) {
+            j[static_cast<std::size_t>(k)] +=
+                jstep[static_cast<std::size_t>(k)];
+          }
+        }
+        *points += cnt;
       }
-      kernel_->compute(j, dep_vals.data(), out.data());
-      const i64 slot = local.slot(jp, t_loc);
-      for (int v = 0; v < arity; ++v) {
-        la[static_cast<std::size_t>(slot * arity + v)] = out[v];
-      }
-      ++*points;
-    });
+    } else {
+      tiled_->for_each_tile_point(js, [&](const VecI& jp, const VecI& j) {
+        for (int l = 0; l < q; ++l) {
+          double* dst = &dep_vals[static_cast<std::size_t>(l * arity)];
+          const VecI pred_j = vec_sub(j, deps.col(l));
+          if (space.contains(pred_j)) {
+            const VecI pred_jp = vec_sub(jp, dprime.col(l));
+            const i64 slot = local.slot(pred_jp, t_loc);
+            for (int v = 0; v < arity; ++v) {
+              dst[v] = la[static_cast<std::size_t>(slot * arity + v)];
+            }
+          } else {
+            kernel_->initial(pred_j, dst);
+          }
+        }
+        kernel_->compute(j, dep_vals.data(), out.data());
+        const i64 slot = local.slot(jp, t_loc);
+        for (int v = 0; v < arity; ++v) {
+          la[static_cast<std::size_t>(slot * arity + v)] = out[v];
+        }
+        ++*points;
+      });
+    }
     phase->compute_s += seconds_since(compute_start);
 
     // ---- SEND (\S3.2): one aggregated message per successor processor
@@ -237,27 +285,46 @@ DataSpace ParallelExecutor::run(ParallelRunStats* stats) const {
 
   // ---- Write-back (Figure 4): every computation slot travels
   // LDS --map^{-1}--> (j', t) --loc^{-1}--> j in J^n --f_w--> DS,
-  // with each rank's own (cached) chain-window layout.
+  // with each rank's own (cached) chain-window layout.  Instead of
+  // scanning every LDS slot and inverting map per compute slot, walk
+  // the computation rows forward: the row walker enumerates exactly
+  // the tile's lattice points, the slot advances affinely along a row
+  // (see DESIGN.md \S8), and j advances by the constant row step — so
+  // halo slots are never touched and no delinearize/map_inv runs.
   DataSpace ds(tiled_->nest().space, arity);
   const Polyhedron& space = tiled_->nest().space;
+  const TilingTransform& tf = tiled_->transform();
+  const TtisRegion full_region = full_ttis_region(tf);
+  const VecI jstep = row_point_step(tf);
+  const int n = tiled_->nest().depth;
   for (int rank = 0; rank < nprocs; ++rank) {
     const VecI pid = mapping_.pid_of(rank);
     const IntRange window = mapping_.chain_window(pid);
     if (window.empty()) continue;
     const LdsLayout& local = local_for(window.count()).layout;
+    const i64 sstep = local.stride(n - 1);
     const auto& la = arrays[static_cast<std::size_t>(rank)];
-    for (i64 slot = 0; slot < local.size(); ++slot) {
-      const VecI jpp = local.delinearize(slot);
-      if (!local.is_compute_slot(jpp)) continue;
-      auto [jp, t_loc] = local.map_inv(jpp);
-      const i64 t = window.lo + t_loc;
+    for (i64 t = window.lo; t <= window.hi; ++t) {
       const VecI js = mapping_.tile_at(pid, t);
       if (!mapping_.valid(js)) continue;
-      const VecI j = tiled_->transform().point_of(js, jp);
-      if (!space.contains(j)) continue;
-      double* dst = ds.at(j);
-      for (int v = 0; v < arity; ++v) {
-        dst[v] = la[static_cast<std::size_t>(slot * arity + v)];
+      // Interior tiles lie wholly inside J^n: skip the contains() test.
+      const bool interior = classifier_.interior(js);
+      for (TtisRowWalker row(tf, full_region); row.valid(); row.next()) {
+        i64 s = local.row_base(row.row_start(), t - window.lo);
+        VecI j = tf.point_of(js, row.row_start());
+        const i64 cnt = row.row_points();
+        for (i64 i = 0; i < cnt; ++i) {
+          if (interior || space.contains(j)) {
+            double* dst = ds.at(j);
+            const double* src = &la[static_cast<std::size_t>(s * arity)];
+            for (int v = 0; v < arity; ++v) dst[v] = src[v];
+          }
+          s += sstep;
+          for (int k = 0; k < n; ++k) {
+            j[static_cast<std::size_t>(k)] +=
+                jstep[static_cast<std::size_t>(k)];
+          }
+        }
       }
     }
   }

@@ -35,6 +35,7 @@
 #include "mpisim/mpisim.hpp"
 #include "runtime/comm_plan.hpp"
 #include "tiling/census.hpp"
+#include "tiling/interior.hpp"
 #include "runtime/data_space.hpp"
 #include "runtime/kernel.hpp"
 
@@ -68,12 +69,21 @@ class ParallelExecutor {
   const Mapping& mapping() const { return mapping_; }
   const LdsLayout& lds() const { return lds_; }
   const CommPlan& plan() const { return plan_; }
+  const TileClassifier& classifier() const { return classifier_; }
 
   /// Toggle the precomputed slot-table pack/unpack path (default on).
   /// The lattice-enumeration path is retained as the reference
   /// implementation; both must produce bitwise-identical data spaces.
   void set_use_slot_tables(bool on) { use_slot_tables_ = on; }
   bool use_slot_tables() const { return use_slot_tables_; }
+
+  /// Toggle the strength-reduced compute sweep (default on): interior
+  /// tiles are swept with flat affine row arithmetic (TtisRowWalker +
+  /// LdsLayout row addressing), boundary tiles keep the general clipped
+  /// path.  The legacy per-point path is retained as the reference
+  /// implementation; both must produce bitwise-identical data spaces.
+  void set_use_fast_sweep(bool on) { use_fast_sweep_ = on; }
+  bool use_fast_sweep() const { return use_fast_sweep_; }
 
   /// Run all ranks (threads), gather every processor's computation slots
   /// through loc^{-1} into a fresh DataSpace, and return it with stats.
@@ -101,8 +111,10 @@ class ParallelExecutor {
   Mapping mapping_;
   LdsLayout lds_;
   CommPlan plan_;
+  TileClassifier classifier_;
   std::map<i64, std::unique_ptr<RankLocal>> locals_;  // by window length
   bool use_slot_tables_ = true;
+  bool use_fast_sweep_ = true;
 
   /// The cached layout + slot tables for a (non-empty) window length.
   const RankLocal& local_for(i64 chain_len) const;

@@ -1,38 +1,88 @@
 #include "runtime/sequential_tiled.hpp"
 
 #include "linalg/int_matops.hpp"
+#include "tiling/ttis.hpp"
 
 namespace ctile {
 
-DataSpace run_sequential_tiled(const TiledNest& tiled, const Kernel& kernel) {
-  const LoopNest& nest = tiled.nest();
+SequentialTiledExecutor::SequentialTiledExecutor(const TiledNest& tiled,
+                                                const Kernel& kernel)
+    : tiled_(&tiled), kernel_(&kernel), classifier_(tiled) {}
+
+DataSpace SequentialTiledExecutor::run() const {
+  const LoopNest& nest = tiled_->nest();
+  const TilingTransform& tf = tiled_->transform();
   const MatI& deps = nest.deps;
   const int q = deps.cols();
-  const int arity = kernel.arity();
+  const int arity = kernel_->arity();
+  const int n = nest.depth;
   DataSpace ds(nest.space, arity);
   std::vector<double> dep_vals(static_cast<std::size_t>(q * arity));
   std::vector<double> out(static_cast<std::size_t>(arity));
+
+  // Row-sweep invariants: the constant J^n step along a TTIS row, its
+  // data-space offset, and each dependence's (point-independent) offset
+  // — the predecessor of the point at offset s sits at s - dep_off[l].
+  const VecI origin(static_cast<std::size_t>(n), 0);
+  const VecI jstep = row_point_step(tf);
+  const i64 row_off = ds.offset_step(jstep);
+  std::vector<i64> dep_off(static_cast<std::size_t>(q));
+  for (int l = 0; l < q; ++l) dep_off[static_cast<std::size_t>(l)] =
+      ds.offset_step(deps.col(l));
+
   // Tiles in lexicographic tile-space order (legal: tile dependencies are
   // componentwise non-negative under a legal tiling), points in TTIS
   // order within each tile.
-  tiled.tile_space().scan([&](const VecI& js) {
-    tiled.for_each_tile_point(js, [&](const VecI&, const VecI& j) {
-      for (int l = 0; l < q; ++l) {
-        double* dst = &dep_vals[static_cast<std::size_t>(l * arity)];
-        const VecI pred = vec_sub(j, deps.col(l));
-        if (nest.space.contains(pred)) {
-          const double* src = ds.at(pred);
-          for (int v = 0; v < arity; ++v) dst[v] = src[v];
-        } else {
-          kernel.initial(pred, dst);
+  tiled_->tile_space().scan([&](const VecI& js) {
+    if (use_fast_sweep_ && classifier_.interior(js)) {
+      // Interior tile: every lattice point is a real iteration and every
+      // predecessor is in-space — already computed, by legality of the
+      // tile order — so the sweep is flat offset arithmetic over the DS.
+      for (TtisRowWalker row(tf, tiled_->tile_region(js)); row.valid();
+           row.next()) {
+        VecI j = tf.point_of(origin, row.row_start());
+        i64 s = ds.offset(j);
+        const i64 cnt = row.row_points();
+        for (i64 i = 0; i < cnt; ++i) {
+          for (int l = 0; l < q; ++l) {
+            const double* src =
+                ds.at_offset(s - dep_off[static_cast<std::size_t>(l)]);
+            double* dst = &dep_vals[static_cast<std::size_t>(l * arity)];
+            for (int v = 0; v < arity; ++v) dst[v] = src[v];
+          }
+          kernel_->compute(j, dep_vals.data(), out.data());
+          double* dst = ds.at_offset(s);
+          for (int v = 0; v < arity; ++v) dst[v] = out[v];
+          s += row_off;
+          for (int k = 0; k < n; ++k) {
+            j[static_cast<std::size_t>(k)] +=
+                jstep[static_cast<std::size_t>(k)];
+          }
         }
       }
-      kernel.compute(j, dep_vals.data(), out.data());
-      double* dst = ds.at(j);
-      for (int v = 0; v < arity; ++v) dst[v] = out[v];
-    });
+    } else {
+      tiled_->for_each_tile_point(js, [&](const VecI&, const VecI& j) {
+        for (int l = 0; l < q; ++l) {
+          double* dst = &dep_vals[static_cast<std::size_t>(l * arity)];
+          const VecI pred = vec_sub(j, deps.col(l));
+          if (nest.space.contains(pred)) {
+            const double* src = ds.at(pred);
+            for (int v = 0; v < arity; ++v) dst[v] = src[v];
+          } else {
+            kernel_->initial(pred, dst);
+          }
+        }
+        kernel_->compute(j, dep_vals.data(), out.data());
+        double* dst = ds.at(j);
+        for (int v = 0; v < arity; ++v) dst[v] = out[v];
+      });
+    }
   });
   return ds;
+}
+
+DataSpace run_sequential_tiled(const TiledNest& tiled, const Kernel& kernel) {
+  return SequentialTiledExecutor(tiled, kernel).run();
 }
 
 }  // namespace ctile

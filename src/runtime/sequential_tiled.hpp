@@ -6,12 +6,42 @@
 // computation, only its order, so this executor's output must equal the
 // plain lexicographic executor's bit-for-bit for every legal tiling.
 // (It is also the semantic reference for the generated sequential code.)
+//
+// Like the parallel executor, it classifies tiles (tiling/interior.hpp):
+// interior tiles are swept with flat affine row arithmetic directly over
+// data-space offsets — no contains() tests, no initial-value branches,
+// no per-point indexing — while boundary tiles keep the general clipped
+// path.  The legacy path stays behind set_use_fast_sweep(false).
 #pragma once
 
 #include "runtime/data_space.hpp"
+#include "tiling/interior.hpp"
 #include "tiling/tile_space.hpp"
 
 namespace ctile {
+
+class SequentialTiledExecutor {
+ public:
+  /// Classifies every tile of `tiled` (no census: the sequential path
+  /// must also serve non-integral P, where corner probes alone decide).
+  SequentialTiledExecutor(const TiledNest& tiled, const Kernel& kernel);
+
+  const TileClassifier& classifier() const { return classifier_; }
+
+  /// Toggle the strength-reduced interior sweep (default on).  Both
+  /// paths must produce bitwise-identical data spaces.
+  void set_use_fast_sweep(bool on) { use_fast_sweep_ = on; }
+  bool use_fast_sweep() const { return use_fast_sweep_; }
+
+  /// Execute in sequential tiled order; returns the data space.
+  DataSpace run() const;
+
+ private:
+  const TiledNest* tiled_;
+  const Kernel* kernel_;
+  TileClassifier classifier_;
+  bool use_fast_sweep_ = true;
+};
 
 /// Execute `tiled` in sequential tiled order; returns the data space.
 DataSpace run_sequential_tiled(const TiledNest& tiled, const Kernel& kernel);

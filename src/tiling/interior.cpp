@@ -1,0 +1,87 @@
+#include "tiling/interior.hpp"
+
+#include "linalg/rat_matops.hpp"
+
+namespace ctile {
+
+TileClassifier::TileClassifier(const TiledNest& tiled,
+                               const TileCensus* census) {
+  const TilingTransform& tf = tiled.transform();
+  const Polyhedron& space = tiled.nest().space;
+  const MatI& deps = tiled.nest().deps;
+  const int n = tf.n();
+  const int q = deps.cols();
+
+  // Probe offsets relative to P j^S: the parallelepiped corners P' x_c
+  // (fullness, only needed without an exact census) and every corner
+  // shifted by -d_l (predecessors in-space).
+  const bool census_full =
+      census != nullptr && tf.p_integral() && tf.strides_compatible();
+  const i64 full_count = census_full ? tf.tile_size() : -1;
+  std::vector<VecQ> probes;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    VecI xc(static_cast<std::size_t>(n), 0);
+    for (int k = 0; k < n; ++k) {
+      if ((mask >> k) & 1) xc[static_cast<std::size_t>(k)] = tf.v(k) - 1;
+    }
+    const VecQ corner = mul(tf.Pp(), xc);
+    if (!census_full) probes.push_back(corner);
+    for (int l = 0; l < q; ++l) {
+      VecQ shifted = corner;
+      for (int k = 0; k < n; ++k) {
+        shifted[static_cast<std::size_t>(k)] =
+            shifted[static_cast<std::size_t>(k)] - Rat(deps(k, l));
+      }
+      probes.push_back(std::move(shifted));
+    }
+  }
+
+  const std::vector<IntRange> box = tiled.tile_space_box();
+  i64 cells = 1;
+  for (const IntRange& r : box) {
+    CTILE_ASSERT(!r.empty());
+    lo_.push_back(r.lo);
+    ext_.push_back(r.count());
+    cells = mul_ck(cells, r.count());
+  }
+  flags_.assign(static_cast<std::size_t>(cells), 0);
+
+  VecI js = lo_;
+  for (std::size_t cell = 0; cell < flags_.size(); ++cell) {
+    bool ok = !census_full || census->count(js) == full_count;
+    if (ok) {
+      const VecQ base = mul(tf.P(), js);
+      for (const VecQ& probe : probes) {
+        if (!space.contains_rational(vec_add(base, probe))) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      flags_[cell] = 1;
+      ++num_interior_;
+    }
+    // Odometer increment over the box.
+    for (int k = n; k-- > 0;) {
+      if (++js[static_cast<std::size_t>(k)] <
+          lo_[static_cast<std::size_t>(k)] + ext_[static_cast<std::size_t>(k)]) {
+        break;
+      }
+      js[static_cast<std::size_t>(k)] = lo_[static_cast<std::size_t>(k)];
+    }
+  }
+}
+
+bool TileClassifier::interior(const VecI& js) const {
+  CTILE_ASSERT(js.size() == lo_.size());
+  i64 idx = 0;
+  for (std::size_t k = 0; k < lo_.size(); ++k) {
+    const i64 rel = js[k] - lo_[k];
+    if (rel < 0 || rel >= ext_[k]) return false;
+    idx = idx * ext_[k] + rel;
+  }
+  return flags_[static_cast<std::size_t>(idx)] != 0;
+}
+
+}  // namespace ctile

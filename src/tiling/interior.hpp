@@ -1,0 +1,49 @@
+// Interior/boundary tile classification for the strength-reduced sweep.
+//
+// A tile j^S is *interior* when (a) every TTIS lattice point of the tile
+// is a real iteration point (the clipped walk equals the unclipped one)
+// and (b) every dependence predecessor of every tile point lies inside
+// J^n.  Such a tile can be swept with zero polyhedron contains() tests
+// and zero initial-value branches — the executors' fast path.
+//
+// The test is geometric: the tile's points all lie in the closed
+// parallelepiped with corners  P j^S + P' x_c,  x_c in prod{0, v_k - 1},
+// so by convexity of J^n it suffices that every corner — and every
+// corner shifted by -d_l for each dependence column d_l — satisfies the
+// iteration-space inequalities rationally.  With a TileCensus, condition
+// (a) is decided exactly (count == tile size) and the corner test is
+// only needed for the dependence shifts.
+//
+// The classification is *sufficient, not necessary*: a conservative
+// answer only sends a genuinely-interior tile down the (always correct)
+// general boundary path.  Every tile in the tile-space bounding box is
+// classified once at construction; lookups are a flat array read, safe
+// to share across executor ranks.
+#pragma once
+
+#include "tiling/census.hpp"
+
+namespace ctile {
+
+class TileClassifier {
+ public:
+  /// Classifies every tile of the tile-space bounding box.  `census` is
+  /// optional (may be null); when present it both sharpens the fullness
+  /// test and short-circuits obviously-boundary tiles.
+  explicit TileClassifier(const TiledNest& tiled,
+                          const TileCensus* census = nullptr);
+
+  /// True iff js was classified interior (false outside the box).
+  bool interior(const VecI& js) const;
+
+  /// Number of interior tiles in the box.
+  i64 num_interior() const { return num_interior_; }
+
+ private:
+  VecI lo_;
+  VecI ext_;
+  std::vector<unsigned char> flags_;
+  i64 num_interior_ = 0;
+};
+
+}  // namespace ctile

@@ -189,9 +189,29 @@ bool TiledNest::tile_nonempty(const VecI& js) const {
 }
 
 i64 TiledNest::tile_point_count(const VecI& js) const {
+  // Row walk with strength-reduced point recovery: one P' matvec per
+  // row, then j advances by the constant P'(c_n e_n) — no std::function
+  // dispatch or per-point matrix product.
+  const int n = tf_.n();
+  const VecI origin(static_cast<std::size_t>(n), 0);
+  const VecI jstep = row_point_step(tf_);
   i64 count = 0;
-  for_each_tile_point(js, [&](const VecI&, const VecI&) { ++count; });
+  for (TtisRowWalker row(tf_, shifted_region(tf_, js)); row.valid();
+       row.next()) {
+    VecI j = tf_.point_of(origin, row.row_start());
+    const i64 cnt = row.row_points();
+    for (i64 i = 0; i < cnt; ++i) {
+      if (nest_.space.contains(j)) ++count;
+      for (int k = 0; k < n; ++k) {
+        j[static_cast<std::size_t>(k)] += jstep[static_cast<std::size_t>(k)];
+      }
+    }
+  }
   return count;
+}
+
+TtisRegion TiledNest::tile_region(const VecI& js) const {
+  return shifted_region(tf_, js);
 }
 
 std::vector<IntRange> TiledNest::tile_space_box() const {

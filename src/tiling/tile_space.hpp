@@ -43,8 +43,15 @@ class TiledNest {
   /// until the first point.
   bool tile_nonempty(const VecI& js) const;
 
-  /// Number of iteration points in tile js (exact, clipped).
+  /// Number of iteration points in tile js (exact, clipped).  Row-walk
+  /// based: no per-point callback or matrix-vector product.
   i64 tile_point_count(const VecI& js) const;
+
+  /// The TTIS box of tile js on the *unshifted* lattice H' Z^n: the full
+  /// region translated by +V js.  Lattice points x inside it are exactly
+  /// the tile's points (j = P' x integral, TTIS coordinates x - V js);
+  /// this is the region the executors' row walkers sweep.
+  TtisRegion tile_region(const VecI& js) const;
 
   /// Invoke fn for each iteration point j of tile js, in TTIS traversal
   /// order; yields both TTIS coordinates and the original point.

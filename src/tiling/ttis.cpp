@@ -59,8 +59,83 @@ void for_each_lattice_point(const TilingTransform& t, const TtisRegion& region,
 
 i64 count_lattice_points(const TilingTransform& t, const TtisRegion& region) {
   i64 n = 0;
-  for_each_lattice_point(t, region, [&](const VecI&) { ++n; });
+  for (TtisRowWalker row(t, region); row.valid(); row.next()) {
+    n = add_ck(n, row.row_points());
+  }
   return n;
+}
+
+TtisRowWalker::TtisRowWalker(const TilingTransform& t, TtisRegion region)
+    : hnf_(&t.Hnf()),
+      n_(t.n()),
+      region_(std::move(region)),
+      jp_(static_cast<std::size_t>(t.n()), 0),
+      y_(static_cast<std::size_t>(t.n()), 0),
+      cn_(t.stride(t.n() - 1)) {
+  CTILE_ASSERT(static_cast<int>(region_.lo.size()) == n_ &&
+               static_cast<int>(region_.hi.size()) == n_);
+  const int fail = descend(0);
+  if (fail == n_) {
+    valid_ = true;
+  } else {
+    advance(fail - 1);
+  }
+}
+
+void TtisRowWalker::next() {
+  CTILE_ASSERT(valid_);
+  advance(n_ - 2);
+}
+
+int TtisRowWalker::descend(int k) {
+  for (int d = k; d < n_; ++d) {
+    const i64 cd = (*hnf_)(d, d);
+    // Congruence base from the outer lattice coordinates.
+    i128 base128 = 0;
+    for (int l = 0; l < d; ++l) {
+      base128 += static_cast<i128>((*hnf_)(d, l)) * y_[static_cast<std::size_t>(l)];
+    }
+    const i64 base = narrow_i64(base128);
+    const i64 lo = region_.lo[static_cast<std::size_t>(d)];
+    const i64 start = add_ck(lo, mod_floor(sub_ck(base, lo), cd));
+    if (start > region_.hi[static_cast<std::size_t>(d)]) return d;
+    jp_[static_cast<std::size_t>(d)] = start;
+    y_[static_cast<std::size_t>(d)] = (start - base) / cd;  // exact by congruence
+  }
+  count_ =
+      (region_.hi[static_cast<std::size_t>(n_ - 1)] -
+       jp_[static_cast<std::size_t>(n_ - 1)]) / cn_ + 1;
+  return n_;
+}
+
+void TtisRowWalker::advance(int d) {
+  // Mirrors the recursive walk: a dimension with no admissible value for
+  // the current outer prefix (descend fails at `fail`) just makes its
+  // parent advance, exactly like an empty inner loop.
+  while (d >= 0) {
+    const i64 cd = (*hnf_)(d, d);
+    jp_[static_cast<std::size_t>(d)] += cd;
+    if (jp_[static_cast<std::size_t>(d)] > region_.hi[static_cast<std::size_t>(d)]) {
+      --d;
+      continue;
+    }
+    ++y_[static_cast<std::size_t>(d)];
+    const int fail = descend(d + 1);
+    if (fail == n_) {
+      valid_ = true;
+      return;
+    }
+    d = fail - 1;
+  }
+  valid_ = false;
+}
+
+VecI row_point_step(const TilingTransform& t) {
+  const int n = t.n();
+  const VecI origin(static_cast<std::size_t>(n), 0);
+  VecI ce(static_cast<std::size_t>(n), 0);
+  ce[static_cast<std::size_t>(n - 1)] = t.stride(n - 1);
+  return t.point_of(origin, ce);
 }
 
 std::vector<VecI> tis_points(const TilingTransform& t) {

@@ -1,0 +1,114 @@
+// Soundness of the interior/boundary tile classifier: a tile marked
+// interior must (brute-force checked) contain only real iteration points
+// and only in-space predecessors — the two facts the executors' fast
+// sweep relies on to drop contains() tests and initial-value branches.
+#include "tiling/interior.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/kernels.hpp"
+#include "linalg/int_matops.hpp"
+#include "tiling/ttis.hpp"
+
+namespace ctile {
+namespace {
+
+// Brute-force ground truth: every TTIS lattice point of the tile lies in
+// J^n, and so does every dependence predecessor of every tile point.
+bool brute_interior(const TiledNest& tiled, const VecI& js) {
+  const Polyhedron& space = tiled.nest().space;
+  const MatI& deps = tiled.nest().deps;
+  const i64 lattice_points =
+      count_lattice_points(tiled.transform(), tiled.tile_region(js));
+  i64 in_space = 0;
+  bool preds_ok = true;
+  tiled.for_each_tile_point(js, [&](const VecI&, const VecI& j) {
+    ++in_space;
+    for (int l = 0; l < deps.cols(); ++l) {
+      if (!space.contains(vec_sub(j, deps.col(l)))) preds_ok = false;
+    }
+  });
+  return preds_ok && in_space == lattice_points;
+}
+
+// Classifier soundness over every tile of the bounding box; returns the
+// number of interior tiles so callers can also assert usefulness.
+i64 check_sound(const TiledNest& tiled, const TileClassifier& classifier) {
+  const std::vector<IntRange> box = tiled.tile_space_box();
+  i64 interior = 0;
+  VecI js(box.size());
+  std::function<void(std::size_t)> rec = [&](std::size_t d) {
+    if (d == box.size()) {
+      if (classifier.interior(js)) {
+        ++interior;
+        EXPECT_TRUE(brute_interior(tiled, js))
+            << "tile (" << js[0] << ",...) wrongly classified interior";
+      }
+      return;
+    }
+    for (i64 v = box[d].lo; v <= box[d].hi; ++v) {
+      js[d] = v;
+      rec(d + 1);
+    }
+  };
+  rec(0);
+  EXPECT_EQ(interior, classifier.num_interior());
+  return interior;
+}
+
+TEST(TileClassifier, SoundOnSorRect) {
+  AppInstance app = make_sor(12, 24);
+  TiledNest tiled(app.nest, TilingTransform(sor_rect_h(4, 9, 6)));
+  TileCensus census(tiled);
+  EXPECT_GT(check_sound(tiled, TileClassifier(tiled, &census)), 0);
+}
+
+TEST(TileClassifier, SoundOnSorNonRect) {
+  AppInstance app = make_sor(8, 12);
+  TiledNest tiled(app.nest, TilingTransform(sor_nonrect_h(4, 6, 4)));
+  TileCensus census(tiled);
+  check_sound(tiled, TileClassifier(tiled, &census));
+}
+
+TEST(TileClassifier, SoundOnJacobiNonRect) {
+  AppInstance app = make_jacobi(8, 16, 12);
+  TiledNest tiled(app.nest, TilingTransform(jacobi_nonrect_h(2, 4, 3)));
+  TileCensus census(tiled);
+  EXPECT_GT(check_sound(tiled, TileClassifier(tiled, &census)), 0);
+}
+
+TEST(TileClassifier, SoundOnAdi) {
+  AppInstance app = make_adi(8, 8);
+  TiledNest tiled(app.nest, TilingTransform(adi_nr1_h(2, 4, 4)));
+  TileCensus census(tiled);
+  EXPECT_GT(check_sound(tiled, TileClassifier(tiled, &census)), 0);
+}
+
+TEST(TileClassifier, SoundWithoutCensus) {
+  // No census: fullness must come from the corner probes alone.
+  AppInstance app = make_sor(12, 24);
+  TiledNest tiled(app.nest, TilingTransform(sor_rect_h(4, 9, 6)));
+  EXPECT_GT(check_sound(tiled, TileClassifier(tiled)), 0);
+}
+
+TEST(TileClassifier, SoundOnNonIntegralP) {
+  // Heat's non-rectangular tiling has non-integral P = H^-1: tiles are
+  // not translates of each other, so the classifier leans entirely on
+  // the rational corner probes (sequential executor's configuration).
+  AppInstance app = make_heat(10, 14);
+  TiledNest tiled(app.nest, TilingTransform(heat_nonrect_h(4, 3)));
+  check_sound(tiled, TileClassifier(tiled));
+}
+
+TEST(TileClassifier, OutsideBoxIsBoundary) {
+  AppInstance app = make_sor(8, 12);
+  TiledNest tiled(app.nest, TilingTransform(sor_rect_h(4, 6, 4)));
+  TileClassifier classifier(tiled);
+  const std::vector<IntRange> box = tiled.tile_space_box();
+  VecI far(box.size());
+  for (std::size_t k = 0; k < box.size(); ++k) far[k] = box[k].hi + 5;
+  EXPECT_FALSE(classifier.interior(far));
+}
+
+}  // namespace
+}  // namespace ctile

@@ -166,6 +166,116 @@ TEST(Ttis, TtisPointsBijectiveWithTis) {
   EXPECT_EQ(mapped, std::set<VecI>(tis.begin(), tis.end()));
 }
 
+// The full point sequence a TtisRowWalker describes: each row expanded
+// as row_start + i * inner_stride * e_{n-1}.
+std::vector<VecI> walker_sequence(const TilingTransform& t,
+                                  const TtisRegion& region) {
+  std::vector<VecI> out;
+  for (TtisRowWalker row(t, region); row.valid(); row.next()) {
+    VecI jp = row.row_start();
+    for (i64 i = 0; i < row.row_points(); ++i) {
+      out.push_back(jp);
+      jp[jp.size() - 1] += row.inner_stride();
+    }
+  }
+  return out;
+}
+
+std::vector<VecI> point_sequence(const TilingTransform& t,
+                                 const TtisRegion& region) {
+  std::vector<VecI> out;
+  for_each_lattice_point(t, region,
+                         [&](const VecI& jp) { out.push_back(jp); });
+  return out;
+}
+
+TEST(TtisRowWalker, MatchesPointWalkJacobi) {
+  TilingTransform t(jacobi_hnr(2, 4, 3));
+  const TtisRegion full = full_ttis_region(t);
+  EXPECT_EQ(walker_sequence(t, full), point_sequence(t, full));
+  TtisRowWalker row(t, full);
+  EXPECT_EQ(row.inner_stride(), t.stride(t.n() - 1));
+}
+
+TEST(TtisRowWalker, MatchesPointWalkSubAndEmptyRegions) {
+  TilingTransform t(jacobi_hnr(2, 4, 3));
+  TtisRegion sub = full_ttis_region(t);
+  sub.lo = {2, 1, 1};
+  sub.hi = {3, 3, 2};
+  EXPECT_EQ(walker_sequence(t, sub), point_sequence(t, sub));
+
+  TtisRegion empty = full_ttis_region(t);
+  empty.lo[0] = empty.hi[0] + 1;
+  TtisRowWalker row(t, empty);
+  EXPECT_FALSE(row.valid());
+  EXPECT_TRUE(walker_sequence(t, empty).empty());
+}
+
+TEST(TtisRowWalker, MatchesPointWalkRandom) {
+  Rng rng(1717);
+  int tested = 0;
+  while (tested < 16) {
+    int n = rng.uniform(2, 3);
+    MatI p(n, n);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) p(r, c) = rng.uniform(-3, 3);
+    }
+    i64 d = det(p);
+    if (d == 0 || abs_ck(d) > 48) continue;
+    TilingTransform t(inverse(to_rat(p)));
+    if (t.tile_size() > 300) continue;
+    ++tested;
+    const TtisRegion full = full_ttis_region(t);
+    EXPECT_EQ(walker_sequence(t, full), point_sequence(t, full))
+        << "P =\n" << p.to_string();
+    // A random sub-box too (possibly empty).
+    TtisRegion sub = full;
+    for (int k = 0; k < n; ++k) {
+      const i64 a = rng.uniform(sub.lo[static_cast<std::size_t>(k)],
+                                sub.hi[static_cast<std::size_t>(k)]);
+      const i64 b = rng.uniform(sub.lo[static_cast<std::size_t>(k)],
+                                sub.hi[static_cast<std::size_t>(k)]);
+      sub.lo[static_cast<std::size_t>(k)] = std::min(a, b);
+      sub.hi[static_cast<std::size_t>(k)] = std::max(a, b);
+    }
+    EXPECT_EQ(walker_sequence(t, sub), point_sequence(t, sub))
+        << "P =\n" << p.to_string();
+  }
+}
+
+TEST(TtisRowWalker, CountMatchesRowSum) {
+  TilingTransform t(jacobi_hnr(2, 4, 3));
+  const TtisRegion full = full_ttis_region(t);
+  i64 sum = 0;
+  for (TtisRowWalker row(t, full); row.valid(); row.next()) {
+    sum += row.row_points();
+  }
+  EXPECT_EQ(sum, count_lattice_points(t, full));
+  EXPECT_EQ(sum, t.tile_size());
+}
+
+TEST(TtisRowWalker, RowPointStepIsConstantJStep) {
+  // Along a row, the J^n point advances by the constant lattice vector
+  // P'(c_{n-1} e_{n-1}).
+  TilingTransform t(jacobi_hnr(2, 4, 3));
+  const VecI origin{0, 0, 0};
+  const VecI jstep = row_point_step(t);
+  for (TtisRowWalker row(t, full_ttis_region(t)); row.valid(); row.next()) {
+    VecI jp = row.row_start();
+    VecI j = t.point_of(origin, jp);
+    for (i64 i = 1; i < row.row_points(); ++i) {
+      jp[2] += row.inner_stride();
+      const VecI jn = t.point_of(origin, jp);
+      for (int k = 0; k < 3; ++k) {
+        EXPECT_EQ(jn[static_cast<std::size_t>(k)],
+                  j[static_cast<std::size_t>(k)] +
+                      jstep[static_cast<std::size_t>(k)]);
+      }
+      j = jn;
+    }
+  }
+}
+
 TEST(Ttis, JacobiCongruencePattern) {
   // For the Jacobi tiling, dimension 1 admits even values when y_0 is
   // even and odd values when y_0 is odd (a_21 = 1, c_2 = 2): the
