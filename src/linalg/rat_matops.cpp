@@ -167,6 +167,7 @@ MatQ null_space(const MatQ& m) {
   MatQ a = m;
   const int rows = a.rows(), cols = a.cols();
   std::vector<int> pivot_col;
+  pivot_col.reserve(static_cast<std::size_t>(rows < cols ? rows : cols));
   int rk = 0;
   for (int c = 0; c < cols && rk < rows; ++c) {
     int piv = -1;

@@ -77,12 +77,12 @@ DataSpace run_sequential(const Polyhedron& space, const MatI& deps,
   DataSpace ds(space, kernel.arity());
   const int q = deps.cols();
   const int arity = kernel.arity();
-  std::vector<double> dep_vals(static_cast<std::size_t>(q * arity));
+  std::vector<double> dep_vals(static_cast<std::size_t>(q) * static_cast<std::size_t>(arity));
   std::vector<double> out(static_cast<std::size_t>(arity));
   space.scan([&](const VecI& j) {
     for (int l = 0; l < q; ++l) {
       VecI pred = vec_sub(j, deps.col(l));
-      double* dst = &dep_vals[static_cast<std::size_t>(l * arity)];
+      double* dst = &dep_vals[static_cast<std::size_t>(l) * static_cast<std::size_t>(arity)];
       if (space.contains(pred)) {
         const double* src = ds.at(pred);
         for (int v = 0; v < arity; ++v) dst[v] = src[v];

@@ -175,7 +175,7 @@ std::pair<VecI, i64> LdsLayout::map_inv(const VecI& jpp) const {
     }
     jp[static_cast<std::size_t>(k)] = add_ck(mul_ck(ck, q), residue);
     y[static_cast<std::size_t>(k)] =
-        (jp[static_cast<std::size_t>(k)] - base) / ck;
+        sub_ck(jp[static_cast<std::size_t>(k)], base) / ck;
   }
   return {jp, t};
 }

@@ -86,6 +86,21 @@ class LdsLayout {
   /// map followed by linear.
   i64 slot(const VecI& jp, i64 t) const { return linear(map(jp, t)); }
 
+  /// Debug-mode checked accessor for the fast paths (slot tables and the
+  /// strength-reduced sweep), which index with precomputed bases and
+  /// affine deltas instead of map/linear.  ctile-verify's rule V2 proves
+  /// statically that every such slot lies in [0, size); building with
+  /// -DCTILE_CHECKED_LDS=ON asserts that proof at each access.  A
+  /// release no-op, so the hot loops stay flat.
+  void check_slot(i64 s) const {
+#if defined(CTILE_CHECKED_LDS)
+    CTILE_ASSERT_MSG(s >= 0 && s < size_,
+                     "LDS slot outside the window array (V2 violation)");
+#else
+    (void)s;
+#endif
+  }
+
   /// Row-addressing API (strength-reduced sweep): linear slot of a TTIS
   /// row's first point.  Along the row j'_{n} advances by c_{n}, so the
   /// condensed coordinate floor(j'_n / c_n) advances by exactly 1 and the

@@ -80,7 +80,7 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
   const i64 chain_step = table.chain_step();
   la.assign(static_cast<std::size_t>(local.size() * arity), 0.0);
 
-  std::vector<double> dep_vals(static_cast<std::size_t>(q * arity));
+  std::vector<double> dep_vals(static_cast<std::size_t>(q) * static_cast<std::size_t>(arity));
   std::vector<double> out(static_cast<std::size_t>(arity));
 
   // Invariants for the strength-reduced interior sweep: the full TTIS
@@ -123,12 +123,13 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
         // Precomputed path: base slots at t_loc = 0 plus the affine
         // chain offset — no lattice enumeration in steady state.
         const std::vector<i64>& slots = table.unpack_slots(di);
-        const i64 off = t_loc * chain_step;
+        const i64 off = mul_ck(t_loc, chain_step);
         CTILE_ASSERT_MSG(slots.size() * static_cast<std::size_t>(arity) ==
                              buf.size(),
                          "unpack table size mismatch with received message");
         const double* src = buf.data();
         for (const i64 base : slots) {
+          local.check_slot(base + off);
           double* dst = &la[static_cast<std::size_t>((base + off) * arity)];
           for (int v = 0; v < arity; ++v) dst[v] = *src++;
         }
@@ -175,12 +176,14 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
         const i64 cnt = row.row_points();
         for (i64 i = 0; i < cnt; ++i) {
           for (int l = 0; l < q; ++l) {
+            local.check_slot(s + delta[static_cast<std::size_t>(l)]);
             const double* src = &la[static_cast<std::size_t>(
                 (s + delta[static_cast<std::size_t>(l)]) * arity)];
-            double* dst = &dep_vals[static_cast<std::size_t>(l * arity)];
+            double* dst = &dep_vals[static_cast<std::size_t>(l) * static_cast<std::size_t>(arity)];
             for (int v = 0; v < arity; ++v) dst[v] = src[v];
           }
           kernel_->compute(j, dep_vals.data(), out.data());
+          local.check_slot(s);
           double* dst = &la[static_cast<std::size_t>(s * arity)];
           for (int v = 0; v < arity; ++v) dst[v] = out[v];
           s += sstep;
@@ -194,7 +197,7 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
     } else {
       tiled_->for_each_tile_point(js, [&](const VecI& jp, const VecI& j) {
         for (int l = 0; l < q; ++l) {
-          double* dst = &dep_vals[static_cast<std::size_t>(l * arity)];
+          double* dst = &dep_vals[static_cast<std::size_t>(l) * static_cast<std::size_t>(arity)];
           const VecI pred_j = vec_sub(j, deps.col(l));
           if (space.contains(pred_j)) {
             const VecI pred_jp = vec_sub(jp, dprime.col(l));
@@ -239,9 +242,10 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
         const std::vector<i64>& slots = table.pack_slots(dir);
         buf = comm.acquire_buffer(
             rank, slots.size() * static_cast<std::size_t>(arity));
-        const i64 off = t_loc * chain_step;
+        const i64 off = mul_ck(t_loc, chain_step);
         double* dst = buf.data();
         for (const i64 base : slots) {
+          local.check_slot(base + off);
           const double* src =
               &la[static_cast<std::size_t>((base + off) * arity)];
           for (int v = 0; v < arity; ++v) *dst++ = src[v];
@@ -263,7 +267,18 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
   }
 }
 
+std::vector<std::pair<i64, const LdsLayout*>> ParallelExecutor::window_layouts()
+    const {
+  std::vector<std::pair<i64, const LdsLayout*>> out;
+  out.reserve(locals_.size());
+  for (const auto& [len, local] : locals_) {
+    out.emplace_back(len, &local->layout);
+  }
+  return out;
+}
+
 DataSpace ParallelExecutor::run(ParallelRunStats* stats) const {
+  if (pre_run_gate_) pre_run_gate_();
   const int nprocs = mapping_.num_procs();
   const int arity = kernel_->arity();
   std::vector<std::vector<double>> arrays(
@@ -316,6 +331,7 @@ DataSpace ParallelExecutor::run(ParallelRunStats* stats) const {
         for (i64 i = 0; i < cnt; ++i) {
           if (interior || space.contains(j)) {
             double* dst = ds.at(j);
+            local.check_slot(s);
             const double* src = &la[static_cast<std::size_t>(s * arity)];
             for (int v = 0; v < arity; ++v) dst[v] = src[v];
           }

@@ -29,6 +29,7 @@
 // computer-owns rule plus halo unpacking).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 
@@ -65,11 +66,24 @@ class ParallelExecutor {
   ParallelExecutor(const TiledNest& tiled, const Kernel& kernel,
                    int force_m = -1);
 
+  const TiledNest& tiled() const { return *tiled_; }
   const TileCensus& census() const { return census_; }
   const Mapping& mapping() const { return mapping_; }
   const LdsLayout& lds() const { return lds_; }
   const CommPlan& plan() const { return plan_; }
   const TileClassifier& classifier() const { return classifier_; }
+
+  /// The per-chain-window-length LDS layouts lowered at construction
+  /// (window length, layout), for plan inspection and verification.
+  std::vector<std::pair<i64, const LdsLayout*>> window_layouts() const;
+
+  /// Install a callback invoked at the top of every run().  Used to gate
+  /// execution on external checks (verify::enable_verify_before_run
+  /// installs the static plan verifier here); the gate aborts the run by
+  /// throwing.  Pass nullptr to clear.
+  void set_pre_run_gate(std::function<void()> gate) {
+    pre_run_gate_ = std::move(gate);
+  }
 
   /// Toggle the precomputed slot-table pack/unpack path (default on).
   /// The lattice-enumeration path is retained as the reference
@@ -115,6 +129,7 @@ class ParallelExecutor {
   std::map<i64, std::unique_ptr<RankLocal>> locals_;  // by window length
   bool use_slot_tables_ = true;
   bool use_fast_sweep_ = true;
+  std::function<void()> pre_run_gate_;
 
   /// The cached layout + slot tables for a (non-empty) window length.
   const RankLocal& local_for(i64 chain_len) const;

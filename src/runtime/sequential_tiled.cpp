@@ -10,6 +10,7 @@ SequentialTiledExecutor::SequentialTiledExecutor(const TiledNest& tiled,
     : tiled_(&tiled), kernel_(&kernel), classifier_(tiled) {}
 
 DataSpace SequentialTiledExecutor::run() const {
+  if (pre_run_gate_) pre_run_gate_();
   const LoopNest& nest = tiled_->nest();
   const TilingTransform& tf = tiled_->transform();
   const MatI& deps = nest.deps;
@@ -17,7 +18,7 @@ DataSpace SequentialTiledExecutor::run() const {
   const int arity = kernel_->arity();
   const int n = nest.depth;
   DataSpace ds(nest.space, arity);
-  std::vector<double> dep_vals(static_cast<std::size_t>(q * arity));
+  std::vector<double> dep_vals(static_cast<std::size_t>(q) * static_cast<std::size_t>(arity));
   std::vector<double> out(static_cast<std::size_t>(arity));
 
   // Row-sweep invariants: the constant J^n step along a TTIS row, its
@@ -47,7 +48,7 @@ DataSpace SequentialTiledExecutor::run() const {
           for (int l = 0; l < q; ++l) {
             const double* src =
                 ds.at_offset(s - dep_off[static_cast<std::size_t>(l)]);
-            double* dst = &dep_vals[static_cast<std::size_t>(l * arity)];
+            double* dst = &dep_vals[static_cast<std::size_t>(l) * static_cast<std::size_t>(arity)];
             for (int v = 0; v < arity; ++v) dst[v] = src[v];
           }
           kernel_->compute(j, dep_vals.data(), out.data());
@@ -63,7 +64,7 @@ DataSpace SequentialTiledExecutor::run() const {
     } else {
       tiled_->for_each_tile_point(js, [&](const VecI&, const VecI& j) {
         for (int l = 0; l < q; ++l) {
-          double* dst = &dep_vals[static_cast<std::size_t>(l * arity)];
+          double* dst = &dep_vals[static_cast<std::size_t>(l) * static_cast<std::size_t>(arity)];
           const VecI pred = vec_sub(j, deps.col(l));
           if (nest.space.contains(pred)) {
             const double* src = ds.at(pred);

@@ -14,6 +14,8 @@
 // path.  The legacy path stays behind set_use_fast_sweep(false).
 #pragma once
 
+#include <functional>
+
 #include "runtime/data_space.hpp"
 #include "tiling/interior.hpp"
 #include "tiling/tile_space.hpp"
@@ -26,7 +28,15 @@ class SequentialTiledExecutor {
   /// must also serve non-integral P, where corner probes alone decide).
   SequentialTiledExecutor(const TiledNest& tiled, const Kernel& kernel);
 
+  const TiledNest& tiled() const { return *tiled_; }
   const TileClassifier& classifier() const { return classifier_; }
+
+  /// Install a callback invoked at the top of every run(); the gate
+  /// aborts the run by throwing (see verify::enable_verify_before_run).
+  /// Pass nullptr to clear.
+  void set_pre_run_gate(std::function<void()> gate) {
+    pre_run_gate_ = std::move(gate);
+  }
 
   /// Toggle the strength-reduced interior sweep (default on).  Both
   /// paths must produce bitwise-identical data spaces.
@@ -41,6 +51,7 @@ class SequentialTiledExecutor {
   const Kernel* kernel_;
   TileClassifier classifier_;
   bool use_fast_sweep_ = true;
+  std::function<void()> pre_run_gate_;
 };
 
 /// Execute `tiled` in sequential tiled order; returns the data space.

@@ -34,10 +34,10 @@ bool for_each_lattice_point_until(
     const i64 lo = region.lo[static_cast<std::size_t>(k)];
     const i64 hi = region.hi[static_cast<std::size_t>(k)];
     // First admissible value >= lo with jk === base (mod ck).
-    const i64 start = add_ck(lo, mod_floor(base - lo, ck));
-    for (i64 v = start; v <= hi; v += ck) {
+    const i64 start = add_ck(lo, mod_floor(sub_ck(base, lo), ck));
+    for (i64 v = start; v <= hi; v = add_ck(v, ck)) {
       jp[static_cast<std::size_t>(k)] = v;
-      y[static_cast<std::size_t>(k)] = (v - base) / ck;  // exact by congruence
+      y[static_cast<std::size_t>(k)] = sub_ck(v, base) / ck;  // exact by congruence
       if (k == n - 1) {
         if (!fn(jp)) return false;
       } else {
@@ -100,11 +100,11 @@ int TtisRowWalker::descend(int k) {
     const i64 start = add_ck(lo, mod_floor(sub_ck(base, lo), cd));
     if (start > region_.hi[static_cast<std::size_t>(d)]) return d;
     jp_[static_cast<std::size_t>(d)] = start;
-    y_[static_cast<std::size_t>(d)] = (start - base) / cd;  // exact by congruence
+    y_[static_cast<std::size_t>(d)] = sub_ck(start, base) / cd;  // exact by congruence
   }
-  count_ =
-      (region_.hi[static_cast<std::size_t>(n_ - 1)] -
-       jp_[static_cast<std::size_t>(n_ - 1)]) / cn_ + 1;
+  count_ = add_ck(sub_ck(region_.hi[static_cast<std::size_t>(n_ - 1)],
+                         jp_[static_cast<std::size_t>(n_ - 1)]) / cn_,
+                  1);
   return n_;
 }
 
@@ -114,7 +114,8 @@ void TtisRowWalker::advance(int d) {
   // parent advance, exactly like an empty inner loop.
   while (d >= 0) {
     const i64 cd = (*hnf_)(d, d);
-    jp_[static_cast<std::size_t>(d)] += cd;
+    jp_[static_cast<std::size_t>(d)] =
+        add_ck(jp_[static_cast<std::size_t>(d)], cd);
     if (jp_[static_cast<std::size_t>(d)] > region_.hi[static_cast<std::size_t>(d)]) {
       --d;
       continue;

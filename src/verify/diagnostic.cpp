@@ -1,0 +1,196 @@
+#include "verify/diagnostic.hpp"
+
+#include <sstream>
+
+namespace ctile::verify {
+
+const char* rule_id(Rule rule) {
+  switch (rule) {
+    case Rule::kV1TilingLegality: return "V1";
+    case Rule::kV2HaloSufficiency: return "V2";
+    case Rule::kV3CommCompleteness: return "V3";
+    case Rule::kV4ScheduleSoundness: return "V4";
+    case Rule::kV5InteriorSoundness: return "V5";
+  }
+  return "V?";
+}
+
+const char* rule_summary(Rule rule) {
+  switch (rule) {
+    case Rule::kV1TilingLegality:
+      return "tiling legality: H D >= 0 and tile dependencies "
+             "lexicographically non-negative";
+    case Rule::kV2HaloSufficiency:
+      return "halo sufficiency: every LDS, slot-table and dep_delta "
+             "access provably in-bounds";
+    case Rule::kV3CommCompleteness:
+      return "communication completeness: every cross-rank dependence "
+             "edge covered by exactly one packed message";
+    case Rule::kV4ScheduleSoundness:
+      return "schedule soundness: Pi strictly orders every dependence "
+             "and the send/recv order is deadlock-free";
+    case Rule::kV5InteriorSoundness:
+      return "interior-classifier soundness: no interior tile has a "
+             "dependence predecessor outside the iteration space";
+  }
+  return "";
+}
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "?";
+}
+
+std::string format_vec(const VecI& v) {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) os << ',';
+    os << v[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+std::string Witness::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  auto sep = [&]() {
+    if (!first) os << ' ';
+    first = false;
+  };
+  if (tile) {
+    sep();
+    os << "tile=" << format_vec(*tile);
+  }
+  if (point) {
+    sep();
+    os << "point=" << format_vec(*point);
+  }
+  if (dep) {
+    sep();
+    os << "dep=" << format_vec(*dep);
+  }
+  if (lds_slot) {
+    sep();
+    os << "lds_slot=" << *lds_slot;
+  }
+  if (dim) {
+    sep();
+    os << "dim=" << *dim;
+  }
+  return os.str();
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << severity_name(severity) << '[' << rule_id(rule) << "]: " << message;
+  if (!witness.empty()) os << " | witness: " << witness.to_string();
+  if (!fix_hint.empty()) os << " | fix: " << fix_hint;
+  return os.str();
+}
+
+bool VerifyReport::ok() const {
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == Severity::kError) return false;
+  }
+  return true;
+}
+
+i64 VerifyReport::count(Severity severity) const {
+  i64 n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+i64 VerifyReport::count(Rule rule) const {
+  i64 n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.rule == rule) ++n;
+  }
+  return n;
+}
+
+const Diagnostic* VerifyReport::first(Rule rule) const {
+  for (const Diagnostic& d : diags_) {
+    if (d.rule == rule) return &d;
+  }
+  return nullptr;
+}
+
+std::string VerifyReport::to_string() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) os << d.to_string() << '\n';
+  if (diags_.empty()) {
+    os << "ctile-verify: 0 findings (plan proven safe under V1-V5)\n";
+  } else {
+    os << "ctile-verify: " << diags_.size() << " finding"
+       << (diags_.size() == 1 ? "" : "s") << " (" << count(Severity::kError)
+       << " error" << (count(Severity::kError) == 1 ? "" : "s") << ")\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << ch;
+    }
+  }
+  os << '"';
+}
+
+void json_vec(std::ostream& os, const VecI& v) {
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) os << ',';
+    os << v[i];
+  }
+  os << ']';
+}
+
+}  // namespace
+
+std::string VerifyReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"ok\":" << (ok() ? "true" : "false") << ",\"findings\":[";
+  for (std::size_t i = 0; i < diags_.size(); ++i) {
+    const Diagnostic& d = diags_[i];
+    if (i != 0) os << ',';
+    os << "{\"rule\":\"" << rule_id(d.rule) << "\",\"severity\":\""
+       << severity_name(d.severity) << "\",\"message\":";
+    json_escape(os, d.message);
+    os << ",\"witness\":{";
+    bool first = true;
+    auto field = [&](const char* name) -> std::ostream& {
+      if (!first) os << ',';
+      first = false;
+      os << '"' << name << "\":";
+      return os;
+    };
+    if (d.witness.tile) json_vec(field("tile"), *d.witness.tile);
+    if (d.witness.point) json_vec(field("point"), *d.witness.point);
+    if (d.witness.dep) json_vec(field("dep"), *d.witness.dep);
+    if (d.witness.lds_slot) field("lds_slot") << *d.witness.lds_slot;
+    if (d.witness.dim) field("dim") << *d.witness.dim;
+    os << "},\"fix_hint\":";
+    json_escape(os, d.fix_hint);
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace ctile::verify

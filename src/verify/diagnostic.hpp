@@ -1,0 +1,92 @@
+// Structured diagnostics for the static plan verifier (ctile-verify).
+//
+// Every finding names the rule that fired (V1..V5), a severity, a
+// human-readable message, a *witness* — the concrete tile / point / LDS
+// slot / dependence that violates the rule, so a failing plan is
+// debuggable without re-running anything — and a fix hint.  A report is
+// the ordered list of findings of one verification run; `ok()` is the
+// gate predicate (no errors).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace ctile::verify {
+
+/// The legality / schedule rules of the verifier.
+enum class Rule {
+  kV1TilingLegality,      ///< H D >= 0 and tile deps lex-nonnegative
+  kV2HaloSufficiency,     ///< every LDS / slot-table access in-bounds
+  kV3CommCompleteness,    ///< every cross-rank dep edge covered once
+  kV4ScheduleSoundness,   ///< Pi orders every dep; send/recv acyclic
+  kV5InteriorSoundness,   ///< interior tiles have no out-of-space preds
+};
+
+enum class Severity { kError, kWarning, kNote };
+
+/// Short stable identifier ("V1".."V5") used in output and tests.
+const char* rule_id(Rule rule);
+/// One-line statement of what the rule proves.
+const char* rule_summary(Rule rule);
+const char* severity_name(Severity severity);
+
+/// The concrete object a finding points at.  All fields optional; a
+/// rule fills in whichever coordinates make the violation reproducible.
+struct Witness {
+  std::optional<VecI> tile;      ///< tile-space coordinates j^S
+  std::optional<VecI> point;     ///< iteration point j or TTIS point j'
+  std::optional<VecI> dep;       ///< dependence column involved
+  std::optional<i64> lds_slot;   ///< concrete out-of-bounds linear slot
+  std::optional<int> dim;        ///< dimension index k (0-based)
+
+  bool empty() const {
+    return !tile && !point && !dep && !lds_slot && !dim;
+  }
+  std::string to_string() const;
+};
+
+struct Diagnostic {
+  Rule rule;
+  Severity severity = Severity::kError;
+  std::string message;
+  Witness witness;
+  std::string fix_hint;
+
+  /// "error[V2]: halo too small ... | witness: tile=(1,0,2) ... | fix: ..."
+  std::string to_string() const;
+};
+
+class VerifyReport {
+ public:
+  void add(Diagnostic diag) { diags_.push_back(std::move(diag)); }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  bool empty() const { return diags_.empty(); }
+
+  /// True iff no error-severity finding exists (the run/gate predicate).
+  bool ok() const;
+
+  i64 count(Severity severity) const;
+  i64 count(Rule rule) const;
+
+  /// First finding of `rule`, or nullptr (used by the mutation tests to
+  /// assert which rule fired and with which witness).
+  const Diagnostic* first(Rule rule) const;
+
+  /// Multi-line human-readable rendering plus a one-line summary.
+  std::string to_string() const;
+
+  /// Machine-readable rendering (one JSON object, diagnostics array).
+  std::string to_json() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+/// Renders a vector as "(a,b,c)".
+std::string format_vec(const VecI& v);
+
+}  // namespace ctile::verify

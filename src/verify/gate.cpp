@@ -1,0 +1,38 @@
+#include "verify/gate.hpp"
+
+#include "support/error.hpp"
+
+namespace ctile::verify {
+
+VerifyReport verify_executor(const ParallelExecutor& exec,
+                             const VerifyOptions& options) {
+  const PlanModel model =
+      snapshot_plan(exec.tiled(), exec.mapping(), exec.plan(),
+                    exec.window_layouts(), &exec.classifier());
+  return verify_plan(model, options);
+}
+
+namespace {
+
+void throw_on_findings(const VerifyReport& report) {
+  if (report.ok()) return;
+  throw LegalityError("verify-before-run gate rejected the plan:\n" +
+                      report.to_string());
+}
+
+}  // namespace
+
+void enable_verify_before_run(ParallelExecutor& exec,
+                              const VerifyOptions& options) {
+  exec.set_pre_run_gate(
+      [&exec, options]() { throw_on_findings(verify_executor(exec, options)); });
+}
+
+void enable_verify_before_run(SequentialTiledExecutor& exec,
+                              const VerifyOptions& options) {
+  exec.set_pre_run_gate([&exec, options]() {
+    throw_on_findings(verify_tiling(exec.tiled(), -1, options));
+  });
+}
+
+}  // namespace ctile::verify

@@ -1,0 +1,33 @@
+// Opt-in verify-before-run gating for the executors.
+//
+// The executors expose a generic pre-run callback (set_pre_run_gate) so
+// the runtime library never links against the verifier; these helpers
+// close the loop from the verify side.  With the gate installed, every
+// run() first lowers nothing new — it snapshots the executor's OWN plan
+// artifacts — and runs rules V1..V5 over them, throwing LegalityError
+// with the full diagnostic text if any rule finds an error.
+#pragma once
+
+#include "runtime/parallel_executor.hpp"
+#include "runtime/sequential_tiled.hpp"
+#include "verify/verifier.hpp"
+
+namespace ctile::verify {
+
+/// Verify the executor's lowered plan (its mapping, comm plan, window
+/// layouts and classifier — not a re-lowering) and return the report.
+VerifyReport verify_executor(const ParallelExecutor& exec,
+                             const VerifyOptions& options = {});
+
+/// Install a pre-run gate on `exec`: every run() re-verifies the plan
+/// and throws LegalityError listing the findings if verification fails.
+void enable_verify_before_run(ParallelExecutor& exec,
+                              const VerifyOptions& options = {});
+
+/// Same for the sequential tiled executor.  Only V1 (legality) and V5
+/// (interior soundness) have teeth here — the sequential path has no
+/// LDS or messages — but the full lowering is still proven consistent.
+void enable_verify_before_run(SequentialTiledExecutor& exec,
+                              const VerifyOptions& options = {});
+
+}  // namespace ctile::verify

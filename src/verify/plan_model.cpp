@@ -1,0 +1,183 @@
+#include "verify/plan_model.hpp"
+
+#include <algorithm>
+
+#include "linalg/int_matops.hpp"
+#include "runtime/mapping.hpp"
+
+namespace ctile::verify {
+
+bool PlanModel::is_valid_tile(const VecI& js) const {
+  return std::binary_search(valid_tiles.begin(), valid_tiles.end(), js);
+}
+
+std::pair<VecI, i64> PlanModel::owner_of(const VecI& js) const {
+  CTILE_ASSERT(static_cast<int>(js.size()) == n);
+  VecI pid;
+  pid.reserve(static_cast<std::size_t>(n - 1));
+  i64 t = 0;
+  for (int k = 0; k < n; ++k) {
+    const i64 rel = sub_ck(js[static_cast<std::size_t>(k)],
+                           mesh_lo[static_cast<std::size_t>(k)]);
+    if (k == m) {
+      t = rel;
+    } else {
+      pid.push_back(rel);
+    }
+  }
+  return {pid, t};
+}
+
+bool PlanModel::on_mesh(const VecI& pid) const {
+  if (pid.size() != grid.size()) return false;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (pid[i] < 0 || pid[i] >= grid[i]) return false;
+  }
+  return true;
+}
+
+IntRange PlanModel::window_of(const VecI& pid) const {
+  auto it = windows.find(pid);
+  if (it == windows.end()) return {1, 0};  // empty
+  return it->second;
+}
+
+bool PlanModel::minsucc(const VecI& s, int dir, VecI* out) const {
+  bool found = false;
+  VecI best;
+  for (const TileDepModel& dep : tile_deps) {
+    if (dep.dir != dir) continue;
+    VecI succ = vec_add(s, dep.ds);
+    if (!is_valid_tile(succ)) continue;
+    if (!found || lex_compare(succ, best) < 0) {
+      best = std::move(succ);
+      found = true;
+    }
+  }
+  if (found) *out = best;
+  return found;
+}
+
+namespace {
+
+LdsModel snapshot_lds(const LdsLayout& layout, i64 window_len) {
+  LdsModel out;
+  out.window_len = window_len;
+  const int n = layout.n();
+  for (int k = 0; k < n; ++k) {
+    out.off.push_back(layout.off(k));
+    out.ext.push_back(layout.extent(k));
+    out.tile_slots.push_back(layout.tile_slots(k));
+    out.strides.push_back(layout.stride(k));
+  }
+  out.chain_step = layout.chain_step();
+  out.size = layout.size();
+  return out;
+}
+
+}  // namespace
+
+PlanModel snapshot_plan(
+    const TiledNest& tiled, const Mapping& mapping, const CommPlan& plan,
+    const std::vector<std::pair<i64, const LdsLayout*>>& window_layouts,
+    const TileClassifier* classifier) {
+  PlanModel model;
+  model.tiled = &tiled;
+  const TilingTransform& tf = tiled.transform();
+  model.n = tf.n();
+  model.m = mapping.m();
+  model.H = tf.H();
+  model.D = tiled.nest().deps;
+  model.Hp = tf.Hp();
+  for (int k = 0; k < model.n; ++k) {
+    model.v.push_back(tf.v(k));
+    model.c.push_back(tf.stride(k));
+  }
+  model.Dp = tiled.ttis_deps();
+
+  // The paper's linear schedule Pi = [1,...,1].
+  model.pi.assign(static_cast<std::size_t>(model.n), 1);
+
+  for (int k = 0; k < model.n; ++k) {
+    i64 dmax = 0;
+    for (int l = 0; l < model.Dp.cols(); ++l) {
+      dmax = std::max(dmax, model.Dp(k, l));
+    }
+    model.dep_max.push_back(dmax);
+    model.cc.push_back(sub_ck(tf.v(k), dmax));
+  }
+
+  model.mesh_lo = mapping.tile_lo();
+  model.mesh_hi = mapping.tile_hi();
+  model.grid = mapping.grid();
+
+  // Valid tiles in lexicographic order (the bounding box scan visits
+  // them lex-ordered already).
+  VecI js = model.mesh_lo;
+  for (;;) {
+    if (mapping.valid(js)) model.valid_tiles.push_back(js);
+    int k = model.n;
+    while (k-- > 0) {
+      if (++js[static_cast<std::size_t>(k)] <=
+          model.mesh_hi[static_cast<std::size_t>(k)]) {
+        break;
+      }
+      js[static_cast<std::size_t>(k)] = model.mesh_lo[static_cast<std::size_t>(k)];
+    }
+    if (k < 0) break;
+  }
+
+  for (int rank = 0; rank < mapping.num_procs(); ++rank) {
+    const VecI pid = mapping.pid_of(rank);
+    const IntRange window = mapping.chain_window(pid);
+    if (!window.empty()) model.windows.emplace(pid, window);
+  }
+
+  for (const ProcDir& dir : plan.directions()) {
+    model.directions.push_back({dir.dm, dir.pack});
+  }
+  for (const TileDep& dep : plan.tile_deps()) {
+    model.tile_deps.push_back({dep.ds, dep.dm, dep.dir});
+  }
+
+  for (const auto& [len, layout] : window_layouts) {
+    if (layout == nullptr) continue;
+    model.lds.emplace(len, snapshot_lds(*layout, len));
+  }
+
+  if (classifier != nullptr) {
+    for (const VecI& tile : model.valid_tiles) {
+      if (classifier->interior(tile)) model.interior_tiles.push_back(tile);
+    }
+  }
+  return model;
+}
+
+PlanModel lower_and_snapshot(const TiledNest& tiled, int force_m) {
+  // Mirrors ParallelExecutor's lowering: exact census, census-tight
+  // mapping, canonical LDS, comm plan, per-window LDS layouts, interior
+  // classifier.  Everything except `tiled` is snapshotted by value.
+  TileCensus census(tiled);
+  Mapping mapping(tiled, force_m, &census);
+  LdsLayout canonical(tiled, mapping);
+  CommPlan plan(tiled, mapping, canonical);
+  TileClassifier classifier(tiled, &census);
+
+  std::map<i64, LdsLayout> per_window;
+  for (int rank = 0; rank < mapping.num_procs(); ++rank) {
+    const IntRange window = mapping.chain_window(mapping.pid_of(rank));
+    if (window.empty()) continue;
+    const i64 len = window.count();
+    if (per_window.find(len) == per_window.end()) {
+      per_window.emplace(len, LdsLayout(tiled, mapping, len));
+    }
+  }
+  std::vector<std::pair<i64, const LdsLayout*>> layouts;
+  layouts.reserve(per_window.size());
+  for (const auto& [len, layout] : per_window) {
+    layouts.emplace_back(len, &layout);
+  }
+  return snapshot_plan(tiled, mapping, plan, layouts, &classifier);
+}
+
+}  // namespace ctile::verify

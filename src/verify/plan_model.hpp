@@ -1,0 +1,106 @@
+// A pure-data snapshot of a fully-lowered tiling plan, the input of the
+// static verifier.
+//
+// The verifier does not inspect live runtime objects: it checks a
+// PlanModel — every derived artifact of the lowering pipeline (transform
+// matrices, tile dependencies, mesh/chain mapping, per-window LDS
+// layouts, communication directions, interior flags) copied into plain
+// fields.  Rules re-derive each layer from the layers below it and
+// compare, so an inconsistency introduced at ANY stage of lowering — or
+// by a mutation test perturbing one field — surfaces in the rule that
+// owns that layer.  The only live reference kept is the TiledNest, used
+// for exact iteration-space geometry (it is the specification the plan
+// is verified against, not part of the plan).
+#pragma once
+
+#include <map>
+
+#include "runtime/comm_plan.hpp"
+#include "tiling/interior.hpp"
+
+namespace ctile::verify {
+
+/// Per-processor LDS layout facts for one chain-window length.
+struct LdsModel {
+  i64 window_len = 0;  ///< |t|: tiles in this window
+  VecI off;            ///< halo offset per dimension (slots)
+  VecI ext;            ///< total extent per dimension (slots)
+  VecI tile_slots;     ///< v_k / c_k per dimension
+  VecI strides;        ///< row-major linear strides
+  i64 chain_step = 0;  ///< linear-slot increment per chain step
+  i64 size = 0;        ///< total slots
+};
+
+/// One SEND direction: processor dependence and its pack region.
+struct DirectionModel {
+  VecI dm;          ///< processor dependence (n-1 components)
+  TtisRegion pack;  ///< TTIS sub-box packed for this direction
+};
+
+/// One tile dependence and its communication classification.
+struct TileDepModel {
+  VecI ds;       ///< tile-space dependence (n components)
+  VecI dm;       ///< processor projection (n-1 components)
+  int dir = -1;  ///< index into PlanModel::directions, -1 chain-internal
+};
+
+struct PlanModel {
+  /// Exact iteration-space geometry (the spec; never mutated by tests).
+  const TiledNest* tiled = nullptr;
+
+  int n = 0;  ///< loop depth
+  int m = 0;  ///< chain (mapping) dimension
+
+  MatQ H;   ///< tiling matrix
+  MatI D;   ///< dependence matrix (columns)
+  MatI Hp;  ///< H' = V H
+  VecI v;   ///< TTIS extents v_k (diagonal of V)
+  VecI c;   ///< TTIS strides c_k (diagonal of HNF(H'))
+  MatI Dp;  ///< transformed dependencies D' = H' D
+
+  VecI pi;       ///< linear schedule Pi (the paper's [1,...,1])
+  VecI dep_max;  ///< max_l d'_kl per dimension
+  VecI cc;       ///< communication vector cc_k = v_k - dep_max_k
+
+  VecI mesh_lo;  ///< tile-space bounding box used by the mapping
+  VecI mesh_hi;
+  VecI grid;     ///< processor-mesh extents (n-1 components)
+
+  std::vector<VecI> valid_tiles;  ///< lex-sorted valid (nonempty) tiles
+  std::map<VecI, IntRange> windows;  ///< chain window per mesh pid
+
+  std::vector<DirectionModel> directions;
+  std::vector<TileDepModel> tile_deps;
+
+  std::map<i64, LdsModel> lds;  ///< per distinct chain-window length
+
+  std::vector<VecI> interior_tiles;  ///< valid tiles flagged interior
+
+  // -- Pure helpers over the snapshot (no live runtime objects). --
+
+  bool is_valid_tile(const VecI& js) const;
+  /// Mesh pid (n-1 comps) and chain coordinate t of a tile.
+  std::pair<VecI, i64> owner_of(const VecI& js) const;
+  bool on_mesh(const VecI& pid) const;
+  /// Chain window of pid; empty range if pid owns no valid tile.
+  IntRange window_of(const VecI& pid) const;
+  /// Lexicographically minimum valid successor of s in direction `dir`
+  /// under THIS model's tile-dep set; false if none.
+  bool minsucc(const VecI& s, int dir, VecI* out) const;
+};
+
+/// Snapshot an already-lowered plan.  `window_layouts` supplies the
+/// per-chain-window-length LDS layouts (the parallel executor's
+/// RankLocal cache); `classifier` may be null (no V5 facts).
+PlanModel snapshot_plan(
+    const TiledNest& tiled, const Mapping& mapping, const CommPlan& plan,
+    const std::vector<std::pair<i64, const LdsLayout*>>& window_layouts,
+    const TileClassifier* classifier);
+
+/// One-stop lowering for the CLI and tests: builds census, mapping,
+/// canonical + per-window LDS layouts, comm plan and classifier exactly
+/// as ParallelExecutor does, then snapshots.  The returned model only
+/// references `tiled`, which must outlive it.
+PlanModel lower_and_snapshot(const TiledNest& tiled, int force_m = -1);
+
+}  // namespace ctile::verify

@@ -1,0 +1,835 @@
+#include "verify/verifier.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "deps/tiling_cone.hpp"
+#include "linalg/int_matops.hpp"
+#include "linalg/rat_matops.hpp"
+#include "tiling/ttis.hpp"
+
+namespace ctile::verify {
+
+namespace {
+
+/// Shared state of one verification run: the model, the options, and
+/// per-rule finding caps.
+struct Ctx {
+  const PlanModel& pm;
+  const VerifyOptions& opts;
+  VerifyReport& report;
+  std::map<Rule, i64> emitted;
+
+  bool capped(Rule rule) {
+    return emitted[rule] >= opts.max_findings_per_rule;
+  }
+
+  void add(Rule rule, Severity severity, std::string message,
+           Witness witness, std::string hint) {
+    if (capped(rule)) return;
+    ++emitted[rule];
+    report.add(Diagnostic{rule, severity, std::move(message),
+                          std::move(witness), std::move(hint)});
+  }
+};
+
+VecI zeros(int n) { return VecI(static_cast<std::size_t>(n), 0); }
+
+/// max_l d'_kl per dimension, recomputed from the model's D' = H' D.
+VecI recompute_dep_max(const PlanModel& pm) {
+  VecI dmax = zeros(pm.n);
+  for (int k = 0; k < pm.n; ++k) {
+    for (int l = 0; l < pm.Dp.cols(); ++l) {
+      dmax[static_cast<std::size_t>(k)] =
+          std::max(dmax[static_cast<std::size_t>(k)], pm.Dp(k, l));
+    }
+  }
+  return dmax;
+}
+
+/// A concrete linear LDS slot for a witness: the violating coordinate in
+/// dimension `dim`, a representative in-range coordinate (the halo
+/// offset) everywhere else.
+i64 witness_slot(const LdsModel& lds, int dim, i64 bad_coord) {
+  i64 slot = 0;
+  for (std::size_t k = 0; k < lds.strides.size(); ++k) {
+    const i64 coord =
+        static_cast<int>(k) == dim ? bad_coord : lds.off[k];
+    slot = add_ck(slot, mul_ck(coord, lds.strides[k]));
+  }
+  return slot;
+}
+
+/// Invoke fn(pred, dep_index, receiver) for every RECEIVE the parallel
+/// executor performs: receiver is the lexicographically minimum valid
+/// successor of pred in the dependence's direction.  This is the
+/// executor's receive predicate replayed over the model.
+void for_each_receive_event(
+    const PlanModel& pm,
+    const std::function<void(const VecI&, std::size_t, const VecI&)>& fn) {
+  for (const VecI& js : pm.valid_tiles) {
+    for (std::size_t di = 0; di < pm.tile_deps.size(); ++di) {
+      const TileDepModel& dep = pm.tile_deps[di];
+      if (dep.dir < 0) continue;
+      const VecI pred = vec_sub(js, dep.ds);
+      if (!pm.is_valid_tile(pred)) continue;
+      VecI ms;
+      if (!pm.minsucc(pred, dep.dir, &ms) || ms != js) continue;
+      fn(pred, di, js);
+    }
+  }
+}
+
+/// True iff original dependence column l can generate tile dependence ds:
+/// crossing ds_k tile boundaries in dimension k requires
+/// d'_kl >= (ds_k - 1) v_k + 1 (and ds_k >= 0).
+bool dep_column_active(const PlanModel& pm, const VecI& ds, int l) {
+  for (int k = 0; k < pm.n; ++k) {
+    const i64 dsk = ds[static_cast<std::size_t>(k)];
+    if (dsk == 0) continue;
+    if (dsk < 0) return false;
+    const i64 need =
+        add_ck(mul_ck(dsk - 1, pm.v[static_cast<std::size_t>(k)]), 1);
+    if (pm.Dp(k, l) < need) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// V1: tiling legality.  H must lie in the tiling cone of D — every
+// (row k, dependence l) product (H D)_kl non-negative — and every tile
+// dependence must be lexicographically non-negative in tile space.
+// ---------------------------------------------------------------------
+void check_v1(Ctx& ctx) {
+  const PlanModel& pm = ctx.pm;
+  const Rule rule = Rule::kV1TilingLegality;
+
+  // Fix hint: name the extreme rays of the tiling cone, the legal row
+  // directions the paper draws H from.
+  std::string cone_hint;
+  {
+    const ConeRays rays = tiling_cone(pm.D);
+    std::ostringstream os;
+    os << "choose rows of H from the tiling cone of D";
+    if (!rays.rays.empty()) {
+      os << " (extreme rays:";
+      for (std::size_t i = 0; i < rays.rays.size() && i < 4; ++i) {
+        os << ' ' << format_vec(rays.rays[i]);
+      }
+      os << ')';
+    }
+    cone_hint = os.str();
+  }
+
+  for (int l = 0; l < pm.D.cols(); ++l) {
+    for (int k = 0; k < pm.n; ++k) {
+      Rat hd;
+      for (int i = 0; i < pm.n; ++i) {
+        hd += pm.H(k, i) * Rat(pm.D(i, l));
+      }
+      if (hd.is_negative()) {
+        Witness w;
+        w.dep = pm.D.col(l);
+        w.dim = k;
+        ctx.add(rule, Severity::kError,
+                "illegal tiling: (H D)_" + std::to_string(k + 1) + "," +
+                    std::to_string(l + 1) + " = " + hd.to_string() +
+                    " < 0 — a tile would depend on a lexicographically "
+                    "later tile",
+                std::move(w), cone_hint);
+      }
+    }
+  }
+
+  // Same condition one layer down: D' = H' D must be componentwise
+  // non-negative (V has a positive diagonal, so the sign pattern must
+  // survive the scaling; a mismatch means H'/D' were derived wrongly).
+  for (int l = 0; l < pm.Dp.cols(); ++l) {
+    for (int k = 0; k < pm.n; ++k) {
+      if (pm.Dp(k, l) < 0) {
+        Witness w;
+        w.dep = pm.Dp.col(l);
+        w.dim = k;
+        ctx.add(rule, Severity::kError,
+                "transformed dependence d'_" + std::to_string(l + 1) +
+                    " has negative component in dimension " +
+                    std::to_string(k + 1) +
+                    " (D' = H' D inconsistent with a legal H)",
+                std::move(w), "re-derive H' = V H from a legal H");
+      }
+    }
+  }
+
+  // Tile-space layer: every tile dependence lexicographically >= 0.
+  for (const TileDepModel& dep : pm.tile_deps) {
+    if (lex_compare(dep.ds, zeros(pm.n)) < 0) {
+      Witness w;
+      w.dep = dep.ds;
+      ctx.add(rule, Severity::kError,
+              "tile dependence " + format_vec(dep.ds) +
+                  " is lexicographically negative: the tile execution "
+                  "order would violate it",
+              std::move(w), cone_hint);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// V2: halo sufficiency and access safety.  Every per-window LDS layout
+// must provide off_k >= ceil(max_l d'_kl / c_k) slots of halo, and the
+// executors' compute (dep_delta) and slot-table (pack/unpack) accesses
+// must be provably in-bounds — per dimension, over the extreme TTIS
+// coordinates, no enumeration.
+// ---------------------------------------------------------------------
+void check_v2(Ctx& ctx) {
+  const PlanModel& pm = ctx.pm;
+  const Rule rule = Rule::kV2HaloSufficiency;
+  const VecI dmax = recompute_dep_max(pm);
+
+  for (int k = 0; k < pm.n; ++k) {
+    const i64 vk = pm.v[static_cast<std::size_t>(k)];
+    if (dmax[static_cast<std::size_t>(k)] > vk) {
+      Witness w;
+      w.dim = k;
+      ctx.add(rule, Severity::kError,
+              "transformed dependence component " +
+                  std::to_string(dmax[static_cast<std::size_t>(k)]) +
+                  " exceeds tile extent v_" + std::to_string(k + 1) + " = " +
+                  std::to_string(vk) +
+                  ": data would cross more than one tile per dimension",
+              std::move(w), "enlarge the tile in this dimension");
+    }
+  }
+
+  for (const auto& [len, lds] : pm.lds) {
+    for (int k = 0; k < pm.n; ++k) {
+      const std::size_t uk = static_cast<std::size_t>(k);
+      const i64 vk = pm.v[uk];
+      const i64 ck = pm.c[uk];
+      if (ck <= 0 || vk % ck != 0) {
+        Witness w;
+        w.dim = k;
+        ctx.add(rule, Severity::kError,
+                "stride c_" + std::to_string(k + 1) +
+                    " does not divide tile extent v_" + std::to_string(k + 1) +
+                    ": the dense LDS condensation is invalid",
+                std::move(w), "choose a stride-compatible tile size");
+        continue;
+      }
+      const i64 ts = vk / ck;
+      if (lds.tile_slots[uk] != ts) {
+        Witness w;
+        w.dim = k;
+        ctx.add(rule, Severity::kError,
+                "LDS tile_slots_" + std::to_string(k + 1) + " = " +
+                    std::to_string(lds.tile_slots[uk]) + " != v_k/c_k = " +
+                    std::to_string(ts),
+                std::move(w), "rebuild the LDS layout");
+      }
+      // Halo sufficiency (the paper's off_k >= ceil(max_l d'_kl / c_k),
+      // plus one predecessor tile of halo in the chain dimension).
+      const i64 need = k == pm.m
+                           ? std::max(ts, ceil_div(dmax[uk], ck))
+                           : ceil_div(dmax[uk], ck);
+      if (lds.off[uk] < need) {
+        Witness w;
+        w.dim = k;
+        w.lds_slot = witness_slot(lds, k, sub_ck(lds.off[uk], need));
+        ctx.add(
+            rule, Severity::kError,
+            "halo too small in dimension " + std::to_string(k + 1) +
+                ": off = " + std::to_string(lds.off[uk]) + " slots but " +
+                std::to_string(need) +
+                " are required to hold predecessor data (max d' = " +
+                std::to_string(dmax[uk]) + ", c = " + std::to_string(ck) +
+                "); a dependence read would address a slot before the array",
+            std::move(w),
+            "set off_" + std::to_string(k + 1) + " = " +
+                std::to_string(need) + " (ceil(max_l d'_kl / c_k))");
+      }
+      const i64 need_ext =
+          k == pm.m ? add_ck(lds.off[uk], mul_ck(len, ts))
+                    : add_ck(lds.off[uk], ts);
+      if (lds.ext[uk] < need_ext) {
+        Witness w;
+        w.dim = k;
+        w.lds_slot = witness_slot(lds, k, sub_ck(need_ext, 1));
+        ctx.add(rule, Severity::kError,
+                "LDS extent too small in dimension " + std::to_string(k + 1) +
+                    ": ext = " + std::to_string(lds.ext[uk]) +
+                    " < off + computation slots = " + std::to_string(need_ext),
+                std::move(w), "enlarge the LDS extent");
+      }
+    }
+    // Strides / size / chain-step consistency (what linear() and the
+    // slot tables actually multiply by).
+    i64 size = 1;
+    bool strides_ok = true;
+    for (int k = pm.n; k-- > 0;) {
+      const std::size_t uk = static_cast<std::size_t>(k);
+      if (lds.strides[uk] != size) strides_ok = false;
+      size = mul_ck(size, lds.ext[uk]);
+    }
+    if (!strides_ok || lds.size != size) {
+      ctx.add(rule, Severity::kError,
+              "LDS strides/size inconsistent with the extents (linear "
+              "addressing would alias slots)",
+              Witness{}, "recompute row-major strides from the extents");
+    }
+    const i64 want_step = mul_ck(lds.tile_slots[static_cast<std::size_t>(pm.m)],
+                                 lds.strides[static_cast<std::size_t>(pm.m)]);
+    if (lds.chain_step != want_step) {
+      Witness w;
+      w.dim = pm.m;
+      ctx.add(rule, Severity::kError,
+              "chain_step = " + std::to_string(lds.chain_step) +
+                  " != tile_slots_m * stride_m = " + std::to_string(want_step) +
+                  ": slot-table bases would drift off the received data",
+              std::move(w), "rebuild the slot tables");
+    }
+
+    // Compute-access proof: for every dependence column and dimension,
+    // the predecessor LDS coordinate off_k + floor((j'_k - d'_kl)/c_k)
+    // (plus the chain term for k = m) stays within [0, ext_k).  floor is
+    // monotone, so the extremes of j'_k bound every access — including
+    // every dep_delta the strength-reduced sweep adds to a row base.
+    for (int l = 0; l < pm.Dp.cols() && !ctx.capped(rule); ++l) {
+      for (int k = 0; k < pm.n; ++k) {
+        const std::size_t uk = static_cast<std::size_t>(k);
+        const i64 ck = pm.c[uk];
+        if (ck <= 0) continue;  // already reported above
+        const i64 lo_coord =
+            add_ck(lds.off[uk], floor_div(neg_ck(pm.Dp(k, l)), ck));
+        const i64 hi_base = add_ck(lds.off[uk], floor_div(pm.v[uk] - 1, ck));
+        const i64 hi_coord =
+            k == pm.m
+                ? add_ck(hi_base, mul_ck(len - 1, lds.tile_slots[uk]))
+                : hi_base;
+        if (lo_coord < 0 || hi_coord >= lds.ext[uk]) {
+          const i64 bad = lo_coord < 0 ? lo_coord : hi_coord;
+          Witness w;
+          w.dep = pm.Dp.col(l);
+          w.dim = k;
+          w.lds_slot = witness_slot(lds, k, bad);
+          VecI jp = zeros(pm.n);
+          if (lo_coord >= 0) jp[uk] = pm.v[uk] - 1;
+          w.point = std::move(jp);
+          ctx.add(rule, Severity::kError,
+                  "compute access out of bounds: dependence " +
+                      std::to_string(l + 1) + " addresses LDS coordinate " +
+                      std::to_string(bad) + " in dimension " +
+                      std::to_string(k + 1) + " (valid range [0, " +
+                      std::to_string(lds.ext[uk]) + "))",
+                  std::move(w), "enlarge the halo offset in this dimension");
+        }
+      }
+    }
+  }
+
+  // Slot-table access proof: replay every RECEIVE of the schedule and
+  // bound its unpack coordinates per dimension (table bases fold in the
+  // halo shift -d^S_k v_k/c_k; the chain term is t_loc * chain_step).
+  std::set<std::size_t> reported_deps;
+  for_each_receive_event(pm, [&](const VecI& pred, std::size_t di,
+                                 const VecI& js) {
+    (void)pred;
+    if (ctx.capped(rule)) return;
+    if (reported_deps.count(di) != 0) return;
+    const TileDepModel& dep = pm.tile_deps[di];
+    if (dep.dir < 0 ||
+        dep.dir >= static_cast<int>(pm.directions.size())) {
+      return;  // V3 reports schedule-structure problems
+    }
+    const TtisRegion& pack =
+        pm.directions[static_cast<std::size_t>(dep.dir)].pack;
+    const auto [pid, t] = pm.owner_of(js);
+    const IntRange window = pm.window_of(pid);
+    if (window.empty()) return;
+    const auto lds_it = pm.lds.find(window.count());
+    if (lds_it == pm.lds.end()) {
+      Witness w;
+      w.tile = js;
+      ctx.add(rule, Severity::kError,
+              "no LDS layout lowered for chain-window length " +
+                  std::to_string(window.count()),
+              std::move(w), "lower one layout per distinct window length");
+      reported_deps.insert(di);
+      return;
+    }
+    const LdsModel& lds = lds_it->second;
+    const i64 t_loc = sub_ck(t, window.lo);
+    for (int k = 0; k < pm.n; ++k) {
+      const std::size_t uk = static_cast<std::size_t>(k);
+      const i64 ck = pm.c[uk];
+      if (ck <= 0) continue;
+      const i64 shift = mul_ck(dep.ds[uk], lds.tile_slots[uk]);
+      const i64 chain = k == pm.m ? mul_ck(t_loc, lds.tile_slots[uk]) : 0;
+      const i64 lo_coord = add_ck(
+          add_ck(lds.off[uk], floor_div(pack.lo[uk], ck)),
+          sub_ck(chain, shift));
+      const i64 hi_coord = add_ck(
+          add_ck(lds.off[uk], floor_div(pack.hi[uk], ck)),
+          sub_ck(chain, shift));
+      if (lo_coord < 0 || hi_coord >= lds.ext[uk]) {
+        const i64 bad = lo_coord < 0 ? lo_coord : hi_coord;
+        Witness w;
+        w.tile = js;
+        w.dep = dep.ds;
+        w.dim = k;
+        w.lds_slot = witness_slot(lds, k, bad);
+        ctx.add(rule, Severity::kError,
+                "unpack slot-table access out of bounds at the receive of "
+                "tile dependence " + format_vec(dep.ds) +
+                    " (chain position " + std::to_string(t_loc) +
+                    "): LDS coordinate " + std::to_string(bad) +
+                    " in dimension " + std::to_string(k + 1) +
+                    " outside [0, " + std::to_string(lds.ext[uk]) + ")",
+                std::move(w),
+                "enlarge the halo or fix the unpack shift for this "
+                "dependence");
+        reported_deps.insert(di);
+        return;
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------
+// V3: communication completeness.  Every cross-processor tile
+// dependence edge must be covered by exactly one packed message: a
+// direction exists for the dependence, its pack region contains every
+// TTIS point the consumer reads (checked per dimension), a unique valid
+// receiving tile exists on the destination processor, and the receive
+// happens no later than the consuming tile's chain position.
+// ---------------------------------------------------------------------
+void check_v3(Ctx& ctx) {
+  const PlanModel& pm = ctx.pm;
+  const Rule rule = Rule::kV3CommCompleteness;
+  const MatI& ground = pm.tiled->tile_deps();
+
+  // Ground-truth cross-processor dependencies, and their model entries.
+  std::vector<VecI> cross;
+  std::map<VecI, const TileDepModel*> model_of;
+  for (const TileDepModel& dep : pm.tile_deps) {
+    model_of.emplace(dep.ds, &dep);
+  }
+  for (int cidx = 0; cidx < ground.cols(); ++cidx) {
+    const VecI ds = ground.col(cidx);
+    const VecI dm = project_dep(ds, pm.m);
+    if (std::all_of(dm.begin(), dm.end(), [](i64 x) { return x == 0; })) {
+      continue;  // chain-internal: satisfied through the LDS
+    }
+    cross.push_back(ds);
+    auto it = model_of.find(ds);
+    if (it == model_of.end() || it->second->dir < 0) {
+      Witness w;
+      w.dep = ds;
+      ctx.add(rule, Severity::kError,
+              "cross-processor tile dependence " + format_vec(ds) +
+                  " is not covered by any packed message: the consumer "
+                  "would read stale halo data",
+              std::move(w),
+              "add the dependence to the communication schedule "
+              "(regenerate the CommPlan)");
+      continue;
+    }
+    const TileDepModel& dep = *it->second;
+    if (dep.dir >= static_cast<int>(pm.directions.size())) {
+      Witness w;
+      w.dep = ds;
+      ctx.add(rule, Severity::kError,
+              "tile dependence " + format_vec(ds) +
+                  " references direction " + std::to_string(dep.dir) +
+                  " which does not exist",
+              std::move(w), "rebuild the direction table");
+      continue;
+    }
+    const DirectionModel& dir =
+        pm.directions[static_cast<std::size_t>(dep.dir)];
+    if (dir.dm != dm || dep.dm != dm) {
+      Witness w;
+      w.dep = ds;
+      ctx.add(rule, Severity::kError,
+              "tile dependence " + format_vec(ds) +
+                  " is routed to processor direction " + format_vec(dir.dm) +
+                  " but its projection is " + format_vec(dm) +
+                  ": the message would go to the wrong rank",
+              std::move(w), "recompute the processor projection");
+      continue;
+    }
+    // Pack-region coverage, symbolically per dimension: the consumer
+    // reads sender TTIS points j' with j'_k >= v_k ds_k - d'_kl, so the
+    // pack box must start at or below that line and span to the top.
+    for (int k = 0; k < pm.n; ++k) {
+      const std::size_t uk = static_cast<std::size_t>(k);
+      if (k == pm.m) continue;  // chain dim checked for full extent below
+      if (dir.pack.hi[uk] < pm.v[uk] - 1) {
+        Witness w;
+        w.dep = ds;
+        w.dim = k;
+        VecI jp = zeros(pm.n);
+        jp[uk] = pm.v[uk] - 1;
+        w.point = std::move(jp);
+        ctx.add(rule, Severity::kError,
+                "pack region of direction " + format_vec(dir.dm) +
+                    " stops at " + std::to_string(dir.pack.hi[uk]) +
+                    " in dimension " + std::to_string(k + 1) +
+                    " but consumers need data up to " +
+                    std::to_string(pm.v[uk] - 1),
+                std::move(w), "extend the pack region to the tile boundary");
+      }
+    }
+    for (int l = 0; l < pm.Dp.cols(); ++l) {
+      if (!dep_column_active(pm, ds, l)) continue;
+      for (int k = 0; k < pm.n; ++k) {
+        const std::size_t uk = static_cast<std::size_t>(k);
+        if (k == pm.m) continue;  // chain dim checked for full extent
+        const i64 need_lo = std::max<i64>(
+            0, sub_ck(mul_ck(pm.v[uk], ds[uk]), pm.Dp(k, l)));
+        if (dir.pack.lo[uk] > need_lo) {
+          Witness w;
+          w.dep = ds;
+          w.dim = k;
+          VecI jp = zeros(pm.n);
+          jp[uk] = need_lo;
+          w.point = std::move(jp);
+          ctx.add(
+              rule, Severity::kError,
+              "pack region of direction " + format_vec(dir.dm) +
+                  " starts at " + std::to_string(dir.pack.lo[uk]) +
+                  " in dimension " + std::to_string(k + 1) +
+                  " but dependence column " + std::to_string(l + 1) +
+                  " needs sender data from " + std::to_string(need_lo) +
+                  ": part of the halo would never be transmitted",
+              std::move(w),
+              "lower the pack bound to max(0, v_k d^S_k - d'_kl) — i.e. "
+              "d^m_k * cc_k with cc_k = v_k - max_l d'_kl");
+        }
+      }
+    }
+    // Chain dimension must be packed in full (one aggregated message
+    // serves every chain position of the successor processor).
+    const std::size_t um = static_cast<std::size_t>(pm.m);
+    if (dir.pack.lo[um] > 0 || dir.pack.hi[um] < pm.v[um] - 1) {
+      Witness w;
+      w.dep = ds;
+      w.dim = pm.m;
+      ctx.add(rule, Severity::kError,
+              "pack region of direction " + format_vec(dir.dm) +
+                  " does not span the full chain dimension",
+              std::move(w), "pack the chain dimension in full");
+    }
+  }
+
+  // Spurious entries: a message schedule slot with no tile dependence
+  // behind it wastes bandwidth (and points at a stale schedule).
+  std::set<VecI> ground_set;
+  for (int cidx = 0; cidx < ground.cols(); ++cidx) {
+    ground_set.insert(ground.col(cidx));
+  }
+  for (const TileDepModel& dep : pm.tile_deps) {
+    if (ground_set.count(dep.ds) == 0) {
+      Witness w;
+      w.dep = dep.ds;
+      ctx.add(rule, Severity::kWarning,
+              "schedule contains tile dependence " + format_vec(dep.ds) +
+                  " which no actual dependence generates (spurious message)",
+              std::move(w), "regenerate the schedule from D^S");
+    }
+  }
+
+  // Per-edge delivery: replay every cross-processor dependence edge of
+  // the tile space and prove a unique, timely receive for it.
+  for (const VecI& js : pm.valid_tiles) {
+    if (ctx.capped(rule)) break;
+    for (const VecI& ds : cross) {
+      const VecI pred = vec_sub(js, ds);
+      if (!pm.is_valid_tile(pred)) continue;
+      auto it = model_of.find(ds);
+      if (it == model_of.end() || it->second->dir < 0) continue;  // reported
+      const TileDepModel& dep = *it->second;
+      VecI ms;
+      if (!pm.minsucc(pred, dep.dir, &ms)) {
+        Witness w;
+        w.tile = pred;
+        w.dep = ds;
+        ctx.add(rule, Severity::kError,
+                "message sent by tile " + format_vec(pred) +
+                    " in direction " + format_vec(dep.dm) +
+                    " has no receiving tile: the edge to " + format_vec(js) +
+                    " is never delivered",
+                std::move(w), "restore the dropped dependence in the "
+                              "receive schedule");
+        continue;
+      }
+      const auto [ppid, pt] = pm.owner_of(pred);
+      const auto [rpid, rt] = pm.owner_of(ms);
+      VecI expect_pid(ppid.size());
+      bool on_mesh = true;
+      for (std::size_t i = 0; i < ppid.size(); ++i) {
+        expect_pid[i] = add_ck(ppid[i], dep.dm[i]);
+        if (expect_pid[i] < 0 || expect_pid[i] >= pm.grid[i]) on_mesh = false;
+      }
+      if (!on_mesh || rpid != expect_pid) {
+        Witness w;
+        w.tile = ms;
+        w.dep = ds;
+        ctx.add(rule, Severity::kError,
+                "receiving tile " + format_vec(ms) +
+                    " is not on the destination processor of direction " +
+                    format_vec(dep.dm),
+                std::move(w), "recompute minsucc over valid tiles");
+        continue;
+      }
+      const auto [jpid, jt] = pm.owner_of(js);
+      (void)jpid;
+      (void)pt;
+      if (rt > jt) {
+        Witness w;
+        w.tile = js;
+        w.dep = ds;
+        ctx.add(rule, Severity::kError,
+                "data for tile " + format_vec(js) + " (chain position " +
+                    std::to_string(jt) + ") is only received at tile " +
+                    format_vec(ms) + " (chain position " + std::to_string(rt) +
+                    "): the consumer reads uninitialized halo",
+                std::move(w),
+                "the receiving tile must be the lexicographic minimum "
+                "valid successor");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// V4: schedule soundness and deadlock freedom.  Pi = [1,...,1] must
+// strictly order every tile dependence (Pi . d^S >= 1), and the
+// wait-for relation of the generated program — chains executed in t
+// order, blocking receives matched to buffered sends — must be acyclic.
+// ---------------------------------------------------------------------
+void check_v4(Ctx& ctx) {
+  const PlanModel& pm = ctx.pm;
+  const Rule rule = Rule::kV4ScheduleSoundness;
+
+  std::set<VecI> seen;
+  auto check_dep = [&](const VecI& ds) {
+    if (!seen.insert(ds).second) return;
+    if (std::all_of(ds.begin(), ds.end(), [](i64 x) { return x == 0; })) {
+      return;
+    }
+    if (dot(pm.pi, ds) < 1) {
+      Witness w;
+      w.dep = ds;
+      ctx.add(rule, Severity::kError,
+              "linear schedule Pi = " + format_vec(pm.pi) +
+                  " does not strictly order tile dependence " +
+                  format_vec(ds) + " (Pi . d^S = " +
+                  std::to_string(dot(pm.pi, ds)) +
+                  " < 1): producer and consumer tiles share a time step",
+              std::move(w),
+              "every tile dependence must advance the schedule; re-tile "
+              "or re-skew so that Pi . d^S >= 1");
+    }
+  };
+  for (const TileDepModel& dep : pm.tile_deps) check_dep(dep.ds);
+  const MatI& ground = pm.tiled->tile_deps();
+  for (int cidx = 0; cidx < ground.cols(); ++cidx) check_dep(ground.col(cidx));
+
+  if (!ctx.opts.check_deadlock_graph) return;
+
+  // Explicit wait-for graph over valid tiles: each tile waits for its
+  // chain predecessor on the same processor, and each receiving tile
+  // waits for the sender tile of the message it blocks on.
+  std::map<VecI, std::size_t> index;
+  for (const VecI& js : pm.valid_tiles) {
+    index.emplace(js, index.size());
+  }
+  const std::size_t nodes = index.size();
+  std::vector<std::vector<std::size_t>> succs(nodes);
+  std::vector<i64> indeg(nodes, 0);
+  auto add_edge = [&](const VecI& before, const VecI& after) {
+    succs[index.at(before)].push_back(index.at(after));
+    ++indeg[index.at(after)];
+  };
+
+  std::map<VecI, VecI> prev_on_pid;  // pid -> previous valid tile
+  for (const VecI& js : pm.valid_tiles) {  // lex order: t ascends per pid
+    const auto [pid, t] = pm.owner_of(js);
+    (void)t;
+    auto it = prev_on_pid.find(pid);
+    if (it != prev_on_pid.end()) add_edge(it->second, js);
+    prev_on_pid[pid] = js;
+  }
+  for_each_receive_event(pm, [&](const VecI& pred, std::size_t di,
+                                 const VecI& receiver) {
+    (void)di;
+    add_edge(pred, receiver);
+  });
+
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    if (indeg[i] == 0) ready.push_back(i);
+  }
+  std::size_t done = 0;
+  while (!ready.empty()) {
+    const std::size_t u = ready.back();
+    ready.pop_back();
+    ++done;
+    for (std::size_t s : succs[u]) {
+      if (--indeg[s] == 0) ready.push_back(s);
+    }
+  }
+  if (done != nodes) {
+    // A cycle remains; witness the lexicographically first tile in it.
+    for (const VecI& js : pm.valid_tiles) {
+      if (indeg[index.at(js)] > 0) {
+        Witness w;
+        w.tile = js;
+        ctx.add(rule, Severity::kError,
+                "the send/recv wait-for relation is cyclic: tile " +
+                    format_vec(js) +
+                    " transitively waits for itself — the program deadlocks",
+                std::move(w),
+                "a dependence with Pi . d^S <= 0 entered the schedule; "
+                "remove it or fix the tiling");
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// V5: interior-classifier soundness.  A tile flagged interior is swept
+// with no contains() tests and no initial-value branches, so it must
+// (a) own every lattice point of its TTIS box and (b) have every
+// dependence predecessor of every point inside J^n.  Accept via the
+// convexity (corner) proof when it holds; otherwise verify exactly and
+// report the violating point.
+// ---------------------------------------------------------------------
+void check_v5(Ctx& ctx) {
+  const PlanModel& pm = ctx.pm;
+  const Rule rule = Rule::kV5InteriorSoundness;
+  const TiledNest& tiled = *pm.tiled;
+  const TilingTransform& tf = tiled.transform();
+  const Polyhedron& space = tiled.nest().space;
+  const MatI& deps = pm.D;
+  const int n = pm.n;
+  const int q = deps.cols();
+  const VecI origin = zeros(n);
+
+  // Corner probes: the tile's points lie in the closed parallelepiped
+  // with corners P j^S + P' x_c; by convexity, corner membership proves
+  // membership of every point (and of every point shifted by -d_l).
+  std::vector<VecQ> corners;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    VecI xc = zeros(n);
+    for (int k = 0; k < n; ++k) {
+      if ((mask >> k) & 1) xc[static_cast<std::size_t>(k)] = tf.v(k) - 1;
+    }
+    corners.push_back(mul(tf.Pp(), xc));
+  }
+
+  for (const VecI& js : pm.interior_tiles) {
+    if (ctx.capped(rule)) break;
+    const TtisRegion region = tiled.tile_region(js);
+    const i64 lattice = count_lattice_points(tf, region);
+
+    // (a) fullness: every lattice point must be a real iteration point.
+    if (tiled.tile_point_count(js) != lattice) {
+      Witness w;
+      w.tile = js;
+      for_each_lattice_point_until(tf, region, [&](const VecI& x) {
+        const VecI j = tf.point_of(origin, x);
+        if (!space.contains(j)) {
+          w.point = j;
+          return false;
+        }
+        return true;
+      });
+      ctx.add(rule, Severity::kError,
+              "tile " + format_vec(js) +
+                  " is marked interior but contains lattice points outside "
+                  "the iteration space: the fast sweep would compute and "
+                  "write phantom iterations",
+              std::move(w), "classify this tile as boundary");
+      continue;
+    }
+
+    // (b) predecessors in-space, per dependence column: corner proof
+    // first, exact walk only for unproven columns.
+    const VecQ base = mul(tf.P(), js);
+    for (int l = 0; l < q; ++l) {
+      bool proven = true;
+      for (const VecQ& corner : corners) {
+        VecQ probe = vec_add(base, corner);
+        for (int k = 0; k < n; ++k) {
+          probe[static_cast<std::size_t>(k)] =
+              probe[static_cast<std::size_t>(k)] - Rat(deps(k, l));
+        }
+        if (!space.contains_rational(probe)) {
+          proven = false;
+          break;
+        }
+      }
+      if (proven) continue;
+      if (lattice > ctx.opts.max_exact_points_per_tile) {
+        Witness w;
+        w.tile = js;
+        w.dep = deps.col(l);
+        ctx.add(rule, Severity::kWarning,
+                "tile " + format_vec(js) +
+                    " is marked interior but its safety could not be proven "
+                    "(corner proof failed, tile too large for exact check)",
+                std::move(w), "raise max_exact_points_per_tile or classify "
+                              "this tile as boundary");
+        continue;
+      }
+      Witness w;
+      bool violated = false;
+      tiled.for_each_tile_point(js, [&](const VecI&, const VecI& j) {
+        if (violated) return;
+        if (!space.contains(vec_sub(j, deps.col(l)))) {
+          violated = true;
+          w.point = j;
+        }
+      });
+      if (violated) {
+        w.tile = js;
+        w.dep = deps.col(l);
+        ctx.add(rule, Severity::kError,
+                "tile " + format_vec(js) +
+                    " is marked interior but point " +
+                    format_vec(*w.point) +
+                    " has dependence predecessor outside the iteration "
+                    "space: the fast sweep would read an uninitialized "
+                    "slot instead of the initial value",
+                std::move(w), "classify this tile as boundary");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+VerifyReport verify_plan(const PlanModel& model, const VerifyOptions& options) {
+  CTILE_ASSERT_MSG(model.tiled != nullptr,
+                   "PlanModel must reference its TiledNest");
+  VerifyReport report;
+  Ctx ctx{model, options, report, {}};
+  check_v1(ctx);
+  check_v2(ctx);
+  check_v3(ctx);
+  check_v4(ctx);
+  check_v5(ctx);
+  return report;
+}
+
+VerifyReport verify_tiling(const TiledNest& tiled, int force_m,
+                           const VerifyOptions& options) {
+  const PlanModel model = lower_and_snapshot(tiled, force_m);
+  return verify_plan(model, options);
+}
+
+}  // namespace ctile::verify

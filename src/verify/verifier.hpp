@@ -1,0 +1,66 @@
+// ctile-verify: the static legality & schedule analyzer.
+//
+// Proves, over a fully-lowered PlanModel, the safety conditions the
+// runtime's fast paths assume but (since the slot-table and
+// strength-reduced-sweep optimizations) no longer check per point:
+//
+//   V1  tiling legality: every dependence column of H D is componentwise
+//       non-negative (H lies in the tiling cone of D, deps/tiling_cone),
+//       hence every tile dependence is lexicographically non-negative.
+//   V2  halo sufficiency: for every per-window LDS layout,
+//       off_k >= ceil(max_l d'_kl / c_k) with D' = H' D, and every
+//       compute (dep_delta) and slot-table (pack/unpack) access of the
+//       executors is provably in-bounds; a violation is reported with
+//       the concrete out-of-range LDS slot.
+//   V3  communication completeness: every cross-tile dependence edge
+//       between distinct processors is covered by exactly one packed
+//       message of the CC-derived schedule — the pack region contains
+//       the needed data (checked symbolically per dimension, no lattice
+//       enumeration), a unique receiving tile exists, and the data
+//       arrives no later than its consumer tile executes.
+//   V4  schedule soundness & deadlock freedom: the linear schedule
+//       Pi = [1,...,1] strictly orders every tile dependence, and the
+//       per-step wait-for relation of the mpisim send/recv program
+//       (blocking receives, buffered sends, chains executed in t order)
+//       is acyclic.
+//   V5  interior-classifier soundness: no tile marked interior has a
+//       lattice point outside the iteration space or a dependence
+//       predecessor outside it (the two facts that let the fast sweep
+//       drop contains() tests and initial-value branches).
+//
+// Rules re-derive each layer of the plan from the layers beneath it, so
+// a mutation anywhere in the lowering pipeline is caught by the rule
+// owning that layer, with a concrete witness.
+#pragma once
+
+#include "verify/diagnostic.hpp"
+#include "verify/plan_model.hpp"
+
+namespace ctile::verify {
+
+struct VerifyOptions {
+  /// Run the explicit wait-for-graph acyclicity check of V4 (the graph
+  /// is |valid tiles| nodes; disable only for huge tile spaces, where
+  /// the Pi-orders-every-dependence check still proves acyclicity).
+  bool check_deadlock_graph = true;
+
+  /// V5 verifies interior tiles exactly (point walk) only when the tile
+  /// has at most this many points and the cheap convexity (corner)
+  /// proof failed; larger unprovable tiles get a warning instead.
+  i64 max_exact_points_per_tile = 1 << 20;
+
+  /// Cap on diagnostics emitted per rule (a broken plan violates the
+  /// same rule at many sites; the first witnesses are the useful ones).
+  i64 max_findings_per_rule = 16;
+};
+
+/// Run rules V1..V5 over the model and return every finding.
+VerifyReport verify_plan(const PlanModel& model,
+                         const VerifyOptions& options = {});
+
+/// Convenience for callers holding only a TiledNest: lowers the full
+/// plan (census, mapping, LDS, comm plan, classifier) and verifies it.
+VerifyReport verify_tiling(const TiledNest& tiled, int force_m = -1,
+                           const VerifyOptions& options = {});
+
+}  // namespace ctile::verify

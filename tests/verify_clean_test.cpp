@@ -1,0 +1,146 @@
+// Completeness tests of the static plan verifier: every plan the
+// lowering pipeline produces for the paper's example configurations
+// (SOR/Fig. 6, Jacobi/Fig. 8, ADI/Fig. 10, heat) and for randomly drawn
+// legal tilings must be proven safe with ZERO findings.  A verifier
+// that cries wolf on correct plans would be disabled, not fixed.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "apps/kernels.hpp"
+#include "deps/tiling_cone.hpp"
+#include "linalg/int_matops.hpp"
+#include "linalg/rat_matops.hpp"
+#include "support/rng.hpp"
+#include "verify/verifier.hpp"
+
+namespace ctile {
+namespace {
+
+using verify::VerifyReport;
+
+void expect_clean(const AppInstance& app, const MatQ& h, int force_m,
+                  const char* what) {
+  const TiledNest tiled(app.nest, TilingTransform(h));
+  const VerifyReport report = verify::verify_tiling(tiled, force_m);
+  EXPECT_TRUE(report.empty()) << what << ":\n" << report.to_string();
+}
+
+TEST(VerifyClean, SorPaperConfigs) {
+  const AppInstance app = make_sor(6, 9);
+  expect_clean(app, sor_rect_h(2, 3, 4), 2, "SOR rect (Fig. 6)");
+  expect_clean(app, sor_nonrect_h(2, 3, 4), 2, "SOR nonrect (Fig. 6)");
+}
+
+TEST(VerifyClean, JacobiPaperConfigs) {
+  const AppInstance app = make_jacobi(4, 8, 8);
+  expect_clean(app, jacobi_rect_h(2, 4, 3), 0, "Jacobi rect (Fig. 8)");
+  expect_clean(app, jacobi_nonrect_h(2, 4, 3), 0, "Jacobi nonrect (Fig. 8)");
+}
+
+TEST(VerifyClean, AdiPaperConfigs) {
+  const AppInstance app = make_adi(4, 6);
+  expect_clean(app, adi_rect_h(2, 3, 3), 0, "ADI rect (Fig. 10)");
+  expect_clean(app, adi_nr1_h(2, 3, 3), 0, "ADI nr1 (Fig. 10)");
+  expect_clean(app, adi_nr2_h(2, 3, 3), 0, "ADI nr2 (Fig. 10)");
+  expect_clean(app, adi_nr3_h(2, 3, 3), 0, "ADI nr3 (Fig. 10)");
+}
+
+TEST(VerifyClean, HeatConfigs) {
+  const AppInstance app = make_heat(8, 12);
+  expect_clean(app, heat_rect_h(2, 3), 0, "heat rect");
+  expect_clean(app, heat_nonrect_h(2, 3), 0, "heat nonrect");
+}
+
+TEST(VerifyClean, LargerSorInstance) {
+  const AppInstance app = make_sor(10, 15);
+  expect_clean(app, sor_rect_h(3, 4, 5), 2, "SOR rect 10x15");
+}
+
+// Random lex-positive dependence with small components.
+VecI random_dep(Rng& rng, int n) {
+  for (;;) {
+    VecI d(static_cast<std::size_t>(n), 0);
+    for (int k = 0; k < n; ++k) {
+      d[static_cast<std::size_t>(k)] = rng.uniform(-1, 2);
+    }
+    if (lex_positive(d)) return d;
+  }
+}
+
+// Random integral-P tiling legal for deps and LDS-compatible (the same
+// constraints the runtime itself requires).
+std::optional<TilingTransform> random_tiling(Rng& rng, int n,
+                                             const MatI& deps) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    MatI p(n, n);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) {
+        if (r == c) {
+          p(r, c) = rng.uniform(3, 6);
+        } else if (rng.chance(0.3)) {
+          p(r, c) = rng.uniform(-2, 2);
+        }
+      }
+    }
+    if (det(p) == 0) continue;
+    MatQ h = inverse(to_rat(p));
+    if (!tiling_legal(h, deps)) continue;
+    TilingTransform t(h);
+    if (!t.strides_compatible()) continue;
+    MatI dprime = mul(t.Hp(), deps);
+    bool fits = true;
+    for (int k = 0; k < n && fits; ++k) {
+      for (int l = 0; l < dprime.cols(); ++l) {
+        if (dprime(k, l) > t.v(k)) fits = false;
+      }
+    }
+    if (!fits) continue;
+    return t;
+  }
+  return std::nullopt;
+}
+
+TEST(VerifyClean, RandomLegalTilingsAreClean) {
+  Rng rng(20260806);
+  int verified = 0;
+  int attempts = 0;
+  while (verified < 20 && attempts < 400) {
+    ++attempts;
+    const int n = static_cast<int>(rng.uniform(2, 3));
+    const int q = static_cast<int>(rng.uniform(1, 4));
+    MatI deps(n, q);
+    for (int c = 0; c < q; ++c) {
+      const VecI d = random_dep(rng, n);
+      for (int r = 0; r < n; ++r) {
+        deps(r, c) = d[static_cast<std::size_t>(r)];
+      }
+    }
+    LoopNest nest;
+    try {
+      VecI lo(static_cast<std::size_t>(n)), hi(static_cast<std::size_t>(n));
+      for (int k = 0; k < n; ++k) {
+        lo[static_cast<std::size_t>(k)] = rng.uniform(-3, 3);
+        hi[static_cast<std::size_t>(k)] =
+            lo[static_cast<std::size_t>(k)] + rng.uniform(4, 14);
+      }
+      nest = make_rectangular_nest("rand", lo, hi, deps);
+    } catch (const LegalityError&) {
+      continue;
+    }
+    std::optional<TilingTransform> tiling = random_tiling(rng, n, nest.deps);
+    if (!tiling) continue;
+    const TiledNest tiled(nest, std::move(*tiling));
+    const VerifyReport report = verify::verify_tiling(tiled);
+    EXPECT_TRUE(report.empty())
+        << "instance " << verified << "\nH =\n"
+        << tiled.transform().H().to_string() << "\nD =\n"
+        << nest.deps.to_string() << report.to_string();
+    ++verified;
+  }
+  EXPECT_GE(verified, 20) << "random generator starved (" << attempts
+                          << " attempts)";
+}
+
+}  // namespace
+}  // namespace ctile

@@ -1,0 +1,227 @@
+// Mutation tests of the static plan verifier: seed one illegal
+// perturbation into an otherwise-proven-safe lowered plan and assert
+// that exactly the rule owning that layer fires, with a witness naming
+// the seeded defect.  These are the soundness tests of ctile-verify —
+// a verifier that accepts a broken plan is worse than none.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/kernels.hpp"
+#include "support/error.hpp"
+#include "verify/gate.hpp"
+#include "verify/verifier.hpp"
+
+namespace ctile {
+namespace {
+
+using verify::PlanModel;
+using verify::Rule;
+using verify::Severity;
+using verify::VerifyReport;
+
+/// A lowered SOR plan (the paper's Fig. 6 configuration) plus the
+/// TiledNest it snapshots (which must outlive the model).
+struct Lowered {
+  std::unique_ptr<TiledNest> tiled;
+  PlanModel model;
+};
+
+Lowered lower_sor() {
+  AppInstance app = make_sor(6, 9);
+  Lowered out;
+  out.tiled = std::make_unique<TiledNest>(app.nest,
+                                          TilingTransform(sor_rect_h(2, 3, 4)));
+  out.model = verify::lower_and_snapshot(*out.tiled, /*force_m=*/2);
+  return out;
+}
+
+TEST(VerifyMutation, UnmutatedPlanIsClean) {
+  Lowered lw = lower_sor();
+  const VerifyReport report = verify::verify_plan(lw.model);
+  EXPECT_TRUE(report.empty()) << report.to_string();
+}
+
+TEST(VerifyMutation, NegatedDependenceColumnFiresV1) {
+  Lowered lw = lower_sor();
+  lw.model.D.negate_col(0);
+  const VerifyReport report = verify::verify_plan(lw.model);
+  EXPECT_FALSE(report.ok());
+  ASSERT_GE(report.count(Rule::kV1TilingLegality), 1) << report.to_string();
+  const verify::Diagnostic* d = report.first(Rule::kV1TilingLegality);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  // The witness names the (now negated) dependence column.
+  ASSERT_TRUE(d->witness.dep.has_value());
+  EXPECT_EQ(*d->witness.dep, lw.model.D.col(0));
+  EXPECT_FALSE(d->fix_hint.empty());
+}
+
+TEST(VerifyMutation, HaloShrunkByOneFiresV2WithConcreteSlot) {
+  Lowered lw = lower_sor();
+  int shrunk_dim = -1;
+  for (int k = 0; k < lw.model.n && shrunk_dim < 0; ++k) {
+    if (lw.model.dep_max[static_cast<std::size_t>(k)] > 0) shrunk_dim = k;
+  }
+  ASSERT_GE(shrunk_dim, 0) << "SOR must have a dependence-carrying dim";
+  ASSERT_FALSE(lw.model.lds.empty());
+  for (auto& [len, lds] : lw.model.lds) {
+    (void)len;
+    lds.off[static_cast<std::size_t>(shrunk_dim)] -= 1;
+  }
+  const VerifyReport report = verify::verify_plan(lw.model);
+  EXPECT_FALSE(report.ok());
+  ASSERT_GE(report.count(Rule::kV2HaloSufficiency), 1) << report.to_string();
+  const verify::Diagnostic* d = report.first(Rule::kV2HaloSufficiency);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  // The witness pins the shrunken dimension and a concrete out-of-range
+  // linear LDS slot (negative: before the start of the window array).
+  ASSERT_TRUE(d->witness.dim.has_value());
+  EXPECT_EQ(*d->witness.dim, shrunk_dim);
+  ASSERT_TRUE(d->witness.lds_slot.has_value());
+  EXPECT_LT(*d->witness.lds_slot, 0);
+  // No other rule's layer was touched.
+  EXPECT_EQ(report.count(Rule::kV1TilingLegality), 0);
+  EXPECT_EQ(report.count(Rule::kV5InteriorSoundness), 0);
+}
+
+TEST(VerifyMutation, DroppedMessageFiresV3) {
+  Lowered lw = lower_sor();
+  VecI dropped;
+  for (std::size_t i = 0; i < lw.model.tile_deps.size(); ++i) {
+    if (lw.model.tile_deps[i].dir >= 0) {
+      dropped = lw.model.tile_deps[i].ds;
+      lw.model.tile_deps.erase(lw.model.tile_deps.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  ASSERT_FALSE(dropped.empty()) << "SOR must communicate";
+  const VerifyReport report = verify::verify_plan(lw.model);
+  EXPECT_FALSE(report.ok());
+  ASSERT_GE(report.count(Rule::kV3CommCompleteness), 1) << report.to_string();
+  const verify::Diagnostic* d = report.first(Rule::kV3CommCompleteness);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  // The witness names exactly the dropped tile dependence.
+  ASSERT_TRUE(d->witness.dep.has_value());
+  EXPECT_EQ(*d->witness.dep, dropped);
+}
+
+TEST(VerifyMutation, UnorderedScheduleEntryFiresV4) {
+  Lowered lw = lower_sor();
+  ASSERT_GE(lw.model.n, 2);
+  ASSERT_FALSE(lw.model.directions.empty());
+  verify::TileDepModel bad;
+  bad.ds.assign(static_cast<std::size_t>(lw.model.n), 0);
+  bad.ds[0] = 1;
+  bad.ds[1] = -1;  // Pi . ds = 0: not strictly ordered
+  bad.dm = bad.ds;
+  bad.dm.erase(bad.dm.begin() + lw.model.m);
+  bad.dir = 0;
+  const VecI seeded = bad.ds;
+  lw.model.tile_deps.push_back(std::move(bad));
+  const VerifyReport report = verify::verify_plan(lw.model);
+  EXPECT_FALSE(report.ok());
+  ASSERT_GE(report.count(Rule::kV4ScheduleSoundness), 1) << report.to_string();
+  const verify::Diagnostic* d = report.first(Rule::kV4ScheduleSoundness);
+  ASSERT_NE(d, nullptr);
+  ASSERT_TRUE(d->witness.dep.has_value());
+  EXPECT_EQ(*d->witness.dep, seeded);
+}
+
+TEST(VerifyMutation, BoundaryTileForcedInteriorFiresV5) {
+  Lowered lw = lower_sor();
+  VecI forced;
+  for (const VecI& js : lw.model.valid_tiles) {
+    bool interior = false;
+    for (const VecI& t : lw.model.interior_tiles) {
+      if (t == js) {
+        interior = true;
+        break;
+      }
+    }
+    if (!interior) {
+      forced = js;
+      break;
+    }
+  }
+  ASSERT_FALSE(forced.empty()) << "SOR tiling must have boundary tiles";
+  lw.model.interior_tiles.push_back(forced);
+  const VerifyReport report = verify::verify_plan(lw.model);
+  EXPECT_FALSE(report.ok());
+  ASSERT_GE(report.count(Rule::kV5InteriorSoundness), 1) << report.to_string();
+  const verify::Diagnostic* d = report.first(Rule::kV5InteriorSoundness);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  // The witness is the forced tile (plus the violating point or dep).
+  ASSERT_TRUE(d->witness.tile.has_value());
+  EXPECT_EQ(*d->witness.tile, forced);
+  EXPECT_TRUE(d->witness.point.has_value() || d->witness.dep.has_value());
+  // Genuine interior tiles stay accepted: only the seeded one fires.
+  for (const verify::Diagnostic& diag : report.diagnostics()) {
+    if (diag.rule == Rule::kV5InteriorSoundness &&
+        diag.witness.tile.has_value()) {
+      EXPECT_EQ(*diag.witness.tile, forced);
+    }
+  }
+}
+
+TEST(VerifyMutation, FindingsPerRuleAreCapped) {
+  Lowered lw = lower_sor();
+  lw.model.D.negate_col(0);
+  verify::VerifyOptions opts;
+  opts.max_findings_per_rule = 1;
+  const VerifyReport report = verify::verify_plan(lw.model, opts);
+  EXPECT_EQ(report.count(Rule::kV1TilingLegality), 1) << report.to_string();
+}
+
+TEST(VerifyMutation, ReportRendersWitnessAndJson) {
+  Lowered lw = lower_sor();
+  lw.model.D.negate_col(0);
+  const VerifyReport report = verify::verify_plan(lw.model);
+  ASSERT_FALSE(report.ok());
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("error[V1]"), std::string::npos) << text;
+  EXPECT_NE(text.find("witness:"), std::string::npos) << text;
+  EXPECT_NE(text.find("fix:"), std::string::npos) << text;
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rule\":\"V1\""), std::string::npos) << json;
+}
+
+// The executor gate: a clean plan runs; an installed gate that rejects
+// aborts the run by throwing before any rank starts.
+TEST(VerifyGate, CleanPlanRunsUnderGate) {
+  AppInstance app = make_sor(6, 9);
+  TiledNest tiled(app.nest, TilingTransform(sor_rect_h(2, 3, 4)));
+  ParallelExecutor exec(tiled, *app.kernel, /*force_m=*/2);
+  const VerifyReport report = verify::verify_executor(exec);
+  EXPECT_TRUE(report.empty()) << report.to_string();
+  verify::enable_verify_before_run(exec);
+  EXPECT_NO_THROW({ exec.run(); });
+}
+
+TEST(VerifyGate, ThrowingGateAbortsRun) {
+  AppInstance app = make_sor(6, 9);
+  TiledNest tiled(app.nest, TilingTransform(sor_rect_h(2, 3, 4)));
+  ParallelExecutor exec(tiled, *app.kernel, /*force_m=*/2);
+  exec.set_pre_run_gate(
+      []() { throw LegalityError("rejected by test gate"); });
+  EXPECT_THROW({ exec.run(); }, LegalityError);
+  // Clearing the gate restores normal execution.
+  exec.set_pre_run_gate(nullptr);
+  EXPECT_NO_THROW({ exec.run(); });
+}
+
+TEST(VerifyGate, SequentialExecutorGate) {
+  AppInstance app = make_sor(6, 9);
+  TiledNest tiled(app.nest, TilingTransform(sor_rect_h(2, 3, 4)));
+  SequentialTiledExecutor exec(tiled, *app.kernel);
+  verify::enable_verify_before_run(exec);
+  EXPECT_NO_THROW({ exec.run(); });
+}
+
+}  // namespace
+}  // namespace ctile
