@@ -70,11 +70,12 @@ int main() {
               static_cast<long long>(stats.messages),
               static_cast<long long>(stats.doubles));
   std::printf("phase times (all ranks): compute %.3f ms, pack %.3f ms, "
-              "unpack %.3f ms, recv-wait %.3f ms\n",
+              "unpack %.3f ms, recv-wait %.3f ms, send-wait %.3f ms\n",
               stats.phase_total.compute_s * 1e3,
               stats.phase_total.pack_s * 1e3,
               stats.phase_total.unpack_s * 1e3,
-              stats.phase_total.recv_wait_s * 1e3);
+              stats.phase_total.recv_wait_s * 1e3,
+              stats.phase_total.send_wait_s * 1e3);
   std::printf("max |parallel - sequential| = %g  ->  %s\n", diff,
               diff == 0.0 ? "EXACT MATCH" : "MISMATCH");
   return diff == 0.0 ? 0 : 1;

@@ -7,7 +7,7 @@
 
 namespace ctile::mpisim {
 
-Comm::Comm(int size) {
+Comm::Comm(int size, CommConfig config) : config_(config) {
   CTILE_ASSERT(size > 0);
   boxes_.reserve(static_cast<std::size_t>(size));
   pools_.reserve(static_cast<std::size_t>(size));
@@ -17,18 +17,19 @@ Comm::Comm(int size) {
   }
 }
 
-void Comm::send(int src, int dst, i64 tag, std::vector<double> data) {
-  CTILE_ASSERT(src >= 0 && src < size());
-  CTILE_ASSERT(dst >= 0 && dst < size());
-  if (aborted_.load()) {
-    throw Error("mpisim: send from rank " + std::to_string(src) +
-                " on an aborted communicator");
-  }
-  const i64 payload = static_cast<i64>(data.size());
+Comm::Clock::time_point Comm::deadline(std::size_t doubles) const {
+  if (!config_.latency.enabled()) return Clock::time_point{};
+  const auto cost = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(config_.latency.transfer_s(doubles)));
+  return Clock::now() + cost;
+}
+
+void Comm::enqueue(int dst, Message message) {
+  const i64 payload = static_cast<i64>(message.data.size());
   Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard<std::mutex> lock(box.mu);
-    box.queue.push_back(Message{src, tag, std::move(data)});
+    box.queue.push_back(std::move(message));
   }
   // Counters are bumped only after the message exists in the mailbox
   // (never over-counting in-flight traffic); see the stats contract in
@@ -41,6 +42,121 @@ void Comm::send(int src, int dst, i64 tag, std::vector<double> data) {
   box.cv.notify_all();
 }
 
+void Comm::send(int src, int dst, i64 tag, std::vector<double> data) {
+  CTILE_ASSERT(src >= 0 && src < size());
+  CTILE_ASSERT(dst >= 0 && dst < size());
+  if (aborted_.load()) {
+    throw Error("mpisim: send from rank " + std::to_string(src) +
+                " on an aborted communicator");
+  }
+  const auto ready_at = deadline(data.size());
+  enqueue(dst, Message{src, tag, std::move(data), ready_at});
+  if (ready_at != Clock::time_point{}) {
+    // Blocking schedule: the sending CPU is occupied until the wire
+    // drains (the simulator's kBlocking charge of bytes / bandwidth on
+    // the critical path).  The message becomes deliverable at the same
+    // instant the sender resumes.
+    std::this_thread::sleep_until(ready_at);
+  }
+}
+
+Request Comm::isend(int src, int dst, i64 tag, std::vector<double> data) {
+  CTILE_ASSERT(src >= 0 && src < size());
+  CTILE_ASSERT(dst >= 0 && dst < size());
+  if (aborted_.load()) {
+    throw Error("mpisim: isend from rank " + std::to_string(src) +
+                " on an aborted communicator");
+  }
+  const std::size_t doubles = data.size();
+  // Eager (buffered) protocol: stage into a transit buffer owned by the
+  // destination's pool, so the receive side can hand it straight back
+  // after unpacking and both pools stay locally balanced.
+  std::vector<double> transit = acquire_buffer(dst, doubles);
+  std::copy(data.begin(), data.end(), transit.begin());
+  const auto ready_at = deadline(doubles);
+  enqueue(dst, Message{src, tag, std::move(transit), ready_at});
+  // The caller's buffer completed its job the moment the copy was
+  // staged: recycle it into the *sender's* pool immediately, so a rank
+  // that only sends still reuses buffers instead of allocating fresh
+  // ones every tile.
+  release_buffer(src, std::move(data));
+  Request req;
+  req.kind = Request::Kind::kSend;
+  req.owner = src;
+  req.peer = dst;
+  req.tag = tag;
+  req.ready_at = ready_at;
+  return req;
+}
+
+Request Comm::irecv(int dst, int src, i64 tag) {
+  CTILE_ASSERT(dst >= 0 && dst < size());
+  CTILE_ASSERT(src >= 0 && src < size());
+  Request req;
+  req.kind = Request::Kind::kRecv;
+  req.owner = dst;
+  req.peer = src;
+  req.tag = tag;
+  return req;
+}
+
+bool Comm::test(Request& req) {
+  if (req.done || req.kind == Request::Kind::kNone) {
+    req.done = true;
+    return true;
+  }
+  if (req.kind == Request::Kind::kSend) {
+    if (req.ready_at == Clock::time_point{} || req.ready_at <= Clock::now()) {
+      req.done = true;
+    }
+    return req.done;
+  }
+  // Receive: consume the first deliverable FIFO match, if any.
+  Mailbox& box = *boxes_[static_cast<std::size_t>(req.owner)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                         [&](const Message& m) {
+                           return m.src == req.peer && m.tag == req.tag;
+                         });
+  if (it == box.queue.end() || !deliverable(*it)) return false;
+  req.payload = std::move(it->data);
+  box.queue.erase(it);
+  req.done = true;
+  return true;
+}
+
+std::vector<double> Comm::wait(Request& req) {
+  if (req.done || req.kind == Request::Kind::kNone) {
+    req.done = true;
+    return std::move(req.payload);
+  }
+  if (req.kind == Request::Kind::kSend) {
+    // Model the NIC draining the wire; the payload buffer was already
+    // recycled at initiation, so completion is purely a time event.
+    if (req.ready_at != Clock::time_point{}) {
+      std::this_thread::sleep_until(req.ready_at);
+    }
+    req.done = true;
+    return {};
+  }
+  req.payload = recv(req.owner, req.peer, req.tag);
+  req.done = true;
+  return std::move(req.payload);
+}
+
+void Comm::wait_all(std::vector<Request>& reqs) {
+  for (Request& req : reqs) {
+    if (req.done) continue;
+    if (req.kind == Request::Kind::kRecv) {
+      // Keep the payload stashed so a caller that cares can drain it.
+      req.payload = recv(req.owner, req.peer, req.tag);
+      req.done = true;
+    } else {
+      (void)wait(req);
+    }
+  }
+}
+
 std::vector<double> Comm::recv(int dst, int src, i64 tag) {
   CTILE_ASSERT(dst >= 0 && dst < size());
   Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
@@ -51,6 +167,20 @@ std::vector<double> Comm::recv(int dst, int src, i64 tag) {
                              return m.src == src && m.tag == tag;
                            });
     if (it != box.queue.end()) {
+      // FIFO: always take the *first* match, even when the latency model
+      // says it is still in flight — waiting for a later match would
+      // reorder the channel.  Wake at its delivery deadline.
+      if (!deliverable(*it)) {
+        const auto ready_at = it->ready_at;
+        if (aborted_.load()) {
+          throw Error("mpisim: communicator aborted while rank " +
+                      std::to_string(dst) + " waited for (src=" +
+                      std::to_string(src) + ", tag=" + std::to_string(tag) +
+                      ")");
+        }
+        box.cv.wait_until(lock, ready_at);
+        continue;
+      }
       std::vector<double> data = std::move(it->data);
       box.queue.erase(it);
       return data;
@@ -71,7 +201,8 @@ bool Comm::probe(int dst, int src, i64 tag) {
   std::lock_guard<std::mutex> lock(box.mu);
   return std::any_of(box.queue.begin(), box.queue.end(),
                      [&](const Message& m) {
-                       return m.src == src && m.tag == tag;
+                       return m.src == src && m.tag == tag &&
+                              deliverable(m);
                      });
 }
 
@@ -133,11 +264,21 @@ void Comm::release_buffer(int rank, std::vector<double>&& buf) {
   std::lock_guard<std::mutex> lock(pool.mu);
   if (pool.free.size() >= kMaxPooledBuffers) return;  // bound: just free
   pool.free.push_back(std::move(buf));
+  pool.high_water = std::max(pool.high_water, pool.free.size());
 }
 
 i64 Comm::pool_reuses() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return pool_reuses_;
+}
+
+i64 Comm::pool_high_water() const {
+  std::size_t hwm = 0;
+  for (const auto& pool : pools_) {
+    std::lock_guard<std::mutex> lock(pool->mu);
+    hwm = std::max(hwm, pool->high_water);
+  }
+  return static_cast<i64>(hwm);
 }
 
 i64 Comm::messages_sent() const {
@@ -150,8 +291,9 @@ i64 Comm::doubles_sent() const {
   return doubles_sent_;
 }
 
-void run_ranks(int size, const std::function<void(int, Comm&)>& fn) {
-  Comm comm(size);
+void run_ranks(int size, const std::function<void(int, Comm&)>& fn,
+               CommConfig config) {
+  Comm comm(size, config);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(size));
   std::mutex err_mu;

@@ -8,12 +8,31 @@
 // (src, dst, tag) channel ordering is FIFO — the same guarantees the
 // paper's RECEIVE/SEND pseudocode relies on.
 //
+// Non-blocking primitives (isend / irecv / test / wait / wait_all) model
+// the eager (buffered) MPI protocol: isend stages the payload into a
+// transit buffer and completes from the caller's point of view
+// immediately — the caller's buffer is returned to its own pool at
+// initiation, so a rank that only sends still recycles buffers — while
+// the receive side gets the transit buffer itself (zero-copy handoff)
+// and releases it into its pool after unpacking.
+//
+// An optional transfer-latency model makes computation/communication
+// overlap measurable in-process: each message carries a delivery
+// deadline (initiation time + per-message + per-double cost); recv and
+// probe only match messages whose deadline has passed.  A blocking
+// send() additionally occupies the calling thread for the transfer
+// duration (MPI_Send wire occupation on the CPU's critical path),
+// whereas isend() returns immediately (a DMA-capable NIC drains the
+// wire) — the same distinction cluster/simulator draws between its
+// kBlocking and kOverlapped schedules.
+//
 // A cooperating failure model: if any rank throws, the communicator is
 // aborted and every blocked recv/barrier throws Error, so tests fail loudly
 // instead of deadlocking.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -27,51 +46,134 @@
 
 namespace ctile::mpisim {
 
+/// Synthetic transfer-cost model.  Disabled (all-zero) by default: every
+/// message is deliverable the moment it is enqueued and blocking sends
+/// return immediately, which keeps the substrate free of timing overhead
+/// for correctness tests.
+struct LatencyModel {
+  double per_message_s = 0.0;  ///< fixed cost per message (wire latency)
+  double per_double_s = 0.0;   ///< cost per payload double (1 / bandwidth)
+
+  bool enabled() const { return per_message_s > 0.0 || per_double_s > 0.0; }
+  double transfer_s(std::size_t doubles) const {
+    return per_message_s + per_double_s * static_cast<double>(doubles);
+  }
+};
+
+struct CommConfig {
+  LatencyModel latency;
+};
+
 struct Message {
   int src;
   i64 tag;
   std::vector<double> data;
+  /// Delivery deadline under the latency model; the epoch (default)
+  /// means "deliverable immediately".
+  std::chrono::steady_clock::time_point ready_at{};
+};
+
+/// Handle for a non-blocking operation.  Plain value type: move it
+/// around freely, complete it with Comm::test / Comm::wait.  A send
+/// request completes when the modelled transfer has drained (the payload
+/// buffer itself was already recycled at initiation — eager protocol); a
+/// receive request completes when a matching deliverable message has
+/// been consumed, at which point the payload is held in `payload` until
+/// wait() hands it out.
+struct Request {
+  enum class Kind { kNone, kSend, kRecv };
+  Kind kind = Kind::kNone;
+  int owner = -1;  ///< rank that posted the operation
+  int peer = -1;   ///< destination (send) or source (recv) rank
+  i64 tag = 0;
+  std::chrono::steady_clock::time_point ready_at{};  ///< send: drain time
+  bool done = false;
+  std::vector<double> payload;  ///< recv: stashed on completion
 };
 
 class Comm {
  public:
-  explicit Comm(int size);
+  explicit Comm(int size, CommConfig config = {});
 
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;
 
   int size() const { return static_cast<int>(boxes_.size()); }
 
-  /// Buffered send: enqueues and returns immediately.  Throws Error if
-  /// the communicator has been aborted (a surviving rank must not keep
+  /// Buffered send: enqueues and returns.  Under the latency model the
+  /// calling thread is additionally occupied for the transfer duration
+  /// (blocking-schedule wire occupation).  Throws Error if the
+  /// communicator has been aborted (a surviving rank must not keep
   /// pumping messages nobody will drain).
   void send(int src, int dst, i64 tag, std::vector<double> data);
 
+  /// Non-blocking send (eager protocol): stages the payload into a
+  /// transit buffer drawn from the destination pool, enqueues it with
+  /// its delivery deadline, and returns the caller's buffer to the
+  /// *sender's* pool immediately — the buffer is reusable the moment
+  /// isend returns, and a rank that only sends still gets pool hits.
+  /// The returned request completes (test/wait) when the modelled
+  /// transfer has drained.
+  Request isend(int src, int dst, i64 tag, std::vector<double> data);
+
+  /// Pre-post a receive for the first message from `src` with tag `tag`.
+  /// No resources are reserved: the request records the match keys, and
+  /// test/wait perform the actual (FIFO, deadline-respecting) match.
+  /// Correctness of pre-posted receives therefore requires that no two
+  /// outstanding receives on one rank share (src, tag) — the runtime's
+  /// tag discipline, proven statically by ctile-verify rule V3.
+  Request irecv(int dst, int src, i64 tag);
+
+  /// Completes `req` if possible without blocking.  A send request
+  /// completes once its transfer deadline has passed; a receive request
+  /// completes by consuming a matching deliverable message into
+  /// req.payload.  Returns req.done.
+  bool test(Request& req);
+
+  /// Blocks until `req` completes.  For a receive request the consumed
+  /// payload is returned (zero-copy: the sender's transit buffer); for a
+  /// send request the return value is empty and the wait models the NIC
+  /// draining the wire.  Throws Error if the communicator is aborted
+  /// while waiting on a receive.
+  std::vector<double> wait(Request& req);
+
+  /// wait() over a batch.  Receive payloads stay stashed in each
+  /// request's `payload` field (callers that care drain them
+  /// individually); intended for retiring outstanding send requests.
+  void wait_all(std::vector<Request>& reqs);
+
   /// Blocking receive of the first message from `src` with tag `tag`
-  /// (FIFO among matching messages).  Throws Error if the communicator
-  /// is aborted while waiting.
+  /// (FIFO among matching messages, honouring delivery deadlines).
+  /// Throws Error if the communicator is aborted while waiting.
   std::vector<double> recv(int dst, int src, i64 tag);
 
-  /// True iff a matching message is already queued (non-blocking probe).
+  /// True iff a matching message is already queued and deliverable
+  /// (non-blocking probe).
   bool probe(int dst, int src, i64 tag);
 
   /// Draw a payload buffer of `size` doubles from rank's local pool,
   /// falling back to a fresh allocation when the pool is empty.  The
   /// contents are unspecified — callers overwrite every element when
-  /// packing.  Pass the buffer to send(), which takes ownership.
+  /// packing.  Pass the buffer to send()/isend(), which take ownership.
   std::vector<double> acquire_buffer(int rank, std::size_t size);
 
-  /// Return a buffer (typically one obtained from recv(), after
+  /// Return a buffer (typically one obtained from recv()/wait(), after
   /// unpacking) to rank's local pool so steady-state communication does
-  /// zero heap allocation.  Buffers migrate between pools — a rank
-  /// releases what it received, and draws for what it sends — which is
-  /// balanced for the runtime's symmetric halo exchange.  Pools are
-  /// bounded; excess buffers are simply freed.
+  /// zero heap allocation.  With isend's eager staging every rank's pool
+  /// is fed locally (send buffers at initiation, received transit
+  /// buffers after unpack), so pools no longer rely on symmetric traffic
+  /// to stay warm.  Pools are bounded; excess buffers are simply freed.
   void release_buffer(int rank, std::vector<double>&& buf);
 
   /// Number of acquire_buffer calls served from a pool (for tests
   /// asserting that pooling actually engages in steady state).
   i64 pool_reuses() const;
+
+  /// Largest number of buffers any single rank's pool ever held — the
+  /// pool high-water mark.  Bounded by construction (kMaxPooledBuffers);
+  /// tests assert both that pooling engages (> 0 under traffic) and that
+  /// the bound holds.
+  i64 pool_high_water() const;
 
   /// Full barrier across all ranks.  Throws Error on abort.
   void barrier(int rank);
@@ -93,6 +195,8 @@ class Comm {
   i64 doubles_sent() const;
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
@@ -101,16 +205,31 @@ class Comm {
 
   // Rank-local free lists of payload buffers.  Each pool has its own
   // lock (acquire by the owning rank, release by whichever rank drained
-  // the message), bounded to keep a pathological sender from hoarding
-  // memory.
+  // the message — or by isend staging into the destination pool),
+  // bounded to keep a pathological sender from hoarding memory.
   struct BufferPool {
     std::mutex mu;
     std::vector<std::vector<double>> free;
+    std::size_t high_water = 0;
   };
   static constexpr std::size_t kMaxPooledBuffers = 64;
 
+  /// Delivery deadline of a payload initiated now (epoch when the
+  /// latency model is disabled, so matching stays branch-cheap).
+  Clock::time_point deadline(std::size_t doubles) const;
+
+  /// Enqueue into dst's mailbox and bump the send counters.
+  void enqueue(int dst, Message message);
+
+  /// True iff the message's delivery deadline has passed.
+  static bool deliverable(const Message& m) {
+    return m.ready_at == Clock::time_point{} ||
+           m.ready_at <= Clock::now();
+  }
+
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   std::vector<std::unique_ptr<BufferPool>> pools_;
+  CommConfig config_;
 
   std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;
@@ -127,7 +246,8 @@ class Comm {
 
 /// Run fn(rank, comm) on `size` concurrent threads sharing one Comm.
 /// If any rank throws, aborts the communicator, joins everyone, and
-/// rethrows the first exception.
-void run_ranks(int size, const std::function<void(int, Comm&)>& fn);
+/// rethrows the first exception.  `config` selects the latency model.
+void run_ranks(int size, const std::function<void(int, Comm&)>& fn,
+               CommConfig config = {});
 
 }  // namespace ctile::mpisim

@@ -16,6 +16,13 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+std::vector<TtisRegion> pack_regions_of(const CommPlan& plan) {
+  std::vector<TtisRegion> regions;
+  regions.reserve(plan.directions().size());
+  for (const auto& dir : plan.directions()) regions.push_back(dir.pack);
+  return regions;
+}
+
 }  // namespace
 
 ParallelExecutor::ParallelExecutor(const TiledNest& tiled,
@@ -26,7 +33,9 @@ ParallelExecutor::ParallelExecutor(const TiledNest& tiled,
       mapping_(tiled, force_m, &census_),
       lds_(tiled, mapping_),
       plan_(tiled, mapping_, lds_),
-      classifier_(tiled, &census_) {
+      pack_regions_(pack_regions_of(plan_)),
+      classifier_(tiled, &census_, &pack_regions_),
+      band_(tiled.transform(), pack_regions_) {
   // One layout + slot-table bundle per distinct chain-window length:
   // processors with equally long chains share byte-identical tables, so
   // the setup cost is O(#distinct lengths), not O(#processors).
@@ -94,14 +103,12 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
   for (int l = 0; l < q; ++l) dpcols.push_back(dprime.col(l));
   std::vector<i64> delta(static_cast<std::size_t>(q));
 
-  for (i64 t = window.lo; t <= window.hi; ++t) {
-    const VecI js = mapping_.tile_at(pid, t);
-    if (!mapping_.valid(js)) continue;
-    const i64 t_loc = t - window.lo;  // chain position within this LDS
-
-    // ---- RECEIVE (\S3.2): one message per (predecessor tile, direction)
-    // for which this tile is the lexicographically minimum successor.
-    const auto& tile_deps = plan_.tile_deps();
+  // ---- RECEIVE enumeration (\S3.2): one message per (predecessor tile,
+  // direction) for which this tile is the lexicographically minimum
+  // successor.  fn(dep index, source rank, tag); shared by the blocking
+  // receive loop and the overlapped pre-posting.
+  const auto& tile_deps = plan_.tile_deps();
+  auto for_each_receive = [&](const VecI& js, i64 t, auto&& fn) {
     for (std::size_t di = 0; di < tile_deps.size(); ++di) {
       const TileDep& dep = tile_deps[di];
       if (dep.dir < 0) continue;  // chain-internal: local through the LDS
@@ -113,119 +120,19 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
       const bool on_mesh = mapping_.neighbor(pid, vec_neg(dep.dm), &src_pid);
       CTILE_ASSERT_MSG(on_mesh, "valid predecessor off the processor mesh");
       const i64 sender_t = sub_ck(t, dep.ds[static_cast<std::size_t>(m)]);
-      const auto recv_start = Clock::now();
-      std::vector<double> buf = comm.recv(
-          rank, mapping_.rank_of(src_pid), tag_of(dep.dir, sender_t));
-      phase->recv_wait_s += seconds_since(recv_start);
-      // Unpack into the halo slots shifted by (d^S_k v_k / c_k).
-      const auto unpack_start = Clock::now();
-      if (use_slot_tables_) {
-        // Precomputed path: base slots at t_loc = 0 plus the affine
-        // chain offset — no lattice enumeration in steady state.
-        const std::vector<i64>& slots = table.unpack_slots(di);
-        const i64 off = mul_ck(t_loc, chain_step);
-        CTILE_ASSERT_MSG(slots.size() * static_cast<std::size_t>(arity) ==
-                             buf.size(),
-                         "unpack table size mismatch with received message");
-        const double* src = buf.data();
-        for (const i64 base : slots) {
-          local.check_slot(base + off);
-          double* dst = &la[static_cast<std::size_t>((base + off) * arity)];
-          for (int v = 0; v < arity; ++v) dst[v] = *src++;
-        }
-      } else {
-        const TtisRegion region = plan_.unpack_region(dep);
-        const VecI shift = plan_.unpack_shift(dep);
-        std::size_t count = 0;
-        for_each_lattice_point(tf, region, [&](const VecI& jp) {
-          VecI jpp = local.map(jp, t_loc);
-          for (int k = 0; k < n; ++k) {
-            jpp[static_cast<std::size_t>(k)] =
-                sub_ck(jpp[static_cast<std::size_t>(k)],
-                       shift[static_cast<std::size_t>(k)]);
-          }
-          const i64 slot = local.linear(jpp);
-          for (int v = 0; v < arity; ++v) {
-            la[static_cast<std::size_t>(slot * arity + v)] = buf[count++];
-          }
-        });
-        CTILE_ASSERT_MSG(count == buf.size(),
-                         "unpack region size mismatch with received message");
-      }
-      comm.release_buffer(rank, std::move(buf));
-      phase->unpack_s += seconds_since(unpack_start);
+      fn(di, mapping_.rank_of(src_pid), tag_of(dep.dir, sender_t));
     }
+  };
 
-    // ---- COMPUTE: sweep the TTIS (boundary tiles clipped by J^n).
-    const auto compute_start = Clock::now();
-    if (use_fast_sweep_ && classifier_.interior(js)) {
-      // Interior tile: every lattice point is a real iteration and every
-      // predecessor is in-space (already in the LDS), so the sweep is
-      // flat affine row arithmetic — per-row bases and dependence slot
-      // deltas, then la[s + delta_l], s += sstep per point; no
-      // contains() tests, no initial-value branches, no per-point
-      // map/linear (paper Fig. 2's flat stride-c_k loops).
-      for (TtisRowWalker row(tf, full_region); row.valid(); row.next()) {
-        const VecI& jp0 = row.row_start();
-        i64 s = local.row_base(jp0, t_loc);
-        for (int l = 0; l < q; ++l) {
-          delta[static_cast<std::size_t>(l)] =
-              local.dep_delta(jp0, dpcols[static_cast<std::size_t>(l)]);
-        }
-        VecI j = tf.point_of(js, jp0);
-        const i64 cnt = row.row_points();
-        for (i64 i = 0; i < cnt; ++i) {
-          for (int l = 0; l < q; ++l) {
-            local.check_slot(s + delta[static_cast<std::size_t>(l)]);
-            const double* src = &la[static_cast<std::size_t>(
-                (s + delta[static_cast<std::size_t>(l)]) * arity)];
-            double* dst = &dep_vals[static_cast<std::size_t>(l) * static_cast<std::size_t>(arity)];
-            for (int v = 0; v < arity; ++v) dst[v] = src[v];
-          }
-          kernel_->compute(j, dep_vals.data(), out.data());
-          local.check_slot(s);
-          double* dst = &la[static_cast<std::size_t>(s * arity)];
-          for (int v = 0; v < arity; ++v) dst[v] = out[v];
-          s += sstep;
-          for (int k = 0; k < n; ++k) {
-            j[static_cast<std::size_t>(k)] +=
-                jstep[static_cast<std::size_t>(k)];
-          }
-        }
-        *points += cnt;
-      }
-    } else {
-      tiled_->for_each_tile_point(js, [&](const VecI& jp, const VecI& j) {
-        for (int l = 0; l < q; ++l) {
-          double* dst = &dep_vals[static_cast<std::size_t>(l) * static_cast<std::size_t>(arity)];
-          const VecI pred_j = vec_sub(j, deps.col(l));
-          if (space.contains(pred_j)) {
-            const VecI pred_jp = vec_sub(jp, dprime.col(l));
-            const i64 slot = local.slot(pred_jp, t_loc);
-            for (int v = 0; v < arity; ++v) {
-              dst[v] = la[static_cast<std::size_t>(slot * arity + v)];
-            }
-          } else {
-            kernel_->initial(pred_j, dst);
-          }
-        }
-        kernel_->compute(j, dep_vals.data(), out.data());
-        const i64 slot = local.slot(jp, t_loc);
-        for (int v = 0; v < arity; ++v) {
-          la[static_cast<std::size_t>(slot * arity + v)] = out[v];
-        }
-        ++*points;
-      });
-    }
-    phase->compute_s += seconds_since(compute_start);
-
-    // ---- SEND (\S3.2): one aggregated message per successor processor
-    // that owns at least one valid successor tile.
-    const auto& dirs = plan_.directions();
+  // ---- SEND enumeration (\S3.2): one aggregated message per successor
+  // processor that owns at least one valid successor tile.
+  // fn(direction index, destination rank).
+  const auto& dirs = plan_.directions();
+  auto for_each_send = [&](const VecI& js, auto&& fn) {
     for (std::size_t d = 0; d < dirs.size(); ++d) {
       const int dir = static_cast<int>(d);
       bool any_valid_succ = false;
-      for (const TileDep& dep : plan_.tile_deps()) {
+      for (const TileDep& dep : tile_deps) {
         if (dep.dir != dir) continue;
         if (mapping_.valid(vec_add(js, dep.ds))) {
           any_valid_succ = true;
@@ -236,35 +143,268 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
       VecI dst_pid;
       const bool on_mesh = mapping_.neighbor(pid, dirs[d].dm, &dst_pid);
       CTILE_ASSERT_MSG(on_mesh, "valid successor off the processor mesh");
-      const auto pack_start = Clock::now();
-      std::vector<double> buf;
-      if (use_slot_tables_) {
-        const std::vector<i64>& slots = table.pack_slots(dir);
-        buf = comm.acquire_buffer(
-            rank, slots.size() * static_cast<std::size_t>(arity));
-        const i64 off = mul_ck(t_loc, chain_step);
-        double* dst = buf.data();
-        for (const i64 base : slots) {
-          local.check_slot(base + off);
-          const double* src =
-              &la[static_cast<std::size_t>((base + off) * arity)];
-          for (int v = 0; v < arity; ++v) *dst++ = src[v];
-        }
-      } else {
-        buf.reserve(
-            static_cast<std::size_t>(plan_.message_points(dir) * arity));
-        for_each_lattice_point(tf, dirs[d].pack, [&](const VecI& jp) {
-          const i64 slot = local.slot(jp, t_loc);
-          for (int v = 0; v < arity; ++v) {
-            buf.push_back(la[static_cast<std::size_t>(slot * arity + v)]);
-          }
-        });
+      fn(dir, mapping_.rank_of(dst_pid));
+    }
+  };
+
+  // Unpack a received message into the halo slots shifted by
+  // (d^S_k v_k / c_k); releases the buffer back into the rank's pool.
+  auto unpack_message = [&](std::size_t di, std::vector<double> buf,
+                            i64 t_loc) {
+    const auto unpack_start = Clock::now();
+    if (use_slot_tables_) {
+      // Precomputed path: base slots at t_loc = 0 plus the affine
+      // chain offset — no lattice enumeration in steady state.
+      const std::vector<i64>& slots = table.unpack_slots(di);
+      const i64 off = mul_ck(t_loc, chain_step);
+      CTILE_ASSERT_MSG(slots.size() * static_cast<std::size_t>(arity) ==
+                           buf.size(),
+                       "unpack table size mismatch with received message");
+      const double* src = buf.data();
+      for (const i64 base : slots) {
+        local.check_slot(base + off);
+        double* dst = &la[static_cast<std::size_t>((base + off) * arity)];
+        for (int v = 0; v < arity; ++v) dst[v] = *src++;
       }
-      phase->pack_s += seconds_since(pack_start);
-      comm.send(rank, mapping_.rank_of(dst_pid), tag_of(dir, t),
-                std::move(buf));
+    } else {
+      const TileDep& dep = tile_deps[di];
+      const TtisRegion region = plan_.unpack_region(dep);
+      const VecI shift = plan_.unpack_shift(dep);
+      std::size_t count = 0;
+      for_each_lattice_point(tf, region, [&](const VecI& jp) {
+        VecI jpp = local.map(jp, t_loc);
+        for (int k = 0; k < n; ++k) {
+          jpp[static_cast<std::size_t>(k)] =
+              sub_ck(jpp[static_cast<std::size_t>(k)],
+                     shift[static_cast<std::size_t>(k)]);
+        }
+        const i64 slot = local.linear(jpp);
+        for (int v = 0; v < arity; ++v) {
+          la[static_cast<std::size_t>(slot * arity + v)] = buf[count++];
+        }
+      });
+      CTILE_ASSERT_MSG(count == buf.size(),
+                       "unpack region size mismatch with received message");
+    }
+    comm.release_buffer(rank, std::move(buf));
+    phase->unpack_s += seconds_since(unpack_start);
+  };
+
+  // Gather the pack region of `dir` for chain position t_loc into a
+  // pooled buffer.
+  auto pack_message = [&](int dir, i64 t_loc) -> std::vector<double> {
+    const auto pack_start = Clock::now();
+    std::vector<double> buf;
+    if (use_slot_tables_) {
+      const std::vector<i64>& slots = table.pack_slots(dir);
+      buf = comm.acquire_buffer(rank,
+                                slots.size() * static_cast<std::size_t>(arity));
+      const i64 off = mul_ck(t_loc, chain_step);
+      double* dst = buf.data();
+      for (const i64 base : slots) {
+        local.check_slot(base + off);
+        const double* src =
+            &la[static_cast<std::size_t>((base + off) * arity)];
+        for (int v = 0; v < arity; ++v) *dst++ = src[v];
+      }
+    } else {
+      buf.reserve(static_cast<std::size_t>(plan_.message_points(dir) * arity));
+      for_each_lattice_point(
+          tf, dirs[static_cast<std::size_t>(dir)].pack, [&](const VecI& jp) {
+            const i64 slot = local.slot(jp, t_loc);
+            for (int v = 0; v < arity; ++v) {
+              buf.push_back(la[static_cast<std::size_t>(slot * arity + v)]);
+            }
+          });
+    }
+    phase->pack_s += seconds_since(pack_start);
+    return buf;
+  };
+
+  // Strength-reduced interior sweep over part of the tile: flat affine
+  // row arithmetic — per-row bases and dependence slot deltas, then
+  // la[s + delta_l], s += sstep per point; no contains() tests, no
+  // initial-value branches, no per-point map/linear (paper Fig. 2's flat
+  // stride-c_k loops).  `part` selects the whole row (blocking
+  // schedule), the interior remainder prefix, or the boundary band
+  // suffix (overlapped schedule; remainder is swept first — the legal
+  // topological order, see tiling/interior.hpp).
+  enum class Part { kAll, kRemainder, kBand };
+  auto sweep_fast = [&](const VecI& js, i64 t_loc, Part part) {
+    std::size_t r = 0;
+    for (TtisRowWalker row(tf, full_region); row.valid(); row.next(), ++r) {
+      const i64 cnt = row.row_points();
+      i64 begin = 0;
+      i64 end = cnt;
+      if (part == Part::kRemainder) {
+        end = band_.split(r);
+      } else if (part == Part::kBand) {
+        begin = band_.split(r);
+      }
+      if (begin >= end) continue;
+      const VecI& jp0 = row.row_start();
+      i64 s = local.row_base(jp0, t_loc) + begin * sstep;
+      for (int l = 0; l < q; ++l) {
+        delta[static_cast<std::size_t>(l)] =
+            local.dep_delta(jp0, dpcols[static_cast<std::size_t>(l)]);
+      }
+      VecI j = tf.point_of(js, jp0);
+      if (begin != 0) {
+        for (int k = 0; k < n; ++k) {
+          j[static_cast<std::size_t>(k)] +=
+              begin * jstep[static_cast<std::size_t>(k)];
+        }
+      }
+      for (i64 i = begin; i < end; ++i) {
+        for (int l = 0; l < q; ++l) {
+          local.check_slot(s + delta[static_cast<std::size_t>(l)]);
+          const double* src = &la[static_cast<std::size_t>(
+              (s + delta[static_cast<std::size_t>(l)]) * arity)];
+          double* dst = &dep_vals[static_cast<std::size_t>(l) * static_cast<std::size_t>(arity)];
+          for (int v = 0; v < arity; ++v) dst[v] = src[v];
+        }
+        kernel_->compute(j, dep_vals.data(), out.data());
+        local.check_slot(s);
+        double* dst = &la[static_cast<std::size_t>(s * arity)];
+        for (int v = 0; v < arity; ++v) dst[v] = out[v];
+        s += sstep;
+        for (int k = 0; k < n; ++k) {
+          j[static_cast<std::size_t>(k)] +=
+              jstep[static_cast<std::size_t>(k)];
+        }
+      }
+      *points += end - begin;
+    }
+  };
+
+  // General clipped sweep (boundary tiles, or the legacy reference).
+  auto sweep_general = [&](const VecI& js, i64 t_loc) {
+    tiled_->for_each_tile_point(js, [&](const VecI& jp, const VecI& j) {
+      for (int l = 0; l < q; ++l) {
+        double* dst = &dep_vals[static_cast<std::size_t>(l) * static_cast<std::size_t>(arity)];
+        const VecI pred_j = vec_sub(j, deps.col(l));
+        if (space.contains(pred_j)) {
+          const VecI pred_jp = vec_sub(jp, dprime.col(l));
+          const i64 slot = local.slot(pred_jp, t_loc);
+          for (int v = 0; v < arity; ++v) {
+            dst[v] = la[static_cast<std::size_t>(slot * arity + v)];
+          }
+        } else {
+          kernel_->initial(pred_j, dst);
+        }
+      }
+      kernel_->compute(j, dep_vals.data(), out.data());
+      const i64 slot = local.slot(jp, t_loc);
+      for (int v = 0; v < arity; ++v) {
+        la[static_cast<std::size_t>(slot * arity + v)] = out[v];
+      }
+      ++*points;
+    });
+  };
+
+  if (!use_overlap_) {
+    // ---- Blocking reference schedule: RECEIVE, COMPUTE, SEND, with the
+    // sender occupied for the full transfer of every message.
+    for (i64 t = window.lo; t <= window.hi; ++t) {
+      const VecI js = mapping_.tile_at(pid, t);
+      if (!mapping_.valid(js)) continue;
+      const i64 t_loc = t - window.lo;  // chain position within this LDS
+
+      for_each_receive(js, t, [&](std::size_t di, int src_rank, i64 tag) {
+        const auto recv_start = Clock::now();
+        std::vector<double> buf = comm.recv(rank, src_rank, tag);
+        phase->recv_wait_s += seconds_since(recv_start);
+        unpack_message(di, std::move(buf), t_loc);
+      });
+
+      const auto compute_start = Clock::now();
+      if (use_fast_sweep_ && classifier_.interior(js)) {
+        sweep_fast(js, t_loc, Part::kAll);
+      } else {
+        sweep_general(js, t_loc);
+      }
+      phase->compute_s += seconds_since(compute_start);
+
+      for_each_send(js, [&](int dir, int dst_rank) {
+        std::vector<double> buf = pack_message(dir, t_loc);
+        const auto send_start = Clock::now();
+        comm.send(rank, dst_rank, tag_of(dir, t), std::move(buf));
+        phase->send_wait_s += seconds_since(send_start);
+      });
+    }
+    return;
+  }
+
+  // ---- Overlapped (pipelined) schedule.  Steady state for tile t:
+  // drain the irecvs pre-posted at t-1, sweep the interior remainder,
+  // sweep the boundary band (its values are the only ones neighbours
+  // wait for), pack + isend immediately, pre-post irecvs for the next
+  // tile — the isends' transfers then drain while the next tile's
+  // remainder computes.  Same receive events, same per-point dataflow as
+  // the blocking path; only the waiting moves off the critical path.
+  std::vector<mpisim::Request> recv_reqs;
+  std::vector<std::size_t> recv_dis;
+  i64 posted_for = window.lo - 1;
+  std::vector<mpisim::Request> send_reqs;
+
+  auto post_recvs = [&](const VecI& js, i64 t) {
+    recv_reqs.clear();
+    recv_dis.clear();
+    for_each_receive(js, t, [&](std::size_t di, int src_rank, i64 tag) {
+      recv_reqs.push_back(comm.irecv(rank, src_rank, tag));
+      recv_dis.push_back(di);
+    });
+    posted_for = t;
+  };
+
+  for (i64 t = window.lo; t <= window.hi; ++t) {
+    const VecI js = mapping_.tile_at(pid, t);
+    if (!mapping_.valid(js)) continue;
+    const i64 t_loc = t - window.lo;
+    if (posted_for != t) post_recvs(js, t);  // bootstrap the pipeline
+
+    for (std::size_t i = 0; i < recv_reqs.size(); ++i) {
+      const auto recv_start = Clock::now();
+      std::vector<double> buf = comm.wait(recv_reqs[i]);
+      phase->recv_wait_s += seconds_since(recv_start);
+      unpack_message(recv_dis[i], std::move(buf), t_loc);
+    }
+    recv_reqs.clear();
+    recv_dis.clear();
+
+    const bool fast = use_fast_sweep_ && classifier_.interior(js);
+    const auto compute_start = Clock::now();
+    if (fast) {
+      sweep_fast(js, t_loc, Part::kRemainder);
+      sweep_fast(js, t_loc, Part::kBand);
+    } else {
+      // Boundary tiles (and the legacy reference sweep) have no
+      // precomputed band split; sweep whole and send at the end — still
+      // overlapped with the next tile via isend.
+      sweep_general(js, t_loc);
+    }
+    phase->compute_s += seconds_since(compute_start);
+
+    for_each_send(js, [&](int dir, int dst_rank) {
+      std::vector<double> buf = pack_message(dir, t_loc);
+      send_reqs.push_back(
+          comm.isend(rank, dst_rank, tag_of(dir, t), std::move(buf)));
+    });
+
+    for (i64 tn = t + 1; tn <= window.hi; ++tn) {
+      const VecI jn = mapping_.tile_at(pid, tn);
+      if (!mapping_.valid(jn)) continue;
+      post_recvs(jn, tn);
+      break;
     }
   }
+
+  // Retire the outstanding isends: under the latency model this waits
+  // for the last transfers to drain — time the blocking path charges per
+  // message on the critical path.
+  const auto send_wait_start = Clock::now();
+  comm.wait_all(send_reqs);
+  phase->send_wait_s += seconds_since(send_wait_start);
 }
 
 std::vector<std::pair<i64, const LdsLayout*>> ParallelExecutor::window_layouts()
@@ -287,16 +427,19 @@ DataSpace ParallelExecutor::run(ParallelRunStats* stats) const {
   std::vector<PhaseTimes> phases(static_cast<std::size_t>(nprocs));
 
   i64 messages = 0, doubles = 0;
-  mpisim::run_ranks(nprocs, [&](int rank, mpisim::Comm& comm) {
-    auto& la = arrays[static_cast<std::size_t>(rank)];
-    run_rank(rank, comm, la, &points[static_cast<std::size_t>(rank)],
-             &phases[static_cast<std::size_t>(rank)]);
-    comm.barrier(rank);  // all sends settled before stats are read
-    if (rank == 0) {
-      messages = comm.messages_sent();
-      doubles = comm.doubles_sent();
-    }
-  });
+  mpisim::run_ranks(
+      nprocs,
+      [&](int rank, mpisim::Comm& comm) {
+        auto& la = arrays[static_cast<std::size_t>(rank)];
+        run_rank(rank, comm, la, &points[static_cast<std::size_t>(rank)],
+                 &phases[static_cast<std::size_t>(rank)]);
+        comm.barrier(rank);  // all sends settled before stats are read
+        if (rank == 0) {
+          messages = comm.messages_sent();
+          doubles = comm.doubles_sent();
+        }
+      },
+      mpisim::CommConfig{latency_});
 
   // ---- Write-back (Figure 4): every computation slot travels
   // LDS --map^{-1}--> (j', t) --loc^{-1}--> j in J^n --f_w--> DS,
@@ -357,6 +500,7 @@ DataSpace ParallelExecutor::run(ParallelRunStats* stats) const {
       stats->phase_total.pack_s += p.pack_s;
       stats->phase_total.unpack_s += p.unpack_s;
       stats->phase_total.recv_wait_s += p.recv_wait_s;
+      stats->phase_total.send_wait_s += p.send_wait_s;
     }
   }
   return ds;

@@ -24,6 +24,19 @@
 // lattice-enumeration path is kept behind set_use_slot_tables(false) as
 // the reference for equivalence tests and benches.
 //
+// By default the executor runs the *overlapped* (pipelined) schedule of
+// the authors' IPDPS'01 follow-up (paper \S5): receives for tile t are
+// pre-posted while tile t-1's messages are still in flight, the tile
+// sweep is split into the interior remainder and the communication
+// boundary band (BandSplit; remainder first — the legal topological
+// order, see tiling/interior.hpp), and the band's values are packed and
+// handed to non-blocking isends the moment they exist, so the transfer
+// drains while the next tile's remainder computes.  The blocking
+// RECEIVE/COMPUTE/SEND reference is kept behind set_use_overlap(false)
+// with a bitwise-equivalence guarantee: both schedules execute the same
+// receive events and the same per-point data flow, only the waiting
+// moves.
+//
 // Reads falling outside the iteration space J^n take the kernel's initial
 // values; every other read is local by construction of the LDS (the
 // computer-owns rule plus halo unpacking).
@@ -48,6 +61,8 @@ struct PhaseTimes {
   double pack_s = 0.0;       ///< SEND: gathering boundary data
   double unpack_s = 0.0;     ///< RECEIVE: scattering halo data
   double recv_wait_s = 0.0;  ///< RECEIVE: blocked waiting for a message
+  double send_wait_s = 0.0;  ///< SEND: blocked while the wire drains
+                             ///< (blocking sends, or retiring isends)
 };
 
 struct ParallelRunStats {
@@ -56,6 +71,17 @@ struct ParallelRunStats {
   i64 points_computed = 0; ///< total iterations executed across ranks
   PhaseTimes phase_total;  ///< phase times summed over all ranks
   std::vector<PhaseTimes> phase_by_rank;  ///< per-rank phase times
+
+  /// Fraction of the ranks' phase time spent computing, i.e. how well
+  /// communication was hidden: 1.0 means every message cost vanished
+  /// behind compute, lower means packing/unpacking/waiting showed on
+  /// the critical path.  0 when nothing was timed.
+  double overlap_efficiency() const {
+    const double total = phase_total.compute_s + phase_total.pack_s +
+                         phase_total.unpack_s + phase_total.recv_wait_s +
+                         phase_total.send_wait_s;
+    return total > 0.0 ? phase_total.compute_s / total : 0.0;
+  }
 };
 
 class ParallelExecutor {
@@ -72,6 +98,7 @@ class ParallelExecutor {
   const LdsLayout& lds() const { return lds_; }
   const CommPlan& plan() const { return plan_; }
   const TileClassifier& classifier() const { return classifier_; }
+  const BandSplit& band() const { return band_; }
 
   /// The per-chain-window-length LDS layouts lowered at construction
   /// (window length, layout), for plan inspection and verification.
@@ -99,6 +126,25 @@ class ParallelExecutor {
   void set_use_fast_sweep(bool on) { use_fast_sweep_ = on; }
   bool use_fast_sweep() const { return use_fast_sweep_; }
 
+  /// Toggle the overlapped (pipelined) schedule (default on): pre-posted
+  /// irecvs, remainder/band split sweep, pack + isend at band
+  /// completion.  The blocking RECEIVE/COMPUTE/SEND path is retained as
+  /// the reference implementation; both must produce bitwise-identical
+  /// data spaces (the split sweep is a topological reordering of the
+  /// same per-point dataflow — see tiling/interior.hpp).
+  void set_use_overlap(bool on) { use_overlap_ = on; }
+  bool use_overlap() const { return use_overlap_; }
+
+  /// Install a synthetic transfer-latency model for run(): messages take
+  /// per_message_s + size * per_double_s to deliver, and blocking sends
+  /// occupy the sender for that long while isends do not — making the
+  /// overlap measurable in-process (mirrors cluster/simulator's
+  /// kBlocking vs kOverlapped schedules).  Disabled by default.
+  void set_latency_model(const mpisim::LatencyModel& model) {
+    latency_ = model;
+  }
+  const mpisim::LatencyModel& latency_model() const { return latency_; }
+
   /// Run all ranks (threads), gather every processor's computation slots
   /// through loc^{-1} into a fresh DataSpace, and return it with stats.
   DataSpace run(ParallelRunStats* stats = nullptr) const;
@@ -125,16 +171,21 @@ class ParallelExecutor {
   Mapping mapping_;
   LdsLayout lds_;
   CommPlan plan_;
+  std::vector<TtisRegion> pack_regions_;  // per direction, for the band
   TileClassifier classifier_;
+  BandSplit band_;
   std::map<i64, std::unique_ptr<RankLocal>> locals_;  // by window length
   bool use_slot_tables_ = true;
   bool use_fast_sweep_ = true;
+  bool use_overlap_ = true;
+  mpisim::LatencyModel latency_;
   std::function<void()> pre_run_gate_;
 
   /// The cached layout + slot tables for a (non-empty) window length.
   const RankLocal& local_for(i64 chain_len) const;
 
-  /// The per-rank program (RECEIVE / compute / SEND over the chain).
+  /// The per-rank program (RECEIVE / compute / SEND over the chain,
+  /// blocking or pipelined according to use_overlap_).
   void run_rank(int rank, mpisim::Comm& comm, std::vector<double>& la,
                 i64* points, PhaseTimes* phase) const;
 

@@ -1,11 +1,52 @@
 #include "tiling/interior.hpp"
 
+#include <algorithm>
+
 #include "linalg/rat_matops.hpp"
 
 namespace ctile {
 
+BandSplit::BandSplit(const TilingTransform& tf,
+                     const std::vector<TtisRegion>& band_regions) {
+  const int n = tf.n();
+  const std::size_t inner = static_cast<std::size_t>(n) - 1;
+  for (TtisRowWalker row(tf, full_ttis_region(tf)); row.valid(); row.next()) {
+    const VecI& jp = row.row_start();
+    const i64 cnt = row.row_points();
+    const i64 c = row.inner_stride();
+    i64 split = cnt;
+    for (const TtisRegion& region : band_regions) {
+      bool active = true;
+      for (std::size_t k = 0; k < inner; ++k) {
+        if (jp[k] < region.lo[k] || jp[k] > region.hi[k]) {
+          active = false;
+          break;
+        }
+      }
+      if (!active) continue;
+      const i64 first =
+          std::max<i64>(0, ceil_div(region.lo[inner] - jp[inner], c));
+      if (first >= cnt) continue;
+      // The suffix invariant the whole split rests on: a pack region
+      // that touches a row covers it through the row's last point.
+      CTILE_ASSERT_MSG(
+          region.hi[inner] >= jp[inner] + (cnt - 1) * c,
+          "pack region is not a row suffix; band split inapplicable");
+      split = std::min(split, first);
+    }
+    split_.push_back(split);
+    remainder_points_ = add_ck(remainder_points_, split);
+    band_points_ = add_ck(band_points_, cnt - split);
+  }
+}
+
 TileClassifier::TileClassifier(const TiledNest& tiled,
-                               const TileCensus* census) {
+                               const TileCensus* census,
+                               const std::vector<TtisRegion>* band_regions) {
+  if (band_regions != nullptr) {
+    band_points_ =
+        BandSplit(tiled.transform(), *band_regions).band_points();
+  }
   const TilingTransform& tf = tiled.transform();
   const Polyhedron& space = tiled.nest().space;
   const MatI& deps = tiled.nest().deps;

@@ -1,4 +1,6 @@
-// Interior/boundary tile classification for the strength-reduced sweep.
+// Interior/boundary tile classification for the strength-reduced sweep,
+// and the intra-tile boundary-band/interior-remainder split for the
+// overlapped (pipelined) schedule.
 //
 // A tile j^S is *interior* when (a) every TTIS lattice point of the tile
 // is a real iteration point (the clipped walk equals the unclipped one)
@@ -22,16 +24,74 @@
 #pragma once
 
 #include "tiling/census.hpp"
+#include "tiling/ttis.hpp"
 
 namespace ctile {
+
+/// Partition of the full-tile TTIS lattice into the communication
+/// *boundary band* — the union of the pack regions, i.e. the points
+/// whose values some neighbour processor is waiting for — and the
+/// *interior remainder* (everything else).
+///
+/// Pack regions are one-sided boxes reaching the tile's top corner
+/// (lo_k = max(0, dm_k * cc_k), hi_k = v_k - 1), so within each TTIS
+/// row the band is a *suffix* of the row's points (asserted at
+/// construction) and the whole partition is captured by one split index
+/// per row: row points [0, split) are remainder, [split, row_points)
+/// are band.  Rows are those of TtisRowWalker over the full tile, which
+/// are identical for every tile, so one BandSplit serves all tiles and
+/// all chain positions.
+///
+/// Legality of sweeping the remainder before the band: every
+/// transformed dependence d' is componentwise non-negative, and each
+/// pack region is upward closed in the tile box, so a remainder point p
+/// with predecessor p - d' in some pack region would itself lie in that
+/// region — contradiction.  Hence no remainder point reads a band point
+/// and remainder-first / band-last is a topological order of the
+/// intra-tile dependences; the overlapped executor exploits this to
+/// fire non-blocking sends the moment the band is done, hiding the
+/// transfer behind nothing — the remainder has already been computed —
+/// while the *next* tile's remainder overlaps the messages in flight.
+class BandSplit {
+ public:
+  BandSplit(const TilingTransform& tf,
+            const std::vector<TtisRegion>& band_regions);
+
+  /// Number of TTIS rows of the full tile.
+  std::size_t rows() const { return split_.size(); }
+
+  /// First band point index of row `row` (== the number of remainder
+  /// points of that row; equals the row's point count when the row has
+  /// no band points).
+  i64 split(std::size_t row) const {
+    CTILE_ASSERT(row < split_.size());
+    return split_[row];
+  }
+
+  /// Lattice points in the band (union of the pack regions) per tile.
+  i64 band_points() const { return band_points_; }
+
+  /// Lattice points in the remainder per tile.
+  i64 remainder_points() const { return remainder_points_; }
+
+ private:
+  std::vector<i64> split_;
+  i64 band_points_ = 0;
+  i64 remainder_points_ = 0;
+};
 
 class TileClassifier {
  public:
   /// Classifies every tile of the tile-space bounding box.  `census` is
   /// optional (may be null); when present it both sharpens the fullness
-  /// test and short-circuits obviously-boundary tiles.
+  /// test and short-circuits obviously-boundary tiles.  `band_regions`
+  /// (optional) are the communication pack regions; when given, the
+  /// classifier also computes the boundary-band point count, so benches
+  /// can report the compute-to-hideable-communication ratio.
   explicit TileClassifier(const TiledNest& tiled,
-                          const TileCensus* census = nullptr);
+                          const TileCensus* census = nullptr,
+                          const std::vector<TtisRegion>* band_regions =
+                              nullptr);
 
   /// True iff js was classified interior (false outside the box).
   bool interior(const VecI& js) const;
@@ -39,11 +99,16 @@ class TileClassifier {
   /// Number of interior tiles in the box.
   i64 num_interior() const { return num_interior_; }
 
+  /// Lattice points per tile in the communication boundary band (the
+  /// union of the pack regions); 0 when no band regions were supplied.
+  i64 boundary_band_points() const { return band_points_; }
+
  private:
   VecI lo_;
   VecI ext_;
   std::vector<unsigned char> flags_;
   i64 num_interior_ = 0;
+  i64 band_points_ = 0;
 };
 
 }  // namespace ctile

@@ -98,6 +98,8 @@ PlanModel snapshot_plan(
   // The paper's linear schedule Pi = [1,...,1].
   model.pi.assign(static_cast<std::size_t>(model.n), 1);
 
+  model.chain_length = mapping.chain_length();
+
   for (int k = 0; k < model.n; ++k) {
     i64 dmax = 0;
     for (int l = 0; l < model.Dp.cols(); ++l) {

@@ -62,6 +62,16 @@ struct PlanModel {
   VecI dep_max;  ///< max_l d'_kl per dimension
   VecI cc;       ///< communication vector cc_k = v_k - dep_max_k
 
+  /// Delivery discipline the executor runs.  Pipelined (the default
+  /// overlapped schedule) means receives are pre-posted and sends are
+  /// non-blocking isends matched by (source rank, tag) alone — channel
+  /// FIFO order no longer disambiguates two in-flight messages, so V3
+  /// additionally proves per-receiver tag uniqueness and V4 covers the
+  /// relaxed wait-for discipline.  Set false to verify only the
+  /// strictly-blocking reference schedule.
+  bool pipelined = true;
+  i64 chain_length = 0;  ///< global chain length (the message tag stride)
+
   VecI mesh_lo;  ///< tile-space bounding box used by the mapping
   VecI mesh_hi;
   VecI grid;     ///< processor-mesh extents (n-1 components)

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <tuple>
 
 #include "deps/tiling_cone.hpp"
 #include "linalg/int_matops.hpp"
@@ -403,6 +404,13 @@ void check_v2(Ctx& ctx) {
 // TTIS point the consumer reads (checked per dimension), a unique valid
 // receiving tile exists on the destination processor, and the receive
 // happens no later than the consuming tile's chain position.
+//
+// Under the pipelined delivery discipline (pm.pipelined), receives are
+// pre-posted and matched by (source rank, tag) alone — tag = direction
+// * chain_length + sender chain position — so V3 additionally proves
+// that no receiver processor ever has two receive events with the same
+// (source processor, direction, sender chain position): crossed wires
+// would unpack one tile's halo into another tile's slots.
 // ---------------------------------------------------------------------
 void check_v3(Ctx& ctx) {
   const PlanModel& pm = ctx.pm;
@@ -601,13 +609,64 @@ void check_v3(Ctx& ctx) {
       }
     }
   }
+
+  // Pipelined delivery: per-receiver tag uniqueness.  The message tag
+  // is dir * chain_length + sender_t, and the sender rank is determined
+  // by the source processor, so the match key of every pre-posted
+  // receive is (source processor, direction, sender chain position).
+  // Prove it injective over each receiver processor's whole chain —
+  // that is exactly what makes posting a receive early (before the
+  // previous tile's messages have drained) unable to capture the wrong
+  // message.
+  if (pm.pipelined) {
+    std::map<std::tuple<VecI, VecI, int, i64>, VecI> first_consumer;
+    for_each_receive_event(pm, [&](const VecI& pred, std::size_t di,
+                                   const VecI& receiver) {
+      if (ctx.capped(rule)) return;
+      const TileDepModel& dep = pm.tile_deps[di];
+      const auto [rpid, rt] = pm.owner_of(receiver);
+      (void)rt;
+      const auto [spid, st] = pm.owner_of(pred);
+      const auto key = std::make_tuple(rpid, spid, dep.dir, st);
+      const auto [it, inserted] = first_consumer.emplace(key, receiver);
+      if (!inserted) {
+        Witness w;
+        w.tile = receiver;
+        w.dep = dep.ds;
+        ctx.add(rule, Severity::kError,
+                "pipelined delivery: the processor of tile " +
+                    format_vec(receiver) +
+                    " posts two receives matching tag (direction " +
+                    std::to_string(dep.dir) + ", sender chain position " +
+                    std::to_string(st) +
+                    ") from the same source processor (first consumer: "
+                    "tile " + format_vec(it->second) +
+                    ") — pre-posted matching would cross the messages",
+                std::move(w),
+                "one receive event per (source, direction, sender chain "
+                "position): deduplicate the tile-dependence schedule");
+      }
+    });
+  }
 }
 
 // ---------------------------------------------------------------------
 // V4: schedule soundness and deadlock freedom.  Pi = [1,...,1] must
 // strictly order every tile dependence (Pi . d^S >= 1), and the
 // wait-for relation of the generated program — chains executed in t
-// order, blocking receives matched to buffered sends — must be acyclic.
+// order, receives matched to buffered sends — must be acyclic.
+//
+// The wait-for graph covers both delivery disciplines.  Sends never
+// block in either schedule (buffered send / eager isend: completion is
+// a local timer, not a peer action), so the only wait edges are
+// chain-predecessor order and receive-before-compute — and the
+// pipelined schedule drains its pre-posted receives at the top of the
+// consuming tile, the same program point where the blocking schedule
+// receives.  Pre-posting earlier only *records* a match key; by the
+// per-receiver tag uniqueness proven in V3 it cannot capture a
+// different message, so the dataflow edges are identical.  For the
+// pipelined schedule V4 additionally proves each message's isend is
+// scheduled (under Pi) strictly before the step that waits on it.
 // ---------------------------------------------------------------------
 void check_v4(Ctx& ctx) {
   const PlanModel& pm = ctx.pm;
@@ -636,6 +695,32 @@ void check_v4(Ctx& ctx) {
   for (const TileDepModel& dep : pm.tile_deps) check_dep(dep.ds);
   const MatI& ground = pm.tiled->tile_deps();
   for (int cidx = 0; cidx < ground.cols(); ++cidx) check_dep(ground.col(cidx));
+
+  // Pipelined issuance order: the overlapped executor fires isend at
+  // the end of the sender tile and waits for the message at the top of
+  // the consuming tile, so every linear extension of Pi must place the
+  // sender strictly before the receiver — otherwise some execution
+  // would wait on a message whose isend has not been issued.
+  if (pm.pipelined) {
+    for_each_receive_event(pm, [&](const VecI& pred, std::size_t di,
+                                   const VecI& receiver) {
+      (void)di;
+      if (ctx.capped(rule)) return;
+      if (dot(pm.pi, pred) >= dot(pm.pi, receiver)) {
+        Witness w;
+        w.tile = receiver;
+        w.dep = vec_sub(receiver, pred);
+        ctx.add(rule, Severity::kError,
+                "pipelined schedule: tile " + format_vec(receiver) +
+                    " waits on a message from tile " + format_vec(pred) +
+                    " that Pi does not schedule strictly earlier — the "
+                    "wait could precede the isend",
+                std::move(w),
+                "every communicated dependence must advance Pi by at "
+                "least one step");
+      }
+    });
+  }
 
   if (!ctx.opts.check_deadlock_graph) return;
 

@@ -147,6 +147,78 @@ TEST(MpisimStress, BufferPoolConcurrentAcquireReleaseManyRanks) {
   });
 }
 
+TEST(MpisimStress, IsendRingRecyclesAndBoundsThePool) {
+  // Same steady-state ring as above but through the non-blocking path:
+  // isend stages into the destination pool and recycles the sender's
+  // buffer at initiation, so pools stay warm on BOTH sides and the
+  // high-water mark stays within the hard bound (64 buffers per rank).
+  const int n = 6;
+  const int rounds = 100;
+  const std::size_t payload = 256;
+  run_ranks(n, [&](int rank, Comm& comm) {
+    const int dst = (rank + 1) % n;
+    const int src = (rank + n - 1) % n;
+    std::vector<Request> in_flight;
+    for (int round = 0; round < rounds; ++round) {
+      std::vector<double> buf = comm.acquire_buffer(rank, payload);
+      ASSERT_EQ(buf.size(), payload);
+      for (std::size_t i = 0; i < payload; ++i) {
+        buf[i] = static_cast<double>(round) + static_cast<double>(rank);
+      }
+      in_flight.push_back(comm.isend(rank, dst, round, std::move(buf)));
+      std::vector<double> got = comm.recv(rank, src, round);
+      ASSERT_EQ(got.size(), payload);
+      EXPECT_EQ(got[0], static_cast<double>(round) + static_cast<double>(src));
+      comm.release_buffer(rank, std::move(got));
+      // Lockstep rounds: each round feeds every pool exactly as much as
+      // the next round drains it, which makes the reuse bound below
+      // deterministic instead of racing on inter-rank drift.
+      comm.barrier(rank);
+    }
+    comm.wait_all(in_flight);
+    comm.barrier(rank);
+    if (rank == 0) {
+      // Two pooled transfers per message (sender-side recycle at isend
+      // initiation + receiver-side release after unpack) minus a few
+      // cold-start allocations.
+      EXPECT_GE(comm.pool_reuses(), 2 * static_cast<i64>(n) * (rounds - 2));
+      // The high-water mark proves pooling engaged AND stayed bounded
+      // (release_buffer frees anything beyond 64 buffers per rank).
+      EXPECT_GE(comm.pool_high_water(), 1);
+      EXPECT_LE(comm.pool_high_water(), 64);
+    }
+  });
+}
+
+TEST(MpisimStress, SendOnlyRanksStillGetPoolHits) {
+  // Regression test for the pool bug the eager isend protocol fixes: a
+  // pure producer rank never receives, so before the fix its pool never
+  // got a buffer back and every send allocated.  With isend the buffer
+  // returns to the sender's own pool at initiation.
+  run_ranks(2, [](int rank, Comm& comm) {
+    const int sends = 50;
+    if (rank == 0) {
+      for (int i = 0; i < sends; ++i) {
+        std::vector<double> buf = comm.acquire_buffer(0, 128);
+        buf.assign(128, static_cast<double>(i));
+        comm.isend(0, 1, i, std::move(buf));
+      }
+    } else {
+      for (int i = 0; i < sends; ++i) {
+        std::vector<double> got = comm.recv(1, 0, i);
+        EXPECT_EQ(got[0], static_cast<double>(i));
+        comm.release_buffer(1, std::move(got));
+      }
+    }
+    comm.barrier(rank);
+    if (rank == 0) {
+      // All but the first acquisition on the sender are pool hits (the
+      // receiver side contributes its own on top).
+      EXPECT_GE(comm.pool_reuses(), sends - 1);
+    }
+  });
+}
+
 TEST(MpisimStress, AbortRacingSendRecvBarrier) {
   // One rank dies mid-run while the others keep pumping send/recv and
   // entering barriers; every survivor must get Error (no deadlock, no

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 
 namespace ctile::mpisim {
@@ -176,6 +177,120 @@ TEST(Mpisim, BufferPoolsAreRankLocal) {
   EXPECT_EQ(comm.pool_reuses(), 0);  // rank 0's pool is still empty
   comm.acquire_buffer(1, 4);
   EXPECT_EQ(comm.pool_reuses(), 1);
+}
+
+TEST(Mpisim, IsendIrecvRoundTrip) {
+  run_ranks(2, [](int rank, Comm& comm) {
+    if (rank == 0) {
+      Request s = comm.isend(0, 1, 7, {1.0, 2.0, 3.0});
+      EXPECT_TRUE(comm.test(s));  // no latency model: completes at once
+      Request r = comm.irecv(0, 1, 8);
+      std::vector<double> back = comm.wait(r);
+      EXPECT_EQ(back, (std::vector<double>{6.0}));
+    } else {
+      Request r = comm.irecv(1, 0, 7);
+      std::vector<double> msg = comm.wait(r);
+      EXPECT_TRUE(r.done);
+      double sum = std::accumulate(msg.begin(), msg.end(), 0.0);
+      std::vector<Request> sends;
+      sends.push_back(comm.isend(1, 0, 8, {sum}));
+      comm.wait_all(sends);
+      EXPECT_TRUE(sends[0].done);
+    }
+  });
+}
+
+TEST(Mpisim, TestCompletesRecvWithoutBlocking) {
+  run_ranks(2, [](int rank, Comm& comm) {
+    if (rank == 0) {
+      Request r = comm.irecv(0, 1, 3);
+      EXPECT_FALSE(comm.test(r));  // nothing sent yet
+      comm.barrier(rank);          // rank 1 sends before this barrier
+      comm.barrier(rank);
+      EXPECT_TRUE(comm.test(r));
+      EXPECT_EQ(r.payload, (std::vector<double>{4.0}));
+      EXPECT_TRUE(comm.wait(r) == (std::vector<double>{4.0}));
+    } else {
+      comm.barrier(rank);
+      comm.send(1, 0, 3, {4.0});
+      comm.barrier(rank);
+    }
+  });
+}
+
+TEST(Mpisim, PrePostedIrecvsMatchByTagNotPostOrder) {
+  // The overlapped executor pre-posts receives; matching is by
+  // (src, tag), so the post order must not matter.
+  run_ranks(2, [](int rank, Comm& comm) {
+    if (rank == 0) {
+      comm.send(0, 1, 1, {1.0});
+      comm.send(0, 1, 2, {2.0});
+    } else {
+      Request r2 = comm.irecv(1, 0, 2);
+      Request r1 = comm.irecv(1, 0, 1);
+      EXPECT_EQ(comm.wait(r2)[0], 2.0);
+      EXPECT_EQ(comm.wait(r1)[0], 1.0);
+    }
+  });
+}
+
+TEST(Mpisim, IsendRecyclesSenderBuffer) {
+  // The eager protocol returns the caller's buffer to the *sender's*
+  // pool at initiation: a rank that only sends reuses its buffer on the
+  // very next acquire, even though nobody released anything back to it.
+  run_ranks(2, [](int rank, Comm& comm) {
+    if (rank == 0) {
+      std::vector<double> buf = comm.acquire_buffer(0, 4);
+      const double* ptr = buf.data();
+      buf.assign(4, 1.0);
+      comm.isend(0, 1, 0, std::move(buf));
+      std::vector<double> again = comm.acquire_buffer(0, 4);
+      EXPECT_EQ(again.data(), ptr);  // same storage, zero-allocation send
+      again.assign(4, 2.0);
+      comm.isend(0, 1, 1, std::move(again));
+    } else {
+      EXPECT_EQ(comm.recv(1, 0, 0), std::vector<double>(4, 1.0));
+      EXPECT_EQ(comm.recv(1, 0, 1), std::vector<double>(4, 2.0));
+    }
+    comm.barrier(rank);
+    EXPECT_GE(comm.pool_reuses(), 1);
+    EXPECT_GE(comm.pool_high_water(), 1);
+  });
+}
+
+TEST(Mpisim, LatencyModelDelaysDeliveryAndBlocksSend) {
+  // per_message_s = 20ms: a blocking send occupies the sender for the
+  // transfer, an isend returns immediately, and the receiver cannot see
+  // the message before its delivery deadline.
+  CommConfig config;
+  config.latency.per_message_s = 0.02;
+  run_ranks(
+      2,
+      [](int rank, Comm& comm) {
+        using Clock = std::chrono::steady_clock;
+        if (rank == 0) {
+          const auto t0 = Clock::now();
+          Request s = comm.isend(0, 1, 0, {1.0});
+          const double isend_s =
+              std::chrono::duration<double>(Clock::now() - t0).count();
+          EXPECT_LT(isend_s, 0.02);  // isend does not wait for the wire
+          const auto t1 = Clock::now();
+          comm.send(0, 1, 1, {2.0});
+          const double send_s =
+              std::chrono::duration<double>(Clock::now() - t1).count();
+          EXPECT_GE(send_s, 0.019);  // blocking send occupies the sender
+          comm.wait(s);
+          EXPECT_TRUE(s.done);
+        } else {
+          const auto t0 = Clock::now();
+          EXPECT_EQ(comm.recv(1, 0, 0)[0], 1.0);
+          const double recv_s =
+              std::chrono::duration<double>(Clock::now() - t0).count();
+          EXPECT_GE(recv_s, 0.015);  // delivery honoured the deadline
+          EXPECT_EQ(comm.recv(1, 0, 1)[0], 2.0);
+        }
+      },
+      config);
 }
 
 TEST(Mpisim, ManyRanksRing) {

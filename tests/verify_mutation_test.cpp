@@ -109,6 +109,39 @@ TEST(VerifyMutation, DroppedMessageFiresV3) {
   EXPECT_EQ(*d->witness.dep, dropped);
 }
 
+TEST(VerifyMutation, DuplicatedTileDepFiresPipelinedTagUniqueness) {
+  // The pipelined (overlapped) schedule matches pre-posted receives by
+  // (source rank, tag) alone, so a duplicated schedule entry — two
+  // receive events with the same (source, direction, sender chain
+  // position) at one receiver — would cross the messages.  V3's
+  // tag-uniqueness proof must catch it.
+  Lowered lw = lower_sor();
+  ASSERT_TRUE(lw.model.pipelined);
+  const verify::TileDepModel* cross = nullptr;
+  for (const verify::TileDepModel& dep : lw.model.tile_deps) {
+    if (dep.dir >= 0) {
+      cross = &dep;
+      break;
+    }
+  }
+  ASSERT_NE(cross, nullptr) << "SOR must communicate";
+  lw.model.tile_deps.push_back(*cross);
+  const VerifyReport report = verify::verify_plan(lw.model);
+  EXPECT_FALSE(report.ok());
+  ASSERT_GE(report.count(Rule::kV3CommCompleteness), 1) << report.to_string();
+  const verify::Diagnostic* d = report.first(Rule::kV3CommCompleteness);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_NE(d->message.find("pipelined"), std::string::npos)
+      << d->message;
+  // The blocking-only discipline tolerates the duplicate (channel FIFO
+  // still delivers both copies in order): the rule is pipelined-gated.
+  lw.model.pipelined = false;
+  const VerifyReport blocking_report = verify::verify_plan(lw.model);
+  EXPECT_EQ(blocking_report.count(Rule::kV3CommCompleteness), 0)
+      << blocking_report.to_string();
+}
+
 TEST(VerifyMutation, UnorderedScheduleEntryFiresV4) {
   Lowered lw = lower_sor();
   ASSERT_GE(lw.model.n, 2);
