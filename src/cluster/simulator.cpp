@@ -125,6 +125,37 @@ SimResult simulate_cluster(const TiledNest& tiled, const Mapping& mapping,
   return result;
 }
 
+DrainProfile drain_profile(const SimResult& result) {
+  DrainProfile profile;
+  if (result.trace.empty()) return profile;
+  // Per-rank first compute start and last retire time.
+  std::map<int, double> first_start;
+  std::map<int, double> last_end;
+  for (const TileTrace& tt : result.trace) {
+    auto [fs, inserted] = first_start.try_emplace(tt.rank, tt.start);
+    if (!inserted) fs->second = std::min(fs->second, tt.start);
+    auto [le, fresh] = last_end.try_emplace(tt.rank, tt.end);
+    if (!fresh) le->second = std::max(le->second, tt.end);
+  }
+  double all_started = 0.0;
+  for (const auto& [rank, start] : first_start) {
+    all_started = std::max(all_started, start);
+  }
+  double first_finished = result.makespan;
+  for (const auto& [rank, end] : last_end) {
+    first_finished = std::min(first_finished, end);
+  }
+  // Exact partition of [0, makespan]: fill ends when everyone has
+  // started; steady ends when the first rank retires (clamped to the
+  // fill boundary — with more ranks than pipeline parallelism the mesh
+  // is never fully busy at once and steady collapses to zero).
+  const double steady_end = std::max(first_finished, all_started);
+  profile.fill = all_started;
+  profile.steady = steady_end - all_started;
+  profile.drain = result.makespan - steady_end;
+  return profile;
+}
+
 SimResult simulate_tiled_program(const TiledNest& tiled,
                                  const MachineModel& machine, int arity,
                                  int force_m, CommSchedule schedule) {

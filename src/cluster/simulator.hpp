@@ -59,6 +59,30 @@ struct SimResult {
 /// max(compute, transfer) instead of compute + transfer.
 enum class CommSchedule { kBlocking, kOverlapped };
 
+/// Wavefront pipeline phases of a simulated run, carved out of the tile
+/// trace (the quantities the 4096-rank wavefront-drain study in
+/// bench/wavefront_drain reports):
+///
+///   fill   — from t=0 until EVERY processor has started its first tile
+///            (the skewed wavefront sweeping across the mesh),
+///   drain  — from the FIRST processor retiring its last tile until the
+///            makespan (the wavefront leaving the mesh),
+///   steady — everything in between (all processors busy in pipeline).
+///
+/// fill + steady + drain == makespan exactly: the phase boundaries are
+/// the all-started and first-retired instants, with steady collapsing
+/// to zero (and drain starting at the fill boundary) when the mesh
+/// never fully fills — more processors than pipeline parallelism.
+struct DrainProfile {
+  double fill = 0.0;
+  double steady = 0.0;
+  double drain = 0.0;
+};
+
+/// Carve a SimResult's trace into wavefront phases.  Requires a
+/// nonempty trace (every simulate_cluster result carries one).
+DrainProfile drain_profile(const SimResult& result);
+
 /// Simulate the schedule; arity is the kernel arity (values per point,
 /// scales message bytes).
 SimResult simulate_cluster(const TiledNest& tiled, const Mapping& mapping,

@@ -1,0 +1,389 @@
+#include "mpisim/event_scheduler.hpp"
+
+#include <sys/mman.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+// AddressSanitizer needs to be told about stack switches, or its
+// fake-stack bookkeeping misattributes frames after a swapcontext (the
+// ASan CI job runs the whole suite, event backend included).  The
+// annotations are no-ops everywhere else.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CTILE_ASAN_FIBERS 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define CTILE_ASAN_FIBERS 1
+#endif
+
+#if defined(CTILE_ASAN_FIBERS)
+#include <pthread.h>
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save,
+                                    const void* bottom, size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     size_t* size_old);
+}
+#endif
+
+namespace ctile::mpisim {
+
+namespace {
+
+thread_local EventScheduler* g_current_scheduler = nullptr;
+
+std::size_t page_size() {
+  static const std::size_t page =
+      static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+}  // namespace
+
+struct Fiber {
+  enum class State { kRunnable, kBlocked, kDone };
+
+  EventScheduler* sched = nullptr;
+  std::function<void()> fn;
+  ucontext_t ctx{};
+  void* map_base = nullptr;      ///< mmap base (guard page lives here)
+  std::size_t map_bytes = 0;     ///< full mapping, guard included
+  char* stack_lo = nullptr;      ///< usable stack bottom
+  std::size_t stack_bytes = 0;   ///< usable stack size
+  State state = State::kRunnable;
+  WaitList* wl = nullptr;        ///< wait list this fiber is parked on
+  bool has_deadline = false;     ///< armed virtual-time wake-up
+  bool in_sleeping = false;      ///< listed in sched->sleeping_ (lazily purged)
+  EventScheduler::Clock::time_point wake_at{};
+  int id = -1;
+#if defined(CTILE_ASAN_FIBERS)
+  void* fake_stack = nullptr;
+#endif
+
+  /// Fiber body: run fn, stash any escaped exception, leave for good.
+  void run_body();
+  /// Final switch back to the scheduler loop; never returns.
+  [[noreturn]] void exit_to_scheduler();
+};
+
+namespace {
+
+// ASan fiber-switch annotations.  `leaving` is the fiber giving up the
+// CPU (nullptr fake-stack slot when it is exiting for good, so ASan
+// frees its fake frames); `entering` describes the destination stack.
+inline void asan_before_switch(Fiber* leaving, const Fiber* entering,
+                               bool leaving_exits) {
+#if defined(CTILE_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(
+      leaving_exits ? nullptr : &leaving->fake_stack, entering->stack_lo,
+      entering->stack_bytes);
+#else
+  (void)leaving;
+  (void)entering;
+  (void)leaving_exits;
+#endif
+}
+
+inline void asan_after_switch(Fiber* resumed) {
+#if defined(CTILE_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(resumed->fake_stack, nullptr, nullptr);
+#else
+  (void)resumed;
+#endif
+}
+
+void fiber_entry(unsigned hi, unsigned lo) {
+  auto* f = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32U) |
+      static_cast<std::uintptr_t>(lo));
+#if defined(CTILE_ASAN_FIBERS)
+  // First entry: no fake stack to restore for this fiber yet.
+  __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+#endif
+  f->run_body();
+}
+
+}  // namespace
+
+void Fiber::run_body() {
+  try {
+    fn();
+  } catch (...) {
+    // Rank bodies are expected to catch their own exceptions (run_ranks
+    // wraps them); anything escaping to here is stashed and rethrown by
+    // run() so it is never silently lost.
+    if (!sched->fiber_error_) {
+      sched->fiber_error_ = std::current_exception();
+    }
+  }
+  state = State::kDone;
+  exit_to_scheduler();
+}
+
+void Fiber::exit_to_scheduler() {
+  asan_before_switch(this, sched->main_ctx_.get(), /*leaving_exits=*/true);
+  swapcontext(&ctx, &sched->main_ctx_->ctx);
+  // The scheduler never resumes a finished fiber.
+  std::abort();
+}
+
+EventScheduler::EventScheduler(u64 seed, std::size_t stack_bytes)
+    : rng_(seed), stack_bytes_(stack_bytes) {
+  now_ = Clock::time_point{} + std::chrono::seconds(1);
+  main_ctx_ = std::make_unique<Fiber>();
+  main_ctx_->sched = this;
+  main_ctx_->id = -1;
+#if defined(CTILE_ASAN_FIBERS)
+  // ASan wants the destination stack bounds on every switch, including
+  // switches back into the scheduler loop, which runs on the host
+  // thread's own stack.
+  pthread_attr_t attr;
+  CTILE_ASSERT(pthread_getattr_np(pthread_self(), &attr) == 0);
+  void* addr = nullptr;
+  std::size_t size = 0;
+  CTILE_ASSERT(pthread_attr_getstack(&attr, &addr, &size) == 0);
+  pthread_attr_destroy(&attr);
+  main_ctx_->stack_lo = static_cast<char*>(addr);
+  main_ctx_->stack_bytes = size;
+#endif
+}
+
+EventScheduler::~EventScheduler() {
+  for (auto& f : fibers_) release_stack(f.get());
+}
+
+void EventScheduler::release_stack(Fiber* f) {
+  if (f->map_base != nullptr) {
+    munmap(f->map_base, f->map_bytes);
+    f->map_base = nullptr;
+    f->stack_lo = nullptr;
+  }
+  f->fn = nullptr;
+}
+
+void EventScheduler::spawn(std::function<void()> fn) {
+  CTILE_ASSERT_MSG(!running_, "spawn while the scheduler is running");
+  auto f = std::make_unique<Fiber>();
+  f->sched = this;
+  f->fn = std::move(fn);
+  f->id = static_cast<int>(fibers_.size());
+
+  const std::size_t page = page_size();
+  const std::size_t usable = ((stack_bytes_ + page - 1) / page) * page;
+  f->map_bytes = usable + page;
+  void* base = mmap(nullptr, f->map_bytes, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE | MAP_STACK,
+                    -1, 0);
+  CTILE_ASSERT_MSG(base != MAP_FAILED, "fiber stack mmap failed");
+  // Guard page at the low end: stack overflow faults instead of
+  // scribbling over the neighbouring fiber's stack.
+  CTILE_ASSERT(mprotect(base, page, PROT_NONE) == 0);
+  f->map_base = base;
+  f->stack_lo = static_cast<char*>(base) + page;
+  f->stack_bytes = usable;
+
+  CTILE_ASSERT(getcontext(&f->ctx) == 0);
+  f->ctx.uc_stack.ss_sp = f->stack_lo;
+  f->ctx.uc_stack.ss_size = f->stack_bytes;
+  f->ctx.uc_link = nullptr;  // fibers exit via exit_to_scheduler, never return
+  const auto p = reinterpret_cast<std::uintptr_t>(f.get());
+  makecontext(&f->ctx, reinterpret_cast<void (*)()>(fiber_entry), 2,
+              static_cast<unsigned>(p >> 32U),
+              static_cast<unsigned>(p & 0xffffffffU));
+
+  runnable_.push_back(f.get());
+  ++live_;
+  fibers_.push_back(std::move(f));
+}
+
+void EventScheduler::run() {
+  CTILE_ASSERT_MSG(!running_, "EventScheduler::run is not reentrant");
+  running_ = true;
+  EventScheduler* const prev = g_current_scheduler;
+  g_current_scheduler = this;
+  while (live_ > 0) {
+    if (!runnable_.empty()) {
+      // Seeded interleaving policy: any runnable fiber may go next, the
+      // draw is a pure function of the seed.  Swap-remove keeps the pick
+      // O(1) at thousands of runnable ranks.
+      const auto i = static_cast<std::size_t>(
+          rng_.uniform(0, static_cast<i64>(runnable_.size()) - 1));
+      Fiber* f = runnable_[i];
+      runnable_[i] = runnable_.back();
+      runnable_.pop_back();
+      enter(f);
+      if (f->state == Fiber::State::kDone) {
+        --live_;
+        release_stack(f);
+      }
+      continue;
+    }
+    if (advance_clock()) continue;
+    // No fiber runnable, no deadline pending, fibers still blocked:
+    // deadlock.  Give the stall handler one chance to break it (mpisim
+    // aborts the communicator, waking every waiter into an Error).
+    if (stall_handler_) stall_handler_();
+    if (runnable_.empty() && !advance_clock()) {
+      running_ = false;
+      g_current_scheduler = prev;
+      throw Error(
+          "mpisim event scheduler: deadlock — " + std::to_string(live_) +
+          " fiber(s) blocked with no runnable fiber and no pending "
+          "virtual-time deadline");
+    }
+  }
+  running_ = false;
+  g_current_scheduler = prev;
+  if (fiber_error_) {
+    std::exception_ptr e = fiber_error_;
+    fiber_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void EventScheduler::enter(Fiber* f) {
+  current_fiber_ = f;
+  ++switches_;
+  asan_before_switch(main_ctx_.get(), f, /*leaving_exits=*/false);
+  CTILE_ASSERT(swapcontext(&main_ctx_->ctx, &f->ctx) == 0);
+  asan_after_switch(main_ctx_.get());
+  current_fiber_ = nullptr;
+}
+
+void EventScheduler::yield_to_scheduler() {
+  Fiber* f = current_fiber_;
+  CTILE_ASSERT(f != nullptr);
+  asan_before_switch(f, main_ctx_.get(), /*leaving_exits=*/false);
+  CTILE_ASSERT(swapcontext(&f->ctx, &main_ctx_->ctx) == 0);
+  asan_after_switch(f);
+}
+
+void EventScheduler::block_current() { yield_to_scheduler(); }
+
+bool EventScheduler::advance_clock() {
+  // Purge entries whose deadline was disarmed by a notify (lazy
+  // deletion keeps notify_all O(waiters), not O(sleepers)).
+  std::size_t kept = 0;
+  for (Fiber* f : sleeping_) {
+    if (f->has_deadline) {
+      sleeping_[kept++] = f;
+    } else {
+      f->in_sleeping = false;
+    }
+  }
+  sleeping_.resize(kept);
+  if (sleeping_.empty()) return false;
+
+  Clock::time_point min_t = sleeping_.front()->wake_at;
+  for (Fiber* f : sleeping_) min_t = std::min(min_t, f->wake_at);
+  if (min_t > now_) now_ = min_t;
+
+  // Wake everything due, in fiber-id order so the wake sequence is a
+  // pure function of program + seed.
+  std::vector<Fiber*> due;
+  kept = 0;
+  for (Fiber* f : sleeping_) {
+    if (f->wake_at <= now_) {
+      due.push_back(f);
+    } else {
+      sleeping_[kept++] = f;
+    }
+  }
+  sleeping_.resize(kept);
+  std::sort(due.begin(), due.end(),
+            [](const Fiber* a, const Fiber* b) { return a->id < b->id; });
+  for (Fiber* f : due) {
+    f->has_deadline = false;
+    f->in_sleeping = false;
+    if (f->wl != nullptr) {
+      // Timed wait that ran out: leave the wait list.
+      auto& fibers = f->wl->fibers;
+      fibers.erase(std::remove(fibers.begin(), fibers.end(), f),
+                   fibers.end());
+      f->wl = nullptr;
+    }
+    f->state = Fiber::State::kRunnable;
+    runnable_.push_back(f);
+  }
+  return true;
+}
+
+void EventScheduler::sleep_until(Clock::time_point t) {
+  Fiber* f = current_fiber_;
+  CTILE_ASSERT_MSG(f != nullptr,
+                   "blocking mpisim op outside the event scheduler's fibers");
+  if (t <= now_) return;
+  f->state = Fiber::State::kBlocked;
+  f->wl = nullptr;
+  f->has_deadline = true;
+  f->wake_at = t;
+  if (!f->in_sleeping) {
+    f->in_sleeping = true;
+    sleeping_.push_back(f);
+  }
+  block_current();
+}
+
+void EventScheduler::wait(WaitList& wl) {
+  Fiber* f = current_fiber_;
+  CTILE_ASSERT_MSG(f != nullptr,
+                   "blocking mpisim op outside the event scheduler's fibers");
+  f->state = Fiber::State::kBlocked;
+  f->wl = &wl;
+  f->has_deadline = false;
+  wl.fibers.push_back(f);
+  block_current();
+}
+
+void EventScheduler::wait_until(WaitList& wl, Clock::time_point t) {
+  Fiber* f = current_fiber_;
+  CTILE_ASSERT_MSG(f != nullptr,
+                   "blocking mpisim op outside the event scheduler's fibers");
+  if (t <= now_) return;
+  f->state = Fiber::State::kBlocked;
+  f->wl = &wl;
+  f->has_deadline = true;
+  f->wake_at = t;
+  if (!f->in_sleeping) {
+    f->in_sleeping = true;
+    sleeping_.push_back(f);
+  }
+  wl.fibers.push_back(f);
+  block_current();
+}
+
+void EventScheduler::poll_yield() {
+  Fiber* f = current_fiber_;
+  CTILE_ASSERT_MSG(f != nullptr,
+                   "poll_yield outside the event scheduler's fibers");
+  // A failed poll burns simulated CPU: without this charge a test/probe
+  // loop would never let the virtual clock reach the deadline it is
+  // polling for.
+  now_ += kPollQuantum;
+  f->state = Fiber::State::kRunnable;
+  runnable_.push_back(f);
+  yield_to_scheduler();
+}
+
+void EventScheduler::notify_all(WaitList& wl) {
+  for (Fiber* f : wl.fibers) {
+    f->wl = nullptr;
+    f->has_deadline = false;  // sleeping_ entry purged lazily
+    f->state = Fiber::State::kRunnable;
+    runnable_.push_back(f);
+  }
+  wl.fibers.clear();
+}
+
+bool EventScheduler::in_fiber() const { return current_fiber_ != nullptr; }
+
+EventScheduler* EventScheduler::current() { return g_current_scheduler; }
+
+}  // namespace ctile::mpisim

@@ -1,0 +1,162 @@
+// Cooperative event-driven rank scheduler: the engine behind mpisim's
+// event backend (DESIGN.md §11).
+//
+// Every rank becomes a stackful fiber (ucontext) that runs until it hits
+// a blocking point — a receive with no matching deliverable message, a
+// barrier, a modelled transfer occupying the CPU — and then yields to a
+// single-threaded scheduler.  The scheduler picks the next runnable
+// fiber with a seed-controlled SplitMix64 draw, so the interleaving is
+// (a) adversarially shuffled, like real rank timing, and (b) exactly
+// reproducible from the seed.  1k–16k-rank meshes run in one OS thread:
+// rank state is a fiber stack (mmap'd, lazily committed, guard-paged),
+// not an OS thread.
+//
+// Time is virtual.  The scheduler owns a simulated clock that only
+// advances when no fiber is runnable: it jumps to the earliest pending
+// deadline (a message's modelled delivery time, a sleeping sender's
+// drain time) and wakes everything due.  A fiber that polls a
+// non-blocking primitive (test/probe) charges a fixed quantum per failed
+// poll — busy-waiting burns simulated CPU like it burns a real one —
+// which also guarantees poll loops make progress instead of wedging the
+// virtual clock.
+//
+// Determinism contract: given the same seed, the same spawned programs
+// and the same virtual-time costs, the scheduler produces the same
+// interleaving, the same per-channel message order, and therefore
+// bitwise-identical numerics.  Different seeds may produce different
+// interleavings but must still produce identical numerics for any
+// correct program — the property the event tests assert, with the
+// thread-per-rank backend kept as the race-detection oracle.
+//
+// If no fiber is runnable and no deadline is pending while fibers are
+// still blocked, the program has deadlocked.  The scheduler calls the
+// stall handler (mpisim installs "abort the communicator", which wakes
+// every blocked fiber into an Error throw); if even that unblocks
+// nothing, run() throws.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "support/checked_int.hpp"
+#include "support/rng.hpp"
+
+namespace ctile::mpisim {
+
+struct Fiber;  // defined in event_scheduler.cpp (holds the ucontext)
+
+/// Queue of fibers blocked on one condition (a mailbox, a barrier).
+/// Owned by the waiting side (e.g. Comm's Mailbox); the scheduler mutates
+/// it through wait/notify.  Plain struct: in the single-threaded event
+/// backend no lock is ever needed around it.
+struct WaitList {
+  std::vector<Fiber*> fibers;
+};
+
+class EventScheduler {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `seed` drives the interleaving policy; `stack_bytes` is the fiber
+  /// stack size (mmap'd with a low guard page; lazily committed, so
+  /// thousands of mostly-idle ranks stay cheap in RSS).
+  explicit EventScheduler(u64 seed, std::size_t stack_bytes = 256 * 1024);
+  ~EventScheduler();
+
+  EventScheduler(const EventScheduler&) = delete;
+  EventScheduler& operator=(const EventScheduler&) = delete;
+
+  /// Create a fiber running `fn`.  `fn` must not let exceptions escape
+  /// (wrap rank bodies in try/catch, as run_ranks does); an escaped
+  /// exception is stashed and rethrown by run() after everything stops.
+  void spawn(std::function<void()> fn);
+
+  /// Drive all fibers to completion on the calling thread.  Throws Error
+  /// on an unrecoverable stall (deadlock the stall handler could not
+  /// break) and rethrows the first exception that escaped a fiber.
+  void run();
+
+  /// Invoked (once per stall) when no fiber is runnable and no virtual
+  /// deadline is pending but blocked fibers remain — i.e. deadlock.  The
+  /// handler's job is to make the blocked fibers runnable again (mpisim
+  /// aborts the communicator so they throw and unwind).
+  void set_stall_handler(std::function<void()> handler) {
+    stall_handler_ = std::move(handler);
+  }
+
+  /// Current virtual time.  Starts one (virtual) second past the clock
+  /// epoch so a computed deadline can never collide with the epoch
+  /// sentinel mpisim uses for "deliverable immediately".
+  Clock::time_point now() const { return now_; }
+
+  /// --- Fiber-context blocking points (must be called from inside a
+  /// fiber spawned on this scheduler) ---
+
+  /// Occupy the calling fiber until virtual time `t` (modelled CPU time:
+  /// a blocking send's wire occupation, a simulated compute phase).
+  void sleep_until(Clock::time_point t);
+
+  /// Block until notify_all(wl) wakes this fiber.
+  void wait(WaitList& wl);
+
+  /// Block until notify_all(wl) or virtual time `t`, whichever first.
+  void wait_until(WaitList& wl, Clock::time_point t);
+
+  /// Reschedule after a failed non-blocking poll (test/probe): charges
+  /// kPollQuantum of virtual time and lets every other runnable fiber go
+  /// first, so polling loops observe progress (and abort) instead of
+  /// spinning the cooperative scheduler forever.
+  void poll_yield();
+
+  /// Make every fiber in `wl` runnable (callable from fiber or scheduler
+  /// context; never switches).
+  void notify_all(WaitList& wl);
+
+  /// True iff the caller is running inside one of this scheduler's
+  /// fibers (blocking points assert this).
+  bool in_fiber() const;
+
+  /// The scheduler driving the calling fiber, or nullptr outside fibers.
+  static EventScheduler* current();
+
+  /// Total fiber→scheduler context switches (progress/cost metric for
+  /// benches; also a cheap determinism witness: same seed → same count).
+  i64 switches() const { return switches_; }
+
+  /// Virtual time charged per failed non-blocking poll.
+  static constexpr std::chrono::nanoseconds kPollQuantum{1000};
+
+ private:
+  friend struct Fiber;
+
+  Fiber* current_fiber_ = nullptr;
+  std::unique_ptr<Fiber> main_ctx_;  ///< the scheduler loop's own context
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::vector<Fiber*> runnable_;
+  std::vector<Fiber*> sleeping_;  // has_deadline fibers (incl. timed waits)
+  std::function<void()> stall_handler_;
+  std::exception_ptr fiber_error_;
+  Rng rng_;
+  std::size_t stack_bytes_;
+  Clock::time_point now_;
+  i64 switches_ = 0;
+  int live_ = 0;
+  bool running_ = false;
+
+  /// Switch from the scheduler loop into `f`; returns when `f` yields.
+  void enter(Fiber* f);
+  /// Switch from the current fiber back to the scheduler loop.
+  void yield_to_scheduler();
+  /// Block the current fiber (state must already be recorded) and yield.
+  void block_current();
+  /// Advance the virtual clock to the earliest pending deadline and wake
+  /// the fibers that are due.  Returns false if nothing was pending.
+  bool advance_clock();
+  /// Unmap a finished fiber's stack (called from the scheduler loop, so
+  /// RSS stays bounded while thousands of ranks retire).
+  void release_stack(Fiber* f);
+};
+
+}  // namespace ctile::mpisim

@@ -2,10 +2,44 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <thread>
 
 namespace ctile::mpisim {
+
+namespace {
+
+/// FNV-1a over the payload bytes — the per-message digest recorded in
+/// channel traces.  Bitwise: two payloads hash equal iff every double is
+/// bit-identical (including -0.0 vs 0.0 and NaN payloads).
+u64 payload_digest(const std::vector<double>& data) {
+  u64 h = 14695981039346656037ULL;
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  const std::size_t bytes = data.size() * sizeof(double);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  // Fold in the length so an empty payload and a missing message differ.
+  h ^= static_cast<u64>(data.size());
+  h *= 1099511628211ULL;
+  return h;
+}
+
+}  // namespace
+
+Backend resolve_backend(Backend requested) {
+  if (requested != Backend::kAuto) return requested;
+  const char* env = std::getenv("CTILE_MPISIM_BACKEND");
+  if (env == nullptr) return Backend::kThread;
+  const std::string value(env);
+  if (value == "event") return Backend::kEvent;
+  if (value.empty() || value == "thread") return Backend::kThread;
+  throw Error("mpisim: unknown CTILE_MPISIM_BACKEND value '" + value +
+              "' (expected 'thread' or 'event')");
+}
 
 Comm::Comm(int size, CommConfig config) : config_(config) {
   CTILE_ASSERT(size > 0);
@@ -17,15 +51,85 @@ Comm::Comm(int size, CommConfig config) : config_(config) {
   }
 }
 
+void Comm::attach_scheduler(EventScheduler* sched) {
+  CTILE_ASSERT_MSG(sched == nullptr || sched_ == nullptr,
+                   "Comm already driven by an event scheduler");
+  sched_ = sched;
+}
+
+Comm::Clock::time_point Comm::now() const {
+  return sched_ != nullptr ? sched_->now() : Clock::now();
+}
+
+void Comm::occupy_until(Clock::time_point t) {
+  if (sched_ != nullptr) {
+    sched_->sleep_until(t);
+  } else {
+    std::this_thread::sleep_until(t);
+  }
+}
+
+void Comm::box_wait(Mailbox& box, std::unique_lock<std::mutex>& lock) {
+  if (sched_ != nullptr) {
+    // Single-threaded event backend: nothing can race between the unlock
+    // and the fiber parking itself on the wait list (the switch happens
+    // inside wait()).
+    lock.unlock();
+    sched_->wait(box.waiters);
+    lock.lock();
+  } else {
+    box.cv.wait(lock);
+  }
+}
+
+void Comm::box_wait_until(Mailbox& box, std::unique_lock<std::mutex>& lock,
+                          Clock::time_point t) {
+  if (sched_ != nullptr) {
+    lock.unlock();
+    sched_->wait_until(box.waiters, t);
+    lock.lock();
+  } else {
+    box.cv.wait_until(lock, t);
+  }
+}
+
+void Comm::box_notify(Mailbox& box) {
+  if (sched_ != nullptr) {
+    sched_->notify_all(box.waiters);
+  } else {
+    box.cv.notify_all();
+  }
+}
+
+void Comm::barrier_wait(std::unique_lock<std::mutex>& lock) {
+  if (sched_ != nullptr) {
+    lock.unlock();
+    sched_->wait(barrier_waiters_);
+    lock.lock();
+  } else {
+    barrier_cv_.wait(lock);
+  }
+}
+
+void Comm::barrier_notify() {
+  if (sched_ != nullptr) {
+    sched_->notify_all(barrier_waiters_);
+  } else {
+    barrier_cv_.notify_all();
+  }
+}
+
 Comm::Clock::time_point Comm::deadline(std::size_t doubles) const {
   if (!config_.latency.enabled()) return Clock::time_point{};
   const auto cost = std::chrono::duration_cast<Clock::duration>(
       std::chrono::duration<double>(config_.latency.transfer_s(doubles)));
-  return Clock::now() + cost;
+  return now() + cost;
 }
 
 void Comm::enqueue(int dst, Message message) {
   const i64 payload = static_cast<i64>(message.data.size());
+  const ChannelKey key{message.src, dst, message.tag};
+  const u64 digest = config_.trace ? payload_digest(message.data) : 0;
   Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard<std::mutex> lock(box.mu);
@@ -38,8 +142,9 @@ void Comm::enqueue(int dst, Message message) {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     ++messages_sent_;
     doubles_sent_ += payload;
+    if (config_.trace) traces_[key].push_back(digest);
   }
-  box.cv.notify_all();
+  box_notify(box);
 }
 
 void Comm::send(int src, int dst, i64 tag, std::vector<double> data) {
@@ -55,8 +160,8 @@ void Comm::send(int src, int dst, i64 tag, std::vector<double> data) {
     // Blocking schedule: the sending CPU is occupied until the wire
     // drains (the simulator's kBlocking charge of bytes / bandwidth on
     // the critical path).  The message becomes deliverable at the same
-    // instant the sender resumes.
-    std::this_thread::sleep_until(ready_at);
+    // instant the sender resumes.  Virtual time under the event backend.
+    occupy_until(ready_at);
   }
 }
 
@@ -106,23 +211,42 @@ bool Comm::test(Request& req) {
     return true;
   }
   if (req.kind == Request::Kind::kSend) {
-    if (req.ready_at == Clock::time_point{} || req.ready_at <= Clock::now()) {
+    if (req.ready_at == Clock::time_point{} || req.ready_at <= now()) {
       req.done = true;
+      return true;
     }
-    return req.done;
+    // Failed poll: under the event backend charge a quantum and let the
+    // virtual clock progress toward the drain deadline.
+    if (sched_ != nullptr) sched_->poll_yield();
+    return false;
   }
-  // Receive: consume the first deliverable FIFO match, if any.
-  Mailbox& box = *boxes_[static_cast<std::size_t>(req.owner)];
-  std::lock_guard<std::mutex> lock(box.mu);
-  auto it = std::find_if(box.queue.begin(), box.queue.end(),
-                         [&](const Message& m) {
-                           return m.src == req.peer && m.tag == req.tag;
-                         });
-  if (it == box.queue.end() || !deliverable(*it)) return false;
-  req.payload = std::move(it->data);
-  box.queue.erase(it);
-  req.done = true;
-  return true;
+  // Receive: consume the first FIFO match once it is deliverable.
+  {
+    Mailbox& box = *boxes_[static_cast<std::size_t>(req.owner)];
+    std::lock_guard<std::mutex> lock(box.mu);
+    auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                           [&](const Message& m) {
+                             return m.src == req.peer && m.tag == req.tag;
+                           });
+    if (it != box.queue.end() && deliverable(*it)) {
+      req.payload = std::move(it->data);
+      box.queue.erase(it);
+      req.done = true;
+      return true;
+    }
+    // The receive cannot complete right now.  A polling rank must
+    // observe a dead communicator exactly like a blocking recv() does —
+    // before this check a test() loop livelocked forever when a peer
+    // died (ISSUE 6 satellite 1).
+    if (aborted_.load()) {
+      throw Error("mpisim: communicator aborted while rank " +
+                  std::to_string(req.owner) + " tested a receive from (src=" +
+                  std::to_string(req.peer) + ", tag=" +
+                  std::to_string(req.tag) + ")");
+    }
+  }
+  if (sched_ != nullptr) sched_->poll_yield();
+  return false;
 }
 
 std::vector<double> Comm::wait(Request& req) {
@@ -132,9 +256,10 @@ std::vector<double> Comm::wait(Request& req) {
   }
   if (req.kind == Request::Kind::kSend) {
     // Model the NIC draining the wire; the payload buffer was already
-    // recycled at initiation, so completion is purely a time event.
+    // recycled at initiation, so completion is purely a local time event
+    // — it succeeds even on an aborted communicator.
     if (req.ready_at != Clock::time_point{}) {
-      std::this_thread::sleep_until(req.ready_at);
+      occupy_until(req.ready_at);
     }
     req.done = true;
     return {};
@@ -178,7 +303,7 @@ std::vector<double> Comm::recv(int dst, int src, i64 tag) {
                       std::to_string(src) + ", tag=" + std::to_string(tag) +
                       ")");
         }
-        box.cv.wait_until(lock, ready_at);
+        box_wait_until(box, lock, ready_at);
         continue;
       }
       std::vector<double> data = std::move(it->data);
@@ -190,35 +315,53 @@ std::vector<double> Comm::recv(int dst, int src, i64 tag) {
                   std::to_string(dst) + " waited for (src=" +
                   std::to_string(src) + ", tag=" + std::to_string(tag) + ")");
     }
-    box.cv.wait(lock);
+    box_wait(box, lock);
   }
 }
 
 bool Comm::probe(int dst, int src, i64 tag) {
   CTILE_ASSERT(dst >= 0 && dst < size());
   CTILE_ASSERT(src >= 0 && src < size());
-  Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
-  std::lock_guard<std::mutex> lock(box.mu);
-  return std::any_of(box.queue.begin(), box.queue.end(),
-                     [&](const Message& m) {
-                       return m.src == src && m.tag == tag &&
-                              deliverable(m);
-                     });
+  bool ready = false;
+  {
+    Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
+    std::lock_guard<std::mutex> lock(box.mu);
+    // Mirror recv()'s matching rule exactly: the FIRST FIFO match must
+    // be deliverable.  Matching *any* deliverable message (the old
+    // std::any_of) lied under the latency model — probe() said true
+    // while recv() would block on an earlier in-flight message on the
+    // same channel (ISSUE 6 satellite 2).
+    auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                           [&](const Message& m) {
+                             return m.src == src && m.tag == tag;
+                           });
+    ready = it != box.queue.end() && deliverable(*it);
+  }
+  if (!ready && sched_ != nullptr) sched_->poll_yield();
+  return ready;
 }
 
 void Comm::barrier(int rank) {
   CTILE_ASSERT(rank >= 0 && rank < size());
   std::unique_lock<std::mutex> lock(barrier_mu_);
+  // Entering a barrier on a dead communicator can never succeed — and
+  // the LAST-arriving rank must not "complete" a barrier instance its
+  // peers are about to throw out of (ISSUE 6 satellite 3): check before
+  // counting ourselves in.
+  if (aborted_.load()) {
+    throw Error("mpisim: barrier entered by rank " + std::to_string(rank) +
+                " on an aborted communicator");
+  }
   i64 my_generation = barrier_generation_;
   if (++barrier_count_ == size()) {
     barrier_count_ = 0;
     ++barrier_generation_;
-    barrier_cv_.notify_all();
+    barrier_notify();
     return;
   }
-  barrier_cv_.wait(lock, [&] {
-    return barrier_generation_ != my_generation || aborted_.load();
-  });
+  while (barrier_generation_ == my_generation && !aborted_.load()) {
+    barrier_wait(lock);
+  }
   if (aborted_.load() && barrier_generation_ == my_generation) {
     throw Error("mpisim: communicator aborted during barrier");
   }
@@ -228,11 +371,11 @@ void Comm::abort() {
   aborted_.store(true);
   for (auto& box : boxes_) {
     std::lock_guard<std::mutex> lock(box->mu);
-    box->cv.notify_all();
+    box_notify(*box);
   }
   {
     std::lock_guard<std::mutex> lock(barrier_mu_);
-    barrier_cv_.notify_all();
+    barrier_notify();
   }
 }
 
@@ -243,10 +386,28 @@ std::vector<double> Comm::acquire_buffer(int rank, std::size_t size) {
   bool reused = false;
   {
     std::lock_guard<std::mutex> lock(pool.mu);
-    if (!pool.free.empty()) {
-      buf = std::move(pool.free.back());
+    // Prefer a pooled buffer whose capacity already covers the request:
+    // that is a true reuse (the resize below cannot reallocate).  The
+    // old code took whatever was on top and counted it as a reuse even
+    // when resize immediately reallocated (ISSUE 6 satellite 3).
+    auto it = std::find_if(pool.free.begin(), pool.free.end(),
+                           [&](const std::vector<double>& b) {
+                             return b.capacity() >= size;
+                           });
+    if (it != pool.free.end()) {
+      buf = std::move(*it);
+      *it = std::move(pool.free.back());
       pool.free.pop_back();
       reused = true;
+    } else if (!pool.free.empty()) {
+      // No pooled buffer is big enough: still take one (its heap block
+      // is about to be replaced either way, and leaving it pooled would
+      // just strand small buffers), but do NOT count a reuse — and
+      // clear() first so the reallocating resize does not waste time
+      // copying stale contents the caller will overwrite anyway.
+      buf = std::move(pool.free.back());
+      pool.free.pop_back();
+      buf.clear();
     }
   }
   if (reused) {
@@ -281,6 +442,11 @@ i64 Comm::pool_high_water() const {
   return static_cast<i64>(hwm);
 }
 
+Comm::ChannelTraces Comm::channel_traces() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return traces_;
+}
+
 i64 Comm::messages_sent() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return messages_sent_;
@@ -291,8 +457,58 @@ i64 Comm::doubles_sent() const {
   return doubles_sent_;
 }
 
+void Comm::advance(int rank, double seconds) {
+  CTILE_ASSERT(rank >= 0 && rank < size());
+  if (seconds <= 0.0) return;
+  const auto cost = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(seconds));
+  occupy_until(now() + cost);
+}
+
+namespace {
+
+void run_ranks_event(int size, const std::function<void(int, Comm&)>& fn,
+                     const CommConfig& config) {
+  // Scheduler outlives the communicator: Comm holds a raw pointer to it.
+  EventScheduler sched(config.seed, config.fiber_stack_bytes);
+  Comm comm(size, config);
+  comm.attach_scheduler(&sched);
+  // Single-threaded: no err_mu needed around first_error.
+  std::exception_ptr first_error;
+  for (int r = 0; r < size; ++r) {
+    sched.spawn([&, r] {
+      try {
+        fn(r, comm);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+        comm.abort();
+      }
+    });
+  }
+  sched.set_stall_handler([&] {
+    // All ranks blocked, no virtual deadline pending: true deadlock.
+    // Abort the communicator so every waiter wakes into an Error and
+    // unwinds, instead of hanging the process the way the thread
+    // backend would.
+    if (!first_error) {
+      first_error = std::make_exception_ptr(
+          Error("mpisim: deadlock detected by the event scheduler (all "
+                "ranks blocked with no pending message deadline)"));
+    }
+    comm.abort();
+  });
+  sched.run();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
 void run_ranks(int size, const std::function<void(int, Comm&)>& fn,
                CommConfig config) {
+  if (resolve_backend(config.backend) == Backend::kEvent) {
+    run_ranks_event(size, fn, config);
+    return;
+  }
   Comm comm(size, config);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(size));

@@ -2,11 +2,24 @@
 //
 // The paper's generated code targets MPI on a 16-node cluster.  This
 // repository has no MPI installation, so the generated communication
-// structure runs against this substrate instead: every rank is a thread,
-// send is buffered (like MPI_Send on small messages / MPI_Bsend), recv
-// blocks until a message matching (source, tag) arrives, and per
-// (src, dst, tag) channel ordering is FIFO — the same guarantees the
-// paper's RECEIVE/SEND pseudocode relies on.
+// structure runs against this substrate instead: send is buffered (like
+// MPI_Send on small messages / MPI_Bsend), recv blocks until a message
+// matching (source, tag) arrives, and per (src, dst, tag) channel
+// ordering is FIFO — the same guarantees the paper's RECEIVE/SEND
+// pseudocode relies on.
+//
+// Two interchangeable backends drive the ranks (DESIGN.md §11):
+//
+//  - kThread (default): every rank is an OS thread.  Real concurrency,
+//    real preemption — this is the race-detection oracle (the TSan CI
+//    job is pinned to it) and the reference for wall-clock timing tests.
+//  - kEvent: every rank is a stackful fiber on ONE OS thread, driven by
+//    a cooperatively-scheduled event loop (event_scheduler.hpp) with a
+//    deterministic, seed-controlled interleaving policy and a virtual
+//    clock, so 1k–16k-rank meshes simulate cheaply.  The latency model
+//    advances simulated time instead of sleeping.  Both backends must
+//    produce bitwise-identical numerics and identical per-channel
+//    message traces for any correct program.
 //
 // Non-blocking primitives (isend / irecv / test / wait / wait_all) model
 // the eager (buffered) MPI protocol: isend stages the payload into a
@@ -20,27 +33,34 @@
 // overlap measurable in-process: each message carries a delivery
 // deadline (initiation time + per-message + per-double cost); recv and
 // probe only match messages whose deadline has passed.  A blocking
-// send() additionally occupies the calling thread for the transfer
+// send() additionally occupies the calling rank for the transfer
 // duration (MPI_Send wire occupation on the CPU's critical path),
 // whereas isend() returns immediately (a DMA-capable NIC drains the
 // wire) — the same distinction cluster/simulator draws between its
-// kBlocking and kOverlapped schedules.
+// kBlocking and kOverlapped schedules.  Under the event backend the
+// occupation is virtual time, so high-latency studies cost no wall
+// clock.
 //
 // A cooperating failure model: if any rank throws, the communicator is
-// aborted and every blocked recv/barrier throws Error, so tests fail loudly
-// instead of deadlocking.
+// aborted and every blocked recv/barrier (and every test() poll on a
+// receive) throws Error, so tests fail loudly instead of deadlocking.
+// The event backend additionally detects true deadlock — all ranks
+// blocked with no pending deadline — and aborts the communicator.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <memory>
 #include <deque>
 #include <functional>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <tuple>
 #include <vector>
 
+#include "mpisim/event_scheduler.hpp"
 #include "support/checked_int.hpp"
 #include "support/error.hpp"
 
@@ -60,8 +80,25 @@ struct LatencyModel {
   }
 };
 
+/// Which engine drives the ranks in run_ranks.
+enum class Backend {
+  kAuto,    ///< resolve from $CTILE_MPISIM_BACKEND ("thread"/"event"),
+            ///< defaulting to kThread
+  kThread,  ///< one OS thread per rank (race-detection oracle)
+  kEvent,   ///< fibers + virtual clock on one OS thread (scales to 16k)
+};
+
 struct CommConfig {
   LatencyModel latency;
+  Backend backend = Backend::kAuto;
+  /// Seed for the event backend's interleaving policy.  Two runs with
+  /// the same seed replay the exact same schedule; two different seeds
+  /// must still produce identical numerics for a correct program.
+  u64 seed = 1;
+  /// Record per-channel message traces (see Comm::channel_traces).
+  bool trace = false;
+  /// Fiber stack size for the event backend (mmap'd, lazily committed).
+  std::size_t fiber_stack_bytes = 256 * 1024;
 };
 
 struct Message {
@@ -93,6 +130,17 @@ struct Request {
 
 class Comm {
  public:
+  using Clock = std::chrono::steady_clock;
+
+  /// (src, dst, tag): one FIFO channel.
+  using ChannelKey = std::tuple<int, int, i64>;
+  /// Per-channel sequence of message digests (FNV-1a over the payload
+  /// bytes), in enqueue order.  Channel order is deterministic even
+  /// under the thread backend (per-channel FIFO), so equal traces across
+  /// backends prove the same messages flowed in the same per-channel
+  /// order.
+  using ChannelTraces = std::map<ChannelKey, std::vector<u64>>;
+
   explicit Comm(int size, CommConfig config = {});
 
   Comm(const Comm&) = delete;
@@ -101,10 +149,10 @@ class Comm {
   int size() const { return static_cast<int>(boxes_.size()); }
 
   /// Buffered send: enqueues and returns.  Under the latency model the
-  /// calling thread is additionally occupied for the transfer duration
-  /// (blocking-schedule wire occupation).  Throws Error if the
-  /// communicator has been aborted (a surviving rank must not keep
-  /// pumping messages nobody will drain).
+  /// calling rank is additionally occupied for the transfer duration
+  /// (blocking-schedule wire occupation; virtual time under the event
+  /// backend).  Throws Error if the communicator has been aborted (a
+  /// surviving rank must not keep pumping messages nobody will drain).
   void send(int src, int dst, i64 tag, std::vector<double> data);
 
   /// Non-blocking send (eager protocol): stages the payload into a
@@ -126,15 +174,19 @@ class Comm {
 
   /// Completes `req` if possible without blocking.  A send request
   /// completes once its transfer deadline has passed; a receive request
-  /// completes by consuming a matching deliverable message into
-  /// req.payload.  Returns req.done.
+  /// completes by consuming the *first* FIFO match on its channel once
+  /// that message is deliverable.  Returns req.done.  Throws Error on an
+  /// aborted communicator when a receive cannot complete — a rank
+  /// polling test() must observe a dead peer exactly like a blocking
+  /// recv() does, not livelock.
   bool test(Request& req);
 
   /// Blocks until `req` completes.  For a receive request the consumed
   /// payload is returned (zero-copy: the sender's transit buffer); for a
   /// send request the return value is empty and the wait models the NIC
-  /// draining the wire.  Throws Error if the communicator is aborted
-  /// while waiting on a receive.
+  /// draining the wire (completion is a local time event, so it still
+  /// succeeds on an aborted communicator).  Throws Error if the
+  /// communicator is aborted while waiting on a receive.
   std::vector<double> wait(Request& req);
 
   /// wait() over a batch.  Receive payloads stay stashed in each
@@ -147,12 +199,17 @@ class Comm {
   /// Throws Error if the communicator is aborted while waiting.
   std::vector<double> recv(int dst, int src, i64 tag);
 
-  /// True iff a matching message is already queued and deliverable
-  /// (non-blocking probe).
+  /// True iff the *first* FIFO match on the (src → dst, tag) channel is
+  /// already deliverable.  Mirrors recv()'s matching rule exactly: when
+  /// probe() returns true, recv() completes without blocking.  (A later
+  /// deliverable message behind an in-flight first match does NOT count
+  /// — recv would block on the earlier one.)
   bool probe(int dst, int src, i64 tag);
 
   /// Draw a payload buffer of `size` doubles from rank's local pool,
-  /// falling back to a fresh allocation when the pool is empty.  The
+  /// preferring a pooled buffer whose capacity already covers `size`
+  /// (a true reuse: the resize below cannot reallocate).  Falls back to
+  /// a fresh allocation when no sufficient buffer is pooled.  The
   /// contents are unspecified — callers overwrite every element when
   /// packing.  Pass the buffer to send()/isend(), which take ownership.
   std::vector<double> acquire_buffer(int rank, std::size_t size);
@@ -165,8 +222,9 @@ class Comm {
   /// to stay warm.  Pools are bounded; excess buffers are simply freed.
   void release_buffer(int rank, std::vector<double>&& buf);
 
-  /// Number of acquire_buffer calls served from a pool (for tests
-  /// asserting that pooling actually engages in steady state).
+  /// Number of acquire_buffer calls served from a pool WITHOUT
+  /// reallocating (capacity-sufficient hits only; a pooled buffer that
+  /// resize would have to regrow is not a reuse).
   i64 pool_reuses() const;
 
   /// Largest number of buffers any single rank's pool ever held — the
@@ -175,11 +233,34 @@ class Comm {
   /// the bound holds.
   i64 pool_high_water() const;
 
-  /// Full barrier across all ranks.  Throws Error on abort.
+  /// Full barrier across all ranks.  Throws Error on abort — including
+  /// for the LAST-arriving rank: once the communicator is aborted no
+  /// rank may observe barrier success, so all participants of the
+  /// broken barrier instance agree.
   void barrier(int rank);
 
   /// Wake all waiters with an error; used when a rank dies.
   void abort();
+
+  /// Occupy the calling rank for `seconds` of modelled computation:
+  /// virtual time under the event backend, a real sleep under the
+  /// thread backend.  The workload-modelling primitive for wavefront /
+  /// drain studies (bench/wavefront_drain).
+  void advance(int rank, double seconds);
+
+  /// Current time as the ranks of this communicator experience it:
+  /// the scheduler's virtual clock under the event backend, the real
+  /// steady clock otherwise.
+  Clock::time_point now() const;
+
+  /// True iff this communicator is driven by the event backend.
+  bool event_backend() const { return sched_ != nullptr; }
+
+  /// Snapshot of the recorded per-channel traces (empty unless
+  /// CommConfig::trace).  Same synchronization contract as the send
+  /// counters: complete relative to sends that happened-before the read
+  /// (readers barrier() first).
+  ChannelTraces channel_traces() const;
 
   /// Total messages and payload doubles sent (for communication-volume
   /// accounting in tests and benches).
@@ -194,12 +275,15 @@ class Comm {
   i64 messages_sent() const;
   i64 doubles_sent() const;
 
- private:
-  using Clock = std::chrono::steady_clock;
+  /// Internal: wired by run_ranks' event backend before any fiber runs.
+  /// All blocking points and clock reads then route through `sched`.
+  void attach_scheduler(EventScheduler* sched);
 
+ private:
   struct Mailbox {
     std::mutex mu;
-    std::condition_variable cv;
+    std::condition_variable cv;  ///< thread backend
+    WaitList waiters;            ///< event backend
     std::deque<Message> queue;
   };
 
@@ -218,21 +302,33 @@ class Comm {
   /// latency model is disabled, so matching stays branch-cheap).
   Clock::time_point deadline(std::size_t doubles) const;
 
-  /// Enqueue into dst's mailbox and bump the send counters.
+  /// Enqueue into dst's mailbox, record the trace, bump send counters.
   void enqueue(int dst, Message message);
 
-  /// True iff the message's delivery deadline has passed.
-  static bool deliverable(const Message& m) {
-    return m.ready_at == Clock::time_point{} ||
-           m.ready_at <= Clock::now();
+  /// True iff the message's delivery deadline has passed (against the
+  /// backend's clock).
+  bool deliverable(const Message& m) const {
+    return m.ready_at == Clock::time_point{} || m.ready_at <= now();
   }
+
+  /// --- Backend seam: every blocking point dispatches here, so the
+  /// Comm logic above is shared verbatim between both backends. ---
+  void occupy_until(Clock::time_point t);
+  void box_wait(Mailbox& box, std::unique_lock<std::mutex>& lock);
+  void box_wait_until(Mailbox& box, std::unique_lock<std::mutex>& lock,
+                      Clock::time_point t);
+  void box_notify(Mailbox& box);
+  void barrier_wait(std::unique_lock<std::mutex>& lock);
+  void barrier_notify();
 
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   std::vector<std::unique_ptr<BufferPool>> pools_;
   CommConfig config_;
+  EventScheduler* sched_ = nullptr;
 
   std::mutex barrier_mu_;
-  std::condition_variable barrier_cv_;
+  std::condition_variable barrier_cv_;  ///< thread backend
+  WaitList barrier_waiters_;            ///< event backend
   int barrier_count_ = 0;
   i64 barrier_generation_ = 0;
 
@@ -240,14 +336,23 @@ class Comm {
   i64 messages_sent_ = 0;
   i64 doubles_sent_ = 0;
   i64 pool_reuses_ = 0;
+  ChannelTraces traces_;
 
   std::atomic<bool> aborted_{false};
 };
 
-/// Run fn(rank, comm) on `size` concurrent threads sharing one Comm.
-/// If any rank throws, aborts the communicator, joins everyone, and
-/// rethrows the first exception.  `config` selects the latency model.
+/// Run fn(rank, comm) on `size` ranks sharing one Comm.  The backend —
+/// one OS thread per rank, or cooperatively-scheduled fibers with a
+/// virtual clock on the calling thread — is selected by config.backend
+/// (kAuto honours $CTILE_MPISIM_BACKEND).  If any rank throws, aborts
+/// the communicator, retires everyone, and rethrows the first
+/// exception.  The event backend additionally turns a full deadlock
+/// into an abort + Error instead of a hang.
 void run_ranks(int size, const std::function<void(int, Comm&)>& fn,
                CommConfig config = {});
+
+/// The backend run_ranks would use for `config` (env resolution
+/// included) — lets tests and benches report/assert the active backend.
+Backend resolve_backend(Backend requested);
 
 }  // namespace ctile::mpisim

@@ -427,6 +427,12 @@ DataSpace ParallelExecutor::run(ParallelRunStats* stats) const {
   std::vector<PhaseTimes> phases(static_cast<std::size_t>(nprocs));
 
   i64 messages = 0, doubles = 0;
+  mpisim::Comm::ChannelTraces traces;
+  mpisim::CommConfig comm_config;
+  comm_config.latency = latency_;
+  comm_config.backend = backend_;
+  comm_config.seed = seed_;
+  comm_config.trace = trace_;
   mpisim::run_ranks(
       nprocs,
       [&](int rank, mpisim::Comm& comm) {
@@ -437,9 +443,10 @@ DataSpace ParallelExecutor::run(ParallelRunStats* stats) const {
         if (rank == 0) {
           messages = comm.messages_sent();
           doubles = comm.doubles_sent();
+          if (trace_) traces = comm.channel_traces();
         }
       },
-      mpisim::CommConfig{latency_});
+      comm_config);
 
   // ---- Write-back (Figure 4): every computation slot travels
   // LDS --map^{-1}--> (j', t) --loc^{-1}--> j in J^n --f_w--> DS,
@@ -491,6 +498,7 @@ DataSpace ParallelExecutor::run(ParallelRunStats* stats) const {
   if (stats != nullptr) {
     stats->messages = messages;
     stats->doubles = doubles;
+    stats->traces = std::move(traces);
     stats->points_computed = 0;
     for (i64 p : points) stats->points_computed += p;
     stats->phase_by_rank = phases;

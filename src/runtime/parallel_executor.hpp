@@ -71,6 +71,11 @@ struct ParallelRunStats {
   i64 points_computed = 0; ///< total iterations executed across ranks
   PhaseTimes phase_total;  ///< phase times summed over all ranks
   std::vector<PhaseTimes> phase_by_rank;  ///< per-rank phase times
+  /// Per-channel message digests (set_trace_messages): the cross-backend
+  /// equivalence witness — equal traces prove the same payload bits
+  /// flowed over every (src, dst, tag) channel in the same order under
+  /// the thread and event backends.
+  mpisim::Comm::ChannelTraces traces;
 
   /// Fraction of the ranks' phase time spent computing, i.e. how well
   /// communication was hidden: 1.0 means every message cost vanished
@@ -145,6 +150,25 @@ class ParallelExecutor {
   }
   const mpisim::LatencyModel& latency_model() const { return latency_; }
 
+  /// Select the mpisim backend run() drives the ranks with: OS threads
+  /// (default, the race-detection oracle) or the event-driven scheduler
+  /// (one OS thread, virtual clock, deterministic seed-controlled
+  /// interleaving — scales to thousands of ranks).  kAuto honours
+  /// $CTILE_MPISIM_BACKEND, which is how CI runs the whole runtime suite
+  /// on the event backend without touching the tests.  `seed` drives the
+  /// event backend's interleaving; different seeds must not change the
+  /// numerics.
+  void set_comm_backend(mpisim::Backend backend, u64 seed = 1) {
+    backend_ = backend;
+    seed_ = seed;
+  }
+  mpisim::Backend comm_backend() const { return backend_; }
+
+  /// Record per-channel message traces into ParallelRunStats::traces
+  /// (off by default: hashing every payload is pure overhead outside
+  /// cross-backend equivalence tests).
+  void set_trace_messages(bool on) { trace_ = on; }
+
   /// Run all ranks (threads), gather every processor's computation slots
   /// through loc^{-1} into a fresh DataSpace, and return it with stats.
   DataSpace run(ParallelRunStats* stats = nullptr) const;
@@ -179,6 +203,9 @@ class ParallelExecutor {
   bool use_fast_sweep_ = true;
   bool use_overlap_ = true;
   mpisim::LatencyModel latency_;
+  mpisim::Backend backend_ = mpisim::Backend::kAuto;
+  u64 seed_ = 1;
+  bool trace_ = false;
   std::function<void()> pre_run_gate_;
 
   /// The cached layout + slot tables for a (non-empty) window length.

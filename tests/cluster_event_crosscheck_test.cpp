@@ -1,0 +1,82 @@
+// Cross-checks between the discrete-event cluster simulator and the
+// executor running on the event-driven mpisim backend, at a scale the
+// thread-per-rank backend could not reasonably reach (hundreds of
+// ranks), plus the DrainProfile wavefront-phase invariants the
+// 4096-rank bench builds on.
+#include "cluster/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "apps/kernels.hpp"
+
+namespace ctile {
+namespace {
+
+TEST(ClusterEventCrosscheck, LargeMeshExecutorMatchesSimulator) {
+  // 261 processors: the DES and the actually-executed event-backend run
+  // must agree on every communication-volume number (the DES models
+  // exactly the messages the executor sends), and the run must stay on
+  // ONE OS thread.
+  AppInstance app = make_sor(16, 96);
+  TiledNest tiled(app.nest, TilingTransform(sor_rect_h(2, 4, 4)));
+  Mapping mapping(tiled, /*force_m=*/2);
+  ASSERT_GE(mapping.num_procs(), 200)
+      << "config no longer exercises the at-scale path";
+
+  ParallelExecutor exec(tiled, *app.kernel, /*force_m=*/2);
+  exec.set_comm_backend(mpisim::Backend::kEvent, /*seed=*/11);
+  const std::thread::id host = std::this_thread::get_id();
+  exec.set_pre_run_gate([&] { EXPECT_EQ(std::this_thread::get_id(), host); });
+  ParallelRunStats stats;
+  exec.run(&stats);
+  EXPECT_GT(stats.messages, 0);
+
+  SimResult sim = simulate_tiled_program(
+      tiled, MachineModel::fast_ethernet_cluster(), /*arity=*/1,
+      /*force_m=*/2);
+  EXPECT_EQ(sim.messages, stats.messages);
+  EXPECT_EQ(sim.bytes, stats.doubles * 8);
+  EXPECT_EQ(sim.total_points, stats.points_computed);
+}
+
+TEST(ClusterEventCrosscheck, DrainProfilePartitionsTheMakespan) {
+  AppInstance app = make_sor(24, 48);
+  TiledNest tiled(app.nest, TilingTransform(sor_nonrect_h(4, 9, 6)));
+  for (CommSchedule schedule :
+       {CommSchedule::kBlocking, CommSchedule::kOverlapped}) {
+    SimResult sim = simulate_tiled_program(
+        tiled, MachineModel::fast_ethernet_cluster(), /*arity=*/1,
+        /*force_m=*/2, schedule);
+    DrainProfile profile = drain_profile(sim);
+    EXPECT_GE(profile.fill, 0.0);
+    EXPECT_GE(profile.steady, 0.0);
+    EXPECT_GE(profile.drain, 0.0);
+    EXPECT_NEAR(profile.fill + profile.steady + profile.drain, sim.makespan,
+                1e-9 * sim.makespan);
+    // A skewed wavefront over >1 processors has a nonempty fill (the
+    // last processor starts late) and a nonempty drain (the first one
+    // finishes early).
+    EXPECT_GT(profile.fill, 0.0);
+    EXPECT_GT(profile.drain, 0.0);
+  }
+}
+
+TEST(ClusterEventCrosscheck, DrainProfileOnSingleProcessorIsAllSteady) {
+  // One processor: the "wavefront" fills instantly and never drains —
+  // fill is the (zero) time to the first tile start, drain the time
+  // after its last tile, so everything is steady compute.
+  AppInstance app = make_adi(4, 4);
+  TiledNest tiled(app.nest, TilingTransform(adi_rect_h(2, 5, 5)));
+  SimResult sim = simulate_tiled_program(tiled, MachineModel::zero_comm(),
+                                         /*arity=*/2, /*force_m=*/0);
+  ASSERT_FALSE(sim.trace.empty());
+  DrainProfile profile = drain_profile(sim);
+  EXPECT_DOUBLE_EQ(profile.fill, 0.0);
+  EXPECT_DOUBLE_EQ(profile.drain, 0.0);
+  EXPECT_DOUBLE_EQ(profile.steady, sim.makespan);
+}
+
+}  // namespace
+}  // namespace ctile

@@ -33,6 +33,7 @@ std::string compile_and_run(const std::string& source, const std::string& tag,
   if (link_mpisim) {
     cmd += " -I" CTILE_SOURCE_DIR "/src " CTILE_SOURCE_DIR
            "/src/mpisim/mpisim.cpp " CTILE_SOURCE_DIR
+           "/src/mpisim/event_scheduler.cpp " CTILE_SOURCE_DIR
            "/src/support/error.cpp -lpthread";
   }
   cmd += " 2> " + dir + "/gen_" + tag + ".err";

@@ -130,6 +130,7 @@ double run_generated(const std::string& code, int instance) {
   std::string cmd = "c++ -std=c++20 -O1 -o " + bin + " " + cpp +
                     " -I" CTILE_SOURCE_DIR "/src " CTILE_SOURCE_DIR
                     "/src/mpisim/mpisim.cpp " CTILE_SOURCE_DIR
+                    "/src/mpisim/event_scheduler.cpp " CTILE_SOURCE_DIR
                     "/src/support/error.cpp -lpthread 2> " + bin + ".err";
   if (std::system(cmd.c_str()) != 0) {
     std::ifstream err(bin + ".err");

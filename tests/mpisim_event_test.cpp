@@ -1,0 +1,323 @@
+// The event-driven mpisim backend (DESIGN.md §11): stackful fibers on
+// ONE OS thread, a virtual clock, and a seed-controlled deterministic
+// interleaving.  These tests pin down the contract the tentpole claims:
+// same semantics as the thread backend, scale far past thread-per-rank,
+// virtual (not real) latency, reproducible schedules, and deadlock
+// turned into a loud Error instead of a hang.
+#include "mpisim/mpisim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace ctile::mpisim {
+namespace {
+
+CommConfig event_config(u64 seed = 1) {
+  CommConfig config;
+  config.backend = Backend::kEvent;
+  config.seed = seed;
+  return config;
+}
+
+TEST(MpisimEvent, PingPongSemanticsMatchThreadBackend) {
+  run_ranks(
+      2,
+      [](int rank, Comm& comm) {
+        EXPECT_TRUE(comm.event_backend());
+        if (rank == 0) {
+          comm.send(0, 1, 7, {1.0, 2.0, 3.0});
+          EXPECT_EQ(comm.recv(0, 1, 8), (std::vector<double>{6.0}));
+        } else {
+          std::vector<double> msg = comm.recv(1, 0, 7);
+          comm.send(1, 0, 8,
+                    {std::accumulate(msg.begin(), msg.end(), 0.0)});
+        }
+      },
+      event_config());
+}
+
+TEST(MpisimEvent, ScrambledAllToAllOnOneOsThread) {
+  // The mpisim_stress all-to-all shape, plus the tentpole's headline
+  // claim: every rank body runs on the CALLING OS thread.
+  const int n = 16;
+  const std::thread::id host = std::this_thread::get_id();
+  run_ranks(
+      n,
+      [&](int rank, Comm& comm) {
+        EXPECT_EQ(std::this_thread::get_id(), host);
+        for (int dst = 0; dst < n; ++dst) {
+          if (dst == rank) continue;
+          comm.send(rank, dst, 0, {static_cast<double>(rank)});
+        }
+        Rng rng(static_cast<u64>(rank) + 1);
+        std::vector<int> order;
+        for (int src = 0; src < n; ++src) {
+          if (src != rank) order.push_back(src);
+        }
+        for (std::size_t i = order.size(); i > 1; --i) {
+          std::swap(order[i - 1],
+                    order[static_cast<std::size_t>(
+                        rng.uniform(0, static_cast<i64>(i) - 1))]);
+        }
+        for (int src : order) {
+          EXPECT_EQ(comm.recv(rank, src, 0)[0], static_cast<double>(src));
+        }
+        comm.barrier(rank);
+      },
+      event_config(/*seed=*/17));
+}
+
+TEST(MpisimEvent, LatencyIsVirtualNotReal) {
+  // 30 modelled seconds of wire time must cost (approximately) zero wall
+  // clock, and the ranks must still OBSERVE the modelled time through
+  // comm.now().
+  CommConfig config = event_config();
+  config.latency.per_message_s = 10.0;
+  const auto wall_start = std::chrono::steady_clock::now();
+  run_ranks(
+      2,
+      [](int rank, Comm& comm) {
+        const auto virtual_start = comm.now();
+        if (rank == 0) {
+          // Three blocking sends: each occupies the sender 10 virtual s.
+          for (i64 tag = 0; tag < 3; ++tag) {
+            comm.send(0, 1, tag, {static_cast<double>(tag)});
+          }
+          const double virtual_s =
+              std::chrono::duration<double>(comm.now() - virtual_start)
+                  .count();
+          EXPECT_GE(virtual_s, 30.0);
+        } else {
+          for (i64 tag = 0; tag < 3; ++tag) {
+            EXPECT_EQ(comm.recv(1, 0, tag)[0], static_cast<double>(tag));
+          }
+          const double virtual_s =
+              std::chrono::duration<double>(comm.now() - virtual_start)
+                  .count();
+          // The receiver saw at least the first delivery deadline pass.
+          EXPECT_GE(virtual_s, 10.0);
+        }
+      },
+      config);
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  EXPECT_LT(wall_s, 5.0) << "virtual latency leaked into wall clock";
+}
+
+TEST(MpisimEvent, AdvanceModelsComputeInVirtualTime) {
+  CommConfig config = event_config();
+  run_ranks(
+      1,
+      [](int rank, Comm& comm) {
+        const auto t0 = comm.now();
+        comm.advance(rank, 3600.0);  // one virtual hour
+        EXPECT_GE(std::chrono::duration<double>(comm.now() - t0).count(),
+                  3600.0);
+      },
+      config);
+}
+
+TEST(MpisimEvent, SameSeedReplaysIdenticalScheduleAndTrace) {
+  // Same program + same seed => identical per-channel traces (the
+  // digests include every payload bit).  The program makes the trace
+  // schedule-SENSITIVE by having both peers race nondeterministically
+  // ordered sends to a third rank on the same channel... except that per
+  // (src,dst,tag) channels are FIFO, so traces are schedule-stable; the
+  // determinism witness here is that the run is replayable at all, plus
+  // equal message totals and equal traces.
+  auto run_once = [](u64 seed) {
+    CommConfig config = event_config(seed);
+    config.trace = true;
+    Comm::ChannelTraces traces;
+    i64 messages = 0;
+    run_ranks(
+        8,
+        [&](int rank, Comm& comm) {
+          const int n = comm.size();
+          for (int round = 0; round < 5; ++round) {
+            comm.send(rank, (rank + 1) % n, round,
+                      {static_cast<double>(rank * 100 + round)});
+            EXPECT_EQ(
+                comm.recv(rank, (rank + n - 1) % n, round)[0],
+                static_cast<double>(((rank + n - 1) % n) * 100 + round));
+          }
+          comm.barrier(rank);
+          if (rank == 0) {
+            traces = comm.channel_traces();
+            messages = comm.messages_sent();
+          }
+        },
+        config);
+    return std::make_pair(traces, messages);
+  };
+  const auto [trace_a, messages_a] = run_once(42);
+  const auto [trace_b, messages_b] = run_once(42);
+  EXPECT_EQ(messages_a, messages_b);
+  EXPECT_EQ(trace_a, trace_b);
+  EXPECT_FALSE(trace_a.empty());
+  // A different seed permutes the interleaving but must not change what
+  // flowed over any channel (correct programs are schedule-oblivious).
+  const auto [trace_c, messages_c] = run_once(1337);
+  EXPECT_EQ(messages_a, messages_c);
+  EXPECT_EQ(trace_a, trace_c);
+}
+
+TEST(MpisimEvent, DeadlockIsDetectedAndAborted) {
+  // Everyone receives, nobody sends: the thread backend would hang
+  // forever; the event scheduler must prove the stall (no runnable
+  // fiber, no pending virtual deadline) and abort with an Error.
+  EXPECT_THROW(run_ranks(
+                   4,
+                   [](int rank, Comm& comm) {
+                     comm.recv(rank, (rank + 1) % comm.size(), 99);
+                   },
+                   event_config()),
+               Error);
+}
+
+TEST(MpisimEvent, AbortWakesBlockedFibersIntoError) {
+  // One rank dies while the others are parked in recv/barrier; the
+  // original error must surface (not the deadlock fallback) and the run
+  // must terminate.
+  EXPECT_THROW(
+      {
+        try {
+          run_ranks(
+              6,
+              [](int rank, Comm& comm) {
+                if (rank == 3) throw Error("rank 3 died");
+                if (rank % 2 == 0) {
+                  comm.recv(rank, 3, 0);
+                } else {
+                  comm.barrier(rank);
+                }
+              },
+              event_config());
+        } catch (const Error& e) {
+          EXPECT_NE(std::string(e.what()).find("rank 3 died"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      Error);
+}
+
+TEST(MpisimEvent, PollingLoopsMakeProgressAndObserveAbort) {
+  // test()/probe() spin-loops are the classic cooperative-scheduling
+  // trap: each failed poll must charge virtual time and yield, so the
+  // clock reaches deadlines (first loop) and abort propagates into a
+  // polling rank (second loop, regression pairing with satellite 1).
+  CommConfig config = event_config();
+  config.latency.per_message_s = 0.5;
+  run_ranks(
+      2,
+      [](int rank, Comm& comm) {
+        if (rank == 0) {
+          comm.isend(0, 1, 0, {7.5});
+        } else {
+          Request req = comm.irecv(1, 0, 0);
+          while (!comm.test(req)) {
+          }
+          EXPECT_EQ(req.payload, (std::vector<double>{7.5}));
+        }
+      },
+      config);
+  EXPECT_THROW(run_ranks(
+                   2,
+                   [](int rank, Comm& comm) {
+                     if (rank == 0) throw Error("rank 0 died");
+                     Request req = comm.irecv(1, 0, 0);
+                     while (!comm.test(req)) {
+                     }
+                   },
+                   event_config()),
+               Error);
+}
+
+TEST(MpisimEvent, ThousandRankRingScales) {
+  // Far past where thread-per-rank is viable on this host; trivial on
+  // the event backend.
+  const int n = 1024;
+  run_ranks(
+      n,
+      [&](int rank, Comm& comm) {
+        comm.send(rank, (rank + 1) % n, 0, {static_cast<double>(rank)});
+        EXPECT_EQ(comm.recv(rank, (rank + n - 1) % n, 0)[0],
+                  static_cast<double>((rank + n - 1) % n));
+        comm.barrier(rank);
+      },
+      event_config(/*seed=*/3));
+}
+
+TEST(MpisimEvent, WavefrontSmoke4096Ranks) {
+  // ISSUE 6 acceptance: a 4096-rank wavefront completes in the event
+  // backend on one OS thread.  64x64 mesh, classic skewed dependence
+  // (each cell waits on its north and west neighbours, accumulates, and
+  // forwards south and east) — the communication skeleton of the
+  // paper's tiled SOR mapped onto a 2D processor mesh.
+  const int side = 64;
+  const int n = side * side;
+  const std::thread::id host = std::this_thread::get_id();
+  std::vector<double> sums(static_cast<std::size_t>(n), 0.0);
+  run_ranks(
+      n,
+      [&](int rank, Comm& comm) {
+        EXPECT_EQ(std::this_thread::get_id(), host);
+        const int row = rank / side;
+        const int col = rank % side;
+        double acc = 1.0;
+        if (row > 0) acc += comm.recv(rank, rank - side, /*tag=*/0)[0];
+        if (col > 0) acc += comm.recv(rank, rank - 1, /*tag=*/1)[0];
+        if (row + 1 < side) comm.send(rank, rank + side, 0, {acc});
+        if (col + 1 < side) comm.send(rank, rank + 1, 1, {acc});
+        sums[static_cast<std::size_t>(rank)] = acc;
+      },
+      event_config(/*seed=*/99));
+  // The wavefront recurrence acc(r,c) = 1 + acc(r-1,c) + acc(r,c-1)
+  // counts lattice paths: acc(r,c) = C(r+c+2, r+1) - 1.  Spot-check the
+  // corners instead of recomputing the binomials: symmetry + growth.
+  EXPECT_EQ(sums[0], 1.0);
+  EXPECT_EQ(sums[1], 2.0);
+  EXPECT_EQ(sums[static_cast<std::size_t>(side)], 2.0);
+  EXPECT_EQ(sums[static_cast<std::size_t>(side + 1)], 5.0);
+  // Symmetric corners see symmetric sums.
+  EXPECT_EQ(sums[static_cast<std::size_t>(side - 1)],
+            sums[static_cast<std::size_t>((side - 1) * side)]);
+  EXPECT_GT(sums[static_cast<std::size_t>(n - 1)], sums[0]);
+}
+
+TEST(MpisimEvent, EnvVariableSelectsBackendUnderAuto) {
+  // kAuto + CTILE_MPISIM_BACKEND=event must route through the event
+  // scheduler — this is how CI runs the whole runtime suite on the
+  // event backend without touching any test.
+  ASSERT_EQ(setenv("CTILE_MPISIM_BACKEND", "event", 1), 0);
+  EXPECT_EQ(resolve_backend(Backend::kAuto), Backend::kEvent);
+  run_ranks(2, [](int rank, Comm& comm) {
+    EXPECT_TRUE(comm.event_backend());
+    if (rank == 0) {
+      comm.send(0, 1, 0, {4.0});
+    } else {
+      EXPECT_EQ(comm.recv(1, 0, 0)[0], 4.0);
+    }
+  });
+  ASSERT_EQ(setenv("CTILE_MPISIM_BACKEND", "thread", 1), 0);
+  EXPECT_EQ(resolve_backend(Backend::kAuto), Backend::kThread);
+  ASSERT_EQ(unsetenv("CTILE_MPISIM_BACKEND"), 0);
+  EXPECT_EQ(resolve_backend(Backend::kAuto), Backend::kThread);
+  // Garbage values fail loudly instead of silently picking a backend.
+  ASSERT_EQ(setenv("CTILE_MPISIM_BACKEND", "fibers", 1), 0);
+  EXPECT_THROW(resolve_backend(Backend::kAuto), Error);
+  ASSERT_EQ(unsetenv("CTILE_MPISIM_BACKEND"), 0);
+}
+
+}  // namespace
+}  // namespace ctile::mpisim

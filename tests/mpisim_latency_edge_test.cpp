@@ -1,0 +1,126 @@
+// Latency-model edge cases (ISSUE 6 satellite 4), run under BOTH
+// backends: the thread backend experiences the model as real sleeps,
+// the event backend as virtual time — the observable semantics (FIFO
+// order, request completion, abort behaviour) must be identical.
+#include "mpisim/mpisim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace ctile::mpisim {
+namespace {
+
+class LatencyEdge : public ::testing::TestWithParam<Backend> {
+ protected:
+  CommConfig config(double per_message_s, double per_double_s = 0.0) const {
+    CommConfig c;
+    c.backend = GetParam();
+    c.latency.per_message_s = per_message_s;
+    c.latency.per_double_s = per_double_s;
+    // Keep the thread backend's real sleeps short; the event backend
+    // would be happy with hours.
+    return c;
+  }
+};
+
+TEST_P(LatencyEdge, FifoHoldsWithMixedDeliverableAndInFlightMessages) {
+  // One channel, three messages: a big slow one, then two tiny fast
+  // ones.  By the time the receiver looks, the tiny ones are
+  // deliverable but the FIFO head is still in flight — recv must wait
+  // for and return the HEAD first, never reorder.
+  run_ranks(
+      2,
+      [](int rank, Comm& comm) {
+        if (rank == 0) {
+          comm.isend(0, 1, /*tag=*/5, std::vector<double>(2000, 1.0));
+          comm.isend(0, 1, /*tag=*/5, {2.0});
+          comm.isend(0, 1, /*tag=*/5, {3.0});
+          comm.send(0, 1, /*tag=*/6, {0.0});  // "all posted" signal
+        } else {
+          comm.recv(1, 0, 6);  // all three tag-5 messages are enqueued
+          // The channel head (the big message) is still in flight; the
+          // later tiny ones are deliverable — probe must say "nothing
+          // ready" because recv would block (satellite-2 semantics).
+          EXPECT_FALSE(comm.probe(1, 0, 5));
+          EXPECT_EQ(comm.recv(1, 0, 5).size(), 2000u);
+          EXPECT_EQ(comm.recv(1, 0, 5), (std::vector<double>{2.0}));
+          EXPECT_EQ(comm.recv(1, 0, 5), (std::vector<double>{3.0}));
+        }
+      },
+      config(/*per_message_s=*/0.0, /*per_double_s=*/100e-6));
+}
+
+TEST_P(LatencyEdge, WaitAllRetiresMixedSendRecvBatches) {
+  // A batch mixing outstanding isends (time-completing) and irecvs
+  // (message-completing) in arbitrary order: wait_all must retire every
+  // request, stash every receive payload, and cope with requests that
+  // completed before the call.
+  run_ranks(
+      2,
+      [](int rank, Comm& comm) {
+        const int peer = 1 - rank;
+        std::vector<Request> batch;
+        for (i64 tag = 0; tag < 3; ++tag) {
+          batch.push_back(comm.isend(rank, peer, tag,
+                                     {static_cast<double>(rank * 10 + tag)}));
+          batch.push_back(comm.irecv(rank, peer, tag));
+        }
+        // Pre-complete one receive via test() polling so wait_all sees a
+        // done request mid-batch.
+        while (!comm.test(batch[1])) {
+        }
+        comm.wait_all(batch);
+        for (i64 tag = 0; tag < 3; ++tag) {
+          const Request& recv_req = batch[static_cast<std::size_t>(tag * 2 + 1)];
+          EXPECT_TRUE(recv_req.done);
+          ASSERT_EQ(recv_req.payload.size(), 1u);
+          EXPECT_EQ(recv_req.payload[0],
+                    static_cast<double>(peer * 10 + tag));
+        }
+        comm.barrier(rank);
+      },
+      config(/*per_message_s=*/2e-3));
+}
+
+TEST_P(LatencyEdge, AbortDuringWaitOnSendRequestCompletesLocally) {
+  // A send request's completion is a LOCAL time event (the NIC draining
+  // the modelled wire): abort must not turn wait()-on-send into an
+  // error — but the rank must then observe the dead communicator on its
+  // next send.  The dying peer waits for the "posted" signal so the
+  // isend is in flight when the abort lands.
+  EXPECT_THROW(
+      run_ranks(
+          2,
+          [](int rank, Comm& comm) {
+            if (rank == 0) {
+              comm.recv(0, 1, /*tag=*/0);  // rank 1 posted its isend
+              throw Error("rank 0 died");
+            }
+            Request big =
+                comm.isend(1, 0, /*tag=*/1, std::vector<double>(4000, 1.0));
+            comm.send(1, 0, /*tag=*/0, {0.0});
+            comm.wait(big);  // drains the wire; must NOT throw
+            EXPECT_TRUE(big.done);
+            // The communicator is (or is about to be) dead; keep trying
+            // to talk until the abort is visible.
+            for (;;) {
+              comm.send(1, 0, /*tag=*/2, {1.0});
+              std::this_thread::yield();
+            }
+          },
+          config(/*per_message_s=*/0.0, /*per_double_s=*/5e-6)),
+      Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothBackends, LatencyEdge,
+                         ::testing::Values(Backend::kThread, Backend::kEvent),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           return info.param == Backend::kThread ? "Thread"
+                                                                 : "Event";
+                         });
+
+}  // namespace
+}  // namespace ctile::mpisim

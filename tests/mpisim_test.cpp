@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <numeric>
+#include <thread>
 
 namespace ctile::mpisim {
 namespace {
@@ -264,6 +265,10 @@ TEST(Mpisim, LatencyModelDelaysDeliveryAndBlocksSend) {
   // the message before its delivery deadline.
   CommConfig config;
   config.latency.per_message_s = 0.02;
+  // Pinned to the thread backend: this test asserts REAL elapsed time,
+  // which the event backend deliberately virtualizes away (the
+  // CTILE_MPISIM_BACKEND=event CI sweep must not break it).
+  config.backend = Backend::kThread;
   run_ranks(
       2,
       [](int rank, Comm& comm) {
@@ -291,6 +296,120 @@ TEST(Mpisim, LatencyModelDelaysDeliveryAndBlocksSend) {
         }
       },
       config);
+}
+
+TEST(Mpisim, TestObservesAbortInsteadOfLivelocking) {
+  // Regression (ISSUE 6 satellite 1): a rank polling test() on a receive
+  // request must observe a dead communicator like a blocking recv()
+  // does.  Before the fix test() never consulted aborted_, so this loop
+  // spun forever once rank 0 died.
+  EXPECT_THROW(run_ranks(2,
+                         [](int rank, Comm& comm) {
+                           if (rank == 0) {
+                             throw Error("rank 0 died");
+                           }
+                           Request req = comm.irecv(1, 0, 7);
+                           while (!comm.test(req)) {
+                             std::this_thread::yield();
+                           }
+                         }),
+               Error);
+}
+
+TEST(Mpisim, ProbeHonorsFifoFirstMatch) {
+  // Regression (ISSUE 6 satellite 2): probe() must mirror recv()'s
+  // strict-FIFO matching.  Channel state below: the FIRST match is a
+  // big, still-in-flight message; a later tiny message on the SAME
+  // channel is already deliverable.  recv() would block on the first
+  // match, so probe() must say false — the old std::any_of said true.
+  CommConfig config;
+  config.latency.per_double_s = 1e-3;  // 1000 doubles -> 1s in flight
+  Comm comm(2, config);
+  comm.isend(0, 1, /*tag=*/3, std::vector<double>(1000, 1.0));
+  comm.isend(0, 1, /*tag=*/3, {2.0});
+  // Let the tiny message's deadline (1ms) pass; the big one needs ~1s.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Request later = comm.irecv(1, 0, 3);
+  EXPECT_FALSE(comm.probe(1, 0, 3))
+      << "probe matched a deliverable message behind the in-flight "
+         "FIFO head";
+  // test() agrees: the head of the channel is not deliverable yet.
+  EXPECT_FALSE(comm.test(later));
+  // Once the head's deadline passes both complete, in FIFO order.
+  EXPECT_EQ(comm.recv(1, 0, 3).size(), 1000u);
+  EXPECT_TRUE(comm.probe(1, 0, 3));
+  EXPECT_EQ(comm.recv(1, 0, 3), (std::vector<double>{2.0}));
+}
+
+TEST(Mpisim, AcquireBufferCountsOnlyTrueReuses) {
+  // Regression (ISSUE 6 satellite 3): a pooled buffer whose capacity is
+  // below the request is NOT a reuse — resize reallocates anyway.
+  Comm comm(1);
+  std::vector<double> small;
+  small.reserve(4);
+  small.resize(1);
+  comm.release_buffer(0, std::move(small));
+  std::vector<double> got = comm.acquire_buffer(0, 100);
+  EXPECT_EQ(got.size(), 100u);
+  EXPECT_EQ(comm.pool_reuses(), 0)
+      << "counted a pool 'reuse' that reallocated";
+}
+
+TEST(Mpisim, AcquireBufferPrefersCapacitySufficientPooledBuffer) {
+  // With a too-small AND a big-enough buffer pooled, acquire must pick
+  // the sufficient one (a true reuse) instead of whatever is on top.
+  Comm comm(1);
+  std::vector<double> big;
+  big.reserve(128);
+  big.resize(1);
+  comm.release_buffer(0, std::move(big));
+  std::vector<double> small;
+  small.reserve(4);
+  small.resize(1);
+  comm.release_buffer(0, std::move(small));  // now on top of the stack
+  std::vector<double> got = comm.acquire_buffer(0, 100);
+  EXPECT_EQ(got.size(), 100u);
+  EXPECT_GE(got.capacity(), 128u);
+  EXPECT_EQ(comm.pool_reuses(), 1);
+  // The too-small buffer is still pooled for a later small request.
+  std::vector<double> tiny = comm.acquire_buffer(0, 2);
+  EXPECT_EQ(tiny.size(), 2u);
+  EXPECT_EQ(comm.pool_reuses(), 2);
+}
+
+TEST(Mpisim, BarrierAfterAbortThrowsForEveryRank) {
+  // Regression (ISSUE 6 satellite 3): after abort() NO rank may observe
+  // barrier success.  Before the fix the LAST-arriving rank completed
+  // the barrier and returned normally while its peers threw.  size=1
+  // makes the sole rank the last arriver by construction.
+  Comm comm(1);
+  comm.barrier(0);  // sane before the abort
+  comm.abort();
+  EXPECT_THROW(comm.barrier(0), Error);
+}
+
+TEST(Mpisim, BarrierAfterAbortThrowsForLastArriverWithPeers) {
+  // Two-rank variant: rank 1 parks in the barrier first, then the
+  // communicator dies, then rank 0 arrives "last" — both must throw.
+  Comm comm(2);
+  std::atomic<int> threw{0};
+  std::thread waiter([&] {
+    try {
+      comm.barrier(1);
+    } catch (const Error&) {
+      ++threw;
+    }
+  });
+  // Let rank 1 reach the barrier wait, then kill the communicator.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  comm.abort();
+  try {
+    comm.barrier(0);
+  } catch (const Error&) {
+    ++threw;
+  }
+  waiter.join();
+  EXPECT_EQ(threw.load(), 2);
 }
 
 TEST(Mpisim, ManyRanksRing) {

@@ -214,6 +214,10 @@ TEST(Overlap, LatencyInjectedRunsStayEquivalentAndHideWireTime) {
   model.per_message_s = 200e-6;
   model.per_double_s = 1e-8;
   exec.set_latency_model(model);
+  // Pinned to the thread backend: the send_wait_s assertions below
+  // measure REAL wall time the blocking sends burn, which the event
+  // backend deliberately virtualizes away.
+  exec.set_comm_backend(mpisim::Backend::kThread);
 
   ParallelRunStats overlapped_stats;
   DataSpace overlapped = exec.run(&overlapped_stats);
