@@ -1,10 +1,34 @@
 #include "bench_util.hpp"
 
+#include <chrono>
 #include <cstdio>
 
+#include "support/rng.hpp"
 #include "support/strings.hpp"
 
 namespace ctile::bench {
+
+double time_best_of(int reps, int iters, const std::function<void()>& fn) {
+  CTILE_ASSERT(reps >= 1 && iters >= 1);
+  using Clock = std::chrono::steady_clock;
+  fn();  // warm-up: first-touch faults, caches, lazy singletons
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    const double s =
+        std::chrono::duration<double>(Clock::now() - start).count() / iters;
+    if (r == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+void fill_deterministic(double* data, std::size_t n, u64 seed) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = 1.0 + rng.uniform01();  // [1, 2): safely away from 0
+  }
+}
 
 i64 fit_parts(i64 lo, i64 hi, i64 parts) {
   CTILE_ASSERT(hi >= lo && parts >= 1);

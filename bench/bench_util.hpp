@@ -7,6 +7,7 @@
 // derived comparison statistics the paper reports in \S4.4.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -16,6 +17,18 @@
 #include "support/strings.hpp"
 
 namespace ctile::bench {
+
+/// Hardened micro-timing: one untimed warm-up call (caches, branch
+/// predictors, lazy pool/backend construction), then `reps` timed runs of
+/// `iters` back-to-back calls each, returning the *minimum* per-call
+/// seconds — the standard estimator for the noise-free cost on a shared
+/// box, where every perturbation only ever adds time.
+double time_best_of(int reps, int iters, const std::function<void()>& fn);
+
+/// Deterministic buffer fill (SplitMix64 mapped into [1, 2)): benches
+/// must not time over uninitialized or run-order-dependent data, and
+/// reruns must see identical bits.
+void fill_deterministic(double* data, std::size_t n, u64 seed);
 
 /// Smallest tile size s such that the interval [lo, hi] spans exactly
 /// `parts` tile indices under js = floor(j / s); used to pin the

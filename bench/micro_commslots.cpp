@@ -11,18 +11,16 @@
 // must be strictly faster on every configuration, and the process exits
 // nonzero if it is not — so this bench doubles as a perf regression
 // check.
-#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "apps/kernels.hpp"
+#include "bench_util.hpp"
 #include "runtime/comm_plan.hpp"
 
 namespace ctile {
 namespace {
-
-using Clock = std::chrono::steady_clock;
 
 struct Config {
   std::string name;
@@ -76,20 +74,6 @@ i64 sweep_lattice(const TilingTransform& tf, const CommPlan& plan,
   return checksum;
 }
 
-template <typename F>
-double time_best_of(int reps, int iters, const F& f) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    const auto start = Clock::now();
-    for (int i = 0; i < iters; ++i) f();
-    const double s = std::chrono::duration<double>(Clock::now() - start)
-                         .count() /
-                     iters;
-    if (s < best) best = s;
-  }
-  return best;
-}
-
 }  // namespace
 }  // namespace ctile
 
@@ -130,10 +114,10 @@ int main() {
     }
 
     volatile i64 sink = 0;
-    const double lattice_s = time_best_of(5, 200, [&] {
+    const double lattice_s = bench::time_best_of(5, 200, [&] {
       sink = sink + sweep_lattice(tiled.transform(), plan, lds, 1);
     });
-    const double table_s = time_best_of(5, 200, [&] {
+    const double table_s = bench::time_best_of(5, 200, [&] {
       sink = sink + sweep_tables(plan, table, 1);
     });
     const double speedup = lattice_s / table_s;

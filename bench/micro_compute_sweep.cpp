@@ -16,165 +16,12 @@
 // on every configuration — the process exits nonzero otherwise, so this
 // bench doubles as a perf regression check.  Results are also written as
 // JSON (BENCH_compute_sweep.json, or the --json <path> argument).
-#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "apps/kernels.hpp"
 #include "bench_util.hpp"
-#include "linalg/int_matops.hpp"
-#include "runtime/lds.hpp"
-#include "tiling/interior.hpp"
-
-namespace ctile {
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-struct Config {
-  std::string name;
-  AppInstance app;
-  MatQ h;
-  int force_m;
-};
-
-// Everything one sweep needs: the tile, its owner's LDS geometry, and a
-// deterministically-filled local array to sweep over.
-struct SweepSetup {
-  TiledNest tiled;
-  TileCensus census;
-  Mapping mapping;
-  TileClassifier classifier;
-  VecI js;        // the interior tile being swept
-  i64 t_loc = 0;  // its chain position within the owner's window
-
-  SweepSetup(const Config& cfg)
-      : tiled(cfg.app.nest, TilingTransform(cfg.h)),
-        census(tiled),
-        mapping(tiled, cfg.force_m, &census),
-        classifier(tiled, &census) {
-    bool found = false;
-    tiled.tile_space().scan([&](const VecI& cand) {
-      if (found || !classifier.interior(cand)) return;
-      js = cand;
-      found = true;
-    });
-    if (!found) throw Error(cfg.name + ": no interior tile to sweep");
-    const auto [pid, t] = mapping.owner_of(js);
-    t_loc = t - mapping.chain_window(pid).lo;
-  }
-
-  LdsLayout make_layout() const {
-    const auto [pid, t] = mapping.owner_of(js);
-    return LdsLayout(tiled, mapping, mapping.chain_window(pid).count());
-  }
-
-  static std::vector<double> filled(const LdsLayout& local, int arity) {
-    std::vector<double> la(static_cast<std::size_t>(local.size() * arity));
-    for (std::size_t i = 0; i < la.size(); ++i) {
-      la[i] = 0.25 + 0.001 * static_cast<double>(i % 977);
-    }
-    return la;
-  }
-};
-
-// The executor's legacy compute loop, verbatim mechanics.
-i64 sweep_legacy(const SweepSetup& s, const LdsLayout& local, const Kernel& k,
-                 std::vector<double>& la) {
-  const Polyhedron& space = s.tiled.nest().space;
-  const MatI& deps = s.tiled.nest().deps;
-  const MatI dprime = s.tiled.ttis_deps();
-  const int q = deps.cols();
-  const int arity = k.arity();
-  std::vector<double> dep_vals(static_cast<std::size_t>(q * arity));
-  std::vector<double> out(static_cast<std::size_t>(arity));
-  i64 points = 0;
-  s.tiled.for_each_tile_point(s.js, [&](const VecI& jp, const VecI& j) {
-    for (int l = 0; l < q; ++l) {
-      double* dst = &dep_vals[static_cast<std::size_t>(l * arity)];
-      const VecI pred_j = vec_sub(j, deps.col(l));
-      if (space.contains(pred_j)) {
-        const VecI pred_jp = vec_sub(jp, dprime.col(l));
-        const i64 slot = local.slot(pred_jp, s.t_loc);
-        for (int v = 0; v < arity; ++v) {
-          dst[v] = la[static_cast<std::size_t>(slot * arity + v)];
-        }
-      } else {
-        k.initial(pred_j, dst);
-      }
-    }
-    k.compute(j, dep_vals.data(), out.data());
-    const i64 slot = local.slot(jp, s.t_loc);
-    for (int v = 0; v < arity; ++v) {
-      la[static_cast<std::size_t>(slot * arity + v)] = out[v];
-    }
-    ++points;
-  });
-  return points;
-}
-
-// The executor's interior fast path, verbatim mechanics.
-i64 sweep_fast(const SweepSetup& s, const LdsLayout& local, const Kernel& k,
-               std::vector<double>& la) {
-  const TilingTransform& tf = s.tiled.transform();
-  const MatI dprime = s.tiled.ttis_deps();
-  const int q = dprime.cols();
-  const int arity = k.arity();
-  const int n = s.tiled.nest().depth;
-  std::vector<double> dep_vals(static_cast<std::size_t>(q * arity));
-  std::vector<double> out(static_cast<std::size_t>(arity));
-  const TtisRegion full_region = full_ttis_region(tf);
-  const VecI jstep = row_point_step(tf);
-  const i64 sstep = local.stride(n - 1);
-  std::vector<VecI> dpcols;
-  for (int l = 0; l < q; ++l) dpcols.push_back(dprime.col(l));
-  std::vector<i64> delta(static_cast<std::size_t>(q));
-  i64 points = 0;
-  for (TtisRowWalker row(tf, full_region); row.valid(); row.next()) {
-    const VecI& jp0 = row.row_start();
-    i64 slot = local.row_base(jp0, s.t_loc);
-    for (int l = 0; l < q; ++l) {
-      delta[static_cast<std::size_t>(l)] =
-          local.dep_delta(jp0, dpcols[static_cast<std::size_t>(l)]);
-    }
-    VecI j = tf.point_of(s.js, jp0);
-    const i64 cnt = row.row_points();
-    for (i64 i = 0; i < cnt; ++i) {
-      for (int l = 0; l < q; ++l) {
-        const double* src = &la[static_cast<std::size_t>(
-            (slot + delta[static_cast<std::size_t>(l)]) * arity)];
-        double* dst = &dep_vals[static_cast<std::size_t>(l * arity)];
-        for (int v = 0; v < arity; ++v) dst[v] = src[v];
-      }
-      k.compute(j, dep_vals.data(), out.data());
-      double* dst = &la[static_cast<std::size_t>(slot * arity)];
-      for (int v = 0; v < arity; ++v) dst[v] = out[v];
-      slot += sstep;
-      for (int kk = 0; kk < n; ++kk) {
-        j[static_cast<std::size_t>(kk)] += jstep[static_cast<std::size_t>(kk)];
-      }
-    }
-    points += cnt;
-  }
-  return points;
-}
-
-template <typename F>
-double time_best_of(int reps, int iters, const F& f) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    const auto start = Clock::now();
-    for (int i = 0; i < iters; ++i) f();
-    const double sec =
-        std::chrono::duration<double>(Clock::now() - start).count() / iters;
-    if (sec < best) best = sec;
-  }
-  return best;
-}
-
-}  // namespace
-}  // namespace ctile
+#include "sweep_setup.hpp"
 
 int main(int argc, char** argv) {
   using namespace ctile;
@@ -182,36 +29,25 @@ int main(int argc, char** argv) {
   const std::string json_path =
       bench::json_path_from_args(argc, argv, "BENCH_compute_sweep.json");
 
-  // The figures' tile shapes at reduced problem sizes (same tilings and
-  // processor meshes; smaller spaces keep the bench fast).
-  std::vector<Config> configs;
-  configs.push_back({"fig06-sor-rect", make_sor(24, 48),
-                     sor_rect_h(6, 18, 8), 2});
-  configs.push_back({"fig06-sor-nonrect", make_sor(24, 48),
-                     sor_nonrect_h(6, 18, 8), 2});
-  configs.push_back({"fig08-jacobi-nonrect", make_jacobi(12, 16, 48),
-                     jacobi_nonrect_h(3, 4, 16), -1});
-  configs.push_back({"fig10-adi-nr1", make_adi(16, 48),
-                     adi_nr1_h(4, 4, 16), -1});
-  configs.push_back({"fig10-adi-nr3", make_adi(32, 48),
-                     adi_nr3_h(4, 4, 16), -1});
+  const std::vector<bench::SweepConfig> configs = bench::paper_sweep_configs();
 
   bench::JsonReport report("micro_compute_sweep");
   std::printf("%-22s %12s %14s %14s %9s\n", "config", "points",
               "legacy (us)", "fast (us)", "speedup");
   bool all_pass = true;
-  for (const Config& cfg : configs) {
-    SweepSetup s(cfg);
+  for (const bench::SweepConfig& cfg : configs) {
+    bench::SweepSetup s(cfg);
     const Kernel& kernel = *cfg.app.kernel;
     const int arity = kernel.arity();
     const LdsLayout local = s.make_layout();
+    const bench::RowPlan plan(s, local);
 
     // Equivalence: identical initial arrays, one sweep each, then the
     // visited point counts and the whole arrays must match bitwise.
-    std::vector<double> la_legacy = SweepSetup::filled(local, arity);
+    std::vector<double> la_legacy = bench::SweepSetup::filled(local, arity);
     std::vector<double> la_fast = la_legacy;
-    const i64 pts_legacy = sweep_legacy(s, local, kernel, la_legacy);
-    const i64 pts_fast = sweep_fast(s, local, kernel, la_fast);
+    const i64 pts_legacy = bench::sweep_legacy(s, local, kernel, la_legacy);
+    const i64 pts_fast = bench::sweep_fast(s, local, kernel, la_fast, plan);
     if (pts_legacy != pts_fast || la_legacy != la_fast) {
       std::printf("%s: fast sweep diverges from legacy (%lld vs %lld pts)\n",
                   cfg.name.c_str(), static_cast<long long>(pts_legacy),
@@ -220,10 +56,10 @@ int main(int argc, char** argv) {
     }
 
     std::vector<double> la = la_legacy;
-    const double legacy_s =
-        time_best_of(5, 20, [&] { sweep_legacy(s, local, kernel, la); });
-    const double fast_s =
-        time_best_of(5, 20, [&] { sweep_fast(s, local, kernel, la); });
+    const double legacy_s = bench::time_best_of(
+        5, 20, [&] { bench::sweep_legacy(s, local, kernel, la); });
+    const double fast_s = bench::time_best_of(
+        5, 20, [&] { bench::sweep_fast(s, local, kernel, la, plan); });
     const double speedup = legacy_s / fast_s;
     std::printf("%-22s %12lld %14.3f %14.3f %8.1fx\n", cfg.name.c_str(),
                 static_cast<long long>(pts_fast), legacy_s * 1e6,

@@ -51,14 +51,9 @@ struct Config {
 
 double time_run(const ParallelExecutor& exec, int reps,
                 ParallelRunStats* stats = nullptr) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    const auto start = Clock::now();
-    DataSpace out = exec.run(stats);
-    const double sec = std::chrono::duration<double>(Clock::now() - start).count();
-    if (sec < best) best = sec;
-  }
-  return best;
+  // One run per timed iteration (stats must reflect a single run), so
+  // delegate the warm-up + min-of-reps discipline to bench::time_best_of.
+  return bench::time_best_of(reps, 1, [&] { exec.run(stats); });
 }
 
 // The analytic counterpart of the measured ratio: simulate the same plan

@@ -1,0 +1,207 @@
+// Shared scaffolding for the compute-sweep micro-benches
+// (micro_compute_sweep, micro_simd_sweep): a paper tile configuration,
+// the interior tile one sweep runs over, its owner's LDS geometry, and
+// verbatim replicas of the executor's legacy and strength-reduced
+// per-point sweeps to benchmark the production paths against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/kernels.hpp"
+#include "bench_util.hpp"
+#include "linalg/int_matops.hpp"
+#include "runtime/lds.hpp"
+#include "tiling/interior.hpp"
+
+namespace ctile::bench {
+
+struct SweepConfig {
+  std::string name;
+  AppInstance app;
+  MatQ h;
+  int force_m;
+};
+
+/// The figures' tile shapes at reduced problem sizes (same tilings and
+/// processor meshes; smaller spaces keep the benches fast).
+inline std::vector<SweepConfig> paper_sweep_configs() {
+  std::vector<SweepConfig> configs;
+  configs.push_back({"fig06-sor-rect", make_sor(24, 48),
+                     sor_rect_h(6, 18, 8), 2});
+  configs.push_back({"fig06-sor-nonrect", make_sor(24, 48),
+                     sor_nonrect_h(6, 18, 8), 2});
+  configs.push_back({"fig08-jacobi-nonrect", make_jacobi(12, 16, 48),
+                     jacobi_nonrect_h(3, 4, 16), -1});
+  configs.push_back({"fig10-adi-nr1", make_adi(16, 48),
+                     adi_nr1_h(4, 4, 16), -1});
+  configs.push_back({"fig10-adi-nr3", make_adi(32, 48),
+                     adi_nr3_h(4, 4, 16), -1});
+  return configs;
+}
+
+// Everything one sweep needs: the tile, its owner's LDS geometry, and a
+// deterministically-filled local array to sweep over.
+struct SweepSetup {
+  TiledNest tiled;
+  TileCensus census;
+  Mapping mapping;
+  TileClassifier classifier;
+  VecI js;        // the interior tile being swept
+  i64 t_loc = 0;  // its chain position within the owner's window
+
+  explicit SweepSetup(const SweepConfig& cfg)
+      : tiled(cfg.app.nest, TilingTransform(cfg.h)),
+        census(tiled),
+        mapping(tiled, cfg.force_m, &census),
+        classifier(tiled, &census) {
+    bool found = false;
+    tiled.tile_space().scan([&](const VecI& cand) {
+      if (found || !classifier.interior(cand)) return;
+      js = cand;
+      found = true;
+    });
+    if (!found) throw Error(cfg.name + ": no interior tile to sweep");
+    const auto [pid, t] = mapping.owner_of(js);
+    t_loc = t - mapping.chain_window(pid).lo;
+  }
+
+  LdsLayout make_layout() const {
+    const auto [pid, t] = mapping.owner_of(js);
+    return LdsLayout(tiled, mapping, mapping.chain_window(pid).count());
+  }
+
+  static std::vector<double> filled(const LdsLayout& local, int arity) {
+    std::vector<double> la(static_cast<std::size_t>(local.size() * arity));
+    fill_deterministic(la.data(), la.size(), 0x5eed5eed);
+    return la;
+  }
+};
+
+// The executor's legacy compute loop, verbatim mechanics.
+inline i64 sweep_legacy(const SweepSetup& s, const LdsLayout& local,
+                        const Kernel& k, std::vector<double>& la) {
+  const Polyhedron& space = s.tiled.nest().space;
+  const MatI& deps = s.tiled.nest().deps;
+  const MatI dprime = s.tiled.ttis_deps();
+  const int q = deps.cols();
+  const int arity = k.arity();
+  std::vector<double> dep_vals(static_cast<std::size_t>(q * arity));
+  std::vector<double> out(static_cast<std::size_t>(arity));
+  i64 points = 0;
+  s.tiled.for_each_tile_point(s.js, [&](const VecI& jp, const VecI& j) {
+    for (int l = 0; l < q; ++l) {
+      double* dst = &dep_vals[static_cast<std::size_t>(l * arity)];
+      const VecI pred_j = vec_sub(j, deps.col(l));
+      if (space.contains(pred_j)) {
+        const VecI pred_jp = vec_sub(jp, dprime.col(l));
+        const i64 slot = local.slot(pred_jp, s.t_loc);
+        for (int v = 0; v < arity; ++v) {
+          dst[v] = la[static_cast<std::size_t>(slot * arity + v)];
+        }
+      } else {
+        k.initial(pred_j, dst);
+      }
+    }
+    k.compute(j, dep_vals.data(), out.data());
+    const i64 slot = local.slot(jp, s.t_loc);
+    for (int v = 0; v < arity; ++v) {
+      la[static_cast<std::size_t>(slot * arity + v)] = out[v];
+    }
+    ++points;
+  });
+  return points;
+}
+
+// The executor's hoisted row plan (ParallelExecutor::RankLocal),
+// mirrored for the bench replicas: per row of the full TTIS region, the
+// base slot at chain position 0, the per-dependence slot deltas, and
+// the J^n start relative to the first row's.  The executor builds this
+// once at construction; the replicas build it once per setup, so timed
+// sweeps carry the same per-row work as the production paths.
+struct RowPlan {
+  struct Row {
+    i64 plane;   // j'_0 of the row
+    i64 count;   // points in the row
+    i64 base0;   // linear base slot at chain position 0
+    VecI j_rel;  // J^n start relative to the first row's start
+  };
+  std::vector<Row> rows;
+  std::vector<i64> deltas;  // rows.size() * q
+  VecI jp0_front;           // first row's TTIS start
+  i64 points = 0;
+
+  RowPlan(const SweepSetup& s, const LdsLayout& local) {
+    const TilingTransform& tf = s.tiled.transform();
+    const MatI dprime = s.tiled.ttis_deps();
+    const int q = dprime.cols();
+    const int n = s.tiled.nest().depth;
+    VecI j_front;
+    for (TtisRowWalker row(tf, full_ttis_region(tf)); row.valid();
+         row.next()) {
+      const VecI& jp0 = row.row_start();
+      VecI j_rel = tf.point_of(s.js, jp0);
+      if (rows.empty()) {
+        jp0_front = jp0;
+        j_front = j_rel;
+      }
+      for (int k = 0; k < n; ++k) {
+        j_rel[static_cast<std::size_t>(k)] -=
+            j_front[static_cast<std::size_t>(k)];
+      }
+      rows.push_back(Row{jp0[0], row.row_points(), local.row_base(jp0, 0),
+                         std::move(j_rel)});
+      for (int l = 0; l < q; ++l) {
+        deltas.push_back(local.dep_delta(jp0, dprime.col(l)));
+      }
+      points += row.row_points();
+    }
+  }
+};
+
+// The executor's interior strength-reduced per-point path (the
+// kSequential policy), verbatim mechanics: one point_of per sweep, then
+// flat affine slot/point arithmetic off the hoisted plan.
+inline i64 sweep_fast(const SweepSetup& s, const LdsLayout& local,
+                      const Kernel& k, std::vector<double>& la,
+                      const RowPlan& plan) {
+  const TilingTransform& tf = s.tiled.transform();
+  const int q = s.tiled.ttis_deps().cols();
+  const int arity = k.arity();
+  const int n = s.tiled.nest().depth;
+  std::vector<double> dep_vals(static_cast<std::size_t>(q * arity));
+  std::vector<double> out(static_cast<std::size_t>(arity));
+  const VecI jstep = row_point_step(tf);
+  const i64 sstep = local.stride(n - 1);
+  const i64 chain_step = local.chain_step();
+  const VecI j_anchor = tf.point_of(s.js, plan.jp0_front);
+  i64 points = 0;
+  for (std::size_t r = 0; r < plan.rows.size(); ++r) {
+    const RowPlan::Row& row = plan.rows[r];
+    i64 slot = row.base0 + s.t_loc * chain_step;
+    const i64* delta = &plan.deltas[r * static_cast<std::size_t>(q)];
+    VecI j = j_anchor;
+    for (int kk = 0; kk < n; ++kk) {
+      j[static_cast<std::size_t>(kk)] += row.j_rel[static_cast<std::size_t>(kk)];
+    }
+    for (i64 i = 0; i < row.count; ++i) {
+      for (int l = 0; l < q; ++l) {
+        const double* src =
+            &la[static_cast<std::size_t>((slot + delta[l]) * arity)];
+        double* dst = &dep_vals[static_cast<std::size_t>(l * arity)];
+        for (int v = 0; v < arity; ++v) dst[v] = src[v];
+      }
+      k.compute(j, dep_vals.data(), out.data());
+      double* dst = &la[static_cast<std::size_t>(slot * arity)];
+      for (int v = 0; v < arity; ++v) dst[v] = out[v];
+      slot += sstep;
+      for (int kk = 0; kk < n; ++kk) {
+        j[static_cast<std::size_t>(kk)] += jstep[static_cast<std::size_t>(kk)];
+      }
+    }
+    points += row.count;
+  }
+  return points;
+}
+
+}  // namespace ctile::bench

@@ -1,14 +1,24 @@
 #include "apps/kernels.hpp"
 
+#include <algorithm>
 #include <cmath>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
 
 #include "deps/skew.hpp"
 #include "linalg/int_matops.hpp"
 #include "linalg/rat_matops.hpp"
+#include "runtime/exec_policy.hpp"  // CTILE_PRAGMA_SIMD
 
 namespace ctile {
 
 namespace {
+
+// Block length for the row kernels' stack scratch: long rows are
+// processed in cache-resident chunks with no heap traffic.
+constexpr i64 kRowBlock = 256;
 
 // Unskews a point: j_original = T^{-1} j_current.  Identity when the
 // instance is not skewed.
@@ -27,7 +37,8 @@ MatI int_inverse(const MatI& t) { return to_int(inverse(to_rat(t))); }
 
 class SorKernel final : public UnskewBase {
  public:
-  SorKernel(MatI t_inv, double w) : UnskewBase(std::move(t_inv)), w_(w) {}
+  SorKernel(MatI t_inv, double w)
+      : UnskewBase(std::move(t_inv)), w4_(w / 4.0), w1_(1.0 - w) {}
 
   int arity() const override { return 1; }
 
@@ -37,8 +48,88 @@ class SorKernel final : public UnskewBase {
   //   2: (1,-1,0)  A[t-1, i+1, j]
   //   3: (1,0,-1)  A[t-1, i, j+1]
   //   4: (1,0,0)   A[t-1, i, j]
+  //
+  // The update is associated so dv[1] — the only dependence that can be
+  // an in-row recurrence after skewing — sits on a two-op chain
+  // (mul + add), with the rest of the stencil an off-chain term r.  The
+  // generated code (codegen/stencil_spec.cpp sor_spec) uses the same
+  // association; keep them in lockstep.
   void compute(const VecI&, const double* dv, double* out) const override {
-    out[0] = w_ / 4.0 * (dv[0] + dv[1] + dv[2] + dv[3]) + (1.0 - w_) * dv[4];
+    out[0] = w4_ * dv[1] + (w4_ * ((dv[0] + dv[2]) + dv[3]) + w1_ * dv[4]);
+  }
+
+  void compute_row(const VecI& j0, const VecI& jstep, i64 count,
+                   const double* const* dep, int q, i64 dep_stride,
+                   double* out, i64 out_stride) const override {
+    // Only the unhandled alias shapes fall back: any dep other than 1
+    // touching the row, or dep 1 aliasing forward.
+    const i64 m1 = row_alias_distance(dep[1], out, out_stride, count);
+    bool fallback = q != 5 || dep_stride != out_stride || m1 < 0;
+    for (int l = 0; l < q && !fallback; ++l) {
+      if (l != 1 && row_alias_distance(dep[l], out, out_stride, count) != 0) {
+        fallback = true;
+      }
+    }
+    if (fallback) {
+      Kernel::compute_row(j0, jstep, count, dep, q, dep_stride, out,
+                          out_stride);
+      return;
+    }
+    const double* d0 = dep[0];
+    const double* d1 = dep[1];
+    const double* d2 = dep[2];
+    const double* d3 = dep[3];
+    const double* d4 = dep[4];
+    const i64 ds = dep_stride;
+    if (m1 == 0) {
+      // Fully independent row: straight-line vectorization, per-lane op
+      // order identical to compute().
+      CTILE_PRAGMA_SIMD
+      for (i64 i = 0; i < count; ++i) {
+        out[i * out_stride] =
+            w4_ * d1[i * ds] +
+            (w4_ * ((d0[i * ds] + d2[i * ds]) + d3[i * ds]) + w1_ * d4[i * ds]);
+      }
+      return;
+    }
+    // dv[1] is an in-row recurrence at distance m1 (point i reads point
+    // i - m1's fresh output).  Split per block: the off-chain term r is
+    // vectorized — deps 0/2/3/4 were just proven row-independent, so
+    // their reads see exactly the values the per-point order would —
+    // then the short mul+add chain runs scalar.  At distance 1 the
+    // chain value is carried in a register (the load would return
+    // exactly the value just computed, so the bits are identical and
+    // the store-to-load round trip leaves the critical path); longer
+    // distances read d1 through its pointer so updated outputs flow in
+    // naturally.
+    double r[kRowBlock];
+    if (m1 == 1) {
+      double prev = d1[0];  // out[-stride]: before the row, never written
+      for (i64 b = 0; b < count; b += kRowBlock) {
+        const i64 nb = std::min(kRowBlock, count - b);
+        CTILE_PRAGMA_SIMD
+        for (i64 i = 0; i < nb; ++i) {
+          const i64 s = (b + i) * ds;
+          r[i] = w4_ * ((d0[s] + d2[s]) + d3[s]) + w1_ * d4[s];
+        }
+        for (i64 i = 0; i < nb; ++i) {
+          prev = w4_ * prev + r[i];
+          out[(b + i) * out_stride] = prev;
+        }
+      }
+      return;
+    }
+    for (i64 b = 0; b < count; b += kRowBlock) {
+      const i64 nb = std::min(kRowBlock, count - b);
+      CTILE_PRAGMA_SIMD
+      for (i64 i = 0; i < nb; ++i) {
+        const i64 s = (b + i) * ds;
+        r[i] = w4_ * ((d0[s] + d2[s]) + d3[s]) + w1_ * d4[s];
+      }
+      for (i64 i = 0; i < nb; ++i) {
+        out[(b + i) * out_stride] = w4_ * d1[(b + i) * ds] + r[i];
+      }
+    }
   }
 
   void initial(const VecI& j, double* out) const override {
@@ -50,7 +141,8 @@ class SorKernel final : public UnskewBase {
   }
 
  private:
-  double w_;
+  double w4_;  // w / 4
+  double w1_;  // 1 - w
 };
 
 class JacobiKernel final : public UnskewBase {
@@ -65,6 +157,56 @@ class JacobiKernel final : public UnskewBase {
     out[0] = (dv[0] + dv[1] + dv[2] + dv[3] + dv[4]) / 5.0;
   }
 
+  void compute_row(const VecI& j0, const VecI& jstep, i64 count,
+                   const double* const* dep, int q, i64 dep_stride,
+                   double* out, i64 out_stride) const override {
+    // All five dependences advance time, so no in-row alias can occur on
+    // a legal tiling; verify at pointer level and fall back otherwise.
+    bool fallback = q != 5;
+    for (int l = 0; l < q && !fallback; ++l) {
+      if (row_alias_distance(dep[l], out, out_stride, count) != 0) {
+        fallback = true;
+      }
+    }
+    if (fallback) {
+      Kernel::compute_row(j0, jstep, count, dep, q, dep_stride, out,
+                          out_stride);
+      return;
+    }
+    const double* d0 = dep[0];
+    const double* d1 = dep[1];
+    const double* d2 = dep[2];
+    const double* d3 = dep[3];
+    const double* d4 = dep[4];
+#if defined(__AVX2__)
+    if (dep_stride == 1 && out_stride == 1) {
+      // Unit-stride rows: explicit 4-lane AVX2.  Lane-wise vaddpd/vdivpd
+      // apply the scalar op order per lane, so results stay bitwise.
+      const __m256d five = _mm256_set1_pd(5.0);
+      i64 i = 0;
+      for (; i + 4 <= count; i += 4) {
+        __m256d acc = _mm256_add_pd(_mm256_loadu_pd(d0 + i),
+                                    _mm256_loadu_pd(d1 + i));
+        acc = _mm256_add_pd(acc, _mm256_loadu_pd(d2 + i));
+        acc = _mm256_add_pd(acc, _mm256_loadu_pd(d3 + i));
+        acc = _mm256_add_pd(acc, _mm256_loadu_pd(d4 + i));
+        _mm256_storeu_pd(out + i, _mm256_div_pd(acc, five));
+      }
+      for (; i < count; ++i) {
+        out[i] = (d0[i] + d1[i] + d2[i] + d3[i] + d4[i]) / 5.0;
+      }
+      return;
+    }
+#endif
+    const i64 ds = dep_stride;
+    CTILE_PRAGMA_SIMD
+    for (i64 i = 0; i < count; ++i) {
+      out[i * out_stride] =
+          (d0[i * ds] + d1[i * ds] + d2[i * ds] + d3[i * ds] + d4[i * ds]) /
+          5.0;
+    }
+  }
+
   void initial(const VecI& j, double* out) const override {
     VecI o = unskew(j);
     out[0] = std::sin(0.05 * static_cast<double>(o[1])) +
@@ -74,6 +216,22 @@ class JacobiKernel final : public UnskewBase {
 
 class AdiKernel final : public Kernel {
  public:
+  /// `n` is the spatial extent (1 <= i,j <= n): modest sizes get the
+  /// read-only coefficient array A[i,j] precomputed, which is exactly
+  /// the paper's model (\S4.3 treats A as data, not a formula).  The
+  /// table holds the bit-identical doubles coeff() produces, so the
+  /// batched row path below and the per-point transcendental path agree
+  /// bitwise.  Oversized (or unknown, n <= 0) extents skip the table;
+  /// compute_row then falls back to per-point evaluation.
+  explicit AdiKernel(i64 n = 0) : n_(n) {
+    if (n_ >= 1 && n_ <= kMaxTableN) {
+      coeffs_.reserve(static_cast<std::size_t>(n_ * n_));
+      for (i64 i = 1; i <= n_; ++i) {
+        for (i64 j = 1; j <= n_; ++j) coeffs_.push_back(coeff(i, j));
+      }
+    }
+  }
+
   int arity() const override { return 2; }  // (X, B)
 
   // Coefficient array A[i,j]: small so B stays near 2 (division-safe).
@@ -86,13 +244,133 @@ class AdiKernel final : public Kernel {
   //   0: (1,0,0)  [t-1, i, j]
   //   1: (1,1,0)  [t-1, i-1, j]
   //   2: (1,0,1)  [t-1, i, j-1]
+  //
+  // The update is associated so the dv[2] terms — the only dependence
+  // that can be an in-row recurrence under the non-rectangular tilings
+  // (the row direction there is (1,0,1), exactly dep 2) — trail on
+  // their own add/sub, with the rest of each expression an off-chain
+  // prefix.  The generated code (codegen/stencil_spec.cpp adi_spec)
+  // uses the same association; keep them in lockstep.
   void compute(const VecI& j, const double* dv, double* out) const override {
     const double a = coeff(j[1], j[2]);
     const double x_c = dv[0 * 2 + 0], b_c = dv[0 * 2 + 1];  // (t-1,i,j)
     const double x_n = dv[1 * 2 + 0], b_n = dv[1 * 2 + 1];  // (t-1,i-1,j)
     const double x_w = dv[2 * 2 + 0], b_w = dv[2 * 2 + 1];  // (t-1,i,j-1)
-    out[0] = x_c + x_w * a / b_w - x_n * a / b_n;           // X[t,i,j]
-    out[1] = b_c - a * a / b_w - a * a / b_n;               // B[t,i,j]
+    out[0] = (x_c - x_n * a / b_n) + x_w * a / b_w;         // X[t,i,j]
+    out[1] = (b_c - a * a / b_n) - a * a / b_w;             // B[t,i,j]
+  }
+
+  void compute_row(const VecI& j0, const VecI& jstep, i64 count,
+                   const double* const* dep, int q, i64 dep_stride,
+                   double* out, i64 out_stride) const override {
+    // Row points advance (i, j) affinely, so the table index advances by
+    // a constant too.  Dep 2 may be an in-row recurrence (on the
+    // non-rectangular tilings the row direction is (1,0,1), exactly
+    // dep 2's distance): a backward alias is handled by the block split
+    // below.  Any other alias shape, or out-of-table coordinates, falls
+    // back to the per-point path.
+    bool fallback = q != 3 || coeffs_.empty();
+    const i64 m2 =
+        fallback ? 0 : row_alias_distance(dep[2], out, out_stride, count);
+    if (m2 < 0) fallback = true;
+    for (int l = 0; l < 2 && !fallback; ++l) {
+      if (row_alias_distance(dep[l], out, out_stride, count) != 0) {
+        fallback = true;
+      }
+    }
+    i64 idx = 0;
+    i64 idx_step = 0;
+    if (!fallback) {
+      const i64 i0 = j0[1], jj0 = j0[2];
+      const i64 i_end = i0 + (count - 1) * jstep[1];
+      const i64 j_end = jj0 + (count - 1) * jstep[2];
+      if (i0 < 1 || i0 > n_ || jj0 < 1 || jj0 > n_ || i_end < 1 ||
+          i_end > n_ || j_end < 1 || j_end > n_) {
+        fallback = true;  // outside the table: let compute() handle it
+      } else {
+        idx = (i0 - 1) * n_ + (jj0 - 1);
+        idx_step = jstep[1] * n_ + jstep[2];
+      }
+    }
+    if (fallback) {
+      Kernel::compute_row(j0, jstep, count, dep, q, dep_stride, out,
+                          out_stride);
+      return;
+    }
+    const double* tab = coeffs_.data();
+    const double* dc = dep[0];
+    const double* dn = dep[1];
+    const double* dw = dep[2];
+    const i64 ds = dep_stride;
+    if (m2 == 0) {
+      // Fully independent row: straight-line vectorization, per-lane op
+      // order identical to compute().
+      CTILE_PRAGMA_SIMD
+      for (i64 i = 0; i < count; ++i) {
+        const double a = tab[idx + i * idx_step];
+        const double x_c = dc[i * ds + 0], b_c = dc[i * ds + 1];
+        const double x_n = dn[i * ds + 0], b_n = dn[i * ds + 1];
+        const double x_w = dw[i * ds + 0], b_w = dw[i * ds + 1];
+        out[i * out_stride + 0] = (x_c - x_n * a / b_n) + x_w * a / b_w;
+        out[i * out_stride + 1] = (b_c - a * a / b_n) - a * a / b_w;
+      }
+      return;
+    }
+    // dv[2] is an in-row recurrence at distance m2 (point i reads point
+    // i - m2's fresh output).  Split per block: the off-chain prefixes
+    // are vectorized — deps 0/1 were just proven row-independent, so
+    // their reads see exactly the values the per-point order would —
+    // then the trailing chain ops run scalar.  At distance 1 the chain
+    // pair (X, B) is carried in registers (the loads would return
+    // exactly the values just computed, so the bits are identical and
+    // the store-to-load round trips leave the critical path); longer
+    // distances read dep 2 through its pointer so updated outputs flow
+    // in naturally.
+    double av[kRowBlock], r0[kRowBlock], r1[kRowBlock];
+    if (m2 == 1) {
+      double px = dw[0], pb = dw[1];  // out[-stride]: before the row
+      for (i64 b = 0; b < count; b += kRowBlock) {
+        const i64 nb = std::min(kRowBlock, count - b);
+        CTILE_PRAGMA_SIMD
+        for (i64 i = 0; i < nb; ++i) {
+          const i64 s = (b + i) * ds;
+          const double a = tab[idx + (b + i) * idx_step];
+          const double b_n = dn[s + 1];
+          av[i] = a;
+          r0[i] = dc[s + 0] - dn[s + 0] * a / b_n;
+          r1[i] = dc[s + 1] - a * a / b_n;
+        }
+        for (i64 i = 0; i < nb; ++i) {
+          const double a = av[i];
+          const double o0 = r0[i] + px * a / pb;
+          const double o1 = r1[i] - a * a / pb;
+          out[(b + i) * out_stride + 0] = o0;
+          out[(b + i) * out_stride + 1] = o1;
+          px = o0;
+          pb = o1;
+        }
+      }
+      return;
+    }
+    for (i64 b = 0; b < count; b += kRowBlock) {
+      const i64 nb = std::min(kRowBlock, count - b);
+      CTILE_PRAGMA_SIMD
+      for (i64 i = 0; i < nb; ++i) {
+        const i64 s = (b + i) * ds;
+        const double a = tab[idx + (b + i) * idx_step];
+        const double b_n = dn[s + 1];
+        av[i] = a;
+        r0[i] = dc[s + 0] - dn[s + 0] * a / b_n;
+        r1[i] = dc[s + 1] - a * a / b_n;
+      }
+      for (i64 i = 0; i < nb; ++i) {
+        const i64 s = (b + i) * ds;
+        const double a = av[i];
+        const double b_w = dw[s + 1];
+        out[(b + i) * out_stride + 0] = r0[i] + dw[s + 0] * a / b_w;
+        out[(b + i) * out_stride + 1] = r1[i] - a * a / b_w;
+      }
+    }
   }
 
   void initial(const VecI& j, double* out) const override {
@@ -100,6 +378,11 @@ class AdiKernel final : public Kernel {
              0.05 * std::cos(0.2 * static_cast<double>(j[2]));
     out[1] = 2.0 + 0.1 * std::cos(0.1 * static_cast<double>(j[1] + j[2]));
   }
+
+ private:
+  static constexpr i64 kMaxTableN = 2048;  // 32 MB of doubles at most
+  i64 n_;
+  std::vector<double> coeffs_;
 };
 
 class HeatKernel final : public UnskewBase {
@@ -233,7 +516,7 @@ AppInstance make_adi(i64 t, i64 n) {
   MatI deps{{1, 1, 1}, {0, 1, 0}, {0, 0, 1}};
   AppInstance app;
   app.nest = make_rectangular_nest("adi", {1, 1, 1}, {t, n, n}, deps);
-  app.kernel = std::make_shared<AdiKernel>();
+  app.kernel = std::make_shared<AdiKernel>(n);
   return app;
 }
 

@@ -12,9 +12,13 @@ StencilSpec sor_spec(double w) {
   s.name = "sor";
   s.arity = 1;
   const std::string ws = fixed(w, 17);
-  s.body = "OUT(0) = " + ws +
-           " / 4.0 * (DEP(0,0) + DEP(1,0) + DEP(2,0) + DEP(3,0)) + (1.0 - " +
-           ws + ") * DEP(4,0);";
+  // Mirrors SorKernel::compute()'s association exactly (DEP(1,0) — the
+  // only possible in-row recurrence after skewing — isolated on its own
+  // multiply-add chain) so generated code stays bitwise-identical to the
+  // library's batched row path.
+  s.body = "OUT(0) = " + ws + " / 4.0 * DEP(1,0) + (" + ws +
+           " / 4.0 * ((DEP(0,0) + DEP(2,0)) + DEP(3,0)) + (1.0 - " + ws +
+           ") * DEP(4,0));";
   s.initial =
       "OUT(0) = 1.0 + 0.01 * (double)o1 + 0.02 * (double)o2 + "
       "0.001 * (double)o0;";
@@ -39,12 +43,16 @@ StencilSpec adi_spec() {
   StencilSpec s;
   s.name = "adi";
   s.arity = 2;
+  // Mirrors AdiKernel::compute()'s association exactly (the DEP(2,*)
+  // terms — the only possible in-row recurrence under the non-
+  // rectangular tilings — trail on their own add/sub) so generated code
+  // stays bitwise-identical to the library's batched row path.
   s.body =
       "const double a = 0.01 + 0.002 * std::sin(0.1 * (double)j1 + 0.2 * "
       "(double)j2);\n"
-      "OUT(0) = DEP(0,0) + DEP(2,0) * a / DEP(2,1) - DEP(1,0) * a / "
-      "DEP(1,1);\n"
-      "OUT(1) = DEP(0,1) - a * a / DEP(2,1) - a * a / DEP(1,1);";
+      "OUT(0) = (DEP(0,0) - DEP(1,0) * a / DEP(1,1)) + DEP(2,0) * a / "
+      "DEP(2,1);\n"
+      "OUT(1) = (DEP(0,1) - a * a / DEP(1,1)) - a * a / DEP(2,1);";
   s.initial =
       "OUT(0) = 1.0 + 0.05 * std::sin(0.3 * (double)j1) + 0.05 * "
       "std::cos(0.2 * (double)j2);\n"

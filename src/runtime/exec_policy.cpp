@@ -1,0 +1,398 @@
+#include "runtime/exec_policy.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace ctile::exec {
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kSequential: return "sequential";
+    case Policy::kSimd: return "simd";
+    case Policy::kThreadPool: return "threadpool";
+  }
+  return "?";
+}
+
+bool policy_from_name(const std::string& name, Policy* out) {
+  if (name == "sequential") {
+    *out = Policy::kSequential;
+  } else if (name == "simd") {
+    *out = Policy::kSimd;
+  } else if (name == "threadpool") {
+    *out = Policy::kThreadPool;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Policy policy_from_env(Policy fallback) {
+  const char* env = std::getenv("CTILE_EXEC_POLICY");
+  if (env == nullptr || *env == '\0') return fallback;
+  Policy p;
+  if (!policy_from_name(env, &p)) {
+    throw Error("unknown CTILE_EXEC_POLICY value '" + std::string(env) +
+                "' (expected 'sequential', 'simd' or 'threadpool')");
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------
+// Memory backends
+
+namespace {
+
+std::size_t round_up(std::size_t bytes, std::size_t align) {
+  return (bytes + align - 1) / align * align;
+}
+
+void* aligned_allocate(std::size_t bytes) {
+  // aligned_alloc requires a size that is a multiple of the alignment;
+  // zero-byte requests still get a real (freeable) block.
+  const std::size_t padded = round_up(std::max<std::size_t>(bytes, 1),
+                                      kLdsAlignment);
+  void* p = std::aligned_alloc(kLdsAlignment, padded);
+  if (p == nullptr) throw Error("aligned memory backend: allocation failed");
+  return p;
+}
+
+class AlignedBackend final : public MemoryBackend {
+ public:
+  void* allocate(std::size_t bytes) override { return aligned_allocate(bytes); }
+  void deallocate(void* p, std::size_t) override { std::free(p); }
+  const char* name() const override { return "aligned"; }
+};
+
+class PooledBackend final : public MemoryBackend {
+ public:
+  void* allocate(std::size_t bytes) override {
+    const std::size_t cls = size_class(bytes);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = free_.find(cls);
+      if (it != free_.end() && !it->second.empty()) {
+        void* p = it->second.back();
+        it->second.pop_back();
+        return p;
+      }
+    }
+    return aligned_allocate(cls);
+  }
+
+  void deallocate(void* p, std::size_t bytes) override {
+    const std::size_t cls = size_class(bytes);
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<void*>& list = free_[cls];
+    if (list.size() >= kMaxPerClass) {
+      std::free(p);  // bound the cache; overflow goes back to the OS
+      return;
+    }
+    list.push_back(p);
+  }
+
+  const char* name() const override { return "pooled"; }
+
+ private:
+  // Size classes are alignment-rounded byte counts: LDS windows of equal
+  // geometry recycle exactly, which is the steady state the pool serves.
+  static std::size_t size_class(std::size_t bytes) {
+    return round_up(std::max<std::size_t>(bytes, 1), kLdsAlignment);
+  }
+
+  static constexpr std::size_t kMaxPerClass = 64;
+  std::mutex mutex_;
+  std::map<std::size_t, std::vector<void*>> free_;
+};
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<MemoryBackend*>& registry() {
+  static std::vector<MemoryBackend*> backends;
+  return backends;
+}
+
+}  // namespace
+
+MemoryBackend& aligned_backend() {
+  static AlignedBackend backend;
+  return backend;
+}
+
+MemoryBackend& pooled_backend() {
+  static PooledBackend backend;
+  return backend;
+}
+
+void register_memory_backend(MemoryBackend* backend) {
+  CTILE_ASSERT(backend != nullptr);
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().push_back(backend);
+}
+
+MemoryBackend* find_memory_backend(const std::string& name) {
+  if (name == "aligned") return &aligned_backend();
+  if (name == "pooled") return &pooled_backend();
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (MemoryBackend* b : registry()) {
+    if (name == b->name()) return b;
+  }
+  return nullptr;
+}
+
+MemoryBackend& default_memory_backend() {
+  // Resolved once: the default must be stable for the life of the
+  // process (buffers deallocate through the backend that made them).
+  static MemoryBackend& chosen = [ge = std::getenv("CTILE_MEM_BACKEND")]()
+      -> MemoryBackend& {
+    if (ge == nullptr || *ge == '\0') return aligned_backend();
+    MemoryBackend* b = find_memory_backend(ge);
+    if (b == nullptr) {
+      throw Error("unknown CTILE_MEM_BACKEND value '" + std::string(ge) +
+                  "' (expected 'aligned', 'pooled' or a registered name)");
+    }
+    return *b;
+  }();
+  return chosen;
+}
+
+void DoubleBuffer::assign(std::size_t n, double value) {
+  if (n > cap_) {
+    release();
+    data_ = static_cast<double*>(backend_->allocate(n * sizeof(double)));
+    cap_ = n;
+  }
+  size_ = n;
+  std::fill(data_, data_ + n, value);
+}
+
+void DoubleBuffer::release() {
+  if (data_ != nullptr) {
+    backend_->deallocate(data_, cap_ * sizeof(double));
+    data_ = nullptr;
+  }
+  size_ = cap_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// Thread pool
+
+ThreadPool::ThreadPool(int workers) {
+  threads_.reserve(static_cast<std::size_t>(std::max(workers, 0)));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        if (stop_) return true;
+        for (const auto& j : jobs_) {
+          if (j->next.load(std::memory_order_relaxed) < j->n) return true;
+        }
+        return false;
+      });
+      for (const auto& j : jobs_) {
+        if (j->next.load(std::memory_order_relaxed) < j->n) {
+          job = j;
+          break;
+        }
+      }
+      if (job == nullptr) {
+        if (stop_) return;
+        continue;
+      }
+    }
+    run_chunks(*job);
+  }
+}
+
+void ThreadPool::run_chunks(Job& job) {
+  for (;;) {
+    const i64 begin = job.next.fetch_add(job.chunk);
+    if (begin >= job.n) return;
+    const i64 end = std::min(begin + job.chunk, job.n);
+    for (i64 i = begin; i < end; ++i) {
+      try {
+        (*job.fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.error_mutex);
+        if (!job.error) job.error = std::current_exception();
+      }
+    }
+    const i64 completed =
+        job.done.fetch_add(end - begin) + (end - begin);
+    if (completed == job.n) {
+      // Lock pairs with the submitter's predicated wait: no lost wakeup.
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(i64 n, const std::function<void(i64)>& fn) {
+  if (n <= 0) return;
+  if (threads_.empty() || n == 1) {
+    for (i64 i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->fn = &fn;
+  // ~4 chunks per lane balances steal overhead against imbalance.
+  job->chunk = std::max<i64>(1, n / ((workers() + 1) * 4));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push_back(job);
+  }
+  work_cv_.notify_all();
+  run_chunks(*job);  // the caller is a lane too
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return job->done.load() == job->n; });
+    jobs_.erase(std::find(jobs_.begin(), jobs_.end(), job));
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+ThreadPool& compute_pool() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("CTILE_POOL_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v < 0 || v > 256) {
+        throw Error("CTILE_POOL_THREADS out of range (0..256)");
+      }
+      return static_cast<int>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    const int spare = hw > 1 ? static_cast<int>(hw) - 1 : 1;
+    return std::min(3, spare);
+  }());
+  return pool;
+}
+
+// ---------------------------------------------------------------------
+// Policy-lifted copy loops
+
+namespace {
+
+inline i64 checked_slot(i64 base, i64 off, i64 la_slots) {
+#if defined(CTILE_CHECKED_LDS)
+  const i64 s = add_ck(base, off);
+  CTILE_ASSERT_MSG(s >= 0 && s < la_slots,
+                   "LDS slot outside the window array (V2 violation)");
+  return s;
+#else
+  (void)la_slots;
+  return base + off;
+#endif
+}
+
+// The copies are bitwise moves under every policy; the simd variants
+// exist to keep the pack/unpack phases off the critical path when the
+// compute sweep itself is vectorized.  kThreadPool copies take the simd
+// path too: message-sized memcpys are far below threading granularity.
+template <bool kSimdHint>
+void gather_impl(const double* la, i64 la_slots, const std::vector<i64>& slots,
+                 i64 off, int arity, double* dst) {
+  if (arity == 1) {
+    const i64* s = slots.data();
+    const i64 count = static_cast<i64>(slots.size());
+    if (kSimdHint) {
+      CTILE_PRAGMA_SIMD
+      for (i64 i = 0; i < count; ++i) {
+        dst[i] = la[checked_slot(s[i], off, la_slots)];
+      }
+    } else {
+      for (i64 i = 0; i < count; ++i) {
+        dst[i] = la[checked_slot(s[i], off, la_slots)];
+      }
+    }
+    return;
+  }
+  for (const i64 base : slots) {
+    const double* src = la + checked_slot(base, off, la_slots) * arity;
+    for (int v = 0; v < arity; ++v) *dst++ = src[v];
+  }
+}
+
+template <bool kSimdHint>
+void scatter_impl(double* la, i64 la_slots, const std::vector<i64>& slots,
+                  i64 off, int arity, const double* src) {
+  if (arity == 1) {
+    const i64* s = slots.data();
+    const i64 count = static_cast<i64>(slots.size());
+    if (kSimdHint) {
+      CTILE_PRAGMA_SIMD
+      for (i64 i = 0; i < count; ++i) {
+        la[checked_slot(s[i], off, la_slots)] = src[i];
+      }
+    } else {
+      for (i64 i = 0; i < count; ++i) {
+        la[checked_slot(s[i], off, la_slots)] = src[i];
+      }
+    }
+    return;
+  }
+  for (const i64 base : slots) {
+    double* dst = la + checked_slot(base, off, la_slots) * arity;
+    for (int v = 0; v < arity; ++v) dst[v] = *src++;
+  }
+}
+
+}  // namespace
+
+void gather_slots(Policy p, const double* la, i64 la_slots,
+                  const std::vector<i64>& slots, i64 off, int arity,
+                  double* dst) {
+  if (p == Policy::kSequential) {
+    gather_impl<false>(la, la_slots, slots, off, arity, dst);
+  } else {
+    gather_impl<true>(la, la_slots, slots, off, arity, dst);
+  }
+}
+
+void scatter_slots(Policy p, double* la, i64 la_slots,
+                   const std::vector<i64>& slots, i64 off, int arity,
+                   const double* src) {
+  if (p == Policy::kSequential) {
+    scatter_impl<false>(la, la_slots, slots, off, arity, src);
+  } else {
+    scatter_impl<true>(la, la_slots, slots, off, arity, src);
+  }
+}
+
+void copy_row(Policy p, const double* src, i64 src_step, double* dst,
+              i64 dst_step, i64 count, int arity) {
+  if (p != Policy::kSequential && arity == 1) {
+    CTILE_PRAGMA_SIMD
+    for (i64 i = 0; i < count; ++i) dst[i * dst_step] = src[i * src_step];
+    return;
+  }
+  for (i64 i = 0; i < count; ++i) {
+    const double* s = src + i * src_step;
+    double* d = dst + i * dst_step;
+    for (int v = 0; v < arity; ++v) d[v] = s[v];
+  }
+}
+
+}  // namespace ctile::exec

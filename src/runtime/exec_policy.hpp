@@ -1,0 +1,228 @@
+// Execution policies for the runtime's compute/pack/unpack/write-back
+// loops, plus the memory backends their buffers are allocated through.
+//
+// A policy names *how* a loop nest the planner already proved legal is
+// driven at runtime:
+//
+//   kSequential  the reference: per-point virtual Kernel::compute calls,
+//                exactly the strength-reduced row walk of DESIGN.md §8.
+//   kSimd        rows go through the batched Kernel::compute_row entry
+//                point, whose hand-written bodies vectorize the unit-
+//                stride LDS row (#pragma omp simd / AVX2); pack, unpack
+//                and write-back copies use the vectorized helpers below.
+//   kThreadPool  like kSimd, and additionally the independent rows of a
+//                j'_0-plane fan out across a small persistent thread
+//                pool (legal only when every TTIS dependence advances
+//                the outermost coordinate — the executor checks and
+//                degrades to the kSimd path otherwise).
+//
+// Every policy is bitwise-identical to kSequential by contract: the row
+// kernels preserve per-lane IEEE evaluation order, the copies move bits,
+// and the plane grouping is a topological reordering of independent
+// rows.  The equivalence suite (tests/runtime_exec_policy_test) and the
+// gated micro-bench (bench/micro_simd_sweep) enforce this.
+//
+// Memory backends make LDS allocation pluggable (the registry idea of
+// zpc's memory_backend_registry): the default hands out 64-byte-aligned
+// blocks so LDS rows start on cache-line/vector boundaries, the pooled
+// backend recycles freed blocks for allocation-free steady state, and
+// the registry is the doorway to NUMA-tagged or device (GPU/offload)
+// backends later.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/checked_int.hpp"
+
+// Vectorization hint for the batched row loops: `#pragma omp simd` needs
+// only -fopenmp-simd (no OpenMP runtime), which the build adds whenever
+// the compiler supports it.  Per-lane evaluation order is the scalar
+// order, so vectorized rows stay bitwise-identical.
+#if defined(__GNUC__) || defined(__clang__)
+#define CTILE_PRAGMA_SIMD _Pragma("omp simd")
+#else
+#define CTILE_PRAGMA_SIMD
+#endif
+
+namespace ctile::exec {
+
+enum class Policy {
+  kSequential,
+  kSimd,
+  kThreadPool,
+};
+
+/// Canonical lowercase name ("sequential", "simd", "threadpool").
+const char* policy_name(Policy p);
+
+/// Parse a policy name; returns false on unknown input.
+bool policy_from_name(const std::string& name, Policy* out);
+
+/// `fallback` unless $CTILE_EXEC_POLICY is set; an unknown value throws
+/// (loud beats silently running a different backend than asked for).
+Policy policy_from_env(Policy fallback);
+
+// ---------------------------------------------------------------------
+// Memory backends
+
+/// Alignment of every backend allocation: one cache line, and enough for
+/// any current vector ISA's aligned loads.
+inline constexpr std::size_t kLdsAlignment = 64;
+
+/// Allocation strategy for runtime buffers (LDS windows today).  Brutally
+/// small interface on purpose: a NUMA-tagged or device backend only needs
+/// these three entry points.  Implementations must be thread-safe — ranks
+/// allocate concurrently — and must return kLdsAlignment-aligned blocks.
+class MemoryBackend {
+ public:
+  virtual ~MemoryBackend() = default;
+  virtual void* allocate(std::size_t bytes) = 0;
+  virtual void deallocate(void* p, std::size_t bytes) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// 64-byte-aligned malloc/free (std::aligned_alloc).  The default.
+MemoryBackend& aligned_backend();
+
+/// Aligned allocation with a mutex-guarded free list per size class:
+/// steady-state reallocation of equal-sized LDS windows is a pop.
+MemoryBackend& pooled_backend();
+
+/// Register a backend under its name() for find_memory_backend lookup.
+/// The backend must outlive all lookups (typically a static).
+void register_memory_backend(MemoryBackend* backend);
+
+/// Built-ins ("aligned", "pooled") or anything registered; nullptr when
+/// unknown.
+MemoryBackend* find_memory_backend(const std::string& name);
+
+/// aligned_backend() unless $CTILE_MEM_BACKEND names another registered
+/// backend; an unknown value throws.
+MemoryBackend& default_memory_backend();
+
+/// RAII double buffer allocated through a MemoryBackend: the LDS window
+/// storage of the parallel executor.  Grow-only like a vector, without
+/// value-initializing ctor churn; assign() is the only filler the
+/// executor needs (fresh windows start zeroed).
+class DoubleBuffer {
+ public:
+  DoubleBuffer() : backend_(&default_memory_backend()) {}
+  explicit DoubleBuffer(MemoryBackend* backend) : backend_(backend) {}
+  DoubleBuffer(DoubleBuffer&& other) noexcept { steal(other); }
+  DoubleBuffer& operator=(DoubleBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(other);
+    }
+    return *this;
+  }
+  DoubleBuffer(const DoubleBuffer&) = delete;
+  DoubleBuffer& operator=(const DoubleBuffer&) = delete;
+  ~DoubleBuffer() { release(); }
+
+  /// Resize to n doubles, all set to `value` (reuses capacity).
+  void assign(std::size_t n, double value);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  double* data() { return data_; }
+  const double* data() const { return data_; }
+  double& operator[](std::size_t i) { return data_[i]; }
+  const double& operator[](std::size_t i) const { return data_[i]; }
+  MemoryBackend* backend() const { return backend_; }
+
+ private:
+  void release();
+  void steal(DoubleBuffer& other) {
+    backend_ = other.backend_;
+    data_ = other.data_;
+    size_ = other.size_;
+    cap_ = other.cap_;
+    other.data_ = nullptr;
+    other.size_ = other.cap_ = 0;
+  }
+
+  MemoryBackend* backend_ = nullptr;
+  double* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Thread pool
+
+/// Small persistent pool for the kThreadPool policy.  parallel_for fans
+/// indices out in chunks over the workers with the *caller participating*
+/// (so a pool of w workers gives w+1 lanes, and a zero-worker pool still
+/// makes progress).  Multiple callers may submit concurrently — each
+/// mpisim rank thread drives its own tiles through the shared pool.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Run fn(0..n-1), each index exactly once, returning when all are
+  /// done.  The first exception thrown by fn is rethrown in the caller
+  /// (remaining indices still execute).  fn must be safe to call from
+  /// multiple threads at once.
+  void parallel_for(i64 n, const std::function<void(i64)>& fn);
+
+ private:
+  struct Job {
+    i64 n = 0;
+    i64 chunk = 1;
+    const std::function<void(i64)>* fn = nullptr;
+    std::atomic<i64> next{0};
+    std::atomic<i64> done{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  void run_chunks(Job& job);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers wait for jobs
+  std::condition_variable done_cv_;  // submitters wait for completion
+  std::vector<std::shared_ptr<Job>> jobs_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// The process-wide compute pool, built lazily on first use with
+/// $CTILE_POOL_THREADS workers (default: min(3, hw_concurrency - 1),
+/// at least 1, so the policy is genuinely threaded even on small boxes).
+ThreadPool& compute_pool();
+
+// ---------------------------------------------------------------------
+// Policy-lifted copy loops (pack / unpack / write-back)
+
+/// Pack gather: for each point slot base in `slots`, copy the `arity`
+/// doubles at la[(base + off) * arity] to dst, advancing dst densely —
+/// the slot-table pack loop, vectorized under kSimd/kThreadPool.
+/// `la_slots` is the LDS size in point slots for the CTILE_CHECKED_LDS
+/// bounds assert (unused in release).
+void gather_slots(Policy p, const double* la, i64 la_slots,
+                  const std::vector<i64>& slots, i64 off, int arity,
+                  double* dst);
+
+/// Unpack scatter: the inverse of gather_slots (dense src into slots).
+void scatter_slots(Policy p, double* la, i64 la_slots,
+                   const std::vector<i64>& slots, i64 off, int arity,
+                   const double* src);
+
+/// Strided row copy for the write-back: count points of `arity` doubles,
+/// source advancing src_step doubles per point, destination dst_step.
+void copy_row(Policy p, const double* src, i64 src_step, double* dst,
+              i64 dst_step, i64 count, int arity);
+
+}  // namespace ctile::exec

@@ -1,0 +1,51 @@
+#include "runtime/kernel.hpp"
+
+namespace ctile {
+
+void Kernel::compute_row(const VecI& j0, const VecI& jstep, i64 count,
+                         const double* const* dep_base, int q, i64 dep_stride,
+                         double* out, i64 out_stride) const {
+  const int a = arity();
+  const int n = static_cast<int>(j0.size());
+  // Stack scratch for the common shapes; the heap path only triggers on
+  // exotic kernels (q * arity > 32), which no shipped app reaches.
+  double stack_vals[32];
+  std::vector<double> heap_vals;
+  double* dep_vals = stack_vals;
+  if (q * a > 32) {
+    heap_vals.resize(static_cast<std::size_t>(q) * static_cast<std::size_t>(a));
+    dep_vals = heap_vals.data();
+  }
+  VecI j = j0;
+  for (i64 i = 0; i < count; ++i) {
+    for (int l = 0; l < q; ++l) {
+      const double* src = dep_base[l] + i * dep_stride;
+      double* dst = dep_vals + static_cast<std::size_t>(l) * static_cast<std::size_t>(a);
+      for (int v = 0; v < a; ++v) dst[v] = src[v];
+    }
+    compute(j, dep_vals, out + i * out_stride);
+    for (int k = 0; k < n; ++k) {
+      j[static_cast<std::size_t>(k)] += jstep[static_cast<std::size_t>(k)];
+    }
+  }
+}
+
+i64 Kernel::row_alias_distance(const double* dep, const double* out,
+                               i64 stride, i64 count) {
+  const i64 diff = static_cast<i64>(out - dep);  // dep == out - m*stride
+  if (stride == 0 || diff == 0) return 0;
+  // Magnitude early-out before any division: a dependence row further
+  // away than the row's span can't alias it.  This is the common case
+  // (most dependences live in other planes), and kernels probe every
+  // dependence per row, so the divisions below must stay off that path.
+  const i64 as = stride < 0 ? -stride : stride;
+  const i64 ad = diff < 0 ? -diff : diff;
+  if (ad >= count * as) return 0;
+  // |m| == 1 — the usual shape of a real in-row recurrence — needs no
+  // division either.
+  if (ad == as) return (diff < 0) == (stride < 0) ? 1 : -1;
+  if (diff % stride != 0) return 0;
+  return diff / stride;  // |m| < count and m != 0 by the guards above
+}
+
+}  // namespace ctile

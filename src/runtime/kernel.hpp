@@ -33,6 +33,34 @@ class Kernel {
 
   /// Value at a point outside the iteration space (initial condition).
   virtual void initial(const VecI& j, double* out) const = 0;
+
+  /// Batched row evaluation for the executors' strength-reduced sweep
+  /// (DESIGN.md §12): evaluate `count` consecutive row points, where
+  /// point i sits at j0 + i*jstep, reads dependence l's arity() doubles
+  /// at dep_base[l] + i*dep_stride, and writes its arity() results at
+  /// out + i*out_stride (strides in doubles; q is the dependence count).
+  ///
+  /// Contract: bitwise-identical to calling compute() for i = 0..count-1
+  /// in increasing order with those addresses — including when a
+  /// dep_base[l] aliases earlier outputs of this very row (an in-row
+  /// recurrence), which the default per-point implementation honours by
+  /// construction.  Overrides that vectorize must detect aliasing (see
+  /// row_alias_distance) and either handle it (e.g. SOR's recurrence
+  /// split) or fall back to this default.
+  virtual void compute_row(const VecI& j0, const VecI& jstep, i64 count,
+                           const double* const* dep_base, int q,
+                           i64 dep_stride, double* out, i64 out_stride) const;
+
+  /// Signed in-row alias distance of a dependence pointer against the
+  /// output row: m != 0 when dep reads this row's own output slots —
+  /// dep + i*stride == out + (i - m)*stride — with m > 0 a backward
+  /// alias (point i reads point i-m: a recurrence) and m < 0 a forward
+  /// alias (point i reads the still-unwritten slot of point i-m, i.e.
+  /// pristine pre-sweep values).  0 when the dep never lands on the
+  /// row's output slots.  Both pointers must point into the same array
+  /// (they do: LDS window or data space), `stride` in doubles.
+  static i64 row_alias_distance(const double* dep, const double* out,
+                                i64 stride, i64 count);
 };
 
 }  // namespace ctile

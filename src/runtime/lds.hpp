@@ -28,6 +28,7 @@
 #pragma once
 
 #include "runtime/mapping.hpp"
+#include "support/checked_int.hpp"
 #include "tiling/tile_space.hpp"
 
 namespace ctile {
@@ -98,6 +99,25 @@ class LdsLayout {
                      "LDS slot outside the window array (V2 violation)");
 #else
     (void)s;
+#endif
+  }
+
+  /// base + off slot arithmetic for the fast paths, which add precomputed
+  /// dependence deltas (or chain offsets) to row/table bases instead of
+  /// calling map/linear per point.  Release builds compile to the plain
+  /// add — ctile-verify's V2 proves the result in range before anything
+  /// dereferences it — while CTILE_CHECKED_LDS forms the sum overflow-
+  /// checked (support/checked_int.hpp) and bounds-asserts it, so a
+  /// transiently negative or wrapped sum aborts loudly instead of being
+  /// cast to a huge std::size_t at the caller's multiply by arity.
+  i64 slot_at(i64 base, i64 off) const {
+#if defined(CTILE_CHECKED_LDS)
+    const i64 s = add_ck(base, off);
+    CTILE_ASSERT_MSG(s >= 0 && s < size_,
+                     "LDS slot outside the window array (V2 violation)");
+    return s;
+#else
+    return base + off;
 #endif
   }
 

@@ -23,7 +23,53 @@ std::vector<TtisRegion> pack_regions_of(const CommPlan& plan) {
   return regions;
 }
 
+// Any valid tile index.  point_of is only guaranteed integral at real
+// tiles, so the row plan's j_rel differences are probed through one.
+VecI first_valid_tile(const Mapping& mapping) {
+  for (int rank = 0; rank < mapping.num_procs(); ++rank) {
+    const VecI pid = mapping.pid_of(rank);
+    const IntRange window = mapping.chain_window(pid);
+    for (i64 t = window.lo; t <= window.hi; ++t) {
+      const VecI js = mapping.tile_at(pid, t);
+      if (mapping.valid(js)) return js;
+    }
+  }
+  CTILE_ASSERT_MSG(false, "mapping holds no valid tile");
+  return VecI{};
+}
+
 }  // namespace
+
+ParallelExecutor::RankLocal::RankLocal(const TiledNest& tiled,
+                                       const Mapping& mapping,
+                                       const CommPlan& plan, i64 chain_len)
+    : layout(tiled, mapping, chain_len),
+      slots(plan, tiled.transform(), layout) {
+  const TilingTransform& tf = tiled.transform();
+  const MatI dprime = tiled.ttis_deps();
+  const int q = dprime.cols();
+  const int n = tiled.nest().depth;
+  // j_rel is tile-invariant (point_of(js, a) - point_of(js, b) =
+  // P'(a - b) for any js), so probe through one valid tile.
+  const VecI js = first_valid_tile(mapping);
+  VecI j_front;
+  for (TtisRowWalker row(tf, full_ttis_region(tf)); row.valid(); row.next()) {
+    const VecI& jp0 = row.row_start();
+    VecI j_rel = tf.point_of(js, jp0);
+    if (rows.empty()) {
+      jp0_front = jp0;
+      j_front = j_rel;
+    }
+    for (int k = 0; k < n; ++k) {
+      j_rel[static_cast<std::size_t>(k)] -= j_front[static_cast<std::size_t>(k)];
+    }
+    rows.push_back(SweepRow{jp0[0], row.row_points(), layout.row_base(jp0, 0),
+                            std::move(j_rel)});
+    for (int l = 0; l < q; ++l) {
+      deltas.push_back(layout.dep_delta(jp0, dprime.col(l)));
+    }
+  }
+}
 
 ParallelExecutor::ParallelExecutor(const TiledNest& tiled,
                                    const Kernel& kernel, int force_m)
@@ -36,6 +82,15 @@ ParallelExecutor::ParallelExecutor(const TiledNest& tiled,
       pack_regions_(pack_regions_of(plan_)),
       classifier_(tiled, &census_, &pack_regions_),
       band_(tiled.transform(), pack_regions_) {
+  // kThreadPool legality: the rows of a fixed-j'_0 plane are mutually
+  // independent iff every TTIS dependence advances the outermost
+  // coordinate (d'_0 >= 1) — then any point's predecessors live in
+  // strictly earlier planes, and planes are swept in order.
+  const MatI dprime = tiled.ttis_deps();
+  plane_parallel_ = true;
+  for (int l = 0; l < dprime.cols(); ++l) {
+    if (dprime(0, l) < 1) plane_parallel_ = false;
+  }
   // One layout + slot-table bundle per distinct chain-window length:
   // processors with equally long chains share byte-identical tables, so
   // the setup cost is O(#distinct lengths), not O(#processors).
@@ -65,7 +120,7 @@ i64 ParallelExecutor::tag_of(int dir, i64 sender_t) const {
 }
 
 void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
-                                std::vector<double>& la, i64* points,
+                                exec::DoubleBuffer& la, i64* points,
                                 PhaseTimes* phase) const {
   const TilingTransform& tf = tiled_->transform();
   const Polyhedron& space = tiled_->nest().space;
@@ -92,16 +147,15 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
   std::vector<double> dep_vals(static_cast<std::size_t>(q) * static_cast<std::size_t>(arity));
   std::vector<double> out(static_cast<std::size_t>(arity));
 
-  // Invariants for the strength-reduced interior sweep: the full TTIS
-  // box, the constant J^n step along a row, the linear-slot step along a
-  // row, and the per-dependence TTIS columns.
-  const TtisRegion full_region = full_ttis_region(tf);
+  // Invariants for the strength-reduced interior sweep: the constant J^n
+  // step along a row, the linear-slot steps along a row and along the
+  // chain, and the hoisted row plan (bases, deltas, relative J^n starts
+  // — see RankLocal).
   const VecI jstep = row_point_step(tf);
   const i64 sstep = local.stride(n - 1);
-  std::vector<VecI> dpcols;
-  dpcols.reserve(static_cast<std::size_t>(q));
-  for (int l = 0; l < q; ++l) dpcols.push_back(dprime.col(l));
-  std::vector<i64> delta(static_cast<std::size_t>(q));
+  const i64 lds_chain_step = local.chain_step();
+  const auto& rows = rl.rows;
+  const std::vector<i64>& deltas = rl.deltas;
 
   // ---- RECEIVE enumeration (\S3.2): one message per (predecessor tile,
   // direction) for which this tile is the lexicographically minimum
@@ -160,12 +214,8 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
       CTILE_ASSERT_MSG(slots.size() * static_cast<std::size_t>(arity) ==
                            buf.size(),
                        "unpack table size mismatch with received message");
-      const double* src = buf.data();
-      for (const i64 base : slots) {
-        local.check_slot(base + off);
-        double* dst = &la[static_cast<std::size_t>((base + off) * arity)];
-        for (int v = 0; v < arity; ++v) dst[v] = *src++;
-      }
+      exec::scatter_slots(policy_, la.data(), local.size(), slots, off, arity,
+                          buf.data());
     } else {
       const TileDep& dep = tile_deps[di];
       const TtisRegion region = plan_.unpack_region(dep);
@@ -200,13 +250,8 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
       buf = comm.acquire_buffer(rank,
                                 slots.size() * static_cast<std::size_t>(arity));
       const i64 off = mul_ck(t_loc, chain_step);
-      double* dst = buf.data();
-      for (const i64 base : slots) {
-        local.check_slot(base + off);
-        const double* src =
-            &la[static_cast<std::size_t>((base + off) * arity)];
-        for (int v = 0; v < arity; ++v) *dst++ = src[v];
-      }
+      exec::gather_slots(policy_, la.data(), local.size(), slots, off, arity,
+                         buf.data());
     } else {
       buf.reserve(static_cast<std::size_t>(plan_.message_points(dir) * arity));
       for_each_lattice_point(
@@ -230,36 +275,122 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
   // suffix (overlapped schedule; remainder is swept first — the legal
   // topological order, see tiling/interior.hpp).
   enum class Part { kAll, kRemainder, kBand };
+
+  // Per-row batched dispatch (kSimd / kThreadPool): resolve the row's
+  // base slot and per-dependence pointers from the hoisted plan,
+  // bounds-check both row endpoints — the slots are affine in the row
+  // index, so in-range endpoints cover every point, and under
+  // CTILE_CHECKED_LDS slot_at additionally forms the sums
+  // overflow-checked — then hand the whole row to Kernel::compute_row.
+  // `j_anchor` is the tile's point_of(js, jp0_front); `depp` and `j`
+  // are caller-provided scratch (reused across rows, one set per
+  // concurrent lane) so the hot loop performs no allocation.
+  auto sweep_row_batched = [&](std::size_t r, i64 begin, i64 end, i64 t_loc,
+                               const VecI& j_anchor, const double** depp,
+                               VecI& j) {
+    const SweepRow& row = rows[r];
+    const i64 cnt = end - begin;
+    const i64 s = row.base0 + t_loc * lds_chain_step + begin * sstep;
+    local.check_slot(s);
+    local.check_slot(s + (cnt - 1) * sstep);
+    const i64* delta = &deltas[r * static_cast<std::size_t>(q)];
+    for (int l = 0; l < q; ++l) {
+      const i64 first = local.slot_at(s, delta[l]);
+      local.slot_at(s + (cnt - 1) * sstep, delta[l]);
+      depp[l] = la.data() + first * arity;
+    }
+    j = j_anchor;
+    for (int k = 0; k < n; ++k) {
+      j[static_cast<std::size_t>(k)] +=
+          row.j_rel[static_cast<std::size_t>(k)] +
+          begin * jstep[static_cast<std::size_t>(k)];
+    }
+    kernel_->compute_row(j, jstep, cnt, depp, q, sstep * arity,
+                         la.data() + s * arity, sstep * arity);
+  };
+
+  // Row segments of the current j'_0-plane (kThreadPool): the walker
+  // order is lexicographic, so a plane's rows are contiguous and can be
+  // collected then fanned out together.
+  struct RowSeg {
+    std::size_t r;
+    i64 begin;
+    i64 end;
+  };
+  std::vector<const double*> dep_ptr_scratch(static_cast<std::size_t>(q));
+  VecI j_scratch;
+  std::vector<RowSeg> plane;
+  std::vector<const double*> plane_scratch;
+  std::vector<VecI> plane_j_scratch;
+
   auto sweep_fast = [&](const VecI& js, i64 t_loc, Part part) {
-    std::size_t r = 0;
-    for (TtisRowWalker row(tf, full_region); row.valid(); row.next(), ++r) {
-      const i64 cnt = row.row_points();
+    // The plane fan-out needs every dependence to advance j'_0
+    // (plane_parallel_); otherwise kThreadPool degrades to the batched
+    // single-lane path so the setting is always safe.
+    const bool pooled =
+        policy_ == exec::Policy::kThreadPool && plane_parallel_;
+    const VecI j_anchor = tf.point_of(js, rl.jp0_front);
+    i64 plane_id = 0;
+    plane.clear();
+    auto flush_plane = [&] {
+      if (plane.empty()) return;
+      if (plane.size() == 1) {
+        const RowSeg& seg = plane.front();
+        sweep_row_batched(seg.r, seg.begin, seg.end, t_loc, j_anchor,
+                          dep_ptr_scratch.data(), j_scratch);
+      } else {
+        plane_scratch.resize(plane.size() * static_cast<std::size_t>(q));
+        if (plane_j_scratch.size() < plane.size()) {
+          plane_j_scratch.resize(plane.size());
+        }
+        exec::compute_pool().parallel_for(
+            static_cast<i64>(plane.size()), [&](i64 pr) {
+              const RowSeg& seg = plane[static_cast<std::size_t>(pr)];
+              sweep_row_batched(seg.r, seg.begin, seg.end, t_loc, j_anchor,
+                                plane_scratch.data() +
+                                    static_cast<std::size_t>(pr) *
+                                        static_cast<std::size_t>(q),
+                                plane_j_scratch[static_cast<std::size_t>(pr)]);
+            });
+      }
+      plane.clear();
+    };
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      const SweepRow& row = rows[r];
       i64 begin = 0;
-      i64 end = cnt;
+      i64 end = row.count;
       if (part == Part::kRemainder) {
         end = band_.split(r);
       } else if (part == Part::kBand) {
         begin = band_.split(r);
       }
       if (begin >= end) continue;
-      const VecI& jp0 = row.row_start();
-      i64 s = local.row_base(jp0, t_loc) + begin * sstep;
-      for (int l = 0; l < q; ++l) {
-        delta[static_cast<std::size_t>(l)] =
-            local.dep_delta(jp0, dpcols[static_cast<std::size_t>(l)]);
-      }
-      VecI j = tf.point_of(js, jp0);
-      if (begin != 0) {
-        for (int k = 0; k < n; ++k) {
-          j[static_cast<std::size_t>(k)] +=
-              begin * jstep[static_cast<std::size_t>(k)];
+      *points += end - begin;
+      if (policy_ != exec::Policy::kSequential) {
+        if (!pooled) {
+          sweep_row_batched(r, begin, end, t_loc, j_anchor,
+                            dep_ptr_scratch.data(), j_scratch);
+        } else {
+          if (!plane.empty() && row.plane != plane_id) flush_plane();
+          plane_id = row.plane;
+          plane.push_back(RowSeg{r, begin, end});
         }
+        continue;
+      }
+      // kSequential reference: per-point virtual compute() calls over the
+      // strength-reduced row walk of DESIGN.md §8.
+      i64 s = row.base0 + t_loc * lds_chain_step + begin * sstep;
+      const i64* delta = &deltas[r * static_cast<std::size_t>(q)];
+      VecI j = j_anchor;
+      for (int k = 0; k < n; ++k) {
+        j[static_cast<std::size_t>(k)] +=
+            row.j_rel[static_cast<std::size_t>(k)] +
+            begin * jstep[static_cast<std::size_t>(k)];
       }
       for (i64 i = begin; i < end; ++i) {
         for (int l = 0; l < q; ++l) {
-          local.check_slot(s + delta[static_cast<std::size_t>(l)]);
-          const double* src = &la[static_cast<std::size_t>(
-              (s + delta[static_cast<std::size_t>(l)]) * arity)];
+          const i64 sl = local.slot_at(s, delta[l]);
+          const double* src = &la[static_cast<std::size_t>(sl * arity)];
           double* dst = &dep_vals[static_cast<std::size_t>(l) * static_cast<std::size_t>(arity)];
           for (int v = 0; v < arity; ++v) dst[v] = src[v];
         }
@@ -273,8 +404,8 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
               jstep[static_cast<std::size_t>(k)];
         }
       }
-      *points += end - begin;
     }
+    flush_plane();
   };
 
   // General clipped sweep (boundary tiles, or the legacy reference).
@@ -421,8 +552,9 @@ DataSpace ParallelExecutor::run(ParallelRunStats* stats) const {
   if (pre_run_gate_) pre_run_gate_();
   const int nprocs = mapping_.num_procs();
   const int arity = kernel_->arity();
-  std::vector<std::vector<double>> arrays(
-      static_cast<std::size_t>(nprocs));
+  std::vector<exec::DoubleBuffer> arrays;
+  arrays.reserve(static_cast<std::size_t>(nprocs));
+  for (int i = 0; i < nprocs; ++i) arrays.emplace_back(mem_);
   std::vector<i64> points(static_cast<std::size_t>(nprocs), 0);
   std::vector<PhaseTimes> phases(static_cast<std::size_t>(nprocs));
 
@@ -459,25 +591,42 @@ DataSpace ParallelExecutor::run(ParallelRunStats* stats) const {
   DataSpace ds(tiled_->nest().space, arity);
   const Polyhedron& space = tiled_->nest().space;
   const TilingTransform& tf = tiled_->transform();
-  const TtisRegion full_region = full_ttis_region(tf);
   const VecI jstep = row_point_step(tf);
   const int n = tiled_->nest().depth;
-  for (int rank = 0; rank < nprocs; ++rank) {
+  const i64 dstep = ds.offset_step(jstep);
+  auto write_rank = [&](int rank) {
     const VecI pid = mapping_.pid_of(rank);
     const IntRange window = mapping_.chain_window(pid);
-    if (window.empty()) continue;
-    const LdsLayout& local = local_for(window.count()).layout;
+    if (window.empty()) return;
+    const RankLocal& rl = local_for(window.count());
+    const LdsLayout& local = rl.layout;
     const i64 sstep = local.stride(n - 1);
+    const i64 lds_chain_step = local.chain_step();
     const auto& la = arrays[static_cast<std::size_t>(rank)];
     for (i64 t = window.lo; t <= window.hi; ++t) {
       const VecI js = mapping_.tile_at(pid, t);
       if (!mapping_.valid(js)) continue;
       // Interior tiles lie wholly inside J^n: skip the contains() test.
       const bool interior = classifier_.interior(js);
-      for (TtisRowWalker row(tf, full_region); row.valid(); row.next()) {
-        i64 s = local.row_base(row.row_start(), t - window.lo);
-        VecI j = tf.point_of(js, row.row_start());
-        const i64 cnt = row.row_points();
+      const VecI j_anchor = tf.point_of(js, rl.jp0_front);
+      for (const SweepRow& row : rl.rows) {
+        i64 s = row.base0 + (t - window.lo) * lds_chain_step;
+        VecI j = j_anchor;
+        for (int k = 0; k < n; ++k) {
+          j[static_cast<std::size_t>(k)] +=
+              row.j_rel[static_cast<std::size_t>(k)];
+        }
+        const i64 cnt = row.count;
+        if (interior && policy_ != exec::Policy::kSequential) {
+          // Interior rows lie wholly inside J^n: one strided row copy
+          // (vectorized under kSimd/kThreadPool) replaces the per-point
+          // walk.  Both row endpoints bounds-checked as in the sweep.
+          local.check_slot(s);
+          local.check_slot(s + (cnt - 1) * sstep);
+          exec::copy_row(policy_, la.data() + s * arity, sstep * arity,
+                         ds.at(j), dstep, cnt, arity);
+          continue;
+        }
         for (i64 i = 0; i < cnt; ++i) {
           if (interior || space.contains(j)) {
             double* dst = ds.at(j);
@@ -493,6 +642,14 @@ DataSpace ParallelExecutor::run(ParallelRunStats* stats) const {
         }
       }
     }
+  };
+  if (policy_ == exec::Policy::kThreadPool && nprocs > 1) {
+    // Ranks own disjoint tiles, and tiles partition J^n: the per-rank
+    // write-backs touch disjoint DataSpace slots and can fan out.
+    exec::compute_pool().parallel_for(
+        nprocs, [&](i64 rank) { write_rank(static_cast<int>(rank)); });
+  } else {
+    for (int rank = 0; rank < nprocs; ++rank) write_rank(rank);
   }
 
   if (stats != nullptr) {

@@ -51,6 +51,7 @@
 #include "tiling/census.hpp"
 #include "tiling/interior.hpp"
 #include "runtime/data_space.hpp"
+#include "runtime/exec_policy.hpp"
 #include "runtime/kernel.hpp"
 
 namespace ctile {
@@ -131,6 +132,28 @@ class ParallelExecutor {
   void set_use_fast_sweep(bool on) { use_fast_sweep_ = on; }
   bool use_fast_sweep() const { return use_fast_sweep_; }
 
+  /// Select how the hot loops are driven (exec_policy.hpp): kSequential
+  /// is the per-point reference, kSimd routes interior rows through the
+  /// batched Kernel::compute_row and vectorizes pack/unpack/write-back,
+  /// kThreadPool additionally fans the independent rows of each
+  /// j'_0-plane across the shared compute pool — legal only when every
+  /// TTIS dependence advances j'_0 (precomputed at construction; the
+  /// sweep degrades to the kSimd path otherwise, so the setting is
+  /// always safe).  Default: $CTILE_EXEC_POLICY, else kSimd.  All
+  /// policies produce bitwise-identical data spaces.
+  void set_exec_policy(exec::Policy p) { policy_ = p; }
+  exec::Policy exec_policy() const { return policy_; }
+
+  /// True when the tiling admits the kThreadPool plane fan-out (every
+  /// TTIS dependence has d'_0 >= 1).
+  bool plane_parallel() const { return plane_parallel_; }
+
+  /// Allocate the per-rank LDS windows through `backend` (exec_policy.hpp
+  /// registry; default: $CTILE_MEM_BACKEND, else the 64-byte-aligned
+  /// backend).  The backend must outlive the executor's runs.
+  void set_memory_backend(exec::MemoryBackend* backend) { mem_ = backend; }
+  exec::MemoryBackend* memory_backend() const { return mem_; }
+
   /// Toggle the overlapped (pipelined) schedule (default on): pre-posted
   /// irecvs, remainder/band split sweep, pack + isend at band
   /// completion.  The blocking RECEIVE/COMPUTE/SEND path is retained as
@@ -174,19 +197,38 @@ class ParallelExecutor {
   DataSpace run(ParallelRunStats* stats = nullptr) const;
 
  private:
+  /// One row of the hoisted interior-sweep plan (see RankLocal::rows).
+  struct SweepRow {
+    i64 plane;   ///< j'_0 of the row (kThreadPool plane grouping)
+    i64 count;   ///< points in the row
+    i64 base0;   ///< linear base slot at chain position 0
+    VecI j_rel;  ///< J^n start relative to the first row's start
+  };
+
   /// Everything that depends on a processor's chain-window length:
-  /// the per-processor LDS layout (paper: "|t| is per processor") and
-  /// the communication slot tables built against it.  Computed once per
+  /// the per-processor LDS layout (paper: "|t| is per processor"), the
+  /// communication slot tables built against it, and the hoisted row
+  /// plan of the strength-reduced interior sweep.  Computed once per
   /// distinct window length at construction and shared read-only by
   /// run_rank and the write-back, which previously rebuilt the
   /// HNF-derived layout from scratch per rank.
+  ///
+  /// The row plan caches, per row of full_ttis_region in TtisRowWalker
+  /// order, everything the sweep used to recompute per (tile, row):
+  /// the base slot at t_loc is base0 + t_loc * layout.chain_step()
+  /// (map is affine in t), the per-dependence slot deltas
+  /// deltas[r * q + l] are tile- and t-invariant (lds.hpp dep_delta),
+  /// and the J^n row start is j_anchor + j_rel[r] where
+  /// j_anchor = point_of(js, jp0_front) — point_of is affine in j', so
+  /// one matrix-vector product per tile replaces one per row.
   struct RankLocal {
     LdsLayout layout;
     CommSlotTable slots;
+    std::vector<SweepRow> rows;
+    std::vector<i64> deltas;  ///< rows.size() * q slot deltas
+    VecI jp0_front;           ///< first row's TTIS start
     RankLocal(const TiledNest& tiled, const Mapping& mapping,
-              const CommPlan& plan, i64 chain_len)
-        : layout(tiled, mapping, chain_len),
-          slots(plan, tiled.transform(), layout) {}
+              const CommPlan& plan, i64 chain_len);
   };
 
   const TiledNest* tiled_;
@@ -199,6 +241,9 @@ class ParallelExecutor {
   TileClassifier classifier_;
   BandSplit band_;
   std::map<i64, std::unique_ptr<RankLocal>> locals_;  // by window length
+  exec::Policy policy_ = exec::policy_from_env(exec::Policy::kSimd);
+  bool plane_parallel_ = false;
+  exec::MemoryBackend* mem_ = &exec::default_memory_backend();
   bool use_slot_tables_ = true;
   bool use_fast_sweep_ = true;
   bool use_overlap_ = true;
@@ -213,7 +258,7 @@ class ParallelExecutor {
 
   /// The per-rank program (RECEIVE / compute / SEND over the chain,
   /// blocking or pipelined according to use_overlap_).
-  void run_rank(int rank, mpisim::Comm& comm, std::vector<double>& la,
+  void run_rank(int rank, mpisim::Comm& comm, exec::DoubleBuffer& la,
                 i64* points, PhaseTimes* phase) const;
 
   i64 tag_of(int dir, i64 sender_t) const;

@@ -7,7 +7,16 @@ namespace ctile {
 
 SequentialTiledExecutor::SequentialTiledExecutor(const TiledNest& tiled,
                                                 const Kernel& kernel)
-    : tiled_(&tiled), kernel_(&kernel), classifier_(tiled) {}
+    : tiled_(&tiled), kernel_(&kernel), classifier_(tiled) {
+  // Same plane-parallel criterion as the parallel executor: rows of a
+  // fixed-j'_0 plane are independent iff every TTIS dependence advances
+  // the outermost coordinate.
+  const MatI dprime = tiled.ttis_deps();
+  plane_parallel_ = true;
+  for (int l = 0; l < dprime.cols(); ++l) {
+    if (dprime(0, l) < 1) plane_parallel_ = false;
+  }
+}
 
 DataSpace SequentialTiledExecutor::run() const {
   if (pre_run_gate_) pre_run_gate_();
@@ -31,6 +40,34 @@ DataSpace SequentialTiledExecutor::run() const {
   for (int l = 0; l < q; ++l) dep_off[static_cast<std::size_t>(l)] =
       ds.offset_step(deps.col(l));
 
+  // Per-row batched dispatch (kSimd / kThreadPool): dependence pointers
+  // are at the constant offsets dep_off from the row base, strides are
+  // the row's data-space step; both row endpoints are bounds-asserted
+  // (at_offset), which covers the affine interior.  `depp` is caller
+  // scratch so plane-parallel rows don't share it.
+  auto sweep_row_batched = [&](const VecI& j0, i64 s, i64 cnt,
+                               const double** depp) {
+    ds.at_offset(s + (cnt - 1) * row_off);
+    for (int l = 0; l < q; ++l) {
+      const i64 off = dep_off[static_cast<std::size_t>(l)];
+      depp[l] = ds.at_offset(s - off);
+      ds.at_offset(s - off + (cnt - 1) * row_off);
+    }
+    kernel_->compute_row(j0, jstep, cnt, depp, q, row_off, ds.at_offset(s),
+                         row_off);
+  };
+
+  struct RowSeg {
+    VecI j0;
+    i64 s;
+    i64 cnt;
+  };
+  std::vector<const double*> dep_ptr_scratch(static_cast<std::size_t>(q));
+  std::vector<RowSeg> plane;
+  std::vector<const double*> plane_scratch;
+  const bool pooled =
+      policy_ == exec::Policy::kThreadPool && plane_parallel_;
+
   // Tiles in lexicographic tile-space order (legal: tile dependencies are
   // componentwise non-negative under a legal tiling), points in TTIS
   // order within each tile.
@@ -39,11 +76,42 @@ DataSpace SequentialTiledExecutor::run() const {
       // Interior tile: every lattice point is a real iteration and every
       // predecessor is in-space — already computed, by legality of the
       // tile order — so the sweep is flat offset arithmetic over the DS.
+      i64 plane_id = 0;
+      plane.clear();
+      auto flush_plane = [&] {
+        if (plane.empty()) return;
+        if (plane.size() == 1) {
+          const RowSeg& seg = plane.front();
+          sweep_row_batched(seg.j0, seg.s, seg.cnt, dep_ptr_scratch.data());
+        } else {
+          plane_scratch.resize(plane.size() * static_cast<std::size_t>(q));
+          exec::compute_pool().parallel_for(
+              static_cast<i64>(plane.size()), [&](i64 pr) {
+                const RowSeg& seg = plane[static_cast<std::size_t>(pr)];
+                sweep_row_batched(seg.j0, seg.s, seg.cnt,
+                                  plane_scratch.data() +
+                                      static_cast<std::size_t>(pr) *
+                                          static_cast<std::size_t>(q));
+              });
+        }
+        plane.clear();
+      };
       for (TtisRowWalker row(tf, tiled_->tile_region(js)); row.valid();
            row.next()) {
         VecI j = tf.point_of(origin, row.row_start());
         i64 s = ds.offset(j);
         const i64 cnt = row.row_points();
+        if (policy_ != exec::Policy::kSequential) {
+          if (!pooled) {
+            sweep_row_batched(j, s, cnt, dep_ptr_scratch.data());
+          } else {
+            const i64 p0 = row.row_start()[0];
+            if (!plane.empty() && p0 != plane_id) flush_plane();
+            plane_id = p0;
+            plane.push_back(RowSeg{std::move(j), s, cnt});
+          }
+          continue;
+        }
         for (i64 i = 0; i < cnt; ++i) {
           for (int l = 0; l < q; ++l) {
             const double* src =
@@ -61,6 +129,7 @@ DataSpace SequentialTiledExecutor::run() const {
           }
         }
       }
+      flush_plane();
     } else {
       tiled_->for_each_tile_point(js, [&](const VecI&, const VecI& j) {
         for (int l = 0; l < q; ++l) {

@@ -17,6 +17,7 @@
 #include <functional>
 
 #include "runtime/data_space.hpp"
+#include "runtime/exec_policy.hpp"
 #include "tiling/interior.hpp"
 #include "tiling/tile_space.hpp"
 
@@ -43,6 +44,18 @@ class SequentialTiledExecutor {
   void set_use_fast_sweep(bool on) { use_fast_sweep_ = on; }
   bool use_fast_sweep() const { return use_fast_sweep_; }
 
+  /// Select how interior rows are driven (exec_policy.hpp): kSequential
+  /// calls compute() per point, kSimd hands whole rows to the batched
+  /// Kernel::compute_row, kThreadPool additionally fans each j'_0-plane's
+  /// independent rows across the shared pool when every TTIS dependence
+  /// advances j'_0 (degrading to the kSimd path otherwise).  Default:
+  /// $CTILE_EXEC_POLICY, else kSimd.  Bitwise-identical by contract.
+  void set_exec_policy(exec::Policy p) { policy_ = p; }
+  exec::Policy exec_policy() const { return policy_; }
+
+  /// True when the tiling admits the kThreadPool plane fan-out.
+  bool plane_parallel() const { return plane_parallel_; }
+
   /// Execute in sequential tiled order; returns the data space.
   DataSpace run() const;
 
@@ -50,6 +63,8 @@ class SequentialTiledExecutor {
   const TiledNest* tiled_;
   const Kernel* kernel_;
   TileClassifier classifier_;
+  exec::Policy policy_ = exec::policy_from_env(exec::Policy::kSimd);
+  bool plane_parallel_ = false;
   bool use_fast_sweep_ = true;
   std::function<void()> pre_run_gate_;
 };

@@ -1,0 +1,713 @@
+// Execution-policy equivalence and unit coverage (exec_policy.hpp):
+//
+//   (a) every Policy (kSequential / kSimd / kThreadPool) produces a
+//       bitwise-identical DataSpace on the paper's SOR / Jacobi / ADI
+//       configurations, across slot-tables on/off, overlap on/off and
+//       both mpisim backends, and equals the untiled sequential
+//       reference,
+//   (b) likewise on random legal tilings with a random kernel that has
+//       no compute_row override — exercising the batched path's default
+//       per-point fallback,
+//   (c) SequentialTiledExecutor under every policy, including
+//       non-integral P,
+//   (d) the Kernel::compute_row contract on synthetic rows: every alias
+//       shape (none, backward recurrence, forward) must match the
+//       per-point reference bitwise, and row_alias_distance's fast
+//       paths are exact,
+//   (e) ThreadPool semantics (named ExecPolicy.ThreadPool* so the TSan
+//       CI job can run exactly these under -fsanitize=thread),
+//   (f) memory backends: alignment, pooled reuse, the registry, the
+//       DoubleBuffer, and an executor run through the pooled backend,
+//   (g) the policy name / env-var plumbing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "apps/kernels.hpp"
+#include "deps/skew.hpp"
+#include "deps/tiling_cone.hpp"
+#include "linalg/int_matops.hpp"
+#include "linalg/rat_matops.hpp"
+#include "runtime/exec_policy.hpp"
+#include "runtime/parallel_executor.hpp"
+#include "runtime/sequential_tiled.hpp"
+#include "support/rng.hpp"
+
+namespace ctile {
+namespace {
+
+constexpr exec::Policy kAllPolicies[] = {
+    exec::Policy::kSequential, exec::Policy::kSimd,
+    exec::Policy::kThreadPool};
+
+// ---------------------------------------------------------------------
+// (a) paper-configuration policy matrix
+
+// Run `tiled` under every (policy, slot-tables, overlap, backend)
+// combination and require each result to be bitwise-identical to the
+// untiled sequential reference (which kSequential with defaults also
+// must match, so all combinations agree transitively).
+void expect_policy_matrix(const TiledNest& tiled, const Kernel& kernel,
+                          int force_m = -1) {
+  const LoopNest& nest = tiled.nest();
+  const DataSpace ref = run_sequential(nest.space, nest.deps, kernel);
+  ParallelExecutor exec(tiled, kernel, force_m);
+  for (exec::Policy p : kAllPolicies) {
+    for (bool slots : {true, false}) {
+      for (bool overlap : {true, false}) {
+        for (mpisim::Backend b :
+             {mpisim::Backend::kThread, mpisim::Backend::kEvent}) {
+          exec.set_exec_policy(p);
+          exec.set_use_slot_tables(slots);
+          exec.set_use_overlap(overlap);
+          exec.set_comm_backend(b);
+          const DataSpace got = exec.run();
+          EXPECT_EQ(DataSpace::max_abs_diff(got, ref, nest.space), 0.0)
+              << "policy=" << exec::policy_name(p) << " slots=" << slots
+              << " overlap=" << overlap
+              << " backend=" << (b == mpisim::Backend::kThread ? "thread"
+                                                               : "event");
+        }
+      }
+    }
+  }
+}
+
+TEST(ExecPolicy, MatrixSorRect) {
+  AppInstance app = make_sor(12, 24);
+  TiledNest tiled(app.nest, TilingTransform(sor_rect_h(4, 9, 6)));
+  expect_policy_matrix(tiled, *app.kernel, 2);
+}
+
+TEST(ExecPolicy, MatrixSorNonRect) {
+  AppInstance app = make_sor(12, 24);
+  TiledNest tiled(app.nest, TilingTransform(sor_nonrect_h(4, 9, 6)));
+  expect_policy_matrix(tiled, *app.kernel, 2);
+}
+
+TEST(ExecPolicy, MatrixJacobiNonRect) {
+  AppInstance app = make_jacobi(8, 16, 12);
+  TiledNest tiled(app.nest, TilingTransform(jacobi_nonrect_h(2, 4, 3)));
+  expect_policy_matrix(tiled, *app.kernel);
+}
+
+TEST(ExecPolicy, MatrixAdiAllTilings) {
+  for (const MatQ& h :
+       {adi_nr1_h(2, 4, 4), adi_nr2_h(2, 4, 4), adi_nr3_h(2, 4, 4)}) {
+    AppInstance app = make_adi(8, 8);
+    TiledNest tiled(app.nest, TilingTransform(h));
+    expect_policy_matrix(tiled, *app.kernel);
+  }
+}
+
+// ---------------------------------------------------------------------
+// (c) sequential tiled executor
+
+void expect_sequential_policies(const TiledNest& tiled,
+                                const Kernel& kernel) {
+  const LoopNest& nest = tiled.nest();
+  const DataSpace ref = run_sequential(nest.space, nest.deps, kernel);
+  SequentialTiledExecutor exec(tiled, kernel);
+  for (exec::Policy p : kAllPolicies) {
+    exec.set_exec_policy(p);
+    const DataSpace got = exec.run();
+    EXPECT_EQ(DataSpace::max_abs_diff(got, ref, nest.space), 0.0)
+        << "sequential-tiled policy " << exec::policy_name(p);
+  }
+}
+
+TEST(ExecPolicy, SequentialTiledPaperConfigs) {
+  {
+    AppInstance app = make_sor(12, 24);
+    TiledNest tiled(app.nest, TilingTransform(sor_nonrect_h(4, 9, 6)));
+    expect_sequential_policies(tiled, *app.kernel);
+  }
+  {
+    AppInstance app = make_jacobi(8, 16, 12);
+    TiledNest tiled(app.nest, TilingTransform(jacobi_nonrect_h(2, 4, 3)));
+    expect_sequential_policies(tiled, *app.kernel);
+  }
+  {
+    AppInstance app = make_adi(8, 8);
+    TiledNest tiled(app.nest, TilingTransform(adi_nr3_h(2, 4, 4)));
+    expect_sequential_policies(tiled, *app.kernel);
+  }
+}
+
+TEST(ExecPolicy, SequentialTiledNonIntegralP) {
+  // Non-integral P is outside the parallel runtime's domain but the
+  // sequential executor's policies must still agree bitwise.
+  AppInstance app = make_heat(10, 14);
+  TiledNest tiled(app.nest, TilingTransform(heat_nonrect_h(4, 3)));
+  expect_sequential_policies(tiled, *app.kernel);
+}
+
+// ---------------------------------------------------------------------
+// (b) random tilings — default compute_row fallback
+
+// Same construction as runtime_fast_sweep_test: a random affine kernel
+// whose every iteration result is unique.  Crucially it does NOT
+// override compute_row, so the kSimd/kThreadPool row path runs the base
+// class's per-point fallback — which must still be bitwise-identical.
+class RandomKernel final : public Kernel {
+ public:
+  RandomKernel(Rng& rng, int n, int q) {
+    for (int l = 0; l < q; ++l) {
+      weights_.push_back(0.1 + 0.8 / (1.0 + static_cast<double>(l)) *
+                                   rng.uniform01());
+    }
+    for (int k = 0; k < n; ++k) {
+      point_coeffs_.push_back(0.001 * static_cast<double>(rng.uniform(-5, 5)));
+      ic_coeffs_.push_back(0.01 * static_cast<double>(rng.uniform(-9, 9)));
+    }
+  }
+
+  int arity() const override { return 1; }
+
+  void compute(const VecI& j, const double* dv, double* out) const override {
+    double acc = 0.0;
+    for (std::size_t l = 0; l < weights_.size(); ++l) acc += weights_[l] * dv[l];
+    acc /= static_cast<double>(weights_.size());
+    for (std::size_t k = 0; k < point_coeffs_.size(); ++k) {
+      acc += point_coeffs_[k] * static_cast<double>(j[k]);
+    }
+    out[0] = acc;
+  }
+
+  void initial(const VecI& j, double* out) const override {
+    double acc = 1.0;
+    for (std::size_t k = 0; k < ic_coeffs_.size(); ++k) {
+      acc += ic_coeffs_[k] * static_cast<double>(j[k]);
+    }
+    out[0] = acc;
+  }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> point_coeffs_;
+  std::vector<double> ic_coeffs_;
+};
+
+VecI random_dep(Rng& rng, int n) {
+  for (;;) {
+    VecI d(static_cast<std::size_t>(n), 0);
+    for (int k = 0; k < n; ++k) {
+      d[static_cast<std::size_t>(k)] = rng.uniform(-1, 2);
+    }
+    if (lex_positive(d)) return d;
+  }
+}
+
+std::optional<TilingTransform> random_tiling(Rng& rng, int n,
+                                             const MatI& deps) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    MatI p(n, n);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) {
+        if (r == c) {
+          p(r, c) = rng.uniform(3, 6);
+        } else if (rng.chance(0.3)) {
+          p(r, c) = rng.uniform(-2, 2);
+        }
+      }
+    }
+    if (det(p) == 0) continue;
+    MatQ h = inverse(to_rat(p));
+    if (!tiling_legal(h, deps)) continue;
+    TilingTransform t(h);
+    if (!t.strides_compatible()) continue;
+    MatI dprime = mul(t.Hp(), deps);
+    bool fits = true;
+    for (int k = 0; k < n && fits; ++k) {
+      for (int l = 0; l < dprime.cols(); ++l) {
+        if (dprime(k, l) > t.v(k)) fits = false;
+      }
+    }
+    if (!fits) continue;
+    return t;
+  }
+  return std::nullopt;
+}
+
+TEST(ExecPolicy, RandomTilingsAllPoliciesBitwiseEquivalent) {
+  Rng rng(20260808);
+  int executed = 0;
+  int attempts = 0;
+  i64 interior_total = 0;
+  while (executed < 20 && attempts < 500) {
+    ++attempts;
+    const int n = static_cast<int>(rng.uniform(2, 3));
+    const int q = static_cast<int>(rng.uniform(1, 3));
+    MatI deps(n, q);
+    for (int c = 0; c < q; ++c) {
+      VecI d = random_dep(rng, n);
+      for (int r = 0; r < n; ++r) deps(r, c) = d[static_cast<std::size_t>(r)];
+    }
+    LoopNest nest;
+    try {
+      VecI lo(static_cast<std::size_t>(n)), hi(static_cast<std::size_t>(n));
+      for (int k = 0; k < n; ++k) {
+        lo[static_cast<std::size_t>(k)] = rng.uniform(-3, 3);
+        hi[static_cast<std::size_t>(k)] =
+            lo[static_cast<std::size_t>(k)] + rng.uniform(8, 16);
+      }
+      nest = make_rectangular_nest("rand", lo, hi, deps);
+    } catch (const LegalityError&) {
+      continue;
+    }
+    if (n == 2 && rng.chance(0.5)) {
+      MatI t = MatI::identity(n);
+      t(1, 0) = rng.uniform(0, 2);
+      try {
+        nest = skew(nest, t);
+      } catch (const LegalityError&) {
+        continue;
+      }
+    }
+    std::optional<TilingTransform> tiling = random_tiling(rng, n, nest.deps);
+    if (!tiling) continue;
+    RandomKernel kernel(rng, n, q);
+    TiledNest tiled(nest, std::move(*tiling));
+    const DataSpace ref = run_sequential(nest.space, nest.deps, kernel);
+    ParallelExecutor exec(tiled, kernel);
+    for (exec::Policy p : kAllPolicies) {
+      exec.set_exec_policy(p);
+      const DataSpace got = exec.run();
+      EXPECT_EQ(DataSpace::max_abs_diff(got, ref, nest.space), 0.0)
+          << "random instance " << executed << " policy "
+          << exec::policy_name(p) << "\nH =\n"
+          << tiled.transform().H().to_string();
+    }
+    SequentialTiledExecutor seq_exec(tiled, kernel);
+    for (exec::Policy p : kAllPolicies) {
+      seq_exec.set_exec_policy(p);
+      const DataSpace got = seq_exec.run();
+      EXPECT_EQ(DataSpace::max_abs_diff(got, ref, nest.space), 0.0)
+          << "random instance " << executed << " sequential-tiled policy "
+          << exec::policy_name(p);
+    }
+    interior_total += exec.classifier().num_interior();
+    ++executed;
+  }
+  EXPECT_GE(executed, 20) << "random generator starved (" << attempts
+                          << " attempts)";
+  EXPECT_GT(interior_total, 0) << "no interior tiles across any instance: "
+                                  "the batched row path was never exercised";
+}
+
+// ---------------------------------------------------------------------
+// (d) compute_row contract on synthetic rows
+
+// Run `k.compute_row` and the base-class per-point fallback (the
+// contract's reference semantics: re-read dependences each point, so an
+// aliased dependence observes just-written values) on copies of the same
+// row, and require bitwise-identical output.  `dep_off[l]` positions
+// dependence l's base pointer relative to the output base, in doubles.
+void expect_row_matches_reference(const Kernel& k, i64 count, i64 stride,
+                                  const std::vector<i64>& dep_off) {
+  const int q = static_cast<int>(dep_off.size());
+  // One backing array holds everything: slot 0.. for out and any alias,
+  // plus a disjoint region beyond the row for non-aliased dependences.
+  const std::size_t total = static_cast<std::size_t>((count + 8) * stride) +
+                            256;
+  std::vector<double> batched(total), reference(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    batched[i] = 1.0 + 0.001 * static_cast<double>(i % 97);
+    reference[i] = batched[i];
+  }
+  const i64 out_base = 128;  // leaves room for backward aliases
+  const VecI j0(3, 0);
+  const VecI jstep = {0, 0, 1};
+  auto run = [&](std::vector<double>& a, bool base_class) {
+    std::vector<const double*> depp(static_cast<std::size_t>(q));
+    for (int l = 0; l < q; ++l) {
+      depp[static_cast<std::size_t>(l)] =
+          a.data() + out_base + dep_off[static_cast<std::size_t>(l)];
+    }
+    double* out = a.data() + out_base;
+    if (base_class) {
+      k.Kernel::compute_row(j0, jstep, count, depp.data(), q, stride, out,
+                            stride);
+    } else {
+      k.compute_row(j0, jstep, count, depp.data(), q, stride, out, stride);
+    }
+  };
+  run(batched, false);
+  run(reference, true);
+  EXPECT_EQ(batched, reference)
+      << "compute_row diverged from the per-point reference (count="
+      << count << " stride=" << stride << ")";
+}
+
+TEST(ExecPolicy, ComputeRowSorAliasShapes) {
+  AppInstance app = make_sor(8, 8);
+  const Kernel& k = *app.kernel;  // q = 5, dep 1 is the in-row slot
+  // No alias: all five dependences in the disjoint region past the row.
+  expect_row_matches_reference(k, 16, 3, {60, 64, 68, 72, 76});
+  // Backward alias m=1 on dep 1: the hand-written register-carried
+  // recurrence chain must equal re-reading out[-stride] every point.
+  expect_row_matches_reference(k, 16, 3, {60, -3, 68, 72, 76});
+  // Backward alias m=2 (pointer-read chain, not the register carry).
+  expect_row_matches_reference(k, 16, 3, {60, -6, 68, 72, 76});
+  // Forward alias on dep 1 forces the per-point fallback; still bitwise.
+  expect_row_matches_reference(k, 16, 3, {60, 3, 68, 72, 76});
+  // Alias on a non-recurrence slot (dep 0) also forces the fallback.
+  expect_row_matches_reference(k, 16, 3, {-3, 60, 68, 72, 76});
+  // Unit stride, longer row.
+  expect_row_matches_reference(k, 40, 1, {80, -1, 96, 104, 112});
+}
+
+TEST(ExecPolicy, ComputeRowJacobiNoAlias) {
+  AppInstance app = make_jacobi(6, 8, 8);
+  expect_row_matches_reference(*app.kernel, 24, 2, {64, 70, 76, 82, 88});
+}
+
+TEST(ExecPolicy, RowAliasDistance) {
+  std::vector<double> a(256, 0.0);
+  const double* base = a.data() + 128;
+  auto dist = [&](i64 dep_off, i64 stride, i64 count) {
+    return Kernel::row_alias_distance(base + dep_off, base, stride, count);
+  };
+  // Zero stride or identical pointers never alias.
+  EXPECT_EQ(dist(0, 3, 10), 0);
+  EXPECT_EQ(dist(5, 0, 10), 0);
+  // Backward alias: dep = out - m*stride.
+  EXPECT_EQ(dist(-3, 3, 10), 1);   // the |m|==1 divisionless fast path
+  EXPECT_EQ(dist(-6, 3, 10), 2);
+  EXPECT_EQ(dist(-27, 3, 10), 9);
+  // Forward alias is negative m.
+  EXPECT_EQ(dist(3, 3, 10), -1);
+  EXPECT_EQ(dist(12, 3, 10), -4);
+  // Negative stride mirrors the signs.
+  EXPECT_EQ(dist(3, -3, 10), 1);
+  EXPECT_EQ(dist(-3, -3, 10), -1);
+  EXPECT_EQ(dist(6, -3, 10), 2);
+  // Magnitude early-out: at or beyond the row span there is no alias,
+  // even when the offset divides evenly.
+  EXPECT_EQ(dist(-30, 3, 10), 0);
+  EXPECT_EQ(dist(-33, 3, 10), 0);
+  EXPECT_EQ(dist(30, 3, 10), 0);
+  // Non-multiples inside the span do not alias any row point.
+  EXPECT_EQ(dist(-4, 3, 10), 0);
+  EXPECT_EQ(dist(7, 3, 10), 0);
+}
+
+// ---------------------------------------------------------------------
+// (e) thread pool — ExecPolicy.ThreadPool* is the TSan CI filter
+
+TEST(ExecPolicy, ThreadPoolRunsEveryIndexOnce) {
+  exec::ThreadPool pool(3);
+  EXPECT_EQ(pool.workers(), 3);
+  const i64 n = 10000;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  pool.parallel_for(n, [&](i64 i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1,
+                                                std::memory_order_relaxed);
+  });
+  for (i64 i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ExecPolicy, ThreadPoolZeroWorkersAndTrivialSizes) {
+  // A zero-worker pool still makes progress: the caller participates.
+  exec::ThreadPool pool(0);
+  std::atomic<i64> sum{0};
+  pool.parallel_for(5, [&](i64 i) { sum += i; });
+  EXPECT_EQ(sum.load(), 10);
+  pool.parallel_for(0, [&](i64) { ADD_FAILURE() << "n=0 must not call fn"; });
+  std::atomic<int> ones{0};
+  pool.parallel_for(1, [&](i64 i) {
+    EXPECT_EQ(i, 0);
+    ++ones;
+  });
+  EXPECT_EQ(ones.load(), 1);
+}
+
+TEST(ExecPolicy, ThreadPoolExceptionPropagatesAndPoolSurvives) {
+  exec::ThreadPool pool(2);
+  std::atomic<i64> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](i64 i) {
+                          ++ran;
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Remaining indices still execute (the contract), and the pool is
+  // reusable afterwards.
+  EXPECT_EQ(ran.load(), 100);
+  std::atomic<i64> sum{0};
+  pool.parallel_for(10, [&](i64 i) { sum += i; });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ExecPolicy, ThreadPoolConcurrentSubmitters) {
+  // Multiple rank threads drive the shared pool concurrently in the
+  // executor; model that directly.
+  exec::ThreadPool pool(2);
+  constexpr int kSubmitters = 4;
+  const i64 n = 2000;
+  std::vector<std::vector<std::atomic<int>>> hits(kSubmitters);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<int>>(static_cast<std::size_t>(n));
+  }
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      pool.parallel_for(n, [&, s](i64 i) {
+        hits[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)]
+            .fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (int s = 0; s < kSubmitters; ++s) {
+    for (i64 i = 0; i < n; ++i) {
+      EXPECT_EQ(
+          hits[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)]
+              .load(),
+          1)
+          << "submitter " << s << " index " << i;
+    }
+  }
+}
+
+TEST(ExecPolicy, ThreadPoolPlaneParallelExecutorGenuinelyFansOut) {
+  // The paper's SOR/Jacobi/ADI tilings are NOT plane-parallel (their
+  // TTIS dependences have zero first components), so kThreadPool
+  // degrades to the kSimd path there.  Build a nest that IS: every
+  // dependence advances dimension 0 and the tile extent there is 1, so
+  // every TTIS dependence has d'_0 >= 1 and the rows of a j'_0-plane are
+  // independent.  This is the test that actually exercises the pooled
+  // sweep under TSan.
+  const int n = 2;
+  MatI deps(n, 2);
+  deps(0, 0) = 1;
+  deps(1, 0) = 0;  // (1, 0)
+  deps(0, 1) = 1;
+  deps(1, 1) = 1;  // (1, 1)
+  LoopNest nest = make_rectangular_nest("pp", VecI{0, 0}, VecI{14, 20}, deps);
+  MatI p(n, n);
+  p(0, 0) = 1;
+  p(1, 1) = 6;
+  TiledNest tiled(nest, TilingTransform(inverse(to_rat(p))));
+  Rng rng(7);
+  RandomKernel kernel(rng, n, 2);
+  ParallelExecutor exec(tiled, kernel);
+  ASSERT_TRUE(exec.plane_parallel())
+      << "test construction no longer yields a plane-parallel tiling";
+  exec.set_exec_policy(exec::Policy::kSequential);
+  const DataSpace ref = exec.run();
+  exec.set_exec_policy(exec::Policy::kThreadPool);
+  const DataSpace got = exec.run();
+  EXPECT_EQ(DataSpace::max_abs_diff(got, ref, nest.space), 0.0);
+  EXPECT_EQ(DataSpace::max_abs_diff(
+                ref, run_sequential(nest.space, nest.deps, kernel),
+                nest.space),
+            0.0);
+}
+
+TEST(ExecPolicy, ThreadPoolPolicyOnPaperConfig) {
+  // Degradation case under TSan: plane_parallel() false, kThreadPool
+  // must take the kSimd path and still match.
+  AppInstance app = make_sor(12, 24);
+  TiledNest tiled(app.nest, TilingTransform(sor_rect_h(4, 9, 6)));
+  ParallelExecutor exec(tiled, *app.kernel, 2);
+  EXPECT_FALSE(exec.plane_parallel());
+  exec.set_exec_policy(exec::Policy::kSequential);
+  const DataSpace ref = exec.run();
+  exec.set_exec_policy(exec::Policy::kThreadPool);
+  const DataSpace got = exec.run();
+  EXPECT_EQ(DataSpace::max_abs_diff(got, ref, app.nest.space), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// (f) memory backends
+
+TEST(ExecPolicy, BackendsReturnAlignedWritableBlocks) {
+  for (exec::MemoryBackend* b :
+       {&exec::aligned_backend(), &exec::pooled_backend()}) {
+    for (std::size_t bytes : {8u, 64u, 100u, 4096u, 1u << 16}) {
+      void* p = b->allocate(bytes);
+      ASSERT_NE(p, nullptr) << b->name();
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % exec::kLdsAlignment, 0u)
+          << b->name() << " " << bytes;
+      std::memset(p, 0xAB, bytes);
+      b->deallocate(p, bytes);
+    }
+  }
+}
+
+TEST(ExecPolicy, PooledBackendRecyclesBlocks) {
+  exec::MemoryBackend& pool = exec::pooled_backend();
+  void* a = pool.allocate(1024);
+  std::memset(a, 0, 1024);
+  pool.deallocate(a, 1024);
+  // Steady state: an equal-sized reallocation is a free-list pop of the
+  // exact block just returned.
+  void* b = pool.allocate(1024);
+  EXPECT_EQ(a, b);
+  pool.deallocate(b, 1024);
+}
+
+class CountingBackend final : public exec::MemoryBackend {
+ public:
+  void* allocate(std::size_t bytes) override {
+    ++allocs;
+    return exec::aligned_backend().allocate(bytes);
+  }
+  void deallocate(void* p, std::size_t bytes) override {
+    ++frees;
+    exec::aligned_backend().deallocate(p, bytes);
+  }
+  const char* name() const override { return "counting-test"; }
+  int allocs = 0;
+  int frees = 0;
+};
+
+TEST(ExecPolicy, BackendRegistryFindsBuiltinsAndRegistered) {
+  EXPECT_EQ(exec::find_memory_backend("aligned"), &exec::aligned_backend());
+  EXPECT_EQ(exec::find_memory_backend("pooled"), &exec::pooled_backend());
+  EXPECT_EQ(exec::find_memory_backend("no-such-backend"), nullptr);
+  static CountingBackend counting;  // registry requires static lifetime
+  exec::register_memory_backend(&counting);
+  EXPECT_EQ(exec::find_memory_backend("counting-test"), &counting);
+}
+
+TEST(ExecPolicy, DoubleBufferAssignGrowAndMove) {
+  CountingBackend counting;
+  {
+    exec::DoubleBuffer buf(&counting);
+    EXPECT_TRUE(buf.empty());
+    buf.assign(100, 1.5);
+    ASSERT_EQ(buf.size(), 100u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) %
+                  exec::kLdsAlignment,
+              0u);
+    for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(buf[i], 1.5);
+    // Shrinking reuses capacity: no new allocation.
+    const int allocs_before = counting.allocs;
+    double* data_before = buf.data();
+    buf.assign(50, 2.0);
+    EXPECT_EQ(counting.allocs, allocs_before);
+    EXPECT_EQ(buf.data(), data_before);
+    ASSERT_EQ(buf.size(), 50u);
+    for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(buf[i], 2.0);
+    // Growing reallocates and refills.
+    buf.assign(200, 3.0);
+    ASSERT_EQ(buf.size(), 200u);
+    for (std::size_t i = 0; i < 200; ++i) EXPECT_EQ(buf[i], 3.0);
+    // Move steals storage without a fresh allocation.
+    const int allocs_after_grow = counting.allocs;
+    exec::DoubleBuffer moved(std::move(buf));
+    EXPECT_EQ(counting.allocs, allocs_after_grow);
+    ASSERT_EQ(moved.size(), 200u);
+    EXPECT_EQ(moved[199], 3.0);
+  }
+  EXPECT_EQ(counting.allocs, counting.frees)
+      << "DoubleBuffer leaked through its backend";
+}
+
+TEST(ExecPolicy, ExecutorThroughPooledBackendMatches) {
+  AppInstance app = make_jacobi(8, 16, 12);
+  TiledNest tiled(app.nest, TilingTransform(jacobi_nonrect_h(2, 4, 3)));
+  ParallelExecutor exec(tiled, *app.kernel);
+  const DataSpace ref = exec.run();
+  exec.set_memory_backend(&exec::pooled_backend());
+  const DataSpace pooled1 = exec.run();
+  const DataSpace pooled2 = exec.run();  // second run hits the free lists
+  EXPECT_EQ(DataSpace::max_abs_diff(pooled1, ref, app.nest.space), 0.0);
+  EXPECT_EQ(DataSpace::max_abs_diff(pooled2, ref, app.nest.space), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// policy-lifted copy loops
+
+TEST(ExecPolicy, CopyLoopsMatchScalarReference) {
+  const int arity = 2;
+  const i64 la_slots = 64;
+  std::vector<double> la(static_cast<std::size_t>(la_slots * arity));
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    la[i] = 0.25 * static_cast<double>(i) - 3.0;
+  }
+  const std::vector<i64> slots = {3, 7, 8, 21, 40, 59};
+  const i64 off = 2;
+  for (exec::Policy p : kAllPolicies) {
+    std::vector<double> packed(slots.size() * arity, 0.0);
+    exec::gather_slots(p, la.data(), la_slots, slots, off, arity,
+                       packed.data());
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      for (int v = 0; v < arity; ++v) {
+        EXPECT_EQ(packed[i * arity + static_cast<std::size_t>(v)],
+                  la[static_cast<std::size_t>((slots[i] + off) * arity + v)])
+            << exec::policy_name(p);
+      }
+    }
+    std::vector<double> la2(la.size(), 0.0);
+    exec::scatter_slots(p, la2.data(), la_slots, slots, off, arity,
+                        packed.data());
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      for (int v = 0; v < arity; ++v) {
+        EXPECT_EQ(la2[static_cast<std::size_t>((slots[i] + off) * arity + v)],
+                  la[static_cast<std::size_t>((slots[i] + off) * arity + v)]);
+      }
+    }
+    std::vector<double> dst(3 * 10 * arity, 0.0);
+    exec::copy_row(p, la.data(), 4, dst.data(), 6, 10, arity);
+    for (i64 i = 0; i < 10; ++i) {
+      for (int v = 0; v < arity; ++v) {
+        EXPECT_EQ(dst[static_cast<std::size_t>(i * 6 + v)],
+                  la[static_cast<std::size_t>(i * 4 + v)]);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// (g) names and environment plumbing
+
+TEST(ExecPolicy, PolicyNamesRoundTrip) {
+  for (exec::Policy p : kAllPolicies) {
+    exec::Policy parsed;
+    ASSERT_TRUE(exec::policy_from_name(exec::policy_name(p), &parsed))
+        << exec::policy_name(p);
+    EXPECT_EQ(parsed, p);
+  }
+  exec::Policy ignored;
+  EXPECT_FALSE(exec::policy_from_name("vector-of-doom", &ignored));
+  EXPECT_FALSE(exec::policy_from_name("", &ignored));
+}
+
+TEST(ExecPolicy, PolicyFromEnvSelectsAndValidates) {
+  ASSERT_EQ(unsetenv("CTILE_EXEC_POLICY"), 0);
+  EXPECT_EQ(exec::policy_from_env(exec::Policy::kSimd),
+            exec::Policy::kSimd);
+  ASSERT_EQ(setenv("CTILE_EXEC_POLICY", "sequential", 1), 0);
+  EXPECT_EQ(exec::policy_from_env(exec::Policy::kSimd),
+            exec::Policy::kSequential);
+  ASSERT_EQ(setenv("CTILE_EXEC_POLICY", "threadpool", 1), 0);
+  EXPECT_EQ(exec::policy_from_env(exec::Policy::kSimd),
+            exec::Policy::kThreadPool);
+  // Executors pick the env policy up at construction.
+  {
+    AppInstance app = make_sor(12, 24);
+    TiledNest tiled(app.nest, TilingTransform(sor_rect_h(4, 9, 6)));
+    ParallelExecutor exec(tiled, *app.kernel, 2);
+    EXPECT_EQ(exec.exec_policy(), exec::Policy::kThreadPool);
+    SequentialTiledExecutor seq(tiled, *app.kernel);
+    EXPECT_EQ(seq.exec_policy(), exec::Policy::kThreadPool);
+  }
+  ASSERT_EQ(setenv("CTILE_EXEC_POLICY", "warp-drive", 1), 0);
+  EXPECT_THROW(exec::policy_from_env(exec::Policy::kSimd), Error);
+  ASSERT_EQ(unsetenv("CTILE_EXEC_POLICY"), 0);
+}
+
+}  // namespace
+}  // namespace ctile

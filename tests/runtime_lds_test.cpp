@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "apps/kernels.hpp"
@@ -140,6 +141,36 @@ TEST(Lds, HaloAndComputeRegionsDisjoint) {
     VecI jpp = lds.map(jp, 0);
     EXPECT_FALSE(lds.is_compute_slot(jpp));
   }
+}
+
+TEST(Lds, SlotAtFastPathArithmetic) {
+  // slot_at is the fast paths' base + precomputed-delta arithmetic.  In
+  // release it is a plain add — transiently out-of-window sums are legal
+  // for a base the caller then offsets back in range — while under
+  // CTILE_CHECKED_LDS the sum is overflow-checked and bounds-asserted
+  // (satellite of DESIGN.md §8 / ctile-verify rule V2).
+  TiledNest tiled = sor_tiled(6, 8, 3, 4, 5);
+  Mapping mapping(tiled);
+  LdsLayout lds(tiled, mapping);
+  ASSERT_GT(lds.size(), 2);
+  EXPECT_EQ(lds.slot_at(0, 1), 1);
+  EXPECT_EQ(lds.slot_at(1, -1), 0);
+  EXPECT_EQ(lds.slot_at(lds.size() - 2, 1), lds.size() - 1);
+#if defined(CTILE_CHECKED_LDS)
+  // Overflow in the sum throws before the bounds assert can misfire on
+  // a wrapped value.
+  EXPECT_THROW(lds.slot_at(std::numeric_limits<i64>::max(), 1),
+               OverflowError);
+  // Out-of-window sums abort (CTILE_ASSERT_MSG), which gtest observes
+  // as death.
+  EXPECT_DEATH(lds.slot_at(3, -5), "LDS slot outside the window array");
+  EXPECT_DEATH(lds.slot_at(lds.size() - 1, 1),
+               "LDS slot outside the window array");
+#else
+  // Release: the raw add, including transiently negative results.
+  EXPECT_EQ(lds.slot_at(3, -5), -2);
+  EXPECT_EQ(lds.slot_at(lds.size() - 1, 2), lds.size() + 1);
+#endif
 }
 
 TEST(Lds, ChainContiguityInM) {
