@@ -1,5 +1,6 @@
 #include "bench_util.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
@@ -86,6 +87,37 @@ double improvement_pct(double a, double b) {
 
 namespace {
 
+// Percentile of an already-sorted sample (linear interpolation between
+// closest ranks).
+double percentile_sorted(const std::vector<double>& xs, double p) {
+  CTILE_ASSERT_MSG(!xs.empty(), "percentile of an empty sample");
+  CTILE_ASSERT(p >= 0.0 && p <= 100.0);
+  if (xs.size() == 1) return xs.front();
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= xs.size()) return xs.back();
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[lo + 1] - xs[lo]);
+}
+
+}  // namespace
+
+double percentile(std::vector<double> xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  return percentile_sorted(xs, p);
+}
+
+Percentiles percentiles_of(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  Percentiles out;
+  out.p50 = percentile_sorted(xs, 50.0);
+  out.p95 = percentile_sorted(xs, 95.0);
+  out.p99 = percentile_sorted(xs, 99.0);
+  return out;
+}
+
+namespace {
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -162,6 +194,82 @@ bool JsonReport::write(const std::string& path) const {
   std::fclose(f);
   if (!ok) {
     std::fprintf(stderr, "JsonReport: short write to %s\n", path.c_str());
+  }
+  return ok;
+}
+
+namespace {
+
+// Shared row renderer for JsonReport rows and JsonArray items.
+std::string render_object(
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  std::string out = "{";
+  for (std::size_t f = 0; f < fields.size(); ++f) {
+    if (f > 0) out += ", ";
+    out += "\"" + json_escape(fields[f].first) + "\": " + fields[f].second;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+void JsonArray::begin_item() { items_.emplace_back(); }
+
+void JsonArray::field(const std::string& key, const std::string& value) {
+  CTILE_ASSERT_MSG(!items_.empty(), "JsonArray::field before begin_item");
+  items_.back().emplace_back(key, "\"" + json_escape(value) + "\"");
+}
+
+void JsonArray::field(const std::string& key, const char* value) {
+  field(key, std::string(value));
+}
+
+void JsonArray::field(const std::string& key, double value) {
+  CTILE_ASSERT_MSG(!items_.empty(), "JsonArray::field before begin_item");
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  items_.back().emplace_back(key, buf);
+}
+
+void JsonArray::field(const std::string& key, i64 value) {
+  CTILE_ASSERT_MSG(!items_.empty(), "JsonArray::field before begin_item");
+  items_.back().emplace_back(key, std::to_string(value));
+}
+
+void JsonArray::field(const std::string& key, bool value) {
+  CTILE_ASSERT_MSG(!items_.empty(), "JsonArray::field before begin_item");
+  items_.back().emplace_back(key, value ? "true" : "false");
+}
+
+std::string JsonArray::to_string() const {
+  std::string out = "[";
+  for (std::size_t r = 0; r < items_.size(); ++r) {
+    out += r == 0 ? "\n  " : ",\n  ";
+    out += render_object(items_[r]);
+  }
+  out += items_.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+std::string JsonArray::item_to_string() const {
+  CTILE_ASSERT_MSG(!items_.empty(), "JsonArray::item_to_string on empty");
+  return render_object(items_.back());
+}
+
+bool JsonArray::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "JsonArray: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string body = to_string();
+  const bool ok =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok) {
+    std::fprintf(stderr, "JsonArray: short write to %s\n", path.c_str());
   }
   return ok;
 }

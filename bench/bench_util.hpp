@@ -66,6 +66,21 @@ void print_row(const std::vector<std::string>& cells,
 /// Percentage improvement of b over a.
 double improvement_pct(double a, double b);
 
+/// The p-th percentile (p in [0, 100]) of `xs` by linear interpolation
+/// between closest ranks (the numpy default).  Sorts a copy; throws on an
+/// empty sample.
+double percentile(std::vector<double> xs, double p);
+
+/// The latency summary ctile_pland and the plan-cache bench report.
+struct Percentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// p50/p95/p99 of `xs` with a single sort.  Throws on an empty sample.
+Percentiles percentiles_of(std::vector<double> xs);
+
 /// Minimal machine-readable bench output: a named report holding rows of
 /// key/value fields, serialized as {"name": ..., "rows": [{...}, ...]}.
 /// No external JSON dependency; values are rendered eagerly so rows can
@@ -91,6 +106,35 @@ class JsonReport {
   std::string name_;
   // Each row is a list of (key, pre-rendered JSON value) pairs.
   std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
+/// A bare JSON array of flat objects — the row emitter behind
+/// ctile_pland's per-request response stream and ad-hoc result lists
+/// where JsonReport's named envelope is unwanted.  Same no-dependency,
+/// render-eagerly design as JsonReport.
+class JsonArray {
+ public:
+  /// Start a new element; subsequent field() calls append to it.
+  void begin_item();
+  void field(const std::string& key, const std::string& value);
+  void field(const std::string& key, const char* value);
+  void field(const std::string& key, double value);
+  void field(const std::string& key, i64 value);
+  void field(const std::string& key, bool value);
+
+  std::size_t size() const { return items_.size(); }
+
+  /// The whole array, e.g. `[\n  {...},\n  {...}\n]\n`.
+  std::string to_string() const;
+  /// The most recently begun item alone, e.g. `{...}` (streaming use).
+  std::string item_to_string() const;
+
+  /// Serialize to `path`; returns false (after printing to stderr) on
+  /// I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  std::vector<std::vector<std::pair<std::string, std::string>>> items_;
 };
 
 /// The value following a "--json" flag in argv, or `fallback` when the

@@ -1,0 +1,97 @@
+// Micro-benchmark for the content-addressed PlanCache: on the paper's
+// Figure 6/8/10 tile configurations, time
+//
+//   (a) the cold path: a full CompiledPlan::compile_parallel lowering
+//       (census, mapping, LDS layouts, comm plan, slot tables,
+//       classifier, band split, hoisted row plans), and
+//   (b) the warm path: key construction + PlanCache hit returning the
+//       shared immutable plan.
+//
+// The warm hit must be at least 10x faster than the cold lowering on
+// every configuration — that is the amortization the plan-compiler-as-
+// a-service story rests on — and the process exits nonzero if it is
+// not, so this bench doubles as a perf regression check in CI.
+//
+// It also proves the cache is semantically free: an executor adopting
+// the cached plan must produce a data space bitwise identical to one
+// lowered cold from the same (nest, H, knobs).
+//
+// Emits BENCH_plan_cache.json (override with --json PATH).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "runtime/parallel_executor.hpp"
+#include "runtime/plan_cache.hpp"
+#include "sweep_setup.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ctile;
+
+  const std::string json_path =
+      bench::json_path_from_args(argc, argv, "BENCH_plan_cache.json");
+  bench::JsonReport report("plan_cache");
+
+  std::printf("%-22s %12s %12s %9s %9s\n", "config", "cold (us)",
+              "warm (us)", "speedup", "max|diff|");
+  bool all_ok = true;
+  for (const bench::SweepConfig& cfg : bench::paper_sweep_configs()) {
+    LoweringKnobs knobs;
+    knobs.force_m = cfg.force_m;
+
+    // (a) Cold: the full lowering, timed end to end (key construction
+    // included — the service pays it on misses too).
+    std::shared_ptr<const CompiledPlan> cold_plan;
+    const double cold_s = bench::time_best_of(3, 1, [&] {
+      const PlanKey key = make_plan_key(cfg.app.nest, cfg.h,
+                                        CompiledPlan::Kind::kParallel, knobs);
+      (void)key;
+      cold_plan = CompiledPlan::compile_parallel(cfg.app.nest, cfg.h, knobs);
+    });
+
+    // (b) Warm: the same request answered by the cache.
+    PlanCache cache;
+    bool was_hit = false;
+    std::shared_ptr<const CompiledPlan> warm_plan =
+        cache.parallel_plan(cfg.app.nest, cfg.h, knobs, &was_hit);
+    CTILE_ASSERT_MSG(!was_hit, "first request must be a miss");
+    const double warm_s = bench::time_best_of(5, 100, [&] {
+      warm_plan = cache.parallel_plan(cfg.app.nest, cfg.h, knobs, &was_hit);
+    });
+    CTILE_ASSERT_MSG(was_hit, "repeat request must be a hit");
+
+    // Bitwise equivalence: cached plan vs cold-built lowering.
+    ParallelExecutor cold_exec(cold_plan, *cfg.app.kernel);
+    ParallelExecutor warm_exec(warm_plan, *cfg.app.kernel);
+    const DataSpace a = cold_exec.run();
+    const DataSpace b = warm_exec.run();
+    const double diff =
+        DataSpace::max_abs_diff(a, b, cfg.app.nest.space);
+
+    const double speedup = cold_s / warm_s;
+    std::printf("%-22s %12.3f %12.3f %8.1fx %9.2g\n", cfg.name.c_str(),
+                cold_s * 1e6, warm_s * 1e6, speedup, diff);
+    report.begin_row();
+    report.field("config", cfg.name);
+    report.field("cold_us", cold_s * 1e6);
+    report.field("warm_us", warm_s * 1e6);
+    report.field("speedup", speedup);
+    report.field("max_abs_diff", diff);
+    if (speedup < 10.0) {
+      std::printf("FAIL: %s warm hit only %.1fx faster (need >= 10x)\n",
+                  cfg.name.c_str(), speedup);
+      all_ok = false;
+    }
+    if (diff != 0.0) {
+      std::printf("FAIL: %s cached plan not bitwise-equal to cold build\n",
+                  cfg.name.c_str());
+      all_ok = false;
+    }
+  }
+
+  if (!report.write(json_path)) return 1;
+  if (!all_ok) return 1;
+  std::printf("OK: warm hits >= 10x faster and bitwise-clean everywhere\n");
+  return 0;
+}

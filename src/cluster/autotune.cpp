@@ -15,17 +15,31 @@ AutotuneResult autotune_tile_size(const LoopNest& nest,
   }
   AutotuneResult result;
   bool found = false;
+  // Candidate lowerings run through the PlanCache: a factor already
+  // lowered — by a previous query, a duplicate candidate, or an executor
+  // — reuses its census/mapping/LDS/comm plan instead of rebuilding.
+  PlanCache& cache =
+      request.cache != nullptr ? *request.cache : global_plan_cache();
+  LoweringKnobs knobs;
+  knobs.force_m = request.force_m;
+  knobs.census_from_box = true;  // the autotune census path (from_box)
+  knobs.orig_lo = request.orig_lo;
+  knobs.orig_hi = request.orig_hi;
+  knobs.skew = request.skew;
   for (i64 factor : candidates) {
     try {
-      TiledNest tiled(nest, TilingTransform(request.tiling_for(factor)));
-      TileCensus census = TileCensus::from_box(
-          tiled, request.orig_lo, request.orig_hi, request.skew);
-      Mapping mapping(tiled, request.force_m, &census);
-      LdsLayout lds(tiled, mapping);
-      CommPlan plan(tiled, mapping, lds);
-      SimResult sim =
-          simulate_cluster(tiled, mapping, lds, plan, census, machine,
-                           request.arity, request.schedule);
+      bool was_hit = false;
+      std::shared_ptr<const CompiledPlan> plan =
+          cache.parallel_plan(nest, request.tiling_for(factor), knobs,
+                              &was_hit);
+      if (was_hit) {
+        result.cache_hits += 1;
+      } else {
+        result.cache_misses += 1;
+      }
+      SimResult sim = simulate_cluster(
+          plan->tiled(), plan->mapping(), plan->lds(), plan->comm_plan(),
+          plan->census(), machine, request.arity, request.schedule);
       result.evaluated.emplace_back(factor, sim);
       if (!found || sim.makespan < result.best.makespan) {
         result.best = sim;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cluster/simulator.hpp"
+#include "runtime/plan_cache.hpp"
 
 namespace ctile {
 
@@ -31,6 +32,11 @@ struct AutotuneRequest {
   VecI orig_lo;
   VecI orig_hi;
   MatI skew;
+  /// PlanCache candidate lowerings go through (nullptr = the process-wide
+  /// global_plan_cache()), so repeated queries — and candidates shared
+  /// between queries — reuse the census/mapping/LDS/comm-plan lowering
+  /// instead of rebuilding it.
+  PlanCache* cache = nullptr;
 };
 
 struct AutotuneResult {
@@ -38,6 +44,11 @@ struct AutotuneResult {
   SimResult best;
   /// Every evaluated (factor, result) pair, in evaluation order.
   std::vector<std::pair<i64, SimResult>> evaluated;
+  /// PlanCache traffic of this query's candidate lowerings: misses are
+  /// candidates lowered cold here, hits were served from prior queries
+  /// (or duplicates in the candidate list).
+  i64 cache_hits = 0;
+  i64 cache_misses = 0;
 };
 
 /// Evaluate all candidates for `nest`; skips candidates whose tiling is

@@ -1,0 +1,288 @@
+#include "runtime/compiled_plan.hpp"
+
+#include <chrono>
+
+#include "linalg/int_matops.hpp"
+
+namespace ctile {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Tiny phase stopwatch: seconds since construction.
+struct Timer {
+  Clock::time_point start = Clock::now();
+  double operator()() const {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  }
+};
+
+std::vector<TtisRegion> pack_regions_of(const CommPlan& plan) {
+  std::vector<TtisRegion> regions;
+  regions.reserve(plan.directions().size());
+  for (const auto& dir : plan.directions()) regions.push_back(dir.pack);
+  return regions;
+}
+
+// Any valid tile index.  point_of is only guaranteed integral at real
+// tiles, so the row plan's j_rel differences are probed through one.
+VecI first_valid_tile(const Mapping& mapping) {
+  for (int rank = 0; rank < mapping.num_procs(); ++rank) {
+    const VecI pid = mapping.pid_of(rank);
+    const IntRange window = mapping.chain_window(pid);
+    for (i64 t = window.lo; t <= window.hi; ++t) {
+      const VecI js = mapping.tile_at(pid, t);
+      if (mapping.valid(js)) return js;
+    }
+  }
+  CTILE_ASSERT_MSG(false, "mapping holds no valid tile");
+  return VecI{};
+}
+
+}  // namespace
+
+void PlanPhaseTimes::accumulate(const PlanPhaseTimes& o) {
+  tile_space_s += o.tile_space_s;
+  census_s += o.census_s;
+  mapping_s += o.mapping_s;
+  lds_s += o.lds_s;
+  comm_plan_s += o.comm_plan_s;
+  classifier_s += o.classifier_s;
+  band_s += o.band_s;
+  locals_s += o.locals_s;
+  total_s += o.total_s;
+}
+
+/// The parallel lowering, grouped so sequential plans pay nothing for
+/// it.  Members are optionals emplaced one phase at a time (they have no
+/// default constructors and each phase is timed); the struct lives on
+/// the heap so every cross-pointer (census inside mapping, mapping/LDS
+/// inside the comm plan) stays stable for the plan's lifetime.
+struct CompiledPlan::ParallelArtifacts {
+  std::optional<TileCensus> census;
+  std::optional<Mapping> mapping;
+  std::optional<LdsLayout> lds;
+  std::optional<CommPlan> plan;
+  std::vector<TtisRegion> pack_regions;
+  std::optional<BandSplit> band;
+  std::map<i64, std::unique_ptr<RankLocal>> locals;  // by window length
+};
+
+CompiledPlan::RankLocal::RankLocal(const TiledNest& tiled,
+                                   const Mapping& mapping,
+                                   const CommPlan& plan, i64 chain_len)
+    : layout(tiled, mapping, chain_len),
+      slots(plan, tiled.transform(), layout) {
+  const TilingTransform& tf = tiled.transform();
+  const MatI dprime = tiled.ttis_deps();
+  const int q = dprime.cols();
+  const int n = tiled.nest().depth;
+  // j_rel is tile-invariant (point_of(js, a) - point_of(js, b) =
+  // P'(a - b) for any js), so probe through one valid tile.
+  const VecI js = first_valid_tile(mapping);
+  VecI j_front;
+  for (TtisRowWalker row(tf, full_ttis_region(tf)); row.valid(); row.next()) {
+    const VecI& jp0 = row.row_start();
+    VecI j_rel = tf.point_of(js, jp0);
+    if (rows.empty()) {
+      jp0_front = jp0;
+      j_front = j_rel;
+    }
+    for (int k = 0; k < n; ++k) {
+      j_rel[static_cast<std::size_t>(k)] -= j_front[static_cast<std::size_t>(k)];
+    }
+    rows.push_back(SweepRow{jp0[0], row.row_points(), layout.row_base(jp0, 0),
+                            std::move(j_rel)});
+    for (int l = 0; l < q; ++l) {
+      deltas.push_back(layout.dep_delta(jp0, dprime.col(l)));
+    }
+  }
+}
+
+CompiledPlan::CompiledPlan(Kind kind, TiledNest tiled, LoweringKnobs knobs)
+    : kind_(kind), tiled_(std::move(tiled)), knobs_(std::move(knobs)) {
+  const Timer total;
+  // kThreadPool legality: the rows of a fixed-j'_0 plane are mutually
+  // independent iff every TTIS dependence advances the outermost
+  // coordinate (d'_0 >= 1) — then any point's predecessors live in
+  // strictly earlier planes, and planes are swept in order.
+  const MatI dprime = tiled_.ttis_deps();
+  plane_parallel_ = true;
+  for (int l = 0; l < dprime.cols(); ++l) {
+    if (dprime(0, l) < 1) plane_parallel_ = false;
+  }
+
+  if (kind_ == Kind::kSequential) {
+    // The census-free classification the sequential executor always
+    // used: corner probes alone decide, so non-integral P is served too.
+    const Timer t;
+    classifier_.emplace(tiled_);
+    phases_.classifier_s = t();
+    phases_.total_s = total();
+    return;
+  }
+
+  par_ = std::make_unique<ParallelArtifacts>();
+  {
+    const Timer t;
+    par_->census.emplace(knobs_.census_from_box
+                             ? TileCensus::from_box(tiled_, knobs_.orig_lo,
+                                                    knobs_.orig_hi, knobs_.skew)
+                             : TileCensus(tiled_));
+    phases_.census_s = t();
+  }
+  {
+    const Timer t;
+    par_->mapping.emplace(tiled_, knobs_.force_m, &*par_->census);
+    phases_.mapping_s = t();
+  }
+  {
+    const Timer t;
+    par_->lds.emplace(tiled_, *par_->mapping);
+    phases_.lds_s = t();
+  }
+  {
+    const Timer t;
+    par_->plan.emplace(tiled_, *par_->mapping, *par_->lds);
+    par_->pack_regions = pack_regions_of(*par_->plan);
+    phases_.comm_plan_s = t();
+  }
+  {
+    const Timer t;
+    classifier_.emplace(tiled_, &*par_->census, &par_->pack_regions);
+    phases_.classifier_s = t();
+  }
+  {
+    const Timer t;
+    par_->band.emplace(tiled_.transform(), par_->pack_regions);
+    phases_.band_s = t();
+  }
+  {
+    // One layout + slot-table bundle per distinct chain-window length:
+    // processors with equally long chains share byte-identical tables,
+    // so the setup cost is O(#distinct lengths), not O(#processors).
+    const Timer t;
+    const Mapping& mapping = *par_->mapping;
+    for (int rank = 0; rank < mapping.num_procs(); ++rank) {
+      const IntRange window = mapping.chain_window(mapping.pid_of(rank));
+      if (window.empty()) continue;
+      const i64 len = window.count();
+      if (par_->locals.find(len) == par_->locals.end()) {
+        par_->locals.emplace(len, std::make_unique<RankLocal>(
+                                      tiled_, mapping, *par_->plan, len));
+      }
+    }
+    phases_.locals_s = t();
+  }
+  phases_.total_s = total();
+}
+
+std::shared_ptr<const CompiledPlan> CompiledPlan::compile_parallel(
+    TiledNest tiled, const LoweringKnobs& knobs) {
+  return std::shared_ptr<const CompiledPlan>(
+      new CompiledPlan(Kind::kParallel, std::move(tiled), knobs));
+}
+
+std::shared_ptr<const CompiledPlan> CompiledPlan::compile_parallel(
+    const LoopNest& nest, const MatQ& h, const LoweringKnobs& knobs) {
+  const Timer t;
+  TiledNest tiled(nest, TilingTransform(h));
+  const double tile_space_s = t();
+  auto plan = std::shared_ptr<CompiledPlan>(
+      new CompiledPlan(Kind::kParallel, std::move(tiled), knobs));
+  plan->phases_.tile_space_s = tile_space_s;
+  plan->phases_.total_s += tile_space_s;
+  return plan;
+}
+
+std::shared_ptr<const CompiledPlan> CompiledPlan::compile_sequential(
+    TiledNest tiled) {
+  return std::shared_ptr<const CompiledPlan>(
+      new CompiledPlan(Kind::kSequential, std::move(tiled), LoweringKnobs{}));
+}
+
+std::shared_ptr<const CompiledPlan> CompiledPlan::compile_sequential(
+    const LoopNest& nest, const MatQ& h) {
+  const Timer t;
+  TiledNest tiled(nest, TilingTransform(h));
+  const double tile_space_s = t();
+  auto plan = std::shared_ptr<CompiledPlan>(new CompiledPlan(
+      Kind::kSequential, std::move(tiled), LoweringKnobs{}));
+  plan->phases_.tile_space_s = tile_space_s;
+  plan->phases_.total_s += tile_space_s;
+  return plan;
+}
+
+const TileCensus& CompiledPlan::census() const {
+  CTILE_ASSERT_MSG(par_ != nullptr, "census(): plan not parallel-lowered");
+  return *par_->census;
+}
+
+const Mapping& CompiledPlan::mapping() const {
+  CTILE_ASSERT_MSG(par_ != nullptr, "mapping(): plan not parallel-lowered");
+  return *par_->mapping;
+}
+
+const LdsLayout& CompiledPlan::lds() const {
+  CTILE_ASSERT_MSG(par_ != nullptr, "lds(): plan not parallel-lowered");
+  return *par_->lds;
+}
+
+const CommPlan& CompiledPlan::comm_plan() const {
+  CTILE_ASSERT_MSG(par_ != nullptr, "comm_plan(): plan not parallel-lowered");
+  return *par_->plan;
+}
+
+const std::vector<TtisRegion>& CompiledPlan::pack_regions() const {
+  CTILE_ASSERT_MSG(par_ != nullptr,
+                   "pack_regions(): plan not parallel-lowered");
+  return par_->pack_regions;
+}
+
+const BandSplit& CompiledPlan::band() const {
+  CTILE_ASSERT_MSG(par_ != nullptr, "band(): plan not parallel-lowered");
+  return *par_->band;
+}
+
+const CompiledPlan::RankLocal& CompiledPlan::local_for(i64 chain_len) const {
+  CTILE_ASSERT_MSG(par_ != nullptr, "local_for(): plan not parallel-lowered");
+  auto it = par_->locals.find(chain_len);
+  CTILE_ASSERT_MSG(it != par_->locals.end(),
+                   "no cached layout for this chain-window length");
+  return *it->second;
+}
+
+std::vector<std::pair<i64, const LdsLayout*>> CompiledPlan::window_layouts()
+    const {
+  CTILE_ASSERT_MSG(par_ != nullptr,
+                   "window_layouts(): plan not parallel-lowered");
+  std::vector<std::pair<i64, const LdsLayout*>> out;
+  out.reserve(par_->locals.size());
+  for (const auto& [len, local] : par_->locals) {
+    out.emplace_back(len, &local->layout);
+  }
+  return out;
+}
+
+void CompiledPlan::run_gate_memoized(
+    const std::function<void()>& gate) const {
+  std::lock_guard<std::mutex> lock(gate_mu_);
+  if (gate_err_) std::rethrow_exception(gate_err_);
+  if (gate_ok_) return;
+  try {
+    gate();
+    gate_ok_ = true;
+  } catch (...) {
+    gate_err_ = std::current_exception();
+    throw;
+  }
+}
+
+void CompiledPlan::invalidate_gate_memo() const {
+  std::lock_guard<std::mutex> lock(gate_mu_);
+  gate_ok_ = false;
+  gate_err_ = nullptr;
+}
+
+}  // namespace ctile

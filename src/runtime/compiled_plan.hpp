@@ -1,0 +1,191 @@
+// The immutable compiled-plan artifact: everything the executors used to
+// lower inside their constructors — tile census, mapping, global LDS
+// layout, communication plan, pack regions, interior classifier, band
+// split, per-chain-window layouts + slot tables + hoisted row plans —
+// detached from any executor so it can be built once, shared read-only
+// across concurrent executions, and cached by content (PlanCache).
+//
+// A CompiledPlan OWNS its TiledNest: Mapping keeps a pointer to the tile
+// space inside the TiledNest, CommPlan keeps pointers to the mapping and
+// LDS, so the whole lowering must age as one object.  Executors hold the
+// plan through shared_ptr<const CompiledPlan> and add only per-run
+// mutable state (policy, backend, gates), which is why N executors over
+// one plan are safe from N threads at once.
+//
+// Lowering is the same code path whether a plan is built cold by the
+// legacy executor constructor or warm through the PlanCache — the legacy
+// path IS the cold-miss implementation, so cached and cold plans are
+// bitwise-identical by construction, not by luck.
+//
+// The plan also memoizes the verify-before-run verdict: the pre-run gate
+// (verify::enable_verify_before_run) snapshots and proves the SAME
+// immutable artifacts on every run, so the verdict is a property of the
+// plan.  run_gate_memoized() executes a gate once and replays the cached
+// outcome — success or the stored exception — on later runs; executors
+// expose set_reverify() to force the gate every run (mutation tests),
+// and installing a new gate invalidates the memo.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "runtime/comm_plan.hpp"
+#include "tiling/census.hpp"
+#include "tiling/interior.hpp"
+
+namespace ctile {
+
+/// Wall-clock seconds spent in each phase of one plan's lowering (the
+/// compile-time breakdown ctile_pland and the PlanCache stats report).
+struct PlanPhaseTimes {
+  double tile_space_s = 0.0;  ///< TiledNest build (legality + tile space)
+  double census_s = 0.0;      ///< exact / box tile census
+  double mapping_s = 0.0;     ///< chain mapping + processor mesh
+  double lds_s = 0.0;         ///< canonical LDS layout
+  double comm_plan_s = 0.0;   ///< D^S, D^m, pack/unpack regions, minsucc
+  double classifier_s = 0.0;  ///< interior-tile classification
+  double band_s = 0.0;        ///< boundary-band/remainder row split
+  double locals_s = 0.0;      ///< per-window layouts + slot tables + rows
+  double total_s = 0.0;       ///< end-to-end lowering wall time
+
+  void accumulate(const PlanPhaseTimes& o);
+};
+
+/// Everything besides the tiling itself that changes what lowering
+/// produces.  Part of the cache key (plan_cache.hpp): two requests with
+/// different knobs never share a plan.
+struct LoweringKnobs {
+  int force_m = -1;  ///< mapping-dimension override (-1 = auto)
+
+  /// Census source: the exact polyhedron scan (executor default), or the
+  /// allocation-free box sweep TileCensus::from_box for nests that are a
+  /// unimodular skew of a rectangular box (the autotune/bench path for
+  /// multi-million-point spaces).  When true, orig_lo/orig_hi/skew must
+  /// describe the pre-skew box.
+  bool census_from_box = false;
+  VecI orig_lo;
+  VecI orig_hi;
+  MatI skew;
+};
+
+class CompiledPlan {
+ public:
+  /// What was lowered.  kSequential carries only the classifier the
+  /// SequentialTiledExecutor needs (built census-free, exactly as that
+  /// executor always did — it must also serve non-integral P);
+  /// kParallel carries the full distributed-memory lowering.
+  enum class Kind { kSequential, kParallel };
+
+  /// Lower the full parallel plan for an already-built TiledNest.
+  static std::shared_ptr<const CompiledPlan> compile_parallel(
+      TiledNest tiled, const LoweringKnobs& knobs = {});
+
+  /// Convenience: build the TiledNest from (nest, H) too, so the
+  /// tile-space construction is timed into the phase breakdown.  Throws
+  /// LegalityError exactly where the executor constructor path would.
+  static std::shared_ptr<const CompiledPlan> compile_parallel(
+      const LoopNest& nest, const MatQ& h, const LoweringKnobs& knobs = {});
+
+  /// Lower the sequential-tiled plan (classifier only).
+  static std::shared_ptr<const CompiledPlan> compile_sequential(
+      TiledNest tiled);
+  static std::shared_ptr<const CompiledPlan> compile_sequential(
+      const LoopNest& nest, const MatQ& h);
+
+  Kind kind() const { return kind_; }
+  bool parallel_lowered() const { return kind_ == Kind::kParallel; }
+  const TiledNest& tiled() const { return tiled_; }
+  const LoweringKnobs& knobs() const { return knobs_; }
+  const TileClassifier& classifier() const { return *classifier_; }
+  /// True when the tiling admits the kThreadPool plane fan-out (every
+  /// TTIS dependence has d'_0 >= 1).
+  bool plane_parallel() const { return plane_parallel_; }
+  const PlanPhaseTimes& phase_times() const { return phases_; }
+
+  // ---- Parallel-only artifacts (assert parallel_lowered()).
+
+  const TileCensus& census() const;
+  const Mapping& mapping() const;
+  const LdsLayout& lds() const;
+  const CommPlan& comm_plan() const;
+  /// Per-direction pack regions (band split input, shared with the
+  /// classifier's boundary-band accounting).
+  const std::vector<TtisRegion>& pack_regions() const;
+  const BandSplit& band() const;
+
+  /// One row of the hoisted interior-sweep plan (see RankLocal::rows).
+  struct SweepRow {
+    i64 plane;   ///< j'_0 of the row (kThreadPool plane grouping)
+    i64 count;   ///< points in the row
+    i64 base0;   ///< linear base slot at chain position 0
+    VecI j_rel;  ///< J^n start relative to the first row's start
+  };
+
+  /// Everything that depends on a processor's chain-window length:
+  /// the per-processor LDS layout (paper: "|t| is per processor"), the
+  /// communication slot tables built against it, and the hoisted row
+  /// plan of the strength-reduced interior sweep.  Computed once per
+  /// distinct window length at lowering and shared read-only by every
+  /// rank of every executor over this plan.
+  ///
+  /// The row plan caches, per row of full_ttis_region in TtisRowWalker
+  /// order, everything the sweep used to recompute per (tile, row):
+  /// the base slot at t_loc is base0 + t_loc * layout.chain_step()
+  /// (map is affine in t), the per-dependence slot deltas
+  /// deltas[r * q + l] are tile- and t-invariant (lds.hpp dep_delta),
+  /// and the J^n row start is j_anchor + j_rel[r] where
+  /// j_anchor = point_of(js, jp0_front) — point_of is affine in j', so
+  /// one matrix-vector product per tile replaces one per row.
+  struct RankLocal {
+    LdsLayout layout;
+    CommSlotTable slots;
+    std::vector<SweepRow> rows;
+    std::vector<i64> deltas;  ///< rows.size() * q slot deltas
+    VecI jp0_front;           ///< first row's TTIS start
+    RankLocal(const TiledNest& tiled, const Mapping& mapping,
+              const CommPlan& plan, i64 chain_len);
+  };
+
+  /// The cached layout + slot tables for a (non-empty) window length.
+  const RankLocal& local_for(i64 chain_len) const;
+
+  /// The per-chain-window-length LDS layouts lowered at compile time
+  /// (window length, layout), for plan inspection and verification.
+  std::vector<std::pair<i64, const LdsLayout*>> window_layouts() const;
+
+  // ---- Memoized verify-before-run verdict.
+
+  /// Run `gate` once per plan; later calls replay the cached outcome —
+  /// return on memoized success, rethrow the memoized exception on
+  /// memoized failure.  Thread-safe: concurrent first calls serialize
+  /// and only one executes the gate.
+  void run_gate_memoized(const std::function<void()>& gate) const;
+
+  /// Drop the memoized verdict so the next gated run re-verifies
+  /// (installing a new gate on an executor calls this).
+  void invalidate_gate_memo() const;
+
+ private:
+  CompiledPlan(Kind kind, TiledNest tiled, LoweringKnobs knobs);
+
+  struct ParallelArtifacts;
+
+  Kind kind_;
+  TiledNest tiled_;
+  LoweringKnobs knobs_;
+  // Declared after tiled_ so artifacts (which point into the nest) are
+  // destroyed first.
+  std::unique_ptr<ParallelArtifacts> par_;
+  std::optional<TileClassifier> classifier_;
+  bool plane_parallel_ = false;
+  PlanPhaseTimes phases_;
+
+  mutable std::mutex gate_mu_;
+  mutable bool gate_ok_ = false;
+  mutable std::exception_ptr gate_err_;
+};
+
+}  // namespace ctile

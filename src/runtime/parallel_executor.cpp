@@ -16,129 +16,62 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-std::vector<TtisRegion> pack_regions_of(const CommPlan& plan) {
-  std::vector<TtisRegion> regions;
-  regions.reserve(plan.directions().size());
-  for (const auto& dir : plan.directions()) regions.push_back(dir.pack);
-  return regions;
-}
-
-// Any valid tile index.  point_of is only guaranteed integral at real
-// tiles, so the row plan's j_rel differences are probed through one.
-VecI first_valid_tile(const Mapping& mapping) {
-  for (int rank = 0; rank < mapping.num_procs(); ++rank) {
-    const VecI pid = mapping.pid_of(rank);
-    const IntRange window = mapping.chain_window(pid);
-    for (i64 t = window.lo; t <= window.hi; ++t) {
-      const VecI js = mapping.tile_at(pid, t);
-      if (mapping.valid(js)) return js;
-    }
-  }
-  CTILE_ASSERT_MSG(false, "mapping holds no valid tile");
-  return VecI{};
-}
-
 }  // namespace
 
-ParallelExecutor::RankLocal::RankLocal(const TiledNest& tiled,
-                                       const Mapping& mapping,
-                                       const CommPlan& plan, i64 chain_len)
-    : layout(tiled, mapping, chain_len),
-      slots(plan, tiled.transform(), layout) {
-  const TilingTransform& tf = tiled.transform();
-  const MatI dprime = tiled.ttis_deps();
-  const int q = dprime.cols();
-  const int n = tiled.nest().depth;
-  // j_rel is tile-invariant (point_of(js, a) - point_of(js, b) =
-  // P'(a - b) for any js), so probe through one valid tile.
-  const VecI js = first_valid_tile(mapping);
-  VecI j_front;
-  for (TtisRowWalker row(tf, full_ttis_region(tf)); row.valid(); row.next()) {
-    const VecI& jp0 = row.row_start();
-    VecI j_rel = tf.point_of(js, jp0);
-    if (rows.empty()) {
-      jp0_front = jp0;
-      j_front = j_rel;
-    }
-    for (int k = 0; k < n; ++k) {
-      j_rel[static_cast<std::size_t>(k)] -= j_front[static_cast<std::size_t>(k)];
-    }
-    rows.push_back(SweepRow{jp0[0], row.row_points(), layout.row_base(jp0, 0),
-                            std::move(j_rel)});
-    for (int l = 0; l < q; ++l) {
-      deltas.push_back(layout.dep_delta(jp0, dprime.col(l)));
-    }
-  }
+namespace {
+LoweringKnobs knobs_for(int force_m) {
+  LoweringKnobs knobs;
+  knobs.force_m = force_m;
+  return knobs;
 }
+}  // namespace
 
 ParallelExecutor::ParallelExecutor(const TiledNest& tiled,
                                    const Kernel& kernel, int force_m)
-    : tiled_(&tiled),
-      kernel_(&kernel),
-      census_(tiled),
-      mapping_(tiled, force_m, &census_),
-      lds_(tiled, mapping_),
-      plan_(tiled, mapping_, lds_),
-      pack_regions_(pack_regions_of(plan_)),
-      classifier_(tiled, &census_, &pack_regions_),
-      band_(tiled.transform(), pack_regions_) {
-  // kThreadPool legality: the rows of a fixed-j'_0 plane are mutually
-  // independent iff every TTIS dependence advances the outermost
-  // coordinate (d'_0 >= 1) — then any point's predecessors live in
-  // strictly earlier planes, and planes are swept in order.
-  const MatI dprime = tiled.ttis_deps();
-  plane_parallel_ = true;
-  for (int l = 0; l < dprime.cols(); ++l) {
-    if (dprime(0, l) < 1) plane_parallel_ = false;
-  }
-  // One layout + slot-table bundle per distinct chain-window length:
-  // processors with equally long chains share byte-identical tables, so
-  // the setup cost is O(#distinct lengths), not O(#processors).
-  for (int rank = 0; rank < mapping_.num_procs(); ++rank) {
-    const IntRange window = mapping_.chain_window(mapping_.pid_of(rank));
-    if (window.empty()) continue;
-    const i64 len = window.count();
-    if (locals_.find(len) == locals_.end()) {
-      locals_.emplace(len,
-                      std::make_unique<RankLocal>(tiled, mapping_, plan_, len));
-    }
-  }
-}
+    : plan_(CompiledPlan::compile_parallel(TiledNest(tiled),
+                                           knobs_for(force_m))),
+      kernel_(&kernel) {}
 
-const ParallelExecutor::RankLocal& ParallelExecutor::local_for(
-    i64 chain_len) const {
-  auto it = locals_.find(chain_len);
-  CTILE_ASSERT_MSG(it != locals_.end(),
-                   "no cached layout for this chain-window length");
-  return *it->second;
+ParallelExecutor::ParallelExecutor(std::shared_ptr<const CompiledPlan> plan,
+                                   const Kernel& kernel)
+    : plan_(std::move(plan)), kernel_(&kernel) {
+  CTILE_ASSERT_MSG(plan_ != nullptr, "executor needs a plan");
+  CTILE_ASSERT_MSG(plan_->parallel_lowered(),
+                   "ParallelExecutor needs a parallel-lowered plan");
 }
 
 i64 ParallelExecutor::tag_of(int dir, i64 sender_t) const {
-  CTILE_ASSERT(sender_t >= 0 && sender_t < mapping_.chain_length());
-  return add_ck(mul_ck(static_cast<i64>(dir), mapping_.chain_length()),
+  const Mapping& mapping = plan_->mapping();
+  CTILE_ASSERT(sender_t >= 0 && sender_t < mapping.chain_length());
+  return add_ck(mul_ck(static_cast<i64>(dir), mapping.chain_length()),
                 sender_t);
 }
 
 void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
                                 exec::DoubleBuffer& la, i64* points,
                                 PhaseTimes* phase) const {
-  const TilingTransform& tf = tiled_->transform();
-  const Polyhedron& space = tiled_->nest().space;
-  const MatI& deps = tiled_->nest().deps;
-  const MatI dprime = tiled_->ttis_deps();
+  const TiledNest& tiled = plan_->tiled();
+  const Mapping& mapping = plan_->mapping();
+  const CommPlan& cplan = plan_->comm_plan();
+  const TileClassifier& classifier = plan_->classifier();
+  const BandSplit& band = plan_->band();
+  const TilingTransform& tf = tiled.transform();
+  const Polyhedron& space = tiled.nest().space;
+  const MatI& deps = tiled.nest().deps;
+  const MatI dprime = tiled.ttis_deps();
   const int q = deps.cols();
   const int arity = kernel_->arity();
-  const int n = tiled_->nest().depth;
-  const int m = mapping_.m();
-  const VecI pid = mapping_.pid_of(rank);
+  const int n = tiled.nest().depth;
+  const int m = mapping.m();
+  const VecI pid = mapping.pid_of(rank);
 
   // Per-processor LDS: sized by this processor's own chain window
   // (paper \S3.1: |t| is per processor).  Message tags keep using global
   // chain positions so both endpoints agree.
-  const IntRange window = mapping_.chain_window(pid);
+  const IntRange window = mapping.chain_window(pid);
   *points = 0;
   if (window.empty()) return;
-  const RankLocal& rl = local_for(window.count());
+  const CompiledPlan::RankLocal& rl = plan_->local_for(window.count());
   const LdsLayout& local = rl.layout;
   const CommSlotTable& table = rl.slots;
   const i64 chain_step = table.chain_step();
@@ -150,7 +83,7 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
   // Invariants for the strength-reduced interior sweep: the constant J^n
   // step along a row, the linear-slot steps along a row and along the
   // chain, and the hoisted row plan (bases, deltas, relative J^n starts
-  // — see RankLocal).
+  // — see CompiledPlan::RankLocal).
   const VecI jstep = row_point_step(tf);
   const i64 sstep = local.stride(n - 1);
   const i64 lds_chain_step = local.chain_step();
@@ -161,43 +94,43 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
   // direction) for which this tile is the lexicographically minimum
   // successor.  fn(dep index, source rank, tag); shared by the blocking
   // receive loop and the overlapped pre-posting.
-  const auto& tile_deps = plan_.tile_deps();
+  const auto& tile_deps = cplan.tile_deps();
   auto for_each_receive = [&](const VecI& js, i64 t, auto&& fn) {
     for (std::size_t di = 0; di < tile_deps.size(); ++di) {
       const TileDep& dep = tile_deps[di];
       if (dep.dir < 0) continue;  // chain-internal: local through the LDS
       const VecI pred = vec_sub(js, dep.ds);
-      if (!mapping_.valid(pred)) continue;
+      if (!mapping.valid(pred)) continue;
       VecI ms;
-      if (!plan_.minsucc(pred, dep.dir, &ms) || ms != js) continue;
+      if (!cplan.minsucc(pred, dep.dir, &ms) || ms != js) continue;
       VecI src_pid;
-      const bool on_mesh = mapping_.neighbor(pid, vec_neg(dep.dm), &src_pid);
+      const bool on_mesh = mapping.neighbor(pid, vec_neg(dep.dm), &src_pid);
       CTILE_ASSERT_MSG(on_mesh, "valid predecessor off the processor mesh");
       const i64 sender_t = sub_ck(t, dep.ds[static_cast<std::size_t>(m)]);
-      fn(di, mapping_.rank_of(src_pid), tag_of(dep.dir, sender_t));
+      fn(di, mapping.rank_of(src_pid), tag_of(dep.dir, sender_t));
     }
   };
 
   // ---- SEND enumeration (\S3.2): one aggregated message per successor
   // processor that owns at least one valid successor tile.
   // fn(direction index, destination rank).
-  const auto& dirs = plan_.directions();
+  const auto& dirs = cplan.directions();
   auto for_each_send = [&](const VecI& js, auto&& fn) {
     for (std::size_t d = 0; d < dirs.size(); ++d) {
       const int dir = static_cast<int>(d);
       bool any_valid_succ = false;
       for (const TileDep& dep : tile_deps) {
         if (dep.dir != dir) continue;
-        if (mapping_.valid(vec_add(js, dep.ds))) {
+        if (mapping.valid(vec_add(js, dep.ds))) {
           any_valid_succ = true;
           break;
         }
       }
       if (!any_valid_succ) continue;
       VecI dst_pid;
-      const bool on_mesh = mapping_.neighbor(pid, dirs[d].dm, &dst_pid);
+      const bool on_mesh = mapping.neighbor(pid, dirs[d].dm, &dst_pid);
       CTILE_ASSERT_MSG(on_mesh, "valid successor off the processor mesh");
-      fn(dir, mapping_.rank_of(dst_pid));
+      fn(dir, mapping.rank_of(dst_pid));
     }
   };
 
@@ -218,8 +151,8 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
                           buf.data());
     } else {
       const TileDep& dep = tile_deps[di];
-      const TtisRegion region = plan_.unpack_region(dep);
-      const VecI shift = plan_.unpack_shift(dep);
+      const TtisRegion region = cplan.unpack_region(dep);
+      const VecI shift = cplan.unpack_shift(dep);
       std::size_t count = 0;
       for_each_lattice_point(tf, region, [&](const VecI& jp) {
         VecI jpp = local.map(jp, t_loc);
@@ -253,7 +186,7 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
       exec::gather_slots(policy_, la.data(), local.size(), slots, off, arity,
                          buf.data());
     } else {
-      buf.reserve(static_cast<std::size_t>(plan_.message_points(dir) * arity));
+      buf.reserve(static_cast<std::size_t>(cplan.message_points(dir) * arity));
       for_each_lattice_point(
           tf, dirs[static_cast<std::size_t>(dir)].pack, [&](const VecI& jp) {
             const i64 slot = local.slot(jp, t_loc);
@@ -288,7 +221,7 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
   auto sweep_row_batched = [&](std::size_t r, i64 begin, i64 end, i64 t_loc,
                                const VecI& j_anchor, const double** depp,
                                VecI& j) {
-    const SweepRow& row = rows[r];
+    const CompiledPlan::SweepRow& row = rows[r];
     const i64 cnt = end - begin;
     const i64 s = row.base0 + t_loc * lds_chain_step + begin * sstep;
     local.check_slot(s);
@@ -325,10 +258,10 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
 
   auto sweep_fast = [&](const VecI& js, i64 t_loc, Part part) {
     // The plane fan-out needs every dependence to advance j'_0
-    // (plane_parallel_); otherwise kThreadPool degrades to the batched
+    // (plane_parallel); otherwise kThreadPool degrades to the batched
     // single-lane path so the setting is always safe.
     const bool pooled =
-        policy_ == exec::Policy::kThreadPool && plane_parallel_;
+        policy_ == exec::Policy::kThreadPool && plan_->plane_parallel();
     const VecI j_anchor = tf.point_of(js, rl.jp0_front);
     i64 plane_id = 0;
     plane.clear();
@@ -356,13 +289,13 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
       plane.clear();
     };
     for (std::size_t r = 0; r < rows.size(); ++r) {
-      const SweepRow& row = rows[r];
+      const CompiledPlan::SweepRow& row = rows[r];
       i64 begin = 0;
       i64 end = row.count;
       if (part == Part::kRemainder) {
-        end = band_.split(r);
+        end = band.split(r);
       } else if (part == Part::kBand) {
-        begin = band_.split(r);
+        begin = band.split(r);
       }
       if (begin >= end) continue;
       *points += end - begin;
@@ -410,7 +343,7 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
 
   // General clipped sweep (boundary tiles, or the legacy reference).
   auto sweep_general = [&](const VecI& js, i64 t_loc) {
-    tiled_->for_each_tile_point(js, [&](const VecI& jp, const VecI& j) {
+    tiled.for_each_tile_point(js, [&](const VecI& jp, const VecI& j) {
       for (int l = 0; l < q; ++l) {
         double* dst = &dep_vals[static_cast<std::size_t>(l) * static_cast<std::size_t>(arity)];
         const VecI pred_j = vec_sub(j, deps.col(l));
@@ -437,8 +370,8 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
     // ---- Blocking reference schedule: RECEIVE, COMPUTE, SEND, with the
     // sender occupied for the full transfer of every message.
     for (i64 t = window.lo; t <= window.hi; ++t) {
-      const VecI js = mapping_.tile_at(pid, t);
-      if (!mapping_.valid(js)) continue;
+      const VecI js = mapping.tile_at(pid, t);
+      if (!mapping.valid(js)) continue;
       const i64 t_loc = t - window.lo;  // chain position within this LDS
 
       for_each_receive(js, t, [&](std::size_t di, int src_rank, i64 tag) {
@@ -449,7 +382,7 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
       });
 
       const auto compute_start = Clock::now();
-      if (use_fast_sweep_ && classifier_.interior(js)) {
+      if (use_fast_sweep_ && classifier.interior(js)) {
         sweep_fast(js, t_loc, Part::kAll);
       } else {
         sweep_general(js, t_loc);
@@ -489,8 +422,8 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
   };
 
   for (i64 t = window.lo; t <= window.hi; ++t) {
-    const VecI js = mapping_.tile_at(pid, t);
-    if (!mapping_.valid(js)) continue;
+    const VecI js = mapping.tile_at(pid, t);
+    if (!mapping.valid(js)) continue;
     const i64 t_loc = t - window.lo;
     if (posted_for != t) post_recvs(js, t);  // bootstrap the pipeline
 
@@ -503,7 +436,7 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
     recv_reqs.clear();
     recv_dis.clear();
 
-    const bool fast = use_fast_sweep_ && classifier_.interior(js);
+    const bool fast = use_fast_sweep_ && classifier.interior(js);
     const auto compute_start = Clock::now();
     if (fast) {
       sweep_fast(js, t_loc, Part::kRemainder);
@@ -523,8 +456,8 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
     });
 
     for (i64 tn = t + 1; tn <= window.hi; ++tn) {
-      const VecI jn = mapping_.tile_at(pid, tn);
-      if (!mapping_.valid(jn)) continue;
+      const VecI jn = mapping.tile_at(pid, tn);
+      if (!mapping.valid(jn)) continue;
       post_recvs(jn, tn);
       break;
     }
@@ -538,19 +471,20 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
   phase->send_wait_s += seconds_since(send_wait_start);
 }
 
-std::vector<std::pair<i64, const LdsLayout*>> ParallelExecutor::window_layouts()
-    const {
-  std::vector<std::pair<i64, const LdsLayout*>> out;
-  out.reserve(locals_.size());
-  for (const auto& [len, local] : locals_) {
-    out.emplace_back(len, &local->layout);
-  }
-  return out;
-}
-
 DataSpace ParallelExecutor::run(ParallelRunStats* stats) const {
-  if (pre_run_gate_) pre_run_gate_();
-  const int nprocs = mapping_.num_procs();
+  if (pre_run_gate_) {
+    // The gate proves the immutable plan, so its verdict — success or
+    // the thrown diagnosis — is memoized per plan and replayed on later
+    // runs; set_reverify(true) forces the full check every run.
+    if (reverify_) {
+      pre_run_gate_();
+    } else {
+      plan_->run_gate_memoized(pre_run_gate_);
+    }
+  }
+  const Mapping& mapping = plan_->mapping();
+  const TileClassifier& classifier = plan_->classifier();
+  const int nprocs = mapping.num_procs();
   const int arity = kernel_->arity();
   std::vector<exec::DoubleBuffer> arrays;
   arrays.reserve(static_cast<std::size_t>(nprocs));
@@ -588,28 +522,28 @@ DataSpace ParallelExecutor::run(ParallelRunStats* stats) const {
   // the tile's lattice points, the slot advances affinely along a row
   // (see DESIGN.md \S8), and j advances by the constant row step — so
   // halo slots are never touched and no delinearize/map_inv runs.
-  DataSpace ds(tiled_->nest().space, arity);
-  const Polyhedron& space = tiled_->nest().space;
-  const TilingTransform& tf = tiled_->transform();
+  DataSpace ds(plan_->tiled().nest().space, arity);
+  const Polyhedron& space = plan_->tiled().nest().space;
+  const TilingTransform& tf = plan_->tiled().transform();
   const VecI jstep = row_point_step(tf);
-  const int n = tiled_->nest().depth;
+  const int n = plan_->tiled().nest().depth;
   const i64 dstep = ds.offset_step(jstep);
   auto write_rank = [&](int rank) {
-    const VecI pid = mapping_.pid_of(rank);
-    const IntRange window = mapping_.chain_window(pid);
+    const VecI pid = mapping.pid_of(rank);
+    const IntRange window = mapping.chain_window(pid);
     if (window.empty()) return;
-    const RankLocal& rl = local_for(window.count());
+    const CompiledPlan::RankLocal& rl = plan_->local_for(window.count());
     const LdsLayout& local = rl.layout;
     const i64 sstep = local.stride(n - 1);
     const i64 lds_chain_step = local.chain_step();
     const auto& la = arrays[static_cast<std::size_t>(rank)];
     for (i64 t = window.lo; t <= window.hi; ++t) {
-      const VecI js = mapping_.tile_at(pid, t);
-      if (!mapping_.valid(js)) continue;
+      const VecI js = mapping.tile_at(pid, t);
+      if (!mapping.valid(js)) continue;
       // Interior tiles lie wholly inside J^n: skip the contains() test.
-      const bool interior = classifier_.interior(js);
+      const bool interior = classifier.interior(js);
       const VecI j_anchor = tf.point_of(js, rl.jp0_front);
-      for (const SweepRow& row : rl.rows) {
+      for (const CompiledPlan::SweepRow& row : rl.rows) {
         i64 s = row.base0 + (t - window.lo) * lds_chain_step;
         VecI j = j_anchor;
         for (int k = 0; k < n; ++k) {

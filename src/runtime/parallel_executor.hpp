@@ -15,9 +15,19 @@
 // tile consumes messages from two predecessor tiles of the same
 // neighbour processor.
 //
-// The pack/unpack regions of \S3.2 are compile-time static, so the
-// executor precomputes, once per distinct chain-window length, the LDS
-// layout AND a CommSlotTable of linear base slots per region point; the
+// The executor is a thin mutable shell over an immutable CompiledPlan
+// (compiled_plan.hpp): census, mapping, LDS layouts, comm plan, slot
+// tables, classifier, band split and hoisted row plans all live in the
+// plan, which is held through shared_ptr<const CompiledPlan> and can be
+// shared read-only by any number of executors running concurrently.
+// Plans come from the content-addressed PlanCache (plan_cache.hpp) on
+// the warm path; the legacy constructor below lowers cold through the
+// exact same CompiledPlan code path, so cached and cold-built executors
+// are bitwise-identical by construction.
+//
+// The pack/unpack regions of \S3.2 are compile-time static, so the plan
+// precomputes, once per distinct chain-window length, the LDS layout
+// AND a CommSlotTable of linear base slots per region point; the
 // steady-state RECEIVE/SEND loops are then flat array scans (base +
 // t_loc * chain_step) with zero lattice enumeration and — thanks to the
 // mpisim buffer pool — zero heap allocation.  The original
@@ -43,13 +53,10 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 
 #include "mpisim/mpisim.hpp"
-#include "runtime/comm_plan.hpp"
-#include "tiling/census.hpp"
-#include "tiling/interior.hpp"
+#include "runtime/compiled_plan.hpp"
 #include "runtime/data_space.hpp"
 #include "runtime/exec_policy.hpp"
 #include "runtime/kernel.hpp"
@@ -92,31 +99,59 @@ struct ParallelRunStats {
 
 class ParallelExecutor {
  public:
-  /// Builds the tile census (exact occupancy), mapping, LDS layout,
-  /// communication plan and per-chain-window slot tables for `tiled`.
-  /// force_m overrides the mapping-dimension choice (tests/benches).
+  /// Cold path: lower the full plan here (tile census, mapping, LDS
+  /// layout, communication plan, per-chain-window slot tables) via
+  /// CompiledPlan::compile_parallel.  force_m overrides the
+  /// mapping-dimension choice (tests/benches).  This is the cold-miss
+  /// implementation the PlanCache funnels into — there is exactly one
+  /// lowering code path.
   ParallelExecutor(const TiledNest& tiled, const Kernel& kernel,
                    int force_m = -1);
 
-  const TiledNest& tiled() const { return *tiled_; }
-  const TileCensus& census() const { return census_; }
-  const Mapping& mapping() const { return mapping_; }
-  const LdsLayout& lds() const { return lds_; }
-  const CommPlan& plan() const { return plan_; }
-  const TileClassifier& classifier() const { return classifier_; }
-  const BandSplit& band() const { return band_; }
+  /// Warm path: adopt an already-lowered plan (from the PlanCache or a
+  /// sibling executor).  The plan must be parallel-lowered; it is shared
+  /// read-only, so any number of executors over one plan may run
+  /// concurrently.
+  ParallelExecutor(std::shared_ptr<const CompiledPlan> plan,
+                   const Kernel& kernel);
 
-  /// The per-chain-window-length LDS layouts lowered at construction
+  const TiledNest& tiled() const { return plan_->tiled(); }
+  const TileCensus& census() const { return plan_->census(); }
+  const Mapping& mapping() const { return plan_->mapping(); }
+  const LdsLayout& lds() const { return plan_->lds(); }
+  const CommPlan& plan() const { return plan_->comm_plan(); }
+  const TileClassifier& classifier() const { return plan_->classifier(); }
+  const BandSplit& band() const { return plan_->band(); }
+
+  /// The immutable lowering this executor runs (shareable with other
+  /// executors and the PlanCache).
+  const std::shared_ptr<const CompiledPlan>& compiled() const {
+    return plan_;
+  }
+
+  /// The per-chain-window-length LDS layouts lowered at compile time
   /// (window length, layout), for plan inspection and verification.
-  std::vector<std::pair<i64, const LdsLayout*>> window_layouts() const;
+  std::vector<std::pair<i64, const LdsLayout*>> window_layouts() const {
+    return plan_->window_layouts();
+  }
 
   /// Install a callback invoked at the top of every run().  Used to gate
   /// execution on external checks (verify::enable_verify_before_run
   /// installs the static plan verifier here); the gate aborts the run by
-  /// throwing.  Pass nullptr to clear.
+  /// throwing.  Pass nullptr to clear.  The gate proves the immutable
+  /// plan, so its verdict is memoized in the plan and replayed on later
+  /// runs (see set_reverify); installing a gate drops any memoized
+  /// verdict.
   void set_pre_run_gate(std::function<void()> gate) {
     pre_run_gate_ = std::move(gate);
+    plan_->invalidate_gate_memo();
   }
+
+  /// Force the pre-run gate to execute on every run() instead of
+  /// replaying the plan's memoized verdict (mutation tests that corrupt
+  /// state between runs need the fresh check).
+  void set_reverify(bool on) { reverify_ = on; }
+  bool reverify() const { return reverify_; }
 
   /// Toggle the precomputed slot-table pack/unpack path (default on).
   /// The lattice-enumeration path is retained as the reference
@@ -137,7 +172,7 @@ class ParallelExecutor {
   /// batched Kernel::compute_row and vectorizes pack/unpack/write-back,
   /// kThreadPool additionally fans the independent rows of each
   /// j'_0-plane across the shared compute pool — legal only when every
-  /// TTIS dependence advances j'_0 (precomputed at construction; the
+  /// TTIS dependence advances j'_0 (precomputed at lowering; the
   /// sweep degrades to the kSimd path otherwise, so the setting is
   /// always safe).  Default: $CTILE_EXEC_POLICY, else kSimd.  All
   /// policies produce bitwise-identical data spaces.
@@ -146,7 +181,7 @@ class ParallelExecutor {
 
   /// True when the tiling admits the kThreadPool plane fan-out (every
   /// TTIS dependence has d'_0 >= 1).
-  bool plane_parallel() const { return plane_parallel_; }
+  bool plane_parallel() const { return plan_->plane_parallel(); }
 
   /// Allocate the per-rank LDS windows through `backend` (exec_policy.hpp
   /// registry; default: $CTILE_MEM_BACKEND, else the 64-byte-aligned
@@ -197,64 +232,19 @@ class ParallelExecutor {
   DataSpace run(ParallelRunStats* stats = nullptr) const;
 
  private:
-  /// One row of the hoisted interior-sweep plan (see RankLocal::rows).
-  struct SweepRow {
-    i64 plane;   ///< j'_0 of the row (kThreadPool plane grouping)
-    i64 count;   ///< points in the row
-    i64 base0;   ///< linear base slot at chain position 0
-    VecI j_rel;  ///< J^n start relative to the first row's start
-  };
-
-  /// Everything that depends on a processor's chain-window length:
-  /// the per-processor LDS layout (paper: "|t| is per processor"), the
-  /// communication slot tables built against it, and the hoisted row
-  /// plan of the strength-reduced interior sweep.  Computed once per
-  /// distinct window length at construction and shared read-only by
-  /// run_rank and the write-back, which previously rebuilt the
-  /// HNF-derived layout from scratch per rank.
-  ///
-  /// The row plan caches, per row of full_ttis_region in TtisRowWalker
-  /// order, everything the sweep used to recompute per (tile, row):
-  /// the base slot at t_loc is base0 + t_loc * layout.chain_step()
-  /// (map is affine in t), the per-dependence slot deltas
-  /// deltas[r * q + l] are tile- and t-invariant (lds.hpp dep_delta),
-  /// and the J^n row start is j_anchor + j_rel[r] where
-  /// j_anchor = point_of(js, jp0_front) — point_of is affine in j', so
-  /// one matrix-vector product per tile replaces one per row.
-  struct RankLocal {
-    LdsLayout layout;
-    CommSlotTable slots;
-    std::vector<SweepRow> rows;
-    std::vector<i64> deltas;  ///< rows.size() * q slot deltas
-    VecI jp0_front;           ///< first row's TTIS start
-    RankLocal(const TiledNest& tiled, const Mapping& mapping,
-              const CommPlan& plan, i64 chain_len);
-  };
-
-  const TiledNest* tiled_;
+  std::shared_ptr<const CompiledPlan> plan_;
   const Kernel* kernel_;
-  TileCensus census_;
-  Mapping mapping_;
-  LdsLayout lds_;
-  CommPlan plan_;
-  std::vector<TtisRegion> pack_regions_;  // per direction, for the band
-  TileClassifier classifier_;
-  BandSplit band_;
-  std::map<i64, std::unique_ptr<RankLocal>> locals_;  // by window length
   exec::Policy policy_ = exec::policy_from_env(exec::Policy::kSimd);
-  bool plane_parallel_ = false;
   exec::MemoryBackend* mem_ = &exec::default_memory_backend();
   bool use_slot_tables_ = true;
   bool use_fast_sweep_ = true;
   bool use_overlap_ = true;
+  bool reverify_ = false;
   mpisim::LatencyModel latency_;
   mpisim::Backend backend_ = mpisim::Backend::kAuto;
   u64 seed_ = 1;
   bool trace_ = false;
   std::function<void()> pre_run_gate_;
-
-  /// The cached layout + slot tables for a (non-empty) window length.
-  const RankLocal& local_for(i64 chain_len) const;
 
   /// The per-rank program (RECEIVE / compute / SEND over the chain,
   /// blocking or pipelined according to use_overlap_).

@@ -1,0 +1,258 @@
+#include "runtime/plan_cache.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace ctile {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// ---- Canonical byte serialization.
+//
+// Fixed-width little-endian integers regardless of host endianness and
+// of what i64 aliases, so the bytes (and the digest) are platform- and
+// refactor-stable.  Each composite is preceded by its element count —
+// the encoding is prefix-free, so no two distinct inputs can serialize
+// to the same bytes.
+
+void put_i64(std::string& out, i64 v) {
+  u64 u = static_cast<u64>(v);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>(u & 0xffu));
+    u >>= 8;
+  }
+}
+
+void put_u8(std::string& out, unsigned char v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_veci(std::string& out, const VecI& v) {
+  put_i64(out, static_cast<i64>(v.size()));
+  for (i64 x : v) put_i64(out, x);
+}
+
+void put_mati(std::string& out, const MatI& m) {
+  put_i64(out, m.rows());
+  put_i64(out, m.cols());
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) put_i64(out, m(r, c));
+  }
+}
+
+void put_matq(std::string& out, const MatQ& m) {
+  put_i64(out, m.rows());
+  put_i64(out, m.cols());
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) {
+      // Rats are kept reduced with positive denominator, so (num, den)
+      // is already the canonical form of the rational.
+      put_i64(out, m(r, c).num());
+      put_i64(out, m(r, c).den());
+    }
+  }
+}
+
+// Constraints are gcd-normalized on insertion (constraint.hpp), so
+// sorting is all that is needed to erase insertion-order differences
+// between two descriptions of the same polyhedron.
+void put_space(std::string& out, const Polyhedron& space) {
+  put_i64(out, space.dim());
+  std::vector<Constraint> cons = space.constraints();
+  std::sort(cons.begin(), cons.end());
+  put_i64(out, static_cast<i64>(cons.size()));
+  for (const Constraint& c : cons) {
+    put_veci(out, c.coeffs);
+    put_i64(out, c.constant);
+  }
+}
+
+}  // namespace
+
+u64 fnv1a64(const std::string& bytes) {
+  u64 h = 0xcbf29ce484222325ull;
+  for (char c : bytes) {
+    h ^= static_cast<u64>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string PlanKey::hex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(digest));
+  return std::string(buf, 16);
+}
+
+PlanKey make_plan_key(const LoopNest& nest, const MatQ& h,
+                      CompiledPlan::Kind kind, const LoweringKnobs& knobs) {
+  PlanKey key;
+  std::string& out = key.bytes;
+  out.reserve(256);
+  out.append("CTPK1");  // format magic + version
+  put_u8(out, kind == CompiledPlan::Kind::kParallel ? 1 : 0);
+  // The nest's name is deliberately NOT serialized: lowering depends
+  // only on the space and the dependence matrix.  Dependence column
+  // order IS identity — kernels index dependence values by column.
+  put_i64(out, nest.depth);
+  put_space(out, nest.space);
+  put_mati(out, nest.deps);
+  put_matq(out, h);
+  put_i64(out, knobs.force_m);
+  put_u8(out, knobs.census_from_box ? 1 : 0);
+  if (knobs.census_from_box) {
+    put_veci(out, knobs.orig_lo);
+    put_veci(out, knobs.orig_hi);
+    put_mati(out, knobs.skew);
+  }
+  key.digest = fnv1a64(out);
+  return key;
+}
+
+PlanKey make_plan_key(const TiledNest& tiled, CompiledPlan::Kind kind,
+                      const LoweringKnobs& knobs) {
+  return make_plan_key(tiled.nest(), tiled.transform().H(), kind, knobs);
+}
+
+std::shared_ptr<const CompiledPlan> PlanCache::get_or_lower(
+    const PlanKey& key,
+    const std::function<std::shared_ptr<const CompiledPlan>()>& lower,
+    bool* was_hit) {
+  std::shared_future<std::shared_ptr<const CompiledPlan>> future;
+  std::promise<std::shared_ptr<const CompiledPlan>> promise;
+  bool owner = false;
+  u64 generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key.bytes);
+    if (it != map_.end()) {
+      stats_.hits += 1;
+      if (!it->second.ready) stats_.waits += 1;
+      future = it->second.future;
+    } else {
+      stats_.misses += 1;
+      owner = true;
+      generation = generation_;
+      Entry entry;
+      entry.future = promise.get_future().share();
+      entry.generation = generation;
+      future = entry.future;
+      map_.emplace(key.bytes, std::move(entry));
+    }
+  }
+  if (was_hit != nullptr) *was_hit = !owner;
+
+  if (owner) {
+    std::shared_ptr<const CompiledPlan> plan;
+    const Clock::time_point start = Clock::now();
+    try {
+      plan = lower();
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.failures += 1;
+        auto it = map_.find(key.bytes);
+        // Only erase our own entry: clear() may have removed it, and a
+        // retry may have raced a fresh one into the same slot.
+        if (it != map_.end() && it->second.generation == generation &&
+            !it->second.ready) {
+          map_.erase(it);
+        }
+      }
+      promise.set_exception(std::current_exception());
+      throw;
+    }
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.lowering_s += elapsed;
+      if (plan != nullptr) stats_.phase_total.accumulate(plan->phase_times());
+      auto it = map_.find(key.bytes);
+      if (it != map_.end() && it->second.generation == generation) {
+        it->second.ready = true;
+        fifo_.push_back(key.bytes);
+        evict_if_needed_locked();
+      }
+    }
+    promise.set_value(plan);
+    return plan;
+  }
+
+  return future.get();  // rethrows the owner's exception for waiters
+}
+
+std::shared_ptr<const CompiledPlan> PlanCache::parallel_plan(
+    const LoopNest& nest, const MatQ& h, const LoweringKnobs& knobs,
+    bool* was_hit) {
+  const PlanKey key = make_plan_key(nest, h, CompiledPlan::Kind::kParallel,
+                                    knobs);
+  return get_or_lower(
+      key, [&] { return CompiledPlan::compile_parallel(nest, h, knobs); },
+      was_hit);
+}
+
+std::shared_ptr<const CompiledPlan> PlanCache::sequential_plan(
+    const LoopNest& nest, const MatQ& h, bool* was_hit) {
+  const PlanKey key =
+      make_plan_key(nest, h, CompiledPlan::Kind::kSequential);
+  return get_or_lower(
+      key, [&] { return CompiledPlan::compile_sequential(nest, h); },
+      was_hit);
+}
+
+std::shared_ptr<const CompiledPlan> PlanCache::lookup(
+    const PlanKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key.bytes);
+  if (it == map_.end() || !it->second.ready) return nullptr;
+  return it->second.future.get();
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  generation_ += 1;  // fences in-flight completions out of re-insertion
+  map_.clear();
+  fifo_.clear();
+  stats_ = Stats{};
+}
+
+void PlanCache::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  evict_if_needed_locked();
+}
+
+void PlanCache::evict_if_needed_locked() {
+  if (capacity_ == 0) return;
+  while (fifo_.size() > capacity_) {
+    const std::string victim = std::move(fifo_.front());
+    fifo_.pop_front();
+    auto it = map_.find(victim);
+    if (it != map_.end() && it->second.ready) {
+      map_.erase(it);
+      stats_.evictions += 1;
+    }
+  }
+}
+
+PlanCache& global_plan_cache() {
+  static PlanCache* cache = new PlanCache();  // intentionally leaked
+  return *cache;
+}
+
+}  // namespace ctile

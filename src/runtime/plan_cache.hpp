@@ -1,0 +1,158 @@
+// Content-addressed cache of CompiledPlans: the plan-compiler-as-a-
+// service substrate (ROADMAP "heavy traffic" item).
+//
+// Keys are a canonical, platform-stable byte serialization of everything
+// that determines what lowering produces: the iteration space (gcd-
+// normalized constraints, sorted), the dependence matrix (column order
+// preserved — kernels consume dependence values by column index), the
+// tiling matrix H as exact normalized rationals, the lowering kind
+// (sequential / parallel) and the LoweringKnobs (force_m, census mode,
+// census box + skew).  The nest's *name* is deliberately excluded — two
+// identically-shaped nests share a plan no matter what they are called.
+// All integers are written little-endian at fixed width, so the bytes —
+// and the FNV-1a digest over them — are identical across platforms,
+// which is what makes cache keys shardable and persistable.
+//
+// Lookups are exact: the map is keyed by the full canonical bytes, with
+// the 64-bit digest serving only as the hash-bucket index and the
+// human-readable plan id.  A digest collision therefore cannot alias two
+// different plans.
+//
+// Concurrency: one mutex guards the map; lowering happens OUTSIDE the
+// lock behind a per-key shared_future, so (a) distinct keys lower
+// genuinely in parallel, (b) concurrent requests for the same key lower
+// it exactly once (later arrivals block on the in-flight future and are
+// counted as hits), and (c) a lowering that throws (LegalityError for a
+// structurally invalid tiling) is NOT cached — the entry is erased and
+// every waiter sees the exception, so a later retry starts clean.
+//
+// Invalidation: content-addressed entries can never go stale — a plan is
+// a pure function of its key — so the only eviction is capacity-based
+// (set_capacity, FIFO over completed entries; 0 = unbounded, the
+// default).
+#pragma once
+
+#include <functional>
+#include <future>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "deps/loop_nest.hpp"
+#include "runtime/compiled_plan.hpp"
+
+namespace ctile {
+
+/// A canonical cache key: exact identity bytes plus their 64-bit FNV-1a
+/// digest (index / display only — equality is on the bytes).
+struct PlanKey {
+  std::string bytes;
+  u64 digest = 0;
+
+  /// 16-hex-digit rendering of the digest (the plan id in reports).
+  std::string hex() const;
+
+  friend bool operator==(const PlanKey& a, const PlanKey& b) {
+    return a.bytes == b.bytes;
+  }
+  friend bool operator!=(const PlanKey& a, const PlanKey& b) {
+    return !(a == b);
+  }
+};
+
+/// FNV-1a 64-bit over a byte string (the cache's digest function;
+/// exposed for the request-level cache in tools/ctile_pland).
+u64 fnv1a64(const std::string& bytes);
+
+/// Build the canonical key for lowering (nest, H) at `kind` with
+/// `knobs`.  Throws nothing; legality is decided at lowering time.
+PlanKey make_plan_key(const LoopNest& nest, const MatQ& h,
+                      CompiledPlan::Kind kind,
+                      const LoweringKnobs& knobs = {});
+
+/// Same, from an already-built TiledNest (H = tiled.transform().H()).
+PlanKey make_plan_key(const TiledNest& tiled, CompiledPlan::Kind kind,
+                      const LoweringKnobs& knobs = {});
+
+class PlanCache {
+ public:
+  struct Stats {
+    i64 hits = 0;    ///< served an existing (or in-flight) plan
+    i64 waits = 0;   ///< subset of hits that blocked on in-flight lowering
+    i64 misses = 0;  ///< lowered cold (exactly one per cached plan)
+    i64 failures = 0;   ///< lowerings that threw (not cached)
+    i64 evictions = 0;  ///< entries dropped by the capacity bound
+    double lowering_s = 0.0;      ///< total cold-lowering wall seconds
+    PlanPhaseTimes phase_total;   ///< per-phase compile-time breakdown
+
+    double hit_rate() const {
+      const i64 total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) /
+                             static_cast<double>(total)
+                       : 0.0;
+    }
+  };
+
+  /// Return the plan for `key`, lowering it via `lower` on a cold miss.
+  /// `lower` runs outside the cache lock; concurrent callers with the
+  /// same key share one lowering.  If `lower` throws, the entry is
+  /// erased and the exception propagates to every waiter.  `was_hit`
+  /// (optional) reports whether this call was served from cache.
+  std::shared_ptr<const CompiledPlan> get_or_lower(
+      const PlanKey& key,
+      const std::function<std::shared_ptr<const CompiledPlan>()>& lower,
+      bool* was_hit = nullptr);
+
+  /// Convenience: the parallel plan for (nest, H, knobs), keyed
+  /// canonically and lowered with CompiledPlan::compile_parallel on a
+  /// miss.  Throws LegalityError for structurally invalid tilings.
+  std::shared_ptr<const CompiledPlan> parallel_plan(
+      const LoopNest& nest, const MatQ& h, const LoweringKnobs& knobs = {},
+      bool* was_hit = nullptr);
+
+  /// Convenience: the sequential-tiled plan for (nest, H).
+  std::shared_ptr<const CompiledPlan> sequential_plan(
+      const LoopNest& nest, const MatQ& h, bool* was_hit = nullptr);
+
+  /// The plan for `key` if already cached and completed, else nullptr
+  /// (never blocks, never lowers, does not count in the stats).
+  std::shared_ptr<const CompiledPlan> lookup(const PlanKey& key) const;
+
+  /// Completed + in-flight entries currently resident.
+  std::size_t size() const;
+
+  Stats stats() const;
+
+  /// Drop every completed entry and zero the statistics.  In-flight
+  /// lowerings finish and are handed to their waiters but are not
+  /// re-inserted (their map entries are erased with everything else
+  /// once complete — see get_or_lower's generation check).
+  void clear();
+
+  /// Bound the number of resident completed entries; 0 (default) means
+  /// unbounded.  Eviction is FIFO over completed entries — content-
+  /// addressed plans never go stale, so recency is only a memory knob.
+  void set_capacity(std::size_t capacity);
+
+ private:
+  struct Entry {
+    std::shared_future<std::shared_ptr<const CompiledPlan>> future;
+    bool ready = false;   ///< set once the lowering completed OK
+    u64 generation = 0;   ///< clear() fences stale completions
+  };
+
+  void evict_if_needed_locked();
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> map_;
+  std::list<std::string> fifo_;  ///< completed keys, insertion order
+  std::size_t capacity_ = 0;
+  u64 generation_ = 0;
+  Stats stats_;
+};
+
+/// The process-wide cache the autotuner and the service driver share by
+/// default.  Constructed on first use; never destroyed before exit.
+PlanCache& global_plan_cache();
+
+}  // namespace ctile

@@ -7,21 +7,27 @@ namespace ctile {
 
 SequentialTiledExecutor::SequentialTiledExecutor(const TiledNest& tiled,
                                                 const Kernel& kernel)
-    : tiled_(&tiled), kernel_(&kernel), classifier_(tiled) {
-  // Same plane-parallel criterion as the parallel executor: rows of a
-  // fixed-j'_0 plane are independent iff every TTIS dependence advances
-  // the outermost coordinate.
-  const MatI dprime = tiled.ttis_deps();
-  plane_parallel_ = true;
-  for (int l = 0; l < dprime.cols(); ++l) {
-    if (dprime(0, l) < 1) plane_parallel_ = false;
-  }
+    : plan_(CompiledPlan::compile_sequential(TiledNest(tiled))),
+      kernel_(&kernel) {}
+
+SequentialTiledExecutor::SequentialTiledExecutor(
+    std::shared_ptr<const CompiledPlan> plan, const Kernel& kernel)
+    : plan_(std::move(plan)), kernel_(&kernel) {
+  CTILE_ASSERT_MSG(plan_ != nullptr, "executor needs a plan");
 }
 
 DataSpace SequentialTiledExecutor::run() const {
-  if (pre_run_gate_) pre_run_gate_();
-  const LoopNest& nest = tiled_->nest();
-  const TilingTransform& tf = tiled_->transform();
+  if (pre_run_gate_) {
+    if (reverify_) {
+      pre_run_gate_();
+    } else {
+      plan_->run_gate_memoized(pre_run_gate_);
+    }
+  }
+  const TiledNest& tiled = plan_->tiled();
+  const TileClassifier& classifier = plan_->classifier();
+  const LoopNest& nest = tiled.nest();
+  const TilingTransform& tf = tiled.transform();
   const MatI& deps = nest.deps;
   const int q = deps.cols();
   const int arity = kernel_->arity();
@@ -66,13 +72,13 @@ DataSpace SequentialTiledExecutor::run() const {
   std::vector<RowSeg> plane;
   std::vector<const double*> plane_scratch;
   const bool pooled =
-      policy_ == exec::Policy::kThreadPool && plane_parallel_;
+      policy_ == exec::Policy::kThreadPool && plan_->plane_parallel();
 
   // Tiles in lexicographic tile-space order (legal: tile dependencies are
   // componentwise non-negative under a legal tiling), points in TTIS
   // order within each tile.
-  tiled_->tile_space().scan([&](const VecI& js) {
-    if (use_fast_sweep_ && classifier_.interior(js)) {
+  tiled.tile_space().scan([&](const VecI& js) {
+    if (use_fast_sweep_ && classifier.interior(js)) {
       // Interior tile: every lattice point is a real iteration and every
       // predecessor is in-space — already computed, by legality of the
       // tile order — so the sweep is flat offset arithmetic over the DS.
@@ -96,7 +102,7 @@ DataSpace SequentialTiledExecutor::run() const {
         }
         plane.clear();
       };
-      for (TtisRowWalker row(tf, tiled_->tile_region(js)); row.valid();
+      for (TtisRowWalker row(tf, tiled.tile_region(js)); row.valid();
            row.next()) {
         VecI j = tf.point_of(origin, row.row_start());
         i64 s = ds.offset(j);
@@ -131,7 +137,7 @@ DataSpace SequentialTiledExecutor::run() const {
       }
       flush_plane();
     } else {
-      tiled_->for_each_tile_point(js, [&](const VecI&, const VecI& j) {
+      tiled.for_each_tile_point(js, [&](const VecI&, const VecI& j) {
         for (int l = 0; l < q; ++l) {
           double* dst = &dep_vals[static_cast<std::size_t>(l) * static_cast<std::size_t>(arity)];
           const VecI pred = vec_sub(j, deps.col(l));

@@ -7,37 +7,62 @@
 // plain lexicographic executor's bit-for-bit for every legal tiling.
 // (It is also the semantic reference for the generated sequential code.)
 //
-// Like the parallel executor, it classifies tiles (tiling/interior.hpp):
-// interior tiles are swept with flat affine row arithmetic directly over
-// data-space offsets — no contains() tests, no initial-value branches,
-// no per-point indexing — while boundary tiles keep the general clipped
-// path.  The legacy path stays behind set_use_fast_sweep(false).
+// Like the parallel executor, it is a thin mutable shell over an
+// immutable CompiledPlan (kind kSequential: classifier only, built
+// census-free so non-integral P is served too).  Plans come from the
+// PlanCache on the warm path; the legacy constructor lowers cold through
+// the same CompiledPlan code path.
+//
+// Interior tiles (tiling/interior.hpp) are swept with flat affine row
+// arithmetic directly over data-space offsets — no contains() tests, no
+// initial-value branches, no per-point indexing — while boundary tiles
+// keep the general clipped path.  The legacy path stays behind
+// set_use_fast_sweep(false).
 #pragma once
 
 #include <functional>
+#include <memory>
 
+#include "runtime/compiled_plan.hpp"
 #include "runtime/data_space.hpp"
 #include "runtime/exec_policy.hpp"
-#include "tiling/interior.hpp"
-#include "tiling/tile_space.hpp"
 
 namespace ctile {
 
 class SequentialTiledExecutor {
  public:
-  /// Classifies every tile of `tiled` (no census: the sequential path
+  /// Cold path: classify every tile of `tiled` here via
+  /// CompiledPlan::compile_sequential (no census: the sequential path
   /// must also serve non-integral P, where corner probes alone decide).
   SequentialTiledExecutor(const TiledNest& tiled, const Kernel& kernel);
 
-  const TiledNest& tiled() const { return *tiled_; }
-  const TileClassifier& classifier() const { return classifier_; }
+  /// Warm path: adopt an already-lowered sequential plan (from the
+  /// PlanCache or a sibling executor); shared read-only.
+  SequentialTiledExecutor(std::shared_ptr<const CompiledPlan> plan,
+                          const Kernel& kernel);
+
+  const TiledNest& tiled() const { return plan_->tiled(); }
+  const TileClassifier& classifier() const { return plan_->classifier(); }
+
+  /// The immutable lowering this executor runs.
+  const std::shared_ptr<const CompiledPlan>& compiled() const {
+    return plan_;
+  }
 
   /// Install a callback invoked at the top of every run(); the gate
   /// aborts the run by throwing (see verify::enable_verify_before_run).
-  /// Pass nullptr to clear.
+  /// Pass nullptr to clear.  The verdict is memoized in the plan and
+  /// replayed on later runs (see set_reverify); installing a gate drops
+  /// any memoized verdict.
   void set_pre_run_gate(std::function<void()> gate) {
     pre_run_gate_ = std::move(gate);
+    plan_->invalidate_gate_memo();
   }
+
+  /// Force the pre-run gate to execute on every run() instead of
+  /// replaying the plan's memoized verdict (mutation tests).
+  void set_reverify(bool on) { reverify_ = on; }
+  bool reverify() const { return reverify_; }
 
   /// Toggle the strength-reduced interior sweep (default on).  Both
   /// paths must produce bitwise-identical data spaces.
@@ -54,18 +79,17 @@ class SequentialTiledExecutor {
   exec::Policy exec_policy() const { return policy_; }
 
   /// True when the tiling admits the kThreadPool plane fan-out.
-  bool plane_parallel() const { return plane_parallel_; }
+  bool plane_parallel() const { return plan_->plane_parallel(); }
 
   /// Execute in sequential tiled order; returns the data space.
   DataSpace run() const;
 
  private:
-  const TiledNest* tiled_;
+  std::shared_ptr<const CompiledPlan> plan_;
   const Kernel* kernel_;
-  TileClassifier classifier_;
   exec::Policy policy_ = exec::policy_from_env(exec::Policy::kSimd);
-  bool plane_parallel_ = false;
   bool use_fast_sweep_ = true;
+  bool reverify_ = false;
   std::function<void()> pre_run_gate_;
 };
 

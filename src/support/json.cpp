@@ -1,0 +1,328 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace ctile::json {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t pos, const std::string& what) {
+  throw Error("json: " + what + " at byte " + std::to_string(pos));
+}
+
+std::string type_name(Type t) {
+  switch (t) {
+    case Type::kNull: return "null";
+    case Type::kBool: return "bool";
+    case Type::kNumber: return "number";
+    case Type::kString: return "string";
+    case Type::kArray: return "array";
+    case Type::kObject: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void type_fail(Type have, const std::string& want) {
+  throw Error("json: expected " + want + ", have " + type_name(have));
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (type_ != Type::kBool) type_fail(type_, "bool");
+  return bool_;
+}
+
+double Value::as_double() const {
+  if (type_ != Type::kNumber) type_fail(type_, "number");
+  return num_;
+}
+
+i64 Value::as_i64() const {
+  if (type_ != Type::kNumber) type_fail(type_, "number");
+  if (!int_exact_) {
+    throw Error("json: number is not an exact 64-bit integer");
+  }
+  return int_;
+}
+
+const std::string& Value::as_string() const {
+  if (type_ != Type::kString) type_fail(type_, "string");
+  return str_;
+}
+
+const std::vector<ValuePtr>& Value::as_array() const {
+  if (type_ != Type::kArray) type_fail(type_, "array");
+  return arr_;
+}
+
+const std::map<std::string, ValuePtr>& Value::as_object() const {
+  if (type_ != Type::kObject) type_fail(type_, "object");
+  return obj_;
+}
+
+ValuePtr Value::find(const std::string& key) const {
+  if (type_ != Type::kObject) type_fail(type_, "object");
+  auto it = obj_.find(key);
+  return it == obj_.end() ? nullptr : it->second;
+}
+
+const Value& Value::get(const std::string& key) const {
+  ValuePtr v = find(key);
+  if (v == nullptr) throw Error("json: missing key \"" + key + "\"");
+  return *v;
+}
+
+i64 Value::get_i64_or(const std::string& key, i64 fallback) const {
+  ValuePtr v = find(key);
+  return v == nullptr ? fallback : v->as_i64();
+}
+
+std::string Value::get_string_or(const std::string& key,
+                                 const std::string& fallback) const {
+  ValuePtr v = find(key);
+  return v == nullptr ? fallback : v->as_string();
+}
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::size_t pos)
+      : text_(text), pos_(pos) {}
+
+  std::size_t pos() const { return pos_; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  ValuePtr value() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': return word("true", [](Value& v) {
+        v.type_ = Type::kBool;
+        v.bool_ = true;
+      });
+      case 'f': return word("false", [](Value& v) {
+        v.type_ = Type::kBool;
+        v.bool_ = false;
+      });
+      case 'n': return word("null", [](Value& v) {
+        v.type_ = Type::kNull;
+      });
+      default: return number();
+    }
+  }
+
+ private:
+  char next() {
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(pos_, std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  template <typename Fill>
+  ValuePtr word(const char* w, Fill fill) {
+    const std::size_t start = pos_;
+    for (const char* p = w; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        fail(start, std::string("invalid literal (expected ") + w + ")");
+      }
+      ++pos_;
+    }
+    auto v = std::make_shared<Value>();
+    fill(*v);
+    return v;
+  }
+
+  ValuePtr object() {
+    expect('{');
+    auto v = std::make_shared<Value>();
+    v->type_ = Type::kObject;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        fail(pos_, "expected object key string");
+      }
+      const std::string key = parse_string();
+      expect(':');
+      v->obj_[key] = value();
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail(pos_ - 1, "expected ',' or '}' in object");
+    }
+    return v;
+  }
+
+  ValuePtr array() {
+    expect('[');
+    auto v = std::make_shared<Value>();
+    v->type_ = Type::kArray;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v->arr_.push_back(value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') fail(pos_ - 1, "expected ',' or ']' in array");
+    }
+    return v;
+  }
+
+  ValuePtr string_value() {
+    auto v = std::make_shared<Value>();
+    v->type_ = Type::kString;
+    v->str_ = parse_string();
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') break;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char e = next();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = next();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail(pos_ - 1, "invalid \\u escape");
+            }
+          }
+          // UTF-8 encode (BMP only; surrogate pairs are out of scope for
+          // tool requests and rejected).
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            fail(pos_, "surrogate pairs unsupported");
+          }
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail(pos_ - 1, "invalid escape");
+      }
+    }
+    return out;
+  }
+
+  ValuePtr number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail(start, "invalid number");
+    }
+    const std::string lit = text_.substr(start, pos_ - start);
+    auto v = std::make_shared<Value>();
+    v->type_ = Type::kNumber;
+    errno = 0;
+    char* end = nullptr;
+    v->num_ = std::strtod(lit.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail(start, "invalid number");
+    if (integral) {
+      errno = 0;
+      const long long ll = std::strtoll(lit.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        v->int_ = static_cast<i64>(ll);
+        v->int_exact_ = true;
+      }
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_;
+};
+
+ValuePtr parse(const std::string& text) {
+  Parser p(text, 0);
+  ValuePtr v = p.value();
+  if (!p.at_end()) {
+    fail(p.pos(), "trailing content after JSON document");
+  }
+  return v;
+}
+
+ValuePtr parse_next(const std::string& text, std::size_t* pos) {
+  CTILE_ASSERT(pos != nullptr);
+  Parser p(text, *pos);
+  if (p.at_end()) {
+    *pos = text.size();
+    return nullptr;
+  }
+  ValuePtr v = p.value();
+  *pos = p.pos();
+  return v;
+}
+
+}  // namespace ctile::json

@@ -1,0 +1,75 @@
+// A minimal recursive-descent JSON reader for the ctile tool drivers
+// (ctile_pland's request stream).  No external dependency, by project
+// rule; the writer side lives in bench/bench_util (JsonReport/JsonArray).
+//
+// Scope is deliberately small: objects, arrays, strings (with the
+// standard escapes incl. \uXXXX for BMP code points), numbers, booleans,
+// null.  Numbers are held as double plus an exact i64 when the literal
+// is integral and in range — tiling requests are all small integers, so
+// as_i64() never silently rounds.  Malformed input throws ctile::Error
+// with a byte offset.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/checked_int.hpp"
+#include "support/error.hpp"
+
+namespace ctile::json {
+
+class Value;
+using ValuePtr = std::shared_ptr<const Value>;
+
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class Value {
+ public:
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  /// Typed accessors; throw Error when the type does not match.
+  bool as_bool() const;
+  double as_double() const;
+  /// The exact integer value; throws when the number was not written as
+  /// an in-range integer literal.
+  i64 as_i64() const;
+  const std::string& as_string() const;
+  const std::vector<ValuePtr>& as_array() const;
+
+  /// Object lookup: get() throws on a missing key, find() returns null.
+  const Value& get(const std::string& key) const;
+  ValuePtr find(const std::string& key) const;
+  bool has(const std::string& key) const { return find(key) != nullptr; }
+  const std::map<std::string, ValuePtr>& as_object() const;
+
+  /// Convenience: the i64 (or string) at `key`, or `fallback` when the
+  /// key is absent.  Type mismatches still throw.
+  i64 get_i64_or(const std::string& key, i64 fallback) const;
+  std::string get_string_or(const std::string& key,
+                            const std::string& fallback) const;
+
+ private:
+  friend class Parser;
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  i64 int_ = 0;
+  bool int_exact_ = false;
+  std::string str_;
+  std::vector<ValuePtr> arr_;
+  std::map<std::string, ValuePtr> obj_;
+};
+
+/// Parse one complete JSON document; trailing non-whitespace throws.
+ValuePtr parse(const std::string& text);
+
+/// Parse the first JSON value starting at text[*pos] (skipping leading
+/// whitespace); advances *pos past it.  Returns nullptr at end of input.
+/// This is the streaming entry ctile_pland uses to read concatenated or
+/// newline-delimited request objects.
+ValuePtr parse_next(const std::string& text, std::size_t* pos);
+
+}  // namespace ctile::json

@@ -1,0 +1,307 @@
+// Concurrency tests for the PlanCache and the shared-CompiledPlan
+// execution model: N threads hammering one cache must lower each
+// distinct key exactly once, every executor adopting a cached plan must
+// produce data spaces bitwise identical to a cold-built executor (across
+// exec policies and both mpisim backends), the ctile-verify pre-run gate
+// must run once per plan (with set_reverify as the escape hatch), and
+// autotune queries must hit the cache on repeats.
+//
+// This binary runs under TSan in CI (minus *EventBackend* — ucontext
+// fibers and TSan don't mix), so it doubles as the data-race proof for
+// the single-flight lowering and the gate memo.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "apps/kernels.hpp"
+#include "cluster/autotune.hpp"
+#include "runtime/parallel_executor.hpp"
+#include "runtime/plan_cache.hpp"
+#include "runtime/sequential_tiled.hpp"
+
+namespace ctile {
+namespace {
+
+struct Config {
+  std::string name;
+  AppInstance app;
+  MatQ h;
+  int force_m;
+};
+
+std::vector<Config> paper_configs() {
+  std::vector<Config> configs;
+  configs.push_back({"sor-rect", make_sor(24, 48), sor_rect_h(6, 18, 8), 2});
+  configs.push_back(
+      {"sor-nonrect", make_sor(24, 48), sor_nonrect_h(6, 18, 8), 2});
+  configs.push_back({"jacobi-nonrect", make_jacobi(12, 16, 12),
+                     jacobi_nonrect_h(3, 4, 4), -1});
+  configs.push_back({"adi-nr1", make_adi(16, 16), adi_nr1_h(4, 4, 4), -1});
+  configs.push_back({"adi-nr3", make_adi(16, 16), adi_nr3_h(4, 4, 4), -1});
+  return configs;
+}
+
+LoweringKnobs knobs_for(int force_m) {
+  LoweringKnobs knobs;
+  knobs.force_m = force_m;
+  return knobs;
+}
+
+TEST(PlanCacheConcurrent, SameKeyLowersExactlyOnce) {
+  const AppInstance app = make_sor(24, 48);
+  const PlanKey key = make_plan_key(app.nest, sor_rect_h(6, 18, 8),
+                                    CompiledPlan::Kind::kParallel,
+                                    knobs_for(2));
+  PlanCache cache;
+  std::atomic<int> lowerings{0};
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const CompiledPlan>> plans(kThreads);
+  std::vector<std::thread> pool;
+  for (int w = 0; w < kThreads; ++w) {
+    pool.emplace_back([&, w] {
+      plans[static_cast<std::size_t>(w)] = cache.get_or_lower(key, [&] {
+        lowerings.fetch_add(1);
+        return CompiledPlan::compile_parallel(app.nest, sor_rect_h(6, 18, 8),
+                                              knobs_for(2));
+      });
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(lowerings.load(), 1);
+  for (int w = 1; w < kThreads; ++w) {
+    EXPECT_EQ(plans[static_cast<std::size_t>(w)], plans[0])
+        << "thread " << w << " got a different plan object";
+  }
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, kThreads - 1);
+  EXPECT_EQ(stats.failures, 0);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheConcurrent, MixedWorkloadSharedCacheBitwiseClean) {
+  const std::vector<Config> configs = paper_configs();
+  // Cold-built references, one per config, lowered outside the cache.
+  std::vector<DataSpace> reference;
+  for (const Config& cfg : configs) {
+    TiledNest tiled(cfg.app.nest, TilingTransform(cfg.h));
+    ParallelExecutor exec(tiled, *cfg.app.kernel, cfg.force_m);
+    exec.set_exec_policy(exec::Policy::kSequential);
+    reference.push_back(exec.run());
+  }
+
+  PlanCache cache;
+  constexpr int kThreads = 8;
+  constexpr int kRoundsPerThread = 3;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> pool;
+  for (int w = 0; w < kThreads; ++w) {
+    pool.emplace_back([&, w] {
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        // Stagger the order so threads collide on different keys.
+        const std::size_t i =
+            (static_cast<std::size_t>(w) + static_cast<std::size_t>(round)) %
+            configs.size();
+        const Config& cfg = configs[i];
+        auto plan = cache.parallel_plan(cfg.app.nest, cfg.h,
+                                        knobs_for(cfg.force_m));
+        ParallelExecutor exec(plan, *cfg.app.kernel);
+        exec.set_exec_policy(round % 2 == 0 ? exec::Policy::kSimd
+                                            : exec::Policy::kSequential);
+        const DataSpace out = exec.run();
+        if (DataSpace::max_abs_diff(out, reference[i],
+                                    cfg.app.nest.space) != 0.0) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, static_cast<i64>(configs.size()));
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kRoundsPerThread);
+  EXPECT_EQ(cache.size(), configs.size());
+}
+
+TEST(PlanCacheConcurrent, ThreadPoolPolicyOnCachedPlanBitwiseClean) {
+  // The plane fan-out policy on a shared plan: per-run state must be
+  // fully executor-local for this to be clean.
+  const Config cfg = paper_configs()[0];
+  PlanCache cache;
+  auto plan = cache.parallel_plan(cfg.app.nest, cfg.h,
+                                  knobs_for(cfg.force_m));
+  TiledNest tiled(cfg.app.nest, TilingTransform(cfg.h));
+  ParallelExecutor cold(tiled, *cfg.app.kernel, cfg.force_m);
+  const DataSpace ref = cold.run();
+  ParallelExecutor warm(plan, *cfg.app.kernel);
+  warm.set_exec_policy(exec::Policy::kThreadPool);
+  EXPECT_EQ(DataSpace::max_abs_diff(warm.run(), ref, cfg.app.nest.space),
+            0.0);
+}
+
+// Named *EventBackend* so the TSan CI job can exclude it (ucontext
+// fibers are invisible to TSan's shadow stack).
+TEST(PlanCacheEventBackend, CachedPlanBitwiseCleanOnEventBackend) {
+  for (const Config& cfg : paper_configs()) {
+    PlanCache cache;
+    auto plan = cache.parallel_plan(cfg.app.nest, cfg.h,
+                                    knobs_for(cfg.force_m));
+    TiledNest tiled(cfg.app.nest, TilingTransform(cfg.h));
+    ParallelExecutor cold(tiled, *cfg.app.kernel, cfg.force_m);
+    cold.set_comm_backend(mpisim::Backend::kThread);
+    const DataSpace ref = cold.run();
+    ParallelExecutor warm(plan, *cfg.app.kernel);
+    warm.set_comm_backend(mpisim::Backend::kEvent, 7);
+    EXPECT_EQ(DataSpace::max_abs_diff(warm.run(), ref, cfg.app.nest.space),
+              0.0)
+        << cfg.name << ": event-backend run on cached plan diverged";
+  }
+}
+
+TEST(PlanCacheConcurrent, SequentialPlanSharedAcrossExecutors) {
+  const AppInstance app = make_sor(16, 24);
+  const MatQ h = sor_nonrect_h(4, 10, 6);
+  PlanCache cache;
+  bool was_hit = false;
+  auto plan = cache.sequential_plan(app.nest, h, &was_hit);
+  EXPECT_FALSE(was_hit);
+  auto plan2 = cache.sequential_plan(app.nest, h, &was_hit);
+  EXPECT_TRUE(was_hit);
+  EXPECT_EQ(plan, plan2);
+  TiledNest tiled(app.nest, TilingTransform(h));
+  SequentialTiledExecutor cold(tiled, *app.kernel);
+  SequentialTiledExecutor warm(plan, *app.kernel);
+  EXPECT_EQ(DataSpace::max_abs_diff(warm.run(), cold.run(), app.nest.space),
+            0.0);
+}
+
+TEST(PlanCacheConcurrent, FailedLoweringIsNotCachedAndRethrows) {
+  const AppInstance app = make_sor(16, 24);
+  const PlanKey key = make_plan_key(app.nest, sor_rect_h(4, 6, 4),
+                                    CompiledPlan::Kind::kParallel,
+                                    knobs_for(2));
+  PlanCache cache;
+  std::atomic<int> attempts{0};
+  auto failing = [&]() -> std::shared_ptr<const CompiledPlan> {
+    attempts.fetch_add(1);
+    throw LegalityError("synthetic lowering failure");
+  };
+  EXPECT_THROW(cache.get_or_lower(key, failing), LegalityError);
+  EXPECT_THROW(cache.get_or_lower(key, failing), LegalityError);
+  // Each failure re-ran the lowering: nothing poisonous was cached.
+  EXPECT_EQ(attempts.load(), 2);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().failures, 2);
+  // A later legal lowering of the same key starts clean.
+  auto plan = cache.get_or_lower(key, [&] {
+    return CompiledPlan::compile_parallel(app.nest, sor_rect_h(4, 6, 4),
+                                          knobs_for(2));
+  });
+  EXPECT_NE(plan, nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheConcurrent, GateRunsOncePerPlanAndReverifyEscapes) {
+  const AppInstance app = make_sor(16, 24);
+  TiledNest tiled(app.nest, TilingTransform(sor_nonrect_h(4, 10, 6)));
+  ParallelExecutor exec(tiled, *app.kernel);
+  std::atomic<int> gate_runs{0};
+  exec.set_pre_run_gate([&] { gate_runs.fetch_add(1); });
+  exec.run();
+  exec.run();
+  // The verdict is memoized in the immutable plan: one proof, many runs.
+  EXPECT_EQ(gate_runs.load(), 1);
+
+  // Installing a gate on a sibling executor sharing the plan drops the
+  // memoized verdict (a new gate is a new proof obligation), so the
+  // sibling's gate runs exactly once and is memoized in turn.
+  ParallelExecutor sibling(exec.compiled(), *app.kernel);
+  std::atomic<int> sibling_runs{0};
+  sibling.set_pre_run_gate([&] { sibling_runs.fetch_add(1); });
+  sibling.run();
+  sibling.run();
+  EXPECT_EQ(sibling_runs.load(), 1);
+
+  // set_reverify(true) bypasses the memo on every run.
+  sibling.set_reverify(true);
+  sibling.run();
+  sibling.run();
+  EXPECT_EQ(sibling_runs.load(), 3);
+}
+
+TEST(PlanCacheConcurrent, ThrowingGateMemoizesTheFailure) {
+  const AppInstance app = make_sor(16, 24);
+  TiledNest tiled(app.nest, TilingTransform(sor_nonrect_h(4, 10, 6)));
+  ParallelExecutor exec(tiled, *app.kernel);
+  std::atomic<int> gate_runs{0};
+  exec.set_pre_run_gate([&] {
+    gate_runs.fetch_add(1);
+    throw LegalityError("synthetic gate failure");
+  });
+  EXPECT_THROW(exec.run(), LegalityError);
+  // The failure verdict replays without re-running the gate.
+  EXPECT_THROW(exec.run(), LegalityError);
+  EXPECT_EQ(gate_runs.load(), 1);
+  // Installing a new gate drops the memoized verdict.
+  exec.set_pre_run_gate([&] { gate_runs.fetch_add(1); });
+  exec.run();
+  EXPECT_EQ(gate_runs.load(), 2);
+}
+
+TEST(PlanCacheConcurrent, AutotuneHitsCacheOnRepeatedQueries) {
+  const AppInstance app = make_sor(24, 48);
+  AutotuneRequest req;
+  req.tiling_for = [](i64 z) { return sor_nonrect_h(6, 18, z); };
+  req.candidates = {4, 6, 8};
+  req.chain_extent = 2 * 24 + 48;
+  req.force_m = 2;
+  req.arity = 1;
+  req.orig_lo = {1, 1, 1};
+  req.orig_hi = {24, 48, 48};
+  req.skew = sor_skew_matrix();
+  PlanCache cache;
+  req.cache = &cache;
+  const MachineModel machine = MachineModel::fast_ethernet_cluster();
+  const AutotuneResult first = autotune_tile_size(app.nest, req, machine);
+  EXPECT_EQ(first.cache_hits, 0);
+  EXPECT_EQ(first.cache_misses, 3);
+  const AutotuneResult second = autotune_tile_size(app.nest, req, machine);
+  EXPECT_EQ(second.cache_hits, 3);
+  EXPECT_EQ(second.cache_misses, 0);
+  EXPECT_EQ(second.best_factor, first.best_factor);
+  EXPECT_EQ(second.best.makespan, first.best.makespan);
+  EXPECT_GT(cache.stats().hit_rate(), 0.0);
+}
+
+TEST(PlanCacheConcurrent, CapacityEvictsFifoAndClearResets) {
+  const std::vector<Config> configs = paper_configs();
+  PlanCache cache;
+  cache.set_capacity(2);
+  for (const Config& cfg : configs) {
+    cache.parallel_plan(cfg.app.nest, cfg.h, knobs_for(cfg.force_m));
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions,
+            static_cast<i64>(configs.size()) - 2);
+  // The newest entry is resident; the oldest was evicted and re-lowers.
+  const Config& newest = configs.back();
+  const PlanKey newest_key =
+      make_plan_key(newest.app.nest, newest.h, CompiledPlan::Kind::kParallel,
+                    knobs_for(newest.force_m));
+  EXPECT_NE(cache.lookup(newest_key), nullptr);
+  const Config& oldest = configs.front();
+  const PlanKey oldest_key =
+      make_plan_key(oldest.app.nest, oldest.h, CompiledPlan::Kind::kParallel,
+                    knobs_for(oldest.force_m));
+  EXPECT_EQ(cache.lookup(oldest_key), nullptr);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.stats().misses, 0);
+}
+
+}  // namespace
+}  // namespace ctile

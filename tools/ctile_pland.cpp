@@ -1,0 +1,471 @@
+// ctile_pland: the plan-compiler-as-a-service batch/server driver.
+//
+// Reads a stream of JSON tiling requests (newline-delimited objects, a
+// concatenated object stream, or one JSON array), answers each from the
+// content-addressed PlanCache, and prints one JSON response per request
+// followed by a summary object with the cache hit rate, p50/p95/p99
+// plan-acquisition latency, and the per-phase compile-time breakdown of
+// every cold lowering.  Misses lower the plan, run the ctile-verify
+// rules V1..V5 over the lowered artifacts, and cache only proven plans;
+// hits reuse the memoized verdict with the plan — this is ROADMAP item
+// 3's "many users submit nests" amortization story.
+//
+//   $ { echo '{"id": "a", "app": "sor", "flavour": "rect"}';
+//       echo '{"id": "b", "app": "sor", "flavour": "rect"}'; } |
+//     ctile_pland --stdin
+//
+// Request fields:
+//   app      "sor" | "jacobi" | "adi" | "heat"          (required)
+//   flavour  "rect" | "nonrect" ("nr1"|"nr2"|"nr3" for adi; default rect)
+//   sizes    problem sizes   (app-specific; paper defaults, see below)
+//   factors  tile factors    (x y z; x y for heat; paper defaults)
+//   m        mapping-dimension override (default: the app's paper value)
+//   mode     "lower" (default) | "autotune"
+//   id       echoed in the response (default "req-<index>")
+//   candidates  autotune only: chain-factor candidate list
+//
+// Flags: --requests=FILE (or positional FILE), --stdin, --threads=N,
+// --repeat=K (process the stream K times — the steady-state warm
+// workload), --no-verify, --quiet (summary only), --json=PATH (write the
+// summary as a JsonReport for CI).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/kernels.hpp"
+#include "bench_util.hpp"
+#include "cluster/autotune.hpp"
+#include "runtime/plan_cache.hpp"
+#include "support/json.hpp"
+#include "verify/plan_model.hpp"
+#include "verify/verifier.hpp"
+
+using namespace ctile;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: ctile_pland [--stdin | --requests=FILE | FILE]\n"
+      "                   [--threads=N] [--repeat=K] [--no-verify]\n"
+      "                   [--quiet] [--json=PATH]\n"
+      "\n"
+      "Serves a stream of JSON tiling requests from the content-addressed\n"
+      "PlanCache; prints one JSON response per request plus a summary with\n"
+      "hit rate, p50/p95/p99 latency and the compile-phase breakdown.\n");
+}
+
+/// One parsed request: the (app, H) pair plus autotune inputs.
+struct Request {
+  std::string id;
+  std::string mode;  // "lower" | "autotune"
+  AppInstance app;
+  MatQ h;
+  int force_m = -1;
+  // Autotune inputs (mode == "autotune").
+  std::function<MatQ(i64)> tiling_for;
+  std::vector<i64> candidates;
+  i64 chain_extent = 0;
+  VecI orig_lo;
+  VecI orig_hi;
+  MatI skew;
+};
+
+i64 size_at(const std::vector<json::ValuePtr>& xs, std::size_t i, i64 def) {
+  return i < xs.size() ? xs[i]->as_i64() : def;
+}
+
+/// Materialize the app + tiling of one request, with the same paper
+/// defaults as the ctile_verify CLI.
+Request build_request(const json::Value& v, std::size_t index) {
+  Request req;
+  req.id = v.get_string_or("id", "req-" + std::to_string(index));
+  req.mode = v.get_string_or("mode", "lower");
+  if (req.mode != "lower" && req.mode != "autotune") {
+    throw Error("unknown mode \"" + req.mode + "\"");
+  }
+  const std::string app = v.get("app").as_string();
+  const std::string flavour = v.get_string_or("flavour", "rect");
+  std::vector<json::ValuePtr> sizes;
+  if (v.has("sizes")) sizes = v.get("sizes").as_array();
+  std::vector<json::ValuePtr> factors;
+  if (v.has("factors")) factors = v.get("factors").as_array();
+
+  if (app == "sor") {
+    const i64 m = size_at(sizes, 0, 6), n = size_at(sizes, 1, 9);
+    const i64 x = size_at(factors, 0, 2), y = size_at(factors, 1, 3),
+              z = size_at(factors, 2, 4);
+    req.app = make_sor(m, n);
+    auto family = [x, y, rect = flavour == "rect"](i64 zz) {
+      return rect ? sor_rect_h(x, y, zz) : sor_nonrect_h(x, y, zz);
+    };
+    req.h = family(z);
+    req.tiling_for = family;
+    req.force_m = 2;
+    req.chain_extent = 2 * m + n;  // skewed chain dim j+2t spans this
+    req.orig_lo = {1, 1, 1};
+    req.orig_hi = {m, n, n};
+    req.skew = sor_skew_matrix();
+  } else if (app == "jacobi") {
+    const i64 t = size_at(sizes, 0, 4), ij = size_at(sizes, 1, 8);
+    const i64 x = size_at(factors, 0, 2), y = size_at(factors, 1, 4),
+              z = size_at(factors, 2, 3);
+    req.app = make_jacobi(t, ij, ij);
+    auto family = [y, z, rect = flavour == "rect"](i64 xx) {
+      return rect ? jacobi_rect_h(xx, y, z) : jacobi_nonrect_h(xx, y, z);
+    };
+    req.h = family(x);
+    req.tiling_for = family;
+    req.force_m = 0;
+    req.chain_extent = t;
+    req.orig_lo = {1, 1, 1};
+    req.orig_hi = {t, ij, ij};
+    req.skew = jacobi_skew_matrix();
+  } else if (app == "adi") {
+    const i64 t = size_at(sizes, 0, 4), n = size_at(sizes, 1, 6);
+    const i64 x = size_at(factors, 0, 2), y = size_at(factors, 1, 3),
+              z = size_at(factors, 2, 3);
+    req.app = make_adi(t, n);
+    auto family = [y, z, flavour](i64 xx) {
+      if (flavour == "rect") return adi_rect_h(xx, y, z);
+      if (flavour == "nr1") return adi_nr1_h(xx, y, z);
+      if (flavour == "nr2") return adi_nr2_h(xx, y, z);
+      return adi_nr3_h(xx, y, z);
+    };
+    req.h = family(x);
+    req.tiling_for = family;
+    req.force_m = 0;
+    req.chain_extent = t;
+    req.orig_lo = {1, 1, 1};
+    req.orig_hi = {t, n, n};
+    req.skew = MatI::identity(3);
+  } else if (app == "heat") {
+    const i64 t = size_at(sizes, 0, 8), n = size_at(sizes, 1, 12);
+    const i64 x = size_at(factors, 0, 2), y = size_at(factors, 1, 3);
+    req.app = make_heat(t, n);
+    auto family = [y, rect = flavour == "rect"](i64 xx) {
+      return rect ? heat_rect_h(xx, y) : heat_nonrect_h(xx, y);
+    };
+    req.h = family(x);
+    req.tiling_for = family;
+    req.force_m = 0;
+    req.chain_extent = t;
+    req.orig_lo = {1, 1};
+    req.orig_hi = {t, n};
+    req.skew = heat_skew_matrix();
+  } else {
+    throw Error("unknown app \"" + app + "\"");
+  }
+
+  const i64 m_override = v.get_i64_or("m", -2);
+  if (m_override != -2) req.force_m = static_cast<int>(m_override);
+  if (v.has("candidates")) {
+    for (const auto& c : v.get("candidates").as_array()) {
+      req.candidates.push_back(c->as_i64());
+    }
+  }
+  return req;
+}
+
+struct Response {
+  std::string body;        ///< rendered JSON object
+  double latency_s = 0.0;  ///< wall time to answer
+  bool ok = false;
+};
+
+/// Shared service state: the cache plus the verify-on-miss policy.
+struct Service {
+  PlanCache cache;
+  bool verify = true;
+};
+
+Response serve_lower(Service& svc, const Request& req) {
+  bench::JsonArray out;
+  out.begin_item();
+  out.field("id", req.id);
+  out.field("mode", "lower");
+  Response resp;
+  LoweringKnobs knobs;
+  knobs.force_m = req.force_m;
+  const PlanKey key = make_plan_key(req.app.nest, req.h,
+                                    CompiledPlan::Kind::kParallel, knobs);
+  const auto start = Clock::now();
+  bool was_hit = false;
+  std::shared_ptr<const CompiledPlan> plan = svc.cache.get_or_lower(
+      key,
+      [&] {
+        auto p = CompiledPlan::compile_parallel(req.app.nest, req.h, knobs);
+        if (svc.verify) {
+          // Cold miss: prove the lowering (rules V1..V5) before caching.
+          // A failed proof throws, so an unproven plan is never served.
+          verify::PlanModel model = verify::snapshot_plan(
+              p->tiled(), p->mapping(), p->comm_plan(), p->window_layouts(),
+              &p->classifier());
+          const verify::VerifyReport report = verify::verify_plan(model);
+          if (!report.empty()) {
+            throw LegalityError("plan verification failed:\n" +
+                                report.to_string());
+          }
+        }
+        return p;
+      },
+      &was_hit);
+  resp.latency_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  out.field("plan", key.hex());
+  out.field("hit", was_hit);
+  out.field("verified", svc.verify);
+  out.field("latency_s", resp.latency_s);
+  out.field("procs", static_cast<i64>(plan->mapping().num_procs()));
+  out.field("chain_length", plan->mapping().chain_length());
+  out.field("tiles", plan->census().total());
+  if (!was_hit) {
+    const PlanPhaseTimes& ph = plan->phase_times();
+    out.field("lower_s", ph.total_s);
+    out.field("census_s", ph.census_s);
+    out.field("mapping_s", ph.mapping_s);
+    out.field("comm_plan_s", ph.comm_plan_s);
+    out.field("locals_s", ph.locals_s);
+  }
+  resp.body = out.item_to_string();
+  resp.ok = true;
+  return resp;
+}
+
+Response serve_autotune(Service& svc, const Request& req) {
+  bench::JsonArray out;
+  out.begin_item();
+  out.field("id", req.id);
+  out.field("mode", "autotune");
+  Response resp;
+  AutotuneRequest areq;
+  areq.tiling_for = req.tiling_for;
+  areq.candidates = req.candidates;
+  areq.chain_extent = req.chain_extent;
+  areq.force_m = req.force_m;
+  areq.arity = 1;
+  areq.orig_lo = req.orig_lo;
+  areq.orig_hi = req.orig_hi;
+  areq.skew = req.skew;
+  areq.cache = &svc.cache;  // candidate lowerings share the service cache
+  const MachineModel machine = MachineModel::fast_ethernet_cluster();
+  const auto start = Clock::now();
+  const AutotuneResult result =
+      autotune_tile_size(req.app.nest, areq, machine);
+  resp.latency_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  out.field("best_factor", result.best_factor);
+  out.field("best_makespan_s", result.best.makespan);
+  out.field("best_speedup", result.best.speedup);
+  out.field("evaluated", static_cast<i64>(result.evaluated.size()));
+  out.field("cache_hits", result.cache_hits);
+  out.field("cache_misses", result.cache_misses);
+  out.field("latency_s", resp.latency_s);
+  resp.body = out.item_to_string();
+  resp.ok = true;
+  return resp;
+}
+
+Response serve(Service& svc, const json::Value& v, std::size_t index) {
+  try {
+    const Request req = build_request(v, index);
+    return req.mode == "autotune" ? serve_autotune(svc, req)
+                                  : serve_lower(svc, req);
+  } catch (const Error& e) {
+    bench::JsonArray out;
+    out.begin_item();
+    out.field("id", std::string("req-") + std::to_string(index));
+    out.field("error", std::string(e.what()));
+    Response resp;
+    resp.body = out.item_to_string();
+    resp.ok = false;
+    return resp;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool from_stdin = false;
+  bool quiet = false;
+  std::string requests_path;
+  std::string json_path;
+  int threads = 1;
+  int repeat = 1;
+  Service svc;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stdin") {
+      from_stdin = true;
+    } else if (arg.rfind("--requests=", 0) == 0) {
+      requests_path = arg.substr(11);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      repeat = std::atoi(arg.c_str() + 9);
+    } else if (arg == "--no-verify") {
+      svc.verify = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-' && requests_path.empty()) {
+      requests_path = arg;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (threads < 1 || repeat < 1) {
+    usage();
+    return 2;
+  }
+  if (from_stdin == !requests_path.empty()) {
+    std::fprintf(stderr,
+                 "ctile_pland: need exactly one of --stdin / a request "
+                 "file\n");
+    usage();
+    return 2;
+  }
+
+  // ---- Read and parse the request stream.
+  std::string text;
+  if (from_stdin) {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  } else {
+    std::ifstream f(requests_path);
+    if (!f) {
+      std::fprintf(stderr, "ctile_pland: cannot read %s\n",
+                   requests_path.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    text = ss.str();
+  }
+  std::vector<json::ValuePtr> requests;
+  try {
+    std::size_t pos = 0;
+    while (true) {
+      json::ValuePtr v = json::parse_next(text, &pos);
+      if (v == nullptr) break;
+      if (v->type() == json::Type::kArray) {
+        for (const auto& e : v->as_array()) requests.push_back(e);
+      } else {
+        requests.push_back(v);
+      }
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "ctile_pland: %s\n", e.what());
+    return 2;
+  }
+  if (requests.empty()) {
+    std::fprintf(stderr, "ctile_pland: empty request stream\n");
+    return 2;
+  }
+
+  // ---- Serve.  With --threads=N, requests fan out over a worker pool
+  // (the PlanCache is the concurrency point: same-key requests lower
+  // once, distinct keys lower in parallel); responses keep request
+  // order.  --repeat=K replays the stream K times, the steady-state
+  // warm-cache workload.
+  const std::size_t total = requests.size() * static_cast<std::size_t>(repeat);
+  std::vector<Response> responses(total);
+  const auto serve_index = [&](std::size_t i) {
+    responses[i] = serve(svc, *requests[i % requests.size()], i);
+  };
+  if (threads == 1) {
+    for (std::size_t i = 0; i < total; ++i) serve_index(i);
+  } else {
+    std::mutex mu;
+    std::size_t next = 0;
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) {
+      pool.emplace_back([&] {
+        while (true) {
+          std::size_t i;
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            if (next >= total) return;
+            i = next++;
+          }
+          serve_index(i);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  bool all_ok = true;
+  std::vector<double> latencies;
+  latencies.reserve(total);
+  for (const Response& r : responses) {
+    if (!quiet) std::printf("%s\n", r.body.c_str());
+    if (r.ok) {
+      latencies.push_back(r.latency_s);
+    } else {
+      all_ok = false;
+    }
+  }
+
+  // ---- Summary: hit rate, latency percentiles, compile-phase totals.
+  const PlanCache::Stats stats = svc.cache.stats();
+  bench::JsonArray summary;
+  summary.begin_item();
+  summary.field("summary", true);
+  summary.field("requests", static_cast<i64>(total));
+  summary.field("answered", static_cast<i64>(latencies.size()));
+  summary.field("plans_cached", static_cast<i64>(svc.cache.size()));
+  summary.field("hits", stats.hits);
+  summary.field("misses", stats.misses);
+  summary.field("hit_rate", stats.hit_rate());
+  if (!latencies.empty()) {
+    const bench::Percentiles pct = bench::percentiles_of(latencies);
+    summary.field("latency_p50_s", pct.p50);
+    summary.field("latency_p95_s", pct.p95);
+    summary.field("latency_p99_s", pct.p99);
+  }
+  summary.field("lowering_s", stats.lowering_s);
+  summary.field("phase_tile_space_s", stats.phase_total.tile_space_s);
+  summary.field("phase_census_s", stats.phase_total.census_s);
+  summary.field("phase_mapping_s", stats.phase_total.mapping_s);
+  summary.field("phase_lds_s", stats.phase_total.lds_s);
+  summary.field("phase_comm_plan_s", stats.phase_total.comm_plan_s);
+  summary.field("phase_classifier_s", stats.phase_total.classifier_s);
+  summary.field("phase_band_s", stats.phase_total.band_s);
+  summary.field("phase_locals_s", stats.phase_total.locals_s);
+  std::printf("%s\n", summary.item_to_string().c_str());
+
+  if (!json_path.empty()) {
+    bench::JsonReport report("plan_service");
+    report.begin_row();
+    report.field("requests", static_cast<i64>(total));
+    report.field("hits", stats.hits);
+    report.field("misses", stats.misses);
+    report.field("hit_rate", stats.hit_rate());
+    if (!latencies.empty()) {
+      const bench::Percentiles pct = bench::percentiles_of(latencies);
+      report.field("latency_p50_s", pct.p50);
+      report.field("latency_p95_s", pct.p95);
+      report.field("latency_p99_s", pct.p99);
+    }
+    report.field("lowering_s", stats.lowering_s);
+    if (!report.write(json_path)) return 1;
+  }
+  return all_ok ? 0 : 1;
+}
