@@ -32,6 +32,8 @@ u64 payload_digest(const std::vector<double>& data) {
 
 Backend resolve_backend(Backend requested) {
   if (requested != Backend::kAuto) return requested;
+  // Read-only env probe; nothing in this process calls setenv().
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("CTILE_MPISIM_BACKEND");
   if (env == nullptr) return Backend::kThread;
   const std::string value(env);
@@ -126,10 +128,20 @@ Comm::Clock::time_point Comm::deadline(std::size_t doubles) const {
   return now() + cost;
 }
 
+void Comm::log_event(TraceEvent::Kind kind, int src, int dst, i64 tag) {
+  if (!config_.trace) return;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  events_.push_back(TraceEvent{kind, src, dst, tag});
+}
+
 void Comm::enqueue(int dst, Message message) {
   const i64 payload = static_cast<i64>(message.data.size());
   const ChannelKey key{message.src, dst, message.tag};
   const u64 digest = config_.trace ? payload_digest(message.data) : 0;
+  // The send is logged before the push: once the message is in the
+  // mailbox a racing receiver may consume (and log) it, and the log
+  // must read send-then-recv for every message.
+  log_event(TraceEvent::Kind::kSend, message.src, dst, message.tag);
   Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard<std::mutex> lock(box.mu);
@@ -232,6 +244,10 @@ bool Comm::test(Request& req) {
       req.payload = std::move(it->data);
       box.queue.erase(it);
       req.done = true;
+      // Logged while the mailbox lock is still held: the consume's log
+      // position is its linearization point (box.mu -> stats_mu_ nests
+      // acyclically; enqueue never holds both).
+      log_event(TraceEvent::Kind::kRecv, req.peer, req.owner, req.tag);
       return true;
     }
     // The receive cannot complete right now.  A polling rank must
@@ -308,6 +324,7 @@ std::vector<double> Comm::recv(int dst, int src, i64 tag) {
       }
       std::vector<double> data = std::move(it->data);
       box.queue.erase(it);
+      log_event(TraceEvent::Kind::kRecv, src, dst, tag);
       return data;
     }
     if (aborted_.load()) {
@@ -445,6 +462,11 @@ i64 Comm::pool_high_water() const {
 Comm::ChannelTraces Comm::channel_traces() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return traces_;
+}
+
+std::vector<Comm::TraceEvent> Comm::event_log() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return events_;
 }
 
 i64 Comm::messages_sent() const {

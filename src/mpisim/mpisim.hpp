@@ -101,6 +101,29 @@ struct CommConfig {
   std::size_t fiber_stack_bytes = 256 * 1024;
 };
 
+/// Compile-time description of the buffer discipline the non-blocking
+/// path implements — the facts ctile-verify's rule V7 (buffer-lifetime
+/// safety) takes as its model of this substrate.  Each flag names an
+/// invariant of the code below; if an implementation change flips one,
+/// flip it here and the static proof (and its mutation tests) follow.
+struct PoolDiscipline {
+  /// isend stages the payload into a transit buffer at initiation (the
+  /// eager protocol): the in-flight message never references the
+  /// caller's buffer, so rewriting the pack buffer after isend returns
+  /// cannot corrupt the message.
+  bool eager_transit_copy = true;
+  /// The caller's buffer is recycled into the *sender's* pool the moment
+  /// isend returns.  Safe only together with eager_transit_copy.
+  bool sender_buffer_recycled_at_initiation = true;
+  /// The transit buffer is handed to the receiver zero-copy and enters a
+  /// pool only when the receiver releases it after unpacking — a queued
+  /// (in-flight) message's storage is never available for reuse.
+  bool transit_released_after_unpack = true;
+  /// Per-rank pool bound (excess buffers are freed, never aliased).
+  std::size_t max_pooled_buffers = 64;
+};
+inline constexpr PoolDiscipline kPoolDiscipline{};
+
 struct Message {
   int src;
   i64 tag;
@@ -140,6 +163,21 @@ class Comm {
   /// backends prove the same messages flowed in the same per-channel
   /// order.
   using ChannelTraces = std::map<ChannelKey, std::vector<u64>>;
+
+  /// One entry of the totally-ordered communication event log (trace
+  /// mode only).  kSend is logged at isend/send initiation *before* the
+  /// message becomes matchable, kRecv at the instant a receive consumes
+  /// it; both under one lock, so the log order is a true linearization
+  /// of the observable communication events.  ctile-verify's HB-graph
+  /// cross-validation test asserts this order never inverts a static
+  /// happens-before edge.
+  struct TraceEvent {
+    enum class Kind { kSend, kRecv };
+    Kind kind;
+    int src;
+    int dst;
+    i64 tag;
+  };
 
   explicit Comm(int size, CommConfig config = {});
 
@@ -262,6 +300,12 @@ class Comm {
   /// (readers barrier() first).
   ChannelTraces channel_traces() const;
 
+  /// Snapshot of the global communication event log (empty unless
+  /// CommConfig::trace).  Same synchronization contract as the send
+  /// counters: complete relative to events that happened-before the
+  /// read (readers barrier() first).
+  std::vector<TraceEvent> event_log() const;
+
   /// Total messages and payload doubles sent (for communication-volume
   /// accounting in tests and benches).
   ///
@@ -296,7 +340,13 @@ class Comm {
     std::vector<std::vector<double>> free;
     std::size_t high_water = 0;
   };
-  static constexpr std::size_t kMaxPooledBuffers = 64;
+  static constexpr std::size_t kMaxPooledBuffers =
+      kPoolDiscipline.max_pooled_buffers;
+
+  /// Append a TraceEvent (trace mode only; see event_log).  kSend must
+  /// be logged before the message is enqueued so a racing consume can
+  /// never appear earlier in the log than the send that fed it.
+  void log_event(TraceEvent::Kind kind, int src, int dst, i64 tag);
 
   /// Delivery deadline of a payload initiated now (epoch when the
   /// latency model is disabled, so matching stays branch-cheap).
@@ -337,6 +387,7 @@ class Comm {
   i64 doubles_sent_ = 0;
   i64 pool_reuses_ = 0;
   ChannelTraces traces_;
+  std::vector<TraceEvent> events_;
 
   std::atomic<bool> aborted_{false};
 };

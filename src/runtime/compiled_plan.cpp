@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "linalg/int_matops.hpp"
+#include "runtime/kernel.hpp"
 
 namespace ctile {
 
@@ -94,8 +95,17 @@ CompiledPlan::RankLocal::RankLocal(const TiledNest& tiled,
     }
     rows.push_back(SweepRow{jp0[0], row.row_points(), layout.row_base(jp0, 0),
                             std::move(j_rel)});
+    // The slot deltas and, from them, the static in-row alias claims:
+    // dep slot = out slot + delta, so diff = out - dep = -delta, and the
+    // in-row step is stride(n-1).  Same alias analysis the kernels'
+    // runtime pointer probe answers (arity scales diff and stride
+    // equally, so it cancels).
+    const i64 sstep = layout.stride(n - 1);
     for (int l = 0; l < q; ++l) {
-      deltas.push_back(layout.dep_delta(jp0, dprime.col(l)));
+      const i64 delta = layout.dep_delta(jp0, dprime.col(l));
+      deltas.push_back(delta);
+      alias.push_back(
+          Kernel::row_alias_distance(-delta, sstep, row.row_points()));
     }
   }
 }

@@ -144,6 +144,14 @@ class CompiledPlan {
     CommSlotTable slots;
     std::vector<SweepRow> rows;
     std::vector<i64> deltas;  ///< rows.size() * q slot deltas
+    /// rows.size() * q signed in-row alias distances: the static answer
+    /// to the pointer probe the SIMD kernels run per row
+    /// (Kernel::row_alias_distance) — m > 0 names a backward in-row
+    /// recurrence, m < 0 a forward alias, 0 no alias.  Exported so
+    /// ctile-verify's rule V8 can re-derive each distance from the
+    /// layout geometry and prove the claim (a wrong entry is exactly a
+    /// mis-split recurrence).
+    std::vector<i64> alias;
     VecI jp0_front;           ///< first row's TTIS start
     RankLocal(const TiledNest& tiled, const Mapping& mapping,
               const CommPlan& plan, i64 chain_len);

@@ -31,6 +31,8 @@ bool policy_from_name(const std::string& name, Policy* out) {
 }
 
 Policy policy_from_env(Policy fallback) {
+  // Read-only env probe; nothing in this process calls setenv().
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("CTILE_EXEC_POLICY");
   if (env == nullptr || *env == '\0') return fallback;
   Policy p;
@@ -149,6 +151,8 @@ MemoryBackend* find_memory_backend(const std::string& name) {
 MemoryBackend& default_memory_backend() {
   // Resolved once: the default must be stable for the life of the
   // process (buffers deallocate through the backend that made them).
+  // Read-only env probe under the magic-static guard; no setenv() here.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   static MemoryBackend& chosen = [ge = std::getenv("CTILE_MEM_BACKEND")]()
       -> MemoryBackend& {
     if (ge == nullptr || *ge == '\0') return aligned_backend();
@@ -276,6 +280,8 @@ void ThreadPool::parallel_for(i64 n, const std::function<void(i64)>& fn) {
 
 ThreadPool& compute_pool() {
   static ThreadPool pool([] {
+    // Read-only env probe under the magic-static guard; no setenv() here.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char* env = std::getenv("CTILE_POOL_THREADS")) {
       const long v = std::strtol(env, nullptr, 10);
       if (v < 0 || v > 256) {

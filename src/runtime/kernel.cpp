@@ -32,7 +32,11 @@ void Kernel::compute_row(const VecI& j0, const VecI& jstep, i64 count,
 
 i64 Kernel::row_alias_distance(const double* dep, const double* out,
                                i64 stride, i64 count) {
-  const i64 diff = static_cast<i64>(out - dep);  // dep == out - m*stride
+  return row_alias_distance(static_cast<i64>(out - dep), stride, count);
+}
+
+i64 Kernel::row_alias_distance(i64 diff, i64 stride, i64 count) {
+  // dep == out - m*stride
   if (stride == 0 || diff == 0) return 0;
   // Magnitude early-out before any division: a dependence row further
   // away than the row's span can't alias it.  This is the common case

@@ -61,6 +61,14 @@ class Kernel {
   /// (they do: LDS window or data space), `stride` in doubles.
   static i64 row_alias_distance(const double* dep, const double* out,
                                 i64 stride, i64 count);
+
+  /// The same alias analysis on plain offsets: diff = out - dep (in
+  /// elements), stride the in-row element step.  This is the single
+  /// implementation both the runtime pointer probe above and the
+  /// CompiledPlan's static per-(row, dependence) alias claims (proven
+  /// by ctile-verify rule V8) are answered from, so the two can never
+  /// disagree with each other — only, detectably, with the geometry.
+  static i64 row_alias_distance(i64 diff, i64 stride, i64 count);
 };
 
 }  // namespace ctile

@@ -128,6 +128,26 @@ class LdsLayout {
   /// row_base + i * stride(n-1) with no further map/linear calls.
   i64 row_base(const VecI& jp, i64 t) const { return slot(jp, t); }
 
+  /// The row-suffix address composition every row-walk consumer (band /
+  /// remainder sweep, write-back) performs:
+  ///   base0 + t_loc * chain_step() + i * sstep
+  /// where base0 is the row's precomputed t = 0 slot, t_loc the window-
+  /// local chain position and i the in-row point index.  Release builds
+  /// compile to the plain affine form; CTILE_CHECKED_LDS forms every
+  /// product and sum overflow-checked and bounds-asserts the result, the
+  /// same hardening slot_at() gives the slot-table paths.
+  i64 row_slot(i64 base0, i64 t_loc, i64 i, i64 sstep) const {
+#if defined(CTILE_CHECKED_LDS)
+    const i64 s = add_ck(add_ck(base0, mul_ck(t_loc, chain_step_)),
+                         mul_ck(i, sstep));
+    CTILE_ASSERT_MSG(s >= 0 && s < size_,
+                     "LDS row slot outside the window array (V2 violation)");
+    return s;
+#else
+    return base0 + t_loc * chain_step_ + i * sstep;
+#endif
+  }
+
   /// Constant linear-slot offset of transformed dependence dp for the
   /// row containing jp:  slot(jp - dp, t) - slot(jp, t).  Row-invariant
   /// because floor((j'_k - dp_k)/c_k) - floor(j'_k/c_k) depends only on

@@ -86,7 +86,6 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
   // — see CompiledPlan::RankLocal).
   const VecI jstep = row_point_step(tf);
   const i64 sstep = local.stride(n - 1);
-  const i64 lds_chain_step = local.chain_step();
   const auto& rows = rl.rows;
   const std::vector<i64>& deltas = rl.deltas;
 
@@ -223,9 +222,8 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
                                VecI& j) {
     const CompiledPlan::SweepRow& row = rows[r];
     const i64 cnt = end - begin;
-    const i64 s = row.base0 + t_loc * lds_chain_step + begin * sstep;
-    local.check_slot(s);
-    local.check_slot(s + (cnt - 1) * sstep);
+    const i64 s = local.row_slot(row.base0, t_loc, begin, sstep);
+    local.row_slot(row.base0, t_loc, begin + cnt - 1, sstep);
     const i64* delta = &deltas[r * static_cast<std::size_t>(q)];
     for (int l = 0; l < q; ++l) {
       const i64 first = local.slot_at(s, delta[l]);
@@ -312,7 +310,7 @@ void ParallelExecutor::run_rank(int rank, mpisim::Comm& comm,
       }
       // kSequential reference: per-point virtual compute() calls over the
       // strength-reduced row walk of DESIGN.md §8.
-      i64 s = row.base0 + t_loc * lds_chain_step + begin * sstep;
+      i64 s = local.row_slot(row.base0, t_loc, begin, sstep);
       const i64* delta = &deltas[r * static_cast<std::size_t>(q)];
       VecI j = j_anchor;
       for (int k = 0; k < n; ++k) {
@@ -494,6 +492,7 @@ DataSpace ParallelExecutor::run(ParallelRunStats* stats) const {
 
   i64 messages = 0, doubles = 0;
   mpisim::Comm::ChannelTraces traces;
+  std::vector<mpisim::Comm::TraceEvent> events;
   mpisim::CommConfig comm_config;
   comm_config.latency = latency_;
   comm_config.backend = backend_;
@@ -509,7 +508,10 @@ DataSpace ParallelExecutor::run(ParallelRunStats* stats) const {
         if (rank == 0) {
           messages = comm.messages_sent();
           doubles = comm.doubles_sent();
-          if (trace_) traces = comm.channel_traces();
+          if (trace_) {
+            traces = comm.channel_traces();
+            events = comm.event_log();
+          }
         }
       },
       comm_config);
@@ -535,7 +537,6 @@ DataSpace ParallelExecutor::run(ParallelRunStats* stats) const {
     const CompiledPlan::RankLocal& rl = plan_->local_for(window.count());
     const LdsLayout& local = rl.layout;
     const i64 sstep = local.stride(n - 1);
-    const i64 lds_chain_step = local.chain_step();
     const auto& la = arrays[static_cast<std::size_t>(rank)];
     for (i64 t = window.lo; t <= window.hi; ++t) {
       const VecI js = mapping.tile_at(pid, t);
@@ -544,7 +545,7 @@ DataSpace ParallelExecutor::run(ParallelRunStats* stats) const {
       const bool interior = classifier.interior(js);
       const VecI j_anchor = tf.point_of(js, rl.jp0_front);
       for (const CompiledPlan::SweepRow& row : rl.rows) {
-        i64 s = row.base0 + (t - window.lo) * lds_chain_step;
+        i64 s = local.row_slot(row.base0, t - window.lo, 0, sstep);
         VecI j = j_anchor;
         for (int k = 0; k < n; ++k) {
           j[static_cast<std::size_t>(k)] +=
@@ -590,6 +591,7 @@ DataSpace ParallelExecutor::run(ParallelRunStats* stats) const {
     stats->messages = messages;
     stats->doubles = doubles;
     stats->traces = std::move(traces);
+    stats->events = std::move(events);
     stats->points_computed = 0;
     for (i64 p : points) stats->points_computed += p;
     stats->phase_by_rank = phases;

@@ -84,6 +84,11 @@ struct ParallelRunStats {
   /// flowed over every (src, dst, tag) channel in the same order under
   /// the thread and event backends.
   mpisim::Comm::ChannelTraces traces;
+  /// Totally-ordered send/receive log of the run (set_trace_messages).
+  /// Under the event backend this is a deterministic linearization of
+  /// the schedule's happens-before graph; the verifier's V6 oracle test
+  /// (tests/verify_hb_trace_test) checks exactly that.
+  std::vector<mpisim::Comm::TraceEvent> events;
 
   /// Fraction of the ranks' phase time spent computing, i.e. how well
   /// communication was hidden: 1.0 means every message cost vanished

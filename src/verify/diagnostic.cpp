@@ -11,6 +11,9 @@ const char* rule_id(Rule rule) {
     case Rule::kV3CommCompleteness: return "V3";
     case Rule::kV4ScheduleSoundness: return "V4";
     case Rule::kV5InteriorSoundness: return "V5";
+    case Rule::kV6RaceFreedom: return "V6";
+    case Rule::kV7BufferLifetime: return "V7";
+    case Rule::kV8PolicySoundness: return "V8";
   }
   return "V?";
 }
@@ -32,6 +35,15 @@ const char* rule_summary(Rule rule) {
     case Rule::kV5InteriorSoundness:
       return "interior-classifier soundness: no interior tile has a "
              "dependence predecessor outside the iteration space";
+    case Rule::kV6RaceFreedom:
+      return "race freedom: every conflicting pair of LDS-slot accesses "
+             "in the pipelined schedule is happens-before ordered";
+    case Rule::kV7BufferLifetime:
+      return "buffer lifetime: no pack region is rewritten while a "
+             "message is in flight and pool recycling never aliases one";
+    case Rule::kV8PolicySoundness:
+      return "parallel-policy soundness: plane-parallel fan-out and SIMD "
+             "recurrence-split alias claims proven against the TTIS deps";
   }
   return "";
 }
@@ -128,7 +140,7 @@ std::string VerifyReport::to_string() const {
   std::ostringstream os;
   for (const Diagnostic& d : diags_) os << d.to_string() << '\n';
   if (diags_.empty()) {
-    os << "ctile-verify: 0 findings (plan proven safe under V1-V5)\n";
+    os << "ctile-verify: 0 findings (plan proven safe under V1-V8)\n";
   } else {
     os << "ctile-verify: " << diags_.size() << " finding"
        << (diags_.size() == 1 ? "" : "s") << " (" << count(Severity::kError)

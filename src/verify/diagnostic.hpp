@@ -1,6 +1,6 @@
 // Structured diagnostics for the static plan verifier (ctile-verify).
 //
-// Every finding names the rule that fired (V1..V5), a severity, a
+// Every finding names the rule that fired (V1..V8), a severity, a
 // human-readable message, a *witness* — the concrete tile / point / LDS
 // slot / dependence that violates the rule, so a failing plan is
 // debuggable without re-running anything — and a fix hint.  A report is
@@ -23,11 +23,14 @@ enum class Rule {
   kV3CommCompleteness,    ///< every cross-rank dep edge covered once
   kV4ScheduleSoundness,   ///< Pi orders every dep; send/recv acyclic
   kV5InteriorSoundness,   ///< interior tiles have no out-of-space preds
+  kV6RaceFreedom,         ///< conflicting LDS accesses HB-ordered
+  kV7BufferLifetime,      ///< no in-flight message buffer rewritten/aliased
+  kV8PolicySoundness,     ///< plane fan-out + SIMD alias claims proven
 };
 
 enum class Severity { kError, kWarning, kNote };
 
-/// Short stable identifier ("V1".."V5") used in output and tests.
+/// Short stable identifier ("V1".."V8") used in output and tests.
 const char* rule_id(Rule rule);
 /// One-line statement of what the rule proves.
 const char* rule_summary(Rule rule);

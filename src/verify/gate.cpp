@@ -6,9 +6,10 @@ namespace ctile::verify {
 
 VerifyReport verify_executor(const ParallelExecutor& exec,
                              const VerifyOptions& options) {
-  const PlanModel model =
-      snapshot_plan(exec.tiled(), exec.mapping(), exec.plan(),
-                    exec.window_layouts(), &exec.classifier());
+  // Snapshot the executor's CompiledPlan so the gate proves V6-V8's
+  // concurrency facts too, against the schedule the executor will run.
+  PlanModel model = snapshot_compiled(*exec.compiled());
+  model.pipelined = exec.use_overlap();
   return verify_plan(model, options);
 }
 

@@ -3,9 +3,10 @@
 // The executors expose a generic pre-run callback (set_pre_run_gate) so
 // the runtime library never links against the verifier; these helpers
 // close the loop from the verify side.  With the gate installed, every
-// run() first lowers nothing new — it snapshots the executor's OWN plan
-// artifacts — and runs rules V1..V5 over them, throwing LegalityError
-// with the full diagnostic text if any rule finds an error.
+// run() first lowers nothing new — it snapshots the executor's OWN
+// CompiledPlan, concurrency facts included — and runs rules V1..V8 over
+// it, throwing LegalityError with the full diagnostic text if any rule
+// finds an error.
 #pragma once
 
 #include "runtime/parallel_executor.hpp"

@@ -1,0 +1,547 @@
+#include "verify/hb_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "linalg/int_matops.hpp"
+#include "verify/diagnostic.hpp"
+
+namespace ctile::verify {
+
+const char* hb_phase_name(HbPhase phase) {
+  switch (phase) {
+    case HbPhase::kRecvPost: return "recv-post";
+    case HbPhase::kUnpack: return "unpack";
+    case HbPhase::kRemainder: return "remainder-compute";
+    case HbPhase::kBand: return "band-compute";
+    case HbPhase::kCompute: return "compute";
+    case HbPhase::kPackSend: return "pack+isend";
+    case HbPhase::kWriteBack: return "write-back";
+  }
+  return "?";
+}
+
+std::string HbEvent::to_string() const {
+  std::ostringstream os;
+  os << "rank " << rank;
+  if (!tile.empty()) os << " tile " << format_vec(tile);
+  os << ' ' << hb_phase_name(phase);
+  if (aux >= 0) {
+    os << (phase == HbPhase::kPackSend ? " dir " : " dep ") << aux;
+  }
+  return os.str();
+}
+
+// Events are append-only and few per tile, so find() is a linear scan;
+// an index map would have to be kept coherent across mutation hooks for
+// no measurable gain at these sizes.
+int HbGraph::find(const VecI& tile, HbPhase phase, int aux) const {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const HbEvent& e = events_[i];
+    if (e.phase == phase && e.aux == aux && e.tile == tile) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int HbGraph::find_writeback(int rank) const {
+  if (rank < 0 || rank >= static_cast<int>(writebacks_.size())) return -1;
+  return writebacks_[static_cast<std::size_t>(rank)];
+}
+
+int HbGraph::add_event(HbEvent event) {
+  const int id = static_cast<int>(events_.size());
+  if (event.phase == HbPhase::kWriteBack) {
+    if (event.rank >= static_cast<int>(writebacks_.size())) {
+      writebacks_.resize(static_cast<std::size_t>(event.rank) + 1, -1);
+    }
+    writebacks_[static_cast<std::size_t>(event.rank)] = id;
+  }
+  events_.push_back(std::move(event));
+  succs_.emplace_back();
+  return id;
+}
+
+void HbGraph::add_edge(int u, int v) {
+  CTILE_ASSERT(u >= 0 && u < static_cast<int>(events_.size()) && v >= 0 &&
+               v < static_cast<int>(events_.size()));
+  succs_[static_cast<std::size_t>(u)].push_back(v);
+}
+
+bool HbGraph::drop_edge(int u, int v) {
+  if (u < 0 || u >= static_cast<int>(succs_.size())) return false;
+  auto& out = succs_[static_cast<std::size_t>(u)];
+  auto it = std::find(out.begin(), out.end(), v);
+  if (it == out.end()) return false;
+  out.erase(it);
+  return true;
+}
+
+std::size_t HbGraph::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& out : succs_) n += out.size();
+  return n;
+}
+
+bool HbGraph::reaches(int u, int v) const {
+  if (u < 0 || v < 0) return false;
+  if (u == v) return true;
+  std::vector<char> seen(events_.size(), 0);
+  std::deque<int> frontier{u};
+  seen[static_cast<std::size_t>(u)] = 1;
+  while (!frontier.empty()) {
+    const int cur = frontier.front();
+    frontier.pop_front();
+    for (int next : succs_[static_cast<std::size_t>(cur)]) {
+      if (next == v) return true;
+      if (!seen[static_cast<std::size_t>(next)]) {
+        seen[static_cast<std::size_t>(next)] = 1;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Tile coordinates of (pid, t) under the model's mapping (the inverse
+/// of PlanModel::owner_of).
+VecI tile_of(const PlanModel& pm, const VecI& pid, i64 t) {
+  VecI js(static_cast<std::size_t>(pm.n));
+  std::size_t pi = 0;
+  for (int k = 0; k < pm.n; ++k) {
+    const std::size_t uk = static_cast<std::size_t>(k);
+    js[uk] = pm.mesh_lo[uk] + (k == pm.m ? t : pid[pi++]);
+  }
+  return js;
+}
+
+/// The executor's send predicate: direction `dir` fires at `js` iff some
+/// tile dependence of that direction has a valid successor.
+bool sends_in_direction(const PlanModel& pm, const VecI& js, int dir) {
+  for (const TileDepModel& dep : pm.tile_deps) {
+    if (dep.dir != dir) continue;
+    if (pm.is_valid_tile(vec_add(js, dep.ds))) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+HbGraph build_hb_graph(const PlanModel& pm) {
+  CTILE_ASSERT_MSG(pm.has_concurrency_facts,
+                   "HB graph needs a CompiledPlan snapshot");
+  HbGraph g;
+
+  // Receive events per receiver tile (the executor's receive predicate).
+  std::map<VecI, std::vector<std::pair<VecI, std::size_t>>> receives;
+  for_each_receive_event(pm, [&](const VecI& pred, std::size_t di,
+                                 const VecI& recv) {
+    receives[recv].emplace_back(pred, di);
+  });
+
+  int rank = 0;
+  for (const auto& [pid, window] : pm.windows) {
+    std::vector<int> prev_sinks;
+    auto stitch = [&](const std::vector<int>& ids,
+                      const std::vector<std::pair<int, int>>& intra) {
+      // Heads (no intra-tile predecessor) hang off the previous tile's
+      // sinks; sinks (no intra-tile successor) feed the next tile.
+      std::map<int, int> indeg, outdeg;
+      for (int id : ids) indeg[id] = outdeg[id] = 0;
+      for (const auto& [u, v] : intra) {
+        g.add_edge(u, v);
+        ++outdeg[u];
+        ++indeg[v];
+      }
+      for (int id : ids) {
+        if (indeg[id] == 0) {
+          for (int s : prev_sinks) g.add_edge(s, id);
+        }
+      }
+      prev_sinks.clear();
+      for (int id : ids) {
+        if (outdeg[id] == 0) prev_sinks.push_back(id);
+      }
+    };
+
+    for (i64 t = window.lo; t <= window.hi; ++t) {
+      const VecI js = tile_of(pm, pid, t);
+      if (!pm.is_valid_tile(js)) continue;
+
+      std::vector<int> ids;
+      std::vector<std::pair<int, int>> intra;
+      auto emit = [&](HbPhase phase, int aux) {
+        const int id = g.add_event(HbEvent{rank, pid, js, t, phase, aux});
+        ids.push_back(id);
+        return id;
+      };
+
+      // Pre-phase: posted receives (pipelined only), then the unpacks
+      // in receive order, sequentially chained.
+      std::vector<int> pre;
+      auto rit = receives.find(js);
+      if (pm.pipelined && rit != receives.end()) {
+        for (const auto& [pred, di] : rit->second) {
+          (void)pred;
+          pre.push_back(emit(HbPhase::kRecvPost, static_cast<int>(di)));
+        }
+      }
+      if (rit != receives.end()) {
+        for (const auto& [pred, di] : rit->second) {
+          (void)pred;
+          pre.push_back(emit(HbPhase::kUnpack, static_cast<int>(di)));
+        }
+      }
+      for (std::size_t i = 1; i < pre.size(); ++i) {
+        intra.emplace_back(pre[i - 1], pre[i]);
+      }
+      const int pre_tail = pre.empty() ? -1 : pre.back();
+
+      int send_anchor = -1;  // event the first pack+isend hangs off
+      if (pm.pipelined) {
+        const int remainder = emit(HbPhase::kRemainder, -1);
+        const int bandc = emit(HbPhase::kBand, -1);
+        if (pre_tail >= 0) intra.emplace_back(pre_tail, remainder);
+        if (pm.schedule.remainder_before_band) {
+          intra.emplace_back(remainder, bandc);
+        } else if (pre_tail >= 0) {
+          // The dropped edge: remainder and band run unordered.
+          intra.emplace_back(pre_tail, bandc);
+        }
+        send_anchor = pm.schedule.band_before_send ? bandc : remainder;
+      } else {
+        const int compute = emit(HbPhase::kCompute, -1);
+        if (pre_tail >= 0) intra.emplace_back(pre_tail, compute);
+        send_anchor = compute;
+      }
+
+      int prev_pack = -1;
+      for (std::size_t dir = 0; dir < pm.directions.size(); ++dir) {
+        if (!sends_in_direction(pm, js, static_cast<int>(dir))) continue;
+        const int pack = emit(HbPhase::kPackSend, static_cast<int>(dir));
+        intra.emplace_back(prev_pack >= 0 ? prev_pack : send_anchor, pack);
+        prev_pack = pack;
+      }
+
+      stitch(ids, intra);
+    }
+
+    // Post-barrier write-back: after everything this rank did.
+    const int wb =
+        g.add_event(HbEvent{rank, pid, VecI{}, 0, HbPhase::kWriteBack, -1});
+    for (int s : prev_sinks) g.add_edge(s, wb);
+    ++rank;
+  }
+
+  // Message edges: the wait that precedes each unpack synchronizes with
+  // the matching pack+isend.  Unpacking at post time has no completed
+  // receive to synchronize with — no edge, and V6 finds the race.
+  if (pm.schedule.unpack_at_wait) {
+    for_each_receive_event(pm, [&](const VecI& pred, std::size_t di,
+                                   const VecI& recv) {
+      const int dir = pm.tile_deps[di].dir;
+      const int send = g.find(pred, HbPhase::kPackSend, dir);
+      const int unpack = g.find(recv, HbPhase::kUnpack, static_cast<int>(di));
+      if (send >= 0 && unpack >= 0) g.add_edge(send, unpack);
+    });
+  }
+  return g;
+}
+
+namespace {
+
+/// Linear slot of LDS coordinates (strides dot product), plus the chain
+/// offset of window-local position t_loc.
+i64 linear_slot(const LdsModel& lds, const VecI& coords, i64 t_loc) {
+  i64 slot = mul_ck(t_loc, lds.chain_step);
+  for (std::size_t k = 0; k < coords.size(); ++k) {
+    slot = add_ck(slot, mul_ck(coords[k], lds.strides[k]));
+  }
+  return slot;
+}
+
+/// LDS coordinates the unpack of (dep di, receiver window) writes first:
+/// the pack region's low corner, condensed, halo-shifted by ds.
+VecI unpack_lo_coords(const PlanModel& pm, std::size_t di) {
+  const TileDepModel& dep = pm.tile_deps[di];
+  const TtisRegion& pack = pm.directions[static_cast<std::size_t>(dep.dir)].pack;
+  const LdsModel& lds = pm.lds.begin()->second;
+  VecI coords(static_cast<std::size_t>(pm.n));
+  for (int k = 0; k < pm.n; ++k) {
+    const std::size_t uk = static_cast<std::size_t>(k);
+    coords[uk] = add_ck(
+        sub_ck(add_ck(lds.off[uk], floor_div(pack.lo[uk], pm.c[uk])),
+               mul_ck(dep.ds[uk], lds.tile_slots[uk])),
+        0);
+  }
+  return coords;
+}
+
+/// True iff TTIS point p lies in some direction's pack region (the band).
+bool in_band(const PlanModel& pm, const VecI& p) {
+  for (const DirectionModel& dir : pm.directions) {
+    bool inside = true;
+    for (std::size_t k = 0; k < p.size(); ++k) {
+      if (p[k] < dir.pack.lo[k] || p[k] > dir.pack.hi[k]) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<HbRace> hb_race_check(const HbGraph& graph, const PlanModel& pm,
+                                  std::size_t max_findings) {
+  std::vector<HbRace> races;
+  auto full = [&]() { return races.size() >= max_findings; };
+  auto report = [&](int writer, int reader, i64 slot, int dim,
+                    std::string what) {
+    if (!full()) {
+      races.push_back(HbRace{writer, reader, slot, dim, std::move(what)});
+    }
+  };
+
+  // ---- Model consistency the phase obligations build on: the band
+  // split must be exactly the per-row suffix of the pack-region union
+  // (remainder-first legality requires the band to be a suffix).
+  const int last = pm.n - 1;
+  for (std::size_t r = 0; r < pm.rows.size() && !full(); ++r) {
+    const RowModel& row = pm.rows[r];
+    i64 derived = row.count;
+    bool suffix = true;
+    VecI p = row.start;
+    for (i64 i = 0; i < row.count; ++i) {
+      const bool band = in_band(pm, p);
+      if (band && derived == row.count) derived = i;
+      if (!band && derived != row.count && i > derived) suffix = false;
+      p[static_cast<std::size_t>(last)] =
+          add_ck(p[static_cast<std::size_t>(last)],
+                 pm.c[static_cast<std::size_t>(last)]);
+    }
+    if (!suffix) {
+      report(-1, -1, -1, last,
+             "band of row " + format_vec(row.start) +
+                 " is not a suffix: remainder-first sweep would compute a "
+                 "band point before its in-row predecessor");
+    } else if (r < pm.band_split.size() && pm.band_split[r] != derived) {
+      report(-1, -1, -1, last,
+             "band split of row " + format_vec(row.start) + " claims index " +
+                 std::to_string(pm.band_split[r]) +
+                 " but the pack regions start the band at index " +
+                 std::to_string(derived));
+    }
+  }
+
+  // ---- Message obligations: every executor receive must be HB-after
+  // the matching pack+isend, and the unpacked halo must cover every
+  // cross-rank read it feeds.
+  for_each_receive_event(pm, [&](const VecI& pred, std::size_t di,
+                                 const VecI& recv) {
+    if (full()) return;
+    const TileDepModel& dep = pm.tile_deps[di];
+    const int send = graph.find(pred, HbPhase::kPackSend, dep.dir);
+    const int unpack = graph.find(recv, HbPhase::kUnpack, static_cast<int>(di));
+    const int reader =
+        pm.pipelined ? graph.find(recv, HbPhase::kRemainder, -1)
+                     : graph.find(recv, HbPhase::kCompute, -1);
+    const auto [pid, t] = pm.owner_of(recv);
+    const IntRange window = pm.window_of(pid);
+    const i64 t_loc = t - window.lo;
+    const auto lit = pm.lds.find(window.count());
+    const LdsModel* lds = lit == pm.lds.end() ? nullptr : &lit->second;
+    const i64 slot0 =
+        lds == nullptr ? -1
+                       : linear_slot(*lds, unpack_lo_coords(pm, di), t_loc);
+
+    if (send < 0 || unpack < 0 || !graph.reaches(send, unpack)) {
+      report(send, unpack, slot0, -1,
+             "halo payload of tile " + format_vec(recv) + " (dep " +
+                 std::to_string(di) + " from tile " + format_vec(pred) +
+                 ") is unpacked without happening-after the pack+isend "
+                 "that produced it");
+      return;
+    }
+    // The unpack's writes must precede the tile's first reader.
+    if (reader >= 0 && !graph.reaches(unpack, reader)) {
+      report(unpack, reader, slot0, -1,
+             "halo of tile " + format_vec(recv) +
+                 " is read before its unpack completes");
+    }
+    // Slot-level read coverage: reads through every active dependence
+    // column crossing this tile boundary must land inside the slots the
+    // unpack wrote (check_v3 proves the same in TTIS coordinates; here
+    // it closes the writer-exists side of the race proof).
+    const TtisRegion& pack =
+        pm.directions[static_cast<std::size_t>(dep.dir)].pack;
+    for (int l = 0; l < pm.Dp.cols() && !full(); ++l) {
+      bool active = true;
+      for (int k = 0; k < pm.n; ++k) {
+        const i64 dsk = dep.ds[static_cast<std::size_t>(k)];
+        if (dsk == 0) continue;
+        if (dsk < 0 ||
+            pm.Dp(k, l) <
+                add_ck(mul_ck(dsk - 1, pm.v[static_cast<std::size_t>(k)]), 1)) {
+          active = false;
+          break;
+        }
+      }
+      if (!active) continue;
+      for (int k = 0; k < pm.n && !full(); ++k) {
+        const std::size_t uk = static_cast<std::size_t>(k);
+        const i64 dsk = dep.ds[uk];
+        if (dsk == 0) continue;
+        const i64 need_lo =
+            std::max<i64>(0, sub_ck(mul_ck(pm.v[uk], dsk), pm.Dp(k, l)));
+        if (pack.lo[uk] <= need_lo && pack.hi[uk] >= pm.v[uk] - 1) continue;
+        i64 slot = lds == nullptr ? -1 : 0;
+        if (lds != nullptr) {
+          VecI coords(static_cast<std::size_t>(pm.n));
+          for (int kk = 0; kk < pm.n; ++kk) {
+            const std::size_t ukk = static_cast<std::size_t>(kk);
+            coords[ukk] = static_cast<int>(ukk) == k
+                              ? sub_ck(add_ck(lds->off[ukk],
+                                              floor_div(need_lo, pm.c[ukk])),
+                                       mul_ck(dsk, lds->tile_slots[ukk]))
+                              : lds->off[ukk];
+          }
+          slot = linear_slot(*lds, coords, t_loc);
+        }
+        report(unpack, reader, slot, k,
+               "tile " + format_vec(recv) + " reads halo slots through "
+                   "dependence column " + std::to_string(l) +
+                   " that no happens-before-ordered unpack writes "
+                   "(pack region too small in dim " + std::to_string(k) + ")");
+      }
+    }
+  });
+  if (full()) return races;
+
+  // ---- Intra-tile phase obligations, per rank and tile.
+  // Remainder-vs-band conflict slots are window-length-invariant up to
+  // the chain offset; compute the conflict witness once per length.
+  struct PhaseConflict {
+    bool exists = false;
+    i64 slot0 = -1;  ///< first conflicting slot at t_loc = 0
+  };
+  std::map<i64, PhaseConflict> rem_band;  // by window length
+  const int q = pm.Dp.cols();
+  for (const auto& [len, lds] : pm.lds) {
+    PhaseConflict pc;
+    const i64 sstep = lds.strides[static_cast<std::size_t>(pm.n - 1)];
+    const std::size_t rows = pm.rows.size();
+    if (lds.row_bases.size() == rows && lds.deltas.size() == rows * q &&
+        pm.band_split.size() == rows) {
+      for (std::size_t rb = 0; rb < rows && !pc.exists; ++rb) {
+        const i64 split_b = pm.band_split[rb];
+        const i64 nband = pm.rows[rb].count - split_b;
+        if (nband <= 0) continue;
+        for (int l = 0; l < q && !pc.exists; ++l) {
+          // Band reads of row rb through dependence l: an arithmetic
+          // progression of stride sstep.
+          const i64 read0 =
+              add_ck(add_ck(lds.row_bases[rb], mul_ck(split_b, sstep)),
+                     lds.deltas[rb * static_cast<std::size_t>(q) +
+                                static_cast<std::size_t>(l)]);
+          for (std::size_t rw = 0; rw < rows && !pc.exists; ++rw) {
+            const i64 nrem = pm.band_split[rw];
+            if (nrem <= 0) continue;
+            const i64 w0 = lds.row_bases[rw];  // remainder writes
+            if ((read0 - w0) % sstep != 0) continue;
+            const i64 lo = std::max(read0, w0);
+            const i64 hi = std::min(add_ck(read0, mul_ck(nband - 1, sstep)),
+                                    add_ck(w0, mul_ck(nrem - 1, sstep)));
+            if (lo <= hi) {
+              pc.exists = true;
+              pc.slot0 = lo;
+            }
+          }
+        }
+      }
+    }
+    rem_band.emplace(len, pc);
+  }
+
+  int rank = 0;
+  for (const auto& [pid, window] : pm.windows) {
+    if (full()) break;
+    const auto lit = pm.lds.find(window.count());
+    const LdsModel* lds = lit == pm.lds.end() ? nullptr : &lit->second;
+    const PhaseConflict& pc = rem_band[window.count()];
+    for (i64 t = window.lo; t <= window.hi && !full(); ++t) {
+      VecI js(static_cast<std::size_t>(pm.n));
+      std::size_t pi = 0;
+      for (int k = 0; k < pm.n; ++k) {
+        const std::size_t uk = static_cast<std::size_t>(k);
+        js[uk] = pm.mesh_lo[uk] + (k == pm.m ? t : pid[pi++]);
+      }
+      if (!pm.is_valid_tile(js)) continue;
+      const i64 t_loc = t - window.lo;
+
+      if (pm.pipelined) {
+        const int remainder = graph.find(js, HbPhase::kRemainder, -1);
+        const int bandc = graph.find(js, HbPhase::kBand, -1);
+        // (a) band reads remainder-written slots of the same tile.
+        if (pc.exists && !graph.reaches(remainder, bandc)) {
+          const i64 slot =
+              lds == nullptr
+                  ? pc.slot0
+                  : add_ck(pc.slot0, mul_ck(t_loc, lds->chain_step));
+          report(remainder, bandc, slot, -1,
+                 "band sweep of tile " + format_vec(js) +
+                     " reads a slot the remainder sweep writes, with no "
+                     "happens-before order between the two");
+        }
+        // (b) pack+isend reads band-written slots.
+        for (std::size_t dir = 0; dir < pm.directions.size() && !full();
+             ++dir) {
+          const int pack =
+              graph.find(js, HbPhase::kPackSend, static_cast<int>(dir));
+          if (pack < 0) continue;
+          if (!graph.reaches(bandc, pack)) {
+            i64 slot = -1;
+            if (lds != nullptr) {
+              VecI coords(static_cast<std::size_t>(pm.n));
+              for (int k = 0; k < pm.n; ++k) {
+                const std::size_t uk = static_cast<std::size_t>(k);
+                coords[uk] =
+                    add_ck(lds->off[uk],
+                           floor_div(pm.directions[dir].pack.lo[uk],
+                                     pm.c[uk]));
+              }
+              slot = linear_slot(*lds, coords, t_loc);
+            }
+            report(bandc, pack, slot, -1,
+                   "pack+isend of tile " + format_vec(js) + " direction " +
+                       std::to_string(dir) +
+                       " reads band slots with no happens-before order "
+                       "after the band sweep that writes them");
+          }
+        }
+      }
+      // (c) every compute write is read by the final write-back.
+      const int wb = graph.find_writeback(rank);
+      const int last_compute =
+          pm.pipelined ? graph.find(js, HbPhase::kBand, -1)
+                       : graph.find(js, HbPhase::kCompute, -1);
+      if (wb >= 0 && last_compute >= 0 && !graph.reaches(last_compute, wb)) {
+        report(last_compute, wb, -1, -1,
+               "write-back reads compute slots of tile " + format_vec(js) +
+                   " with no happens-before order after the sweep");
+      }
+    }
+    ++rank;
+  }
+  return races;
+}
+
+}  // namespace ctile::verify

@@ -1,0 +1,116 @@
+// Static happens-before graph of the runtime's communication schedule.
+//
+// The verifier's rule V6 (race freedom) does not watch an execution: it
+// reconstructs, from the PlanModel alone, every event the executors
+// perform per (rank, tile, phase) — pre-posted irecv, halo unpack,
+// remainder compute, band compute, pack + isend, final write-back — and
+// the happens-before edges the running schedule establishes between
+// them:
+//
+//  - program-order edges: each rank executes its tiles in chain order
+//    and each tile's phases in the order ScheduleModel declares (the
+//    Pi = [1,...,1] linear schedule is what makes the chain order a
+//    legal total order per rank — see THEORY.md);
+//  - message edges: PackSend(pred, dir) -> Unpack(receiver, dep) for
+//    every RECEIVE the executor performs (the minsucc predicate of
+//    plan_model.hpp), present only while ScheduleModel::unpack_at_wait
+//    holds — unpacking at post time has no completed receive to
+//    synchronize with, which is exactly the race.
+//
+// hb_race_check() then enumerates the proof obligations — every
+// conflicting pair of LDS-slot accesses (writer/reader across phases,
+// or across ranks via the pack/unpack regions of the CommSlotTable) —
+// and demands HB-reachability for each, returning an unordered-pair
+// witness (slot coordinates + both events) per violation.  The graph is
+// exposed, with a drop_edge mutation hook, so tests can knock out one
+// edge and assert the race is caught.
+//
+// The same graph is the spec for the dynamic cross-validation oracle:
+// the event backend's totally-ordered communication log
+// (mpisim::Comm::event_log) must be a linearization of this graph
+// (tests/verify_hb_trace_test.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/plan_model.hpp"
+
+namespace ctile::verify {
+
+/// The event vocabulary (DESIGN.md §14).  kCompute is the blocking
+/// schedule's whole-tile sweep; the pipelined schedule splits it into
+/// kRemainder + kBand.
+enum class HbPhase {
+  kRecvPost,   ///< irecv pre-posted (no LDS footprint)
+  kUnpack,     ///< halo scatter of one received message (writes halo)
+  kRemainder,  ///< remainder sweep (writes non-band compute slots)
+  kBand,       ///< band sweep (writes band compute slots)
+  kCompute,    ///< blocking whole-tile sweep
+  kPackSend,   ///< pack region gather + isend (reads band slots)
+  kWriteBack,  ///< post-barrier LDS -> DataSpace copy (reads everything)
+};
+
+const char* hb_phase_name(HbPhase phase);
+
+struct HbEvent {
+  int rank = -1;  ///< dense rank id (PlanModel::windows order)
+  VecI pid;       ///< processor mesh coordinates
+  VecI tile;      ///< tile-space coordinates j^S (empty for kWriteBack)
+  i64 t = 0;      ///< global chain coordinate of the tile
+  HbPhase phase = HbPhase::kCompute;
+  /// kUnpack / kRecvPost: index into PlanModel::tile_deps;
+  /// kPackSend: index into PlanModel::directions; else -1.
+  int aux = -1;
+
+  /// "rank 2 tile (1,0,3) band-compute" — for witnesses and logs.
+  std::string to_string() const;
+};
+
+class HbGraph {
+ public:
+  int add_event(HbEvent event);
+  void add_edge(int u, int v);
+  /// Mutation hook: remove edge u -> v.  True iff it existed.
+  bool drop_edge(int u, int v);
+
+  const std::vector<HbEvent>& events() const { return events_; }
+  const HbEvent& event(int i) const {
+    return events_[static_cast<std::size_t>(i)];
+  }
+  std::size_t edge_count() const;
+
+  /// u reaches v along HB edges (u == v counts as reached).
+  bool reaches(int u, int v) const;
+
+  /// Event index of (tile, phase, aux), -1 if absent.
+  int find(const VecI& tile, HbPhase phase, int aux = -1) const;
+  /// The rank's final write-back event, -1 if absent.
+  int find_writeback(int rank) const;
+
+ private:
+  std::vector<HbEvent> events_;
+  std::vector<std::vector<int>> succs_;
+  std::vector<int> writebacks_;  ///< per rank
+};
+
+/// Reconstruct the schedule's events and HB edges from the model.
+/// Requires pm.has_concurrency_facts.
+HbGraph build_hb_graph(const PlanModel& pm);
+
+/// One failed proof obligation: a conflicting LDS-slot access pair (or
+/// a read with no covering writer) that the HB graph does not order.
+struct HbRace {
+  int writer = -1;  ///< event index; -1 when the required writer is absent
+  int reader = -1;  ///< event index; -1 when the required reader is absent
+  i64 slot = -1;    ///< concrete conflicting linear LDS slot
+  int dim = -1;     ///< dimension of the slot witness, -1 if whole-slot
+  std::string what;
+};
+
+/// Enumerate every conflicting-access proof obligation of the schedule
+/// and return the violated ones (at most max_findings).
+std::vector<HbRace> hb_race_check(const HbGraph& graph, const PlanModel& pm,
+                                  std::size_t max_findings);
+
+}  // namespace ctile::verify

@@ -3,7 +3,10 @@
 #include <algorithm>
 
 #include "linalg/int_matops.hpp"
+#include "mpisim/mpisim.hpp"
+#include "runtime/compiled_plan.hpp"
 #include "runtime/mapping.hpp"
+#include "tiling/ttis.hpp"
 
 namespace ctile::verify {
 
@@ -155,31 +158,86 @@ PlanModel snapshot_plan(
   return model;
 }
 
-PlanModel lower_and_snapshot(const TiledNest& tiled, int force_m) {
-  // Mirrors ParallelExecutor's lowering: exact census, census-tight
-  // mapping, canonical LDS, comm plan, per-window LDS layouts, interior
-  // classifier.  Everything except `tiled` is snapshotted by value.
-  TileCensus census(tiled);
-  Mapping mapping(tiled, force_m, &census);
-  LdsLayout canonical(tiled, mapping);
-  CommPlan plan(tiled, mapping, canonical);
-  TileClassifier classifier(tiled, &census);
+PlanModel snapshot_compiled(const CompiledPlan& plan) {
+  PlanModel model =
+      snapshot_plan(plan.tiled(), plan.mapping(), plan.comm_plan(),
+                    plan.window_layouts(), &plan.classifier());
 
-  std::map<i64, LdsLayout> per_window;
-  for (int rank = 0; rank < mapping.num_procs(); ++rank) {
-    const IntRange window = mapping.chain_window(mapping.pid_of(rank));
-    if (window.empty()) continue;
-    const i64 len = window.count();
-    if (per_window.find(len) == per_window.end()) {
-      per_window.emplace(len, LdsLayout(tiled, mapping, len));
+  // ---- Concurrency facts (V6-V8). ----
+  model.has_concurrency_facts = true;
+
+  // Row geometry of the full tile, in the exact order the runtime's
+  // hoisted row plans and the BandSplit index it.
+  const TilingTransform& tf = plan.tiled().transform();
+  for (TtisRowWalker row(tf, full_ttis_region(tf)); row.valid();
+       row.next()) {
+    RowModel rm;
+    rm.plane = row.row_start()[0];
+    rm.count = row.row_points();
+    rm.start = row.row_start();
+    model.rows.push_back(std::move(rm));
+  }
+
+  const BandSplit& band = plan.band();
+  CTILE_ASSERT(band.rows() == model.rows.size());
+  for (std::size_t r = 0; r < band.rows(); ++r) {
+    model.band_split.push_back(band.split(r));
+  }
+
+  // Per-window row-plan claims (bases, deltas, alias distances).
+  for (auto& [len, lm] : model.lds) {
+    const CompiledPlan::RankLocal& rl = plan.local_for(len);
+    CTILE_ASSERT(rl.rows.size() == model.rows.size());
+    for (const CompiledPlan::SweepRow& row : rl.rows) {
+      lm.row_bases.push_back(row.base0);
+    }
+    lm.deltas = rl.deltas;
+    lm.alias = rl.alias;
+  }
+
+  // The executors' phase ordering (ScheduleModel defaults describe the
+  // shipped schedule) and mpisim's pool discipline.
+  model.schedule = ScheduleModel{};
+  model.pool.eager_transit_copy = mpisim::kPoolDiscipline.eager_transit_copy;
+  model.pool.sender_buffer_recycled_at_initiation =
+      mpisim::kPoolDiscipline.sender_buffer_recycled_at_initiation;
+  model.pool.transit_released_after_unpack =
+      mpisim::kPoolDiscipline.transit_released_after_unpack;
+  model.pool.max_pooled_buffers =
+      static_cast<i64>(mpisim::kPoolDiscipline.max_pooled_buffers);
+
+  model.plane_parallel_claim = plan.plane_parallel();
+  return model;
+}
+
+PlanModel lower_and_snapshot(const TiledNest& tiled, int force_m) {
+  // The executors' own lowering (CompiledPlan::compile_parallel), so the
+  // snapshot carries every concurrency fact V6-V8 prove.  The plan is
+  // released on return; repoint the spec reference at the caller's
+  // (equivalent) nest so the model never dangles.
+  LoweringKnobs knobs;
+  knobs.force_m = force_m;
+  const std::shared_ptr<const CompiledPlan> plan =
+      CompiledPlan::compile_parallel(TiledNest(tiled), knobs);
+  PlanModel model = snapshot_compiled(*plan);
+  model.tiled = &tiled;
+  return model;
+}
+
+void for_each_receive_event(
+    const PlanModel& pm,
+    const std::function<void(const VecI&, std::size_t, const VecI&)>& fn) {
+  for (const VecI& js : pm.valid_tiles) {
+    for (std::size_t di = 0; di < pm.tile_deps.size(); ++di) {
+      const TileDepModel& dep = pm.tile_deps[di];
+      if (dep.dir < 0) continue;
+      const VecI pred = vec_sub(js, dep.ds);
+      if (!pm.is_valid_tile(pred)) continue;
+      VecI ms;
+      if (!pm.minsucc(pred, dep.dir, &ms) || ms != js) continue;
+      fn(pred, di, js);
     }
   }
-  std::vector<std::pair<i64, const LdsLayout*>> layouts;
-  layouts.reserve(per_window.size());
-  for (const auto& [len, layout] : per_window) {
-    layouts.emplace_back(len, &layout);
-  }
-  return snapshot_plan(tiled, mapping, plan, layouts, &classifier);
 }
 
 }  // namespace ctile::verify

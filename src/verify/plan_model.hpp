@@ -13,10 +13,15 @@
 // is verified against, not part of the plan).
 #pragma once
 
+#include <functional>
 #include <map>
 
 #include "runtime/comm_plan.hpp"
 #include "tiling/interior.hpp"
+
+namespace ctile {
+class CompiledPlan;
+}  // namespace ctile
 
 namespace ctile::verify {
 
@@ -29,6 +34,14 @@ struct LdsModel {
   VecI strides;        ///< row-major linear strides
   i64 chain_step = 0;  ///< linear-slot increment per chain step
   i64 size = 0;        ///< total slots
+
+  // Row-plan claims of this window's RankLocal (present only with
+  // concurrency facts, i.e. when snapshotted from a CompiledPlan).
+  // Indexed like the runtime tables: per PlanModel::rows entry r and
+  // dependence column l, entry r * q + l.
+  std::vector<i64> row_bases;  ///< per-row linear base slot at t = 0
+  std::vector<i64> deltas;     ///< claimed per-(row, dep) slot deltas
+  std::vector<i64> alias;      ///< claimed in-row alias distances (V8)
 };
 
 /// One SEND direction: processor dependence and its pack region.
@@ -42,6 +55,43 @@ struct TileDepModel {
   VecI ds;       ///< tile-space dependence (n components)
   VecI dm;       ///< processor projection (n-1 components)
   int dir = -1;  ///< index into PlanModel::directions, -1 chain-internal
+};
+
+/// One TTIS row of the full tile (TtisRowWalker order): the unit of the
+/// strength-reduced sweep, the band/remainder split and the kThreadPool
+/// plane fan-out.  Row geometry is tile-invariant, so one global list
+/// describes every tile of the plan.
+struct RowModel {
+  i64 plane = 0;  ///< j'_0 of the row (plane grouping)
+  i64 count = 0;  ///< lattice points in the row
+  VecI start;     ///< TTIS coordinates of the row's first point
+};
+
+/// The intra-tile phase-ordering facts the executors export — which
+/// program-order happens-before edges the running schedule actually
+/// establishes.  The HB graph (hb_graph.hpp) draws its edges from these
+/// flags; V6 proves the edges suffice.  All true for the shipped
+/// executors; mutation tests flip one to drop the corresponding edge.
+struct ScheduleModel {
+  /// A pre-posted irecv's payload is unpacked only after the matching
+  /// wait completes (never at post time) — the message HB edge lands
+  /// before the unpack's LDS writes.
+  bool unpack_at_wait = true;
+  /// The remainder (boundary) sweep of a tile completes before its band
+  /// sweep starts (remainder-first split legality).
+  bool remainder_before_band = true;
+  /// pack + isend of a tile fires only after its band sweep completes —
+  /// the pack reads slots the band wrote.
+  bool band_before_send = true;
+};
+
+/// The mpisim buffer-pool discipline (mpisim::PoolDiscipline snapshot);
+/// V7's model of message-buffer lifetimes.
+struct PoolModel {
+  bool eager_transit_copy = true;
+  bool sender_buffer_recycled_at_initiation = true;
+  bool transit_released_after_unpack = true;
+  i64 max_pooled_buffers = 0;
 };
 
 struct PlanModel {
@@ -86,6 +136,24 @@ struct PlanModel {
 
   std::vector<VecI> interior_tiles;  ///< valid tiles flagged interior
 
+  // -- Concurrency facts (V6-V8), present when snapshotted from a
+  // CompiledPlan (snapshot_compiled / lower_and_snapshot); absent on a
+  // bare snapshot_plan, in which case V6-V8 have nothing to prove and
+  // pass vacuously. --
+
+  bool has_concurrency_facts = false;
+  std::vector<RowModel> rows;  ///< TTIS rows of the full tile, walker order
+  /// Per-row band split index from the plan's BandSplit: in-row indices
+  /// >= band_split[r] belong to the boundary band (packed + sent),
+  /// < band_split[r] to the remainder swept first.
+  std::vector<i64> band_split;
+  ScheduleModel schedule;
+  PoolModel pool;
+  /// The plan's claim that distinct rows of one j'_0-plane carry no
+  /// dependence between them (kThreadPool fan-out legality); V8 proves
+  /// or refutes it against D'.
+  bool plane_parallel_claim = false;
+
   // -- Pure helpers over the snapshot (no live runtime objects). --
 
   bool is_valid_tile(const VecI& js) const;
@@ -107,10 +175,27 @@ PlanModel snapshot_plan(
     const std::vector<std::pair<i64, const LdsLayout*>>& window_layouts,
     const TileClassifier* classifier);
 
-/// One-stop lowering for the CLI and tests: builds census, mapping,
-/// canonical + per-window LDS layouts, comm plan and classifier exactly
-/// as ParallelExecutor does, then snapshots.  The returned model only
+/// Snapshot a CompiledPlan, including the concurrency facts V6-V8 prove
+/// (band split, row plan + alias claims, schedule ordering, pool
+/// discipline, plane-parallel claim).  The returned model references
+/// the plan's TiledNest; callers that outlive the plan must repoint
+/// `tiled` at an equivalent nest of their own (lower_and_snapshot
+/// does).
+PlanModel snapshot_compiled(const CompiledPlan& plan);
+
+/// One-stop lowering for the CLI and tests: compiles the plan exactly
+/// as ParallelExecutor does (CompiledPlan::compile_parallel) and
+/// snapshots it with full concurrency facts.  The returned model only
 /// references `tiled`, which must outlive it.
 PlanModel lower_and_snapshot(const TiledNest& tiled, int force_m = -1);
+
+/// Invoke fn(pred, dep_index, receiver) for every RECEIVE the parallel
+/// executor performs: receiver is the lexicographically minimum valid
+/// successor of pred in the dependence's direction.  This is the
+/// executor's receive predicate replayed over the model; shared by the
+/// verifier rules and the HB-graph builder.
+void for_each_receive_event(
+    const PlanModel& pm,
+    const std::function<void(const VecI&, std::size_t, const VecI&)>& fn);
 
 }  // namespace ctile::verify

@@ -10,6 +10,7 @@
 #include "linalg/int_matops.hpp"
 #include "linalg/rat_matops.hpp"
 #include "tiling/ttis.hpp"
+#include "verify/hb_graph.hpp"
 
 namespace ctile::verify {
 
@@ -61,26 +62,6 @@ i64 witness_slot(const LdsModel& lds, int dim, i64 bad_coord) {
     slot = add_ck(slot, mul_ck(coord, lds.strides[k]));
   }
   return slot;
-}
-
-/// Invoke fn(pred, dep_index, receiver) for every RECEIVE the parallel
-/// executor performs: receiver is the lexicographically minimum valid
-/// successor of pred in the dependence's direction.  This is the
-/// executor's receive predicate replayed over the model.
-void for_each_receive_event(
-    const PlanModel& pm,
-    const std::function<void(const VecI&, std::size_t, const VecI&)>& fn) {
-  for (const VecI& js : pm.valid_tiles) {
-    for (std::size_t di = 0; di < pm.tile_deps.size(); ++di) {
-      const TileDepModel& dep = pm.tile_deps[di];
-      if (dep.dir < 0) continue;
-      const VecI pred = vec_sub(js, dep.ds);
-      if (!pm.is_valid_tile(pred)) continue;
-      VecI ms;
-      if (!pm.minsucc(pred, dep.dir, &ms) || ms != js) continue;
-      fn(pred, di, js);
-    }
-  }
 }
 
 /// True iff original dependence column l can generate tile dependence ds:
@@ -896,6 +877,277 @@ void check_v5(Ctx& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------
+// V6: race freedom of the pipelined schedule.  Reconstruct the
+// happens-before graph of every (rank, tile, phase) event the executors
+// perform (hb_graph.hpp) and demand HB order for every conflicting pair
+// of LDS-slot accesses — remainder/band/pack within a tile, pack/unpack
+// across ranks, compute/write-back across the barrier — plus slot-level
+// coverage of every cross-rank read.  Vacuous on models without
+// concurrency facts (bare snapshot_plan): there is no schedule to prove.
+// ---------------------------------------------------------------------
+void check_v6(Ctx& ctx) {
+  const PlanModel& pm = ctx.pm;
+  const Rule rule = Rule::kV6RaceFreedom;
+  if (!pm.has_concurrency_facts) return;
+
+  const HbGraph graph = build_hb_graph(pm);
+  const std::vector<HbRace> races = hb_race_check(
+      graph, pm, static_cast<std::size_t>(ctx.opts.max_findings_per_rule));
+  for (const HbRace& race : races) {
+    Witness w;
+    if (race.slot >= 0) w.lds_slot = race.slot;
+    if (race.dim >= 0) w.dim = race.dim;
+    std::string message = "data race: " + race.what;
+    if (race.writer >= 0) {
+      const HbEvent& e = graph.event(race.writer);
+      if (!e.tile.empty()) w.tile = e.tile;
+      message += "; writer: " + e.to_string();
+    }
+    if (race.reader >= 0) {
+      const HbEvent& e = graph.event(race.reader);
+      if (!w.tile && !e.tile.empty()) w.tile = e.tile;
+      message += "; reader: " + e.to_string();
+    }
+    ctx.add(rule, Severity::kError, std::move(message), std::move(w),
+            "restore the executor phase ordering (ScheduleModel) or "
+            "enlarge the pack region so every conflicting access pair is "
+            "happens-before ordered");
+  }
+}
+
+// ---------------------------------------------------------------------
+// V7: buffer-lifetime safety.  The mpisim pool discipline (PoolModel)
+// must guarantee (a) no pack scratch region is rewritten between isend
+// initiation and the transit copy — which requires the transit copy to
+// be eager whenever the sender recycles its buffer at initiation — and
+// (b) pool recycling never hands out a buffer an in-flight message (a
+// received-but-not-yet-unpacked payload) still owns.
+// ---------------------------------------------------------------------
+void check_v7(Ctx& ctx) {
+  const PlanModel& pm = ctx.pm;
+  const Rule rule = Rule::kV7BufferLifetime;
+  if (!pm.has_concurrency_facts) return;
+
+  auto tile_sends = [&](const VecI& js) {
+    for (const TileDepModel& dep : pm.tile_deps) {
+      if (dep.dir < 0) continue;
+      if (pm.is_valid_tile(vec_add(js, dep.ds))) return true;
+    }
+    return false;
+  };
+
+  // (a) pack region rewritten while the message is in flight.  Only the
+  // pipelined schedule keeps sends in flight past the pack; the witness
+  // is the first tile whose pack rewrites a buffer its own rank still
+  // has in transit (the second sending tile of some chain window).
+  if (pm.pipelined && !pm.pool.eager_transit_copy &&
+      pm.pool.sender_buffer_recycled_at_initiation) {
+    for (const auto& [pid, window] : pm.windows) {
+      if (ctx.capped(rule)) break;
+      VecI first_sender;
+      bool seen_send = false;
+      for (i64 t = window.lo; t <= window.hi; ++t) {
+        VecI js(static_cast<std::size_t>(pm.n));
+        std::size_t pi = 0;
+        for (int k = 0; k < pm.n; ++k) {
+          const std::size_t uk = static_cast<std::size_t>(k);
+          js[uk] = pm.mesh_lo[uk] + (k == pm.m ? t : pid[pi++]);
+        }
+        if (!pm.is_valid_tile(js) || !tile_sends(js)) continue;
+        if (!seen_send) {
+          seen_send = true;
+          first_sender = js;
+          continue;
+        }
+        Witness w;
+        w.tile = js;
+        ctx.add(rule, Severity::kError,
+                "pack region rewritten between isend initiation and the "
+                "transit copy: tile " + format_vec(js) +
+                    " repacks while the isend of tile " +
+                    format_vec(first_sender) +
+                    " may still read the buffer (transit copy is not "
+                    "eager but the sender recycles at initiation)",
+                std::move(w),
+                "copy the payload into the transit buffer at isend "
+                "initiation (PoolDiscipline::eager_transit_copy) or hold "
+                "the sender buffer until completion");
+        break;
+      }
+    }
+  }
+
+  // (b) pool recycling aliasing an in-flight message: releasing the
+  // transit buffer before the unpack completes lets the pool hand the
+  // same storage to a concurrent message while the unpack still reads.
+  if (!pm.pool.transit_released_after_unpack && !ctx.capped(rule)) {
+    bool reported = false;
+    for_each_receive_event(pm, [&](const VecI& pred, std::size_t di,
+                                   const VecI& recv) {
+      if (reported || ctx.capped(rule)) return;
+      reported = true;
+      Witness w;
+      w.tile = recv;
+      w.dep = pm.tile_deps[di].ds;
+      ctx.add(rule, Severity::kError,
+              "pool recycling aliases an in-flight message: the transit "
+              "buffer of the payload from tile " + format_vec(pred) +
+                  " is released before tile " + format_vec(recv) +
+                  " finishes unpacking it, so the pool can recycle the "
+                  "storage into a concurrent message",
+              std::move(w),
+              "release the transit buffer only after the unpack "
+              "(PoolDiscipline::transit_released_after_unpack)");
+    });
+  }
+}
+
+// ---------------------------------------------------------------------
+// V8: parallel-policy soundness.  (a) The plan's plane-parallel claim —
+// distinct rows of one j'_0-plane may be swept concurrently by the
+// thread pool — is legal iff no dependence with d'_0 = 0 connects
+// distinct rows of a plane, i.e. every column has d'_0 >= 1 or zeros in
+// every middle dimension.  (b) The per-(row, dependence) slot deltas and
+// SIMD alias distances the compiled row plan claims must equal the
+// values the LDS layout implies; the vectorized sweep trusts them to
+// decide recurrence splits, so a wrong claim reads a slot before it is
+// written.  Both re-derived from model scalars, never from runtime code.
+// ---------------------------------------------------------------------
+void check_v8(Ctx& ctx) {
+  const PlanModel& pm = ctx.pm;
+  const Rule rule = Rule::kV8PolicySoundness;
+  if (!pm.has_concurrency_facts) return;
+  const int n = pm.n;
+  const int q = pm.Dp.cols();
+
+  // (a) plane-parallel fan-out legality.
+  bool sound = true;
+  int bad_l = -1, bad_k = -1;
+  for (int l = 0; l < q && sound; ++l) {
+    if (pm.Dp(0, l) >= 1) continue;
+    for (int k = 1; k < n - 1; ++k) {
+      if (pm.Dp(k, l) != 0) {
+        sound = false;
+        bad_l = l;
+        bad_k = k;
+        break;
+      }
+    }
+  }
+  if (pm.plane_parallel_claim && !sound) {
+    Witness w;
+    w.dep = pm.Dp.col(bad_l);
+    w.dim = bad_k;
+    ctx.add(rule, Severity::kError,
+            "plane-parallel claim unsound: TTIS dependence " +
+                format_vec(pm.Dp.col(bad_l)) +
+                " has d'_0 = 0 but connects distinct rows of one "
+                "j'_0-plane (d'_" + std::to_string(bad_k) +
+                " != 0) — the thread-pool fan-out would compute a row "
+                "before its intra-plane predecessor",
+            std::move(w),
+            "clear the plane-parallel flag (fall back to the sequential "
+            "row order) or retile so every dependence advances j'_0");
+  } else if (!pm.plane_parallel_claim && sound) {
+    bool all_advance = true;
+    for (int l = 0; l < q; ++l) {
+      if (pm.Dp(0, l) < 1) {
+        all_advance = false;
+        break;
+      }
+    }
+    if (all_advance && n > 2) {
+      ctx.add(rule, Severity::kWarning,
+              "plane-parallel fan-out is legal for this plan (every "
+              "dependence advances j'_0) but the plan does not claim it",
+              Witness{},
+              "enable the plane-parallel flag to let kThreadPool fan "
+              "rows out");
+    }
+  }
+
+  // (b) slot-delta and alias-distance claims, per window length.
+  const std::size_t rows = pm.rows.size();
+  const std::size_t uq = static_cast<std::size_t>(q);
+  for (const auto& [len, lds] : pm.lds) {
+    if (ctx.capped(rule)) break;
+    if (lds.row_bases.size() != rows || lds.deltas.size() != rows * uq ||
+        lds.alias.size() != rows * uq) {
+      ctx.add(rule, Severity::kError,
+              "row-plan claim tables of window length " +
+                  std::to_string(len) + " are missing or mis-sized (" +
+                  std::to_string(lds.deltas.size()) + " deltas, " +
+                  std::to_string(lds.alias.size()) + " alias entries for " +
+                  std::to_string(rows * uq) + " (row, dep) pairs)",
+              Witness{}, "re-lower the plan; the row plan is corrupt");
+      continue;
+    }
+    const i64 sstep = lds.strides[static_cast<std::size_t>(n - 1)];
+    for (std::size_t r = 0; r < rows && !ctx.capped(rule); ++r) {
+      const RowModel& row = pm.rows[r];
+      for (int l = 0; l < q && !ctx.capped(rule); ++l) {
+        // dep_delta re-derived from scalars: the condensed-coordinate
+        // displacement of reading through D' column l from this row.
+        i64 delta = 0;
+        for (int k = 0; k < n; ++k) {
+          const std::size_t uk = static_cast<std::size_t>(k);
+          const i64 jp = row.start[uk];
+          delta = add_ck(
+              delta,
+              mul_ck(sub_ck(floor_div(sub_ck(jp, pm.Dp(k, l)), pm.c[uk]),
+                            floor_div(jp, pm.c[uk])),
+                     lds.strides[uk]));
+        }
+        const std::size_t idx = r * uq + static_cast<std::size_t>(l);
+        if (lds.deltas[idx] != delta) {
+          Witness w;
+          w.point = row.start;
+          w.dep = pm.Dp.col(l);
+          w.lds_slot = add_ck(lds.row_bases[r], lds.deltas[idx]);
+          w.dim = n - 1;
+          ctx.add(rule, Severity::kError,
+                  "row-plan slot delta unsound: row " +
+                      format_vec(row.start) + " dependence " +
+                      format_vec(pm.Dp.col(l)) + " claims delta " +
+                      std::to_string(lds.deltas[idx]) +
+                      " but the LDS layout implies " + std::to_string(delta) +
+                      " — the sweep would read the wrong slot",
+                  std::move(w), "re-derive the row plan from the layout");
+          continue;
+        }
+        // Alias distance the claimed delta implies, by the same division
+        // rules the SIMD kernel applies to decide recurrence splits.
+        const i64 diff = -delta;
+        i64 expect = 0;
+        if (sstep != 0 && diff != 0 && diff % sstep == 0) {
+          const i64 m_full = diff / sstep;
+          const i64 mag = m_full < 0 ? -m_full : m_full;
+          expect = mag >= row.count ? 0 : m_full;
+        }
+        if (lds.alias[idx] != expect) {
+          Witness w;
+          w.point = row.start;
+          w.dep = pm.Dp.col(l);
+          w.lds_slot = add_ck(lds.row_bases[r], delta);
+          w.dim = n - 1;
+          ctx.add(rule, Severity::kError,
+                  "SIMD alias-distance claim unsound: row " +
+                      format_vec(row.start) + " dependence " +
+                      format_vec(pm.Dp.col(l)) + " claims distance " +
+                      std::to_string(lds.alias[idx]) +
+                      " but delta/stride imply " + std::to_string(expect) +
+                      " — the vectorized sweep would mis-split the "
+                      "recurrence and read a lane before it is written",
+                  std::move(w),
+                  "derive alias distances from the row plan's deltas "
+                  "(Kernel::row_alias_distance)");
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 VerifyReport verify_plan(const PlanModel& model, const VerifyOptions& options) {
@@ -908,6 +1160,9 @@ VerifyReport verify_plan(const PlanModel& model, const VerifyOptions& options) {
   check_v3(ctx);
   check_v4(ctx);
   check_v5(ctx);
+  check_v6(ctx);
+  check_v7(ctx);
+  check_v8(ctx);
   return report;
 }
 

@@ -27,6 +27,25 @@
 //       lattice point outside the iteration space or a dependence
 //       predecessor outside it (the two facts that let the fast sweep
 //       drop contains() tests and initial-value branches).
+//   V6  race freedom: the happens-before graph of the pipelined
+//       schedule's per-(rank, tile, phase) events (hb_graph.hpp) orders
+//       every conflicting pair of LDS-slot accesses — remainder/band/
+//       pack within a tile, pack/unpack across ranks, compute vs
+//       write-back — and every cross-rank read has an HB-ordered
+//       covering writer.  Unordered pairs are reported with the slot
+//       and both events.
+//   V7  buffer-lifetime safety: under mpisim's pool discipline no pack
+//       region is rewritten between isend initiation and the transit
+//       copy, and pool recycling never aliases an in-flight message.
+//   V8  parallel-policy soundness: the plane-parallel (kThreadPool)
+//       fan-out claim holds against D' (no d'_0 = 0 dependence connects
+//       distinct rows of a plane), and every per-(row, dependence) slot
+//       delta and SIMD alias distance the compiled row plan claims
+//       matches the value the LDS layout implies.
+//
+// V6-V8 need the concurrency facts of a CompiledPlan snapshot
+// (snapshot_compiled / lower_and_snapshot) and pass vacuously on a bare
+// snapshot_plan.
 //
 // Rules re-derive each layer of the plan from the layers beneath it, so
 // a mutation anywhere in the lowering pipeline is caught by the rule
@@ -54,7 +73,7 @@ struct VerifyOptions {
   i64 max_findings_per_rule = 16;
 };
 
-/// Run rules V1..V5 over the model and return every finding.
+/// Run rules V1..V8 over the model and return every finding.
 VerifyReport verify_plan(const PlanModel& model,
                          const VerifyOptions& options = {});
 

@@ -1,0 +1,78 @@
+// Overflow regression for the checked LDS row addressing (satellite of
+// the V6-V8 verifier work): this translation unit is compiled with
+// CTILE_CHECKED_LDS, so LdsLayout::row_slot / slot_at form their affine
+// slot arithmetic through support/checked_int.hpp.  A coefficient large
+// enough to wrap 64-bit arithmetic must surface as a loud OverflowError
+// — not as a silently wrapped slot that an unchecked build would cast
+// to a huge std::size_t at the caller's multiply by arity.
+#ifndef CTILE_CHECKED_LDS
+#error "this test must be compiled with CTILE_CHECKED_LDS"
+#endif
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "apps/kernels.hpp"
+#include "runtime/compiled_plan.hpp"
+#include "runtime/lds.hpp"
+#include "support/error.hpp"
+
+namespace ctile {
+namespace {
+
+/// A real SOR lowering's canonical LDS layout (the paper's Fig. 6
+/// configuration): the same layout the executors address through.
+std::shared_ptr<const CompiledPlan> lower_sor() {
+  AppInstance app = make_sor(6, 9);
+  TiledNest tiled(app.nest, TilingTransform(sor_rect_h(2, 3, 4)));
+  LoweringKnobs knobs;
+  knobs.force_m = 2;
+  return CompiledPlan::compile_parallel(std::move(tiled), knobs);
+}
+
+TEST(CheckedLdsOverflow, InRangeRowSlotMatchesPlainArithmetic) {
+  const std::shared_ptr<const CompiledPlan> plan = lower_sor();
+  // A genuine row of a lowered chain window: checked addressing must
+  // agree with the unchecked affine form everywhere the sweep actually
+  // goes.  sstep comes from the SAME per-window layout the row bases
+  // were computed against (exactly as the executor's sweeps do).
+  const i64 window_len = plan->window_layouts().front().first;
+  const CompiledPlan::RankLocal& rl = plan->local_for(window_len);
+  const i64 sstep = rl.layout.stride(rl.layout.n() - 1);
+  ASSERT_FALSE(rl.rows.empty());
+  const CompiledPlan::SweepRow& row = rl.rows.front();
+  for (i64 i = 0; i < row.count; ++i) {
+    EXPECT_EQ(rl.layout.row_slot(row.base0, 0, i, sstep),
+              row.base0 + i * sstep);
+  }
+}
+
+TEST(CheckedLdsOverflow, HugeRowIndexThrowsInsteadOfWrapping) {
+  const std::shared_ptr<const CompiledPlan> plan = lower_sor();
+  const LdsLayout& lds = plan->lds();
+  // i * sstep wraps 64-bit arithmetic: the checked build must throw
+  // OverflowError from the multiply itself, never hand back a wrapped
+  // (possibly in-range!) slot or fall through to the bounds assert.
+  const i64 sstep = std::numeric_limits<i64>::max() / 2 + 2;
+  EXPECT_THROW(lds.row_slot(0, 0, 2, sstep), OverflowError);
+}
+
+TEST(CheckedLdsOverflow, HugeChainPositionThrowsInsteadOfWrapping) {
+  const std::shared_ptr<const CompiledPlan> plan = lower_sor();
+  const LdsLayout& lds = plan->lds();
+  ASSERT_GT(lds.chain_step(), 0);
+  const i64 huge = std::numeric_limits<i64>::max() / lds.chain_step() + 1;
+  EXPECT_THROW(lds.row_slot(0, huge, 0, lds.stride(lds.n() - 1)),
+               OverflowError);
+}
+
+TEST(CheckedLdsOverflow, SlotAtOverflowThrows) {
+  const std::shared_ptr<const CompiledPlan> plan = lower_sor();
+  const LdsLayout& lds = plan->lds();
+  EXPECT_THROW(lds.slot_at(std::numeric_limits<i64>::max(), 1),
+               OverflowError);
+}
+
+}  // namespace
+}  // namespace ctile

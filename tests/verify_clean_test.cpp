@@ -12,6 +12,7 @@
 #include "linalg/int_matops.hpp"
 #include "linalg/rat_matops.hpp"
 #include "support/rng.hpp"
+#include "verify/gate.hpp"
 #include "verify/verifier.hpp"
 
 namespace ctile {
@@ -55,6 +56,57 @@ TEST(VerifyClean, HeatConfigs) {
 TEST(VerifyClean, LargerSorInstance) {
   const AppInstance app = make_sor(10, 15);
   expect_clean(app, sor_rect_h(3, 4, 5), 2, "SOR rect 10x15");
+}
+
+// The blocking reference schedule must also be proven race-free: same
+// HB obligations, different edge set (no pre-posted receives).
+TEST(VerifyClean, BlockingScheduleIsClean) {
+  const AppInstance app = make_sor(6, 9);
+  const TiledNest tiled(app.nest, TilingTransform(sor_rect_h(2, 3, 4)));
+  verify::PlanModel model = verify::lower_and_snapshot(tiled, 2);
+  model.pipelined = false;
+  const VerifyReport report = verify::verify_plan(model);
+  EXPECT_TRUE(report.empty()) << report.to_string();
+}
+
+// The pre-run gate's snapshot of a live executor — concurrency facts
+// included — must be clean for every paper config under every execution
+// policy, with the overlapped and the blocking schedule.  This is the
+// V6-V8 acceptance sweep: the proofs hold for the schedule the executor
+// will actually run, not just for a fresh lowering.
+TEST(VerifyClean, ExecutorSnapshotsCleanAcrossPoliciesAndOverlap) {
+  struct Config {
+    const char* name;
+    AppInstance app;
+    MatQ h;
+    int force_m;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"sor rect", make_sor(6, 9), sor_rect_h(2, 3, 4), 2});
+  configs.push_back(
+      {"sor nonrect", make_sor(6, 9), sor_nonrect_h(2, 3, 4), 2});
+  configs.push_back(
+      {"jacobi rect", make_jacobi(4, 8, 8), jacobi_rect_h(2, 4, 3), 0});
+  configs.push_back({"adi nr2", make_adi(4, 6), adi_nr2_h(2, 3, 3), 0});
+  configs.push_back({"heat rect", make_heat(8, 12), heat_rect_h(2, 3), 0});
+
+  for (const Config& cfg : configs) {
+    const TiledNest tiled(cfg.app.nest, TilingTransform(cfg.h));
+    for (exec::Policy policy :
+         {exec::Policy::kSequential, exec::Policy::kSimd,
+          exec::Policy::kThreadPool}) {
+      for (bool overlap : {true, false}) {
+        ParallelExecutor exec(tiled, *cfg.app.kernel, cfg.force_m);
+        exec.set_exec_policy(policy);
+        exec.set_use_overlap(overlap);
+        const VerifyReport report = verify::verify_executor(exec);
+        EXPECT_TRUE(report.empty())
+            << cfg.name << " policy=" << exec::policy_name(policy)
+            << " overlap=" << overlap << ":\n"
+            << report.to_string();
+      }
+    }
+  }
 }
 
 // Random lex-positive dependence with small components.

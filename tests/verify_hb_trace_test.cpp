@@ -1,0 +1,149 @@
+// Dynamic cross-validation of the static happens-before graph (V6):
+// the event backend's totally-ordered communication log must be a
+// LINEARIZATION of the HB graph built from the PlanModel alone — no log
+// entry may precede an event that happens-before it.  A static graph
+// that disagreed with what the scheduler actually does would prove the
+// wrong schedule safe; this test pins the two together on every paper
+// configuration.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/kernels.hpp"
+#include "linalg/int_matops.hpp"
+#include "runtime/parallel_executor.hpp"
+#include "verify/hb_graph.hpp"
+#include "verify/plan_model.hpp"
+
+namespace ctile {
+namespace {
+
+using mpisim::Comm;
+using verify::HbGraph;
+using verify::HbPhase;
+using verify::PlanModel;
+
+/// Decode each (src, dst, tag) log entry into its HB-graph event: sends
+/// map to the sender tile's kPackSend, receives to the receiver tile's
+/// kUnpack of the matching dependence.
+std::vector<int> decode_log(const std::vector<Comm::TraceEvent>& log,
+                            const PlanModel& pm, const Mapping& mapping,
+                            const HbGraph& graph) {
+  std::vector<int> ids;
+  ids.reserve(log.size());
+  for (const Comm::TraceEvent& ev : log) {
+    const int dir = static_cast<int>(ev.tag / pm.chain_length);
+    const i64 t = ev.tag % pm.chain_length;
+    const VecI sender = mapping.tile_at(mapping.pid_of(ev.src), t);
+    if (ev.kind == Comm::TraceEvent::Kind::kSend) {
+      ids.push_back(graph.find(sender, HbPhase::kPackSend, dir));
+      continue;
+    }
+    // Receive: the consumer is the lexicographically minimum valid
+    // successor of the sender in this direction (the executor's receive
+    // predicate), unpacking through the dependence that generated it.
+    int id = -1;
+    VecI recv;
+    if (pm.minsucc(sender, dir, &recv)) {
+      for (std::size_t di = 0; di < pm.tile_deps.size() && id < 0; ++di) {
+        const verify::TileDepModel& dep = pm.tile_deps[di];
+        if (dep.dir != dir) continue;
+        if (vec_sub(recv, dep.ds) != sender) continue;
+        id = graph.find(recv, HbPhase::kUnpack, static_cast<int>(di));
+      }
+    }
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+void expect_linearization(const AppInstance& app, const MatQ& h, int force_m,
+                          const char* what) {
+  const TiledNest tiled(app.nest, TilingTransform(h));
+  ParallelExecutor exec(tiled, *app.kernel, force_m);
+  exec.set_comm_backend(mpisim::Backend::kEvent, /*seed=*/7);
+  exec.set_trace_messages(true);
+  ParallelRunStats stats;
+  exec.run(&stats);
+  ASSERT_FALSE(stats.events.empty()) << what << ": no messages traced";
+
+  PlanModel pm = verify::snapshot_compiled(*exec.compiled());
+  pm.pipelined = exec.use_overlap();
+  const HbGraph graph = verify::build_hb_graph(pm);
+  const std::vector<int> ids =
+      decode_log(stats.events, pm, exec.mapping(), graph);
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_GE(ids[i], 0)
+        << what << ": log entry " << i << " (src=" << stats.events[i].src
+        << " dst=" << stats.events[i].dst << " tag=" << stats.events[i].tag
+        << ") has no HB-graph event — the static model misses a "
+           "communication the scheduler performed";
+  }
+  // Linearization: no entry may appear before an entry that
+  // happens-before it.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      if (ids[i] == ids[j]) continue;
+      EXPECT_FALSE(graph.reaches(ids[j], ids[i]))
+          << what << ": log order violates happens-before: entry " << j
+          << " (" << graph.event(ids[j]).to_string() << ") precedes entry "
+          << i << " (" << graph.event(ids[i]).to_string()
+          << ") in the HB graph but follows it in the scheduler's log";
+    }
+  }
+}
+
+TEST(VerifyHbTrace, SorRect) {
+  const AppInstance app = make_sor(6, 9);
+  expect_linearization(app, sor_rect_h(2, 3, 4), 2, "SOR rect");
+}
+
+TEST(VerifyHbTrace, SorNonrect) {
+  const AppInstance app = make_sor(6, 9);
+  expect_linearization(app, sor_nonrect_h(2, 3, 4), 2, "SOR nonrect");
+}
+
+TEST(VerifyHbTrace, JacobiRect) {
+  const AppInstance app = make_jacobi(4, 8, 8);
+  expect_linearization(app, jacobi_rect_h(2, 4, 3), 0, "Jacobi rect");
+}
+
+TEST(VerifyHbTrace, AdiNr2) {
+  const AppInstance app = make_adi(4, 6);
+  expect_linearization(app, adi_nr2_h(2, 3, 3), 0, "ADI nr2");
+}
+
+TEST(VerifyHbTrace, HeatRect) {
+  const AppInstance app = make_heat(8, 12);
+  expect_linearization(app, heat_rect_h(2, 3), 0, "heat rect");
+}
+
+// The blocking schedule's log must linearize the blocking HB graph too
+// (same obligations, different edge set).
+TEST(VerifyHbTrace, SorRectBlocking) {
+  const AppInstance app = make_sor(6, 9);
+  const TiledNest tiled(app.nest, TilingTransform(sor_rect_h(2, 3, 4)));
+  ParallelExecutor exec(tiled, *app.kernel, 2);
+  exec.set_use_overlap(false);
+  exec.set_comm_backend(mpisim::Backend::kEvent, /*seed=*/7);
+  exec.set_trace_messages(true);
+  ParallelRunStats stats;
+  exec.run(&stats);
+  ASSERT_FALSE(stats.events.empty());
+  PlanModel pm = verify::snapshot_compiled(*exec.compiled());
+  pm.pipelined = false;
+  const verify::HbGraph graph = verify::build_hb_graph(pm);
+  const std::vector<int> ids =
+      decode_log(stats.events, pm, exec.mapping(), graph);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_GE(ids[i], 0) << "blocking log entry " << i << " unmapped";
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      if (ids[i] == ids[j]) continue;
+      EXPECT_FALSE(graph.reaches(ids[j], ids[i]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ctile

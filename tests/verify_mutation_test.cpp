@@ -10,6 +10,7 @@
 #include "apps/kernels.hpp"
 #include "support/error.hpp"
 #include "verify/gate.hpp"
+#include "verify/hb_graph.hpp"
 #include "verify/verifier.hpp"
 
 namespace ctile {
@@ -199,6 +200,245 @@ TEST(VerifyMutation, BoundaryTileForcedInteriorFiresV5) {
       EXPECT_EQ(*diag.witness.tile, forced);
     }
   }
+}
+
+// ---------------------------------------------------------------------
+// Concurrency mutants (V6-V8): perturb one fact of the pipelined
+// schedule, the pool discipline or the parallel-policy claims and
+// assert the owning rule fires with a witness naming the seeded defect.
+// ---------------------------------------------------------------------
+
+TEST(VerifyMutation, UnpackAtPostTimeFiresV6) {
+  // Unpacking a pre-posted irecv's payload at post time drops every
+  // message happens-before edge: each halo unpack races the pack+isend
+  // that produces its payload.
+  Lowered lw = lower_sor();
+  ASSERT_TRUE(lw.model.has_concurrency_facts);
+  lw.model.schedule.unpack_at_wait = false;
+  const VerifyReport report = verify::verify_plan(lw.model);
+  EXPECT_FALSE(report.ok());
+  ASSERT_GE(report.count(Rule::kV6RaceFreedom), 1) << report.to_string();
+  const verify::Diagnostic* d = report.first(Rule::kV6RaceFreedom);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  // The witness names both events of the unordered pair and a slot.
+  EXPECT_NE(d->message.find("pack+isend"), std::string::npos) << d->message;
+  EXPECT_NE(d->message.find("unpack"), std::string::npos) << d->message;
+  ASSERT_TRUE(d->witness.tile.has_value());
+  EXPECT_TRUE(d->witness.lds_slot.has_value());
+  // No other layer was touched.
+  EXPECT_EQ(report.count(Rule::kV3CommCompleteness), 0);
+  EXPECT_EQ(report.count(Rule::kV7BufferLifetime), 0);
+  EXPECT_EQ(report.count(Rule::kV8PolicySoundness), 0);
+}
+
+TEST(VerifyMutation, BandBeforeRemainderFiresV6) {
+  // Dropping the remainder -> band program-order edge leaves the band
+  // sweep racing the remainder sweep it reads from.
+  Lowered lw = lower_sor();
+  lw.model.schedule.remainder_before_band = false;
+  const VerifyReport report = verify::verify_plan(lw.model);
+  EXPECT_FALSE(report.ok());
+  ASSERT_GE(report.count(Rule::kV6RaceFreedom), 1) << report.to_string();
+  const verify::Diagnostic* d = report.first(Rule::kV6RaceFreedom);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("remainder"), std::string::npos) << d->message;
+  ASSERT_TRUE(d->witness.lds_slot.has_value());
+  EXPECT_EQ(report.count(Rule::kV7BufferLifetime), 0);
+  EXPECT_EQ(report.count(Rule::kV8PolicySoundness), 0);
+}
+
+TEST(VerifyMutation, SendBeforeBandFiresV6) {
+  // Dropping the band -> pack+isend edge lets the pack gather band
+  // slots the band sweep has not written yet.
+  Lowered lw = lower_sor();
+  lw.model.schedule.band_before_send = false;
+  const VerifyReport report = verify::verify_plan(lw.model);
+  EXPECT_FALSE(report.ok());
+  ASSERT_GE(report.count(Rule::kV6RaceFreedom), 1) << report.to_string();
+  const verify::Diagnostic* d = report.first(Rule::kV6RaceFreedom);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("pack+isend"), std::string::npos) << d->message;
+  EXPECT_NE(d->message.find("band"), std::string::npos) << d->message;
+  EXPECT_EQ(report.count(Rule::kV7BufferLifetime), 0);
+  EXPECT_EQ(report.count(Rule::kV8PolicySoundness), 0);
+}
+
+TEST(VerifyMutation, ShrunkPackRegionFiresV6) {
+  // A pack region that no longer covers the halo leaves cross-rank
+  // reads with no happens-before-ordered writer (V6); the data-coverage
+  // rule V3 legitimately co-fires on the same defect.
+  Lowered lw = lower_sor();
+  bool shrunk = false;
+  for (verify::DirectionModel& dir : lw.model.directions) {
+    for (std::size_t k = 0; k < dir.pack.lo.size(); ++k) {
+      if (dir.pack.lo[k] < dir.pack.hi[k]) {
+        dir.pack.lo[k] += 1;
+        shrunk = true;
+        break;
+      }
+    }
+    if (shrunk) break;
+  }
+  ASSERT_TRUE(shrunk) << "SOR pack regions must be non-degenerate";
+  const VerifyReport report = verify::verify_plan(lw.model);
+  EXPECT_FALSE(report.ok());
+  ASSERT_GE(report.count(Rule::kV6RaceFreedom), 1) << report.to_string();
+  const verify::Diagnostic* d = report.first(Rule::kV6RaceFreedom);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+}
+
+TEST(VerifyMutation, DroppedHbEdgeIsCaughtWithBothEvents) {
+  // Knock one message edge out of an otherwise-proven HB graph: the
+  // race check must report exactly that unordered pair.
+  Lowered lw = lower_sor();
+  const verify::HbGraph graph = verify::build_hb_graph(lw.model);
+  ASSERT_TRUE(verify::hb_race_check(graph, lw.model, 16).empty());
+
+  int send = -1, unpack = -1;
+  verify::for_each_receive_event(
+      lw.model, [&](const VecI& pred, std::size_t di, const VecI& recv) {
+        if (send >= 0) return;
+        send = graph.find(pred, verify::HbPhase::kPackSend,
+                          lw.model.tile_deps[di].dir);
+        unpack = graph.find(recv, verify::HbPhase::kUnpack,
+                            static_cast<int>(di));
+      });
+  ASSERT_GE(send, 0);
+  ASSERT_GE(unpack, 0);
+  verify::HbGraph mutated = graph;
+  ASSERT_TRUE(mutated.drop_edge(send, unpack));
+  const std::vector<verify::HbRace> races =
+      verify::hb_race_check(mutated, lw.model, 16);
+  ASSERT_FALSE(races.empty());
+  bool found = false;
+  for (const verify::HbRace& race : races) {
+    if (race.writer == send && race.reader == unpack) found = true;
+  }
+  EXPECT_TRUE(found) << "dropped edge " << graph.event(send).to_string()
+                     << " -> " << graph.event(unpack).to_string()
+                     << " not witnessed";
+}
+
+TEST(VerifyMutation, NonEagerTransitCopyFiresV7) {
+  // If the transit copy is lazy but the sender recycles its buffer at
+  // isend initiation, the next tile's pack rewrites an in-flight
+  // payload.
+  Lowered lw = lower_sor();
+  lw.model.pool.eager_transit_copy = false;
+  const VerifyReport report = verify::verify_plan(lw.model);
+  EXPECT_FALSE(report.ok());
+  ASSERT_GE(report.count(Rule::kV7BufferLifetime), 1) << report.to_string();
+  const verify::Diagnostic* d = report.first(Rule::kV7BufferLifetime);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_NE(d->message.find("rewritten"), std::string::npos) << d->message;
+  ASSERT_TRUE(d->witness.tile.has_value());
+  EXPECT_EQ(report.count(Rule::kV6RaceFreedom), 0);
+  EXPECT_EQ(report.count(Rule::kV8PolicySoundness), 0);
+}
+
+TEST(VerifyMutation, TransitReleasedBeforeUnpackFiresV7) {
+  // Releasing the transit buffer before the unpack completes lets the
+  // pool recycle storage an in-flight message still owns.
+  Lowered lw = lower_sor();
+  lw.model.pool.transit_released_after_unpack = false;
+  const VerifyReport report = verify::verify_plan(lw.model);
+  EXPECT_FALSE(report.ok());
+  ASSERT_GE(report.count(Rule::kV7BufferLifetime), 1) << report.to_string();
+  const verify::Diagnostic* d = report.first(Rule::kV7BufferLifetime);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("recycl"), std::string::npos) << d->message;
+  ASSERT_TRUE(d->witness.tile.has_value());
+  ASSERT_TRUE(d->witness.dep.has_value());
+  EXPECT_EQ(report.count(Rule::kV6RaceFreedom), 0);
+}
+
+TEST(VerifyMutation, FalsePlaneParallelClaimFiresV8) {
+  // SOR's D' has a column with d'_0 = 0 and a nonzero middle component,
+  // so the plan correctly does NOT claim plane parallelism; forcing the
+  // claim would fan dependent rows of one j'_0-plane across the pool.
+  Lowered lw = lower_sor();
+  ASSERT_FALSE(lw.model.plane_parallel_claim)
+      << "SOR rect must be plane-sequential";
+  int bad_l = -1;
+  for (int l = 0; l < lw.model.Dp.cols(); ++l) {
+    if (lw.model.Dp(0, l) == 0 && lw.model.Dp(1, l) != 0) bad_l = l;
+  }
+  ASSERT_GE(bad_l, 0);
+  lw.model.plane_parallel_claim = true;
+  const VerifyReport report = verify::verify_plan(lw.model);
+  EXPECT_FALSE(report.ok());
+  ASSERT_GE(report.count(Rule::kV8PolicySoundness), 1) << report.to_string();
+  const verify::Diagnostic* d = report.first(Rule::kV8PolicySoundness);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_NE(d->message.find("plane-parallel claim unsound"),
+            std::string::npos)
+      << d->message;
+  // The witness is the dependence column that connects distinct rows.
+  ASSERT_TRUE(d->witness.dep.has_value());
+  EXPECT_EQ((*d->witness.dep)[0], 0);
+  ASSERT_TRUE(d->witness.dim.has_value());
+  EXPECT_NE((*d->witness.dep)[static_cast<std::size_t>(*d->witness.dim)], 0);
+  // Only the policy layer was touched.
+  EXPECT_EQ(report.count(Rule::kV6RaceFreedom), 0);
+  EXPECT_EQ(report.count(Rule::kV7BufferLifetime), 0);
+}
+
+TEST(VerifyMutation, CorruptedAliasClaimFiresV8) {
+  // A wrong SIMD alias distance mis-splits the vectorized recurrence:
+  // a lane would be read before it is written.
+  Lowered lw = lower_sor();
+  ASSERT_FALSE(lw.model.lds.empty());
+  for (auto& [len, lds] : lw.model.lds) {
+    (void)len;
+    ASSERT_FALSE(lds.alias.empty());
+    lds.alias[0] += 1;
+  }
+  const VerifyReport report = verify::verify_plan(lw.model);
+  EXPECT_FALSE(report.ok());
+  ASSERT_GE(report.count(Rule::kV8PolicySoundness), 1) << report.to_string();
+  const verify::Diagnostic* d = report.first(Rule::kV8PolicySoundness);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("alias-distance claim unsound"),
+            std::string::npos)
+      << d->message;
+  ASSERT_TRUE(d->witness.point.has_value());
+  ASSERT_TRUE(d->witness.dep.has_value());
+  ASSERT_TRUE(d->witness.lds_slot.has_value());
+  EXPECT_EQ(report.count(Rule::kV6RaceFreedom), 0);
+}
+
+TEST(VerifyMutation, CorruptedSlotDeltaClaimFiresV8) {
+  // A wrong per-(row, dep) slot delta makes the strength-reduced sweep
+  // read the wrong slot outright; V8 re-derives the delta from the
+  // layout and rejects the claim.
+  Lowered lw = lower_sor();
+  for (auto& [len, lds] : lw.model.lds) {
+    (void)len;
+    ASSERT_FALSE(lds.deltas.empty());
+    lds.deltas[0] += 1;
+  }
+  const VerifyReport report = verify::verify_plan(lw.model);
+  EXPECT_FALSE(report.ok());
+  ASSERT_GE(report.count(Rule::kV8PolicySoundness), 1) << report.to_string();
+  const verify::Diagnostic* d = report.first(Rule::kV8PolicySoundness);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("slot delta unsound"), std::string::npos)
+      << d->message;
+}
+
+TEST(VerifyMutation, BlockingScheduleToleratesPoolMutants) {
+  // The blocking reference schedule keeps no message in flight past the
+  // pack, so the eager-copy discipline is not load-bearing there: V7's
+  // rewrite rule is pipelined-gated.
+  Lowered lw = lower_sor();
+  lw.model.pipelined = false;
+  lw.model.pool.eager_transit_copy = false;
+  const VerifyReport report = verify::verify_plan(lw.model);
+  EXPECT_EQ(report.count(Rule::kV7BufferLifetime), 0) << report.to_string();
 }
 
 TEST(VerifyMutation, FindingsPerRuleAreCapped) {

@@ -6,7 +6,7 @@
 // followed by a summary object with the cache hit rate, p50/p95/p99
 // plan-acquisition latency, and the per-phase compile-time breakdown of
 // every cold lowering.  Misses lower the plan, run the ctile-verify
-// rules V1..V5 over the lowered artifacts, and cache only proven plans;
+// rules V1..V8 over the lowered artifacts, and cache only proven plans;
 // hits reuse the memoized verdict with the plan — this is ROADMAP item
 // 3's "many users submit nests" amortization story.
 //
@@ -205,7 +205,7 @@ Response serve_lower(Service& svc, const Request& req) {
       [&] {
         auto p = CompiledPlan::compile_parallel(req.app.nest, req.h, knobs);
         if (svc.verify) {
-          // Cold miss: prove the lowering (rules V1..V5) before caching.
+          // Cold miss: prove the lowering (rules V1..V8) before caching.
           // A failed proof throws, so an unproven plan is never served.
           verify::PlanModel model = verify::snapshot_plan(
               p->tiled(), p->mapping(), p->comm_plan(), p->window_layouts(),

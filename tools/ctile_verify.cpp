@@ -6,16 +6,19 @@
 //   $ ./ctile_verify sor rect --mutate=v2     # demo: seed an illegal plan
 //
 // Lowers the chosen application + tiling exactly as the parallel
-// executor would (census, mapping, per-window LDS layouts, comm plan,
-// interior classifier), snapshots the plan, and runs rules V1..V5 over
-// it.  Exit status: 0 when the plan is proven safe, 1 when findings
-// exist, 2 on usage errors.
+// executor would (CompiledPlan::compile_parallel: census, mapping,
+// per-window LDS layouts, comm plan, interior classifier, band split,
+// row plans), snapshots the plan with its concurrency facts, and runs
+// rules V1..V8 over it.  Exit status: 0 when the plan is proven safe,
+// 1 when findings exist, 2 on usage errors.
 //
-// --mutate=v1..v5 seeds one representative illegal perturbation into the
+// --mutate=v1..v8 seeds one representative illegal perturbation into the
 // lowered plan (negated dependence column, shrunken halo, dropped
-// message, unordered schedule entry, boundary tile forced interior) so
-// the matching rule's diagnostic can be inspected; the same mutations
-// are what tests/verify_mutation_test.cpp asserts on.
+// message, unordered schedule entry, boundary tile forced interior,
+// unpack moved before the wait, transit buffer released while in use,
+// corrupted SIMD alias claim) so the matching rule's diagnostic can be
+// inspected; the same mutations are what
+// tests/verify_mutation_test.cpp asserts on.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -32,11 +35,11 @@ namespace {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: ctile_verify [--json] [--m=K] [--mutate=v1|v2|v3|v4|v5]\n"
+      "usage: ctile_verify [--json] [--m=K] [--mutate=v1|...|v8]\n"
       "                    sor|jacobi|adi|heat rect|nonrect|nr1|nr2|nr3 "
       "[sizes... tile factors...]\n"
       "\n"
-      "Proves a lowered tiling plan safe (rules V1..V5) or reports the\n"
+      "Proves a lowered tiling plan safe (rules V1..V8) or reports the\n"
       "violations with concrete witnesses.  Sizes/factors default to the\n"
       "paper's example configurations (Figs. 6, 8, 10).\n");
 }
@@ -99,6 +102,33 @@ bool apply_mutation(PlanModel& model, const std::string& which) {
       }
       if (!already) {
         model.interior_tiles.push_back(js);
+        return true;
+      }
+    }
+    return false;
+  }
+  if (which == "v6") {
+    // Unpack the pre-posted irecv's payload at post time instead of
+    // after the wait: the message happens-before edge disappears and
+    // every halo unpack races its producer's pack+isend.
+    if (!model.has_concurrency_facts) return false;
+    model.schedule.unpack_at_wait = false;
+    return true;
+  }
+  if (which == "v7") {
+    // Release the transit buffer before the unpack completes: the pool
+    // can recycle storage an in-flight message still owns.
+    if (!model.has_concurrency_facts) return false;
+    model.pool.transit_released_after_unpack = false;
+    return true;
+  }
+  if (which == "v8") {
+    // Corrupt one SIMD alias-distance claim: the vectorized sweep would
+    // mis-split the recurrence.
+    for (auto& [len, lds] : model.lds) {
+      (void)len;
+      if (!lds.alias.empty()) {
+        lds.alias[0] += 1;
         return true;
       }
     }
