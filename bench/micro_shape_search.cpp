@@ -1,0 +1,290 @@
+// Self-checking micro-benchmark for the communication-lower-bound-guided
+// tile-shape autotuner (DESIGN.md §15, ROADMAP item 5).  Gates:
+//
+//   1. DETERMINISM OF THE PARALLEL SEARCH: a multi-threaded search over
+//      a cold cache must return the same winner, bitwise the same score
+//      list, as the serial search (pruning off, so every candidate is
+//      scored in both).  On machines with >= 4 hardware threads the
+//      parallel search must also be >= 3x faster end to end; on smaller
+//      machines (the 1-core CI-class container) the speedup gate is
+//      SKIPPED and only the equal-result gate applies.
+//   2. SEED-INVARIANCE: the event-backend DES scorer's winner and score
+//      are bitwise identical across scheduler interleaving seeds.
+//   3. SHAPE QUALITY: on SOR the best cone-surface candidate strictly
+//      beats the best rectangular baseline; on ADI the search
+//      rediscovers the paper's nr3 family (chain row parallel to the
+//      cone's oblique extreme ray (1,-1,-1)).
+//   4. BOUND SOUNDNESS: for every evaluated candidate, the communication
+//      lower bound is <= the measured comm volume, and the time bound is
+//      <= the score — the property that makes pruning winner-invariant.
+//   5. PRUNING: with pruning on, the winner (index, plan, score) is
+//      identical to the exhaustive search's; the prune rate is reported.
+//
+// Emits BENCH_shape_search.json (override with --json PATH).
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/kernels.hpp"
+#include "bench_util.hpp"
+#include "cluster/shape_search.hpp"
+
+using namespace ctile;
+
+namespace {
+
+struct BenchCase {
+  std::string name;
+  AppInstance app;
+  ShapeSearchRequest req;  // cache/memo/threads filled per run
+  VecI expect_chain_dir;   // empty = no expectation
+  MachineModel machine = MachineModel::fast_ethernet_cluster();
+};
+
+BenchCase sor_case() {
+  BenchCase c;
+  const i64 m = 32, n = 64;
+  c.name = "sor";
+  c.app = make_sor(m, n);
+  c.req.force_m = 2;
+  c.req.arity = 1;
+  c.req.mesh_extent = 4;  // the paper's 4x4 mesh, fitted per candidate
+  c.req.chain_factors = {4, 8, 16};
+  c.req.orig_lo = {1, 1, 1};
+  c.req.orig_hi = {m, n, n};
+  c.req.skew = sor_skew_matrix();
+  // Rectangular baselines on the same 4x4 mesh: t spans 32/8 = 4,
+  // skewed i spans 96/24 = 4.
+  for (i64 z : c.req.chain_factors) c.req.extra.push_back(sor_rect_h(8, 24, z));
+  // A degenerate 1x1-mesh baseline per chain factor (scales exceed the
+  // extents, so each mesh dim is a single tile): all parallelism
+  // squeezed out.  Its work bound alone (compute / 1 processor)
+  // exceeds any reasonable incumbent, so the pruning pass must reject
+  // it from the bound, without paying its lowering.
+  for (i64 z : c.req.chain_factors) c.req.extra.push_back(sor_rect_h(64, 192, z));
+  return c;
+}
+
+BenchCase adi_case() {
+  BenchCase c;
+  const i64 t = 32, n = 48;
+  c.name = "adi";
+  c.app = make_adi(t, n);
+  c.req.force_m = 0;
+  c.req.arity = 2;
+  c.req.mesh_extent = 4;
+  c.req.chain_factors = {2, 4, 8};
+  c.req.orig_lo = {1, 1, 1};
+  c.req.orig_hi = {t, n, n};
+  c.req.skew = MatI::identity(3);
+  for (i64 z : c.req.chain_factors) c.req.extra.push_back(adi_rect_h(z, 12, 12));
+  c.expect_chain_dir = {1, -1, -1};
+  return c;
+}
+
+std::string dir_str(const VecI& d) {
+  std::string s = "(";
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(d[i]);
+  }
+  return s + ")";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      bench::json_path_from_args(argc, argv, "BENCH_shape_search.json");
+  bench::JsonReport report("shape_search");
+  bool all_ok = true;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("shape-search bench (hardware threads: %u)\n\n", hw);
+
+  for (const BenchCase& c : {sor_case(), adi_case()}) {
+    const MachineModel& machine = c.machine;
+    // ---- Exhaustive serial reference (event scorer, pruning off).
+    ShapeSearchRequest req = c.req;
+    req.scorer = ShapeScorer::kEventDes;
+    req.prune = false;
+    req.threads = 1;
+    req.seed = 1;
+    PlanCache serial_cache;
+    req.cache = &serial_cache;
+    const auto t0 = std::chrono::steady_clock::now();
+    const ShapeSearchResult serial =
+        autotune_tile_shape(c.app.nest, req, machine);
+    const double serial_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    // ---- Parallel search, cold cache of its own.
+    PlanCache parallel_cache;
+    req.cache = &parallel_cache;
+    req.threads = hw > 1 ? static_cast<int>(hw) : 2;
+    const auto t1 = std::chrono::steady_clock::now();
+    const ShapeSearchResult parallel =
+        autotune_tile_shape(c.app.nest, req, machine);
+    const double parallel_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
+            .count();
+
+    // Gate 1: identical winner and bitwise-identical score list.
+    if (serial.best_index != parallel.best_index ||
+        serial.best().plan_id != parallel.best().plan_id ||
+        serial.best().score_s != parallel.best().score_s) {
+      std::printf("FAIL: %s parallel winner differs from serial\n",
+                  c.name.c_str());
+      all_ok = false;
+    }
+    for (std::size_t i = 0; i < serial.scores.size(); ++i) {
+      if (serial.scores[i].score_s != parallel.scores[i].score_s) {
+        std::printf("FAIL: %s score[%zu] differs across thread counts\n",
+                    c.name.c_str(), i);
+        all_ok = false;
+        break;
+      }
+    }
+    const double speedup = parallel_wall > 0 ? serial_wall / parallel_wall : 0;
+    if (hw >= 4) {
+      if (speedup < 3.0) {
+        std::printf("FAIL: %s parallel search only %.2fx faster "
+                    "(need >= 3x on %u threads)\n",
+                    c.name.c_str(), speedup, hw);
+        all_ok = false;
+      }
+    } else {
+      std::printf("SKIP: %s parallel speedup gate (only %u hardware "
+                  "thread%s; equal-result gate still applied)\n",
+                  c.name.c_str(), hw, hw == 1 ? "" : "s");
+    }
+
+    // Gate 2: event scorer is interleaving-seed invariant.
+    req.threads = 1;
+    req.seed = 77;
+    PlanCache seed_cache;
+    req.cache = &seed_cache;
+    const ShapeSearchResult reseeded =
+        autotune_tile_shape(c.app.nest, req, machine);
+    if (reseeded.best().plan_id != serial.best().plan_id ||
+        reseeded.best().score_s != serial.best().score_s) {
+      std::printf("FAIL: %s winner not seed-invariant\n", c.name.c_str());
+      all_ok = false;
+    }
+
+    // Gate 3: shape quality.
+    const ShapeScore& best = serial.best();
+    double best_rect = std::numeric_limits<double>::infinity();
+    for (const ShapeScore& sc : serial.scores) {
+      if (sc.status == ShapeStatus::kEvaluated && sc.origin == "extra") {
+        best_rect = std::min(best_rect, sc.score_s);
+      }
+    }
+    if (!(best.score_s < best_rect)) {
+      std::printf("FAIL: %s best surface (%.6g s) does not beat best "
+                  "rectangular (%.6g s)\n",
+                  c.name.c_str(), best.score_s, best_rect);
+      all_ok = false;
+    }
+    if (!c.expect_chain_dir.empty() &&
+        best.chain_dir != c.expect_chain_dir) {
+      std::printf("FAIL: %s winner chain dir %s != expected %s\n",
+                  c.name.c_str(), dir_str(best.chain_dir).c_str(),
+                  dir_str(c.expect_chain_dir).c_str());
+      all_ok = false;
+    }
+
+    // Gate 4: bound soundness on every evaluated candidate.
+    i64 bounded = 0;
+    for (const ShapeScore& sc : serial.scores) {
+      if (sc.status != ShapeStatus::kEvaluated) continue;
+      // 1e-6 relative slack: the DES accumulates per-tile compute while
+      // the bound multiplies points once, so on zero-comm plans the two
+      // agree only up to summation order (~5e-8 relative observed).
+      if (sc.bound.bytes_lb > sc.analytic.bytes ||
+          sc.bound.time_lb_s > sc.score_s * (1.0 + 1e-6)) {
+        std::printf("FAIL: %s bound exceeds measurement (plan %s)\n",
+                    c.name.c_str(), sc.plan_id.c_str());
+        all_ok = false;
+      }
+      if (sc.bound.bytes_lb > 0) ++bounded;
+    }
+
+    // Gate 5: pruning keeps the winner.
+    ShapeSearchRequest preq = req;
+    preq.seed = 1;
+    preq.prune = true;
+    PlanCache prune_cache;
+    preq.cache = &prune_cache;
+    const ShapeSearchResult pruned =
+        autotune_tile_shape(c.app.nest, preq, machine);
+    if (pruned.best().plan_id != serial.best().plan_id ||
+        pruned.best().score_s != serial.best().score_s) {
+      std::printf("FAIL: %s pruning changed the winner\n", c.name.c_str());
+      all_ok = false;
+    }
+    if (c.name == "sor" && pruned.pruned == 0) {
+      std::printf("FAIL: %s expected the bound to prune the degenerate "
+                  "1x1-mesh baselines\n",
+                  c.name.c_str());
+      all_ok = false;
+    }
+
+    const double ratio =
+        best.bound.bytes_lb > 0
+            ? static_cast<double>(best.analytic.bytes) /
+                  static_cast<double>(best.bound.bytes_lb)
+            : 0.0;
+    std::printf(
+        "%-6s candidates %3lld (dup %lld, invalid %lld)  evaluated %lld\n"
+        "       winner %s chain %s factor %lld  score %.6g s  procs %d\n"
+        "       measured bytes %lld  bound %lld  ratio %.2f\n"
+        "       serial %.2f s  parallel %.2f s  speedup %.2fx\n"
+        "       pruned run: %lld pruned (rate %.2f), same winner\n\n",
+        c.name.c_str(), static_cast<long long>(serial.candidates),
+        static_cast<long long>(serial.duplicates),
+        static_cast<long long>(serial.invalid),
+        static_cast<long long>(serial.evaluated), best.plan_id.c_str(),
+        dir_str(best.chain_dir).c_str(),
+        static_cast<long long>(best.chain_factor), best.score_s,
+        best.bound.num_procs, static_cast<long long>(best.analytic.bytes),
+        static_cast<long long>(best.bound.bytes_lb), ratio, serial_wall,
+        parallel_wall, speedup, static_cast<long long>(pruned.pruned),
+        pruned.prune_rate());
+
+    report.begin_row();
+    report.field("config", c.name);
+    report.field("candidates", serial.candidates);
+    report.field("duplicates", serial.duplicates);
+    report.field("invalid", serial.invalid);
+    report.field("evaluated", serial.evaluated);
+    report.field("bounded_candidates", bounded);
+    report.field("best_plan", best.plan_id);
+    report.field("best_chain_dir", dir_str(best.chain_dir));
+    report.field("best_chain_factor", best.chain_factor);
+    report.field("best_score_s", best.score_s);
+    report.field("best_procs", static_cast<i64>(best.bound.num_procs));
+    report.field("best_rect_score_s", best_rect);
+    report.field("measured_bytes", best.analytic.bytes);
+    report.field("bytes_lb", best.bound.bytes_lb);
+    report.field("volume_ratio", ratio);
+    report.field("serial_s", serial_wall);
+    report.field("parallel_s", parallel_wall);
+    report.field("parallel_speedup", speedup);
+    report.field("speedup_gate", hw >= 4 ? "applied" : "skipped");
+    report.field("pruned", pruned.pruned);
+    report.field("prune_rate", pruned.prune_rate());
+    report.field("gen_s", serial.gen_s);
+    report.field("bound_s", serial.bound_s);
+    report.field("eval_s", serial.eval_s);
+  }
+
+  if (!report.write(json_path)) return 1;
+  std::printf(all_ok ? "OK: all shape-search gates passed\n"
+                     : "FAILED: see messages above\n");
+  return all_ok ? 0 : 1;
+}

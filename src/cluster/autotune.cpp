@@ -1,5 +1,7 @@
 #include "cluster/autotune.hpp"
 
+#include <unordered_set>
+
 namespace ctile {
 
 AutotuneResult autotune_tile_size(const LoopNest& nest,
@@ -14,6 +16,21 @@ AutotuneResult autotune_tile_size(const LoopNest& nest,
     }
   }
   AutotuneResult result;
+  // Dedup before evaluating, keeping first-occurrence order: a repeated
+  // factor is the same plan and the same score, so re-evaluating it
+  // would only inflate the hit counters and the evaluated list.
+  {
+    std::unordered_set<i64> seen;
+    std::size_t kept = 0;
+    for (i64 factor : candidates) {
+      if (seen.insert(factor).second) {
+        candidates[kept++] = factor;
+      } else {
+        result.duplicates_removed += 1;
+      }
+    }
+    candidates.resize(kept);
+  }
   bool found = false;
   // Candidate lowerings run through the PlanCache: a factor already
   // lowered — by a previous query, a duplicate candidate, or an executor
@@ -26,6 +43,19 @@ AutotuneResult autotune_tile_size(const LoopNest& nest,
   knobs.orig_lo = request.orig_lo;
   knobs.orig_hi = request.orig_hi;
   knobs.skew = request.skew;
+  // Machine fields join the key: the scores derived from these plans
+  // depend on the machine, so a plan id minted under one machine must
+  // never collide with another's (ROADMAP item-3 follow-on).
+  {
+    MachineKeyFields mf;
+    mf.sec_per_iter = machine.sec_per_iter;
+    mf.latency = machine.latency;
+    mf.bandwidth = machine.bandwidth;
+    mf.per_byte_overhead = machine.per_byte_overhead;
+    mf.per_message_overhead = machine.per_message_overhead;
+    mf.bytes_per_value = machine.bytes_per_value;
+    knobs.machine = mf;
+  }
   for (i64 factor : candidates) {
     try {
       bool was_hit = false;
@@ -46,8 +76,10 @@ AutotuneResult autotune_tile_size(const LoopNest& nest,
         result.best_factor = factor;
         found = true;
       }
-    } catch (const LegalityError&) {
-      continue;  // candidate structurally invalid: skip
+    } catch (const LegalityError& e) {
+      // Candidate structurally invalid: skip, but leave a trace — the
+      // caller can tell "lost to the incumbent" from "never ran".
+      result.skipped.emplace_back(factor, e.what());
     }
   }
   if (!found) {

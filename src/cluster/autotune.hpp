@@ -44,16 +44,26 @@ struct AutotuneResult {
   SimResult best;
   /// Every evaluated (factor, result) pair, in evaluation order.
   std::vector<std::pair<i64, SimResult>> evaluated;
+  /// Structurally invalid candidates, with the lowering diagnostic that
+  /// rejected each (previously these vanished without trace).
+  std::vector<std::pair<i64, std::string>> skipped;
+  /// Duplicate factors removed before evaluation (first occurrence
+  /// kept; previously duplicates were silently re-scored as cache
+  /// hits).
+  i64 duplicates_removed = 0;
   /// PlanCache traffic of this query's candidate lowerings: misses are
-  /// candidates lowered cold here, hits were served from prior queries
-  /// (or duplicates in the candidate list).
+  /// candidates lowered cold here, hits were served from prior queries.
   i64 cache_hits = 0;
   i64 cache_misses = 0;
 };
 
-/// Evaluate all candidates for `nest`; skips candidates whose tiling is
-/// structurally invalid (illegal, stride-incompatible, oversized deps).
-/// Throws Error if no candidate survives.
+/// Evaluate all candidates for `nest`; candidates whose tiling is
+/// structurally invalid (illegal, stride-incompatible, oversized deps)
+/// are skipped and reported in AutotuneResult::skipped; duplicate
+/// factors are removed up front.  The machine model is mirrored into
+/// the plan keys (LoweringKnobs::machine), so cached artifacts keyed by
+/// one machine are never served for another.  Throws Error if no
+/// candidate survives.
 AutotuneResult autotune_tile_size(const LoopNest& nest,
                                   const AutotuneRequest& request,
                                   const MachineModel& machine);

@@ -1,0 +1,200 @@
+#include "cluster/comm_bound.hpp"
+
+#include <algorithm>
+
+#include "linalg/int_matops.hpp"
+#include "linalg/rat_matops.hpp"
+#include "runtime/mapping.hpp"
+#include "tiling/tile_space.hpp"
+
+namespace ctile {
+
+namespace {
+
+/// Corner certificate: all 2^n parallelepiped corners of tile js inside
+/// the space implies (convexity) the whole closed cell is, hence every
+/// lattice point of the tile and of its dependence reads that land in
+/// the cell (TileClassifier's argument, fullness half only).
+bool corner_full(const TilingTransform& tf, const Polyhedron& space,
+                 const std::vector<VecQ>& corners, const VecI& js) {
+  const VecQ base = mul(tf.P(), js);
+  for (const VecQ& corner : corners) {
+    if (!space.contains_rational(vec_add(base, corner))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CommBoundResult comm_lower_bound(const LoopNest& nest, const MatQ& h,
+                                 int force_m, int arity,
+                                 const MachineModel& machine,
+                                 const VecI& orig_lo, const VecI& orig_hi) {
+  // The same structural validation lowering performs, at a fraction of
+  // its cost: TilingTransform rejects singular H, TiledNest rejects
+  // cone-illegal H.  The pruning path relies on this ordering — an
+  // invalid candidate dies here, before any plan is lowered.
+  TilingTransform tf(h);
+  TiledNest tiled(nest, std::move(tf));
+  return comm_lower_bound(tiled, force_m, arity, machine, orig_lo, orig_hi);
+}
+
+CommBoundResult comm_lower_bound(const TiledNest& tiled, int force_m,
+                                 int arity, const MachineModel& machine,
+                                 const VecI& orig_lo, const VecI& orig_hi) {
+  const LoopNest& nest = tiled.nest();
+  const TilingTransform& t = tiled.transform();
+  Mapping mapping(tiled, force_m);  // census-free: rational-shadow validity
+
+  CommBoundResult r;
+  r.tile_size = t.tile_size();
+  r.num_procs = mapping.num_procs();
+  r.chain_length = mapping.chain_length();
+
+  CTILE_ASSERT(orig_lo.size() == orig_hi.size());
+  CTILE_ASSERT(static_cast<int>(orig_lo.size()) == nest.depth);
+  r.total_points = 1;
+  for (std::size_t k = 0; k < orig_lo.size(); ++k) {
+    r.total_points = mul_ck(r.total_points,
+                            std::max<i64>(0, orig_hi[k] - orig_lo[k] + 1));
+  }
+
+  const int n = t.n();
+  const int m = mapping.m();
+
+  // s_k = max_l d'_kl over the TTIS images of the dependences, clamped
+  // to the tile extent (a dependence longer than the tile makes the
+  // whole tile a boundary slab).
+  VecI s(static_cast<std::size_t>(n), 0);
+  bool oversized = false;  // some d' exceeds its tile extent: tile deps
+                           // leave {0,1}^n and the {0,1}^n-neighborhood
+                           // certificate below no longer covers every
+                           // reader.  Fall back to the trivial bound
+                           // (such tilings are rejected at lowering).
+  for (int l = 0; l < nest.deps.cols(); ++l) {
+    VecI d(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) d[static_cast<std::size_t>(k)] = nest.deps(k, l);
+    const VecI dp = t.transform_dep(d);
+    for (int k = 0; k < n; ++k) {
+      if (dp[static_cast<std::size_t>(k)] > t.v(k)) oversized = true;
+      s[static_cast<std::size_t>(k)] = std::max(
+          s[static_cast<std::size_t>(k)],
+          std::min(dp[static_cast<std::size_t>(k)], t.v(k)));
+    }
+  }
+
+  // Per-tile lower bound on the boundary-slab union (header comment):
+  // tile_size - prod_k ceil((v_k - s_k) / c_k) over mesh dimensions
+  // with s_k > 0 (chain-dimension crossings stay on-processor).
+  i64 complement_ub = 1;
+  bool any_mesh_comm = false;
+  for (int k = 0; k < n; ++k) {
+    const i64 vk = t.v(k);
+    const i64 ck = t.stride(k);
+    i64 extent = vk;
+    if (k != m && s[static_cast<std::size_t>(k)] > 0) {
+      any_mesh_comm = true;
+      extent = vk - s[static_cast<std::size_t>(k)];
+    }
+    complement_ub = mul_ck(complement_ub, ceil_div(extent, ck));
+  }
+  const i64 per_tile_lb =
+      (any_mesh_comm && !oversized)
+          ? std::max<i64>(0, r.tile_size - complement_ub)
+          : 0;
+
+  // Corner-full flags over the tile-space bounding box, then count the
+  // deep-interior tiles: a tile whose {0,1}^n neighborhood is entirely
+  // corner-full (readers one tile over in any combination of dimensions
+  // provably exist).  Neighbors outside the box count as not full —
+  // conservative, never unsound.
+  const std::vector<IntRange> box = tiled.tile_space_box();
+  std::vector<i64> lo;
+  std::vector<i64> ext;
+  i64 cells = 1;
+  for (const IntRange& range : box) {
+    CTILE_ASSERT(!range.empty());
+    lo.push_back(range.lo);
+    ext.push_back(range.count());
+    cells = mul_ck(cells, range.count());
+  }
+  r.tiles_in_box = cells;
+
+  std::vector<VecQ> corners;
+  corners.reserve(static_cast<std::size_t>(1) << n);
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    VecI xc(static_cast<std::size_t>(n), 0);
+    for (int k = 0; k < n; ++k) {
+      if ((mask >> k) & 1) xc[static_cast<std::size_t>(k)] = t.v(k) - 1;
+    }
+    corners.push_back(mul(t.Pp(), xc));
+  }
+
+  std::vector<unsigned char> full(static_cast<std::size_t>(cells), 0);
+  const auto cell_index = [&](const VecI& js) {
+    i64 idx = 0;
+    for (std::size_t k = 0; k < lo.size(); ++k) {
+      idx = idx * ext[k] + (js[k] - lo[k]);
+    }
+    return static_cast<std::size_t>(idx);
+  };
+
+  VecI js(lo.begin(), lo.end());
+  for (i64 cell = 0; cell < cells; ++cell) {
+    full[static_cast<std::size_t>(cell)] =
+        corner_full(t, nest.space, corners, js) ? 1 : 0;
+    for (int k = n; k-- > 0;) {
+      if (++js[static_cast<std::size_t>(k)] <
+          lo[static_cast<std::size_t>(k)] + ext[static_cast<std::size_t>(k)]) {
+        break;
+      }
+      js[static_cast<std::size_t>(k)] = lo[static_cast<std::size_t>(k)];
+    }
+  }
+
+  if (per_tile_lb > 0) {
+    js.assign(lo.begin(), lo.end());
+    for (i64 cell = 0; cell < cells; ++cell) {
+      bool deep = full[static_cast<std::size_t>(cell)] != 0;
+      for (int mask = 1; deep && mask < (1 << n); ++mask) {
+        VecI nb = js;
+        bool inside = true;
+        for (int k = 0; k < n; ++k) {
+          if (!((mask >> k) & 1)) continue;
+          nb[static_cast<std::size_t>(k)] += 1;
+          if (nb[static_cast<std::size_t>(k)] >=
+              lo[static_cast<std::size_t>(k)] +
+                  ext[static_cast<std::size_t>(k)]) {
+            inside = false;
+            break;
+          }
+        }
+        deep = inside && full[cell_index(nb)] != 0;
+      }
+      if (deep) {
+        r.full_tiles += 1;
+        r.points_lb = add_ck(r.points_lb, per_tile_lb);
+      }
+      for (int k = n; k-- > 0;) {
+        if (++js[static_cast<std::size_t>(k)] <
+            lo[static_cast<std::size_t>(k)] +
+                ext[static_cast<std::size_t>(k)]) {
+          break;
+        }
+        js[static_cast<std::size_t>(k)] = lo[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+
+  r.bytes_lb = mul_ck(mul_ck(r.points_lb, static_cast<i64>(arity)),
+                      static_cast<i64>(machine.bytes_per_value));
+  const double compute_s =
+      static_cast<double>(r.total_points) * machine.sec_per_iter;
+  const double unpack_pack_s =
+      2.0 * machine.per_byte_overhead * static_cast<double>(r.bytes_lb);
+  r.time_lb_s =
+      (compute_s + unpack_pack_s) / static_cast<double>(r.num_procs);
+  return r;
+}
+
+}  // namespace ctile

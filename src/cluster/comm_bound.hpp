@@ -1,0 +1,88 @@
+// Per-kernel communication lower bound for a candidate tiling — the
+// pruning oracle of the shape search (DESIGN.md §15).
+//
+// Dinh-Demmel ("Communication-Optimal Tilings for Projective Nested
+// Loops", arXiv 2003.00119) bound communication by a surface-to-volume
+// argument: whatever a processor computes, the values read across its
+// boundary must cross the network.  This module instantiates that
+// argument *exactly* for the uniform-dependence execution model this
+// runtime implements (owner-computes, no recomputation, one owner per
+// tile, chain dimension resident on its processor):
+//
+//   For a tile T and a dimension k of the processor mesh, every point j
+//   of T whose TTIS coordinate satisfies j'_k >= v_k - d'_kl for some
+//   dependence l is read by j + d_l, which lies in a tile with a
+//   different mesh coordinate k — a different processor.  Its value
+//   therefore crosses the network at least once.  Taking s_k =
+//   max_l d'_kl, the union over mesh dimensions of these boundary slabs
+//   is a set of points whose values MUST be communicated; counting each
+//   point once (the runtime may send it to several successors — we
+//   don't) gives a lower bound on the distinct-value traffic.
+//
+// The union is bounded from below without enumerating lattice points:
+//   |union| = tile_size - |complement|,  and the complement lives in
+//   the sub-box prod_k [0, v_k - s_k) whose TTIS-lattice population is
+//   at most prod_k ceil((v_k - s_k) / c_k) (per-dimension marginal
+//   counts of the lower-triangular HNF lattice multiply upward).
+//
+// Only tiles whose whole dependence neighborhood provably exists are
+// counted: a tile is *deep interior* when its own parallelepiped and
+// every {0,1}^n-neighbor's parallelepiped have all 2^n corners inside
+// the iteration space — by convexity the closed cells are then inside,
+// so every boundary-slab read target is a real iteration point (the
+// same corner certificate TileClassifier uses).  Everything else is
+// conservatively assumed free, which keeps the bound sound on arbitrary
+// (non-rectangular) spaces.
+//
+// The time bound is the work bound: nprocs * makespan >= total compute
+// + the CPU cost both schedules must pay per communicated byte (pack on
+// the sender, unpack on the receiver).  Wire time and per-message costs
+// are deliberately excluded so one bound is valid for both kBlocking
+// and kOverlapped.
+#pragma once
+
+#include "cluster/machine.hpp"
+#include "deps/loop_nest.hpp"
+#include "linalg/matrix.hpp"
+#include "tiling/tile_space.hpp"
+
+namespace ctile {
+
+struct CommBoundResult {
+  /// Distinct values that must cross processors, counted once each.
+  i64 points_lb = 0;
+  /// points_lb * arity * bytes_per_value.
+  i64 bytes_lb = 0;
+  /// Work-bound makespan floor: (compute + 2*per_byte_overhead*bytes_lb)
+  /// / num_procs.  Valid for both comm schedules.
+  double time_lb_s = 0.0;
+  /// Deep-interior tiles the bound counted (certificate statistics).
+  i64 full_tiles = 0;
+  /// Tiles in the tile-space bounding box.
+  i64 tiles_in_box = 0;
+  i64 total_points = 0;  ///< |J^n| = volume of the pre-skew box
+  i64 tile_size = 0;     ///< points per full tile
+  int num_procs = 0;
+  i64 chain_length = 0;
+};
+
+/// Compute the bound for tiling `h` of `nest` under `machine`.
+/// `orig_lo`/`orig_hi` is the pre-skew rectangular box of the nest (the
+/// same box LoweringKnobs::census_from_box consumes); its volume is
+/// |J^n| exactly because the skew is unimodular.  Throws LegalityError
+/// when the tiling is structurally invalid (illegal against the
+/// dependences or singular) — the same rejection lowering would issue,
+/// surfaced before any lowering cost is paid.
+CommBoundResult comm_lower_bound(const LoopNest& nest, const MatQ& h,
+                                 int force_m, int arity,
+                                 const MachineModel& machine,
+                                 const VecI& orig_lo, const VecI& orig_hi);
+
+/// Same bound for an already-built TiledNest: the shape search builds
+/// the (expensive) tile space once per candidate and shares it between
+/// the bound and — when the candidate survives pruning — the lowering.
+CommBoundResult comm_lower_bound(const TiledNest& tiled, int force_m,
+                                 int arity, const MachineModel& machine,
+                                 const VecI& orig_lo, const VecI& orig_hi);
+
+}  // namespace ctile

@@ -1,0 +1,548 @@
+#include "cluster/shape_search.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+#include <thread>
+
+#include "deps/tiling_cone.hpp"
+#include "linalg/int_matops.hpp"
+#include "mpisim/mpisim.hpp"
+#include "runtime/exec_policy.hpp"
+
+namespace ctile {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secs_since_epoch(mpisim::Comm::Clock::time_point tp) {
+  return std::chrono::duration<double>(tp.time_since_epoch()).count();
+}
+
+int env_int(const char* name, int fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  const int v = std::atoi(s);
+  return v > 0 ? v : fallback;
+}
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const int env = env_int("CTILE_SHAPE_THREADS", 0);
+  if (env > 0) return env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int resolve_budget(int requested) {
+  if (requested > 0) return requested;
+  return env_int("CTILE_SHAPE_BUDGET", 512);
+}
+
+i64 floor_div_i64(i64 a, i64 b) {
+  i64 q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// Smallest scale s such that the tile count along `dir` — over the
+/// original box, through the skew — is <= target: the benches' mesh
+/// fitting (floor(hi/s) - floor(lo/s) + 1 tiles for the transformed
+/// interval [lo, hi] of dir . (T j0)).
+i64 fit_scale(const VecI& dir, const MatI& skew, const VecI& lo,
+              const VecI& hi, i64 target) {
+  const int n = static_cast<int>(lo.size());
+  // g = dir^T T (row vector through the skew; identity when unset).
+  VecI g(static_cast<std::size_t>(n), 0);
+  for (int c = 0; c < n; ++c) {
+    if (skew.rows() == n && skew.cols() == n) {
+      i64 acc = 0;
+      for (int r = 0; r < n; ++r) {
+        acc = add_ck(acc, mul_ck(dir[static_cast<std::size_t>(r)], skew(r, c)));
+      }
+      g[static_cast<std::size_t>(c)] = acc;
+    } else {
+      g[static_cast<std::size_t>(c)] = dir[static_cast<std::size_t>(c)];
+    }
+  }
+  i64 lo_d = 0;
+  i64 hi_d = 0;
+  for (int k = 0; k < n; ++k) {
+    const i64 a = mul_ck(g[static_cast<std::size_t>(k)],
+                         lo[static_cast<std::size_t>(k)]);
+    const i64 b = mul_ck(g[static_cast<std::size_t>(k)],
+                         hi[static_cast<std::size_t>(k)]);
+    lo_d = add_ck(lo_d, std::min(a, b));
+    hi_d = add_ck(hi_d, std::max(a, b));
+  }
+  const i64 span = hi_d - lo_d + 1;
+  for (i64 s = 1; s <= span; ++s) {
+    if (floor_div_i64(hi_d, s) - floor_div_i64(lo_d, s) + 1 <= target) {
+      return s;
+    }
+  }
+  return span > 0 ? span : 1;
+}
+
+MachineKeyFields machine_key_fields(const MachineModel& machine) {
+  MachineKeyFields f;
+  f.sec_per_iter = machine.sec_per_iter;
+  f.latency = machine.latency;
+  f.bandwidth = machine.bandwidth;
+  f.per_byte_overhead = machine.per_byte_overhead;
+  f.per_message_overhead = machine.per_message_overhead;
+  f.bytes_per_value = machine.bytes_per_value;
+  return f;
+}
+
+}  // namespace
+
+std::vector<SurfaceCandidate> surface_candidates(
+    const MatI& deps, const ShapeSearchRequest& request) {
+  const int n = deps.rows();
+  CTILE_ASSERT_MSG(request.force_m >= 0 && request.force_m < n,
+                   "surface_candidates: force_m out of range");
+  const bool fit = request.mesh_extent > 0;
+  CTILE_ASSERT_MSG(
+      fit || static_cast<int>(request.mesh_scales.size()) == n - 1,
+      "surface_candidates: need n-1 mesh scales (or mesh_extent)");
+  CTILE_ASSERT_MSG(!fit || (static_cast<int>(request.orig_lo.size()) == n &&
+                            static_cast<int>(request.orig_hi.size()) == n),
+                   "surface_candidates: mesh_extent needs the orig box");
+  CTILE_ASSERT_MSG(!request.chain_factors.empty(),
+                   "surface_candidates: need chain factors");
+
+  std::vector<SurfaceCandidate> out;
+  const std::vector<VecI> dirs = cone_surface_directions(deps);
+  const int ndirs = static_cast<int>(dirs.size());
+  if (ndirs < n) return out;
+
+  // Every n-combination of surface directions, in lexicographic index
+  // order (dirs is sorted, so the whole enumeration is deterministic).
+  std::vector<int> comb(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) comb[static_cast<std::size_t>(i)] = i;
+  const auto next_comb = [&]() {
+    int i = n - 1;
+    while (i >= 0 &&
+           comb[static_cast<std::size_t>(i)] == ndirs - n + i) {
+      --i;
+    }
+    if (i < 0) return false;
+    comb[static_cast<std::size_t>(i)] += 1;
+    for (int j = i + 1; j < n; ++j) {
+      comb[static_cast<std::size_t>(j)] =
+          comb[static_cast<std::size_t>(j - 1)] + 1;
+    }
+    return true;
+  };
+
+  do {
+    // Independence is a property of the subset (row order flips only
+    // the determinant's sign): check it once.
+    MatI span(n, n);
+    for (int r = 0; r < n; ++r) {
+      const VecI& d = dirs[static_cast<std::size_t>(
+          comb[static_cast<std::size_t>(r)])];
+      for (int c = 0; c < n; ++c) span(r, c) = d[static_cast<std::size_t>(c)];
+    }
+    if (det(span) == 0) continue;
+
+    // Each subset member takes a turn as the chain row; the remaining
+    // members fill the mesh rows in ascending order.
+    for (int chain_pos = 0; chain_pos < n; ++chain_pos) {
+      const VecI& chain_dir = dirs[static_cast<std::size_t>(
+          comb[static_cast<std::size_t>(chain_pos)])];
+      std::vector<const VecI*> mesh;
+      for (int i = 0; i < n; ++i) {
+        if (i != chain_pos) {
+          mesh.push_back(&dirs[static_cast<std::size_t>(
+              comb[static_cast<std::size_t>(i)])]);
+        }
+      }
+      // Mesh scales: fixed from the request, or fitted per direction so
+      // every candidate spans (at most) the same mesh extent.
+      std::vector<i64> scales;
+      for (std::size_t i = 0; i < mesh.size(); ++i) {
+        scales.push_back(fit ? fit_scale(*mesh[i], request.skew,
+                                         request.orig_lo, request.orig_hi,
+                                         request.mesh_extent)
+                             : request.mesh_scales[i]);
+      }
+      for (i64 factor : request.chain_factors) {
+        CTILE_ASSERT(factor >= 1);
+        MatQ h(n, n);
+        std::size_t mesh_row = 0;
+        for (int r = 0; r < n; ++r) {
+          const bool is_chain = r == request.force_m;
+          const VecI& dir = is_chain ? chain_dir : *mesh[mesh_row];
+          const i64 scale = is_chain ? factor : scales[mesh_row];
+          CTILE_ASSERT(scale >= 1);
+          for (int c = 0; c < n; ++c) {
+            h(r, c) = Rat(dir[static_cast<std::size_t>(c)], scale);
+          }
+          if (!is_chain) ++mesh_row;
+        }
+        out.push_back(SurfaceCandidate{std::move(h), chain_dir, factor});
+      }
+    }
+  } while (next_comb());
+  return out;
+}
+
+double event_des_makespan(const CompiledPlan& plan,
+                          const MachineModel& machine, int arity,
+                          CommSchedule schedule, u64 seed) {
+  const Mapping& mapping = plan.mapping();
+  const CommPlan& cp = plan.comm_plan();
+  const TileCensus& census = plan.census();
+  const int nprocs = mapping.num_procs();
+  const int m = mapping.m();
+  const i64 chain = mapping.chain_length();
+  const auto& dirs = cp.directions();
+  const i64 ndirs = static_cast<i64>(dirs.size());
+  const bool overlapped = schedule == CommSchedule::kOverlapped;
+
+  mpisim::CommConfig config;
+  config.backend = mpisim::Backend::kEvent;
+  config.seed = seed;
+  config.latency.per_message_s = machine.latency;
+  config.latency.per_double_s =
+      static_cast<double>(machine.bytes_per_value) / machine.bandwidth;
+
+  std::vector<double> entry_s(static_cast<std::size_t>(nprocs), 0.0);
+  std::vector<double> end_s(static_cast<std::size_t>(nprocs), 0.0);
+
+  mpisim::run_ranks(
+      nprocs,
+      [&](int rank, mpisim::Comm& comm) {
+        entry_s[static_cast<std::size_t>(rank)] =
+            secs_since_epoch(comm.now());
+        const VecI pid = mapping.pid_of(rank);
+        std::vector<mpisim::Request> in_flight;
+        for (i64 t = 0; t < chain; ++t) {
+          const VecI js = mapping.tile_at(pid, t);
+          if (!mapping.valid(js)) continue;
+
+          // RECEIVE: one message per inbound (pred, dir) whose minsucc
+          // is this tile — the same matching rule the executor and the
+          // analytic DES use.  Tag (sender_t, dir) is unique per
+          // channel because distinct deps have distinct predecessors.
+          for (const TileDep& dep : cp.tile_deps()) {
+            if (dep.dir < 0) continue;
+            const VecI pred = vec_sub(js, dep.ds);
+            if (!mapping.valid(pred)) continue;
+            VecI ms;
+            if (!cp.minsucc(pred, dep.dir, &ms) || ms != js) continue;
+            const i64 sender_t = t - dep.ds[static_cast<std::size_t>(m)];
+            const int src = mapping.rank_of(mapping.owner_of(pred).first);
+            std::vector<double> halo =
+                comm.recv(rank, src, sender_t * ndirs + dep.dir);
+            const double bytes = static_cast<double>(halo.size()) *
+                                 machine.bytes_per_value;
+            comm.release_buffer(rank, std::move(halo));
+            // MPI_Recv software overhead + unpack copy (CPU).
+            comm.advance(rank, machine.per_message_overhead +
+                                   bytes * machine.per_byte_overhead);
+          }
+
+          // COMPUTE (virtual time; exact per-tile census count).
+          comm.advance(rank, static_cast<double>(census.count(js)) *
+                                 machine.sec_per_iter);
+
+          // SEND: one aggregated message per successor direction with
+          // any valid successor tile.
+          for (std::size_t d = 0; d < dirs.size(); ++d) {
+            const int dir = static_cast<int>(d);
+            bool any_valid_succ = false;
+            for (const TileDep& dep : cp.tile_deps()) {
+              if (dep.dir != dir) continue;
+              if (mapping.valid(vec_add(js, dep.ds))) {
+                any_valid_succ = true;
+                break;
+              }
+            }
+            if (!any_valid_succ) continue;
+            VecI succ_pid;
+            if (!mapping.neighbor(pid, dirs[d].dm, &succ_pid)) continue;
+            const std::size_t doubles = static_cast<std::size_t>(
+                mul_ck(cp.message_points(dir), static_cast<i64>(arity)));
+            const double bytes = static_cast<double>(doubles) *
+                                 machine.bytes_per_value;
+            // Pack copy + send software overhead (CPU), then the wire:
+            // a blocking send occupies the rank for the transfer (the
+            // latency model's per-double cost), isend hands it to the
+            // NIC and returns.
+            comm.advance(rank, machine.per_message_overhead +
+                                   bytes * machine.per_byte_overhead);
+            std::vector<double> halo = comm.acquire_buffer(rank, doubles);
+            halo.assign(doubles, 1.0);
+            const int dst = mapping.rank_of(succ_pid);
+            const i64 tag = t * ndirs + dir;
+            if (overlapped) {
+              in_flight.push_back(comm.isend(rank, dst, tag,
+                                             std::move(halo)));
+            } else {
+              comm.send(rank, dst, tag, std::move(halo));
+            }
+          }
+        }
+        comm.wait_all(in_flight);
+        end_s[static_cast<std::size_t>(rank)] =
+            secs_since_epoch(comm.now());
+        comm.barrier(rank);
+      },
+      config);
+
+  double lo = entry_s[0];
+  double hi = end_s[0];
+  for (double s : entry_s) lo = std::min(lo, s);
+  for (double s : end_s) hi = std::max(hi, s);
+  return hi - lo;
+}
+
+ShapeSearchResult autotune_tile_shape(const LoopNest& nest,
+                                      const ShapeSearchRequest& request,
+                                      const MachineModel& machine) {
+  const Clock::time_point t_total = Clock::now();
+  ShapeSearchResult result;
+
+  PlanCache& cache =
+      request.cache != nullptr ? *request.cache : global_plan_cache();
+  LoweringKnobs knobs;
+  knobs.force_m = request.force_m;
+  knobs.census_from_box = true;
+  knobs.orig_lo = request.orig_lo;
+  knobs.orig_hi = request.orig_hi;
+  knobs.skew = request.skew;
+  knobs.machine = machine_key_fields(machine);
+
+  // ---- Phase 1 (serial): enumerate, key, dedup, truncate.
+  const Clock::time_point t_gen = Clock::now();
+  struct Slot {
+    ShapeScore score;
+    PlanKey key;
+  };
+  std::vector<Slot> slots;
+  std::unordered_map<std::string, std::size_t> seen;
+  const int budget = resolve_budget(request.budget);
+  const auto admit = [&](MatQ h, VecI chain_dir, i64 chain_factor,
+                         const char* origin) {
+    result.candidates += 1;
+    PlanKey key =
+        make_plan_key(nest, h, CompiledPlan::Kind::kParallel, knobs);
+    if (seen.count(key.bytes) != 0) {
+      result.duplicates += 1;
+      return;
+    }
+    if (static_cast<int>(slots.size()) >= budget) {
+      result.truncated += 1;
+      return;
+    }
+    seen.emplace(key.bytes, slots.size());
+    Slot slot;
+    slot.score.h = std::move(h);
+    slot.score.chain_dir = std::move(chain_dir);
+    slot.score.chain_factor = chain_factor;
+    slot.score.origin = origin;
+    slot.score.plan_id = key.hex();
+    slot.key = std::move(key);
+    slots.push_back(std::move(slot));
+  };
+  if (request.surface) {
+    for (SurfaceCandidate& c : surface_candidates(nest.deps, request)) {
+      admit(std::move(c.h), std::move(c.chain_dir), c.chain_factor,
+            "surface");
+    }
+  }
+  for (const MatQ& h : request.extra) {
+    VecI chain_dir;
+    if (request.force_m < h.rows()) {
+      VecI row(static_cast<std::size_t>(h.cols()), 0);
+      // The primitive integer direction of the chain row (for reports;
+      // rational rows scale out).
+      i64 den = 1;
+      for (int c = 0; c < h.cols(); ++c) {
+        den = lcm_i64(den, h(request.force_m, c).den());
+      }
+      for (int c = 0; c < h.cols(); ++c) {
+        const Rat& e = h(request.force_m, c);
+        row[static_cast<std::size_t>(c)] = e.num() * (den / e.den());
+      }
+      chain_dir = primitive(row);
+    }
+    admit(h, std::move(chain_dir), 0, "extra");
+  }
+  result.gen_s = std::chrono::duration<double>(Clock::now() - t_gen).count();
+
+  // ---- Phase 2 (parallel): bound, prune, lower, score.
+  struct Shared {
+    std::mutex mu;
+    double incumbent = std::numeric_limits<double>::infinity();
+    double bound_s = 0.0;
+    double eval_s = 0.0;
+    i64 cache_hits = 0;
+    i64 cache_misses = 0;
+    i64 memo_hits = 0;
+  } shared;
+
+  const auto worker = [&](i64 i) {
+    Slot& slot = slots[static_cast<std::size_t>(i)];
+    ShapeScore& sc = slot.score;
+
+    if (request.memo != nullptr) {
+      std::lock_guard<std::mutex> lock(request.memo->mu);
+      auto it = request.memo->map.find(slot.key.bytes);
+      if (it != request.memo->map.end()) {
+        const ShapeScore& cached = it->second;
+        sc.status = cached.status;
+        sc.detail = cached.detail;
+        sc.bound = cached.bound;
+        sc.analytic = cached.analytic;
+        sc.des_makespan_s = cached.des_makespan_s;
+        sc.score_s = cached.score_s;
+        std::lock_guard<std::mutex> stats(shared.mu);
+        shared.memo_hits += 1;
+        if (sc.status == ShapeStatus::kEvaluated) {
+          shared.incumbent = std::min(shared.incumbent, sc.score_s);
+        }
+        return;
+      }
+    }
+
+    // Build the tile space ONCE per candidate: the bound reads it here,
+    // and when the candidate survives pruning the lowering below adopts
+    // it instead of rebuilding (tile-space construction dominates both).
+    const Clock::time_point t0 = Clock::now();
+    std::optional<TiledNest> tiled;
+    try {
+      tiled.emplace(nest, TilingTransform(sc.h));
+      sc.bound = comm_lower_bound(*tiled, request.force_m, request.arity,
+                                  machine, request.orig_lo, request.orig_hi);
+    } catch (const Error& e) {
+      sc.status = ShapeStatus::kInvalid;
+      sc.detail = e.what();
+      std::lock_guard<std::mutex> stats(shared.mu);
+      shared.bound_s +=
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> stats(shared.mu);
+      shared.bound_s +=
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      // The 1e-6 slack absorbs accumulation-order noise: the DES sums
+      // per-tile compute while the bound multiplies once, so a candidate
+      // whose score ties the incumbent exactly can carry a bound a few
+      // ULPs above it.  Pruning must stay winner-invariant under that.
+      if (request.prune &&
+          sc.bound.time_lb_s > shared.incumbent * (1.0 + 1e-6)) {
+        sc.status = ShapeStatus::kPruned;
+        sc.detail = "comm lower bound exceeds incumbent makespan";
+        return;
+      }
+    }
+
+    const Clock::time_point t1 = Clock::now();
+    std::shared_ptr<const CompiledPlan> plan;
+    bool was_hit = false;
+    try {
+      plan = cache.get_or_lower(
+          slot.key,
+          [&] {
+            return CompiledPlan::compile_parallel(std::move(*tiled), knobs);
+          },
+          &was_hit);
+    } catch (const Error& e) {
+      sc.status = ShapeStatus::kInvalid;
+      sc.detail = e.what();
+      std::lock_guard<std::mutex> stats(shared.mu);
+      shared.eval_s +=
+          std::chrono::duration<double>(Clock::now() - t1).count();
+      if (was_hit) {
+        shared.cache_hits += 1;
+      } else {
+        shared.cache_misses += 1;
+      }
+      return;
+    }
+    sc.analytic = simulate_cluster(plan->tiled(), plan->mapping(),
+                                   plan->lds(), plan->comm_plan(),
+                                   plan->census(), machine, request.arity,
+                                   request.schedule);
+    if (request.scorer == ShapeScorer::kEventDes) {
+      sc.des_makespan_s = event_des_makespan(*plan, machine, request.arity,
+                                             request.schedule, request.seed);
+      sc.score_s = sc.des_makespan_s;
+    } else {
+      sc.score_s = sc.analytic.makespan;
+    }
+    sc.status = ShapeStatus::kEvaluated;
+    {
+      std::lock_guard<std::mutex> stats(shared.mu);
+      shared.eval_s +=
+          std::chrono::duration<double>(Clock::now() - t1).count();
+      if (was_hit) {
+        shared.cache_hits += 1;
+      } else {
+        shared.cache_misses += 1;
+      }
+      shared.incumbent = std::min(shared.incumbent, sc.score_s);
+    }
+    if (request.memo != nullptr) {
+      std::lock_guard<std::mutex> lock(request.memo->mu);
+      request.memo->map.emplace(slot.key.bytes, sc);
+    }
+  };
+
+  const int threads =
+      std::min<int>(resolve_threads(request.threads),
+                    std::max<int>(1, static_cast<int>(slots.size())));
+  if (threads <= 1) {
+    for (i64 i = 0; i < static_cast<i64>(slots.size()); ++i) worker(i);
+  } else {
+    exec::ThreadPool pool(threads - 1);  // caller participates
+    pool.parallel_for(static_cast<i64>(slots.size()), worker);
+  }
+
+  // ---- Phase 3 (serial): deterministic reduction.  Smallest score,
+  // ties to the smallest enumeration index — independent of thread
+  // count, prune timing and scheduler seed.
+  result.scores.reserve(slots.size());
+  for (Slot& slot : slots) result.scores.push_back(std::move(slot.score));
+  bool found = false;
+  for (std::size_t i = 0; i < result.scores.size(); ++i) {
+    const ShapeScore& sc = result.scores[i];
+    switch (sc.status) {
+      case ShapeStatus::kEvaluated:
+        result.evaluated += 1;
+        if (!found || sc.score_s < result.scores[result.best_index].score_s) {
+          result.best_index = i;
+          found = true;
+        }
+        break;
+      case ShapeStatus::kPruned:
+        result.pruned += 1;
+        break;
+      case ShapeStatus::kInvalid:
+        result.invalid += 1;
+        break;
+    }
+  }
+  result.cache_hits = shared.cache_hits;
+  result.cache_misses = shared.cache_misses;
+  result.memo_hits = shared.memo_hits;
+  result.bound_s = shared.bound_s;
+  result.eval_s = shared.eval_s;
+  result.total_s =
+      std::chrono::duration<double>(Clock::now() - t_total).count();
+  if (!found) {
+    throw Error("autotune_tile_shape: no candidate survived evaluation for " +
+                nest.name);
+  }
+  return result;
+}
+
+}  // namespace ctile

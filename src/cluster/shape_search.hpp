@@ -1,0 +1,188 @@
+// Communication-lower-bound-guided tile-SHAPE autotuner (DESIGN.md §15,
+// ROADMAP item 5).
+//
+// autotune_tile_size sweeps the chain factor of a FIXED H family; this
+// module searches the shape itself.  Candidates are built from the
+// tiling cone's surface (deps/tiling_cone.hpp cone_surface_directions —
+// Hodzic-Shang: scheduling-optimal tile shapes take their rows from the
+// cone surface): every linearly independent n-subset of surface
+// directions, each subset tried with every member as the chain row
+// (mapping dimension force_m), mesh rows scaled by request.mesh_scales
+// and the chain row swept over request.chain_factors.  Rectangular or
+// hand-written baselines ride along via request.extra.
+//
+// The search is parallel and bound-pruned:
+//
+//   worker(candidate):
+//     score := memo[plan key]                  (cross-search score memo)
+//     bound := comm_lower_bound(...)           (exact, census-free, cheap)
+//     if bound.time_lb_s > incumbent: PRUNE    (sound: the candidate's
+//                                               true makespan >= bound >
+//                                               incumbent >= final best,
+//                                               so no pruned candidate
+//                                               can be the winner and
+//                                               the winner is identical
+//                                               for any thread count /
+//                                               prune timing)
+//     plan  := PlanCache (shared, single-flight)
+//     score := DES makespan (event-backend fibers, virtual clock) and/or
+//              the analytic simulate_cluster model
+//     incumbent := min(incumbent, score)
+//
+// Candidates are deduplicated BEFORE evaluation by their canonical plan
+// key (machine fields included — satellite of ROADMAP item 3), so two
+// surface subsets that normalize to the same H are lowered and scored
+// once.  The final winner is reduced serially over the per-candidate
+// slots: smallest score, ties to the smallest enumeration index —
+// bitwise-deterministic across thread counts, seeds and prune settings.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/autotune.hpp"
+#include "cluster/comm_bound.hpp"
+
+namespace ctile {
+
+/// How a candidate is scored.  Both evaluators are deterministic; the
+/// analytic SimResult is recorded for every survivor regardless (it
+/// carries the measured comm volume the bound is compared against).
+enum class ShapeScorer {
+  kEventDes,   ///< mpisim event-backend fiber DES (virtual clock); the
+               ///< score is its makespan.  Scheduler seed must not and
+               ///< does not affect the score (asserted in the bench).
+  kAnalytic,   ///< cluster/simulator's analytic DES only (no fibers —
+               ///< the TSan-friendly evaluator).
+};
+
+struct ScoreMemo;
+
+struct ShapeSearchRequest {
+  int force_m = 0;  ///< chain row index = mapping dimension (>= 0)
+  int arity = 1;
+  /// Scales of the n-1 non-chain (mesh) rows, in row order: H row i =
+  /// direction_i / scale.  Required for surface enumeration unless
+  /// mesh_extent is set.
+  VecI mesh_scales;
+  /// When > 0, ignore mesh_scales and FIT each mesh row's scale per
+  /// candidate: the smallest scale whose tile count along that row's
+  /// direction (over the original box, through the skew) is <= this
+  /// extent.  This pins every candidate to (approximately) the same
+  /// processor mesh — the paper's methodology (fixed 4x4 mesh, chain
+  /// factor swept) — so shapes compete on communication and pipeline
+  /// efficiency rather than on how many processors their mesh happens
+  /// to span.
+  i64 mesh_extent = 0;
+  /// Swept scales of the chain row (>= 1 each).  Required for surface
+  /// enumeration.
+  std::vector<i64> chain_factors;
+  /// Extra candidate tilings evaluated alongside the surface set
+  /// (rectangular baselines, hand-written families).
+  std::vector<MatQ> extra;
+  /// Enumerate cone-surface candidates (disable to score only `extra`).
+  bool surface = true;
+  /// Candidate budget after dedup; excess candidates are dropped from
+  /// the tail of the (deterministic) enumeration and counted in
+  /// ShapeSearchResult::truncated.  0 = $CTILE_SHAPE_BUDGET, else 512.
+  int budget = 0;
+  /// Evaluation parallelism (1 = serial in the caller).  0 =
+  /// $CTILE_SHAPE_THREADS, else hardware concurrency.
+  int threads = 0;
+  bool prune = true;  ///< bound-based pruning (winner-invariant)
+  ShapeScorer scorer = ShapeScorer::kEventDes;
+  u64 seed = 1;  ///< event-backend interleaving seed
+  CommSchedule schedule = CommSchedule::kBlocking;
+  /// Pre-skew box + skew of the nest (fast census and the comm bound).
+  VecI orig_lo;
+  VecI orig_hi;
+  MatI skew;
+  /// Shared plan cache (nullptr = global_plan_cache()).
+  PlanCache* cache = nullptr;
+  /// Optional cross-search score memo (keyed by the machine-inclusive
+  /// plan key, so scores measured under one machine are never reused
+  /// for another).
+  ScoreMemo* memo = nullptr;
+};
+
+enum class ShapeStatus { kEvaluated, kPruned, kInvalid };
+
+/// One candidate's record in enumeration order.
+struct ShapeScore {
+  MatQ h;
+  VecI chain_dir;        ///< primitive direction of the chain row
+  i64 chain_factor = 0;  ///< chain-row scale (0 for `extra` candidates)
+  std::string origin;    ///< "surface" or "extra"
+  ShapeStatus status = ShapeStatus::kInvalid;
+  std::string detail;    ///< invalid reason / "pruned"
+  std::string plan_id;   ///< PlanKey digest hex
+  CommBoundResult bound;
+  SimResult analytic;    ///< measured volume + analytic makespan
+  double des_makespan_s = 0.0;  ///< event-DES makespan (kEventDes only)
+  double score_s = 0.0;  ///< the makespan the search ranked by
+};
+
+struct ShapeSearchResult {
+  std::size_t best_index = 0;  ///< into scores; an evaluated entry
+  std::vector<ShapeScore> scores;
+  i64 candidates = 0;   ///< enumerated before dedup
+  i64 duplicates = 0;   ///< removed by plan-key dedup
+  i64 truncated = 0;    ///< dropped by the candidate budget
+  i64 invalid = 0;      ///< rejected (singular, cone-illegal, unliftable)
+  i64 pruned = 0;       ///< skipped by the bound (never lowered/scored)
+  i64 evaluated = 0;    ///< lowered + scored
+  i64 cache_hits = 0;   ///< PlanCache traffic of this search
+  i64 cache_misses = 0;
+  i64 memo_hits = 0;    ///< scores served from the cross-search memo
+  double gen_s = 0.0;    ///< candidate enumeration + dedup
+  double bound_s = 0.0;  ///< comm_lower_bound total (sum over workers)
+  double eval_s = 0.0;   ///< lowering + scoring total (sum over workers)
+  double total_s = 0.0;  ///< end-to-end wall time
+
+  const ShapeScore& best() const { return scores[best_index]; }
+  double prune_rate() const {
+    const i64 live = pruned + evaluated;
+    return live > 0 ? static_cast<double>(pruned) /
+                          static_cast<double>(live)
+                    : 0.0;
+  }
+};
+
+/// Cross-search score memo (see ShapeSearchRequest::memo).  Thread-safe.
+struct ScoreMemo {
+  std::mutex mu;
+  std::unordered_map<std::string, ShapeScore> map;  ///< key bytes -> score
+};
+
+/// Enumerate the surface candidates for `deps` under `request` (exposed
+/// for tests and for ctile_pland's dry-run accounting).  Each entry is
+/// (H, chain direction, chain factor) in the search's deterministic
+/// enumeration order; no legality filtering beyond nonzero determinant.
+struct SurfaceCandidate {
+  MatQ h;
+  VecI chain_dir;
+  i64 chain_factor;
+};
+std::vector<SurfaceCandidate> surface_candidates(
+    const MatI& deps, const ShapeSearchRequest& request);
+
+/// Score one compiled plan with the event-backend fiber DES: the plan's
+/// schedule (receive/compute/send per chain step, one aggregated
+/// message per successor direction) is run as fiber-per-rank programs
+/// against mpisim's virtual clock, with the MachineModel mapped onto
+/// Comm::advance (CPU costs) and the mpisim latency model (wire).
+/// Returns the virtual makespan in seconds.  Deterministic: independent
+/// of the interleaving seed and of the calling thread.
+double event_des_makespan(const CompiledPlan& plan,
+                          const MachineModel& machine, int arity,
+                          CommSchedule schedule, u64 seed);
+
+/// Run the search.  Throws Error when no candidate survives evaluation.
+ShapeSearchResult autotune_tile_shape(const LoopNest& nest,
+                                      const ShapeSearchRequest& request,
+                                      const MachineModel& machine);
+
+}  // namespace ctile

@@ -1,5 +1,8 @@
 #include "deps/tiling_cone.hpp"
 
+#include <algorithm>
+
+#include "linalg/int_matops.hpp"
 #include "linalg/rat_matops.hpp"
 
 namespace ctile {
@@ -8,6 +11,37 @@ ConeRays tiling_cone(const MatI& deps) {
   // Constraint rows for h are the dependence vectors themselves:
   // h . d >= 0 for every column d.
   return extreme_rays(deps.transposed());
+}
+
+std::vector<VecI> cone_surface_directions(const MatI& deps) {
+  const ConeRays cone = tiling_cone(deps);
+  if (cone.has_lineality) return {};
+  const MatI a = deps.transposed();  // constraint rows for h
+  const auto on_surface = [&](const VecI& h) {
+    for (int r = 0; r < a.rows(); ++r) {
+      i64 acc = 0;
+      for (int k = 0; k < a.cols(); ++k) {
+        acc = add_ck(acc, mul_ck(a(r, k), h[static_cast<std::size_t>(k)]));
+      }
+      if (acc == 0) return true;
+    }
+    return false;
+  };
+  std::vector<VecI> dirs;
+  for (const VecI& ray : cone.rays) dirs.push_back(ray);
+  // Pairwise ray sums sample the relative interior of the 2-faces; a
+  // sum that leaves every constraint slack has wandered into the cone
+  // interior (the two rays span no common facet) and is dropped.
+  for (std::size_t i = 0; i < cone.rays.size(); ++i) {
+    for (std::size_t j = i + 1; j < cone.rays.size(); ++j) {
+      const VecI sum = primitive(vec_add(cone.rays[i], cone.rays[j]));
+      if (on_surface(sum)) dirs.push_back(sum);
+    }
+  }
+  std::sort(dirs.begin(), dirs.end(),
+            [](const VecI& x, const VecI& y) { return lex_compare(x, y) < 0; });
+  dirs.erase(std::unique(dirs.begin(), dirs.end()), dirs.end());
+  return dirs;
 }
 
 bool tiling_legal(const MatQ& h, const MatI& deps) {

@@ -17,6 +17,23 @@ namespace ctile {
 /// deps}.
 ConeRays tiling_cone(const MatI& deps);
 
+/// Candidate H-row directions on the *surface* of the tiling cone: the
+/// extreme rays plus every pairwise sum of distinct rays that still has
+/// at least one dependence constraint tight (h . d == 0) — primitive
+/// samples of the cone's 2-faces.  Per Hodzic-Shang (and the paper's
+/// \S4) the scheduling-optimal tile shapes draw their rows from this
+/// surface: a row strictly inside the cone pays h . d > 0 against every
+/// dependence, while a surface row zeroes the transformed component of
+/// the dependences on its tight facets — that is exactly how the
+/// paper's nr families arise (ADI's nr1/nr2/nr3 chain rows are the ray
+/// (1,-1,-1) and its facet sums (1,-1,0), (1,0,-1); SOR's rectangular
+/// row (0,0,1) is itself a facet sum of two skewed-cone rays).
+///
+/// Deduplicated, lexicographically sorted (deterministic enumeration
+/// order for the shape search).  Empty when the cone has lineality —
+/// surface sampling is meaningless without a pointed cone.
+std::vector<VecI> cone_surface_directions(const MatI& deps);
+
 /// True iff H d >= 0 componentwise for every dependence column (H given
 /// as a rational matrix, the paper's H with rows 1/x etc.).
 bool tiling_legal(const MatQ& h, const MatI& deps);

@@ -14,7 +14,18 @@ void Polyhedron::add(Constraint c) {
   c.normalize();
   // Skip tautologies; keep one copy of everything else.
   if (c.is_constant() && c.constant >= 0) return;
-  if (std::find(cons_.begin(), cons_.end(), c) != cons_.end()) return;
+  // Dominance: after normalize(), two constraints with the same
+  // coefficient vector are a.x + k >= 0 for different k, and the
+  // smaller k implies the larger.  Keeping only the tightest one is
+  // exact and caps Fourier-Motzkin's duplicate explosion (eliminate()
+  // funnels every derived combination through here).
+  auto same = std::find_if(cons_.begin(), cons_.end(), [&](const Constraint& e) {
+    return e.coeffs == c.coeffs;
+  });
+  if (same != cons_.end()) {
+    same->constant = std::min(same->constant, c.constant);
+    return;
+  }
   cons_.push_back(std::move(c));
 }
 

@@ -54,6 +54,22 @@ struct PlanPhaseTimes {
   void accumulate(const PlanPhaseTimes& o);
 };
 
+/// Machine-model fields mirrored into the cache key (plan_cache.hpp).
+/// Lowering itself never reads them — the artifacts are machine-free —
+/// but machine-derived consumers (autotune scores, shape-search
+/// results) are cached under the plan id, so a plan id minted for one
+/// machine must never be served for another.  Field order and meaning
+/// mirror cluster/machine.hpp's MachineModel (kept as plain doubles
+/// here so the runtime layer does not depend on cluster/).
+struct MachineKeyFields {
+  double sec_per_iter = 0.0;
+  double latency = 0.0;
+  double bandwidth = 0.0;
+  double per_byte_overhead = 0.0;
+  double per_message_overhead = 0.0;
+  i64 bytes_per_value = 0;
+};
+
 /// Everything besides the tiling itself that changes what lowering
 /// produces.  Part of the cache key (plan_cache.hpp): two requests with
 /// different knobs never share a plan.
@@ -69,6 +85,10 @@ struct LoweringKnobs {
   VecI orig_lo;
   VecI orig_hi;
   MatI skew;
+
+  /// When set, the machine model is serialized into the plan key (the
+  /// autotune / shape-search paths set this from their MachineModel).
+  std::optional<MachineKeyFields> machine;
 };
 
 class CompiledPlan {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 namespace ctile {
 
@@ -28,6 +29,17 @@ void put_i64(std::string& out, i64 v) {
 
 void put_u8(std::string& out, unsigned char v) {
   out.push_back(static_cast<char>(v));
+}
+
+// Doubles enter the key by their IEEE-754 bit pattern, little-endian:
+// the machine-model fields are configuration constants (never results
+// of arithmetic), so bit equality is exactly the identity we want and
+// the bytes stay platform-stable.
+void put_f64(std::string& out, double v) {
+  static_assert(sizeof(double) == sizeof(u64));
+  u64 u = 0;
+  std::memcpy(&u, &v, sizeof u);
+  put_i64(out, static_cast<i64>(u));
 }
 
 void put_veci(std::string& out, const VecI& v) {
@@ -93,7 +105,10 @@ PlanKey make_plan_key(const LoopNest& nest, const MatQ& h,
   PlanKey key;
   std::string& out = key.bytes;
   out.reserve(256);
-  out.append("CTPK1");  // format magic + version
+  // Format magic + version.  v2 appended the optional machine-model
+  // fields; every format revision must bump the version digit so old
+  // and new keys can never collide byte-for-byte.
+  out.append("CTPK2");
   put_u8(out, kind == CompiledPlan::Kind::kParallel ? 1 : 0);
   // The nest's name is deliberately NOT serialized: lowering depends
   // only on the space and the dependence matrix.  Dependence column
@@ -108,6 +123,16 @@ PlanKey make_plan_key(const LoopNest& nest, const MatQ& h,
     put_veci(out, knobs.orig_lo);
     put_veci(out, knobs.orig_hi);
     put_mati(out, knobs.skew);
+  }
+  put_u8(out, knobs.machine.has_value() ? 1 : 0);
+  if (knobs.machine.has_value()) {
+    const MachineKeyFields& m = *knobs.machine;
+    put_f64(out, m.sec_per_iter);
+    put_f64(out, m.latency);
+    put_f64(out, m.bandwidth);
+    put_f64(out, m.per_byte_overhead);
+    put_f64(out, m.per_message_overhead);
+    put_i64(out, m.bytes_per_value);
   }
   key.digest = fnv1a64(out);
   return key;

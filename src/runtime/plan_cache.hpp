@@ -7,7 +7,10 @@
 // preserved — kernels consume dependence values by column index), the
 // tiling matrix H as exact normalized rationals, the lowering kind
 // (sequential / parallel) and the LoweringKnobs (force_m, census mode,
-// census box + skew).  The nest's *name* is deliberately excluded — two
+// census box + skew, and — when a machine-derived consumer sets them —
+// the machine-model fields, so scores cached under a plan id minted for
+// one machine are never served for another).  The nest's *name* is
+// deliberately excluded — two
 // identically-shaped nests share a plan no matter what they are called.
 // All integers are written little-endian at fixed width, so the bytes —
 // and the FNV-1a digest over them — are identical across platforms,

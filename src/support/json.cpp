@@ -86,6 +86,11 @@ std::string Value::get_string_or(const std::string& key,
   return v == nullptr ? fallback : v->as_string();
 }
 
+bool Value::get_bool_or(const std::string& key, bool fallback) const {
+  ValuePtr v = find(key);
+  return v == nullptr ? fallback : v->as_bool();
+}
+
 class Parser {
  public:
   Parser(const std::string& text, std::size_t pos)

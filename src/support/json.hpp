@@ -50,6 +50,7 @@ class Value {
   i64 get_i64_or(const std::string& key, i64 fallback) const;
   std::string get_string_or(const std::string& key,
                             const std::string& fallback) const;
+  bool get_bool_or(const std::string& key, bool fallback) const;
 
  private:
   friend class Parser;

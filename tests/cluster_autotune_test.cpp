@@ -75,6 +75,34 @@ TEST(Autotune, SkipsInvalidCandidates) {
       app.nest, req, MachineModel::fast_ethernet_cluster());
   EXPECT_EQ(r.evaluated.size(), 3u);  // 4, 6, 8 only
   EXPECT_EQ(r.best_factor % 2, 0);
+  // The rejected candidates are reported, in order, with the lowering
+  // diagnostic that rejected each — not silently dropped.
+  ASSERT_EQ(r.skipped.size(), 3u);
+  EXPECT_EQ(r.skipped[0].first, 3);
+  EXPECT_EQ(r.skipped[1].first, 5);
+  EXPECT_EQ(r.skipped[2].first, 7);
+  for (const auto& [factor, reason] : r.skipped) {
+    EXPECT_FALSE(reason.empty()) << "factor " << factor;
+  }
+  EXPECT_EQ(r.duplicates_removed, 0);
+}
+
+TEST(Autotune, DedupsRepeatedCandidates) {
+  AppInstance app = make_sor(24, 48);
+  AutotuneRequest req = sor_request(24, 48);
+  req.candidates = {8, 8, 4, 8, 4};
+  PlanCache cache;
+  req.cache = &cache;
+  AutotuneResult r = autotune_tile_size(
+      app.nest, req, MachineModel::fast_ethernet_cluster());
+  // First-occurrence order, duplicates evaluated (and lowered) once.
+  ASSERT_EQ(r.evaluated.size(), 2u);
+  EXPECT_EQ(r.evaluated[0].first, 8);
+  EXPECT_EQ(r.evaluated[1].first, 4);
+  EXPECT_EQ(r.duplicates_removed, 3);
+  EXPECT_EQ(r.cache_hits, 0);
+  EXPECT_EQ(r.cache_misses, 2);
+  EXPECT_EQ(cache.stats().misses, 2);
 }
 
 TEST(Autotune, ThrowsWhenNothingValid) {

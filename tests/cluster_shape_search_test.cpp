@@ -1,0 +1,503 @@
+// Shape-search subsystem tests (DESIGN.md §15):
+//
+// - cone_surface_directions: the paper's H-family rows really are
+//   surface directions (SOR nonrect rows, ADI nr1/nr2/nr3 chain rows),
+//   and interior rows (ADI's rectangular chain row) are excluded.
+// - Every emitted surface candidate passes the V1 legality core
+//   (tiling_legal == ctile-verify V1's HD >= 0) — the property the
+//   generator is FOR.
+// - comm_lower_bound is a true lower bound: bytes_lb <= measured comm
+//   volume and time_lb <= measured makespan, on the paper configs AND
+//   on 20 random legal nests (the ISSUE's property test).
+// - autotune_tile_shape: the ADI search rediscovers nr3's cone-parallel
+//   chain row (ROADMAP item 5's required regression), surface beats
+//   rectangular on SOR, parallel == serial winner bitwise (the TSan
+//   target: ThreadPool + shared PlanCache), pruning never changes the
+//   winner, and the cross-search score memo serves repeat queries.
+#include "cluster/shape_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "apps/kernels.hpp"
+#include "deps/tiling_cone.hpp"
+#include "linalg/int_matops.hpp"
+#include "linalg/rat_matops.hpp"
+#include "support/rng.hpp"
+
+namespace ctile {
+namespace {
+
+bool contains_dir(const std::vector<VecI>& dirs, const VecI& d) {
+  return std::find(dirs.begin(), dirs.end(), d) != dirs.end();
+}
+
+TEST(ConeSurface, SorSurfaceContainsPaperRows) {
+  const AppInstance app = make_sor(24, 48);
+  const std::vector<VecI> dirs = cone_surface_directions(app.nest.deps);
+  ASSERT_GE(dirs.size(), 3u);
+  // The fig06 non-rectangular family's rows...
+  EXPECT_TRUE(contains_dir(dirs, {1, 0, 0}));
+  EXPECT_TRUE(contains_dir(dirs, {0, 1, 0}));
+  EXPECT_TRUE(contains_dir(dirs, {-1, 0, 1}));
+  // ...and the rectangular z-row, which for the skewed SOR cone is a
+  // facet sum of two extreme rays.
+  EXPECT_TRUE(contains_dir(dirs, {0, 0, 1}));
+  // Sorted + unique (deterministic enumeration order).
+  for (std::size_t i = 1; i < dirs.size(); ++i) {
+    EXPECT_LT(lex_compare(dirs[i - 1], dirs[i]), 0);
+  }
+}
+
+TEST(ConeSurface, AdiSurfaceIsTheNrFamilyFan) {
+  const AppInstance app = make_adi(16, 24);
+  const std::vector<VecI> dirs = cone_surface_directions(app.nest.deps);
+  // Chain rows of the paper's three non-rectangular ADI orderings: the
+  // cone's unique oblique extreme ray and its two facet sums.
+  EXPECT_TRUE(contains_dir(dirs, {1, -1, -1}));  // nr3 (cone-parallel)
+  EXPECT_TRUE(contains_dir(dirs, {1, -1, 0}));   // nr1
+  EXPECT_TRUE(contains_dir(dirs, {1, 0, -1}));   // nr2
+  EXPECT_TRUE(contains_dir(dirs, {0, 1, 0}));
+  EXPECT_TRUE(contains_dir(dirs, {0, 0, 1}));
+  // The rectangular chain row (1,0,0) is strictly INSIDE the cone
+  // (every dependence pays h.d > 0): not a surface direction.
+  EXPECT_FALSE(contains_dir(dirs, {1, 0, 0}));
+}
+
+ShapeSearchRequest adi_request() {
+  ShapeSearchRequest req;
+  req.force_m = 0;
+  req.arity = 2;
+  req.mesh_extent = 4;  // the paper's 4x4 mesh, fitted per candidate
+  req.chain_factors = {2, 4, 8};
+  req.orig_lo = {1, 1, 1};
+  req.orig_hi = {16, 24, 24};
+  req.skew = MatI::identity(3);
+  req.scorer = ShapeScorer::kAnalytic;
+  req.threads = 1;
+  return req;
+}
+
+TEST(ConeSurface, EveryEmittedCandidatePassesV1) {
+  // The property the generator exists for: every candidate's rows are
+  // in the tiling cone, i.e. H D >= 0 — exactly ctile-verify V1's
+  // legality core (verifier.cpp check_v1 delegates to this predicate).
+  const struct {
+    AppInstance app;
+    ShapeSearchRequest req;
+  } cases[] = {
+      {make_sor(24, 48),
+       [] {
+         ShapeSearchRequest r;
+         r.force_m = 2;
+         r.mesh_scales = {6, 18};
+         r.chain_factors = {4, 8};
+         return r;
+       }()},
+      {make_adi(16, 24), adi_request()},
+      {make_jacobi(8, 16, 16),
+       [] {
+         ShapeSearchRequest r;
+         r.force_m = 0;
+         r.mesh_scales = {4, 4};
+         r.chain_factors = {2, 4};
+         return r;
+       }()},
+  };
+  for (const auto& c : cases) {
+    const std::vector<SurfaceCandidate> cands =
+        surface_candidates(c.app.nest.deps, c.req);
+    ASSERT_FALSE(cands.empty()) << c.app.nest.name;
+    for (const SurfaceCandidate& cand : cands) {
+      EXPECT_TRUE(tiling_legal(cand.h, c.app.nest.deps))
+          << c.app.nest.name << "\nH =\n"
+          << cand.h.to_string();
+    }
+  }
+}
+
+// Measured volume/makespan for one lowered configuration.
+SimResult measure(const LoopNest& nest, const MatQ& h, int force_m,
+                  int arity, const MachineModel& machine) {
+  LoweringKnobs knobs;
+  knobs.force_m = force_m;
+  std::shared_ptr<const CompiledPlan> plan =
+      CompiledPlan::compile_parallel(nest, h, knobs);
+  return simulate_cluster(plan->tiled(), plan->mapping(), plan->lds(),
+                          plan->comm_plan(), plan->census(), machine, arity,
+                          CommSchedule::kBlocking);
+}
+
+TEST(CommBound, BoundLeqMeasuredOnPaperConfigs) {
+  const MachineModel machine = MachineModel::fast_ethernet_cluster();
+  struct Case {
+    const char* name;
+    AppInstance app;
+    MatQ h;
+    int force_m;
+    int arity;
+    VecI lo, hi;
+  };
+  const Case cases[] = {
+      {"sor-nonrect", make_sor(24, 48), sor_nonrect_h(6, 18, 8), 2, 1,
+       {1, 1, 1}, {24, 48, 48}},
+      {"sor-rect", make_sor(24, 48), sor_rect_h(6, 18, 8), 2, 1,
+       {1, 1, 1}, {24, 48, 48}},
+      {"adi-nr3", make_adi(32, 48), adi_nr3_h(4, 6, 6), 0, 2, {1, 1, 1},
+       {32, 48, 48}},
+      {"adi-nr1", make_adi(32, 48), adi_nr1_h(4, 6, 6), 0, 2, {1, 1, 1},
+       {32, 48, 48}},
+      {"jacobi-nonrect", make_jacobi(16, 32, 32), jacobi_nonrect_h(2, 4, 6),
+       0, 1, {1, 1, 1}, {16, 32, 32}},
+  };
+  for (const Case& c : cases) {
+    const CommBoundResult bound = comm_lower_bound(
+        c.app.nest, c.h, c.force_m, c.arity, machine, c.lo, c.hi);
+    const SimResult sim =
+        measure(c.app.nest, c.h, c.force_m, c.arity, machine);
+    EXPECT_LE(bound.bytes_lb, sim.bytes) << c.name;
+    EXPECT_LE(bound.time_lb_s, sim.makespan * (1.0 + 1e-6)) << c.name;
+    EXPECT_EQ(bound.total_points, sim.total_points) << c.name;
+    EXPECT_GT(bound.full_tiles, 0) << c.name;
+    EXPECT_GT(bound.bytes_lb, 0) << c.name;
+  }
+}
+
+TEST(CommBound, RejectsStructurallyInvalidTilings) {
+  const AppInstance app = make_sor(24, 48);
+  const MachineModel machine = MachineModel::fast_ethernet_cluster();
+  // Singular H.
+  MatQ singular(3, 3);
+  EXPECT_THROW(comm_lower_bound(app.nest, singular, 2, 1, machine,
+                                {1, 1, 1}, {24, 48, 48}),
+               Error);
+  // Cone-illegal H: a row anti-parallel to a dependence.
+  MatQ illegal = sor_rect_h(6, 18, 8);
+  for (int c = 0; c < 3; ++c) illegal(0, c) = -illegal(0, c);
+  EXPECT_THROW(comm_lower_bound(app.nest, illegal, 2, 1, machine,
+                                {1, 1, 1}, {24, 48, 48}),
+               LegalityError);
+}
+
+// Random generators shared in spirit with plan_cache_key_test: small
+// lex-positive deps, random integer-P tilings legal for them.
+VecI random_dep(Rng& rng, int n) {
+  for (;;) {
+    VecI d(static_cast<std::size_t>(n), 0);
+    for (int k = 0; k < n; ++k) {
+      d[static_cast<std::size_t>(k)] = rng.uniform(-1, 2);
+    }
+    if (lex_positive(d)) return d;
+  }
+}
+
+std::optional<MatQ> random_tiling(Rng& rng, int n, const MatI& deps) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    MatI p(n, n);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) {
+        if (r == c) {
+          p(r, c) = rng.uniform(3, 6);
+        } else if (rng.chance(0.3)) {
+          p(r, c) = rng.uniform(-2, 2);
+        }
+      }
+    }
+    if (det(p) == 0) continue;
+    MatQ h = inverse(to_rat(p));
+    if (!tiling_legal(h, deps)) continue;
+    return h;
+  }
+  return std::nullopt;
+}
+
+TEST(CommBound, LowerBoundLeqMeasuredOn20RandomLegalNests) {
+  Rng rng(20260808);
+  const MachineModel machine = MachineModel::fast_ethernet_cluster();
+  int produced = 0;
+  int attempts = 0;
+  while (produced < 20 && attempts < 800) {
+    ++attempts;
+    const int n = static_cast<int>(rng.uniform(2, 3));
+    const int q = static_cast<int>(rng.uniform(1, 3));
+    MatI deps(n, q);
+    for (int c = 0; c < q; ++c) {
+      VecI d = random_dep(rng, n);
+      for (int r = 0; r < n; ++r) deps(r, c) = d[static_cast<std::size_t>(r)];
+    }
+    VecI lo(static_cast<std::size_t>(n));
+    VecI hi(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      lo[static_cast<std::size_t>(k)] = rng.uniform(-3, 3);
+      hi[static_cast<std::size_t>(k)] =
+          lo[static_cast<std::size_t>(k)] + rng.uniform(6, 16);
+    }
+    LoopNest nest;
+    try {
+      nest = make_rectangular_nest("rand", lo, hi, deps);
+    } catch (const LegalityError&) {
+      continue;
+    }
+    std::optional<MatQ> h = random_tiling(rng, n, nest.deps);
+    if (!h) continue;
+    CommBoundResult bound;
+    SimResult sim;
+    try {
+      bound = comm_lower_bound(nest, *h, -1, 1, machine, lo, hi);
+      sim = measure(nest, *h, -1, 1, machine);
+    } catch (const Error&) {
+      continue;  // tiling not liftable by the full lowering: skip
+    }
+    ++produced;
+    EXPECT_LE(bound.bytes_lb, sim.bytes)
+        << "H =\n"
+        << h->to_string() << "\nD =\n"
+        << nest.deps.to_string();
+    EXPECT_LE(bound.time_lb_s, sim.makespan * (1.0 + 1e-6))
+        << "H =\n"
+        << h->to_string() << "\nD =\n"
+        << nest.deps.to_string();
+  }
+  EXPECT_GE(produced, 20) << "random generator starved (" << attempts
+                          << " attempts)";
+}
+
+TEST(ShapeSearch, AdiRediscoversNr3) {
+  // ROADMAP item 5's required regression: the nr1/nr2/nr3 ordering.
+  // All three chain rows are in the candidate set (they are surface
+  // directions); the search must pick the cone-parallel nr3 row.
+  const AppInstance app = make_adi(16, 24);
+  ShapeSearchRequest req = adi_request();
+  req.prune = false;  // score every family, including the rect baselines
+  PlanCache cache;
+  req.cache = &cache;
+  // Rectangular baseline rides along.
+  for (i64 z : req.chain_factors) req.extra.push_back(adi_rect_h(z, 6, 6));
+  const ShapeSearchResult r =
+      autotune_tile_shape(app.nest, req, MachineModel::fast_ethernet_cluster());
+  ASSERT_GT(r.evaluated, 0);
+  EXPECT_EQ(r.best().chain_dir, (VecI{1, -1, -1}))
+      << "winner H =\n"
+      << r.best().h.to_string();
+  // The paper's fig10 ordering among the evaluated candidates: best
+  // nr3-row shape beats best nr1-row, nr2-row and rectangular shapes.
+  const auto best_for = [&](const VecI& chain_dir) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const ShapeScore& sc : r.scores) {
+      if (sc.status == ShapeStatus::kEvaluated && sc.chain_dir == chain_dir) {
+        best = std::min(best, sc.score_s);
+      }
+    }
+    return best;
+  };
+  const double nr3 = best_for({1, -1, -1});
+  const double nr1 = best_for({1, -1, 0});
+  const double nr2 = best_for({1, 0, -1});
+  const double rect = best_for({1, 0, 0});  // the extras' chain row
+  ASSERT_TRUE(std::isfinite(nr3));
+  if (std::isfinite(nr1)) {
+    EXPECT_LT(nr3, nr1);
+  }
+  if (std::isfinite(nr2)) {
+    EXPECT_LT(nr3, nr2);
+  }
+  ASSERT_TRUE(std::isfinite(rect));
+  EXPECT_LT(nr3, rect);
+}
+
+TEST(ShapeSearch, SurfaceBeatsRectangularOnSor) {
+  const AppInstance app = make_sor(24, 48);
+  ShapeSearchRequest req;
+  req.force_m = 2;
+  req.arity = 1;
+  req.mesh_extent = 4;
+  req.chain_factors = {4, 8, 16};
+  req.orig_lo = {1, 1, 1};
+  req.orig_hi = {24, 48, 48};
+  req.skew = sor_skew_matrix();
+  req.scorer = ShapeScorer::kAnalytic;
+  req.threads = 1;
+  PlanCache cache;
+  req.cache = &cache;
+  for (i64 z : req.chain_factors) req.extra.push_back(sor_rect_h(6, 18, z));
+  const ShapeSearchResult r =
+      autotune_tile_shape(app.nest, req, MachineModel::fast_ethernet_cluster());
+  ASSERT_GT(r.evaluated, 0);
+  // Winner is non-rectangular...
+  EXPECT_NE(r.best().chain_dir, (VecI{0, 0, 1}))
+      << "winner H =\n"
+      << r.best().h.to_string();
+  // ...and strictly beats every evaluated rectangular baseline.
+  double best_rect = std::numeric_limits<double>::infinity();
+  for (const ShapeScore& sc : r.scores) {
+    if (sc.status == ShapeStatus::kEvaluated && sc.origin == "extra") {
+      best_rect = std::min(best_rect, sc.score_s);
+    }
+  }
+  ASSERT_TRUE(std::isfinite(best_rect));
+  EXPECT_LT(r.best().score_s, best_rect);
+}
+
+TEST(ShapeSearch, EveryEvaluatedSurvivorRespectsItsBound) {
+  const AppInstance app = make_adi(16, 24);
+  ShapeSearchRequest req = adi_request();
+  PlanCache cache;
+  req.cache = &cache;
+  const ShapeSearchResult r =
+      autotune_tile_shape(app.nest, req, MachineModel::fast_ethernet_cluster());
+  ASSERT_GT(r.evaluated, 0);
+  for (const ShapeScore& sc : r.scores) {
+    if (sc.status != ShapeStatus::kEvaluated) continue;
+    EXPECT_LE(sc.bound.bytes_lb, sc.analytic.bytes)
+        << "H =\n"
+        << sc.h.to_string();
+    EXPECT_LE(sc.bound.time_lb_s, sc.score_s * (1.0 + 1e-6))
+        << "H =\n"
+        << sc.h.to_string();
+  }
+}
+
+// The TSan job's target: many workers, one shared single-flight
+// PlanCache, a shared score memo and the shared incumbent — the winner
+// must be bitwise-identical to the serial search.
+TEST(ShapeSearch, ParallelMatchesSerialBitwise) {
+  const AppInstance app = make_adi(12, 18);
+  ShapeSearchRequest req;
+  req.force_m = 0;
+  req.arity = 2;
+  req.mesh_scales = {5, 5};
+  req.chain_factors = {2, 4};
+  req.orig_lo = {1, 1, 1};
+  req.orig_hi = {12, 18, 18};
+  req.skew = MatI::identity(3);
+  req.scorer = ShapeScorer::kAnalytic;
+  req.prune = false;  // every candidate scored in both runs
+
+  PlanCache serial_cache;
+  req.cache = &serial_cache;
+  req.threads = 1;
+  const ShapeSearchResult serial =
+      autotune_tile_shape(app.nest, req, MachineModel::fast_ethernet_cluster());
+
+  PlanCache parallel_cache;
+  req.cache = &parallel_cache;
+  req.threads = 4;
+  const ShapeSearchResult parallel =
+      autotune_tile_shape(app.nest, req, MachineModel::fast_ethernet_cluster());
+
+  EXPECT_EQ(serial.best_index, parallel.best_index);
+  ASSERT_EQ(serial.scores.size(), parallel.scores.size());
+  for (std::size_t i = 0; i < serial.scores.size(); ++i) {
+    EXPECT_EQ(serial.scores[i].status, parallel.scores[i].status) << i;
+    EXPECT_EQ(serial.scores[i].score_s, parallel.scores[i].score_s) << i;
+    EXPECT_EQ(serial.scores[i].plan_id, parallel.scores[i].plan_id) << i;
+  }
+  // Candidates were key-deduplicated up front, so the shared cache never
+  // serves a hit within one search, and every evaluated candidate was
+  // lowered exactly once.
+  EXPECT_EQ(parallel_cache.stats().hits, 0);
+  EXPECT_GE(parallel_cache.stats().misses, parallel.evaluated);
+}
+
+TEST(ShapeSearch, PruningNeverChangesTheWinner) {
+  const AppInstance app = make_adi(16, 24);
+  ShapeSearchRequest req = adi_request();
+  PlanCache cache_on;
+  req.cache = &cache_on;
+  req.prune = true;
+  const ShapeSearchResult pruned =
+      autotune_tile_shape(app.nest, req, MachineModel::fast_ethernet_cluster());
+  PlanCache cache_off;
+  req.cache = &cache_off;
+  req.prune = false;
+  const ShapeSearchResult full =
+      autotune_tile_shape(app.nest, req, MachineModel::fast_ethernet_cluster());
+  EXPECT_EQ(pruned.best_index, full.best_index);
+  EXPECT_EQ(pruned.best().score_s, full.best().score_s);
+  EXPECT_EQ(pruned.best().plan_id, full.best().plan_id);
+  EXPECT_EQ(full.pruned, 0);
+  EXPECT_GE(pruned.pruned, 0);
+  // Pruned candidates were never lowered: the cache saw fewer plans.
+  EXPECT_LE(cache_on.stats().misses, cache_off.stats().misses);
+}
+
+TEST(ShapeSearch, EventDesScorerIsSeedInvariant) {
+  const AppInstance app = make_adi(12, 18);
+  LoweringKnobs knobs;
+  knobs.force_m = 0;
+  std::shared_ptr<const CompiledPlan> plan =
+      CompiledPlan::compile_parallel(app.nest, adi_nr3_h(4, 5, 5), knobs);
+  const MachineModel machine = MachineModel::fast_ethernet_cluster();
+  const double a =
+      event_des_makespan(*plan, machine, 2, CommSchedule::kBlocking, 1);
+  const double b =
+      event_des_makespan(*plan, machine, 2, CommSchedule::kBlocking, 77);
+  EXPECT_EQ(a, b);  // bitwise: virtual time, not wall time
+  EXPECT_GT(a, 0.0);
+  const double overlapped =
+      event_des_makespan(*plan, machine, 2, CommSchedule::kOverlapped, 1);
+  EXPECT_LE(overlapped, a * (1.0 + 1e-9));
+}
+
+TEST(ShapeSearch, ScoreMemoServesRepeatSearches) {
+  const AppInstance app = make_adi(12, 18);
+  ShapeSearchRequest req;
+  req.force_m = 0;
+  req.arity = 2;
+  req.mesh_scales = {5, 5};
+  req.chain_factors = {2, 4};
+  req.orig_lo = {1, 1, 1};
+  req.orig_hi = {12, 18, 18};
+  req.skew = MatI::identity(3);
+  req.scorer = ShapeScorer::kAnalytic;
+  req.threads = 1;
+  PlanCache cache;
+  ScoreMemo memo;
+  req.cache = &cache;
+  req.memo = &memo;
+  const MachineModel machine = MachineModel::fast_ethernet_cluster();
+  const ShapeSearchResult first = autotune_tile_shape(app.nest, req, machine);
+  EXPECT_EQ(first.memo_hits, 0);
+  const ShapeSearchResult second = autotune_tile_shape(app.nest, req, machine);
+  // Every candidate evaluated in run 1 is served from the memo in run 2
+  // (serial order: the memo is consulted before bound/prune/lowering).
+  EXPECT_EQ(second.memo_hits, first.evaluated);
+  EXPECT_EQ(second.best_index, first.best_index);
+  EXPECT_EQ(second.best().score_s, first.best().score_s);
+  // A different machine must not reuse the memo: machine fields are in
+  // the key (the satellite this guards).
+  MachineModel other = machine;
+  other.bandwidth *= 2.0;
+  const ShapeSearchResult third = autotune_tile_shape(app.nest, req, other);
+  EXPECT_EQ(third.memo_hits, 0);
+}
+
+TEST(ShapeSearch, BudgetTruncatesDeterministically) {
+  const AppInstance app = make_adi(12, 18);
+  ShapeSearchRequest req;
+  req.force_m = 0;
+  req.arity = 2;
+  req.mesh_scales = {5, 5};
+  req.chain_factors = {2, 4};
+  req.orig_lo = {1, 1, 1};
+  req.orig_hi = {12, 18, 18};
+  req.skew = MatI::identity(3);
+  req.scorer = ShapeScorer::kAnalytic;
+  req.threads = 1;
+  PlanCache cache;
+  req.cache = &cache;
+  req.budget = 4;
+  const ShapeSearchResult r =
+      autotune_tile_shape(app.nest, req, MachineModel::fast_ethernet_cluster());
+  EXPECT_EQ(static_cast<i64>(r.scores.size()), 4);
+  EXPECT_GT(r.truncated, 0);
+  EXPECT_EQ(r.candidates,
+            static_cast<i64>(r.scores.size()) + r.duplicates + r.truncated);
+}
+
+}  // namespace
+}  // namespace ctile

@@ -38,13 +38,14 @@ TEST(PlanKey, GoldenDigestsForPaperConfigs) {
     const char* digest;
   };
   // Fixed vectors: regenerate ONLY on a deliberate key-format revision
-  // (bump the "CTPK" magic when you do).
+  // (bump the "CTPK" magic when you do).  Current format: CTPK2
+  // (machine-model fields joined the key).
   const Golden golden[] = {
-      {"fig06-sor-rect", "e0b26c85f4ad8267"},
-      {"fig06-sor-nonrect", "c8331ea3f59d9d84"},
-      {"fig08-jacobi-nonrect", "e47ba05014fbd2bc"},
-      {"fig10-adi-nr1", "38e1fb3969ead9b1"},
-      {"fig10-adi-nr3", "445732c3303bbaa2"},
+      {"fig06-sor-rect", "419ae90149faf3be"},
+      {"fig06-sor-nonrect", "c3dce1a022fa4d57"},
+      {"fig08-jacobi-nonrect", "e96e312a7733fd5f"},
+      {"fig10-adi-nr1", "e791cf5765e0e558"},
+      {"fig10-adi-nr3", "1fbce19b9d9087cd"},
   };
   const PlanKey keys[] = {
       parallel_key(make_sor(24, 48).nest, sor_rect_h(6, 18, 8), 2),
@@ -116,6 +117,35 @@ TEST(PlanKey, EverySemanticInputFlipsTheKey) {
   fm2.force_m = 2;
   EXPECT_NE(base, make_plan_key(app.nest, h, CompiledPlan::Kind::kSequential,
                                 fm2));
+  // Machine-model fields (plans cached for one machine must never be
+  // served for another: the scores hung off a plan id depend on them).
+  LoweringKnobs mach;
+  mach.force_m = 2;
+  {
+    MachineKeyFields mf;
+    mf.sec_per_iter = 300e-9;
+    mf.latency = 120e-6;
+    mf.bandwidth = 11.5e6;
+    mf.per_byte_overhead = 4e-9;
+    mf.per_message_overhead = 60e-6;
+    mf.bytes_per_value = 8;
+    mach.machine = mf;
+  }
+  const PlanKey machined =
+      make_plan_key(app.nest, h, CompiledPlan::Kind::kParallel, mach);
+  EXPECT_NE(base, machined);  // presence alone flips the key
+  const auto flip = [&](auto&& mutate) {
+    LoweringKnobs k = mach;
+    mutate(*k.machine);
+    EXPECT_NE(machined,
+              make_plan_key(app.nest, h, CompiledPlan::Kind::kParallel, k));
+  };
+  flip([](MachineKeyFields& m) { m.sec_per_iter = 301e-9; });
+  flip([](MachineKeyFields& m) { m.latency = 121e-6; });
+  flip([](MachineKeyFields& m) { m.bandwidth = 11.6e6; });
+  flip([](MachineKeyFields& m) { m.per_byte_overhead = 5e-9; });
+  flip([](MachineKeyFields& m) { m.per_message_overhead = 61e-6; });
+  flip([](MachineKeyFields& m) { m.bytes_per_value = 4; });
 }
 
 TEST(PlanKey, TiledNestOverloadMatchesRawOverload) {

@@ -20,9 +20,23 @@
 //   sizes    problem sizes   (app-specific; paper defaults, see below)
 //   factors  tile factors    (x y z; x y for heat; paper defaults)
 //   m        mapping-dimension override (default: the app's paper value)
-//   mode     "lower" (default) | "autotune"
+//   mode     "lower" (default) | "autotune" | "shape"
 //   id       echoed in the response (default "req-<index>")
-//   candidates  autotune only: chain-factor candidate list
+//   candidates  autotune/shape: chain-factor candidate list
+//
+// Shape-mode fields (the tile-SHAPE autotuner, DESIGN.md §15): the
+// search enumerates cone-surface candidate matrices, prunes against the
+// per-kernel communication lower bound, lowers survivors through the
+// shared PlanCache and scores them with the event-backend DES (or the
+// analytic model).  Scores are memoized across requests in the service's
+// ScoreMemo.  Env knobs: CTILE_SHAPE_THREADS, CTILE_SHAPE_BUDGET.
+//   scorer        "event" (default) | "analytic"
+//   mesh_extent   target mesh extent per dimension (default 4 — the
+//                 paper's 4x4 mesh, fitted per candidate)
+//   prune         bound-based pruning (default true)
+//   budget        candidate budget (default $CTILE_SHAPE_BUDGET / 512)
+//   search_threads  evaluation threads (default $CTILE_SHAPE_THREADS)
+//   extras        include the app's rectangular family (default true)
 //
 // Flags: --requests=FILE (or positional FILE), --stdin, --threads=N,
 // --repeat=K (process the stream K times — the steady-state warm
@@ -41,6 +55,7 @@
 #include "apps/kernels.hpp"
 #include "bench_util.hpp"
 #include "cluster/autotune.hpp"
+#include "cluster/shape_search.hpp"
 #include "runtime/plan_cache.hpp"
 #include "support/json.hpp"
 #include "verify/plan_model.hpp"
@@ -71,13 +86,22 @@ struct Request {
   AppInstance app;
   MatQ h;
   int force_m = -1;
-  // Autotune inputs (mode == "autotune").
+  // Autotune inputs (mode == "autotune" or "shape").
   std::function<MatQ(i64)> tiling_for;
+  std::function<MatQ(i64)> rect_for;  ///< the app's rectangular family
   std::vector<i64> candidates;
   i64 chain_extent = 0;
   VecI orig_lo;
   VecI orig_hi;
   MatI skew;
+  // Shape-search inputs (mode == "shape").
+  int arity = 1;
+  i64 mesh_extent = 4;
+  bool prune = true;
+  bool extras = true;
+  int budget = 0;
+  int search_threads = 0;
+  ShapeScorer scorer = ShapeScorer::kEventDes;
 };
 
 i64 size_at(const std::vector<json::ValuePtr>& xs, std::size_t i, i64 def) {
@@ -90,7 +114,7 @@ Request build_request(const json::Value& v, std::size_t index) {
   Request req;
   req.id = v.get_string_or("id", "req-" + std::to_string(index));
   req.mode = v.get_string_or("mode", "lower");
-  if (req.mode != "lower" && req.mode != "autotune") {
+  if (req.mode != "lower" && req.mode != "autotune" && req.mode != "shape") {
     throw Error("unknown mode \"" + req.mode + "\"");
   }
   const std::string app = v.get("app").as_string();
@@ -110,6 +134,7 @@ Request build_request(const json::Value& v, std::size_t index) {
     };
     req.h = family(z);
     req.tiling_for = family;
+    req.rect_for = [x, y](i64 zz) { return sor_rect_h(x, y, zz); };
     req.force_m = 2;
     req.chain_extent = 2 * m + n;  // skewed chain dim j+2t spans this
     req.orig_lo = {1, 1, 1};
@@ -125,6 +150,7 @@ Request build_request(const json::Value& v, std::size_t index) {
     };
     req.h = family(x);
     req.tiling_for = family;
+    req.rect_for = [y, z](i64 xx) { return jacobi_rect_h(xx, y, z); };
     req.force_m = 0;
     req.chain_extent = t;
     req.orig_lo = {1, 1, 1};
@@ -143,11 +169,13 @@ Request build_request(const json::Value& v, std::size_t index) {
     };
     req.h = family(x);
     req.tiling_for = family;
+    req.rect_for = [y, z](i64 xx) { return adi_rect_h(xx, y, z); };
     req.force_m = 0;
     req.chain_extent = t;
     req.orig_lo = {1, 1, 1};
     req.orig_hi = {t, n, n};
     req.skew = MatI::identity(3);
+    req.arity = 2;
   } else if (app == "heat") {
     const i64 t = size_at(sizes, 0, 8), n = size_at(sizes, 1, 12);
     const i64 x = size_at(factors, 0, 2), y = size_at(factors, 1, 3);
@@ -157,6 +185,7 @@ Request build_request(const json::Value& v, std::size_t index) {
     };
     req.h = family(x);
     req.tiling_for = family;
+    req.rect_for = [y](i64 xx) { return heat_rect_h(xx, y); };
     req.force_m = 0;
     req.chain_extent = t;
     req.orig_lo = {1, 1};
@@ -173,6 +202,22 @@ Request build_request(const json::Value& v, std::size_t index) {
       req.candidates.push_back(c->as_i64());
     }
   }
+  if (req.mode == "shape") {
+    const std::string scorer = v.get_string_or("scorer", "event");
+    if (scorer == "event") {
+      req.scorer = ShapeScorer::kEventDes;
+    } else if (scorer == "analytic") {
+      req.scorer = ShapeScorer::kAnalytic;
+    } else {
+      throw Error("unknown scorer \"" + scorer + "\"");
+    }
+    req.mesh_extent = v.get_i64_or("mesh_extent", 4);
+    req.prune = v.get_bool_or("prune", true);
+    req.extras = v.get_bool_or("extras", true);
+    req.budget = static_cast<int>(v.get_i64_or("budget", 0));
+    req.search_threads =
+        static_cast<int>(v.get_i64_or("search_threads", 0));
+  }
   return req;
 }
 
@@ -182,9 +227,11 @@ struct Response {
   bool ok = false;
 };
 
-/// Shared service state: the cache plus the verify-on-miss policy.
+/// Shared service state: the cache, the cross-request shape-score memo,
+/// and the verify-on-miss policy.
 struct Service {
   PlanCache cache;
+  ScoreMemo shape_memo;
   bool verify = true;
 };
 
@@ -275,9 +322,103 @@ Response serve_autotune(Service& svc, const Request& req) {
   return resp;
 }
 
+/// Render a rational matrix on one line for a JSON string field.
+std::string h_to_line(const MatQ& h) {
+  std::string s = h.to_string();
+  for (char& c : s) {
+    if (c == '\n') c = ' ';
+  }
+  while (!s.empty() && s.back() == ' ') s.pop_back();
+  return s;
+}
+
+std::string dir_to_string(const VecI& d) {
+  std::string s = "(";
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(d[i]);
+  }
+  return s + ")";
+}
+
+Response serve_shape(Service& svc, const Request& req) {
+  bench::JsonArray out;
+  out.begin_item();
+  out.field("id", req.id);
+  out.field("mode", "shape");
+  Response resp;
+  ShapeSearchRequest sreq;
+  sreq.force_m = req.force_m;
+  sreq.arity = req.arity;
+  sreq.mesh_extent = req.mesh_extent;
+  sreq.chain_factors = req.candidates;
+  if (sreq.chain_factors.empty()) {
+    for (i64 c : {2, 4, 8, 16}) {
+      if (req.chain_extent <= 0 || c <= req.chain_extent) {
+        sreq.chain_factors.push_back(c);
+      }
+    }
+  }
+  if (req.extras && req.rect_for) {
+    for (i64 c : sreq.chain_factors) sreq.extra.push_back(req.rect_for(c));
+  }
+  sreq.prune = req.prune;
+  sreq.budget = req.budget;
+  sreq.threads = req.search_threads;
+  sreq.scorer = req.scorer;
+  sreq.orig_lo = req.orig_lo;
+  sreq.orig_hi = req.orig_hi;
+  sreq.skew = req.skew;
+  sreq.cache = &svc.cache;
+  sreq.memo = &svc.shape_memo;
+  const MachineModel machine = MachineModel::fast_ethernet_cluster();
+  const auto start = Clock::now();
+  const ShapeSearchResult result =
+      autotune_tile_shape(req.app.nest, sreq, machine);
+  resp.latency_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  const ShapeScore& best = result.best();
+  out.field("best_plan", best.plan_id);
+  out.field("best_h", h_to_line(best.h));
+  out.field("best_chain_dir", dir_to_string(best.chain_dir));
+  out.field("best_origin", best.origin);
+  out.field("best_score_s", best.score_s);
+  out.field("best_analytic_s", best.analytic.makespan);
+  if (req.scorer == ShapeScorer::kEventDes) {
+    out.field("best_des_s", best.des_makespan_s);
+  }
+  out.field("best_procs", static_cast<i64>(best.bound.num_procs));
+  out.field("measured_bytes", best.analytic.bytes);
+  out.field("bytes_lb", best.bound.bytes_lb);
+  if (best.bound.bytes_lb > 0) {
+    out.field("volume_ratio",
+              static_cast<double>(best.analytic.bytes) /
+                  static_cast<double>(best.bound.bytes_lb));
+  }
+  out.field("candidates", result.candidates);
+  out.field("duplicates", result.duplicates);
+  out.field("truncated", result.truncated);
+  out.field("invalid", result.invalid);
+  out.field("pruned", result.pruned);
+  out.field("evaluated", result.evaluated);
+  out.field("prune_rate", result.prune_rate());
+  out.field("cache_hits", result.cache_hits);
+  out.field("cache_misses", result.cache_misses);
+  out.field("memo_hits", result.memo_hits);
+  out.field("gen_s", result.gen_s);
+  out.field("bound_s", result.bound_s);
+  out.field("eval_s", result.eval_s);
+  out.field("search_s", result.total_s);
+  out.field("latency_s", resp.latency_s);
+  resp.body = out.item_to_string();
+  resp.ok = true;
+  return resp;
+}
+
 Response serve(Service& svc, const json::Value& v, std::size_t index) {
   try {
     const Request req = build_request(v, index);
+    if (req.mode == "shape") return serve_shape(svc, req);
     return req.mode == "autotune" ? serve_autotune(svc, req)
                                   : serve_lower(svc, req);
   } catch (const Error& e) {
